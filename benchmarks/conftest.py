@@ -1,0 +1,37 @@
+"""Shared scale and helpers for the benchmark harness.
+
+Each benchmark regenerates one paper table/figure via
+``repro.experiments`` and asserts the paper's qualitative *shape* (who
+wins, roughly by how much) rather than absolute numbers.  Benchmarks run
+once per session (``rounds=1``) because each one trains several models.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import Scale
+
+#: benchmark scale: large enough for stable orderings, small enough to
+#: keep the full harness in a few minutes.
+BENCH_SCALE = Scale(name="bench", factor=1.0, synth_per_context=16, seed=11)
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    return BENCH_SCALE
+
+
+def run_once(benchmark, fn, *args):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, rounds=1, iterations=1)
+
+
+def em(cell: str) -> float:
+    """Parse the EM part of an ``"EM / F1"`` cell."""
+    return float(str(cell).split("/")[0])
+
+
+def f1(cell: str) -> float:
+    """Parse the F1 part of an ``"EM / F1"`` cell."""
+    return float(str(cell).split("/")[1])

@@ -1,0 +1,26 @@
+"""Bench: synthetic-data diversity analysis (extension of paper §V-F).
+
+Quantifies the paper's central qualitative claim: UCTR data covers many
+reasoning types with multi-cell evidence; MQA-QG only single-cell
+lookups.
+"""
+
+from conftest import run_once
+
+from repro.experiments import analysis_diversity
+
+
+def test_analysis_diversity(benchmark, scale):
+    result = run_once(benchmark, analysis_diversity.run, scale)
+    print("\n" + result.render())
+    rows = {row["Generator"]: row for row in result.rows}
+    uctr, mqaqg = rows["UCTR"], rows["MQA-QG"]
+
+    # reasoning-type coverage: UCTR spans many categories, MQA-QG one
+    assert uctr["Categories"] >= 7
+    assert mqaqg["Categories"] <= 2
+    assert uctr["Category entropy"] > mqaqg["Category entropy"] + 1.0
+    # reasoning depth: complex claims touch several cells
+    assert uctr["Evidence cells/sample"] > mqaqg["Evidence cells/sample"] + 1.0
+    # structural diversity: many distinct program patterns
+    assert uctr["Patterns"] >= 15

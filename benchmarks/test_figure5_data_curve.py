@@ -1,0 +1,31 @@
+"""Bench: regenerate Figure 5 (synthetic vs labeled data on TAT-QA).
+
+Paper shape: the synthetic-pretrained curve starts high with zero
+labels (the unsupervised point), dominates the labels-only curve at
+small budgets, and the labels-only curve catches up as labels grow.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure5_data_curve
+
+
+def test_figure5_data_curve(benchmark, scale):
+    result = run_once(benchmark, figure5_data_curve.run, scale)
+    print("\n" + result.render())
+    rows = sorted(result.rows, key=lambda row: row["Labeled Samples"])
+    assert rows[0]["Labeled Samples"] == 0
+    zero_label_pretrained = rows[0]["UCTR + labels (F1)"]
+    assert zero_label_pretrained > 20  # synthetic alone is already useful
+
+    # at the smallest non-zero budget, pre-training dominates
+    first = rows[1]
+    assert first["UCTR + labels (F1)"] >= first["Labels only (F1)"] - 3
+
+    # labels-only improves with budget overall
+    labels_only = [row["Labels only (F1)"] for row in rows]
+    assert labels_only[-1] >= labels_only[1] - 3
+
+    # the pretrained curve never collapses below its zero-label start
+    for row in rows[1:]:
+        assert row["UCTR + labels (F1)"] >= zero_label_pretrained - 12

@@ -1,0 +1,19 @@
+"""Bench: regenerate Table II (dataset statistics)."""
+
+from conftest import run_once
+
+from repro.experiments import table2_statistics
+
+
+def test_table2_statistics(benchmark, scale):
+    result = run_once(benchmark, table2_statistics.run, scale)
+    print("\n" + result.render())
+    names = [row["Dataset"] for row in result.rows]
+    assert names == ["feverous", "tatqa", "wikisql", "semtabfacts"]
+    by_name = {row["Dataset"]: row for row in result.rows}
+    # data-rich vs low-resource contrast (drives Table VII's shape)
+    assert by_name["feverous"]["Tables"] > by_name["semtabfacts"]["Tables"]
+    assert by_name["wikisql"]["Tables"] > by_name["tatqa"]["Tables"]
+    # every benchmark produced samples
+    for row in result.rows:
+        assert row["Total Samples"] > 0

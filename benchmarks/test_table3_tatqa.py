@@ -1,0 +1,37 @@
+"""Bench: regenerate Table III (TAT-QA dev, EM/F1 by evidence type).
+
+Paper shape: TAGOP supervised on top; UCTR far above MQA-QG (42.4 vs
+27.7 F1) and at a substantial fraction of supervised (67%); few-shot
+TAGOP+UCTR above plain few-shot TAGOP.
+"""
+
+from conftest import f1, run_once
+
+from repro.experiments import table3_tatqa
+
+
+def test_table3_tatqa(benchmark, scale):
+    result = run_once(benchmark, table3_tatqa.run, scale)
+    print("\n" + result.render())
+    supervised = f1(result.cell("TAGOP", "Total"))
+    uctr = f1(result.cell("UCTR", "Total"))
+    no_t2t = f1(result.cell("UCTR -w/o T2T", "Total"))
+    mqaqg = f1(result.cell("MQA-QG", "Total"))
+    few_shot = f1(result.cell("TAGOP", "Total"))  # first match is supervised
+    rows = {(r["Setting"], r["Model"]): r for r in result.rows}
+    few_shot = f1(rows[("Few-Shot", "TAGOP")]["Total"])
+    few_shot_uctr = f1(rows[("Few-Shot", "TAGOP+UCTR")]["Total"])
+
+    # unsupervised ordering: UCTR >> MQA-QG (paper: 42.4 vs 27.7)
+    assert uctr > mqaqg + 5
+    assert no_t2t > mqaqg + 5
+    # UCTR reaches a large fraction of supervised (paper: 67%)
+    assert uctr >= 0.5 * supervised
+    assert supervised >= uctr - 2  # supervised stays on top (tolerance)
+    # few-shot: synthetic pre-training helps (paper: 12.1 -> 55.4)
+    assert few_shot_uctr >= few_shot - 2
+    # weak baselines stay weak overall
+    text_only = f1(rows[("Supervised", "Text-Span only")]["Total"])
+    cell_only = f1(rows[("Supervised", "Table-Cell only")]["Total"])
+    assert supervised > text_only
+    assert supervised > cell_only

@@ -1,0 +1,33 @@
+"""Bench: regenerate Table V (SEM-TAB-FACTS 3-way micro F1).
+
+Paper shape: TAPAS supervised 66.7 dev; UCTR 62.6 (93% of supervised)
+beats TAPAS-Transfer 59.0 and MQA-QG 53.2, all far above Random 33.3;
+few-shot TAPAS+UCTR (62.4) well above plain few-shot TAPAS (48.6).
+"""
+
+from conftest import run_once
+
+from repro.experiments import table5_semtabfacts
+
+
+def test_table5_semtabfacts(benchmark, scale):
+    result = run_once(benchmark, table5_semtabfacts.run, scale)
+    print("\n" + result.render())
+    rows = {(r["Setting"], r["Model"]): r for r in result.rows}
+
+    supervised = rows[("Supervised", "TAPAS")]["Dev micro-F1"]
+    uctr = rows[("Unsupervised", "UCTR")]["Dev micro-F1"]
+    transfer = rows[("Unsupervised", "TAPAS-Transfer")]["Dev micro-F1"]
+    mqaqg = rows[("Unsupervised", "MQA-QG")]["Dev micro-F1"]
+    random_row = rows[("Unsupervised", "Random")]["Dev micro-F1"]
+    few_shot = rows[("Few-Shot", "TAPAS")]["Dev micro-F1"]
+    few_shot_uctr = rows[("Few-Shot", "TAPAS+UCTR")]["Dev micro-F1"]
+
+    assert uctr > random_row + 15
+    assert uctr > mqaqg
+    # documented deviation (EXPERIMENTS.md): our engineered featurizer
+    # transfers across domains nearly losslessly, so TAPAS-Transfer can
+    # exceed UCTR here; we only require UCTR stays competitive.
+    assert uctr > transfer - 10
+    assert uctr >= 0.75 * supervised  # paper: 93%
+    assert few_shot_uctr >= few_shot - 2  # paper: 48.6 -> 62.4

@@ -1,0 +1,19 @@
+"""Bench: regenerate Table IX (example generations per program type)."""
+
+from conftest import run_once
+
+from repro.experiments import table9_examples
+
+
+def test_table9_examples(benchmark, scale):
+    result = run_once(benchmark, table9_examples.run, scale)
+    print("\n" + result.render())
+    types = [row["Type"] for row in result.rows]
+    assert types == ["SQL Query", "Logical Form", "Arithmetic Expression"]
+    for row in result.rows:
+        assert len(row["Program"]) > 10
+        assert len(row["Generated Text"]) > 10
+        assert len(row["Golden Text"]) > 10
+        # generated text must not leak program syntax
+        assert "{" not in row["Generated Text"]
+        assert "select " not in row["Generated Text"]

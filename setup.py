@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+Enables ``pip install -e . --no-build-isolation`` on environments whose
+setuptools predates PEP 660 editable wheels (no ``wheel`` package
+available offline).  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,118 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands:
+
+* ``make-dataset`` — synthesize one of the four benchmarks and write its
+  contexts and gold samples to a directory.
+* ``generate`` — run the UCTR pipeline over a JSONL file of contexts and
+  write the synthetic samples.
+* ``stats`` — print Table II-style statistics for a benchmark.
+* ``experiments`` — alias of :mod:`repro.experiments.runner`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro import UCTR, UCTRConfig
+from repro.datasets import (
+    benchmark_statistics,
+    make_feverous,
+    make_semtabfacts,
+    make_tatqa,
+    make_wikisql,
+)
+from repro.io import load_contexts, save_contexts, save_samples
+
+_BENCHMARKS = {
+    "feverous": make_feverous,
+    "tatqa": make_tatqa,
+    "wikisql": make_wikisql,
+    "semtabfacts": make_semtabfacts,
+}
+
+_DEFAULT_KINDS = {
+    "feverous": ("logic",),
+    "semtabfacts": ("logic",),
+    "wikisql": ("sql",),
+    "tatqa": ("sql", "arith"),
+}
+
+
+def _cmd_make_dataset(args: argparse.Namespace) -> int:
+    benchmark = _BENCHMARKS[args.benchmark]()
+    out = Path(args.out)
+    for split_name, split in benchmark.splits.items():
+        n_ctx = save_contexts(
+            out / f"{split_name}.contexts.jsonl", split.contexts
+        )
+        n_gold = save_samples(out / f"{split_name}.gold.jsonl", split.gold)
+        print(f"{split_name}: {n_ctx} contexts, {n_gold} gold samples")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    contexts = load_contexts(args.contexts)
+    kinds = tuple(args.kinds.split(",")) if args.kinds else ("logic",)
+    framework = UCTR(
+        UCTRConfig(
+            program_kinds=kinds,
+            samples_per_context=args.per_context,
+            seed=args.seed,
+        )
+    )
+    framework.fit(contexts)
+    samples = framework.generate(contexts)
+    written = save_samples(args.out, samples)
+    print(f"wrote {written} synthetic samples to {args.out}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    benchmark = _BENCHMARKS[args.benchmark]()
+    stats = benchmark_statistics(benchmark)
+    for key, value in stats.as_row().items():
+        print(f"{key}: {value}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    make_dataset = commands.add_parser(
+        "make-dataset", help="synthesize a benchmark to JSONL files"
+    )
+    make_dataset.add_argument("benchmark", choices=sorted(_BENCHMARKS))
+    make_dataset.add_argument("--out", required=True)
+    make_dataset.set_defaults(fn=_cmd_make_dataset)
+
+    generate = commands.add_parser(
+        "generate", help="run UCTR over a contexts JSONL file"
+    )
+    generate.add_argument("contexts", help="input contexts .jsonl")
+    generate.add_argument("--out", required=True, help="output samples .jsonl")
+    generate.add_argument(
+        "--kinds", default="logic",
+        help="comma-separated program kinds (sql,logic,arith)",
+    )
+    generate.add_argument("--per-context", type=int, default=8)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(fn=_cmd_generate)
+
+    stats = commands.add_parser("stats", help="Table II statistics")
+    stats.add_argument("benchmark", choices=sorted(_BENCHMARKS))
+    stats.set_defaults(fn=_cmd_stats)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Benchmark substrate: synthetic stand-ins for the four datasets.
+
+The paper evaluates on FEVEROUS, TAT-QA, WikiSQL, and SEM-TAB-FACTS.
+Those corpora are not downloadable offline, so this package synthesizes
+seeded datasets with the same *shape* — domains, evidence-type mixture,
+label/question-type distributions (Table II), topical structure (for the
+Figure 1 topic-shift experiment), and paragraph text written in an
+extractable style so the Text-To-Table operator has real work to do.
+
+Gold questions/claims are produced with a separate "human" phrasing bank
+(:mod:`repro.datasets.humanize`) so the supervised upper bound sees
+wordings the UCTR synthetic data does not copy verbatim.
+"""
+
+from repro.datasets.base import Benchmark, DatasetSplit, SplitName
+from repro.datasets.feverous import FeverousConfig, make_feverous
+from repro.datasets.tatqa import TatQAConfig, make_tatqa
+from repro.datasets.wikisql import WikiSQLConfig, make_wikisql
+from repro.datasets.semtabfacts import SemTabFactsConfig, make_semtabfacts
+from repro.datasets.tabfact import TabFactConfig, make_tabfact
+from repro.datasets.statistics import benchmark_statistics
+
+__all__ = [
+    "Benchmark",
+    "DatasetSplit",
+    "SplitName",
+    "FeverousConfig",
+    "make_feverous",
+    "TatQAConfig",
+    "make_tatqa",
+    "WikiSQLConfig",
+    "make_wikisql",
+    "SemTabFactsConfig",
+    "make_semtabfacts",
+    "TabFactConfig",
+    "make_tabfact",
+    "benchmark_statistics",
+]

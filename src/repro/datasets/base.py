@@ -1,0 +1,85 @@
+"""Benchmark and split abstractions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator
+
+from repro.errors import DatasetError
+from repro.pipelines.samples import ReasoningSample, TaskType
+from repro.tables.context import TableContext
+
+
+class SplitName(str, Enum):
+    TRAIN = "train"
+    DEV = "dev"
+    TEST = "test"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class DatasetSplit:
+    """One split: its unlabeled contexts and its gold samples."""
+
+    name: SplitName
+    contexts: tuple[TableContext, ...]
+    gold: tuple[ReasoningSample, ...]
+
+    def __len__(self) -> int:
+        return len(self.gold)
+
+    def __iter__(self) -> Iterator[ReasoningSample]:
+        return iter(self.gold)
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """A synthetic benchmark with train/dev/test splits.
+
+    ``task`` is the benchmark's native task; ``domain`` mirrors Table II
+    (Wikipedia / Finance / Science).  The *unsupervised* setting uses
+    ``split.contexts`` (tables + text, no labels); the supervised
+    setting additionally uses ``split.gold``.
+    """
+
+    name: str
+    task: TaskType
+    domain: str
+    splits: dict[str, DatasetSplit] = field(default_factory=dict)
+
+    def split(self, name: SplitName | str) -> DatasetSplit:
+        key = SplitName(name).value
+        if key not in self.splits:
+            raise DatasetError(f"benchmark {self.name!r} has no split {key!r}")
+        return self.splits[key]
+
+    @property
+    def train(self) -> DatasetSplit:
+        return self.split(SplitName.TRAIN)
+
+    @property
+    def dev(self) -> DatasetSplit:
+        return self.split(SplitName.DEV)
+
+    @property
+    def test(self) -> DatasetSplit:
+        return self.split(SplitName.TEST)
+
+    @property
+    def all_contexts(self) -> list[TableContext]:
+        out: list[TableContext] = []
+        for key in ("train", "dev", "test"):
+            if key in self.splits:
+                out.extend(self.splits[key].contexts)
+        return out
+
+    @property
+    def n_tables(self) -> int:
+        return len(self.all_contexts)
+
+    @property
+    def total_samples(self) -> int:
+        return sum(len(split) for split in self.splits.values())

@@ -1,0 +1,240 @@
+"""Gold annotation machinery shared by the four benchmark builders.
+
+A :class:`GoldAnnotator` plays the human annotator: it writes questions
+or claims against a context with *human* phrasing (``humanize``), over
+three evidence modalities — table-only, text-only (from the context's
+text records), and joint table-text (via a table expansion, so answering
+requires bridging modalities).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.datasets.humanize import realize_human
+from repro.errors import ReproError
+from repro.operators.text_to_table import TextToTable
+from repro.pipelines.samples import EvidenceType, ReasoningSample, TaskType
+from repro.programs.base import ProgramKind
+from repro.rng import choice
+from repro.sampling.filters import default_filters, passes_all
+from repro.sampling.labeler import ClaimLabel, ClaimLabeler
+from repro.sampling.sampler import ProgramSampler
+from repro.tables.context import TableContext
+from repro.tables.values import coerce_number, format_number
+from repro.templates.pools import pool_for_kind
+
+_TEXT_QUESTION_FORMS = [
+    "according to the text , what is the {column} for {name} ?",
+    "what {column} does the passage report for {name} ?",
+    "as stated in the text , what was the {column} of {name} ?",
+]
+
+_TEXT_CLAIM_FORMS = [
+    "the passage states that the {column} for {name} is {value}",
+    "according to the text , {name} has a {column} of {value}",
+]
+
+_UNKNOWN_CLAIM_FORMS = [
+    "the {column} for {name} is {value}",
+    "{name} records a {column} of {value}",
+]
+
+
+@dataclass
+class GoldAnnotator:
+    """Writes gold samples for one benchmark."""
+
+    rng: random.Random
+    task: TaskType
+    program_kinds: tuple[ProgramKind, ...]
+
+    def __post_init__(self) -> None:
+        self._sampler = ProgramSampler(self.rng)
+        self._labeler = ClaimLabeler(self.rng)
+        self._filters = default_filters()
+        self._expander = TextToTable()
+        self._templates = {
+            kind: list(pool_for_kind(kind)) for kind in self.program_kinds
+        }
+
+    # -- table evidence -----------------------------------------------------
+    def table_sample(
+        self, context: TableContext, uid: str, kind: ProgramKind | None = None
+    ) -> ReasoningSample | None:
+        """A gold sample whose evidence is the table alone."""
+        kind = kind or choice(self.rng, list(self.program_kinds))
+        sampled = self._draw(kind, context.table)
+        if sampled is None:
+            return None
+        if self.task is TaskType.FACT_VERIFICATION:
+            claim = self._labeler.label(sampled)
+            return ReasoningSample(
+                uid=uid,
+                task=self.task,
+                context=context,
+                sentence=realize_human(claim.sample, self.rng),
+                label=claim.label,
+                evidence_type=EvidenceType.TABLE,
+                evidence_cells=claim.sample.result.highlighted_cells,
+                provenance={"source": "gold", "kind": kind.value,
+                            "category": sampled.template.category},
+            )
+        return ReasoningSample(
+            uid=uid,
+            task=self.task,
+            context=context,
+            sentence=realize_human(sampled, self.rng),
+            answer=tuple(sampled.answer),
+            evidence_type=EvidenceType.TABLE,
+            evidence_cells=sampled.result.highlighted_cells,
+            provenance={"source": "gold", "kind": kind.value,
+                        "category": sampled.template.category},
+        )
+
+    # -- text evidence --------------------------------------------------------
+    def text_sample(self, context: TableContext, uid: str) -> ReasoningSample | None:
+        """A gold sample answerable from the context's text records."""
+        records = context.meta.get("text_records") or []
+        if not records:
+            return None
+        record = choice(self.rng, records)
+        name_column = context.table.row_name_column or context.table.column_names[0]
+        name = record.get(name_column)
+        fields = [
+            (column, value)
+            for column, value in record.items()
+            if column != name_column
+        ]
+        if name is None or not fields:
+            return None
+        column, value = choice(self.rng, fields)
+        if self.task is TaskType.FACT_VERIFICATION:
+            shown, label = self._maybe_corrupt(value)
+            sentence = choice(self.rng, _TEXT_CLAIM_FORMS).format(
+                column=column, name=name, value=shown
+            )
+            return ReasoningSample(
+                uid=uid,
+                task=self.task,
+                context=context,
+                sentence=sentence,
+                label=label,
+                evidence_type=EvidenceType.TEXT,
+                provenance={"source": "gold", "kind": "text_lookup"},
+            )
+        sentence = choice(self.rng, _TEXT_QUESTION_FORMS).format(
+            column=column, name=name
+        )
+        return ReasoningSample(
+            uid=uid,
+            task=self.task,
+            context=context,
+            sentence=sentence,
+            answer=(str(value),),
+            evidence_type=EvidenceType.TEXT,
+            provenance={"source": "gold", "kind": "text_lookup"},
+        )
+
+    # -- joint evidence ---------------------------------------------------------
+    def joint_sample(
+        self, context: TableContext, uid: str, kind: ProgramKind | None = None
+    ) -> ReasoningSample | None:
+        """A gold sample requiring both the table and the text."""
+        try:
+            expansion = self._expander.expand_all(context)
+        except ReproError:
+            return None
+        new_rows = set(expansion.new_row_indices)
+        kind = kind or choice(self.rng, list(self.program_kinds))
+        for _ in range(6):
+            sampled = self._draw(kind, expansion.expanded_table)
+            if sampled is None:
+                continue
+            rows = {row for row, _ in sampled.result.highlighted_cells}
+            if not (rows & new_rows) or rows <= new_rows:
+                continue
+            evidence = frozenset(
+                (row, column)
+                for row, column in sampled.result.highlighted_cells
+                if row not in new_rows
+            )
+            if self.task is TaskType.FACT_VERIFICATION:
+                claim = self._labeler.label(sampled)
+                return ReasoningSample(
+                    uid=uid,
+                    task=self.task,
+                    context=context,
+                    sentence=realize_human(claim.sample, self.rng),
+                    label=claim.label,
+                    evidence_type=EvidenceType.TABLE_TEXT,
+                    evidence_cells=evidence,
+                    provenance={"source": "gold", "kind": kind.value,
+                                "category": sampled.template.category},
+                )
+            return ReasoningSample(
+                uid=uid,
+                task=self.task,
+                context=context,
+                sentence=realize_human(sampled, self.rng),
+                answer=tuple(sampled.answer),
+                evidence_type=EvidenceType.TABLE_TEXT,
+                evidence_cells=evidence,
+                provenance={"source": "gold", "kind": kind.value,
+                            "category": sampled.template.category},
+            )
+        return None
+
+    # -- unknown claims (SEM-TAB-FACTS / FEVEROUS NEI) ---------------------------
+    def unknown_claim(
+        self, context: TableContext, uid: str, absent_name: str
+    ) -> ReasoningSample | None:
+        """A claim about an entity in neither the table nor the text."""
+        if self.task is not TaskType.FACT_VERIFICATION:
+            return None
+        table = context.table
+        if table.find_row_by_name(absent_name) is not None:
+            return None
+        if absent_name.lower() in context.text.lower():
+            return None
+        numeric = table.numeric_column_names()
+        if not numeric:
+            return None
+        column = choice(self.rng, numeric)
+        value = format_number(float(self.rng.randint(1, 5000)))
+        sentence = choice(self.rng, _UNKNOWN_CLAIM_FORMS).format(
+            column=column, name=absent_name, value=value
+        )
+        return ReasoningSample(
+            uid=uid,
+            task=self.task,
+            context=context,
+            sentence=sentence,
+            label=ClaimLabel.UNKNOWN,
+            evidence_type=EvidenceType.TABLE,
+            provenance={"source": "gold", "kind": "unknown"},
+        )
+
+    # -- internals -----------------------------------------------------------
+    def _draw(self, kind: ProgramKind, table):
+        templates = self._templates.get(kind, [])
+        if not templates:
+            return None
+        for _ in range(6):
+            template = choice(self.rng, templates)
+            sampled = self._sampler.try_sample(template, table)
+            if sampled is not None and passes_all(sampled, self._filters):
+                return sampled
+        return None
+
+    def _maybe_corrupt(self, value: str) -> tuple[str, ClaimLabel]:
+        """Half the text claims are corrupted into Refuted."""
+        if self.rng.random() < 0.5:
+            return str(value), ClaimLabel.SUPPORTED
+        number = coerce_number(str(value))
+        if number is not None:
+            delta = max(1.0, abs(number) * (0.2 + 0.5 * self.rng.random()))
+            sign = 1 if self.rng.random() < 0.5 else -1
+            return format_number(number + sign * delta), ClaimLabel.REFUTED
+        return f"not {value}", ClaimLabel.REFUTED

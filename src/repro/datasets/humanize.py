@@ -1,0 +1,246 @@
+"""Human phrasing bank for gold annotation.
+
+Gold questions and claims must not share their surface wording with the
+UCTR grammar, otherwise the unsupervised model would see the supervised
+distribution verbatim and the paper's supervised/unsupervised gap would
+vanish.  This bank provides annotator-style paraphrases per template
+pattern; patterns without an entry fall back to the grammar (some
+overlap is realistic — annotators also write plain sentences).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.nlgen.grammar import RealizationGrammar, fill_skeleton
+from repro.rng import choice
+from repro.sampling.sampler import SampledProgram
+
+HUMAN_SKELETONS: dict[str, list[str]] = {
+    "select c1 from w where c2 = val1": [
+        "tell me the {c1} whose {c2} equals {val1}",
+        "{val1} corresponds to which {c1} ?",
+        "when the {c2} shows {val1}, what does the {c1} column show ?",
+    ],
+    "select c1 , c2 from w where c3 = val1": [
+        "list both the {c1} and {c2} recorded against {val1}",
+    ],
+    "select c1 from w order by c2 desc limit 1": [
+        "out of all entries, which {c1} tops the {c2} ranking ?",
+        "who or what leads in {c2} among the {c1} column ?",
+    ],
+    "select c1 from w order by c2 asc limit 1": [
+        "out of all entries, which {c1} sits at the bottom of the {c2} ranking ?",
+        "which {c1} trails everyone in {c2} ?",
+    ],
+    "select c1 from w where c2 = val1 order by c3 desc limit 1": [
+        "restricted to {c2} {val1}, which {c1} leads in {c3} ?",
+    ],
+    "select c1 from w order by c2 desc limit n1": [
+        "name the leading {n1} entries of {c1} ranked on {c2}",
+    ],
+    "select c1 from w where c2 > val1": [
+        "which {c1} exceed {val1} in {c2} ?",
+    ],
+    "select c1 from w where c2 < val1": [
+        "which {c1} fall short of {val1} in {c2} ?",
+    ],
+    "select count ( * ) from w where c1 = val1": [
+        "count the entries whose {c1} reads {val1}",
+        "what is the tally of rows showing {val1} under {c1} ?",
+    ],
+    "select count ( * ) from w where c1 > val1": [
+        "count the entries exceeding {val1} in {c1}",
+    ],
+    "select count ( * ) from w where c1 < val1": [
+        "count the entries under {val1} in {c1}",
+    ],
+    "select count ( distinct c1 ) from w": [
+        "how many distinct values appear under {c1} ?",
+    ],
+    "select count ( * ) from w where c1 = val1 and c2 = val2": [
+        "count the rows pairing {c1} {val1} with {c2} {val2}",
+    ],
+    "select sum ( c1 ) from w": [
+        "adding every row, what does {c1} come to ?",
+    ],
+    "select sum ( c1 ) from w where c2 = val1": [
+        "adding the rows for {val1}, what does {c1} come to ?",
+    ],
+    "select avg ( c1 ) from w": [
+        "taking all rows together, what is the typical {c1} ?",
+    ],
+    "select avg ( c1 ) from w where c2 = val1": [
+        "for {val1}, what is the typical {c1} ?",
+    ],
+    "select max ( c1 ) from w": [
+        "what is the single largest {c1} recorded ?",
+    ],
+    "select min ( c1 ) from w": [
+        "what is the single smallest {c1} recorded ?",
+    ],
+    "select max ( c1 ) from w where c2 = val1": [
+        "what is the peak {c1} seen for {val1} ?",
+    ],
+    "select max ( c1 ) - min ( c1 ) from w": [
+        "how far apart are the extremes of {c1} ?",
+    ],
+    "select c1 from w where c2 = val1 and c3 = val2": [
+        "find the {c1} matching both {c2} {val1} and {c3} {val2}",
+    ],
+    "select c1 from w where c2 = val1 and c3 > val2": [
+        "find the {c1} with {c2} {val1} whose {c3} tops {val2}",
+    ],
+    # logical forms -> human claims
+    "eq { hop { filter_eq { all_rows ; c1 ; val1 } ; c2 } ; val2 }": [
+        "according to the table, {val1} shows {val2} under {c2}",
+        "the entry {val1} lists its {c2} as {val2}",
+    ],
+    "eq { count { filter_eq { all_rows ; c1 ; val1 } } ; n1 }": [
+        "exactly {n1} entries carry the {c1} {val1}",
+        "the {c1} {val1} shows up {n1} times overall",
+    ],
+    "eq { count { filter_greater { all_rows ; c1 ; val1 } } ; n1 }": [
+        "exactly {n1} entries top {val1} in {c1}",
+    ],
+    "eq { count { filter_less { all_rows ; c1 ; val1 } } ; n1 }": [
+        "exactly {n1} entries stay under {val1} in {c1}",
+    ],
+    "eq { hop { argmax { all_rows ; c1 } ; c2 } ; val1 }": [
+        "{val1} tops the table in {c1}",
+        "no entry beats {val1} on {c1}",
+    ],
+    "eq { hop { argmin { all_rows ; c1 } ; c2 } ; val1 }": [
+        "{val1} sits last in {c1}",
+        "no entry ranks below {val1} on {c1}",
+    ],
+    "eq { max { all_rows ; c1 } ; val1 }": [
+        "{val1} is the peak value of {c1}",
+    ],
+    "eq { min { all_rows ; c1 } ; val1 }": [
+        "{val1} is the floor value of {c1}",
+    ],
+    "greater { hop { filter_eq { all_rows ; c1 ; val1 } ; c2 } ; "
+    "hop { filter_eq { all_rows ; c1 ; val2 } ; c2 } }": [
+        "{val1} outranks {val2} on {c2}",
+        "on {c2}, {val1} comes out ahead of {val2}",
+    ],
+    "less { hop { filter_eq { all_rows ; c1 ; val1 } ; c2 } ; "
+    "hop { filter_eq { all_rows ; c1 ; val2 } ; c2 } }": [
+        "{val1} trails {val2} on {c2}",
+    ],
+    "round_eq { sum { all_rows ; c1 } ; val1 }": [
+        "summing every row, {c1} lands near {val1}",
+    ],
+    "round_eq { avg { all_rows ; c1 } ; val1 }": [
+        "the typical {c1} sits near {val1}",
+    ],
+    "most_eq { all_rows ; c1 ; val1 }": [
+        "{val1} dominates the {c1} column",
+    ],
+    "all_eq { all_rows ; c1 ; val1 }": [
+        "without exception, {c1} reads {val1}",
+    ],
+    "most_greater { all_rows ; c1 ; val1 }": [
+        "the bulk of entries top {val1} in {c1}",
+    ],
+    "most_less { all_rows ; c1 ; val1 }": [
+        "the bulk of entries stay under {val1} in {c1}",
+    ],
+    "all_greater { all_rows ; c1 ; val1 }": [
+        "without exception, {c1} tops {val1}",
+    ],
+    "only { filter_eq { all_rows ; c1 ; val1 } }": [
+        "{val1} is unique within the {c1} column",
+    ],
+    "eq { nth_max { all_rows ; c1 ; n1 } ; val1 }": [
+        "{val1} ranks {n1} from the top on {c1}",
+    ],
+    "eq { hop { nth_argmax { all_rows ; c1 ; n1 } ; c2 } ; val1 }": [
+        "counting down the {c1} ranking, spot {n1} belongs to {val1}",
+    ],
+    "eq { hop { nth_argmin { all_rows ; c1 ; n1 } ; c2 } ; val1 }": [
+        "counting up from the bottom of the {c1} ranking, spot {n1} belongs to {val1}",
+    ],
+    "and { eq { hop { filter_eq { all_rows ; c1 ; val1 } ; c2 } ; val2 } ; "
+    "eq { hop { filter_eq { all_rows ; c1 ; val1 } ; c3 } ; val3 } }": [
+        "{val1} pairs a {c2} of {val2} with a {c3} of {val3}",
+    ],
+    "round_eq { diff { hop { filter_eq { all_rows ; c1 ; val1 } ; c2 } ; "
+    "hop { filter_eq { all_rows ; c1 ; val2 } ; c2 } } ; val3 }": [
+        "the gap in {c2} between {val1} and {val2} is close to {val3}",
+    ],
+    # arithmetic -> human questions
+    "subtract ( the val1 of c1 , the val2 of c1 )": [
+        "how much bigger is the {c1} for {val1} compared with {val2} ?",
+    ],
+    "subtract ( the val1 of c1 , the val1 of c2 )": [
+        "how did {val1} move between {c2} and {c1} ?",
+    ],
+    "subtract ( the val1 of c1 , the val2 of c1 ) , "
+    "divide ( #0 , the val2 of c1 )": [
+        "in percentage terms, how do {val1} and {val2} differ on {c1} ?",
+    ],
+    "subtract ( the val1 of c1 , the val1 of c2 ) , "
+    "divide ( #0 , the val1 of c2 )": [
+        "what was the percentage change in {val1} between {c2} and {c1} ?",
+        "expressed as a percentage, how did {val1} move from {c2} to {c1} ?",
+    ],
+    "divide ( the val1 of c1 , the val2 of c1 )": [
+        "relative to {val2}, how many times larger is {val1} on {c1} ?",
+    ],
+    "divide ( the val1 of c1 , table_sum ( c1 ) )": [
+        "out of the overall {c1}, what fraction belongs to {val1} ?",
+    ],
+    "add ( the val1 of c1 , the val2 of c1 )": [
+        "taken together, what do {val1} and {val2} amount to in {c1} ?",
+    ],
+    "add ( the val1 of c1 , the val2 of c1 ) , divide ( #0 , const_2 )": [
+        "averaging {val1} and {val2}, what is the {c1} ?",
+    ],
+    "add ( the val1 of c1 , the val1 of c2 )": [
+        "combining {c1} and {c2}, what is the total {val1} ?",
+    ],
+    "table_sum ( c1 )": [
+        "summed over every line, what is {c1} ?",
+    ],
+    "table_average ( c1 )": [
+        "averaged over every line, what is {c1} ?",
+    ],
+    "table_max ( c1 )": [
+        "which value peaks the {c1} column ?",
+    ],
+    "table_min ( c1 )": [
+        "which value bottoms the {c1} column ?",
+    ],
+    "subtract ( table_max ( c1 ) , table_min ( c1 ) )": [
+        "how wide is the spread of {c1} ?",
+    ],
+    "greater ( the val1 of c1 , the val2 of c1 )": [
+        "does {val1} beat {val2} on {c1} ?",
+    ],
+    "greater ( the val1 of c1 , the val1 of c2 )": [
+        "comparing {c1} against {c2}, did {val1} go up ?",
+    ],
+    "divide ( the val1 of c1 , the val1 of c2 ) , "
+    "subtract ( #0 , const_1 )": [
+        "at what rate did {val1} expand between {c2} and {c1} ?",
+    ],
+    "divide ( the val1 of c1 , the val2 of c1 ) , "
+    "multiply ( #0 , const_100 )": [
+        "as a percent of {val2} , where does the {c1} of {val1} stand ?",
+    ],
+    "divide ( the val1 of c1 , the val1 of c2 ) , "
+    "exp ( #0 , const_0_5 ) , subtract ( #1 , const_1 )": [
+        "over the two periods {c2} to {c1} , what compound rate did "
+        "{val1} post ?",
+    ],
+}
+
+
+def realize_human(sample: SampledProgram, rng: random.Random) -> str:
+    """Annotator-style NL for a sampled program."""
+    options = HUMAN_SKELETONS.get(sample.template.pattern)
+    if options and rng.random() < 0.85:
+        return fill_skeleton(choice(rng, options), sample.bindings)
+    return RealizationGrammar().realize(sample, rng)

@@ -1,0 +1,133 @@
+"""Seeded vocabularies for dataset synthesis.
+
+Plain word lists, combined combinatorially by the generators; kept in
+one module so tests can assert coverage and generators stay readable.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.rng import choice
+
+FIRST_NAMES = [
+    "james", "mary", "robert", "patricia", "john", "jennifer", "michael",
+    "linda", "david", "elizabeth", "william", "susan", "richard", "jessica",
+    "joseph", "sarah", "thomas", "karen", "carlos", "nancy", "daniel",
+    "lisa", "matthew", "betty", "anthony", "helen", "mark", "sandra",
+    "kenji", "amara", "priya", "diego", "ingrid", "yusuf", "mei", "omar",
+]
+
+LAST_NAMES = [
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+    "wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+    "lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+    "tanaka", "okafor", "patel", "silva", "larsen", "haddad", "chen",
+]
+
+CITIES = [
+    "springfield", "riverton", "lakeside", "fairview", "greenville",
+    "bristol", "georgetown", "salem", "madison", "clinton", "arlington",
+    "ashland", "burlington", "clayton", "dover", "easton", "franklin",
+    "glendale", "hudson", "kingston", "lebanon", "milton", "newport",
+    "oxford", "princeton", "quincy", "richmond", "sheffield", "troy",
+    "union city", "vernon", "westfield", "york",
+]
+
+COUNTRIES = [
+    "atlantia", "borduria", "carpathia", "deltora", "elbonia", "florin",
+    "genovia", "hyrkania", "illyria", "jotunheim", "krakozhia", "latveria",
+    "moldavia", "novistrana", "orsinia", "pottsylvania", "qumar",
+    "ruritania", "sylvania", "tomainia", "urkesh", "valverde", "wadiya",
+    "zamunda",
+]
+
+TEAMS = [
+    "hawks", "bulls", "heat", "lakers", "celtics", "pistons", "rockets",
+    "spurs", "kings", "suns", "jazz", "magic", "wizards", "pacers",
+    "raptors", "nuggets", "clippers", "grizzlies", "hornets", "pelicans",
+]
+
+PARTIES = [
+    "unity party", "labor alliance", "green coalition", "national front",
+    "liberal union", "reform movement", "progress bloc", "heritage party",
+]
+
+DEPARTMENTS = [
+    "interior", "defense", "finance", "education", "health", "transport",
+    "agriculture", "justice", "energy", "culture", "labor", "environment",
+]
+
+ALBUM_WORDS = [
+    "midnight", "echoes", "horizon", "gravity", "mirage", "ember",
+    "cascade", "aurora", "voltage", "harbor", "monsoon", "prism",
+    "satellite", "wildfire", "labyrinth", "tundra",
+]
+
+FILM_WORDS = [
+    "shadow", "crown", "river", "storm", "garden", "empire", "signal",
+    "harvest", "frontier", "obsidian", "paper", "silent", "golden",
+    "iron", "velvet", "hollow",
+]
+
+GENRES = ["drama", "comedy", "action", "thriller", "documentary", "romance"]
+
+LINE_ITEMS = [
+    "revenue", "cost of sales", "gross profit", "operating expenses",
+    "operating income", "net income", "total assets", "total liabilities",
+    "stockholders equity", "cash and equivalents", "accounts receivable",
+    "inventory", "deferred revenue", "long-term debt", "interest expense",
+    "income tax expense", "research and development", "capital expenditures",
+    "free cash flow", "goodwill",
+]
+
+COMPOUNDS = [
+    "compound a", "compound b", "compound c", "compound d", "compound e",
+    "sample 1", "sample 2", "sample 3", "sample 4", "sample 5",
+    "catalyst x", "catalyst y", "catalyst z", "alloy i", "alloy ii",
+    "polymer p1", "polymer p2", "strain alpha", "strain beta",
+    "strain gamma",
+]
+
+MEASUREMENTS = [
+    "yield", "purity", "melting point", "reaction time", "conversion rate",
+    "selectivity", "density", "viscosity", "absorbance", "particle size",
+    "tensile strength", "conductivity", "recovery", "accuracy",
+]
+
+CONDITIONS = [
+    "baseline", "treatment", "control", "heated", "cooled", "catalyzed",
+    "diluted", "concentrated", "aged", "fresh",
+]
+
+#: topics for the WikiSQL-like benchmark (Figure 1 uses this split).
+WIKI_TOPICS = ["sports", "politics", "music", "film", "geography"]
+
+
+def person_name(rng: random.Random) -> str:
+    return f"{choice(rng, FIRST_NAMES)} {choice(rng, LAST_NAMES)}"
+
+
+def album_title(rng: random.Random) -> str:
+    return f"{choice(rng, ALBUM_WORDS)} {choice(rng, ALBUM_WORDS)}"
+
+
+def film_title(rng: random.Random) -> str:
+    return f"the {choice(rng, FILM_WORDS)} {choice(rng, FILM_WORDS)}"
+
+
+def distinct(rng: random.Random, maker, count: int, max_tries: int = 200) -> list[str]:
+    """``count`` distinct strings from a maker function."""
+    seen: set[str] = set()
+    out: list[str] = []
+    tries = 0
+    while len(out) < count and tries < max_tries:
+        tries += 1
+        candidate = maker(rng)
+        if candidate not in seen:
+            seen.add(candidate)
+            out.append(candidate)
+    while len(out) < count:  # fall back to suffixing
+        out.append(f"{maker(rng)} {len(out)}")
+    return out

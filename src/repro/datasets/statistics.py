@@ -1,0 +1,78 @@
+"""Dataset statistics in the shape of the paper's Table II."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.datasets.base import Benchmark
+from repro.pipelines.samples import TaskType
+
+
+@dataclass(frozen=True)
+class BenchmarkStatistics:
+    """Aggregate statistics of one benchmark (Table II row)."""
+
+    name: str
+    domain: str
+    task: str
+    total_samples: int
+    n_tables: int
+    n_contexts_with_text: int
+    evidence_counts: dict[str, int] = field(default_factory=dict)
+    label_counts: dict[str, int] = field(default_factory=dict)
+    question_type_counts: dict[str, int] = field(default_factory=dict)
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "Dataset": self.name,
+            "Domain": self.domain,
+            "Total Samples": self.total_samples,
+            "Tables": self.n_tables,
+            "Evidence": dict(self.evidence_counts),
+            "Labels/Question Types": dict(self.label_counts)
+            or dict(self.question_type_counts),
+        }
+
+
+def benchmark_statistics(benchmark: Benchmark) -> BenchmarkStatistics:
+    """Compute Table II-style statistics for ``benchmark``."""
+    evidence = Counter()
+    labels = Counter()
+    question_types = Counter()
+    for split in benchmark.splits.values():
+        for sample in split.gold:
+            evidence[sample.evidence_type.value] += 1
+            if sample.task is TaskType.FACT_VERIFICATION:
+                labels[sample.label.value] += 1
+            else:
+                question_types[_question_type(sample.sentence)] += 1
+    with_text = sum(
+        1
+        for split in benchmark.splits.values()
+        for context in split.contexts
+        if context.has_text
+    )
+    return BenchmarkStatistics(
+        name=benchmark.name,
+        domain=benchmark.domain,
+        task=benchmark.task.value,
+        total_samples=benchmark.total_samples,
+        n_tables=benchmark.n_tables,
+        n_contexts_with_text=with_text,
+        evidence_counts=dict(evidence),
+        label_counts=dict(labels),
+        question_type_counts=dict(question_types),
+    )
+
+
+def _question_type(question: str) -> str:
+    """First interrogative word, WikiSQL-style ("What", "How many"...)."""
+    lowered = question.lower()
+    if lowered.startswith("how many") or " how many " in lowered:
+        return "how many"
+    for word in ("what", "which", "who", "when", "where", "how", "name",
+                 "list", "tell", "give", "count", "is", "does", "did"):
+        if lowered.startswith(word):
+            return word
+    return "other"

@@ -1,0 +1,11 @@
+"""Domain-specific table/context generators used by the benchmarks."""
+
+from repro.datasets.synth.wikipedia import make_wiki_context
+from repro.datasets.synth.finance import make_finance_context
+from repro.datasets.synth.science import make_science_context
+
+__all__ = [
+    "make_wiki_context",
+    "make_finance_context",
+    "make_science_context",
+]

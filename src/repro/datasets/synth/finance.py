@@ -1,0 +1,73 @@
+"""Financial-report contexts in the style of TAT-QA's evidence.
+
+Tables are line-item × fiscal-year matrices; paragraphs describe a few
+table rows plus line items that appear *only* in the text (TAT-QA's
+text-evidence questions, and the expansion operator's raw material).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets import naming
+from repro.rng import sample_up_to
+from repro.tables.context import Paragraph, TableContext
+from repro.tables.table import Table
+
+
+def make_finance_context(rng: random.Random, uid: str = "") -> TableContext:
+    """One financial-report table with narrative text."""
+    n_items = rng.randint(4, 7)
+    n_years = rng.randint(2, 3)
+    last_year = rng.randint(2014, 2021)
+    years = [str(last_year - offset) for offset in range(n_years)]
+    items = sample_up_to(rng, naming.LINE_ITEMS, n_items + 2)
+    table_items, text_items = items[:n_items], items[n_items:]
+    rows = []
+    for item in table_items:
+        base = rng.randint(80, 9000)
+        cells = [item]
+        for offset in range(n_years):
+            drift = 1.0 + rng.uniform(-0.25, 0.35) * (offset + 1)
+            cells.append(str(max(10, round(base * drift))))
+        rows.append(cells)
+    table = Table.from_rows(
+        ["item"] + years,
+        rows,
+        title="consolidated financial data",
+        row_name_column="item",
+    )
+    sentences: list[str] = []
+    text_records: list[dict[str, str]] = []
+    # Narrative recap of a couple of table rows.
+    for row_index in rng.sample(range(table.n_rows), k=min(2, table.n_rows)):
+        item = table.row_name(row_index)
+        year = years[rng.randrange(len(years))]
+        value = table.cell(row_index, year).raw
+        sentences.append(f"For {item} , the {year} is {value} .")
+    # Line items only present in the text.
+    for item in text_items:
+        record: dict[str, str] = {"item": item}
+        clauses = []
+        for year in years:
+            value = str(rng.randint(40, 5000))
+            record[year] = value
+            clauses.append(f"the {year} is {value}")
+        sentences.append(f"For {item} , " + " and ".join(clauses) + " .")
+        text_records.append(record)
+    paragraphs = (
+        (Paragraph(text=" ".join(sentences), source="context"),)
+        if sentences
+        else ()
+    )
+    return TableContext(
+        table=table,
+        paragraphs=paragraphs,
+        uid=uid or f"fin-{rng.randrange(10**9)}",
+        meta={
+            "domain": "finance",
+            "topic": "finance",
+            "years": years,
+            "text_records": text_records,
+        },
+    )

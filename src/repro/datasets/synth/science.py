@@ -1,0 +1,63 @@
+"""Scientific-article contexts in the style of SEM-TAB-FACTS evidence.
+
+Tables are sample × measurement matrices from synthetic experiments;
+captions and short paragraphs carry units and conditions.  The science
+vocabulary is deliberately alien to the Wikipedia domain so transfer
+experiments (TAPAS-Transfer, Table V) face a genuine domain gap.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets import naming
+from repro.rng import choice, sample_up_to
+from repro.tables.context import Paragraph, TableContext
+from repro.tables.table import Table
+
+
+def make_science_context(rng: random.Random, uid: str = "") -> TableContext:
+    """One scientific-results table with a caption paragraph."""
+    n_samples = rng.randint(3, 7)
+    n_measures = rng.randint(2, 4)
+    samples = sample_up_to(rng, naming.COMPOUNDS, n_samples + 1)
+    measures = sample_up_to(rng, naming.MEASUREMENTS, n_measures)
+    condition = choice(rng, naming.CONDITIONS)
+    rows = []
+    for sample_name in samples[:n_samples]:
+        cells = [sample_name]
+        for _ in measures:
+            cells.append(f"{rng.uniform(0.5, 99.5):.1f}")
+        rows.append(cells)
+    table = Table.from_rows(
+        ["sample"] + measures,
+        rows,
+        title=f"results under {condition} conditions",
+        row_name_column="sample",
+    )
+    text_records: list[dict[str, str]] = []
+    sentences = [
+        f"Table reports measurements obtained under {condition} conditions ."
+    ]
+    # One sample described only in the running text.
+    extra = samples[n_samples:]
+    for sample_name in extra:
+        record: dict[str, str] = {"sample": sample_name}
+        clauses = []
+        for measure in measures[:2]:
+            value = f"{rng.uniform(0.5, 99.5):.1f}"
+            record[measure] = value
+            clauses.append(f"the {measure} is {value}")
+        sentences.append(f"For {sample_name} , " + " and ".join(clauses) + " .")
+        text_records.append(record)
+    return TableContext(
+        table=table,
+        paragraphs=(Paragraph(text=" ".join(sentences), source="caption"),),
+        uid=uid or f"sci-{rng.randrange(10**9)}",
+        meta={
+            "domain": "science",
+            "topic": "science",
+            "condition": condition,
+            "text_records": text_records,
+        },
+    )

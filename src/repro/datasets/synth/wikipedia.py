@@ -1,0 +1,242 @@
+"""Wikipedia-style tables: sports, politics, music, film, geography.
+
+Each context carries a relational table, one or two surrounding
+paragraphs written in the extractable clause style, and
+``meta["text_records"]`` — records asserted only in the text (the raw
+material for Text-To-Table expansion and for gold text-evidence
+questions).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.datasets import naming
+from repro.rng import choice
+from repro.tables.context import Paragraph, TableContext
+from repro.tables.table import Table
+
+
+def make_wiki_context(
+    rng: random.Random, topic: str | None = None, uid: str = ""
+) -> TableContext:
+    """One Wikipedia-like table context of the given (or random) topic."""
+    topic = topic or choice(rng, naming.WIKI_TOPICS)
+    maker = _TOPIC_MAKERS[topic]
+    table, records = maker(rng)
+    paragraphs, text_records = _write_paragraphs(rng, table, records)
+    return TableContext(
+        table=table,
+        paragraphs=tuple(paragraphs),
+        uid=uid or f"wiki-{topic}-{rng.randrange(10**9)}",
+        meta={"domain": "wikipedia", "topic": topic, "text_records": text_records},
+    )
+
+
+# -- topic table makers --------------------------------------------------------
+
+def _sports(rng: random.Random) -> tuple[Table, list[dict[str, str]]]:
+    n = rng.randint(4, 8)
+    players = naming.distinct(rng, naming.person_name, n + 2)
+    rows = []
+    for player in players[:n]:
+        rows.append(
+            [
+                player,
+                choice(rng, naming.TEAMS),
+                str(rng.randint(2, 40)),
+                str(rng.randint(1, 15)),
+                str(rng.randint(1, 14)),
+            ]
+        )
+    table = Table.from_rows(
+        ["player", "team", "points", "rebounds", "assists"],
+        rows,
+        title="player statistics",
+        row_name_column="player",
+    )
+    extra = [
+        {
+            "player": player,
+            "team": choice(rng, naming.TEAMS),
+            "points": str(rng.randint(2, 40)),
+            "rebounds": str(rng.randint(1, 15)),
+        }
+        for player in players[n:]
+    ]
+    return table, extra
+
+
+def _politics(rng: random.Random) -> tuple[Table, list[dict[str, str]]]:
+    n = rng.randint(4, 8)
+    departments = list(naming.DEPARTMENTS)
+    rng.shuffle(departments)
+    rows = []
+    for department in departments[:n]:
+        rows.append(
+            [
+                department,
+                naming.person_name(rng),
+                choice(rng, naming.PARTIES),
+                str(rng.randint(3, 60)),
+                str(rng.randint(1990, 2022)),
+            ]
+        )
+    table = Table.from_rows(
+        ["department", "minister", "party", "total deputies", "since"],
+        rows,
+        title="cabinet composition",
+        row_name_column="department",
+    )
+    extra = [
+        {
+            "department": department,
+            "minister": naming.person_name(rng),
+            "total deputies": str(rng.randint(3, 60)),
+        }
+        for department in departments[n : n + 2]
+    ]
+    return table, extra
+
+
+def _music(rng: random.Random) -> tuple[Table, list[dict[str, str]]]:
+    n = rng.randint(4, 8)
+    albums = naming.distinct(rng, naming.album_title, n + 2)
+    rows = []
+    for album in albums[:n]:
+        rows.append(
+            [
+                album,
+                naming.person_name(rng),
+                str(rng.randint(1985, 2022)),
+                str(rng.randint(50, 9000)),
+                str(rng.randint(1, 100)),
+            ]
+        )
+    table = Table.from_rows(
+        ["album", "artist", "year", "sales", "peak position"],
+        rows,
+        title="discography",
+        row_name_column="album",
+    )
+    extra = [
+        {
+            "album": album,
+            "artist": naming.person_name(rng),
+            "sales": str(rng.randint(50, 9000)),
+        }
+        for album in albums[n:]
+    ]
+    return table, extra
+
+
+def _film(rng: random.Random) -> tuple[Table, list[dict[str, str]]]:
+    n = rng.randint(4, 8)
+    films = naming.distinct(rng, naming.film_title, n + 2)
+    rows = []
+    for film in films[:n]:
+        rows.append(
+            [
+                film,
+                naming.person_name(rng),
+                choice(rng, naming.GENRES),
+                str(rng.randint(1970, 2022)),
+                str(rng.randint(1, 900)),
+            ]
+        )
+    table = Table.from_rows(
+        ["film", "director", "genre", "year", "gross"],
+        rows,
+        title="filmography",
+        row_name_column="film",
+    )
+    extra = [
+        {
+            "film": film,
+            "director": naming.person_name(rng),
+            "gross": str(rng.randint(1, 900)),
+        }
+        for film in films[n:]
+    ]
+    return table, extra
+
+
+def _geography(rng: random.Random) -> tuple[Table, list[dict[str, str]]]:
+    n = rng.randint(4, 8)
+    cities = list(naming.CITIES)
+    rng.shuffle(cities)
+    rows = []
+    for city in cities[:n]:
+        rows.append(
+            [
+                city,
+                choice(rng, naming.COUNTRIES),
+                str(rng.randint(20, 9000)),
+                str(rng.randint(10, 2000)),
+                str(rng.randint(1, 2800)),
+            ]
+        )
+    table = Table.from_rows(
+        ["city", "country", "population", "area", "elevation"],
+        rows,
+        title="cities overview",
+        row_name_column="city",
+    )
+    extra = [
+        {
+            "city": city,
+            "country": choice(rng, naming.COUNTRIES),
+            "population": str(rng.randint(20, 9000)),
+        }
+        for city in cities[n : n + 2]
+    ]
+    return table, extra
+
+
+_TOPIC_MAKERS: dict[str, Callable] = {
+    "sports": _sports,
+    "politics": _politics,
+    "music": _music,
+    "film": _film,
+    "geography": _geography,
+}
+
+
+# -- paragraph writer ----------------------------------------------------------
+
+def _write_paragraphs(
+    rng: random.Random, table: Table, extra_records: list[dict[str, str]]
+) -> tuple[list[Paragraph], list[dict[str, str]]]:
+    """Describe 1-2 table rows plus the extra (text-only) records."""
+    sentences: list[str] = []
+    name_column = table.row_name_column or table.column_names[0]
+    described_rows = rng.sample(
+        range(table.n_rows), k=min(2, table.n_rows)
+    )
+    for row_index in described_rows:
+        name = table.row_name(row_index)
+        clauses = []
+        for column in table.column_names:
+            if column == name_column:
+                continue
+            cell = table.cell(row_index, column)
+            if cell.is_null or rng.random() < 0.4:
+                continue
+            clauses.append(f"the {column} is {cell.raw}")
+        if clauses:
+            sentences.append(f"For {name} , " + " and ".join(clauses) + " .")
+    kept_records: list[dict[str, str]] = []
+    for record in extra_records:
+        name = record.get(name_column, "")
+        clauses = [
+            f"the {column} is {value}"
+            for column, value in record.items()
+            if column != name_column
+        ]
+        if name and clauses:
+            sentences.append(f"For {name} , " + " and ".join(clauses) + " .")
+            kept_records.append(record)
+    if not sentences:
+        return [], []
+    return [Paragraph(text=" ".join(sentences), source="context")], kept_records

@@ -1,0 +1,93 @@
+"""Exception hierarchy for the UCTR reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single base class at pipeline boundaries.  The data
+generation pipeline (paper Algorithm 1) treats most program-level errors
+as *filter signals*: a program that fails to parse, sample, or execute is
+simply discarded, mirroring the paper's "if the execution result is empty,
+we discard this program" rule.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class TableError(ReproError):
+    """Errors in the table substrate (bad schema, unknown column...)."""
+
+
+class SchemaError(TableError):
+    """A table schema is inconsistent (duplicate columns, ragged rows...)."""
+
+
+class ColumnNotFoundError(TableError):
+    """A referenced column does not exist in the table."""
+
+    def __init__(self, column: str, available: list[str] | None = None):
+        self.column = column
+        self.available = list(available or [])
+        detail = f"column {column!r} not found"
+        if self.available:
+            detail += f" (available: {', '.join(self.available)})"
+        super().__init__(detail)
+
+
+class ValueParseError(TableError):
+    """A raw cell string could not be parsed into the requested type."""
+
+
+class ProgramError(ReproError):
+    """Base class for program (SQL / logical form / arithmetic) errors."""
+
+
+class ProgramParseError(ProgramError):
+    """A program string could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class ProgramExecutionError(ProgramError):
+    """A syntactically valid program failed during execution."""
+
+
+class ProgramTypeError(ProgramExecutionError):
+    """An operator received an argument of the wrong runtime type."""
+
+
+class EmptyResultError(ProgramExecutionError):
+    """Execution produced an empty result; the sample must be discarded."""
+
+
+class TemplateError(ReproError):
+    """Errors in template abstraction or placeholder bookkeeping."""
+
+
+class SamplingError(ReproError):
+    """A program template could not be instantiated on a given table."""
+
+
+class GenerationError(ReproError):
+    """The NL-Generator could not realize a program as natural language."""
+
+
+class OperatorError(ReproError):
+    """Table-To-Text / Text-To-Table operator failures."""
+
+
+class DatasetError(ReproError):
+    """Errors in dataset synthesis or loading."""
+
+
+class ModelError(ReproError):
+    """Errors in model construction, training, or inference."""
+
+
+class EvaluationError(ReproError):
+    """Errors computing evaluation metrics."""

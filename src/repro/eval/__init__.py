@@ -1,0 +1,24 @@
+"""Evaluation metrics for all four benchmarks."""
+
+from repro.eval.metrics import (
+    normalize_answer,
+    exact_match,
+    numeracy_f1,
+    denotation_accuracy,
+    label_accuracy,
+    micro_f1,
+    qa_scores,
+)
+from repro.eval.feverous_score import feverous_score, SimulatedRetriever
+
+__all__ = [
+    "normalize_answer",
+    "exact_match",
+    "numeracy_f1",
+    "denotation_accuracy",
+    "label_accuracy",
+    "micro_f1",
+    "qa_scores",
+    "feverous_score",
+    "SimulatedRetriever",
+]

@@ -1,0 +1,115 @@
+"""Error analysis: per-category and per-evidence score breakdowns.
+
+These are the diagnostics behind the paper's discussion sections (which
+reasoning types a model handles, where synthetic data falls short); the
+development of this reproduction used them heavily, so they ship as a
+supported API.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.eval.metrics import exact_match, label_accuracy, numeracy_f1
+from repro.pipelines.samples import ReasoningSample, TaskType
+
+
+@dataclass(frozen=True)
+class GroupScore:
+    """Score of one sample group."""
+
+    group: str
+    n: int
+    score: float  # accuracy (verification) or F1 (QA), in [0, 100]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.group}: {self.score:.1f} (n={self.n})"
+
+
+@dataclass(frozen=True)
+class Breakdown:
+    """Per-group scores plus the overall number."""
+
+    overall: float
+    groups: tuple[GroupScore, ...] = field(default_factory=tuple)
+
+    def group(self, name: str) -> GroupScore:
+        for entry in self.groups:
+            if entry.group == name:
+                return entry
+        raise KeyError(f"no group named {name!r}")
+
+    def worst(self) -> GroupScore | None:
+        return min(self.groups, key=lambda g: g.score, default=None)
+
+    def best(self) -> GroupScore | None:
+        return max(self.groups, key=lambda g: g.score, default=None)
+
+
+def _group_key(sample: ReasoningSample, by: str) -> str:
+    if by == "category":
+        return str(
+            sample.provenance.get("category")
+            or sample.provenance.get("kind")
+            or "unknown"
+        )
+    if by == "evidence":
+        return sample.evidence_type.value
+    if by == "topic":
+        return str(sample.context.meta.get("topic", "unknown"))
+    raise ValueError(f"unknown grouping {by!r}")
+
+
+def verifier_breakdown(
+    model,
+    samples: list[ReasoningSample],
+    by: str = "category",
+) -> Breakdown:
+    """Label-accuracy breakdown of a verification model."""
+    usable = [s for s in samples if s.label is not None]
+    if not usable:
+        return Breakdown(overall=0.0)
+    predictions = model.predict(usable)
+    per_group: dict[str, list[tuple]] = defaultdict(list)
+    for sample, predicted in zip(usable, predictions):
+        per_group[_group_key(sample, by)].append((predicted, sample.label))
+    groups = tuple(
+        GroupScore(
+            group=name,
+            n=len(pairs),
+            score=label_accuracy([p for p, _ in pairs], [g for _, g in pairs]),
+        )
+        for name, pairs in sorted(per_group.items())
+    )
+    overall = label_accuracy(predictions, [s.label for s in usable])
+    return Breakdown(overall=overall, groups=groups)
+
+
+def qa_breakdown(
+    model,
+    samples: list[ReasoningSample],
+    by: str = "category",
+    metric: str = "f1",
+) -> Breakdown:
+    """EM/F1 breakdown of a QA model."""
+    if not samples:
+        return Breakdown(overall=0.0)
+    scorer = numeracy_f1 if metric == "f1" else exact_match
+    per_group: dict[str, list[float]] = defaultdict(list)
+    scores: list[float] = []
+    for sample in samples:
+        predicted = model.predict(sample)
+        value = scorer(list(predicted), list(sample.answer))
+        scores.append(value)
+        per_group[_group_key(sample, by)].append(value)
+    groups = tuple(
+        GroupScore(
+            group=name,
+            n=len(values),
+            score=100.0 * sum(values) / len(values),
+        )
+        for name, values in sorted(per_group.items())
+    )
+    overall = 100.0 * sum(scores) / len(scores)
+    return Breakdown(overall=overall, groups=groups)

@@ -1,0 +1,141 @@
+"""Metric implementations: EM, numeracy-focused F1, denotation accuracy,
+label accuracy, and 3-way micro F1.
+
+The numeracy-focused F1 follows Li et al. (DROP-style): token-level F1
+with numbers compared numerically rather than lexically, averaged over
+samples; exact match compares normalized answer *sets* so multi-span
+answers are order-insensitive.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Iterable, Sequence
+
+from repro.sampling.labeler import ClaimLabel
+from repro.tables.values import coerce_number, format_number
+
+_ARTICLES_RE = re.compile(r"\b(a|an|the)\b")
+_PUNCT_RE = re.compile(r"[^\w\s.%-]")
+
+
+def normalize_answer(text: str) -> str:
+    """Lowercase, strip punctuation/articles, canonicalize numbers."""
+    lowered = str(text).lower().strip()
+    number = coerce_number(lowered)
+    if number is not None:
+        return format_number(round(number, 4))
+    lowered = _PUNCT_RE.sub(" ", lowered)
+    lowered = _ARTICLES_RE.sub(" ", lowered)
+    return " ".join(lowered.split())
+
+
+def _normalize_set(answers: Iterable[str]) -> tuple[str, ...]:
+    return tuple(sorted(normalize_answer(a) for a in answers))
+
+
+def exact_match(predicted: Sequence[str], gold: Sequence[str]) -> float:
+    """1.0 iff the normalized answer sets coincide."""
+    return float(_normalize_set(predicted) == _normalize_set(gold))
+
+
+def numeracy_f1(predicted: Sequence[str], gold: Sequence[str]) -> float:
+    """Numeracy-focused token F1 between answer strings.
+
+    Numeric answers must match numerically (rounded) to earn credit;
+    textual answers earn partial credit via token overlap.
+    """
+    pred_tokens = _answer_tokens(predicted)
+    gold_tokens = _answer_tokens(gold)
+    if not pred_tokens and not gold_tokens:
+        return 1.0
+    if not pred_tokens or not gold_tokens:
+        return 0.0
+    # If gold is purely numeric, demand numeric equality (DROP-style).
+    gold_numbers = [coerce_number(g) for g in gold]
+    if all(number is not None for number in gold_numbers) and gold_numbers:
+        return exact_match(predicted, gold)
+    common = Counter(pred_tokens) & Counter(gold_tokens)
+    overlap = sum(common.values())
+    if overlap == 0:
+        return 0.0
+    precision = overlap / len(pred_tokens)
+    recall = overlap / len(gold_tokens)
+    return 2 * precision * recall / (precision + recall)
+
+
+def _answer_tokens(answers: Sequence[str]) -> list[str]:
+    tokens: list[str] = []
+    for answer in answers:
+        tokens.extend(normalize_answer(answer).split())
+    return tokens
+
+
+def qa_scores(
+    predictions: Sequence[Sequence[str]], golds: Sequence[Sequence[str]]
+) -> tuple[float, float]:
+    """(EM, F1) averaged over a dataset, both in [0, 100]."""
+    if len(predictions) != len(golds):
+        raise ValueError("predictions and golds must align")
+    if not golds:
+        return 0.0, 0.0
+    em = sum(exact_match(p, g) for p, g in zip(predictions, golds))
+    f1 = sum(numeracy_f1(p, g) for p, g in zip(predictions, golds))
+    return 100.0 * em / len(golds), 100.0 * f1 / len(golds)
+
+
+def denotation_accuracy(
+    predictions: Sequence[Sequence[str]], golds: Sequence[Sequence[str]]
+) -> float:
+    """WikiSQL metric: fraction of exact denotation matches, in [0, 100]."""
+    if len(predictions) != len(golds):
+        raise ValueError("predictions and golds must align")
+    if not golds:
+        return 0.0
+    hits = sum(exact_match(p, g) for p, g in zip(predictions, golds))
+    return 100.0 * hits / len(golds)
+
+
+def label_accuracy(
+    predictions: Sequence[ClaimLabel], golds: Sequence[ClaimLabel]
+) -> float:
+    """Fraction of correct labels, in [0, 100]."""
+    if len(predictions) != len(golds):
+        raise ValueError("predictions and golds must align")
+    if not golds:
+        return 0.0
+    hits = sum(1 for p, g in zip(predictions, golds) if p == g)
+    return 100.0 * hits / len(golds)
+
+
+def micro_f1(
+    predictions: Sequence[ClaimLabel],
+    golds: Sequence[ClaimLabel],
+    labels: Sequence[ClaimLabel] | None = None,
+) -> float:
+    """Multi-class micro-averaged F1, in [0, 100].
+
+    With every instance assigned exactly one of the candidate labels,
+    micro F1 equals accuracy; stated in SEM-TAB-FACTS' terms for parity
+    with the paper's Table V.
+    """
+    if len(predictions) != len(golds):
+        raise ValueError("predictions and golds must align")
+    if not golds:
+        return 0.0
+    considered = set(labels) if labels is not None else set(golds) | set(predictions)
+    tp = fp = fn = 0
+    for predicted, gold in zip(predictions, golds):
+        if predicted in considered and predicted == gold:
+            tp += 1
+        else:
+            if predicted in considered:
+                fp += 1
+            if gold in considered:
+                fn += 1
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    if precision + recall == 0:
+        return 0.0
+    return 100.0 * 2 * precision * recall / (precision + recall)

@@ -1,0 +1,43 @@
+"""Plain-text rendering of result tables (the benchmark harness output)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def render_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Mapping[str, object]],
+) -> str:
+    """Render rows as a fixed-width table, paper style."""
+    widths = {column: len(column) for column in columns}
+    rendered_rows: list[dict[str, str]] = []
+    for row in rows:
+        rendered: dict[str, str] = {}
+        for column in columns:
+            value = row.get(column, "")
+            text = _fmt(value)
+            rendered[column] = text
+            widths[column] = max(widths[column], len(text))
+        rendered_rows.append(rendered)
+    lines = [title]
+    header = " | ".join(column.ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[column] for column in columns))
+    for rendered in rendered_rows:
+        lines.append(
+            " | ".join(rendered[column].ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def em_f1(em: float, f1: float) -> str:
+    """Render the paper's "EM / F1" cell format."""
+    return f"{em:.1f} / {f1:.1f}"

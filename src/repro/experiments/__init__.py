@@ -1,0 +1,11 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every module exposes ``run(scale) -> ExperimentResult`` where ``scale``
+is a :class:`~repro.experiments.config.Scale` preset (``SMOKE`` for
+tests, ``PAPER`` for the full benchmark harness), and results render as
+fixed-width tables mirroring the paper's layout.
+"""
+
+from repro.experiments.config import Scale, SMOKE, PAPER, ExperimentResult
+
+__all__ = ["Scale", "SMOKE", "PAPER", "ExperimentResult"]

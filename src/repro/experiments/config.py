@@ -1,0 +1,183 @@
+"""Scales, shared data workbenches, and result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.datasets import (
+    FeverousConfig,
+    SemTabFactsConfig,
+    TabFactConfig,
+    TatQAConfig,
+    WikiSQLConfig,
+    make_feverous,
+    make_semtabfacts,
+    make_tabfact,
+    make_tatqa,
+    make_wikisql,
+)
+from repro.datasets.base import Benchmark
+from repro.eval.report import render_table
+from repro.mqaqg import MQAQG, MQAQGConfig
+from repro.pipelines import UCTR, UCTRConfig
+from repro.pipelines.samples import ReasoningSample, TaskType
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Experiment size preset.
+
+    ``factor`` multiplies the default context counts of each benchmark;
+    ``synth_per_context`` sets UCTR / MQA-QG generation volume.
+    """
+
+    name: str
+    factor: float = 1.0
+    synth_per_context: int = 16
+    fewshot_k: int = 50
+    seed: int = 11
+
+    def scaled(self, count: int, minimum: int = 8) -> int:
+        return max(minimum, round(count * self.factor))
+
+
+#: tiny preset for unit/integration tests.
+SMOKE = Scale(name="smoke", factor=0.18, synth_per_context=8, fewshot_k=20)
+
+#: the full harness preset used by the benchmark suite.
+PAPER = Scale(name="paper", factor=1.0, synth_per_context=16, fewshot_k=50)
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Rows of one regenerated table/figure plus rendering metadata."""
+
+    experiment: str
+    title: str
+    columns: tuple[str, ...]
+    rows: tuple[Mapping[str, Any], ...]
+    notes: str = ""
+
+    def render(self) -> str:
+        text = render_table(self.title, list(self.columns), list(self.rows))
+        if self.notes:
+            text += f"\n({self.notes})"
+        return text
+
+    def cell(self, row_label: str, column: str, label_key: str = "Model") -> Any:
+        for row in self.rows:
+            if str(row.get(label_key)) == row_label:
+                return row.get(column)
+        raise KeyError(f"no row labeled {row_label!r}")
+
+
+# -- shared data workbench ---------------------------------------------------
+
+_BENCH_CACHE: dict[tuple[str, str], Benchmark] = {}
+_SYNTH_CACHE: dict[tuple[str, str, str], list[ReasoningSample]] = {}
+
+
+def benchmark(name: str, scale: Scale) -> Benchmark:
+    """Build (or fetch cached) one benchmark at the given scale."""
+    key = (name, scale.name)
+    if key in _BENCH_CACHE:
+        return _BENCH_CACHE[key]
+    if name == "feverous":
+        config = FeverousConfig(
+            train_contexts=scale.scaled(140),
+            dev_contexts=scale.scaled(45),
+            test_contexts=scale.scaled(45),
+        )
+        built = make_feverous(config)
+    elif name == "tatqa":
+        config = TatQAConfig(
+            train_contexts=scale.scaled(70),
+            dev_contexts=scale.scaled(30),
+            test_contexts=scale.scaled(30),
+        )
+        built = make_tatqa(config)
+    elif name == "wikisql":
+        config = WikiSQLConfig(
+            train_contexts=scale.scaled(150),
+            dev_contexts=scale.scaled(45),
+            test_contexts=scale.scaled(45),
+        )
+        built = make_wikisql(config)
+    elif name == "semtabfacts":
+        config = SemTabFactsConfig(
+            train_contexts=scale.scaled(45),
+            dev_contexts=scale.scaled(25),
+            test_contexts=scale.scaled(25),
+        )
+        built = make_semtabfacts(config)
+    elif name == "tabfact":
+        built = make_tabfact(
+            TabFactConfig(train_contexts=scale.scaled(180))
+        )
+    else:
+        raise ValueError(f"unknown benchmark {name!r}")
+    _BENCH_CACHE[key] = built
+    return built
+
+
+_PROGRAM_KINDS = {
+    "feverous": ("logic",),
+    "semtabfacts": ("logic",),
+    "wikisql": ("sql",),
+    "tatqa": ("sql", "arith"),
+}
+
+
+def uctr_synthetic(
+    name: str,
+    scale: Scale,
+    variant: str = "full",
+) -> list[ReasoningSample]:
+    """UCTR synthetic training data for one benchmark.
+
+    ``variant``: "full" (both operators) or "no_t2t" (w/o Table-To-Text
+    and Text-To-Table — the ablation row of Tables III/VIII).
+    """
+    key = (name, scale.name, variant)
+    if key in _SYNTH_CACHE:
+        return _SYNTH_CACHE[key]
+    bench = benchmark(name, scale)
+    use_t2t = variant == "full"
+    config = UCTRConfig(
+        program_kinds=_PROGRAM_KINDS[name],
+        use_table_to_text=use_t2t,
+        use_text_to_table=use_t2t,
+        samples_per_context=scale.synth_per_context,
+        seed=scale.seed,
+    )
+    framework = UCTR(config)
+    contexts = list(bench.train.contexts)
+    framework.fit(contexts)
+    samples = framework.generate(contexts)
+    _SYNTH_CACHE[key] = samples
+    return samples
+
+
+def mqaqg_synthetic(name: str, scale: Scale) -> list[ReasoningSample]:
+    """MQA-QG baseline synthetic data for one benchmark."""
+    key = (name, scale.name, "mqaqg")
+    if key in _SYNTH_CACHE:
+        return _SYNTH_CACHE[key]
+    bench = benchmark(name, scale)
+    generator = MQAQG(
+        MQAQGConfig(
+            task=bench.task,
+            samples_per_context=scale.synth_per_context,
+            seed=scale.seed,
+        )
+    )
+    samples = generator.generate(list(bench.train.contexts))
+    _SYNTH_CACHE[key] = samples
+    return samples
+
+
+def clear_caches() -> None:
+    """Drop all cached benchmarks and synthetic corpora (tests)."""
+    _BENCH_CACHE.clear()
+    _SYNTH_CACHE.clear()

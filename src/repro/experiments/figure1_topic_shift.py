@@ -1,0 +1,54 @@
+"""Figure 1 — performance degrades on topics unseen during training.
+
+Chemmengath et al.'s motivating observation, reproduced on the
+WikiSQL-like benchmark: for each topic, compare a model trained on all
+topics against a model trained with that topic held out, both evaluated
+on the held-out topic's dev questions.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import naming
+from repro.experiments.config import ExperimentResult, Scale, benchmark
+from repro.pipelines.samples import ReasoningSample
+from repro.train import TrainingPlan, evaluate_qa, train_qa
+
+COLUMNS = ("Topic", "Seen-topic Acc", "Unseen-topic Acc", "Drop")
+
+
+def run(scale: Scale, topics: tuple[str, ...] | None = None) -> ExperimentResult:
+    bench = benchmark("wikisql", scale)
+    gold_train = list(bench.train.gold)
+    dev = list(bench.dev.gold)
+    topics = topics or tuple(naming.WIKI_TOPICS[:3])
+    full_model = train_qa(TrainingPlan.supervised(gold_train))
+    rows = []
+    for topic in topics:
+        eval_set = [s for s in dev if _topic(s) == topic]
+        if len(eval_set) < 5:
+            continue
+        held_out_train = [s for s in gold_train if _topic(s) != topic]
+        if not held_out_train:
+            continue
+        held_out_model = train_qa(TrainingPlan.supervised(held_out_train))
+        seen = evaluate_qa(full_model, eval_set).denotation
+        unseen = evaluate_qa(held_out_model, eval_set).denotation
+        rows.append(
+            {
+                "Topic": topic,
+                "Seen-topic Acc": seen,
+                "Unseen-topic Acc": unseen,
+                "Drop": seen - unseen,
+            }
+        )
+    return ExperimentResult(
+        experiment="figure1",
+        title="Figure 1: topic-shift degradation on WikiSQL-like QA",
+        columns=COLUMNS,
+        rows=tuple(rows),
+        notes="Seen = trained on all topics; Unseen = topic held out of training",
+    )
+
+
+def _topic(sample: ReasoningSample) -> str:
+    return str(sample.context.meta.get("topic", ""))

@@ -1,0 +1,79 @@
+"""Run every experiment and render the full report.
+
+Usage::
+
+    python -m repro.experiments.runner [--scale smoke|paper] [--only table3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.experiments import PAPER, SMOKE, ExperimentResult, Scale
+from repro.experiments import (  # noqa: F401 (registry imports)
+    ablation_autogen,
+    analysis_diversity,
+    figure1_topic_shift,
+    figure5_data_curve,
+    table2_statistics,
+    table3_tatqa,
+    table4_feverous,
+    table5_semtabfacts,
+    table6_wikisql,
+    table7_augmentation,
+    table8_ablation,
+    table9_examples,
+)
+
+REGISTRY: dict[str, Callable[[Scale], ExperimentResult]] = {
+    "table2": table2_statistics.run,
+    "table3": table3_tatqa.run,
+    "table4": table4_feverous.run,
+    "table5": table5_semtabfacts.run,
+    "table6": table6_wikisql.run,
+    "table7": table7_augmentation.run,
+    "table8": table8_ablation.run,
+    "table9": table9_examples.run,
+    "figure1": figure1_topic_shift.run,
+    "figure5": figure5_data_curve.run,
+    # extensions beyond the paper's tables
+    "diversity": analysis_diversity.run,
+    "autogen": ablation_autogen.run,
+}
+
+
+def run_all(
+    scale: Scale, only: list[str] | None = None
+) -> dict[str, ExperimentResult]:
+    """Execute the selected experiments; returns results by id."""
+    names = only or list(REGISTRY)
+    results: dict[str, ExperimentResult] = {}
+    for name in names:
+        if name not in REGISTRY:
+            raise KeyError(f"unknown experiment {name!r}")
+        results[name] = REGISTRY[name](scale)
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("smoke", "paper"), default="paper")
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="experiment ids (default: all)")
+    args = parser.parse_args(argv)
+    scale = SMOKE if args.scale == "smoke" else PAPER
+    started = time.time()
+    results = run_all(scale, args.only)
+    for name, result in results.items():
+        print()
+        print(result.render())
+    print(f"\ncompleted {len(results)} experiments in "
+          f"{time.time() - started:.1f}s at scale {scale.name!r}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

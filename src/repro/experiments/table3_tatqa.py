@@ -1,0 +1,88 @@
+"""Table III — results on the development set of TAT-QA.
+
+Rows (mirroring the paper):
+
+* Supervised: Text-Span only, Table-Cell only, TAGOP.
+* Unsupervised: MQA-QG, UCTR w/o T2T, UCTR.
+* Few-shot: TAGOP (50 labels), TAGOP + UCTR.
+
+Columns: EM/F1 per evidence type (Table, Table-Text, Text) and Total.
+"""
+
+from __future__ import annotations
+
+from repro.eval.report import em_f1
+from repro.experiments.config import (
+    ExperimentResult,
+    Scale,
+    benchmark,
+    mqaqg_synthetic,
+    uctr_synthetic,
+)
+from repro.models.qa import QAConfig
+from repro.pipelines.samples import EvidenceType, ReasoningSample
+from repro.train import TrainingPlan, evaluate_qa, few_shot_subset, train_qa
+
+COLUMNS = ("Setting", "Model", "Table", "Table-Text", "Text", "Total")
+
+_EVIDENCE_ORDER = (
+    ("Table", EvidenceType.TABLE),
+    ("Table-Text", EvidenceType.TABLE_TEXT),
+    ("Text", EvidenceType.TEXT),
+)
+
+
+def run(scale: Scale) -> ExperimentResult:
+    bench = benchmark("tatqa", scale)
+    gold_train = list(bench.train.gold)
+    dev = list(bench.dev.gold)
+    synthetic = uctr_synthetic("tatqa", scale)
+    synthetic_flat = uctr_synthetic("tatqa", scale, variant="no_t2t")
+    mqaqg = mqaqg_synthetic("tatqa", scale)
+    shots = few_shot_subset(gold_train, k=scale.fewshot_k, seed=scale.seed)
+
+    models = [
+        ("Supervised", "Text-Span only",
+         train_qa(TrainingPlan.supervised(gold_train),
+                  QAConfig(answer_source="text"))),
+        ("Supervised", "Table-Cell only",
+         train_qa(TrainingPlan.supervised(gold_train),
+                  QAConfig(answer_source="table"))),
+        ("Supervised", "TAGOP",
+         train_qa(TrainingPlan.supervised(gold_train))),
+        ("Unsupervised", "MQA-QG",
+         train_qa(TrainingPlan.unsupervised(mqaqg))),
+        ("Unsupervised", "UCTR -w/o T2T",
+         train_qa(TrainingPlan.unsupervised(synthetic_flat))),
+        ("Unsupervised", "UCTR",
+         train_qa(TrainingPlan.unsupervised(synthetic))),
+        ("Few-Shot", "TAGOP",
+         train_qa(TrainingPlan.supervised(shots))),
+        ("Few-Shot", "TAGOP+UCTR",
+         train_qa(TrainingPlan.few_shot(synthetic, shots))),
+    ]
+    rows = [
+        _evaluate_row(setting, label, model, dev)
+        for setting, label, model in models
+    ]
+    return ExperimentResult(
+        experiment="table3",
+        title="Table III: results on the development set of TAT-QA (EM / F1)",
+        columns=COLUMNS,
+        rows=tuple(rows),
+        notes=f"{len(gold_train)} gold train, {len(synthetic)} UCTR synthetic, "
+              f"{scale.fewshot_k}-shot",
+    )
+
+
+def _evaluate_row(
+    setting: str, label: str, model, dev: list[ReasoningSample]
+) -> dict[str, str]:
+    row: dict[str, str] = {"Setting": setting, "Model": label}
+    for column, evidence_type in _EVIDENCE_ORDER:
+        subset = [s for s in dev if s.evidence_type is evidence_type]
+        scores = evaluate_qa(model, subset)
+        row[column] = em_f1(scores.em, scores.f1)
+    total = evaluate_qa(model, dev)
+    row["Total"] = em_f1(total.em, total.f1)
+    return row

@@ -1,0 +1,91 @@
+"""Table VIII — ablations on the development set of TAT-QA.
+
+Settings (data source × program type), mirroring the paper's grid:
+
+* A1 — Table source, SQL only.
+* A2 — Text source, SQL only.
+* A3 — Table + Text sources, SQL only.
+* A4 — Table + Text sources, Arithmetic only.
+* A5 — Table + Text sources, SQL + Arithmetic (no joint Table<->Text
+  samples; the "UCTR w/o T2T" configuration).
+* A6 — everything: joint table-text samples included (full UCTR).
+
+Expected ordering: A1/A2 weak, A3 better, A4 > A3 (arithmetic dominates
+TAT-QA), A5 strong, A6 best — especially on the Table-Text column.
+"""
+
+from __future__ import annotations
+
+from repro.eval.report import em_f1
+from repro.experiments.config import (
+    ExperimentResult,
+    Scale,
+    benchmark,
+    uctr_synthetic,
+)
+from repro.pipelines.samples import EvidenceType, ReasoningSample
+from repro.train import TrainingPlan, evaluate_qa, train_qa
+
+COLUMNS = ("Setting", "Data Source", "Program Type", "Table", "Table-Text",
+           "Text", "Total")
+
+_SETTINGS = (
+    ("A1", ("table",), ("sql",)),
+    ("A2", ("text",), ("sql",)),
+    ("A3", ("table", "text"), ("sql",)),
+    ("A4", ("table", "text"), ("arith",)),
+    ("A5", ("table", "text"), ("sql", "arith")),
+    ("A6", ("table", "text", "table-text"), ("sql", "arith")),
+)
+
+
+def run(scale: Scale) -> ExperimentResult:
+    bench = benchmark("tatqa", scale)
+    dev = list(bench.dev.gold)
+    pool = uctr_synthetic("tatqa", scale)
+    rows = []
+    for name, sources, kinds in _SETTINGS:
+        subset = select_subset(pool, sources, kinds)
+        if not subset:
+            continue
+        model = train_qa(TrainingPlan.unsupervised(subset))
+        row = {
+            "Setting": name,
+            "Data Source": "+".join(sources),
+            "Program Type": "+".join(kinds),
+        }
+        for column, evidence in (
+            ("Table", EvidenceType.TABLE),
+            ("Table-Text", EvidenceType.TABLE_TEXT),
+            ("Text", EvidenceType.TEXT),
+        ):
+            scores = evaluate_qa(
+                model, [s for s in dev if s.evidence_type is evidence]
+            )
+            row[column] = em_f1(scores.em, scores.f1)
+        total = evaluate_qa(model, dev)
+        row["Total"] = em_f1(total.em, total.f1)
+        rows.append(row)
+    return ExperimentResult(
+        experiment="table8",
+        title="Table VIII: ablations on the development set of TAT-QA",
+        columns=COLUMNS,
+        rows=tuple(rows),
+        notes=f"pool of {len(pool)} UCTR synthetic samples",
+    )
+
+
+def select_subset(
+    pool: list[ReasoningSample],
+    sources: tuple[str, ...],
+    kinds: tuple[str, ...],
+) -> list[ReasoningSample]:
+    """Filter the synthetic pool by evidence source and program kind."""
+    wanted_sources = set(sources)
+    wanted_kinds = set(kinds)
+    return [
+        sample
+        for sample in pool
+        if sample.evidence_type.value in wanted_sources
+        and sample.provenance.get("program_kind") in wanted_kinds
+    ]

@@ -1,0 +1,69 @@
+"""JSONL persistence for contexts and reasoning samples.
+
+The on-disk interchange format: one JSON object per line, written by
+:func:`write_jsonl` and friends.  Everything round-trips through the
+``to_json``/``from_json`` pairs on the data classes, so synthetic
+corpora can be generated once and shared between experiments or
+exported for external training stacks.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.errors import DatasetError
+from repro.pipelines.samples import ReasoningSample
+from repro.tables.context import TableContext
+
+
+def write_jsonl(path: str | Path, records: Iterable[dict]) -> int:
+    """Write dict records as JSONL; returns the number written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, ensure_ascii=False))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str | Path) -> Iterator[dict]:
+    """Yield dict records from a JSONL file."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"no such file: {path}")
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                yield json.loads(stripped)
+            except json.JSONDecodeError as error:
+                raise DatasetError(
+                    f"{path}:{line_number}: invalid JSON ({error})"
+                ) from error
+
+
+def save_samples(path: str | Path, samples: Iterable[ReasoningSample]) -> int:
+    """Persist reasoning samples (synthetic or gold) as JSONL."""
+    return write_jsonl(path, (sample.to_json() for sample in samples))
+
+
+def load_samples(path: str | Path) -> list[ReasoningSample]:
+    """Load reasoning samples written by :func:`save_samples`."""
+    return [ReasoningSample.from_json(record) for record in read_jsonl(path)]
+
+
+def save_contexts(path: str | Path, contexts: Iterable[TableContext]) -> int:
+    """Persist unlabeled table-text contexts as JSONL."""
+    return write_jsonl(path, (context.to_json() for context in contexts))
+
+
+def load_contexts(path: str | Path) -> list[TableContext]:
+    """Load contexts written by :func:`save_contexts`."""
+    return [TableContext.from_json(record) for record in read_jsonl(path)]

@@ -1,0 +1,37 @@
+"""Downstream tabular reasoning models (numpy stand-ins for the paper's
+TAGOP / FEVEROUS-baseline / TAPAS / TAPEX).
+
+All models share one recipe: a task-specific featurizer that turns a
+(sentence, table, text) triple into a dense vector of engineered
+reasoning signals plus hashed lexical features, and a small numpy MLP
+trained with Adam.  What the paper's pre-trained transformers learn from
+data — which reasoning signals matter for which wording — these models
+must also learn from data, which is exactly the property the UCTR
+experiments measure.
+"""
+
+from repro.models.nn import MLP, MLPConfig, AdamState
+from repro.models.features import (
+    VerificationFeaturizer,
+    tokenize,
+    extract_numbers,
+)
+from repro.models.verifier import FactVerifier, VerifierConfig
+from repro.models.qa import TagOpQA, QAConfig, CandidateGenerator
+from repro.models.baselines import RandomVerifier, MajorityVerifier
+
+__all__ = [
+    "MLP",
+    "MLPConfig",
+    "AdamState",
+    "VerificationFeaturizer",
+    "tokenize",
+    "extract_numbers",
+    "FactVerifier",
+    "VerifierConfig",
+    "TagOpQA",
+    "QAConfig",
+    "CandidateGenerator",
+    "RandomVerifier",
+    "MajorityVerifier",
+]

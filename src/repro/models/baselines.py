@@ -1,0 +1,77 @@
+"""Trivial and transfer baselines used across the result tables."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+from repro.models.verifier import FactVerifier, VerifierConfig
+from repro.pipelines.samples import ReasoningSample
+from repro.rng import make_rng
+from repro.sampling.labeler import ClaimLabel
+
+
+class RandomVerifier:
+    """The "Random" row of Tables IV/V: a uniform label guesser."""
+
+    def __init__(self, three_way: bool = False, seed: int = 0):
+        self._labels = (
+            [ClaimLabel.SUPPORTED, ClaimLabel.REFUTED, ClaimLabel.UNKNOWN]
+            if three_way
+            else [ClaimLabel.SUPPORTED, ClaimLabel.REFUTED]
+        )
+        self._rng = make_rng(seed)
+
+    def predict(self, samples: list[ReasoningSample]) -> list[ClaimLabel]:
+        return [
+            self._labels[self._rng.randrange(len(self._labels))]
+            for _ in samples
+        ]
+
+    def accuracy(self, samples: list[ReasoningSample]) -> float:
+        usable = [s for s in samples if s.label is not None]
+        if not usable:
+            return 0.0
+        predictions = self.predict(usable)
+        return sum(
+            1 for s, p in zip(usable, predictions) if s.label == p
+        ) / len(usable)
+
+
+class MajorityVerifier:
+    """Always predicts the most frequent training label."""
+
+    def __init__(self) -> None:
+        self._majority = ClaimLabel.SUPPORTED
+
+    def fit(self, samples: list[ReasoningSample]) -> "MajorityVerifier":
+        counts = Counter(s.label for s in samples if s.label is not None)
+        if counts:
+            self._majority = counts.most_common(1)[0][0]
+        return self
+
+    def predict(self, samples: list[ReasoningSample]) -> list[ClaimLabel]:
+        return [self._majority for _ in samples]
+
+    def accuracy(self, samples: list[ReasoningSample]) -> float:
+        usable = [s for s in samples if s.label is not None]
+        if not usable:
+            return 0.0
+        return sum(1 for s in usable if s.label == self._majority) / len(usable)
+
+
+def transfer_verifier(
+    source_samples: list[ReasoningSample],
+    three_way: bool = True,
+    seed: int = 0,
+) -> FactVerifier:
+    """TAPAS-Transfer: train on another benchmark, apply directly.
+
+    The paper trains on TABFACT (2-way, Wikipedia) and evaluates on
+    SEM-TAB-FACTS (3-way, science); we keep the 3-way head so the model
+    *can* emit Unknown but has never seen one, reproducing the label-gap
+    handicap the paper describes.
+    """
+    verifier = FactVerifier(VerifierConfig(three_way=three_way, seed=seed))
+    verifier.fit(source_samples)
+    return verifier

@@ -1,0 +1,191 @@
+"""Minimal neural-network layer: an MLP with Adam, in pure numpy.
+
+Supports multi-class softmax classification and binary logistic
+scoring; enough for every downstream model in this reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class MLPConfig:
+    """Architecture and optimization hyper-parameters."""
+
+    input_dim: int
+    hidden_dims: tuple[int, ...] = (64,)
+    n_classes: int = 2
+    learning_rate: float = 1e-3
+    weight_decay: float = 1e-5
+    batch_size: int = 64
+    epochs: int = 30
+    patience: int = 5
+    seed: int = 0
+
+
+@dataclass
+class AdamState:
+    """First/second moment buffers for one parameter tensor."""
+
+    m: np.ndarray
+    v: np.ndarray
+    t: int = 0
+
+    @staticmethod
+    def like(param: np.ndarray) -> "AdamState":
+        return AdamState(m=np.zeros_like(param), v=np.zeros_like(param))
+
+    def step(
+        self, param: np.ndarray, grad: np.ndarray, lr: float,
+        beta1: float = 0.9, beta2: float = 0.999, eps: float = 1e-8,
+    ) -> np.ndarray:
+        self.t += 1
+        self.m = beta1 * self.m + (1 - beta1) * grad
+        self.v = beta2 * self.v + (1 - beta2) * grad * grad
+        m_hat = self.m / (1 - beta1**self.t)
+        v_hat = self.v / (1 - beta2**self.t)
+        return param - lr * m_hat / (np.sqrt(v_hat) + eps)
+
+
+class MLP:
+    """A feed-forward classifier with ReLU hidden layers."""
+
+    def __init__(self, config: MLPConfig):
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        dims = [config.input_dim, *config.hidden_dims, config.n_classes]
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        for fan_in, fan_out in zip(dims[:-1], dims[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            self.weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+        self._adam_w = [AdamState.like(w) for w in self.weights]
+        self._adam_b = [AdamState.like(b) for b in self.biases]
+
+    # -- forward / predict -----------------------------------------------------
+    def forward(self, x: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Logits plus per-layer activations (for backprop)."""
+        activations = [x]
+        h = x
+        for index, (w, b) in enumerate(zip(self.weights, self.biases)):
+            h = h @ w + b
+            if index < len(self.weights) - 1:
+                h = np.maximum(h, 0.0)
+            activations.append(h)
+        return h, activations
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        logits, _ = self.forward(np.asarray(x, dtype=np.float64))
+        return _softmax(logits)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return np.argmax(self.predict_proba(x), axis=1)
+
+    def scores(self, x: np.ndarray) -> np.ndarray:
+        """Positive-class logit margin (binary models)."""
+        logits, _ = self.forward(np.asarray(x, dtype=np.float64))
+        if self.config.n_classes != 2:
+            raise ModelError("scores() requires a binary model")
+        return logits[:, 1] - logits[:, 0]
+
+    # -- training ----------------------------------------------------------------
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        x_val: np.ndarray | None = None,
+        y_val: np.ndarray | None = None,
+        sample_weight: np.ndarray | None = None,
+        verbose: bool = False,
+    ) -> "MLP":
+        """Train with mini-batch Adam and early stopping on val loss."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if x.ndim != 2 or x.shape[1] != self.config.input_dim:
+            raise ModelError(
+                f"expected input of width {self.config.input_dim}, got "
+                f"{x.shape}"
+            )
+        if len(x) == 0:
+            raise ModelError("cannot fit on an empty dataset")
+        weights = (
+            np.ones(len(x))
+            if sample_weight is None
+            else np.asarray(sample_weight, dtype=np.float64)
+        )
+        rng = np.random.default_rng(self.config.seed + 1)
+        best_loss = np.inf
+        best_params: tuple[list[np.ndarray], list[np.ndarray]] | None = None
+        stall = 0
+        for epoch in range(self.config.epochs):
+            order = rng.permutation(len(x))
+            for start in range(0, len(x), self.config.batch_size):
+                batch = order[start : start + self.config.batch_size]
+                self._step(x[batch], y[batch], weights[batch])
+            if x_val is not None and y_val is not None and len(x_val):
+                loss = self.loss(x_val, y_val)
+            else:
+                loss = self.loss(x, y)
+            if verbose:  # pragma: no cover - debug aid
+                print(f"epoch {epoch}: loss {loss:.4f}")
+            if loss < best_loss - 1e-5:
+                best_loss = loss
+                best_params = (
+                    [w.copy() for w in self.weights],
+                    [b.copy() for b in self.biases],
+                )
+                stall = 0
+            else:
+                stall += 1
+                if stall >= self.config.patience:
+                    break
+        if best_params is not None:
+            self.weights, self.biases = best_params
+        return self
+
+    def loss(self, x: np.ndarray, y: np.ndarray) -> float:
+        proba = self.predict_proba(x)
+        eps = 1e-12
+        return float(-np.mean(np.log(proba[np.arange(len(y)), y] + eps)))
+
+    def _step(self, x: np.ndarray, y: np.ndarray, w: np.ndarray) -> None:
+        logits, activations = self.forward(x)
+        proba = _softmax(logits)
+        n = len(x)
+        grad = proba.copy()
+        grad[np.arange(n), y] -= 1.0
+        grad *= (w / max(w.sum(), 1e-9))[:, None]
+        # Backprop through the layers in reverse.
+        for index in reversed(range(len(self.weights))):
+            a_in = activations[index]
+            grad_w = a_in.T @ grad + self.config.weight_decay * self.weights[index]
+            grad_b = grad.sum(axis=0)
+            if index > 0:
+                grad = grad @ self.weights[index].T
+                grad *= (activations[index] > 0).astype(np.float64)
+            self.weights[index] = self._adam_w[index].step(
+                self.weights[index], grad_w, self.config.learning_rate
+            )
+            self.biases[index] = self._adam_b[index].step(
+                self.biases[index], grad_b, self.config.learning_rate
+            )
+
+    # -- persistence helpers -------------------------------------------------------
+    def clone(self) -> "MLP":
+        """A deep copy with fresh optimizer state (for fine-tuning)."""
+        twin = MLP(self.config)
+        twin.weights = [w.copy() for w in self.weights]
+        twin.biases = [b.copy() for b in self.biases]
+        return twin
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)

@@ -1,0 +1,130 @@
+"""Fact-verification model (FEVEROUS baseline / TAPAS stand-in)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.models.features import VerificationFeaturizer
+from repro.models.nn import MLP, MLPConfig
+from repro.pipelines.samples import ReasoningSample
+from repro.sampling.labeler import ClaimLabel
+
+
+@dataclass(frozen=True)
+class VerifierConfig:
+    """Hyper-parameters of the verification classifier."""
+
+    three_way: bool = False  # include the Unknown class (SEM-TAB-FACTS)
+    hidden_dims: tuple[int, ...] = (64,)
+    learning_rate: float = 2e-3
+    epochs: int = 40
+    patience: int = 6
+    batch_size: int = 64
+    seed: int = 0
+
+
+class FactVerifier:
+    """Claim classifier over engineered verification features.
+
+    Plays the role of the FEVEROUS full-baseline verdict predictor and
+    of fine-tuned TAPAS: an encoder (here, the featurizer) followed by a
+    trained classification head.
+    """
+
+    def __init__(self, config: VerifierConfig | None = None):
+        self.config = config or VerifierConfig()
+        self.featurizer = VerificationFeaturizer()
+        self._labels = (
+            [ClaimLabel.SUPPORTED, ClaimLabel.REFUTED, ClaimLabel.UNKNOWN]
+            if self.config.three_way
+            else [ClaimLabel.SUPPORTED, ClaimLabel.REFUTED]
+        )
+        self._index = {label: i for i, label in enumerate(self._labels)}
+        self._mlp = MLP(
+            MLPConfig(
+                input_dim=self.featurizer.dim,
+                hidden_dims=self.config.hidden_dims,
+                n_classes=len(self._labels),
+                learning_rate=self.config.learning_rate,
+                epochs=self.config.epochs,
+                patience=self.config.patience,
+                batch_size=self.config.batch_size,
+                seed=self.config.seed,
+            )
+        )
+
+    @property
+    def labels(self) -> list[ClaimLabel]:
+        return list(self._labels)
+
+    # -- training -----------------------------------------------------------
+    def fit(
+        self,
+        samples: list[ReasoningSample],
+        val_samples: list[ReasoningSample] | None = None,
+    ) -> "FactVerifier":
+        x, y = self._xy(samples)
+        x_val, y_val = (None, None)
+        if val_samples:
+            x_val, y_val = self._xy(val_samples)
+        self._mlp.fit(x, y, x_val=x_val, y_val=y_val)
+        return self
+
+    def fine_tune(
+        self,
+        samples: list[ReasoningSample],
+        epochs: int | None = None,
+    ) -> "FactVerifier":
+        """Continue training on labeled samples.
+
+        Few-shot budgets get a gentle pass (low LR, few epochs) so the
+        synthetic pre-training is adapted rather than overwritten.
+        """
+        x, y = self._xy(samples)
+        gentle = len(samples) < 100
+        tuned = self._mlp.clone()
+        tuned.config = MLPConfig(
+            **{
+                **tuned.config.__dict__,
+                "learning_rate": self._mlp.config.learning_rate
+                * (0.15 if gentle else 0.5),
+                "epochs": epochs
+                or (5 if gentle else max(10, self._mlp.config.epochs // 2)),
+            }
+        )
+        tuned.fit(x, y)
+        self._mlp = tuned
+        return self
+
+    # -- inference ------------------------------------------------------------
+    def predict(self, samples: list[ReasoningSample]) -> list[ClaimLabel]:
+        if not samples:
+            return []
+        x = self.featurizer.matrix(samples)
+        indices = self._mlp.predict(x)
+        return [self._labels[i] for i in indices]
+
+    def accuracy(self, samples: list[ReasoningSample]) -> float:
+        """Label accuracy over ``samples``."""
+        usable = [s for s in samples if s.label in self._index]
+        if not usable:
+            return 0.0
+        predictions = self.predict(usable)
+        hits = sum(
+            1
+            for sample, predicted in zip(usable, predictions)
+            if sample.label == predicted
+        )
+        return hits / len(usable)
+
+    # -- internals ---------------------------------------------------------------
+    def _xy(self, samples: list[ReasoningSample]) -> tuple[np.ndarray, np.ndarray]:
+        usable = [s for s in samples if s.label in self._index]
+        if not usable:
+            raise ModelError("no trainable samples with supported labels")
+        x = self.featurizer.matrix(usable)
+        y = np.array([self._index[s.label] for s in usable], dtype=np.int64)
+        return x, y

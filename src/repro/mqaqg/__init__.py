@@ -1,0 +1,13 @@
+"""MQA-QG baseline (Pan et al., 2020) — shallow unsupervised generation.
+
+MQA-QG finds a bridge entity linking the table and the text, verbalizes
+the bridge row with ``DescribeEnt``, and composes simple questions or
+claims from single facts.  Its defining limitation — the paper's whole
+point of comparison — is that it "cannot integrate the information from
+multiple rows using complex underlying logic": every generated sample is
+a single-cell lookup.
+"""
+
+from repro.mqaqg.generator import MQAQG, MQAQGConfig
+
+__all__ = ["MQAQG", "MQAQGConfig"]

@@ -1,0 +1,138 @@
+"""The MQA-QG data generator: single-fact questions and claims."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.features import tokenize
+from repro.operators.table_to_text import TableToText
+from repro.pipelines.samples import EvidenceType, ReasoningSample, TaskType
+from repro.rng import choice, make_rng
+from repro.sampling.labeler import ClaimLabel
+from repro.tables.context import TableContext
+from repro.tables.values import coerce_number, format_number
+
+_QUESTION_FORMS = [
+    "what is the {column} of {name} ?",
+    "what {column} does {name} have ?",
+    "tell me the {column} for {name}",
+]
+
+_CLAIM_FORMS = [
+    "the {column} of {name} is {value}",
+    "{name} has a {column} of {value}",
+]
+
+
+@dataclass(frozen=True)
+class MQAQGConfig:
+    """Generation shape for the baseline."""
+
+    task: TaskType = TaskType.QUESTION_ANSWERING
+    samples_per_context: int = 4
+    seed: int = 0
+
+
+class MQAQG:
+    """Shallow unsupervised generator: bridge entity + DescribeEnt."""
+
+    def __init__(self, config: MQAQGConfig | None = None):
+        self.config = config or MQAQGConfig()
+        self._rng = make_rng(self.config.seed)
+        self._describe = TableToText(min_described_cells=2)
+
+    def generate(self, contexts: list[TableContext]) -> list[ReasoningSample]:
+        out: list[ReasoningSample] = []
+        for context in contexts:
+            out.extend(self._for_context(context))
+        return out
+
+    def _for_context(self, context: TableContext) -> list[ReasoningSample]:
+        table = context.table
+        if table.n_rows == 0 or table.n_columns < 2:
+            return []
+        out: list[ReasoningSample] = []
+        name_column = table.row_name_column or table.column_names[0]
+        bridge_rows = self._bridge_rows(context)
+        for serial in range(self.config.samples_per_context):
+            if bridge_rows and self._rng.random() < 0.5:
+                row_index = choice(self._rng, bridge_rows)
+                evidence_type = EvidenceType.TABLE_TEXT
+            else:
+                row_index = self._rng.randrange(table.n_rows)
+                evidence_type = EvidenceType.TABLE
+            columns = [c for c in table.column_names if c != name_column]
+            if not columns:
+                continue
+            column = choice(self._rng, columns)
+            cell = table.cell(row_index, column)
+            if cell.is_null:
+                continue
+            name = table.row_name(row_index)
+            uid = f"{context.uid}-mqaqg-{serial}"
+            if self.config.task is TaskType.QUESTION_ANSWERING:
+                sentence = choice(self._rng, _QUESTION_FORMS).format(
+                    column=column, name=name
+                )
+                out.append(
+                    ReasoningSample(
+                        uid=uid,
+                        task=self.config.task,
+                        context=context,
+                        sentence=sentence,
+                        answer=(cell.raw,),
+                        evidence_type=evidence_type,
+                        evidence_cells=frozenset({(row_index, column)}),
+                        provenance={"pipeline": "mqaqg", "category": "lookup"},
+                    )
+                )
+            else:
+                value, label = self._maybe_corrupt(table, row_index, column)
+                sentence = choice(self._rng, _CLAIM_FORMS).format(
+                    column=column, name=name, value=value
+                )
+                out.append(
+                    ReasoningSample(
+                        uid=uid,
+                        task=self.config.task,
+                        context=context,
+                        sentence=sentence,
+                        label=label,
+                        evidence_type=evidence_type,
+                        evidence_cells=frozenset({(row_index, column)}),
+                        provenance={"pipeline": "mqaqg", "category": "lookup"},
+                    )
+                )
+        return out
+
+    def _bridge_rows(self, context: TableContext) -> list[int]:
+        """Rows whose name also appears in the text (bridge entities)."""
+        if not context.has_text:
+            return []
+        text_tokens = set(tokenize(context.text))
+        bridges: list[int] = []
+        for row_index in range(context.table.n_rows):
+            name_tokens = set(tokenize(context.table.row_name(row_index)))
+            if name_tokens and name_tokens <= text_tokens:
+                bridges.append(row_index)
+        return bridges
+
+    def _maybe_corrupt(
+        self, table, row_index: int, column: str
+    ) -> tuple[str, ClaimLabel]:
+        cell = table.cell(row_index, column)
+        if self._rng.random() < 0.5:
+            return cell.raw, ClaimLabel.SUPPORTED
+        number = coerce_number(cell.raw)
+        if number is not None:
+            delta = max(1.0, abs(number) * (0.2 + 0.5 * self._rng.random()))
+            sign = 1 if self._rng.random() < 0.5 else -1
+            return format_number(number + sign * delta), ClaimLabel.REFUTED
+        others = [
+            value.raw
+            for value in table.distinct_values(column)
+            if value.raw != cell.raw
+        ]
+        if others:
+            return choice(self._rng, others), ClaimLabel.REFUTED
+        return cell.raw, ClaimLabel.SUPPORTED

@@ -1,0 +1,30 @@
+"""NL-Generator: programs → natural-language questions and claims.
+
+The paper fine-tunes BART/GPT-2 on program↔NL parallel corpora (SQUALL,
+Logic2Text, FinQA) and applies the model to new programs (Section IV-D,
+Eq. 8).  Offline we substitute a trainable *skeleton-induction* model:
+
+* :mod:`repro.nlgen.grammar` — a compositional realization grammar that
+  plays the role of the human annotators: it produces fluent NL for a
+  program, with several phrasings per template.
+* :mod:`repro.nlgen.corpus` — builds the parallel corpora the model is
+  trained on (our stand-ins for SQUALL / Logic2Text / FinQA).
+* :mod:`repro.nlgen.model` — the learned generator: it induces NL
+  skeletons per program signature from the aligned pairs and realizes
+  new programs by skeleton lookup + slot filling, with a noise channel
+  reproducing the paper's observed generation errors (Table IX).
+"""
+
+from repro.nlgen.grammar import RealizationGrammar, realize
+from repro.nlgen.corpus import AlignedPair, build_parallel_corpus
+from repro.nlgen.model import NLGenerator, NLGeneratorConfig, train_nl_generator
+
+__all__ = [
+    "RealizationGrammar",
+    "realize",
+    "AlignedPair",
+    "build_parallel_corpus",
+    "NLGenerator",
+    "NLGeneratorConfig",
+    "train_nl_generator",
+]

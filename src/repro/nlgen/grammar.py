@@ -1,0 +1,480 @@
+"""Compositional realization grammar: program → fluent NL.
+
+Each built-in template pattern maps to several NL skeletons whose slots
+are the template's placeholder names; programs abstracted from unseen
+templates fall back to a compositional realizer that verbalizes the AST
+operator by operator.  The grammar stands in for the human side of the
+SQUALL/Logic2Text/FinQA parallel corpora.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import GenerationError
+from repro.programs.base import ProgramKind
+from repro.rng import choice
+from repro.sampling.sampler import SampledProgram
+
+#: NL skeletons per built-in template pattern.  Slots use {name} syntax.
+SKELETONS: dict[str, list[str]] = {
+    # ------------------------------------------------------------- SQL
+    "select c1 from w where c2 = val1": [
+        "what is the {c1} when the {c2} is {val1} ?",
+        "which {c1} has a {c2} of {val1} ?",
+        "what was the {c1} for {val1} ?",
+        "name the {c1} with {c2} of {val1}",
+    ],
+    "select c1 , c2 from w where c3 = val1": [
+        "what are the {c1} and the {c2} when the {c3} is {val1} ?",
+        "give the {c1} and {c2} for {val1}",
+    ],
+    "select c1 from w order by c2 desc limit 1": [
+        "which {c1} has the highest {c2} ?",
+        "what is the {c1} with the most {c2} ?",
+        "which {c1} has the greatest {c2} ?",
+    ],
+    "select c1 from w order by c2 asc limit 1": [
+        "which {c1} has the lowest {c2} ?",
+        "what is the {c1} with the least {c2} ?",
+        "which {c1} has the smallest {c2} ?",
+    ],
+    "select c1 from w where c2 = val1 order by c3 desc limit 1": [
+        "among rows where the {c2} is {val1} , which {c1} has the highest {c3} ?",
+        "which {c1} with {c2} {val1} has the most {c3} ?",
+    ],
+    "select c1 from w order by c2 desc limit n1": [
+        "what are the top {n1} {c1} by {c2} ?",
+        "list the {n1} {c1} with the highest {c2}",
+    ],
+    "select c1 from w where c2 > val1": [
+        "which {c1} have a {c2} greater than {val1} ?",
+        "what {c1} have more than {val1} {c2} ?",
+    ],
+    "select c1 from w where c2 < val1": [
+        "which {c1} have a {c2} less than {val1} ?",
+        "what {c1} have fewer than {val1} {c2} ?",
+    ],
+    "select count ( * ) from w where c1 = val1": [
+        "how many rows have a {c1} of {val1} ?",
+        "how many times does {val1} appear as the {c1} ?",
+        "how many entries have {c1} {val1} ?",
+    ],
+    "select count ( * ) from w where c1 > val1": [
+        "how many rows have a {c1} above {val1} ?",
+        "how many entries have more than {val1} {c1} ?",
+    ],
+    "select count ( * ) from w where c1 < val1": [
+        "how many rows have a {c1} below {val1} ?",
+        "how many entries have less than {val1} {c1} ?",
+    ],
+    "select count ( distinct c1 ) from w": [
+        "how many different {c1} are there ?",
+        "how many unique {c1} are listed ?",
+    ],
+    "select count ( * ) from w where c1 = val1 and c2 = val2": [
+        "how many rows have a {c1} of {val1} and a {c2} of {val2} ?",
+        "how many entries have {c1} {val1} with {c2} {val2} ?",
+    ],
+    "select sum ( c1 ) from w": [
+        "what is the total {c1} ?",
+        "what is the sum of all {c1} ?",
+    ],
+    "select sum ( c1 ) from w where c2 = val1": [
+        "what is the total {c1} when the {c2} is {val1} ?",
+        "what is the combined {c1} for {val1} ?",
+    ],
+    "select avg ( c1 ) from w": [
+        "what is the average {c1} ?",
+        "what is the mean {c1} across all rows ?",
+    ],
+    "select avg ( c1 ) from w where c2 = val1": [
+        "what is the average {c1} when the {c2} is {val1} ?",
+        "what is the mean {c1} for {val1} ?",
+    ],
+    "select max ( c1 ) from w": [
+        "what is the highest {c1} ?",
+        "what is the maximum {c1} ?",
+    ],
+    "select min ( c1 ) from w": [
+        "what is the lowest {c1} ?",
+        "what is the minimum {c1} ?",
+    ],
+    "select max ( c1 ) from w where c2 = val1": [
+        "what is the highest {c1} when the {c2} is {val1} ?",
+        "what is the best {c1} recorded for {val1} ?",
+    ],
+    "select max ( c1 ) - min ( c1 ) from w": [
+        "what is the difference between the highest and the lowest {c1} ?",
+        "by how much does the largest {c1} exceed the smallest ?",
+    ],
+    "select c1 from w where c2 = val1 and c3 = val2": [
+        "what is the {c1} when the {c2} is {val1} and the {c3} is {val2} ?",
+        "which {c1} has {c2} {val1} and {c3} {val2} ?",
+    ],
+    "select c1 from w where c2 = val1 and c3 > val2": [
+        "which {c1} has a {c2} of {val1} and a {c3} above {val2} ?",
+        "what {c1} with {c2} {val1} has more than {val2} {c3} ?",
+    ],
+    # ---------------------------------------------------- logical forms
+    "eq { hop { filter_eq { all_rows ; c1 ; val1 } ; c2 } ; val2 }": [
+        "the {c2} of the row whose {c1} is {val1} is {val2}",
+        "{val1} has a {c2} of {val2}",
+        "for {val1} , the {c2} is {val2}",
+    ],
+    "eq { count { filter_eq { all_rows ; c1 ; val1 } } ; n1 }": [
+        "there are {n1} rows with a {c1} of {val1}",
+        "{val1} appears {n1} times in the {c1} column",
+        "a total of {n1} entries have {c1} {val1}",
+    ],
+    "eq { count { filter_greater { all_rows ; c1 ; val1 } } ; n1 }": [
+        "there are {n1} rows with a {c1} above {val1}",
+        "{n1} entries have more than {val1} {c1}",
+    ],
+    "eq { count { filter_less { all_rows ; c1 ; val1 } } ; n1 }": [
+        "there are {n1} rows with a {c1} below {val1}",
+        "{n1} entries have less than {val1} {c1}",
+    ],
+    "eq { hop { argmax { all_rows ; c1 } ; c2 } ; val1 }": [
+        "the row with the highest {c1} has a {c2} of {val1}",
+        "{val1} has the highest {c1}",
+        "{val1} records the greatest {c1}",
+    ],
+    "eq { hop { argmin { all_rows ; c1 } ; c2 } ; val1 }": [
+        "the row with the lowest {c1} has a {c2} of {val1}",
+        "{val1} has the lowest {c1}",
+        "{val1} records the smallest {c1}",
+    ],
+    "eq { max { all_rows ; c1 } ; val1 }": [
+        "the highest {c1} is {val1}",
+        "the maximum {c1} recorded is {val1}",
+    ],
+    "eq { min { all_rows ; c1 } ; val1 }": [
+        "the lowest {c1} is {val1}",
+        "the minimum {c1} recorded is {val1}",
+    ],
+    "greater { hop { filter_eq { all_rows ; c1 ; val1 } ; c2 } ; "
+    "hop { filter_eq { all_rows ; c1 ; val2 } ; c2 } }": [
+        "{val1} has a higher {c2} than {val2}",
+        "the {c2} of {val1} is greater than that of {val2}",
+    ],
+    "less { hop { filter_eq { all_rows ; c1 ; val1 } ; c2 } ; "
+    "hop { filter_eq { all_rows ; c1 ; val2 } ; c2 } }": [
+        "{val1} has a lower {c2} than {val2}",
+        "the {c2} of {val1} is smaller than that of {val2}",
+    ],
+    "round_eq { sum { all_rows ; c1 } ; val1 }": [
+        "the total {c1} is about {val1}",
+        "all rows together have a combined {c1} of roughly {val1}",
+    ],
+    "round_eq { avg { all_rows ; c1 } ; val1 }": [
+        "the average {c1} is about {val1}",
+        "on average the {c1} is roughly {val1}",
+    ],
+    "most_eq { all_rows ; c1 ; val1 }": [
+        "most rows have a {c1} of {val1}",
+        "the majority of entries have {c1} {val1}",
+    ],
+    "all_eq { all_rows ; c1 ; val1 }": [
+        "all rows have a {c1} of {val1}",
+        "every entry has {c1} {val1}",
+    ],
+    "most_greater { all_rows ; c1 ; val1 }": [
+        "most rows have a {c1} above {val1}",
+        "the majority of entries have more than {val1} {c1}",
+    ],
+    "most_less { all_rows ; c1 ; val1 }": [
+        "most rows have a {c1} below {val1}",
+        "the majority of entries have less than {val1} {c1}",
+    ],
+    "all_greater { all_rows ; c1 ; val1 }": [
+        "all rows have a {c1} above {val1}",
+        "every entry has more than {val1} {c1}",
+    ],
+    "only { filter_eq { all_rows ; c1 ; val1 } }": [
+        "only one row has a {c1} of {val1}",
+        "{val1} appears exactly once in the {c1} column",
+    ],
+    "eq { nth_max { all_rows ; c1 ; n1 } ; val1 }": [
+        "the {n1} highest {c1} is {val1}",
+        "ranked by {c1} , position {n1} holds the value {val1}",
+    ],
+    "eq { hop { nth_argmax { all_rows ; c1 ; n1 } ; c2 } ; val1 }": [
+        "the row with the {n1} highest {c1} has a {c2} of {val1}",
+        "{val1} ranks number {n1} by {c1}",
+    ],
+    "eq { hop { nth_argmin { all_rows ; c1 ; n1 } ; c2 } ; val1 }": [
+        "the row with the {n1} lowest {c1} has a {c2} of {val1}",
+        "{val1} ranks number {n1} from the bottom by {c1}",
+    ],
+    "and { eq { hop { filter_eq { all_rows ; c1 ; val1 } ; c2 } ; val2 } ; "
+    "eq { hop { filter_eq { all_rows ; c1 ; val1 } ; c3 } ; val3 } }": [
+        "{val1} has a {c2} of {val2} and a {c3} of {val3}",
+        "for {val1} , the {c2} is {val2} and the {c3} is {val3}",
+    ],
+    "round_eq { diff { hop { filter_eq { all_rows ; c1 ; val1 } ; c2 } ; "
+    "hop { filter_eq { all_rows ; c1 ; val2 } ; c2 } } ; val3 }": [
+        "the {c2} of {val1} exceeds that of {val2} by about {val3}",
+        "{val1} has roughly {val3} more {c2} than {val2}",
+    ],
+    # ------------------------------------------------------- arithmetic
+    "subtract ( the val1 of c1 , the val2 of c1 )": [
+        "what is the difference in {c1} between {val1} and {val2} ?",
+        "by how much does the {c1} of {val1} exceed that of {val2} ?",
+    ],
+    "subtract ( the val1 of c1 , the val1 of c2 )": [
+        "what was the change in {val1} from {c2} to {c1} ?",
+        "how much did {val1} change between {c2} and {c1} ?",
+    ],
+    "subtract ( the val1 of c1 , the val2 of c1 ) , "
+    "divide ( #0 , the val2 of c1 )": [
+        "what is the percentage difference in {c1} between {val1} and {val2} ?",
+        "by what percentage does the {c1} of {val1} differ from {val2} ?",
+    ],
+    "subtract ( the val1 of c1 , the val1 of c2 ) , "
+    "divide ( #0 , the val1 of c2 )": [
+        "what was the percentage change in {val1} from {c2} to {c1} ?",
+        "by what percentage did {val1} change between {c2} and {c1} ?",
+    ],
+    "divide ( the val1 of c1 , the val2 of c1 )": [
+        "what is the ratio of the {c1} of {val1} to that of {val2} ?",
+        "how many times larger is the {c1} of {val1} than that of {val2} ?",
+    ],
+    "divide ( the val1 of c1 , table_sum ( c1 ) )": [
+        "what proportion of the total {c1} does {val1} account for ?",
+        "what share of the overall {c1} comes from {val1} ?",
+    ],
+    "add ( the val1 of c1 , the val2 of c1 )": [
+        "what is the combined {c1} of {val1} and {val2} ?",
+        "what is the sum of the {c1} for {val1} and {val2} ?",
+    ],
+    "add ( the val1 of c1 , the val2 of c1 ) , divide ( #0 , const_2 )": [
+        "what is the average {c1} of {val1} and {val2} ?",
+        "what is the mean {c1} across {val1} and {val2} ?",
+    ],
+    "add ( the val1 of c1 , the val1 of c2 )": [
+        "what is the total {val1} across {c1} and {c2} ?",
+        "what is the combined {val1} for {c1} and {c2} ?",
+    ],
+    "table_sum ( c1 )": [
+        "what is the total {c1} ?",
+        "what is the sum of the {c1} column ?",
+    ],
+    "table_average ( c1 )": [
+        "what is the average {c1} ?",
+        "what is the mean value of the {c1} column ?",
+    ],
+    "table_max ( c1 )": [
+        "what is the highest {c1} ?",
+        "what is the largest value in the {c1} column ?",
+    ],
+    "table_min ( c1 )": [
+        "what is the lowest {c1} ?",
+        "what is the smallest value in the {c1} column ?",
+    ],
+    "subtract ( table_max ( c1 ) , table_min ( c1 ) )": [
+        "what is the range of the {c1} column ?",
+        "what is the gap between the highest and lowest {c1} ?",
+    ],
+    "greater ( the val1 of c1 , the val2 of c1 )": [
+        "is the {c1} of {val1} greater than that of {val2} ?",
+        "does {val1} have a higher {c1} than {val2} ?",
+    ],
+    "greater ( the val1 of c1 , the val1 of c2 )": [
+        "was {val1} higher in {c1} than in {c2} ?",
+        "did {val1} increase from {c2} to {c1} ?",
+    ],
+    "divide ( the val1 of c1 , the val1 of c2 ) , "
+    "subtract ( #0 , const_1 )": [
+        "what was the growth rate of {val1} from {c2} to {c1} ?",
+        "by what rate did {val1} grow between {c2} and {c1} ?",
+    ],
+    "divide ( the val1 of c1 , the val2 of c1 ) , "
+    "multiply ( #0 , const_100 )": [
+        "what percentage is the {c1} of {val1} relative to {val2} ?",
+        "expressed in percent , what is the {c1} of {val1} over {val2} ?",
+    ],
+    "divide ( the val1 of c1 , the val1 of c2 ) , "
+    "exp ( #0 , const_0_5 ) , subtract ( #1 , const_1 )": [
+        "what was the compound growth rate of {val1} from {c2} to {c1} ?",
+        "what annualized growth did {val1} achieve between {c2} and {c1} ?",
+    ],
+}
+
+
+class RealizationGrammar:
+    """Realizes sampled programs as NL using skeletons + fallbacks."""
+
+    def __init__(self, skeletons: dict[str, list[str]] | None = None):
+        self._skeletons = dict(SKELETONS if skeletons is None else skeletons)
+
+    def skeletons_for(self, pattern: str) -> list[str]:
+        return list(self._skeletons.get(pattern, []))
+
+    def realize(
+        self, sample: SampledProgram, rng: random.Random
+    ) -> str:
+        """One NL rendering of ``sample`` (random phrasing)."""
+        options = self._skeletons.get(sample.template.pattern)
+        if options:
+            skeleton = choice(rng, options)
+            return fill_skeleton(skeleton, sample.bindings)
+        return self.fallback(sample)
+
+    def fallback(self, sample: SampledProgram) -> str:
+        """Compositional realization for unknown templates."""
+        if sample.kind is ProgramKind.SQL:
+            return _fallback_sql(sample)
+        if sample.kind is ProgramKind.LOGIC:
+            return _fallback_logic(sample)
+        return _fallback_arith(sample)
+
+
+def fill_skeleton(skeleton: str, bindings: dict[str, str]) -> str:
+    """Substitute {slot} markers; raises on unbound slots."""
+    out = skeleton
+    for name, value in bindings.items():
+        out = out.replace("{" + name + "}", value)
+    if "{" in out and "}" in out:
+        raise GenerationError(f"unfilled slot in skeleton {skeleton!r}")
+    return _tidy(out)
+
+
+def realize(sample: SampledProgram, rng: random.Random) -> str:
+    """Module-level convenience wrapper around the default grammar."""
+    return RealizationGrammar().realize(sample, rng)
+
+
+def _tidy(text: str) -> str:
+    text = " ".join(text.split())
+    text = text.replace(" ?", "?").replace(" ,", ",")
+    return text
+
+
+# -- compositional fallbacks --------------------------------------------------
+
+def _fallback_sql(sample: SampledProgram) -> str:
+    from repro.programs.sql.ast import ArithmeticItem, ColumnItem
+
+    query = sample.program.query  # type: ignore[attr-defined]
+    head_parts: list[str] = []
+    for item in query.items:
+        if isinstance(item, ArithmeticItem):
+            op_word = "plus" if item.op == "+" else "minus"
+            head_parts.append(
+                f"the {_item_phrase(item.left)} {op_word} the "
+                f"{_item_phrase(item.right)}"
+            )
+        else:
+            head_parts.append(f"the {_item_phrase(item)}")
+    question = "what is " + " and ".join(head_parts)
+    clauses = [
+        f"the {condition.column} is "
+        f"{'' if condition.op.value == '=' else condition.op.value + ' '}"
+        f"{condition.literal.raw}"
+        for condition in query.conditions
+    ]
+    if clauses:
+        question += " when " + " and ".join(clauses)
+    if query.order is not None:
+        direction = "highest" if query.order.descending else "lowest"
+        question += f" ordered by the {direction} {query.order.column}"
+    return _tidy(question + " ?")
+
+
+def _item_phrase(item) -> str:
+    words = {
+        "count": "number of",
+        "sum": "total",
+        "avg": "average",
+        "min": "lowest",
+        "max": "highest",
+    }
+    if item.aggregate is None:
+        return item.column
+    noun = "rows" if item.column == "*" else item.column
+    return f"{words[item.aggregate.value]} {noun}"
+
+
+def _fallback_logic(sample: SampledProgram) -> str:
+    from repro.programs.logic.parser import LogicNode
+
+    def verbalize(node) -> str:
+        if not isinstance(node, LogicNode):
+            return str(node)
+        op = node.op
+        args = [verbalize(arg) for arg in node.args]
+        phrasing = {
+            "filter_eq": "the rows whose {0} is {1}",
+            "filter_not_eq": "the rows whose {0} is not {1}",
+            "filter_greater": "the rows whose {0} is above {1}",
+            "filter_less": "the rows whose {0} is below {1}",
+            "filter_greater_eq": "the rows whose {0} is at least {1}",
+            "filter_less_eq": "the rows whose {0} is at most {1}",
+            "filter_all": "the rows with a {0}",
+            "count": "the number of {0}",
+            "only": "there is exactly one of {0}",
+            "hop": "the {1} of {0}",
+            "max": "the highest {1} among {0}",
+            "min": "the lowest {1} among {0}",
+            "sum": "the total {1} among {0}",
+            "avg": "the average {1} among {0}",
+            "argmax": "the row of {0} with the highest {1}",
+            "argmin": "the row of {0} with the lowest {1}",
+            "nth_max": "the {2} highest {1} among {0}",
+            "nth_min": "the {2} lowest {1} among {0}",
+            "nth_argmax": "the row of {0} with the {2} highest {1}",
+            "nth_argmin": "the row of {0} with the {2} lowest {1}",
+            "eq": "{0} is {1}",
+            "not_eq": "{0} is not {1}",
+            "round_eq": "{0} is about {1}",
+            "greater": "{0} is greater than {1}",
+            "less": "{0} is less than {1}",
+            "diff": "the difference between {0} and {1}",
+            "add": "the sum of {0} and {1}",
+            "and": "{0} and {1}",
+            "or": "{0} or {1}",
+            "not": "it is not the case that {0}",
+            "all_eq": "all of {0} have a {1} of {2}",
+            "all_not_eq": "none of {0} have a {1} of {2}",
+            "all_greater": "all of {0} have a {1} above {2}",
+            "all_less": "all of {0} have a {1} below {2}",
+            "most_eq": "most of {0} have a {1} of {2}",
+            "most_not_eq": "most of {0} do not have a {1} of {2}",
+            "most_greater": "most of {0} have a {1} above {2}",
+            "most_less": "most of {0} have a {1} below {2}",
+        }
+        template = phrasing.get(op)
+        if template is None:
+            return f"{op} of " + " and ".join(args)
+        args = ["all rows" if a == "all_rows" else a for a in args]
+        return template.format(*args)
+
+    return _tidy(verbalize(sample.program.root))  # type: ignore[attr-defined]
+
+
+def _fallback_arith(sample: SampledProgram) -> str:
+    words = {
+        "add": "the sum of {0} and {1}",
+        "subtract": "the difference between {0} and {1}",
+        "multiply": "the product of {0} and {1}",
+        "divide": "the ratio of {0} to {1}",
+        "greater": "whether {0} is greater than {1}",
+        "exp": "{0} raised to the power of {1}",
+        "table_max": "the highest value of {0}",
+        "table_min": "the lowest value of {0}",
+        "table_sum": "the total of {0}",
+        "table_average": "the average of {0}",
+    }
+    steps = sample.program.steps  # type: ignore[attr-defined]
+    described: list[str] = []
+    for step in steps:
+        args = []
+        for arg in step.args:
+            text = arg.text()
+            if text.startswith("#"):
+                args.append(described[int(text[1:])])
+            else:
+                args.append(text)
+        described.append(words[step.op].format(*args))
+    return _tidy(f"what is {described[-1]} ?")

@@ -1,0 +1,183 @@
+"""The trainable NL-Generator (BART stand-in).
+
+The model learns, from aligned pairs, a distribution over NL *skeletons*
+per program pattern: each training sentence is abstracted by replacing
+the aligned binding surfaces with slot tokens, and the resulting
+skeletons are counted.  Generation samples a learned skeleton for the
+program's pattern and fills the slots with the program's own bindings.
+
+Two deliberate imperfections mirror fine-tuned-seq2seq behaviour the
+paper documents (Table IX shows both faithful and partially mismatched
+generations):
+
+* skeletons whose training sentence failed to align every slot are kept
+  (information loss), and
+* a configurable noise channel occasionally swaps a slot's surface for
+  a same-column distractor (information mismatch).
+
+Patterns never seen in training back off to the nearest trained pattern
+by token overlap, and finally to the compositional grammar.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.errors import GenerationError
+from repro.nlgen.corpus import AlignedPair
+from repro.nlgen.grammar import RealizationGrammar, fill_skeleton
+from repro.programs.base import ProgramKind
+from repro.rng import weighted_choice
+from repro.sampling.sampler import SampledProgram
+
+
+@dataclass(frozen=True)
+class NLGeneratorConfig:
+    """Hyper-parameters of the skeleton-induction generator."""
+
+    #: probability of corrupting one slot at generation time.
+    noise_rate: float = 0.0
+    #: drop learned skeletons seen fewer than this many times.
+    min_count: int = 1
+    #: cap on stored skeletons per pattern (most frequent kept).
+    max_skeletons_per_pattern: int = 12
+
+
+@dataclass
+class _PatternModel:
+    skeletons: Counter = field(default_factory=Counter)
+
+
+class NLGenerator:
+    """Learned program→NL generator with back-off."""
+
+    def __init__(self, config: NLGeneratorConfig | None = None):
+        self.config = config or NLGeneratorConfig()
+        self._patterns: dict[str, _PatternModel] = defaultdict(_PatternModel)
+        self._grammar = RealizationGrammar()
+        self._trained = False
+
+    # -- training -------------------------------------------------------
+    def train(self, pairs: list[AlignedPair]) -> "NLGenerator":
+        """Induce skeletons from aligned pairs (the fine-tuning step)."""
+        for pair in pairs:
+            skeleton = _abstract(pair.nl, pair.bindings)
+            self._patterns[pair.pattern].skeletons[skeleton] += 1
+        for model in self._patterns.values():
+            kept = Counter(
+                {
+                    skeleton: count
+                    for skeleton, count in model.skeletons.items()
+                    if count >= self.config.min_count
+                }
+            )
+            model.skeletons = Counter(
+                dict(kept.most_common(self.config.max_skeletons_per_pattern))
+            )
+        self._trained = True
+        return self
+
+    @property
+    def n_patterns(self) -> int:
+        return len(self._patterns)
+
+    @property
+    def n_skeletons(self) -> int:
+        return sum(len(m.skeletons) for m in self._patterns.values())
+
+    # -- generation -------------------------------------------------------
+    def generate(self, sample: SampledProgram, rng: random.Random) -> str:
+        """Realize ``sample`` as a question or claim."""
+        skeleton = self._pick_skeleton(sample.template.pattern, rng)
+        if skeleton is None:
+            return self._grammar.realize(sample, rng)
+        bindings = self._maybe_noise(sample, rng)
+        try:
+            return fill_skeleton(skeleton, bindings)
+        except GenerationError:
+            return self._grammar.realize(sample, rng)
+
+    def _pick_skeleton(self, pattern: str, rng: random.Random) -> str | None:
+        model = self._patterns.get(pattern)
+        if model is None or not model.skeletons:
+            nearest = self._nearest_pattern(pattern)
+            if nearest is None:
+                return None
+            model = self._patterns[nearest]
+        skeletons = list(model.skeletons.keys())
+        weights = [float(model.skeletons[s]) for s in skeletons]
+        return weighted_choice(rng, skeletons, weights)
+
+    def _nearest_pattern(self, pattern: str) -> str | None:
+        """Back-off: trained pattern with max token overlap, min 60%."""
+        target = set(pattern.split())
+        best, best_score = None, 0.0
+        for candidate in self._patterns:
+            tokens = set(candidate.split())
+            union = len(target | tokens)
+            if union == 0:
+                continue
+            score = len(target & tokens) / union
+            if score > best_score:
+                best, best_score = candidate, score
+        return best if best_score >= 0.6 else None
+
+    def _maybe_noise(
+        self, sample: SampledProgram, rng: random.Random
+    ) -> dict[str, str]:
+        bindings = dict(sample.bindings)
+        if self.config.noise_rate <= 0 or rng.random() >= self.config.noise_rate:
+            return bindings
+        # Swap one value slot for a same-column distractor.
+        table = sample.table
+        candidates = [
+            placeholder
+            for placeholder in sample.template.value_placeholders
+            if placeholder.column_ref is not None
+        ]
+        if not candidates or table is None:
+            return bindings
+        placeholder = candidates[rng.randrange(len(candidates))]
+        column = bindings.get(placeholder.column_ref or "")
+        if column is None or column not in table.schema:
+            return bindings
+        others = [
+            value.raw
+            for value in table.distinct_values(column)
+            if value.raw != bindings[placeholder.name]
+        ]
+        if others:
+            bindings[placeholder.name] = others[rng.randrange(len(others))]
+        return bindings
+
+
+def _abstract(nl: str, bindings: dict[str, str]) -> str:
+    """Replace binding surfaces in ``nl`` with {slot} markers.
+
+    Longest surfaces first so overlapping values abstract correctly; a
+    surface that does not occur simply stays unabstracted (information
+    loss the back-fill cannot recover — intentionally kept).
+    """
+    skeleton = nl
+    ordered = sorted(bindings.items(), key=lambda item: len(item[1]), reverse=True)
+    for name, surface in ordered:
+        if not surface:
+            continue
+        pattern = re.compile(re.escape(surface), re.IGNORECASE)
+        skeleton, _ = pattern.subn("{" + name + "}", skeleton, count=1)
+    return skeleton
+
+
+def train_nl_generator(
+    pairs_by_kind: dict[ProgramKind, list[AlignedPair]],
+    config: NLGeneratorConfig | None = None,
+) -> dict[ProgramKind, NLGenerator]:
+    """Train one generator per program kind (GPT-2 / BART / BART in the
+    paper; one skeleton model each here)."""
+    out: dict[ProgramKind, NLGenerator] = {}
+    for kind, pairs in pairs_by_kind.items():
+        out[kind] = NLGenerator(config).train(pairs)
+    return out

@@ -1,0 +1,18 @@
+"""Joint table-text operators (paper Section IV-A).
+
+* :mod:`repro.operators.table_to_text` — ``f(T) -> (T_sub, S)``: verbalize
+  one row (MQA-QG's DescribeEnt) and keep the rest as a sub-table.
+* :mod:`repro.operators.text_to_table` — ``f(T, P) -> T_expand``: extract a
+  record from the surrounding text and merge it into the table.
+"""
+
+from repro.operators.table_to_text import TableToText, SplitResult
+from repro.operators.text_to_table import TextToTable, ExpandResult, RecordExtractor
+
+__all__ = [
+    "TableToText",
+    "SplitResult",
+    "TextToTable",
+    "ExpandResult",
+    "RecordExtractor",
+]

@@ -1,0 +1,127 @@
+"""Table-To-Text: split a table into a sub-table and a generated sentence.
+
+Follows the paper: the operator picks one *highlighted* cell (a cell the
+program's reasoning touched), verbalizes the row containing it in the
+style of MQA-QG's ``DescribeEnt`` operator, removes that row from the
+table, and applies a faithfulness filter — if important information from
+the row is missing from the sentence, the split is discarded
+(:class:`~repro.errors.OperatorError`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import OperatorError
+from repro.rng import choice
+from repro.tables.table import Table
+
+#: sentence templates for DescribeEnt-style row verbalization.
+_ROW_SENTENCE_OPENERS = [
+    "For {name} , ",
+    "In the case of {name} , ",
+    "Regarding {name} , ",
+    "{name} : ",
+]
+
+
+@dataclass(frozen=True)
+class SplitResult:
+    """Outcome of a table split."""
+
+    sub_table: Table
+    sentence: str
+    row_index: int
+    #: cells (row_index, column) moved out of the table into the text.
+    moved_cells: frozenset[tuple[int, str]]
+
+
+class TableToText:
+    """The ``f(T) -> (T_sub, S)`` operator."""
+
+    def __init__(self, min_described_cells: int = 2, max_described_cells: int = 6):
+        self._min_cells = min_described_cells
+        self._max_cells = max_described_cells
+
+    def split(
+        self,
+        table: Table,
+        highlighted_cells: frozenset[tuple[int, str]],
+        rng: random.Random,
+    ) -> SplitResult:
+        """Split ``table`` on a highlighted row.
+
+        The chosen row is the one containing a randomly selected
+        highlighted cell; the sub-table keeps every other row.
+        """
+        if table.n_rows < 2:
+            raise OperatorError("cannot split a table with fewer than 2 rows")
+        highlighted_rows = sorted({row for row, _ in highlighted_cells})
+        if not highlighted_rows:
+            raise OperatorError("no highlighted cells to split on")
+        row_index = choice(rng, highlighted_rows)
+        sentence, described = self.describe_row(table, row_index, rng)
+        self._check_faithful(table, row_index, highlighted_cells, described)
+        sub_table = table.drop_row(row_index)
+        moved = frozenset(
+            (row_index, column) for column in described
+        )
+        return SplitResult(
+            sub_table=sub_table,
+            sentence=sentence,
+            row_index=row_index,
+            moved_cells=moved,
+        )
+
+    def describe_row(
+        self, table: Table, row_index: int, rng: random.Random
+    ) -> tuple[str, list[str]]:
+        """DescribeEnt: verbalize one row; returns (sentence, columns used)."""
+        name = table.row_name(row_index)
+        if not name.strip():
+            raise OperatorError(f"row {row_index} has no usable row name")
+        name_column = table.row_name_column or table.column_names[0]
+        described: list[str] = [name_column]
+        clauses: list[str] = []
+        for column in table.schema:
+            if column.name == name_column:
+                continue
+            cell = table.cell(row_index, column.name)
+            if cell.is_null:
+                continue
+            clauses.append(f"the {column.name} is {cell.raw}")
+            described.append(column.name)
+            if len(described) > self._max_cells:
+                break
+        if len(described) < self._min_cells:
+            raise OperatorError(
+                f"row {row_index} has too few non-null cells to describe"
+            )
+        opener = choice(rng, _ROW_SENTENCE_OPENERS).format(name=name)
+        sentence = opener + " and ".join(clauses) + " ."
+        sentence = " ".join(sentence.split())
+        return sentence, described
+
+    def _check_faithful(
+        self,
+        table: Table,
+        row_index: int,
+        highlighted_cells: frozenset[tuple[int, str]],
+        described_columns: list[str],
+    ) -> None:
+        """The paper's filter: important info must survive verbalization.
+
+        Every highlighted cell in the moved row must appear in the
+        generated sentence, otherwise the evidence needed to answer the
+        question would be silently destroyed.
+        """
+        described = {column.lower() for column in described_columns}
+        for cell_row, column in highlighted_cells:
+            if cell_row != row_index:
+                continue
+            if column.lower() not in described:
+                raise OperatorError(
+                    f"highlighted cell ({row_index}, {column}) missing from "
+                    "the generated sentence; discarding split"
+                )

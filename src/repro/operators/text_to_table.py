@@ -1,0 +1,203 @@
+"""Text-To-Table: extract a record from text and expand the table.
+
+The operator (paper Section IV-A, Eq. 6) mirrors Wu et al.'s
+text-to-table task with the integration step the paper adds: the
+extracted one-record table is merged into the original table when it
+shares the row-name or column structure.
+
+The extractor is pattern-based: it scans sentences for
+``the <column> is/was/of <value>`` clauses over the table's own column
+vocabulary, plus an entity mention that acts as the new row's name.  A
+row-name pre-filter selects candidate sentences, and extraction failures
+raise :class:`~repro.errors.OperatorError` so the pipeline can discard
+the sample (the paper's "a filtering step is also needed here").
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import OperatorError
+from repro.tables.context import TableContext, split_sentences
+from repro.tables.table import Table
+from repro.tables.values import Value, parse_value
+
+
+@dataclass(frozen=True)
+class ExpandResult:
+    """Outcome of a table expansion."""
+
+    expanded_table: Table
+    source_sentence: str
+    new_row_index: int
+    row_name: str
+
+
+@dataclass(frozen=True)
+class FullExpansion:
+    """Outcome of integrating *every* extractable text record."""
+
+    expanded_table: Table
+    new_row_indices: tuple[int, ...]
+    source_sentences: tuple[str, ...]
+
+    @property
+    def n_new_rows(self) -> int:
+        return len(self.new_row_indices)
+
+
+class RecordExtractor:
+    """Extracts ``{column: value}`` records from one sentence."""
+
+    #: clause forms: "the <col> is <val>", "<col> of <val>", "<col>: <val>"
+    _CLAUSE = r"(?:the\s+)?{column}\s+(?:is|was|were|are|of|:)\s+(?P<value>[^,.;]+?)(?=\s+(?:and|,|\.|;|$))"
+
+    def __init__(self, schema_columns: list[str]):
+        if not schema_columns:
+            raise OperatorError("extractor needs at least one column")
+        self._columns = list(schema_columns)
+        self._patterns = {
+            column: re.compile(
+                self._CLAUSE.format(column=re.escape(column)), re.IGNORECASE
+            )
+            for column in schema_columns
+        }
+
+    def extract(self, sentence: str) -> dict[str, Value]:
+        """All ``column -> value`` assignments found in ``sentence``."""
+        record: dict[str, Value] = {}
+        for column, pattern in self._patterns.items():
+            match = pattern.search(sentence)
+            if match:
+                raw = match.group("value").strip()
+                if raw:
+                    record[column] = parse_value(raw)
+        return record
+
+    def extract_record(
+        self, sentence: str, name_column: str
+    ) -> dict[str, Value]:
+        """Clause extraction plus leading-entity row-name recovery.
+
+        "For compound b , the yield is 4.2 ." assigns the row name from
+        the sentence opener when no explicit ``name_column`` clause
+        exists.
+        """
+        record = self.extract(sentence)
+        if name_column not in record:
+            entity = self.leading_entity(sentence)
+            if entity is not None:
+                record[name_column] = entity
+        return record
+
+    def leading_entity(self, sentence: str) -> Value | None:
+        """Entity mention before the first clause, as a row name."""
+        match = re.match(
+            r"^\s*(?:for|in the case of|regarding|in)?\s*"
+            r"([A-Za-z0-9][^,:]*?)\s*[,:]",
+            sentence,
+            re.IGNORECASE,
+        )
+        if match is None:
+            return None
+        candidate = match.group(1).strip()
+        if not candidate or len(candidate) > 48:
+            return None
+        lowered = candidate.lower()
+        if any(column.lower() in lowered for column in self._columns):
+            return None
+        return parse_value(candidate)
+
+
+class TextToTable:
+    """The ``f(T, P) -> T_expand`` operator."""
+
+    def __init__(self, min_extracted_cells: int = 2):
+        self._min_cells = min_extracted_cells
+
+    def expand(self, context: TableContext) -> ExpandResult:
+        """Expand the context's table with a record from its text."""
+        table = context.table
+        sentences = context.sentences
+        if not sentences:
+            raise OperatorError("context has no text to extract from")
+        extractor = RecordExtractor(table.column_names)
+        name_column = table.row_name_column or table.column_names[0]
+        for sentence in self._candidate_sentences(table, sentences):
+            record = extractor.extract_record(sentence, name_column)
+            if name_column not in record:
+                continue
+            if len(record) < self._min_cells:
+                continue
+            if table.find_row_by_name(record[name_column].raw) is not None:
+                continue  # the record is already in the table
+            expanded = self._integrate(table, record, name_column)
+            return ExpandResult(
+                expanded_table=expanded,
+                source_sentence=sentence,
+                new_row_index=expanded.n_rows - 1,
+                row_name=record[name_column].raw,
+            )
+        raise OperatorError("no sentence yielded an integrable record")
+
+    def expand_all(self, context: TableContext) -> FullExpansion:
+        """Integrate every extractable text record into the table.
+
+        Aggregate programs (counts, sums) over the expanded table are
+        only faithful to the *whole* context when no extractable record
+        is left behind, so pipelines that run such programs expand
+        exhaustively rather than one record at a time.
+        """
+        current = context
+        new_rows: list[int] = []
+        sentences: list[str] = []
+        while True:
+            try:
+                step = self.expand(current)
+            except OperatorError:
+                break
+            new_rows.append(step.new_row_index)
+            sentences.append(step.source_sentence)
+            current = current.with_table(step.expanded_table)
+            if len(new_rows) >= 8:
+                break
+        if not new_rows:
+            raise OperatorError("no sentence yielded an integrable record")
+        return FullExpansion(
+            expanded_table=current.table,
+            new_row_indices=tuple(new_rows),
+            source_sentences=tuple(sentences),
+        )
+
+    # -- internals ----------------------------------------------------------
+    def _candidate_sentences(
+        self, table: Table, sentences: list[str]
+    ) -> list[str]:
+        """Row-name filter: prefer sentences mentioning column names."""
+        vocabulary = [column.lower() for column in table.column_names]
+        scored: list[tuple[int, str]] = []
+        for sentence in sentences:
+            lowered = sentence.lower()
+            score = sum(1 for column in vocabulary if column in lowered)
+            if score:
+                scored.append((score, sentence))
+        scored.sort(key=lambda pair: -pair[0])
+        return [sentence for _, sentence in scored]
+
+    def _integrate(
+        self, table: Table, record: dict[str, Value], name_column: str
+    ) -> Table:
+        """Merge the one-record table into the original (shared columns)."""
+        cells = []
+        filled = 0
+        for column in table.schema:
+            value = record.get(column.name)
+            if value is None:
+                cells.append(Value.null())
+            else:
+                cells.append(value)
+                filled += 1
+        if filled < self._min_cells:
+            raise OperatorError("extracted record shares too few columns")
+        return table.append_row(cells).retype()

@@ -1,0 +1,31 @@
+"""UCTR data-generation pipelines (paper Section III + Algorithm 1).
+
+* :mod:`repro.pipelines.table_only` — homogeneous samples from the table
+  alone (the "w/o T2T" ablation of the paper).
+* :mod:`repro.pipelines.splitting` — Table-Splitting: one highlighted row
+  becomes a sentence, the rest stays tabular.
+* :mod:`repro.pipelines.expansion` — Table-Expansion: a record extracted
+  from the surrounding text joins the table before program execution.
+* :mod:`repro.pipelines.uctr` — the unified facade combining them.
+"""
+
+from repro.pipelines.samples import (
+    EvidenceType,
+    ReasoningSample,
+    TaskType,
+)
+from repro.pipelines.table_only import TableOnlyPipeline
+from repro.pipelines.splitting import SplittingPipeline
+from repro.pipelines.expansion import ExpansionPipeline
+from repro.pipelines.uctr import UCTR, UCTRConfig
+
+__all__ = [
+    "EvidenceType",
+    "ReasoningSample",
+    "TaskType",
+    "TableOnlyPipeline",
+    "SplittingPipeline",
+    "ExpansionPipeline",
+    "UCTR",
+    "UCTRConfig",
+]

@@ -1,0 +1,80 @@
+"""Shared machinery for the generation pipelines."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.nlgen.model import NLGenerator
+from repro.programs.base import ProgramKind
+from repro.sampling.filters import SampleFilter, default_filters, passes_all
+from repro.sampling.labeler import ClaimLabeler, LabeledClaim
+from repro.sampling.sampler import ProgramSampler, SampledProgram
+from repro.pipelines.samples import TaskType
+from repro.tables.table import Table
+from repro.templates.pools import pool_for_kind
+from repro.templates.template import ProgramTemplate
+
+
+@dataclass
+class PipelineTools:
+    """Everything a pipeline needs, bundled so configs stay small.
+
+    ``generators`` maps program kinds to trained NL-Generators; a kind
+    without an entry falls back to the realization grammar at the call
+    site via :class:`NLGenerator`'s own back-off.  ``template_overrides``
+    replaces the built-in pool for a kind — used by the auto-program
+    generation extension.
+    """
+
+    rng: random.Random
+    generators: dict[ProgramKind, NLGenerator]
+    sampler: ProgramSampler = None  # type: ignore[assignment]
+    labeler: ClaimLabeler = None  # type: ignore[assignment]
+    filters: list[SampleFilter] = field(default_factory=default_filters)
+    template_overrides: dict[ProgramKind, list[ProgramTemplate]] = field(
+        default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        if self.sampler is None:
+            self.sampler = ProgramSampler(self.rng)
+        if self.labeler is None:
+            self.labeler = ClaimLabeler(self.rng)
+
+    def templates(self, kind: ProgramKind) -> list[ProgramTemplate]:
+        override = self.template_overrides.get(kind)
+        if override is not None:
+            return list(override)
+        return list(pool_for_kind(kind))
+
+    def draw_program(
+        self, kind: ProgramKind, table: Table
+    ) -> SampledProgram | None:
+        """One filtered sampled program, or ``None``."""
+        templates = self.templates(kind)
+        if not templates:
+            return None
+        template = templates[self.rng.randrange(len(templates))]
+        sample = self.sampler.try_sample(template, table)
+        if sample is None or not passes_all(sample, self.filters):
+            return None
+        return sample
+
+    def verbalize(self, sample: SampledProgram) -> str:
+        generator = self.generators.get(sample.kind)
+        if generator is None:
+            from repro.nlgen.grammar import realize
+
+            return realize(sample, self.rng)
+        return generator.generate(sample, self.rng)
+
+    def label_claim(self, sample: SampledProgram) -> LabeledClaim:
+        return self.labeler.label(sample)
+
+
+def task_for_kind(kind: ProgramKind) -> TaskType:
+    """Logical forms make claims; SQL/arithmetic make questions."""
+    if kind is ProgramKind.LOGIC:
+        return TaskType.FACT_VERIFICATION
+    return TaskType.QUESTION_ANSWERING

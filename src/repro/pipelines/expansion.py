@@ -1,0 +1,94 @@
+"""Table-Expansion pipeline (paper Section III-B, lower half of Fig. 3).
+
+Extract a record from the context's text via Text-To-Table, merge it
+into the table, then run programs on the *expanded* table.  Samples
+whose reasoning touches the text-derived row genuinely require both
+modalities; the emitted context keeps the *original* table and text, so
+the trained model must itself bridge them.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.operators.text_to_table import FullExpansion, TextToTable
+from repro.pipelines.base import PipelineTools, task_for_kind
+from repro.pipelines.samples import EvidenceType, ReasoningSample, TaskType
+from repro.programs.base import ProgramKind
+from repro.tables.context import TableContext
+
+
+class ExpansionPipeline:
+    """Generate joint table-text samples by expanding the table."""
+
+    name = "expansion"
+
+    def __init__(
+        self,
+        tools: PipelineTools,
+        kinds: tuple[ProgramKind, ...],
+        operator: TextToTable | None = None,
+    ):
+        self._tools = tools
+        self._kinds = tuple(kinds)
+        self._operator = operator or TextToTable()
+
+    def generate(
+        self, context: TableContext, budget: int
+    ) -> list[ReasoningSample]:
+        try:
+            expansion = self._operator.expand_all(context)
+        except ReproError:
+            return []
+        out: list[ReasoningSample] = []
+        attempts = 0
+        while len(out) < budget and attempts < budget * 6:
+            attempts += 1
+            sample = self._one(context, expansion, len(out))
+            if sample is not None:
+                out.append(sample)
+        return out
+
+    def _one(
+        self, context: TableContext, expansion: FullExpansion, serial: int
+    ) -> ReasoningSample | None:
+        rng = self._tools.rng
+        kind = self._kinds[rng.randrange(len(self._kinds))]
+        sampled = self._tools.draw_program(kind, expansion.expanded_table)
+        if sampled is None:
+            return None
+        rows_touched = {row for row, _ in sampled.result.highlighted_cells}
+        new_rows = set(expansion.new_row_indices)
+        if not (rows_touched & new_rows):
+            # The program never looked at a text-derived row; that is a
+            # plain table sample, which the table-only pipeline covers.
+            return None
+        task = task_for_kind(kind)
+        label = None
+        if task is TaskType.FACT_VERIFICATION:
+            claim = self._tools.label_claim(sampled)
+            sampled, label = claim.sample, claim.label
+        sentence = self._tools.verbalize(sampled)
+        evidence_cells = frozenset(
+            (row, column)
+            for row, column in sampled.result.highlighted_cells
+            if row not in new_rows
+        )
+        return ReasoningSample(
+            uid=f"{context.uid}-expand-{serial}",
+            task=task,
+            context=context,  # original table + original text
+            sentence=sentence,
+            answer=tuple(sampled.answer) if task is TaskType.QUESTION_ANSWERING else (),
+            label=label,
+            evidence_type=EvidenceType.TABLE_TEXT,
+            evidence_cells=evidence_cells,
+            provenance={
+                "pipeline": self.name,
+                "program_kind": sampled.kind.value,
+                "category": sampled.template.category,
+                "pattern": sampled.template.pattern,
+                "program": sampled.program.source,
+                "expansion_sentences": list(expansion.source_sentences),
+                "expansion_rows": list(expansion.new_row_indices),
+            },
+        )

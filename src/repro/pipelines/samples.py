@@ -1,0 +1,97 @@
+"""Reasoning sample types shared by generation pipelines and datasets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from repro.sampling.labeler import ClaimLabel
+from repro.tables.context import TableContext
+
+
+class TaskType(str, Enum):
+    """The two reasoning tasks the paper evaluates."""
+
+    QUESTION_ANSWERING = "qa"
+    FACT_VERIFICATION = "verification"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class EvidenceType(str, Enum):
+    """Which modality the reasoning needs (Table VIII's "Data Source")."""
+
+    TABLE = "table"
+    TEXT = "text"
+    TABLE_TEXT = "table-text"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class ReasoningSample:
+    """One (synthetic or gold) tabular reasoning training instance.
+
+    For question answering, ``answer`` holds the denotation strings and
+    ``label`` is ``None``; for fact verification, ``label`` holds the
+    claim verdict and ``answer`` is empty.  ``evidence_cells`` is the
+    gold evidence set used by the FEVEROUS score.
+    """
+
+    uid: str
+    task: TaskType
+    context: TableContext
+    sentence: str  # the question or the claim
+    answer: tuple[str, ...] = ()
+    label: ClaimLabel | None = None
+    evidence_type: EvidenceType = EvidenceType.TABLE
+    evidence_cells: frozenset[tuple[int, str]] = frozenset()
+    provenance: dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.task is TaskType.FACT_VERIFICATION and self.label is None:
+            raise ValueError("verification samples need a label")
+        if self.task is TaskType.QUESTION_ANSWERING and not self.answer:
+            raise ValueError("QA samples need an answer")
+
+    @property
+    def table(self):
+        return self.context.table
+
+    @property
+    def text(self) -> str:
+        return self.context.text
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "uid": self.uid,
+            "task": self.task.value,
+            "sentence": self.sentence,
+            "answer": list(self.answer),
+            "label": self.label.value if self.label else None,
+            "evidence_type": self.evidence_type.value,
+            "evidence_cells": sorted(list(cell) for cell in self.evidence_cells),
+            "context": self.context.to_json(),
+            "provenance": dict(self.provenance),
+        }
+
+    @staticmethod
+    def from_json(payload: dict[str, Any]) -> "ReasoningSample":
+        label = payload.get("label")
+        return ReasoningSample(
+            uid=payload["uid"],
+            task=TaskType(payload["task"]),
+            context=TableContext.from_json(payload["context"]),
+            sentence=payload["sentence"],
+            answer=tuple(payload.get("answer", [])),
+            label=ClaimLabel(label) if label else None,
+            evidence_type=EvidenceType(payload.get("evidence_type", "table")),
+            evidence_cells=frozenset(
+                (int(row), column)
+                for row, column in payload.get("evidence_cells", [])
+            ),
+            provenance=dict(payload.get("provenance", {})),
+        )

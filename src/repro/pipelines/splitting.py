@@ -1,0 +1,127 @@
+"""Table-Splitting pipeline (paper Section III-A, upper half of Fig. 3).
+
+Execute a program on the full table, move one highlighted row into a
+generated sentence via Table-To-Text, and emit a joint table-text sample
+whose evidence spans the sub-table *and* the sentence.  When every
+highlighted cell lives in the moved row, the sample degrades gracefully
+to text-only evidence — these are kept and tagged, matching TAT-QA's
+``Text`` answer source.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.operators.table_to_text import TableToText
+from repro.pipelines.base import PipelineTools, task_for_kind
+from repro.pipelines.samples import EvidenceType, ReasoningSample, TaskType
+from repro.programs.base import ProgramKind
+from repro.tables.context import TableContext
+
+
+class SplittingPipeline:
+    """Generate joint table-text samples by splitting the table."""
+
+    name = "splitting"
+
+    def __init__(
+        self,
+        tools: PipelineTools,
+        kinds: tuple[ProgramKind, ...],
+        operator: TableToText | None = None,
+    ):
+        self._tools = tools
+        self._kinds = tuple(kinds)
+        self._operator = operator or TableToText()
+
+    def generate(
+        self, context: TableContext, budget: int
+    ) -> list[ReasoningSample]:
+        out: list[ReasoningSample] = []
+        attempts = 0
+        while len(out) < budget and attempts < budget * 6:
+            attempts += 1
+            sample = self._one(context, len(out))
+            if sample is not None:
+                out.append(sample)
+        return out
+
+    def _one(self, context: TableContext, serial: int) -> ReasoningSample | None:
+        rng = self._tools.rng
+        kind = self._kinds[rng.randrange(len(self._kinds))]
+        sampled = self._tools.draw_program(kind, context.table)
+        if sampled is None:
+            return None
+        task = task_for_kind(kind)
+        label = None
+        if task is TaskType.FACT_VERIFICATION:
+            claim = self._tools.label_claim(sampled)
+            sampled, label = claim.sample, claim.label
+        try:
+            split = self._operator.split(
+                context.table, sampled.result.highlighted_cells, rng
+            )
+        except ReproError:
+            return None
+        if not self._round_trips(context, split, sampled):
+            return None
+        sentence = self._tools.verbalize(sampled)
+        moved_row = split.row_index
+        rows_touched = {row for row, _ in sampled.result.highlighted_cells}
+        if rows_touched <= {moved_row}:
+            evidence_type = EvidenceType.TEXT
+        else:
+            evidence_type = EvidenceType.TABLE_TEXT
+        # Evidence cells shift down past the removed row in the sub-table.
+        remapped = frozenset(
+            (row - 1 if row > moved_row else row, column)
+            for row, column in sampled.result.highlighted_cells
+            if row != moved_row
+        )
+        new_context = TableContext(
+            table=split.sub_table,
+            paragraphs=(),
+            uid=context.uid,
+            meta=dict(context.meta),
+        ).add_paragraph(split.sentence, source="table_to_text")
+        return ReasoningSample(
+            uid=f"{context.uid}-split-{serial}",
+            task=task,
+            context=new_context,
+            sentence=sentence,
+            answer=tuple(sampled.answer) if task is TaskType.QUESTION_ANSWERING else (),
+            label=label,
+            evidence_type=evidence_type,
+            evidence_cells=remapped,
+            provenance={
+                "pipeline": self.name,
+                "program_kind": sampled.kind.value,
+                "category": sampled.template.category,
+                "pattern": sampled.template.pattern,
+                "program": sampled.program.source,
+                "moved_row": moved_row,
+            },
+        )
+
+    def _round_trips(self, context, split, sampled) -> bool:
+        """The generated sentence must give back the evidence it took.
+
+        A split is only useful when a reader (human or extractor) can
+        recover the moved row's highlighted cells from the sentence;
+        otherwise the question becomes unanswerable and the sample is
+        label noise.  We check with the same extractor the models use.
+        """
+        from repro.operators.text_to_table import RecordExtractor
+
+        table = context.table
+        name_column = table.row_name_column or table.column_names[0]
+        extractor = RecordExtractor(table.column_names)
+        record = extractor.extract_record(split.sentence, name_column)
+        for row, column in sampled.result.highlighted_cells:
+            if row != split.row_index or column == name_column:
+                continue
+            extracted = record.get(column)
+            if extracted is None:
+                return False
+            if not extracted.equals(table.cell(row, column)):
+                return False
+        return True

@@ -1,0 +1,77 @@
+"""Homogeneous pipeline: synthetic samples over the table alone."""
+
+from __future__ import annotations
+
+from repro.pipelines.base import PipelineTools, task_for_kind
+from repro.pipelines.samples import EvidenceType, ReasoningSample, TaskType
+from repro.programs.base import ProgramKind
+from repro.sampling.labeler import ClaimLabel
+from repro.tables.context import TableContext
+
+
+class TableOnlyPipeline:
+    """Generate table-only reasoning samples (no T2T operators).
+
+    This is the UCTR ``w/o T2T`` configuration of Tables III/VIII: the
+    Program-Executor and NL-Generator run on the raw table, and the
+    sample's evidence is purely tabular.
+    """
+
+    name = "table_only"
+
+    def __init__(self, tools: PipelineTools, kinds: tuple[ProgramKind, ...]):
+        self._tools = tools
+        self._kinds = tuple(kinds)
+
+    def generate(
+        self, context: TableContext, budget: int
+    ) -> list[ReasoningSample]:
+        """Up to ``budget`` samples from one context."""
+        out: list[ReasoningSample] = []
+        attempts = 0
+        while len(out) < budget and attempts < budget * 5:
+            attempts += 1
+            kind = self._kinds[self._tools.rng.randrange(len(self._kinds))]
+            sample = self._tools.draw_program(kind, context.table)
+            if sample is None:
+                continue
+            task = task_for_kind(kind)
+            if task is TaskType.FACT_VERIFICATION:
+                claim = self._tools.label_claim(sample)
+                sentence = self._tools.verbalize(claim.sample)
+                out.append(
+                    ReasoningSample(
+                        uid=f"{context.uid}-tab-{len(out)}",
+                        task=task,
+                        context=context.with_paragraphs([]),
+                        sentence=sentence,
+                        label=claim.label,
+                        evidence_type=EvidenceType.TABLE,
+                        evidence_cells=claim.sample.result.highlighted_cells,
+                        provenance=self._provenance(claim.sample),
+                    )
+                )
+            else:
+                sentence = self._tools.verbalize(sample)
+                out.append(
+                    ReasoningSample(
+                        uid=f"{context.uid}-tab-{len(out)}",
+                        task=task,
+                        context=context.with_paragraphs([]),
+                        sentence=sentence,
+                        answer=tuple(sample.answer),
+                        evidence_type=EvidenceType.TABLE,
+                        evidence_cells=sample.result.highlighted_cells,
+                        provenance=self._provenance(sample),
+                    )
+                )
+        return out
+
+    def _provenance(self, sample) -> dict:
+        return {
+            "pipeline": self.name,
+            "program_kind": sample.kind.value,
+            "category": sample.template.category,
+            "pattern": sample.template.pattern,
+            "program": sample.program.source,
+        }

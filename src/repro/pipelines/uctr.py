@@ -1,0 +1,153 @@
+"""The UCTR facade: one object, Algorithm 1 end to end.
+
+Typical use::
+
+    config = UCTRConfig(program_kinds=("logic",), seed=7)
+    framework = UCTR(config)
+    framework.fit(contexts)          # trains the NL-Generators
+    samples = framework.generate(contexts)
+
+``fit`` builds the program↔NL parallel corpora on the *unlabeled* tables
+and trains one NL-Generator per program kind — the offline equivalent of
+fine-tuning BART/GPT-2 on SQUALL / Logic2Text / FinQA.  ``generate``
+then runs the enabled pipelines over every context.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.nlgen.corpus import build_parallel_corpus
+from repro.nlgen.model import NLGenerator, NLGeneratorConfig
+from repro.pipelines.base import PipelineTools
+from repro.pipelines.expansion import ExpansionPipeline
+from repro.pipelines.samples import ReasoningSample
+from repro.pipelines.splitting import SplittingPipeline
+from repro.pipelines.table_only import TableOnlyPipeline
+from repro.programs.base import ProgramKind
+from repro.rng import make_rng, spawn
+from repro.tables.context import TableContext
+
+
+@dataclass(frozen=True)
+class UCTRConfig:
+    """Configuration of the unified framework.
+
+    ``program_kinds`` selects the DSLs (the paper picks per benchmark:
+    logic for FEVEROUS/SEM-TAB-FACTS, SQL for WikiSQL, SQL+arith for
+    TAT-QA).  ``use_table_to_text`` / ``use_text_to_table`` toggle the
+    joint-evidence operators (both off == the "w/o T2T" ablation).
+    """
+
+    program_kinds: tuple[str, ...] = ("logic",)
+    use_table_to_text: bool = True
+    use_text_to_table: bool = True
+    samples_per_context: int = 4
+    #: fraction of the per-context budget routed to joint pipelines.
+    joint_fraction: float = 0.4
+    nl_noise_rate: float = 0.05
+    corpus_pairs_per_table: int = 4
+    seed: int = 0
+
+    def kinds(self) -> tuple[ProgramKind, ...]:
+        return tuple(ProgramKind(kind) for kind in self.program_kinds)
+
+
+class UCTR:
+    """Unsupervised Complex Tabular Reasoning data generator."""
+
+    def __init__(
+        self,
+        config: UCTRConfig | None = None,
+        template_overrides: dict[ProgramKind, list] | None = None,
+    ):
+        self.config = config or UCTRConfig()
+        self._rng = make_rng(self.config.seed)
+        self._generators: dict[ProgramKind, NLGenerator] = {}
+        self._tools: PipelineTools | None = None
+        self._template_overrides = dict(template_overrides or {})
+
+    # -- training ---------------------------------------------------------
+    def fit(self, contexts: list[TableContext]) -> "UCTR":
+        """Train the NL-Generators on corpora built from these tables."""
+        corpus_rng = spawn(self._rng, "nl-corpus")
+        tables = [context.table for context in contexts]
+        nl_config = NLGeneratorConfig(noise_rate=self.config.nl_noise_rate)
+        for kind in self.config.kinds():
+            pairs = build_parallel_corpus(
+                kind,
+                tables,
+                corpus_rng,
+                pairs_per_table=self.config.corpus_pairs_per_table,
+            )
+            self._generators[kind] = NLGenerator(nl_config).train(pairs)
+        self._tools = PipelineTools(
+            rng=spawn(self._rng, "pipelines"),
+            generators=self._generators,
+            template_overrides=self._template_overrides,
+        )
+        return self
+
+    @property
+    def generators(self) -> dict[ProgramKind, NLGenerator]:
+        return dict(self._generators)
+
+    # -- generation ---------------------------------------------------------
+    def generate(
+        self, contexts: list[TableContext], budget: int | None = None
+    ) -> list[ReasoningSample]:
+        """Run Algorithm 1 over every context.
+
+        ``budget`` caps the total number of emitted samples; by default
+        every context contributes ``samples_per_context``.
+        """
+        tools = self._require_tools()
+        kinds = self.config.kinds()
+        table_only = TableOnlyPipeline(tools, kinds)
+        splitting = (
+            SplittingPipeline(tools, kinds)
+            if self.config.use_table_to_text
+            else None
+        )
+        expansion = (
+            ExpansionPipeline(tools, kinds)
+            if self.config.use_text_to_table
+            else None
+        )
+        out: list[ReasoningSample] = []
+        per_context = self.config.samples_per_context
+        joint = [p for p in (splitting, expansion) if p is not None]
+        joint_budget = (
+            round(per_context * self.config.joint_fraction) if joint else 0
+        )
+        flat_budget = per_context - joint_budget
+        for context in contexts:
+            if budget is not None and len(out) >= budget:
+                break
+            out.extend(table_only.generate(context, flat_budget))
+            remaining = joint_budget
+            for index, pipeline in enumerate(joint):
+                share = remaining // (len(joint) - index)
+                produced = pipeline.generate(context, share)
+                out.extend(produced)
+                remaining -= share
+                shortfall = share - len(produced)
+                if shortfall > 0:
+                    # Joint generation can fail (no text, unsplittable
+                    # table); keep the volume up with table-only samples.
+                    out.extend(table_only.generate(context, shortfall))
+        if budget is not None:
+            out = out[:budget]
+        return out
+
+    def generate_for_context(
+        self, context: TableContext, budget: int
+    ) -> list[ReasoningSample]:
+        """Convenience: Algorithm 1 on a single context."""
+        return self.generate([context], budget=budget)
+
+    def _require_tools(self) -> PipelineTools:
+        if self._tools is None:
+            raise RuntimeError("call fit() before generate()")
+        return self._tools

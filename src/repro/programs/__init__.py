@@ -1,0 +1,29 @@
+"""Program substrate: the three executable DSLs of the paper.
+
+* :mod:`repro.programs.sql` — SQL queries (SQUALL-style templates), used
+  for question answering on WikiSQL/TAT-QA span questions.
+* :mod:`repro.programs.logic` — Logic2Text-style logical forms, used for
+  fact verification claims (FEVEROUS, SEM-TAB-FACTS).
+* :mod:`repro.programs.arith` — FinQA-style arithmetic expressions, used
+  for numeric TAT-QA questions.
+
+All three share the :class:`~repro.programs.base.Program` interface: a
+parsed, immutable AST that executes against a table and yields an
+:class:`~repro.programs.base.ExecutionResult`.
+"""
+
+from repro.programs.base import (
+    ExecutionResult,
+    Program,
+    ProgramKind,
+    execute_program,
+    parse_program,
+)
+
+__all__ = [
+    "ExecutionResult",
+    "Program",
+    "ProgramKind",
+    "execute_program",
+    "parse_program",
+]

@@ -1,0 +1,36 @@
+"""FinQA-style arithmetic expression programs.
+
+An arithmetic expression is a comma-separated sequence of steps::
+
+    subtract ( the Stockholders' equity of 2019 , the Stockholders' equity of 2018 ) ,
+    divide ( #0 , the Stockholders' equity of 2018 )
+
+Supported mathematical operations (paper Section II-C): ``add``,
+``subtract``, ``multiply``, ``divide``, ``greater``, ``exp``; table
+aggregation operations: ``table_max``, ``table_min``, ``table_sum``,
+``table_average``.  ``#k`` references the result of step ``k``.  Cell
+references are written ``<row name> of <column name>`` (or the reverse)
+and resolved against the table's row-name column.
+"""
+
+from repro.programs.arith.ast import (
+    ArithStep,
+    ArithProgram,
+    CellRef,
+    NumberLiteral,
+    StepRef,
+    ColumnRef,
+)
+from repro.programs.arith.parser import parse_arith
+from repro.programs.arith.executor import execute_arith
+
+__all__ = [
+    "ArithStep",
+    "ArithProgram",
+    "CellRef",
+    "NumberLiteral",
+    "StepRef",
+    "ColumnRef",
+    "parse_arith",
+    "execute_arith",
+]

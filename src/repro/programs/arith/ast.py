@@ -1,0 +1,138 @@
+"""AST for arithmetic expression programs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.programs.base import ExecutionResult, Program, ProgramKind
+from repro.tables.values import format_number
+
+#: Binary mathematical operations.
+BINARY_OPS = ("add", "subtract", "multiply", "divide", "greater", "exp")
+
+#: Unary table aggregations over a named column.
+TABLE_OPS = ("table_max", "table_min", "table_sum", "table_average")
+
+
+@dataclass(frozen=True)
+class NumberLiteral:
+    """A literal numeric argument (FinQA's ``const_*``)."""
+
+    value: float
+
+    def text(self) -> str:
+        return format_number(self.value)
+
+
+@dataclass(frozen=True)
+class StepRef:
+    """Reference to the result of an earlier step: ``#k``."""
+
+    index: int
+
+    def text(self) -> str:
+        return f"#{self.index}"
+
+
+@dataclass(frozen=True)
+class CellRef:
+    """A table cell named by ``<row name> of <column name>``.
+
+    The executor resolves the two parts flexibly (either order) because
+    financial tables are written both row-major and column-major.
+    """
+
+    row_name: str
+    column_name: str
+
+    def text(self) -> str:
+        return f"the {self.row_name} of {self.column_name}"
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A whole column, consumed by table aggregation operations."""
+
+    column_name: str
+
+    def text(self) -> str:
+        return self.column_name
+
+
+@dataclass(frozen=True)
+class TableAggArg:
+    """A nested table aggregation used as a scalar argument.
+
+    FinQA programs write e.g. ``divide ( x , table_sum ( c1 ) )``; the
+    inner aggregation evaluates to one number.
+    """
+
+    op: str
+    column: ColumnRef
+
+    def text(self) -> str:
+        return f"{self.op} ( {self.column.text()} )"
+
+
+Arg = NumberLiteral | StepRef | CellRef | ColumnRef | TableAggArg
+
+
+@dataclass(frozen=True)
+class ArithStep:
+    """One operation application in the step sequence."""
+
+    op: str
+    args: tuple[Arg, ...]
+
+    def text(self) -> str:
+        inner = " , ".join(arg.text() for arg in self.args)
+        return f"{self.op} ( {inner} )"
+
+
+@dataclass(frozen=True)
+class ArithProgramBody:
+    """The comparable payload of an arithmetic program."""
+
+    steps: tuple[ArithStep, ...] = field(default_factory=tuple)
+
+
+class ArithProgram(Program):
+    """A parsed arithmetic expression conforming to :class:`Program`."""
+
+    def __init__(self, steps: tuple[ArithStep, ...], source: str = ""):
+        body = ArithProgramBody(steps=steps)
+        super().__init__(source=source or " , ".join(s.text() for s in steps))
+        object.__setattr__(self, "body", body)
+
+    @property
+    def steps(self) -> tuple[ArithStep, ...]:
+        return self.body.steps
+
+    @property
+    def kind(self) -> ProgramKind:
+        return ProgramKind.ARITH
+
+    def execute(self, table) -> ExecutionResult:
+        from repro.programs.arith.executor import execute_arith
+
+        return execute_arith(table, self)
+
+    def tokens(self) -> list[str]:
+        out: list[str] = []
+        for index, step in enumerate(self.steps):
+            if index:
+                out.append(",")
+            out.append(step.op)
+            out.append("(")
+            for arg_index, arg in enumerate(step.args):
+                if arg_index:
+                    out.append(",")
+                out.extend(arg.text().split())
+            out.append(")")
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ArithProgram) and self.body == other.body
+
+    def __hash__(self) -> int:
+        return hash(("arith", self.body))

@@ -1,0 +1,166 @@
+"""Evaluator for arithmetic expression programs."""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ProgramExecutionError
+from repro.programs.arith.ast import (
+    Arg,
+    ArithProgram,
+    CellRef,
+    ColumnRef,
+    NumberLiteral,
+    StepRef,
+    TableAggArg,
+)
+from repro.programs.base import ExecutionResult
+from repro.tables.table import Table
+from repro.tables.values import Value
+
+
+def execute_arith(table: Table, program: ArithProgram) -> ExecutionResult:
+    """Execute the step sequence; the last step's value is the answer.
+
+    ``greater`` steps produce a boolean; any numeric step produces a
+    number.  Division by ~zero, overflow, or unresolvable cell
+    references raise :class:`ProgramExecutionError` so the pipeline can
+    discard the sample.
+    """
+    highlighted: set[tuple[int, str]] = set()
+    results: list[float | bool] = []
+    for step in program.steps:
+        values = [
+            _resolve(table, arg, results, highlighted) for arg in step.args
+        ]
+        results.append(_apply(step.op, values))
+    final = results[-1]
+    if isinstance(final, bool):
+        return ExecutionResult(
+            values=(), highlighted_cells=frozenset(highlighted), truth=final
+        )
+    if not math.isfinite(final):
+        raise ProgramExecutionError("arithmetic expression overflowed")
+    return ExecutionResult(
+        values=(Value.number(final),), highlighted_cells=frozenset(highlighted)
+    )
+
+
+def _resolve(
+    table: Table,
+    arg: Arg,
+    results: list[float | bool],
+    highlighted: set[tuple[int, str]],
+) -> float | list[float]:
+    if isinstance(arg, NumberLiteral):
+        return arg.value
+    if isinstance(arg, StepRef):
+        previous = results[arg.index]
+        if isinstance(previous, bool):
+            raise ProgramExecutionError(
+                f"step #{arg.index} produced a boolean, not a number"
+            )
+        return previous
+    if isinstance(arg, CellRef):
+        return _resolve_cell(table, arg, highlighted)
+    if isinstance(arg, ColumnRef):
+        return _resolve_column(table, arg.column_name, highlighted)
+    if isinstance(arg, TableAggArg):
+        column = _resolve_column(table, arg.column.column_name, highlighted)
+        result = _apply(arg.op, [column])
+        if isinstance(result, bool):  # pragma: no cover - table ops are numeric
+            raise ProgramExecutionError("nested aggregation must be numeric")
+        return result
+    raise ProgramExecutionError(f"unsupported argument {arg!r}")
+
+
+def _resolve_cell(
+    table: Table, ref: CellRef, highlighted: set[tuple[int, str]]
+) -> float:
+    """Find the cell at (row named A, column B) trying both orders."""
+    for row_name, column_name in (
+        (ref.row_name, ref.column_name),
+        (ref.column_name, ref.row_name),
+    ):
+        if column_name not in table.schema:
+            continue
+        row_index = table.find_row_by_name(row_name)
+        if row_index is None:
+            continue
+        cell = table.cell(row_index, column_name)
+        if cell.is_null:
+            continue
+        try:
+            number = cell.as_number()
+        except Exception:
+            continue
+        highlighted.add((row_index, table.schema.column(column_name).name))
+        return number
+    raise ProgramExecutionError(
+        f"cell reference {ref.text()!r} does not resolve to a numeric cell"
+    )
+
+
+def _resolve_column(
+    table: Table, column: str, highlighted: set[tuple[int, str]]
+) -> list[float]:
+    if column not in table.schema:
+        raise ProgramExecutionError(f"unknown column {column!r}")
+    numbers: list[float] = []
+    name = table.schema.column(column).name
+    for row_index, cell in enumerate(table.column_values(column)):
+        if cell.is_null:
+            continue
+        try:
+            numbers.append(cell.as_number())
+        except Exception:
+            continue
+        highlighted.add((row_index, name))
+    if not numbers:
+        raise ProgramExecutionError(f"column {column!r} has no numeric cells")
+    return numbers
+
+
+def _apply(op: str, args: list[float | list[float]]) -> float | bool:
+    if op in ("table_max", "table_min", "table_sum", "table_average"):
+        (column,) = args
+        if not isinstance(column, list):
+            column = [column]
+        if op == "table_max":
+            return max(column)
+        if op == "table_min":
+            return min(column)
+        if op == "table_sum":
+            return sum(column)
+        return sum(column) / len(column)
+
+    left, right = (_to_scalar(arg) for arg in args)
+    if op == "add":
+        return left + right
+    if op == "subtract":
+        return left - right
+    if op == "multiply":
+        return left * right
+    if op == "divide":
+        if abs(right) < 1e-12:
+            raise ProgramExecutionError("division by zero")
+        return left / right
+    if op == "greater":
+        return left > right
+    if op == "exp":
+        try:
+            result = left**right
+        except (OverflowError, ZeroDivisionError, ValueError) as error:
+            raise ProgramExecutionError(f"exp failed: {error}") from error
+        if isinstance(result, complex):
+            raise ProgramExecutionError("exp produced a complex number")
+        return result
+    raise ProgramExecutionError(f"unknown arithmetic operation {op!r}")
+
+
+def _to_scalar(arg: float | list[float]) -> float:
+    if isinstance(arg, list):
+        raise ProgramExecutionError(
+            "a whole-column argument is only valid in table_* operations"
+        )
+    return float(arg)

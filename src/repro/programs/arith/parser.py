@@ -1,0 +1,144 @@
+"""Parser for arithmetic expression programs."""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ProgramParseError
+from repro.programs.arith.ast import (
+    Arg,
+    ArithProgram,
+    ArithStep,
+    BINARY_OPS,
+    CellRef,
+    ColumnRef,
+    NumberLiteral,
+    StepRef,
+    TableAggArg,
+    TABLE_OPS,
+)
+from repro.tables.values import coerce_number
+
+_STEP_RE = re.compile(
+    r"\s*(?P<op>[a-z_]+)\s*\(\s*(?P<args>.*)\s*\)\s*",
+    re.IGNORECASE | re.DOTALL,
+)
+_TABLE_AGG_RE = re.compile(
+    r"^(?P<op>table_(?:max|min|sum|average))\s*\(\s*(?P<col>[^()]+?)\s*\)$",
+    re.IGNORECASE,
+)
+_STEP_REF_RE = re.compile(r"^#(\d+)$")
+_CONST_RE = re.compile(r"^const_(m?\d+(?:_\d+)?)$", re.IGNORECASE)
+_CELL_RE = re.compile(r"^(?:the\s+)?(?P<a>.+?)\s+of\s+(?P<b>.+)$", re.IGNORECASE)
+
+
+def _split_steps(text: str) -> list[str]:
+    """Split the program on commas that separate steps (not arguments)."""
+    steps: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for char in text:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+            if depth < 0:
+                raise ProgramParseError("unbalanced ')' in arithmetic expression")
+        if char == "," and depth == 0:
+            steps.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if depth != 0:
+        raise ProgramParseError("unbalanced '(' in arithmetic expression")
+    steps.append("".join(current))
+    return [step for step in (s.strip() for s in steps) if step]
+
+
+def _split_args(text: str) -> list[str]:
+    """Split argument lists on top-level commas (nested calls kept whole)."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for char in text:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    parts.append("".join(current))
+    return [part.strip() for part in parts if part.strip()]
+
+
+def _parse_arg(text: str) -> Arg:
+    agg_match = _TABLE_AGG_RE.match(text)
+    if agg_match:
+        return TableAggArg(
+            op=agg_match.group("op").lower(),
+            column=ColumnRef(column_name=agg_match.group("col").strip()),
+        )
+    ref_match = _STEP_REF_RE.match(text)
+    if ref_match:
+        return StepRef(index=int(ref_match.group(1)))
+    const_match = _CONST_RE.match(text)
+    if const_match:
+        body = const_match.group(1)
+        negative = body.startswith("m")
+        if negative:
+            body = body[1:]
+        number = float(body.replace("_", "."))
+        return NumberLiteral(value=-number if negative else number)
+    number = coerce_number(text)
+    if number is not None:
+        return NumberLiteral(value=number)
+    cell_match = _CELL_RE.match(text)
+    if cell_match:
+        return CellRef(
+            row_name=cell_match.group("a").strip(),
+            column_name=cell_match.group("b").strip(),
+        )
+    return ColumnRef(column_name=text)
+
+
+def parse_arith(text: str) -> ArithProgram:
+    """Parse an arithmetic expression into an :class:`ArithProgram`."""
+    chunks = _split_steps(text)
+    if not chunks:
+        raise ProgramParseError("empty arithmetic expression")
+    steps: list[ArithStep] = []
+    for position, chunk in enumerate(chunks):
+        match = _STEP_RE.fullmatch(chunk)
+        if match is None:
+            raise ProgramParseError(
+                f"malformed step {chunk!r} in arithmetic expression"
+            )
+        op = match.group("op").lower()
+        raw_args = _split_args(match.group("args"))
+        if op in BINARY_OPS:
+            args = [_parse_arg(arg) for arg in raw_args]
+            if len(args) != 2:
+                raise ProgramParseError(
+                    f"{op} expects 2 arguments, got {len(args)}"
+                )
+        elif op in TABLE_OPS:
+            if len(raw_args) != 1:
+                raise ProgramParseError(
+                    f"{op} expects 1 argument, got {len(raw_args)}"
+                )
+            # Table-op operands are column names even when they look
+            # numeric (fiscal years like "2019" are common headers).
+            args = [ColumnRef(column_name=raw_args[0])]
+        else:
+            raise ProgramParseError(f"unknown arithmetic operation {op!r}")
+        for arg in args:
+            if isinstance(arg, StepRef) and arg.index >= position:
+                raise ProgramParseError(
+                    f"step reference #{arg.index} is not yet defined at step "
+                    f"{position}"
+                )
+        steps.append(ArithStep(op=op, args=tuple(args)))
+    return ArithProgram(steps=tuple(steps), source=text)

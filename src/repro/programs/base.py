@@ -1,0 +1,121 @@
+"""Shared program abstractions: kinds, results, and the dispatch API.
+
+The paper's Program-Executor module (Section IV-A, Eq. 4) is a function
+``f(T, Prog) -> O``.  Here that is :func:`execute_program`, which
+dispatches on :class:`ProgramKind` to the three concrete executors.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING
+
+from repro.errors import EmptyResultError, ProgramParseError
+from repro.tables.values import Value
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tables.table import Table
+
+
+class ProgramKind(str, Enum):
+    """Which DSL a program belongs to."""
+
+    SQL = "sql"
+    LOGIC = "logic"
+    ARITH = "arith"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome of executing a program on a table.
+
+    ``values`` is the denotation (one or more cells / computed numbers;
+    a single boolean for logical forms).  ``highlighted_cells`` records
+    the ``(row_index, column_name)`` pairs that the execution touched —
+    the paper's "highlighted cells", which drive the Table-To-Text
+    operator's choice of row and the FEVEROUS-score evidence set.
+    """
+
+    values: tuple[Value, ...]
+    highlighted_cells: frozenset[tuple[int, str]] = frozenset()
+    truth: bool | None = None
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.values and self.truth is None
+
+    @property
+    def single(self) -> Value:
+        """The sole value, for programs expected to be scalar."""
+        if len(self.values) != 1:
+            raise EmptyResultError(
+                f"expected exactly one value, got {len(self.values)}"
+            )
+        return self.values[0]
+
+    def denotation(self) -> list[str]:
+        """Raw strings of the result values (denotation-accuracy form)."""
+        if self.truth is not None and not self.values:
+            return ["true" if self.truth else "false"]
+        return [value.raw for value in self.values]
+
+    def require_non_empty(self) -> "ExecutionResult":
+        """Raise :class:`EmptyResultError` if there is no denotation.
+
+        Mirrors Algorithm 1's filter: "if ans is empty then continue".
+        """
+        if self.is_empty:
+            raise EmptyResultError("program produced an empty result")
+        return self
+
+
+@dataclass(frozen=True)
+class Program(ABC):
+    """A parsed, executable program."""
+
+    source: str = field(default="", compare=False)
+
+    @property
+    @abstractmethod
+    def kind(self) -> ProgramKind:
+        """Which DSL this program belongs to."""
+
+    @abstractmethod
+    def execute(self, table: "Table") -> ExecutionResult:
+        """Run the program against ``table``."""
+
+    @abstractmethod
+    def tokens(self) -> list[str]:
+        """Canonical token stream (NL-Generator input)."""
+
+    def canonical(self) -> str:
+        """Canonical single-line text form."""
+        return " ".join(self.tokens())
+
+
+def parse_program(text: str, kind: ProgramKind | str) -> Program:
+    """Parse ``text`` in the DSL named by ``kind``."""
+    kind = ProgramKind(kind)
+    if kind is ProgramKind.SQL:
+        from repro.programs.sql import parse_sql
+
+        return parse_sql(text)
+    if kind is ProgramKind.LOGIC:
+        from repro.programs.logic import parse_logic
+
+        return parse_logic(text)
+    if kind is ProgramKind.ARITH:
+        from repro.programs.arith import parse_arith
+
+        return parse_arith(text)
+    raise ProgramParseError(f"unknown program kind: {kind!r}")
+
+
+def execute_program(table: "Table", program: Program) -> ExecutionResult:
+    """The paper's Program-Executor: ``f(T, Prog) -> O``."""
+    return program.execute(table)

@@ -1,0 +1,26 @@
+"""Logic2Text-style logical forms for fact-verification claims.
+
+Syntax is function application with braces and semicolons::
+
+    eq { hop { filter_eq { all_rows ; c1 ; val1 } ; c2 } ; val2 }
+
+Arguments are nested applications, the ``all_rows`` view, column names,
+or literal values.  The operator inventory covers the paper's reasoning
+types (Section II-C): count, superlative (argmax/argmin, nth variants),
+comparative (greater/less, row_greater/row_less), aggregation
+(sum/avg/max/min), majority (most_* / all_*), unique (only), and ordinal
+(nth_max / nth_argmax ...).
+"""
+
+from repro.programs.logic.ops import OPERATORS, OperatorSpec, RowsView
+from repro.programs.logic.parser import LogicProgram, parse_logic
+from repro.programs.logic.executor import execute_logic
+
+__all__ = [
+    "OPERATORS",
+    "OperatorSpec",
+    "RowsView",
+    "LogicProgram",
+    "parse_logic",
+    "execute_logic",
+]

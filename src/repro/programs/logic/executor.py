@@ -1,0 +1,64 @@
+"""Evaluator for logical forms."""
+
+from __future__ import annotations
+
+from repro.errors import ProgramExecutionError, ProgramTypeError
+from repro.programs.base import ExecutionResult
+from repro.programs.logic.ops import OPERATORS, EvalContext, RowsView
+from repro.programs.logic.parser import LogicNode
+from repro.tables.table import Table
+from repro.tables.values import Value, parse_value
+
+
+def execute_logic(table: Table, root: LogicNode) -> ExecutionResult:
+    """Execute a logical form; the root must produce a truth value.
+
+    Non-boolean roots (e.g. a bare ``count``) are also accepted for
+    sampler introspection — their result lands in ``values`` with
+    ``truth=None``.
+    """
+    ctx = EvalContext(table=table)
+    result = _evaluate(ctx, root)
+    highlighted = frozenset(ctx.highlighted)
+    if isinstance(result, bool):
+        return ExecutionResult(
+            values=(), highlighted_cells=highlighted, truth=result
+        )
+    if isinstance(result, Value):
+        return ExecutionResult(
+            values=(result,), highlighted_cells=highlighted
+        )
+    if isinstance(result, RowsView):
+        names = [result.table.row_name(index) for index in result.indices]
+        values = tuple(parse_value(name) for name in names)
+        return ExecutionResult(values=values, highlighted_cells=highlighted)
+    raise ProgramExecutionError(
+        f"logical form produced unsupported result {type(result).__name__}"
+    )
+
+
+def _evaluate(ctx: EvalContext, node: LogicNode | str):
+    if isinstance(node, str):
+        return _literal(ctx, node)
+    spec = OPERATORS.get(node.op)
+    if spec is None:
+        raise ProgramExecutionError(f"unknown operator {node.op!r}")
+    if len(node.args) != spec.arity:
+        raise ProgramTypeError(
+            f"{node.op} expects {spec.arity} arguments, got {len(node.args)}"
+        )
+    args = [_evaluate(ctx, arg) for arg in node.args]
+    # Column-name arguments arrive as parsed Values via _literal; the
+    # operator impls accept str or Value, so re-expose raw strings for
+    # the positions that name columns.
+    return spec.fn(ctx, *args)
+
+
+def _literal(ctx: EvalContext, text: str):
+    stripped = text.strip()
+    if stripped.lower() == "all_rows":
+        return RowsView.all_rows(ctx.table)
+    if stripped in ctx.table.schema:
+        # Column names stay strings so operators can index the schema.
+        return stripped
+    return parse_value(stripped)

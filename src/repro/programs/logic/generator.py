@@ -1,0 +1,260 @@
+"""Auto program generation: random well-typed logical-form synthesis.
+
+The paper's future work proposes "an auto program-generation method
+based on the existing data distributions" to replace the fixed template
+pools.  This module implements it for logical forms: it composes
+operators from the registry into novel type-correct trees, guided by a
+category distribution (uniform by default, or estimated from an
+existing template pool / sample corpus), executes them for validity,
+and abstracts the survivors into reusable
+:class:`~repro.templates.template.ProgramTemplate` objects.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.programs.base import ProgramKind
+from repro.programs.logic.parser import LogicNode, LogicProgram, parse_logic
+from repro.rng import choice, weighted_choice
+from repro.tables.table import Table
+from repro.tables.values import format_number
+from repro.templates.extract import abstract_program, dedup_templates
+from repro.templates.template import ProgramTemplate
+
+#: row-set producers usable as the inner expression of a claim.
+_ROW_PRODUCERS = (
+    "filter_eq",
+    "filter_not_eq",
+    "filter_greater",
+    "filter_less",
+)
+
+#: claim shapes the generator can emit, with their reasoning category.
+_CLAIM_SHAPES = (
+    "lookup",       # eq(hop(rows, col), value)
+    "count",        # eq(count(rows), n)
+    "superlative",  # eq(hop(argmax/argmin(rows, num), col), value)
+    "aggregation",  # round_eq(sum/avg(rows, num), value)
+    "majority",     # most_*/all_*(rows, col, value)
+    "unique",       # only(rows)
+    "comparative",  # greater/less(hop(r1, num), hop(r2, num))
+    "ordinal",      # eq(nth_max(rows, num, k), value)
+    "conjunction",  # and(claim, claim)
+)
+
+
+@dataclass(frozen=True)
+class AutoGenConfig:
+    """Knobs for the auto generator."""
+
+    max_depth: int = 2          # nesting depth of row-set filters
+    attempts_per_program: int = 6
+    #: probability weights per claim shape; ``None`` means uniform.
+    shape_weights: dict[str, float] | None = None
+
+
+@dataclass
+class AutoProgramGenerator:
+    """Synthesizes executable logical forms directly from a table."""
+
+    rng: random.Random
+    config: AutoGenConfig = field(default_factory=AutoGenConfig)
+
+    # -- public API ---------------------------------------------------------
+    def generate(self, table: Table) -> LogicProgram | None:
+        """One valid program on ``table``, or ``None`` after retries."""
+        for _ in range(self.config.attempts_per_program):
+            try:
+                source = self._claim(table)
+                program = parse_logic(source)
+                result = program.execute(table)
+            except ReproError:
+                continue
+            if result.truth is None:
+                continue
+            return program
+        return None
+
+    def generate_many(self, table: Table, budget: int) -> list[LogicProgram]:
+        out: list[LogicProgram] = []
+        for _ in range(budget * 2):
+            if len(out) >= budget:
+                break
+            program = self.generate(table)
+            if program is not None:
+                out.append(program)
+        return out
+
+    def induce_templates(
+        self, tables: list[Table], per_table: int = 8
+    ) -> list[ProgramTemplate]:
+        """Mine a deduplicated template pool from generated programs."""
+        templates: list[ProgramTemplate] = []
+        for table in tables:
+            for program in self.generate_many(table, per_table):
+                try:
+                    template = abstract_program(
+                        program, table, source="autogen"
+                    )
+                except ReproError:
+                    continue
+                templates.append(template)
+        return dedup_templates(templates)
+
+    @staticmethod
+    def shape_weights_from_pool(
+        templates: list[ProgramTemplate],
+    ) -> dict[str, float]:
+        """Estimate the category distribution of an existing pool.
+
+        This is the "based on the existing data distributions" part: a
+        corpus of templates (or abstracted gold programs) sets how often
+        each claim shape is generated.
+        """
+        counts = Counter(
+            template.category
+            for template in templates
+            if template.category in _CLAIM_SHAPES
+        )
+        total = sum(counts.values())
+        if total == 0:
+            return {}
+        return {shape: counts[shape] / total for shape in counts}
+
+    # -- claim synthesis ------------------------------------------------------
+    def _claim(self, table: Table) -> str:
+        shapes = list(_CLAIM_SHAPES)
+        if self.config.shape_weights:
+            weights = [
+                self.config.shape_weights.get(shape, 0.0) for shape in shapes
+            ]
+            if sum(weights) > 0:
+                shape = weighted_choice(self.rng, shapes, weights)
+            else:
+                shape = choice(self.rng, shapes)
+        else:
+            shape = choice(self.rng, shapes)
+        builder = getattr(self, f"_shape_{shape}")
+        return builder(table)
+
+    def _rows(self, table: Table, depth: int | None = None) -> str:
+        """A random row-set expression (possibly nested filters)."""
+        depth = self.config.max_depth if depth is None else depth
+        if depth <= 0 or self.rng.random() < 0.4:
+            return "all_rows"
+        inner = self._rows(table, depth - 1)
+        op = choice(self.rng, list(_ROW_PRODUCERS))
+        if op in ("filter_eq", "filter_not_eq"):
+            column = self._any_column(table)
+            value = self._value_of(table, column)
+        else:
+            column = self._numeric_column(table)
+            value = self._value_of(table, column)
+        return f"{op} {{ {inner} ; {column} ; {value} }}"
+
+    # individual claim shapes ----------------------------------------------
+    def _shape_lookup(self, table: Table) -> str:
+        rows = self._rows(table)
+        column = self._any_column(table)
+        value = self._value_of(table, column)
+        return f"eq {{ hop {{ {rows} ; {column} }} ; {value} }}"
+
+    def _shape_count(self, table: Table) -> str:
+        rows = self._rows(table)
+        n = self.rng.randint(0, max(1, table.n_rows))
+        return f"eq {{ count {{ {rows} }} ; {n} }}"
+
+    def _shape_superlative(self, table: Table) -> str:
+        rows = self._rows(table)
+        arg = choice(self.rng, ["argmax", "argmin"])
+        numeric = self._numeric_column(table)
+        out = self._any_column(table)
+        value = self._value_of(table, out)
+        return (
+            f"eq {{ hop {{ {arg} {{ {rows} ; {numeric} }} ; {out} }} ; "
+            f"{value} }}"
+        )
+
+    def _shape_aggregation(self, table: Table) -> str:
+        rows = self._rows(table)
+        agg = choice(self.rng, ["sum", "avg", "max", "min"])
+        numeric = self._numeric_column(table)
+        value = self._value_of(table, numeric)
+        return f"round_eq {{ {agg} {{ {rows} ; {numeric} }} ; {value} }}"
+
+    def _shape_majority(self, table: Table) -> str:
+        op = choice(
+            self.rng,
+            ["most_eq", "all_eq", "most_greater", "most_less",
+             "all_greater", "all_less"],
+        )
+        if op.endswith("_eq"):
+            column = self._any_column(table)
+        else:
+            column = self._numeric_column(table)
+        value = self._value_of(table, column)
+        return f"{op} {{ all_rows ; {column} ; {value} }}"
+
+    def _shape_unique(self, table: Table) -> str:
+        column = self._any_column(table)
+        value = self._value_of(table, column)
+        return f"only {{ filter_eq {{ all_rows ; {column} ; {value} }} }}"
+
+    def _shape_comparative(self, table: Table) -> str:
+        name_column = table.row_name_column or table.column_names[0]
+        numeric = self._numeric_column(table)
+        a = self._value_of(table, name_column)
+        b = self._value_of(table, name_column, exclude={a})
+        op = choice(self.rng, ["greater", "less"])
+        return (
+            f"{op} {{ "
+            f"hop {{ filter_eq {{ all_rows ; {name_column} ; {a} }} ; {numeric} }} ; "
+            f"hop {{ filter_eq {{ all_rows ; {name_column} ; {b} }} ; {numeric} }} }}"
+        )
+
+    def _shape_ordinal(self, table: Table) -> str:
+        numeric = self._numeric_column(table)
+        rank = self.rng.randint(1, max(1, min(5, table.n_rows)))
+        op = choice(self.rng, ["nth_max", "nth_min"])
+        value = self._value_of(table, numeric)
+        return f"eq {{ {op} {{ all_rows ; {numeric} ; {rank} }} ; {value} }}"
+
+    def _shape_conjunction(self, table: Table) -> str:
+        left = self._shape_lookup(table)
+        right = self._shape_majority(table)
+        return f"and {{ {left} ; {right} }}"
+
+    # -- leaves ---------------------------------------------------------------
+    def _any_column(self, table: Table) -> str:
+        columns = [c for c in table.column_names if _clean(c)]
+        if not columns:
+            raise ReproError("table has no usable columns")
+        return choice(self.rng, columns)
+
+    def _numeric_column(self, table: Table) -> str:
+        columns = [c for c in table.numeric_column_names() if _clean(c)]
+        if not columns:
+            raise ReproError("table has no numeric columns")
+        return choice(self.rng, columns)
+
+    def _value_of(
+        self, table: Table, column: str, exclude: set[str] = frozenset()
+    ) -> str:
+        values = [
+            value.raw.strip()
+            for value in table.distinct_values(column)
+            if _clean(value.raw) and value.raw.strip() not in exclude
+        ]
+        if not values:
+            raise ReproError(f"column {column!r} has no usable values")
+        picked = choice(self.rng, values)
+        return picked
+
+
+def _clean(text: str) -> bool:
+    stripped = text.strip()
+    return bool(stripped) and not (set("{};()'\"") & set(stripped))

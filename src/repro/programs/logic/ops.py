@@ -1,0 +1,416 @@
+"""Operator inventory and runtime types for logical forms.
+
+The runtime manipulates four kinds of values:
+
+* :class:`RowsView` — an ordered subset of table rows (with provenance),
+* :class:`~repro.tables.values.Value` — one cell or computed scalar,
+* ``bool`` — truth values produced by predicates,
+* ``str``/``float`` literals from the program text.
+
+Each operator is described by an :class:`OperatorSpec` carrying its
+signature category, which the sampler and NL grammar both read.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ProgramExecutionError, ProgramTypeError
+from repro.tables.table import Table
+from repro.tables.values import Value
+
+
+@dataclass(frozen=True)
+class RowsView:
+    """An ordered subset of a table's rows, tracking source indices."""
+
+    table: Table
+    indices: tuple[int, ...]
+
+    @staticmethod
+    def all_rows(table: Table) -> "RowsView":
+        return RowsView(table=table, indices=tuple(range(table.n_rows)))
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.indices)
+
+    def column_cells(self, column: str) -> list[tuple[int, Value]]:
+        """(source row index, cell) pairs for a column within this view."""
+        column_index = self.table.schema.index(column)
+        return [
+            (row_index, self.table.rows[row_index][column_index])
+            for row_index in self.indices
+        ]
+
+    def subset(self, kept: list[int]) -> "RowsView":
+        return RowsView(table=self.table, indices=tuple(kept))
+
+
+@dataclass
+class EvalContext:
+    """Mutable execution state: the table plus highlighted-cell log."""
+
+    table: Table
+    highlighted: set[tuple[int, str]] = field(default_factory=set)
+
+    def touch(self, row_index: int, column: str) -> None:
+        name = self.table.schema.column(column).name
+        self.highlighted.add((row_index, name))
+
+
+@dataclass(frozen=True)
+class OperatorSpec:
+    """Metadata + implementation for one logical-form operator.
+
+    ``category`` drives template abstraction and the NL grammar:
+    filter / aggregate / superlative / comparative / majority / unique /
+    ordinal / arithmetic / predicate / hop / count.
+    """
+
+    name: str
+    category: str
+    arity: int
+    returns: str  # "rows" | "value" | "bool" | "number"
+    fn: Callable[..., object]
+
+
+def _require_rows(value: object, op: str) -> RowsView:
+    if not isinstance(value, RowsView):
+        raise ProgramTypeError(f"{op} expects a row set, got {type(value).__name__}")
+    return value
+
+
+def _as_value(value: object, op: str) -> Value:
+    if isinstance(value, Value):
+        return value
+    if isinstance(value, (int, float)):
+        return Value.number(float(value))
+    if isinstance(value, str):
+        from repro.tables.values import parse_value
+
+        return parse_value(value)
+    raise ProgramTypeError(f"{op} expects a value, got {type(value).__name__}")
+
+
+def _as_number(value: object, op: str) -> float:
+    try:
+        return _as_value(value, op).as_number()
+    except ProgramTypeError:
+        raise
+    except Exception as error:
+        raise ProgramTypeError(f"{op} expects a number: {error}") from error
+
+
+def _as_text(value: object, op: str) -> str:
+    if isinstance(value, Value):
+        return value.raw
+    if isinstance(value, str):
+        return value
+    raise ProgramTypeError(f"{op} expects text, got {type(value).__name__}")
+
+
+def _cmp_eq(cell: Value, target: Value) -> bool:
+    return cell.equals(target)
+
+
+def _numeric_pairs(
+    ctx: EvalContext, rows: RowsView, column: str, op: str
+) -> list[tuple[int, float]]:
+    pairs: list[tuple[int, float]] = []
+    for row_index, cell in rows.column_cells(column):
+        if cell.is_null:
+            continue
+        ctx.touch(row_index, column)
+        try:
+            pairs.append((row_index, cell.as_number()))
+        except Exception as error:
+            raise ProgramTypeError(
+                f"{op}: column {column!r} has non-numeric cell {cell.raw!r}"
+            ) from error
+    return pairs
+
+
+# --------------------------------------------------------------------------
+# Operator implementations.  Every fn takes (ctx, *args).
+# --------------------------------------------------------------------------
+
+def _filter_factory(name: str, keep: Callable[[Value, Value], bool], numeric: bool):
+    def impl(ctx: EvalContext, rows: object, column: object, target: object):
+        view = _require_rows(rows, name)
+        column_name = _as_text(column, name)
+        target_value = _as_value(target, name)
+        kept: list[int] = []
+        for row_index, cell in view.column_cells(column_name):
+            if cell.is_null:
+                continue
+            if numeric:
+                try:
+                    ok = keep(
+                        Value.number(cell.as_number()),
+                        Value.number(target_value.as_number()),
+                    )
+                except Exception:
+                    continue
+            else:
+                ok = keep(cell, target_value)
+            if ok:
+                kept.append(row_index)
+                ctx.touch(row_index, column_name)
+        return view.subset(kept)
+
+    return impl
+
+
+def _filter_all(ctx: EvalContext, rows: object, column: object):
+    """Rows whose cell in ``column`` is non-null (Logic2Text filter_all)."""
+    view = _require_rows(rows, "filter_all")
+    column_name = _as_text(column, "filter_all")
+    kept = []
+    for row_index, cell in view.column_cells(column_name):
+        if not cell.is_null:
+            kept.append(row_index)
+            ctx.touch(row_index, column_name)
+    return view.subset(kept)
+
+
+def _count(ctx: EvalContext, rows: object):
+    view = _require_rows(rows, "count")
+    return Value.number(view.n_rows)
+
+
+def _only(ctx: EvalContext, rows: object):
+    view = _require_rows(rows, "only")
+    return view.n_rows == 1
+
+
+def _hop(ctx: EvalContext, rows: object, column: object):
+    view = _require_rows(rows, "hop")
+    column_name = _as_text(column, "hop")
+    if view.n_rows == 0:
+        raise ProgramExecutionError("hop on an empty row set")
+    row_index, cell = view.column_cells(column_name)[0]
+    ctx.touch(row_index, column_name)
+    return cell
+
+
+def _agg_factory(name: str, reducer: Callable[[list[float]], float]):
+    def impl(ctx: EvalContext, rows: object, column: object):
+        view = _require_rows(rows, name)
+        column_name = _as_text(column, name)
+        pairs = _numeric_pairs(ctx, view, column_name, name)
+        if not pairs:
+            raise ProgramExecutionError(f"{name} over empty/non-numeric column")
+        return Value.number(reducer([number for _, number in pairs]))
+
+    return impl
+
+
+def _arg_extreme_factory(name: str, pick_max: bool):
+    def impl(ctx: EvalContext, rows: object, column: object):
+        view = _require_rows(rows, name)
+        column_name = _as_text(column, name)
+        pairs = _numeric_pairs(ctx, view, column_name, name)
+        if not pairs:
+            raise ProgramExecutionError(f"{name} over empty/non-numeric column")
+        chooser = max if pick_max else min
+        best_index, _ = chooser(pairs, key=lambda pair: pair[1])
+        return view.subset([best_index])
+
+    return impl
+
+
+def _nth_extreme_factory(name: str, pick_max: bool, return_rows: bool):
+    def impl(ctx: EvalContext, rows: object, column: object, n: object):
+        view = _require_rows(rows, name)
+        column_name = _as_text(column, name)
+        rank = int(_as_number(n, name))
+        pairs = _numeric_pairs(ctx, view, column_name, name)
+        if rank < 1 or rank > len(pairs):
+            raise ProgramExecutionError(
+                f"{name}: rank {rank} out of range for {len(pairs)} rows"
+            )
+        ordered = sorted(pairs, key=lambda pair: pair[1], reverse=pick_max)
+        row_index, number = ordered[rank - 1]
+        if return_rows:
+            return view.subset([row_index])
+        return Value.number(number)
+
+    return impl
+
+
+def _eq(ctx: EvalContext, left: object, right: object):
+    return _cmp_eq(_as_value(left, "eq"), _as_value(right, "eq"))
+
+
+def _not_eq(ctx: EvalContext, left: object, right: object):
+    return not _cmp_eq(_as_value(left, "not_eq"), _as_value(right, "not_eq"))
+
+
+def _round_eq(ctx: EvalContext, left: object, right: object):
+    a = _as_number(left, "round_eq")
+    b = _as_number(right, "round_eq")
+    tolerance = max(abs(b) * 0.05, 0.5)
+    return abs(a - b) <= tolerance
+
+
+def _greater(ctx: EvalContext, left: object, right: object):
+    return _as_number(left, "greater") > _as_number(right, "greater")
+
+
+def _less(ctx: EvalContext, left: object, right: object):
+    return _as_number(left, "less") < _as_number(right, "less")
+
+
+def _diff(ctx: EvalContext, left: object, right: object):
+    return Value.number(_as_number(left, "diff") - _as_number(right, "diff"))
+
+
+def _add(ctx: EvalContext, left: object, right: object):
+    return Value.number(_as_number(left, "add") + _as_number(right, "add"))
+
+
+def _and(ctx: EvalContext, left: object, right: object):
+    if not isinstance(left, bool) or not isinstance(right, bool):
+        raise ProgramTypeError("and expects boolean arguments")
+    return left and right
+
+
+def _or(ctx: EvalContext, left: object, right: object):
+    if not isinstance(left, bool) or not isinstance(right, bool):
+        raise ProgramTypeError("or expects boolean arguments")
+    return left or right
+
+
+def _not(ctx: EvalContext, operand: object):
+    if not isinstance(operand, bool):
+        raise ProgramTypeError("not expects a boolean argument")
+    return not operand
+
+
+def _majority_factory(name: str, keep: Callable[[Value, Value], bool], mode: str,
+                      numeric: bool):
+    def impl(ctx: EvalContext, rows: object, column: object, target: object):
+        view = _require_rows(rows, name)
+        column_name = _as_text(column, name)
+        target_value = _as_value(target, name)
+        cells = [
+            (row_index, cell)
+            for row_index, cell in view.column_cells(column_name)
+            if not cell.is_null
+        ]
+        if not cells:
+            raise ProgramExecutionError(f"{name} over an empty column")
+        hits = 0
+        for row_index, cell in cells:
+            ctx.touch(row_index, column_name)
+            try:
+                if numeric:
+                    ok = keep(
+                        Value.number(cell.as_number()),
+                        Value.number(target_value.as_number()),
+                    )
+                else:
+                    ok = keep(cell, target_value)
+            except Exception:
+                ok = False
+            if ok:
+                hits += 1
+        if mode == "all":
+            return hits == len(cells)
+        return hits * 2 > len(cells)
+
+    return impl
+
+
+_GT = lambda cell, target: cell.as_number() > target.as_number()  # noqa: E731
+_LT = lambda cell, target: cell.as_number() < target.as_number()  # noqa: E731
+_GE = lambda cell, target: cell.as_number() >= target.as_number()  # noqa: E731
+_LE = lambda cell, target: cell.as_number() <= target.as_number()  # noqa: E731
+_NE = lambda cell, target: not cell.equals(target)  # noqa: E731
+
+
+def _build_operators() -> dict[str, OperatorSpec]:
+    specs = [
+        # filters: rows x column x value -> rows
+        OperatorSpec("filter_eq", "filter", 3, "rows",
+                     _filter_factory("filter_eq", _cmp_eq, numeric=False)),
+        OperatorSpec("filter_not_eq", "filter", 3, "rows",
+                     _filter_factory("filter_not_eq", _NE, numeric=False)),
+        OperatorSpec("filter_greater", "filter", 3, "rows",
+                     _filter_factory("filter_greater", _GT, numeric=True)),
+        OperatorSpec("filter_less", "filter", 3, "rows",
+                     _filter_factory("filter_less", _LT, numeric=True)),
+        OperatorSpec("filter_greater_eq", "filter", 3, "rows",
+                     _filter_factory("filter_greater_eq", _GE, numeric=True)),
+        OperatorSpec("filter_less_eq", "filter", 3, "rows",
+                     _filter_factory("filter_less_eq", _LE, numeric=True)),
+        OperatorSpec("filter_all", "filter", 2, "rows", _filter_all),
+        # counting & uniqueness
+        OperatorSpec("count", "count", 1, "value", _count),
+        OperatorSpec("only", "unique", 1, "bool", _only),
+        # hop
+        OperatorSpec("hop", "hop", 2, "value", _hop),
+        # aggregation: rows x column -> value
+        OperatorSpec("max", "aggregate", 2, "value", _agg_factory("max", max)),
+        OperatorSpec("min", "aggregate", 2, "value", _agg_factory("min", min)),
+        OperatorSpec("sum", "aggregate", 2, "value", _agg_factory("sum", sum)),
+        OperatorSpec("avg", "aggregate", 2, "value",
+                     _agg_factory("avg", lambda xs: sum(xs) / len(xs))),
+        # superlatives
+        OperatorSpec("argmax", "superlative", 2, "rows",
+                     _arg_extreme_factory("argmax", pick_max=True)),
+        OperatorSpec("argmin", "superlative", 2, "rows",
+                     _arg_extreme_factory("argmin", pick_max=False)),
+        # ordinal
+        OperatorSpec("nth_max", "ordinal", 3, "value",
+                     _nth_extreme_factory("nth_max", True, return_rows=False)),
+        OperatorSpec("nth_min", "ordinal", 3, "value",
+                     _nth_extreme_factory("nth_min", False, return_rows=False)),
+        OperatorSpec("nth_argmax", "ordinal", 3, "rows",
+                     _nth_extreme_factory("nth_argmax", True, return_rows=True)),
+        OperatorSpec("nth_argmin", "ordinal", 3, "rows",
+                     _nth_extreme_factory("nth_argmin", False, return_rows=True)),
+        # predicates
+        OperatorSpec("eq", "predicate", 2, "bool", _eq),
+        OperatorSpec("not_eq", "predicate", 2, "bool", _not_eq),
+        OperatorSpec("round_eq", "predicate", 2, "bool", _round_eq),
+        OperatorSpec("greater", "comparative", 2, "bool", _greater),
+        OperatorSpec("less", "comparative", 2, "bool", _less),
+        # arithmetic on scalars
+        OperatorSpec("diff", "arithmetic", 2, "value", _diff),
+        OperatorSpec("add", "arithmetic", 2, "value", _add),
+        # boolean connectives
+        OperatorSpec("and", "connective", 2, "bool", _and),
+        OperatorSpec("or", "connective", 2, "bool", _or),
+        OperatorSpec("not", "connective", 1, "bool", _not),
+        # majority
+        OperatorSpec("all_eq", "majority", 3, "bool",
+                     _majority_factory("all_eq", _cmp_eq, "all", numeric=False)),
+        OperatorSpec("all_not_eq", "majority", 3, "bool",
+                     _majority_factory("all_not_eq", _NE, "all", numeric=False)),
+        OperatorSpec("all_greater", "majority", 3, "bool",
+                     _majority_factory("all_greater", _GT, "all", numeric=True)),
+        OperatorSpec("all_less", "majority", 3, "bool",
+                     _majority_factory("all_less", _LT, "all", numeric=True)),
+        OperatorSpec("most_eq", "majority", 3, "bool",
+                     _majority_factory("most_eq", _cmp_eq, "most", numeric=False)),
+        OperatorSpec("most_not_eq", "majority", 3, "bool",
+                     _majority_factory("most_not_eq", _NE, "most", numeric=False)),
+        OperatorSpec("most_greater", "majority", 3, "bool",
+                     _majority_factory("most_greater", _GT, "most", numeric=True)),
+        OperatorSpec("most_less", "majority", 3, "bool",
+                     _majority_factory("most_less", _LT, "most", numeric=True)),
+    ]
+    return {spec.name: spec for spec in specs}
+
+
+#: Registry of every logical-form operator, keyed by name.
+OPERATORS: dict[str, OperatorSpec] = _build_operators()
+
+#: Operators whose result is the claim's truth value (valid roots).
+BOOLEAN_ROOTS = frozenset(
+    name for name, spec in OPERATORS.items() if spec.returns == "bool"
+)

@@ -1,0 +1,175 @@
+"""Parser for the brace-and-semicolon logical-form syntax."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ProgramParseError
+from repro.programs.base import ExecutionResult, Program, ProgramKind
+from repro.programs.logic.ops import OPERATORS
+
+
+@dataclass(frozen=True)
+class LogicNode:
+    """One application node: ``op { arg1 ; arg2 ; ... }``.
+
+    Leaf arguments are stored as plain strings (column names, literal
+    values, or the special token ``all_rows``).
+    """
+
+    op: str
+    args: tuple["LogicNode | str", ...] = field(default_factory=tuple)
+
+    def tokens(self) -> list[str]:
+        out = [self.op, "{"]
+        for index, arg in enumerate(self.args):
+            if index:
+                out.append(";")
+            if isinstance(arg, LogicNode):
+                out.extend(arg.tokens())
+            else:
+                out.append(arg)
+        out.append("}")
+        return out
+
+    def text(self) -> str:
+        return " ".join(self.tokens())
+
+    def walk(self):
+        """Yield every node in the tree, pre-order."""
+        yield self
+        for arg in self.args:
+            if isinstance(arg, LogicNode):
+                yield from arg.walk()
+
+    def leaf_strings(self) -> list[str]:
+        """All leaf string arguments, left to right."""
+        out: list[str] = []
+        for arg in self.args:
+            if isinstance(arg, LogicNode):
+                out.extend(arg.leaf_strings())
+            else:
+                out.append(arg)
+        return out
+
+
+class _Scanner:
+    """Splits the source into ``{``, ``}``, ``;`` and bare chunks."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.position = 0
+
+    def next_token(self) -> tuple[str, str] | None:
+        while self.position < len(self.text) and self.text[self.position].isspace():
+            self.position += 1
+        if self.position >= len(self.text):
+            return None
+        char = self.text[self.position]
+        if char in "{};":
+            self.position += 1
+            return ("punct", char)
+        start = self.position
+        while (
+            self.position < len(self.text)
+            and self.text[self.position] not in "{};"
+        ):
+            self.position += 1
+        return ("chunk", self.text[start : self.position].strip())
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self._scanner = _Scanner(text)
+        self._lookahead: tuple[str, str] | None = None
+        self._advance()
+
+    def _advance(self) -> tuple[str, str] | None:
+        token = self._lookahead
+        self._lookahead = self._scanner.next_token()
+        return token
+
+    def parse(self) -> LogicNode:
+        node = self._application()
+        if self._lookahead is not None:
+            raise ProgramParseError(
+                f"trailing input after logical form: {self._lookahead[1]!r}",
+                self._scanner.position,
+            )
+        if not isinstance(node, LogicNode):
+            raise ProgramParseError("a logical form must be an application")
+        return node
+
+    def _application(self) -> LogicNode | str:
+        token = self._advance()
+        if token is None:
+            raise ProgramParseError("unexpected end of logical form")
+        kind, text = token
+        if kind != "chunk" or not text:
+            raise ProgramParseError(f"expected an operator or literal, got {text!r}")
+        if self._lookahead is not None and self._lookahead == ("punct", "{"):
+            op = text.strip().lower()
+            if op not in OPERATORS:
+                raise ProgramParseError(f"unknown operator {text!r}")
+            self._advance()  # consume "{"
+            args: list[LogicNode | str] = []
+            if self._lookahead == ("punct", "}"):
+                self._advance()
+                return self._finish(op, args)
+            while True:
+                args.append(self._argument())
+                token = self._advance()
+                if token is None:
+                    raise ProgramParseError("unterminated application, missing '}'")
+                if token == ("punct", "}"):
+                    return self._finish(op, args)
+                if token != ("punct", ";"):
+                    raise ProgramParseError(
+                        f"expected ';' or '}}', got {token[1]!r}"
+                    )
+        return text
+
+    def _finish(self, op: str, args: list["LogicNode | str"]) -> LogicNode:
+        expected = OPERATORS[op].arity
+        if len(args) != expected:
+            raise ProgramParseError(
+                f"{op} expects {expected} arguments, got {len(args)}"
+            )
+        return LogicNode(op=op, args=tuple(args))
+
+    def _argument(self) -> LogicNode | str:
+        if self._lookahead is None:
+            raise ProgramParseError("unexpected end of logical form in argument")
+        return self._application()
+
+
+class LogicProgram(Program):
+    """A parsed logical form conforming to :class:`Program`."""
+
+    def __init__(self, root: LogicNode, source: str = ""):
+        super().__init__(source=source or root.text())
+        object.__setattr__(self, "root", root)
+
+    @property
+    def kind(self) -> ProgramKind:
+        return ProgramKind.LOGIC
+
+    def execute(self, table) -> ExecutionResult:
+        from repro.programs.logic.executor import execute_logic
+
+        return execute_logic(table, self.root)
+
+    def tokens(self) -> list[str]:
+        return self.root.tokens()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LogicProgram) and self.root == other.root
+
+    def __hash__(self) -> int:
+        return hash(("logic", self.root))
+
+
+def parse_logic(text: str) -> LogicProgram:
+    """Parse a logical-form string into a :class:`LogicProgram`."""
+    root = _Parser(text).parse()
+    return LogicProgram(root=root, source=text)

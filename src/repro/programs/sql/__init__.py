@@ -1,0 +1,46 @@
+"""A self-contained mini SQL engine for the SQUALL-style query subset.
+
+Grammar (case-insensitive keywords)::
+
+    query      := SELECT select_list FROM w [WHERE conj] [ORDER BY col [ASC|DESC]] [LIMIT n]
+    select_list:= select_item ("," select_item)*
+    select_item:= col | agg "(" col ")" | agg "(" "*" ")"
+                 | col op col            -- arithmetic projection (a - b, a + b)
+    agg        := COUNT | SUM | AVG | MIN | MAX
+    conj       := cond (AND cond)*
+    cond       := col cmp literal
+    cmp        := = | != | < | > | <= | >=
+
+This covers every reasoning type the paper lists for SQL queries
+(Section II-C): equivalence, comparison (incl. ``ORDER BY``/``LIMIT``
+argmax-argmin idioms), counting, sum, diff, and conjunction.  The
+executor is cross-checked against stdlib ``sqlite3`` in the test suite.
+"""
+
+from repro.programs.sql.lexer import Token, TokenKind, tokenize_sql
+from repro.programs.sql.ast import (
+    Aggregate,
+    ArithmeticItem,
+    ColumnItem,
+    Comparison,
+    CompOp,
+    Condition,
+    SelectQuery,
+)
+from repro.programs.sql.parser import parse_sql
+from repro.programs.sql.executor import execute_sql
+
+__all__ = [
+    "Token",
+    "TokenKind",
+    "tokenize_sql",
+    "Aggregate",
+    "ArithmeticItem",
+    "ColumnItem",
+    "Comparison",
+    "CompOp",
+    "Condition",
+    "SelectQuery",
+    "parse_sql",
+    "execute_sql",
+]

@@ -1,0 +1,155 @@
+"""AST node definitions for the mini SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.tables.values import Value
+
+
+class Aggregate(str, Enum):
+    """Aggregate functions the dialect supports."""
+
+    COUNT = "count"
+    SUM = "sum"
+    AVG = "avg"
+    MIN = "min"
+    MAX = "max"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class CompOp(str, Enum):
+    """Comparison operators of WHERE conditions."""
+
+    EQ = "="
+    NEQ = "!="
+    LT = "<"
+    GT = ">"
+    LE = "<="
+    GE = ">="
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One WHERE condition: ``column op literal``."""
+
+    column: str
+    op: CompOp
+    literal: Value
+
+    def tokens(self) -> list[str]:
+        literal = self.literal.raw
+        if not self.literal.is_number:
+            literal = f"'{literal}'"
+        return [self.column, self.op.value, literal]
+
+
+@dataclass(frozen=True)
+class ColumnItem:
+    """A plain or aggregated column in the SELECT list.
+
+    ``aggregate=None`` projects the column; ``column='*'`` with
+    ``aggregate=COUNT`` is ``count(*)``.
+    """
+
+    column: str
+    aggregate: Aggregate | None = None
+    distinct: bool = False
+
+    def tokens(self) -> list[str]:
+        if self.aggregate is None:
+            return [self.column]
+        inner = ["distinct", self.column] if self.distinct else [self.column]
+        return [self.aggregate.value, "(", *inner, ")"]
+
+
+@dataclass(frozen=True)
+class ArithmeticItem:
+    """An arithmetic projection such as ``max(a) - min(a)`` or ``a - b``.
+
+    Covers the paper's ``diff(-)`` and ``sum(+)`` reasoning types when
+    expressed inside a single query.
+    """
+
+    left: ColumnItem
+    op: str  # "+" or "-"
+    right: ColumnItem
+
+    def tokens(self) -> list[str]:
+        return [*self.left.tokens(), self.op, *self.right.tokens()]
+
+
+SelectItem = ColumnItem | ArithmeticItem
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """ORDER BY clause: column plus direction."""
+
+    column: str
+    descending: bool = False
+
+    def tokens(self) -> list[str]:
+        return ["order", "by", self.column, "desc" if self.descending else "asc"]
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """A full SELECT statement."""
+
+    items: tuple[SelectItem, ...]
+    conditions: tuple[Condition, ...] = field(default_factory=tuple)
+    order: Comparison | None = None
+    limit: int | None = None
+
+    def tokens(self) -> list[str]:
+        out: list[str] = ["select"]
+        for index, item in enumerate(self.items):
+            if index:
+                out.append(",")
+            out.extend(item.tokens())
+        out.extend(["from", "w"])
+        if self.conditions:
+            out.append("where")
+            for index, condition in enumerate(self.conditions):
+                if index:
+                    out.append("and")
+                out.extend(condition.tokens())
+        if self.order is not None:
+            out.extend(self.order.tokens())
+        if self.limit is not None:
+            out.extend(["limit", str(self.limit)])
+        return out
+
+    def text(self) -> str:
+        return " ".join(self.tokens())
+
+    @property
+    def referenced_columns(self) -> list[str]:
+        """All column names the query touches (select, where, order)."""
+        names: list[str] = []
+        for item in self.items:
+            if isinstance(item, ColumnItem):
+                if item.column != "*":
+                    names.append(item.column)
+            else:
+                for side in (item.left, item.right):
+                    if side.column != "*":
+                        names.append(side.column)
+        names.extend(condition.column for condition in self.conditions)
+        if self.order is not None:
+            names.append(self.order.column)
+        seen: set[str] = set()
+        unique: list[str] = []
+        for name in names:
+            key = name.lower()
+            if key not in seen:
+                seen.add(key)
+                unique.append(name)
+        return unique

@@ -1,0 +1,177 @@
+"""Auto program generation for SQL queries (future-work extension).
+
+The SQL counterpart of :mod:`repro.programs.logic.generator`: composes
+type-correct :class:`~repro.programs.sql.ast.SelectQuery` objects
+directly from a table's schema, beyond the fixed SQUALL-style pool —
+extra conditions, mixed aggregate/projection heads, deeper ORDER BY
+combinations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.programs.sql.ast import (
+    Aggregate,
+    ArithmeticItem,
+    ColumnItem,
+    Comparison,
+    CompOp,
+    Condition,
+    SelectQuery,
+)
+from repro.programs.sql.parser import SqlProgram
+from repro.rng import choice
+from repro.tables.table import Table
+from repro.tables.values import parse_value
+
+
+@dataclass(frozen=True)
+class SqlAutoGenConfig:
+    """Knobs for the SQL auto generator."""
+
+    max_conditions: int = 2
+    attempts_per_query: int = 6
+    allow_arithmetic_head: bool = True
+
+
+@dataclass
+class AutoSqlGenerator:
+    """Synthesizes executable SELECT queries from a table schema."""
+
+    rng: random.Random
+    config: SqlAutoGenConfig = field(default_factory=SqlAutoGenConfig)
+
+    def generate(self, table: Table) -> SqlProgram | None:
+        """One valid, non-empty query on ``table`` (or None)."""
+        for _ in range(self.config.attempts_per_query):
+            try:
+                query = self._query(table)
+                program = SqlProgram(query=query)
+                result = program.execute(table)
+            except ReproError:
+                continue
+            if result.is_empty or len(result.values) > 10:
+                continue
+            return program
+        return None
+
+    def generate_many(self, table: Table, budget: int) -> list[SqlProgram]:
+        out: list[SqlProgram] = []
+        for _ in range(budget * 2):
+            if len(out) >= budget:
+                break
+            program = self.generate(table)
+            if program is not None:
+                out.append(program)
+        return out
+
+    # -- query synthesis -----------------------------------------------------
+    def _query(self, table: Table) -> SelectQuery:
+        head_kind = choice(
+            self.rng,
+            ["project", "aggregate", "count", "arithmetic"]
+            if self.config.allow_arithmetic_head
+            else ["project", "aggregate", "count"],
+        )
+        items = self._head(table, head_kind)
+        conditions = self._conditions(table)
+        order, limit = self._order_limit(table, head_kind)
+        return SelectQuery(
+            items=tuple(items),
+            conditions=tuple(conditions),
+            order=order,
+            limit=limit,
+        )
+
+    def _head(self, table: Table, head_kind: str):
+        if head_kind == "project":
+            n = self.rng.randint(1, min(2, table.n_columns))
+            names = self.rng.sample(table.column_names, n)
+            return [ColumnItem(column=name) for name in names]
+        if head_kind == "count":
+            if self.rng.random() < 0.5:
+                return [ColumnItem(column="*", aggregate=Aggregate.COUNT)]
+            return [
+                ColumnItem(
+                    column=self._any_column(table),
+                    aggregate=Aggregate.COUNT,
+                    distinct=True,
+                )
+            ]
+        if head_kind == "aggregate":
+            aggregate = choice(
+                self.rng,
+                [Aggregate.SUM, Aggregate.AVG, Aggregate.MIN, Aggregate.MAX],
+            )
+            return [
+                ColumnItem(column=self._numeric_column(table), aggregate=aggregate)
+            ]
+        # arithmetic: max(col) - min(col) or sum(a) - sum(b)
+        column = self._numeric_column(table)
+        if self.rng.random() < 0.5:
+            return [
+                ArithmeticItem(
+                    left=ColumnItem(column=column, aggregate=Aggregate.MAX),
+                    op="-",
+                    right=ColumnItem(column=column, aggregate=Aggregate.MIN),
+                )
+            ]
+        other = self._numeric_column(table)
+        return [
+            ArithmeticItem(
+                left=ColumnItem(column=column, aggregate=Aggregate.SUM),
+                op=choice(self.rng, ["+", "-"]),
+                right=ColumnItem(column=other, aggregate=Aggregate.SUM),
+            )
+        ]
+
+    def _conditions(self, table: Table) -> list[Condition]:
+        n = self.rng.randint(0, self.config.max_conditions)
+        conditions: list[Condition] = []
+        used: set[str] = set()
+        for _ in range(n):
+            column = self._any_column(table)
+            if column in used:
+                continue
+            used.add(column)
+            values = [
+                value for value in table.distinct_values(column)
+                if value.raw.strip()
+            ]
+            if not values:
+                continue
+            literal = choice(self.rng, values)
+            if column in table.numeric_column_names():
+                op = choice(self.rng, [CompOp.EQ, CompOp.GT, CompOp.LT,
+                                       CompOp.GE, CompOp.LE])
+            else:
+                op = choice(self.rng, [CompOp.EQ, CompOp.NEQ])
+            conditions.append(
+                Condition(column=column, op=op,
+                          literal=parse_value(literal.raw))
+            )
+        return conditions
+
+    def _order_limit(self, table: Table, head_kind: str):
+        if head_kind != "project" or self.rng.random() < 0.5:
+            return None, None
+        column = self._numeric_column(table)
+        order = Comparison(
+            column=column, descending=self.rng.random() < 0.5
+        )
+        limit = self.rng.randint(1, max(1, min(3, table.n_rows)))
+        return order, limit
+
+    def _any_column(self, table: Table) -> str:
+        if not table.column_names:
+            raise ReproError("table has no columns")
+        return choice(self.rng, table.column_names)
+
+    def _numeric_column(self, table: Table) -> str:
+        columns = table.numeric_column_names()
+        if not columns:
+            raise ReproError("table has no numeric columns")
+        return choice(self.rng, columns)

@@ -1,0 +1,96 @@
+"""Tokenizer for the mini SQL dialect."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import ProgramParseError
+
+KEYWORDS = {
+    "select",
+    "from",
+    "where",
+    "and",
+    "order",
+    "by",
+    "asc",
+    "desc",
+    "limit",
+    "count",
+    "sum",
+    "avg",
+    "min",
+    "max",
+    "abs",
+    "distinct",
+}
+
+
+class TokenKind(str, Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == word.lower()
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>'(?:[^']|'')*'|"(?:[^"]|"")*")
+  | (?P<bracket>\[[^\]]*\]|`[^`]*`)
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<symbol><=|>=|!=|<>|[(),*=<>+\-/])
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize_sql(text: str) -> list[Token]:
+    """Tokenize a SQL string; raises :class:`ProgramParseError` on junk."""
+    tokens: list[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ProgramParseError(
+                f"unexpected character {text[position]!r} in SQL", position
+            )
+        if match.lastgroup == "ws":
+            position = match.end()
+            continue
+        lexeme = match.group()
+        if match.lastgroup == "string":
+            quote = lexeme[0]
+            body = lexeme[1:-1].replace(quote * 2, quote)
+            tokens.append(Token(TokenKind.STRING, body, position))
+        elif match.lastgroup == "bracket":
+            tokens.append(Token(TokenKind.IDENT, lexeme[1:-1], position))
+        elif match.lastgroup == "number":
+            tokens.append(Token(TokenKind.NUMBER, lexeme, position))
+        elif match.lastgroup == "symbol":
+            symbol = "!=" if lexeme == "<>" else lexeme
+            tokens.append(Token(TokenKind.SYMBOL, symbol, position))
+        else:
+            lowered = lexeme.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token(TokenKind.KEYWORD, lowered, position))
+            else:
+                tokens.append(Token(TokenKind.IDENT, lexeme, position))
+        position = match.end()
+    tokens.append(Token(TokenKind.EOF, "", len(text)))
+    return tokens

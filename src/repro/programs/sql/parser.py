@@ -1,0 +1,216 @@
+"""Recursive-descent parser for the mini SQL dialect."""
+
+from __future__ import annotations
+
+from repro.errors import ProgramParseError
+from repro.programs.base import ExecutionResult, Program, ProgramKind
+from repro.programs.sql.ast import (
+    Aggregate,
+    ArithmeticItem,
+    ColumnItem,
+    Comparison,
+    CompOp,
+    Condition,
+    SelectItem,
+    SelectQuery,
+)
+from repro.programs.sql.lexer import Token, TokenKind, tokenize_sql
+from repro.tables.values import parse_value
+
+_AGGREGATES = {member.value for member in Aggregate}
+_COMPARATORS = {member.value: member for member in CompOp}
+
+
+class _Parser:
+    """Hand-written LL(1) parser over the token stream."""
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token helpers -----------------------------------------------------
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind is not TokenKind.EOF:
+            self._index += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._current
+        if not token.is_keyword(word):
+            raise ProgramParseError(
+                f"expected {word.upper()!r}, found {token.text!r}", token.position
+            )
+        return self._advance()
+
+    def _expect_symbol(self, symbol: str) -> Token:
+        token = self._current
+        if token.kind is not TokenKind.SYMBOL or token.text != symbol:
+            raise ProgramParseError(
+                f"expected {symbol!r}, found {token.text!r}", token.position
+            )
+        return self._advance()
+
+    def _match_symbol(self, symbol: str) -> bool:
+        token = self._current
+        if token.kind is TokenKind.SYMBOL and token.text == symbol:
+            self._advance()
+            return True
+        return False
+
+    def _column_name(self) -> str:
+        token = self._current
+        if token.kind in (TokenKind.IDENT, TokenKind.STRING):
+            return self._advance().text
+        # Column names may collide with soft keywords (e.g. "max speed"
+        # bracketed identifiers already handled by the lexer).
+        if token.kind is TokenKind.KEYWORD and token.text not in {
+            "select",
+            "from",
+            "where",
+            "and",
+            "order",
+            "limit",
+        }:
+            return self._advance().text
+        raise ProgramParseError(
+            f"expected a column name, found {token.text!r}", token.position
+        )
+
+    # -- grammar -----------------------------------------------------------
+    def parse(self) -> SelectQuery:
+        self._expect_keyword("select")
+        items = [self._select_item()]
+        while self._match_symbol(","):
+            items.append(self._select_item())
+        self._expect_keyword("from")
+        table_token = self._advance()
+        if table_token.kind is not TokenKind.IDENT:
+            raise ProgramParseError(
+                f"expected a table name, found {table_token.text!r}",
+                table_token.position,
+            )
+        conditions: list[Condition] = []
+        if self._current.is_keyword("where"):
+            self._advance()
+            conditions.append(self._condition())
+            while self._current.is_keyword("and"):
+                self._advance()
+                conditions.append(self._condition())
+        order = None
+        if self._current.is_keyword("order"):
+            self._advance()
+            self._expect_keyword("by")
+            column = self._column_name()
+            descending = False
+            if self._current.is_keyword("desc"):
+                descending = True
+                self._advance()
+            elif self._current.is_keyword("asc"):
+                self._advance()
+            order = Comparison(column=column, descending=descending)
+        limit = None
+        if self._current.is_keyword("limit"):
+            self._advance()
+            token = self._advance()
+            if token.kind is not TokenKind.NUMBER:
+                raise ProgramParseError(
+                    f"expected a LIMIT count, found {token.text!r}", token.position
+                )
+            limit = int(float(token.text))
+        token = self._current
+        if token.kind is not TokenKind.EOF:
+            raise ProgramParseError(
+                f"unexpected trailing input {token.text!r}", token.position
+            )
+        return SelectQuery(
+            items=tuple(items),
+            conditions=tuple(conditions),
+            order=order,
+            limit=limit,
+        )
+
+    def _select_item(self) -> SelectItem:
+        left = self._column_or_aggregate()
+        token = self._current
+        if token.kind is TokenKind.SYMBOL and token.text in {"+", "-"}:
+            op = self._advance().text
+            right = self._column_or_aggregate()
+            return ArithmeticItem(left=left, op=op, right=right)
+        return left
+
+    def _column_or_aggregate(self) -> ColumnItem:
+        token = self._current
+        if token.kind is TokenKind.KEYWORD and token.text in _AGGREGATES:
+            aggregate = Aggregate(self._advance().text)
+            self._expect_symbol("(")
+            distinct = False
+            if self._current.is_keyword("distinct"):
+                distinct = True
+                self._advance()
+            if self._match_symbol("*"):
+                column = "*"
+            else:
+                column = self._column_name()
+            self._expect_symbol(")")
+            return ColumnItem(column=column, aggregate=aggregate, distinct=distinct)
+        if self._match_symbol("*"):
+            return ColumnItem(column="*")
+        return ColumnItem(column=self._column_name())
+
+    def _condition(self) -> Condition:
+        column = self._column_name()
+        token = self._advance()
+        if token.kind is not TokenKind.SYMBOL or token.text not in _COMPARATORS:
+            raise ProgramParseError(
+                f"expected a comparison operator, found {token.text!r}",
+                token.position,
+            )
+        op = _COMPARATORS[token.text]
+        literal_token = self._advance()
+        if literal_token.kind is TokenKind.NUMBER:
+            literal = parse_value(literal_token.text)
+        elif literal_token.kind in (TokenKind.STRING, TokenKind.IDENT):
+            literal = parse_value(literal_token.text)
+        else:
+            raise ProgramParseError(
+                f"expected a literal, found {literal_token.text!r}",
+                literal_token.position,
+            )
+        return Condition(column=column, op=op, literal=literal)
+
+
+class SqlProgram(Program):
+    """A parsed SQL query conforming to the :class:`Program` interface."""
+
+    def __init__(self, query: SelectQuery, source: str = ""):
+        super().__init__(source=source or query.text())
+        object.__setattr__(self, "query", query)
+
+    @property
+    def kind(self) -> ProgramKind:
+        return ProgramKind.SQL
+
+    def execute(self, table) -> ExecutionResult:
+        from repro.programs.sql.executor import execute_sql
+
+        return execute_sql(table, self.query)
+
+    def tokens(self) -> list[str]:
+        return self.query.tokens()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SqlProgram) and self.query == other.query
+
+    def __hash__(self) -> int:
+        return hash(("sql", self.query))
+
+
+def parse_sql(text: str) -> SqlProgram:
+    """Parse a SQL string into an executable :class:`SqlProgram`."""
+    query = _Parser(tokenize_sql(text)).parse()
+    return SqlProgram(query=query, source=text)

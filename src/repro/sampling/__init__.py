@@ -1,0 +1,23 @@
+"""Program sampling and execution (paper Section IV-C).
+
+Given a template and a fresh table, the sampler randomly populates
+column-placeholders from the table's columns (respecting declared data
+types) and value-placeholders from the chosen columns' cells, executes
+the program, and discards invalid instantiations.  For logical forms the
+labeler then produces balanced Supported/Refuted claims by either
+filling the result slot with the true execution result or corrupting it.
+"""
+
+from repro.sampling.sampler import ProgramSampler, SampledProgram
+from repro.sampling.filters import SampleFilter, default_filters
+from repro.sampling.labeler import ClaimLabel, ClaimLabeler, LabeledClaim
+
+__all__ = [
+    "ProgramSampler",
+    "SampledProgram",
+    "SampleFilter",
+    "default_filters",
+    "ClaimLabel",
+    "ClaimLabeler",
+    "LabeledClaim",
+]

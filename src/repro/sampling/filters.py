@@ -1,0 +1,84 @@
+"""Validity filters for sampled programs.
+
+Algorithm 1 discards a program whose answer is empty; production-quality
+synthesis needs a few more guards against degenerate instances (answers
+that enumerate half the table, claims that are vacuously true because a
+filter matched nothing, non-finite numbers).  Each filter is a small
+predicate so pipelines can compose their own policy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.programs.base import ProgramKind
+from repro.sampling.sampler import SampledProgram
+
+
+@dataclass(frozen=True)
+class SampleFilter:
+    """A named accept/reject predicate over sampled programs."""
+
+    name: str
+    accept: Callable[[SampledProgram], bool]
+
+    def __call__(self, sample: SampledProgram) -> bool:
+        return self.accept(sample)
+
+
+def _non_empty(sample: SampledProgram) -> bool:
+    return not sample.result.is_empty
+
+
+def _bounded_answer(sample: SampledProgram) -> bool:
+    return len(sample.result.values) <= 10
+
+
+def _finite_numbers(sample: SampledProgram) -> bool:
+    for value in sample.result.values:
+        if value.is_number and not math.isfinite(value.as_number()):
+            return False
+    return True
+
+
+def _touches_table(sample: SampledProgram) -> bool:
+    """The reasoning must involve at least one table cell."""
+    return bool(sample.result.highlighted_cells)
+
+
+def _not_vacuous(sample: SampledProgram) -> bool:
+    """Reject claims whose evidence set is a single cell *and* whose
+    program is a multi-row reasoning type (a sign a filter matched
+    nothing interesting)."""
+    if sample.kind is not ProgramKind.LOGIC:
+        return True
+    if sample.template.category in ("lookup", "unique"):
+        return True
+    return len(sample.result.highlighted_cells) >= 2
+
+
+def _reasonable_magnitude(sample: SampledProgram) -> bool:
+    """Numbers beyond 1e12 read as garbage in generated text."""
+    for value in sample.result.values:
+        if value.is_number and abs(value.as_number()) > 1e12:
+            return False
+    return True
+
+
+def default_filters() -> list[SampleFilter]:
+    """The standard filter chain applied by all pipelines."""
+    return [
+        SampleFilter("non_empty", _non_empty),
+        SampleFilter("bounded_answer", _bounded_answer),
+        SampleFilter("finite_numbers", _finite_numbers),
+        SampleFilter("touches_table", _touches_table),
+        SampleFilter("not_vacuous", _not_vacuous),
+        SampleFilter("reasonable_magnitude", _reasonable_magnitude),
+    ]
+
+
+def passes_all(sample: SampledProgram, filters: list[SampleFilter]) -> bool:
+    """Whether ``sample`` survives the whole chain."""
+    return all(check(sample) for check in filters)

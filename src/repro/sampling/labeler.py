@@ -1,0 +1,221 @@
+"""Claim labeling: balanced Supported / Refuted synthesis.
+
+The paper determines the root predicate's second argument from the
+execution result "to obtain a true/false claim" (Section IV-C).  The
+labeler implements both directions:
+
+* **Supported** — keep the sampled program, whose result slot was filled
+  with the true execution result (or whose execution already returned
+  ``True``).
+* **Refuted** — corrupt the claim minimally: replace the result-slot
+  value with a wrong-but-plausible one from the same column, or swap the
+  root operator for its dual (``greater``/``less``, ``most_eq``/
+  ``most_not_eq``...), re-executing to certify the new truth value.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import ReproError, SamplingError
+from repro.programs.base import ProgramKind, parse_program
+from repro.rng import choice
+from repro.sampling.sampler import SampledProgram
+from repro.tables.table import Table
+from repro.tables.values import Value, format_number
+from repro.templates.template import PlaceholderKind
+
+
+class ClaimLabel(str, Enum):
+    SUPPORTED = "supported"
+    REFUTED = "refuted"
+    UNKNOWN = "unknown"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class LabeledClaim:
+    """A logical-form program paired with its certified label."""
+
+    sample: SampledProgram
+    label: ClaimLabel
+
+    @property
+    def program(self):
+        return self.sample.program
+
+
+class ClaimLabeler:
+    """Turns executed logical forms into balanced labeled claims."""
+
+    def __init__(self, rng: random.Random, refute_ratio: float = 0.5):
+        if not 0.0 <= refute_ratio <= 1.0:
+            raise ValueError("refute_ratio must be in [0, 1]")
+        self._rng = rng
+        self._refute_ratio = refute_ratio
+
+    def label(self, sample: SampledProgram) -> LabeledClaim:
+        """Produce one labeled claim, refuting with ``refute_ratio``."""
+        if sample.kind is not ProgramKind.LOGIC:
+            raise SamplingError("only logical forms can be labeled as claims")
+        want_refuted = self._rng.random() < self._refute_ratio
+        if not want_refuted:
+            return self._supported(sample)
+        refuted = self._refute(sample)
+        if refuted is not None:
+            return refuted
+        return self._supported(sample)
+
+    # -- internals ----------------------------------------------------------
+    def _supported(self, sample: SampledProgram) -> LabeledClaim:
+        truth = sample.result.truth
+        if truth is None:
+            raise SamplingError("claim program did not produce a truth value")
+        label = ClaimLabel.SUPPORTED if truth else ClaimLabel.REFUTED
+        return LabeledClaim(sample=sample, label=label)
+
+    def _refute(self, sample: SampledProgram) -> LabeledClaim | None:
+        strategies = [self._corrupt_result_slot, self._corrupt_binding]
+        for strategy in strategies:
+            try:
+                claim = strategy(sample)
+            except ReproError:
+                claim = None
+            if claim is not None:
+                return claim
+        return None
+
+    def _corrupt_result_slot(self, sample: SampledProgram) -> LabeledClaim | None:
+        slot = sample.template.meta.get("result_slot")
+        if slot is None:
+            return None
+        current = sample.bindings[slot]
+        replacement = self._wrong_value(sample, slot, current)
+        if replacement is None:
+            return None
+        bindings = dict(sample.bindings)
+        bindings[slot] = replacement
+        source = sample.template.substitute(bindings)
+        program = parse_program(source, ProgramKind.LOGIC)
+        result = program.execute(sample.table)
+        if result.truth is not False:
+            return None  # corruption accidentally stayed true
+        corrupted = SampledProgram(
+            template=sample.template,
+            program=program,
+            bindings=bindings,
+            result=result,
+            table=sample.table,
+        )
+        return LabeledClaim(sample=corrupted, label=ClaimLabel.REFUTED)
+
+    def _corrupt_binding(self, sample: SampledProgram) -> LabeledClaim | None:
+        """Swap one value binding for a same-column distractor.
+
+        Unlike flipping the root operator, this keeps the claim's NL —
+        which is rendered *from the bindings* — consistent with the
+        corrupted program, so the certified label is sound.
+        """
+        candidates = [
+            placeholder
+            for placeholder in sample.template.placeholders
+            if placeholder.kind
+            in (PlaceholderKind.VALUE, PlaceholderKind.ROWNAME, PlaceholderKind.ORDINAL)
+            and placeholder.name != sample.template.meta.get("result_slot")
+        ]
+        self._rng.shuffle(candidates)
+        for placeholder in candidates:
+            current = sample.bindings[placeholder.name]
+            replacement = self._binding_replacement(sample, placeholder, current)
+            if replacement is None:
+                continue
+            bindings = dict(sample.bindings)
+            bindings[placeholder.name] = replacement
+            try:
+                source = sample.template.substitute(bindings)
+                program = parse_program(source, ProgramKind.LOGIC)
+                result = program.execute(sample.table)
+            except ReproError:
+                continue
+            if result.truth is not False:
+                continue
+            corrupted = SampledProgram(
+                template=sample.template,
+                program=program,
+                bindings=bindings,
+                result=result,
+                table=sample.table,
+            )
+            return LabeledClaim(sample=corrupted, label=ClaimLabel.REFUTED)
+        return None
+
+    def _binding_replacement(
+        self, sample: SampledProgram, placeholder, current: str
+    ) -> str | None:
+        table: Table = sample.table
+        if placeholder.kind is PlaceholderKind.ORDINAL:
+            upper = max(1, min(5, table.n_rows))
+            options = [str(n) for n in range(1, upper + 1) if str(n) != current]
+            return choice(self._rng, options) if options else None
+        if placeholder.kind is PlaceholderKind.ROWNAME:
+            names = [
+                table.row_name(index)
+                for index in range(table.n_rows)
+                if table.row_name(index).strip().lower() != current.strip().lower()
+                and _clean(table.row_name(index))
+            ]
+            return choice(self._rng, names) if names else None
+        column = sample.bindings.get(placeholder.column_ref or "")
+        if column is None or column not in table.schema:
+            return None
+        others = [
+            value.raw.strip()
+            for value in table.distinct_values(column)
+            if value.raw.strip().lower() != current.strip().lower()
+            and _clean(value.raw)
+        ]
+        return choice(self._rng, others) if others else None
+
+    def _wrong_value(
+        self, sample: SampledProgram, slot: str, current: str
+    ) -> str | None:
+        """A plausible-but-wrong replacement for the result-slot value."""
+        table: Table = sample.table
+        placeholder = next(
+            (p for p in sample.template.placeholders if p.name == slot), None
+        )
+        current_value = Value.number(float(current)) if _is_float(current) else None
+        if current_value is not None:
+            # Perturb numbers: nearby but clearly different.
+            base = current_value.as_number()
+            delta = max(1.0, abs(base) * (0.1 + 0.4 * self._rng.random()))
+            sign = 1 if self._rng.random() < 0.5 else -1
+            return format_number(base + sign * delta)
+        if placeholder is not None and placeholder.column_ref is not None:
+            column = sample.bindings.get(placeholder.column_ref)
+            if column is not None and column in table.schema:
+                others = [
+                    value.raw.strip()
+                    for value in table.distinct_values(column)
+                    if value.raw.strip().lower() != current.strip().lower()
+                    and _clean(value.raw)
+                ]
+                if others:
+                    return choice(self._rng, others)
+        return None
+
+
+def _is_float(text: str) -> bool:
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True
+
+
+def _clean(text: str) -> bool:
+    return bool(text.strip()) and not (set("{};()'\"") & set(text))

@@ -1,0 +1,291 @@
+"""The random program sampler."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError, SamplingError
+from repro.programs.base import ExecutionResult, Program, ProgramKind, parse_program
+from repro.rng import choice, sample_up_to
+from repro.tables.table import Table
+from repro.tables.values import Value, ValueType, format_number
+from repro.templates.template import (
+    Placeholder,
+    PlaceholderKind,
+    ProgramTemplate,
+)
+
+#: Sentinel filled into a result slot before the true result is known.
+RESULT_SENTINEL = "__result__"
+
+#: Characters that would break program syntax if they appeared in a value.
+_FORBIDDEN_IN_VALUE = set("{};()'\"")
+
+
+@dataclass(frozen=True)
+class SampledProgram:
+    """A concrete program instantiated from a template on a table.
+
+    ``result`` is its execution outcome on that table; ``bindings`` maps
+    placeholder names to the chosen surface strings (the evidence the
+    paper notes is "exactly the evidence associated with the synthetic
+    instance").
+    """
+
+    template: ProgramTemplate
+    program: Program
+    bindings: dict[str, str]
+    result: ExecutionResult
+    table: Table = field(repr=False, compare=False, default=None)
+
+    @property
+    def kind(self) -> ProgramKind:
+        return self.template.kind
+
+    @property
+    def answer(self) -> list[str]:
+        return self.result.denotation()
+
+
+class ProgramSampler:
+    """Instantiates templates on tables via random sampling.
+
+    The strategy follows the paper exactly: first populate
+    column-placeholders by sampling the table's columns (type-aware),
+    then populate each value-placeholder from its column's cells.
+    Result slots of logical forms are resolved by executing the
+    enclosing predicate's first argument.
+    """
+
+    def __init__(self, rng: random.Random, max_attempts: int = 8):
+        self._rng = rng
+        self._max_attempts = max_attempts
+
+    # -- public API ---------------------------------------------------------
+    def sample(
+        self, template: ProgramTemplate, table: Table
+    ) -> SampledProgram:
+        """One instantiation attempt; raises :class:`SamplingError` on failure."""
+        last_error: Exception | None = None
+        for _ in range(self._max_attempts):
+            try:
+                return self._try_once(template, table)
+            except ReproError as error:
+                last_error = error
+        raise SamplingError(
+            f"could not instantiate template {template.pattern!r} on table "
+            f"{table.title!r}: {last_error}"
+        )
+
+    def try_sample(
+        self, template: ProgramTemplate, table: Table
+    ) -> SampledProgram | None:
+        """Like :meth:`sample` but returns ``None`` instead of raising."""
+        try:
+            return self.sample(template, table)
+        except ReproError:
+            return None
+
+    # -- internals ----------------------------------------------------------
+    def _try_once(self, template: ProgramTemplate, table: Table) -> SampledProgram:
+        bindings = self.bind_placeholders(template, table)
+        result_slot = template.meta.get("result_slot")
+        if result_slot is not None:
+            bindings[result_slot] = RESULT_SENTINEL
+        source = template.substitute(
+            self._render_bindings(template, bindings)
+        )
+        program = parse_program(source, template.kind)
+        if result_slot is not None:
+            true_value = self._resolve_result(program, table)
+            bindings[result_slot] = true_value
+            source = template.substitute(
+                self._render_bindings(template, bindings)
+            )
+            program = parse_program(source, template.kind)
+        result = program.execute(table).require_non_empty()
+        return SampledProgram(
+            template=template,
+            program=program,
+            bindings=bindings,
+            result=result,
+            table=table,
+        )
+
+    def bind_placeholders(
+        self, template: ProgramTemplate, table: Table
+    ) -> dict[str, str]:
+        """Random placeholder bindings (without result-slot resolution)."""
+        bindings: dict[str, str] = {}
+        result_slot = template.meta.get("result_slot")
+        self._bind_columns(template, table, bindings)
+        for placeholder in template.placeholders:
+            if placeholder.name == result_slot:
+                continue
+            if placeholder.kind is PlaceholderKind.VALUE:
+                bindings[placeholder.name] = self._pick_value(
+                    table, bindings, placeholder, exclude=set(bindings.values())
+                )
+            elif placeholder.kind is PlaceholderKind.ROWNAME:
+                bindings[placeholder.name] = self._pick_rowname(
+                    table, exclude=set(bindings.values())
+                )
+            elif placeholder.kind is PlaceholderKind.ORDINAL:
+                upper = max(1, min(5, table.n_rows))
+                bindings[placeholder.name] = str(self._rng.randint(1, upper))
+        return bindings
+
+    def _bind_columns(
+        self,
+        template: ProgramTemplate,
+        table: Table,
+        bindings: dict[str, str],
+    ) -> None:
+        column_placeholders = template.column_placeholders
+        chosen: set[str] = set()
+        for placeholder in column_placeholders:
+            candidates = self._column_candidates(table, placeholder, chosen)
+            if not candidates:
+                raise SamplingError(
+                    f"no column of type {placeholder.value_type} available "
+                    f"for {placeholder.name}"
+                )
+            name = choice(self._rng, candidates)
+            bindings[placeholder.name] = name
+            chosen.add(name)
+
+    def _column_candidates(
+        self, table: Table, placeholder: Placeholder, used: set[str]
+    ) -> list[str]:
+        names: list[str] = []
+        for column in table.schema:
+            if column.name in used:
+                continue
+            if placeholder.value_type is not None and column.type is not placeholder.value_type:
+                continue
+            if _is_clean(column.name):
+                names.append(column.name)
+        return names
+
+    def _pick_value(
+        self,
+        table: Table,
+        bindings: dict[str, str],
+        placeholder: Placeholder,
+        exclude: set[str],
+    ) -> str:
+        column = bindings.get(placeholder.column_ref or "")
+        if column is None:
+            raise SamplingError(
+                f"value placeholder {placeholder.name} has unbound column "
+                f"{placeholder.column_ref}"
+            )
+        candidates = [
+            value.raw.strip()
+            for value in table.distinct_values(column)
+            if _is_clean(value.raw)
+        ]
+        fresh = [value for value in candidates if value not in exclude]
+        pool = fresh or candidates
+        if not pool:
+            raise SamplingError(f"column {column!r} has no usable values")
+        return choice(self._rng, pool)
+
+    def _pick_rowname(self, table: Table, exclude: set[str]) -> str:
+        names = [
+            table.row_name(index)
+            for index in range(table.n_rows)
+            if _is_clean(table.row_name(index)) and " of " not in table.row_name(index)
+        ]
+        fresh = [name for name in names if name not in exclude]
+        pool = fresh or names
+        if not pool:
+            raise SamplingError("table has no usable row names")
+        return choice(self._rng, pool)
+
+    def _render_bindings(
+        self, template: ProgramTemplate, bindings: dict[str, str]
+    ) -> dict[str, str]:
+        """Quote bindings as required by the template's syntax."""
+        rendered: dict[str, str] = {}
+        for placeholder in template.placeholders:
+            raw = bindings[placeholder.name]
+            if template.kind is ProgramKind.SQL:
+                rendered[placeholder.name] = self._render_sql(placeholder, raw)
+            else:
+                rendered[placeholder.name] = raw
+        return rendered
+
+    @staticmethod
+    def _render_sql(placeholder: Placeholder, raw: str) -> str:
+        if placeholder.kind is PlaceholderKind.COLUMN:
+            return f"[{raw}]"
+        if placeholder.kind in (PlaceholderKind.VALUE, PlaceholderKind.ROWNAME):
+            from repro.tables.values import coerce_number
+
+            if coerce_number(raw) is not None:
+                return raw
+            escaped = raw.replace("'", "''")
+            return f"'{escaped}'"
+        return raw
+
+    def _resolve_result(self, program: Program, table: Table) -> str:
+        """Execute the expression compared against a result sentinel."""
+        from repro.programs.logic.parser import LogicNode, LogicProgram
+
+        if not isinstance(program, LogicProgram):
+            raise SamplingError("result slots are only valid in logical forms")
+        target: LogicNode | None = None
+        for node in program.root.walk():
+            if (
+                len(node.args) == 2
+                and isinstance(node.args[1], str)
+                and node.args[1].strip() == RESULT_SENTINEL
+            ):
+                target = node
+                break
+        if target is None:
+            raise SamplingError("result sentinel not found in logical form")
+        sub = target.args[0]
+        if not isinstance(sub, LogicNode):
+            raise SamplingError("result slot must compare against an expression")
+        from repro.programs.logic.executor import execute_logic
+
+        outcome = execute_logic(table, sub).require_non_empty()
+        value = outcome.single
+        if value.is_number:
+            return format_number(value.as_number())
+        return value.raw
+
+
+def _is_clean(text: str) -> bool:
+    """A value string that can be substituted into any DSL safely."""
+    stripped = text.strip()
+    if not stripped or len(stripped) > 64:
+        return False
+    return not (_FORBIDDEN_IN_VALUE & set(stripped))
+
+
+def sample_many(
+    sampler: ProgramSampler,
+    templates: list[ProgramTemplate],
+    table: Table,
+    budget: int,
+    rng: random.Random,
+) -> list[SampledProgram]:
+    """Draw up to ``budget`` valid sampled programs from random templates."""
+    out: list[SampledProgram] = []
+    if not templates:
+        return out
+    order = sample_up_to(rng, templates, len(templates))
+    index = 0
+    attempts = 0
+    while len(out) < budget and attempts < budget * 4:
+        template = order[index % len(order)]
+        index += 1
+        attempts += 1
+        sampled = sampler.try_sample(template, table)
+        if sampled is not None:
+            out.append(sampled)
+    return out

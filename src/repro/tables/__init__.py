@@ -1,0 +1,41 @@
+"""Table substrate: typed values, schemas, tables, and table-text contexts.
+
+This package is the "program context" of the paper (Section II-A): the
+structured evidence that programs execute against.  A
+:class:`~repro.tables.table.Table` is a relational table with typed
+columns; a :class:`~repro.tables.context.TableContext` pairs a table with
+its surrounding paragraphs for joint table-text reasoning.
+"""
+
+from repro.tables.values import (
+    Value,
+    ValueType,
+    parse_value,
+    infer_type,
+    coerce_number,
+)
+from repro.tables.schema import Column, Schema
+from repro.tables.table import Row, Table
+from repro.tables.context import Paragraph, TableContext
+from repro.tables.serialize import (
+    table_from_json,
+    table_to_json,
+    linearize_table,
+)
+
+__all__ = [
+    "Value",
+    "ValueType",
+    "parse_value",
+    "infer_type",
+    "coerce_number",
+    "Column",
+    "Schema",
+    "Row",
+    "Table",
+    "Paragraph",
+    "TableContext",
+    "table_from_json",
+    "table_to_json",
+    "linearize_table",
+]

@@ -1,0 +1,109 @@
+"""Table-text contexts: a table plus its surrounding paragraphs.
+
+The paper's heterogeneous setting (Section II-A "Context") reasons over a
+table *and* the free text around it.  ``TableContext`` is the unlabeled
+input unit of the whole framework: the unsupervised dataset is just a
+list of these.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterator
+
+from repro.tables.serialize import table_from_json, table_to_json
+from repro.tables.table import Table
+
+_SENTENCE_SPLIT_RE = re.compile(r"(?<=[.!?])\s+(?=[A-Z0-9])")
+
+
+def split_sentences(text: str) -> list[str]:
+    """Split a paragraph into sentences on terminal punctuation."""
+    stripped = text.strip()
+    if not stripped:
+        return []
+    return [part.strip() for part in _SENTENCE_SPLIT_RE.split(stripped) if part.strip()]
+
+
+@dataclass(frozen=True)
+class Paragraph:
+    """A block of text associated with a table."""
+
+    text: str
+    source: str = "context"
+
+    @property
+    def sentences(self) -> list[str]:
+        return split_sentences(self.text)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.text
+
+
+@dataclass(frozen=True)
+class TableContext:
+    """A table together with its surrounding paragraphs.
+
+    ``uid`` identifies the context across pipeline stages; ``meta``
+    carries dataset-specific annotations (domain, topic, split) that the
+    experiments use for stratified reporting.
+    """
+
+    table: Table
+    paragraphs: tuple[Paragraph, ...] = field(default_factory=tuple)
+    uid: str = ""
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def text(self) -> str:
+        """All paragraph text joined into one string."""
+        return " ".join(paragraph.text for paragraph in self.paragraphs)
+
+    @property
+    def sentences(self) -> list[str]:
+        out: list[str] = []
+        for paragraph in self.paragraphs:
+            out.extend(paragraph.sentences)
+        return out
+
+    @property
+    def has_text(self) -> bool:
+        return any(paragraph.text.strip() for paragraph in self.paragraphs)
+
+    def with_table(self, table: Table) -> "TableContext":
+        return replace(self, table=table)
+
+    def with_paragraphs(self, paragraphs: list[Paragraph]) -> "TableContext":
+        return replace(self, paragraphs=tuple(paragraphs))
+
+    def add_paragraph(self, text: str, source: str = "generated") -> "TableContext":
+        extended = self.paragraphs + (Paragraph(text=text, source=source),)
+        return replace(self, paragraphs=extended)
+
+    def __iter__(self) -> Iterator[Paragraph]:
+        return iter(self.paragraphs)
+
+    # -- serialization -----------------------------------------------------
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "uid": self.uid,
+            "meta": dict(self.meta),
+            "table": table_to_json(self.table),
+            "paragraphs": [
+                {"text": paragraph.text, "source": paragraph.source}
+                for paragraph in self.paragraphs
+            ],
+        }
+
+    @staticmethod
+    def from_json(payload: dict[str, Any]) -> "TableContext":
+        return TableContext(
+            table=table_from_json(payload["table"]),
+            paragraphs=tuple(
+                Paragraph(text=entry["text"], source=entry.get("source", "context"))
+                for entry in payload.get("paragraphs", [])
+            ),
+            uid=payload.get("uid", ""),
+            meta=dict(payload.get("meta", {})),
+        )

@@ -1,0 +1,88 @@
+"""Column and schema definitions for relational tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ColumnNotFoundError, SchemaError
+from repro.tables.values import ValueType
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed table column.
+
+    ``name`` is the header string exactly as shown to the NL-Generator;
+    ``type`` is the inferred :class:`~repro.tables.values.ValueType` used
+    by the type-aware program sampler (paper Section IV-C).
+    """
+
+    name: str
+    type: ValueType = ValueType.TEXT
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.type is ValueType.NUMBER
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}:{self.type.value}"
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of uniquely named columns."""
+
+    columns: tuple[Column, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        names = [column.name for column in self.columns]
+        lowered = [name.lower() for name in names]
+        if len(set(lowered)) != len(lowered):
+            duplicates = sorted(
+                {name for name in lowered if lowered.count(name) > 1}
+            )
+            raise SchemaError(f"duplicate column names: {duplicates}")
+        if any(not name.strip() for name in names):
+            raise SchemaError("column names must be non-empty")
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    def __contains__(self, name: str) -> bool:
+        return self.try_index(name) is not None
+
+    def try_index(self, name: str) -> int | None:
+        """Index of the column named ``name`` (case-insensitive), or None."""
+        target = name.strip().lower()
+        for index, column in enumerate(self.columns):
+            if column.name.strip().lower() == target:
+                return index
+        return None
+
+    def index(self, name: str) -> int:
+        found = self.try_index(name)
+        if found is None:
+            raise ColumnNotFoundError(name, self.names)
+        return found
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.index(name)]
+
+    def numeric_columns(self) -> list[Column]:
+        return [column for column in self.columns if column.is_numeric]
+
+    def text_columns(self) -> list[Column]:
+        return [
+            column for column in self.columns if column.type is ValueType.TEXT
+        ]
+
+    def columns_of_type(self, value_type: ValueType) -> list[Column]:
+        return [column for column in self.columns if column.type is value_type]

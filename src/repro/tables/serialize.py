@@ -1,0 +1,92 @@
+"""Table serialization: JSON round-trips and sequence linearization.
+
+Linearization follows the flat "header: h1 | h2 ... row 1: c11 | c12 ..."
+scheme popularized by TAPEX, which is what our featurizers consume.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import SchemaError
+from repro.tables.schema import Column, Schema
+from repro.tables.table import Row, Table
+from repro.tables.values import Value, ValueType, parse_value
+
+
+def table_to_json(table: Table) -> dict[str, Any]:
+    """Serialize a table to a JSON-compatible dict."""
+    return {
+        "title": table.title,
+        "caption": table.caption,
+        "row_name_column": table.row_name_column,
+        "columns": [
+            {"name": column.name, "type": column.type.value}
+            for column in table.schema
+        ],
+        "rows": [[cell.raw for cell in row] for row in table.rows],
+    }
+
+
+def table_from_json(payload: dict[str, Any]) -> Table:
+    """Inverse of :func:`table_to_json`.
+
+    Cell values are re-parsed from their raw strings, but the recorded
+    column types win over re-inference so the round-trip is exact.
+    """
+    columns = []
+    for entry in payload.get("columns", []):
+        columns.append(Column(entry["name"], ValueType(entry.get("type", "text"))))
+    schema = Schema(tuple(columns))
+    rows = []
+    for raw_row in payload.get("rows", []):
+        if len(raw_row) != len(schema):
+            raise SchemaError(
+                f"serialized row width {len(raw_row)} != schema width {len(schema)}"
+            )
+        rows.append(Row(tuple(parse_value(str(cell)) for cell in raw_row)))
+    return Table(
+        schema=schema,
+        rows=tuple(rows),
+        title=payload.get("title", ""),
+        caption=payload.get("caption", ""),
+        row_name_column=payload.get("row_name_column"),
+    )
+
+
+def dumps(table: Table) -> str:
+    """JSON string form of a table."""
+    return json.dumps(table_to_json(table), ensure_ascii=False)
+
+
+def loads(text: str) -> Table:
+    """Parse a table from its JSON string form."""
+    return table_from_json(json.loads(text))
+
+
+def linearize_table(table: Table, max_rows: int | None = None) -> str:
+    """Flatten a table to a single token-friendly string.
+
+    Format: ``title : T header : h1 | h2 row 1 : c11 | c12 row 2 : ...``
+    """
+    parts: list[str] = []
+    if table.title:
+        parts.append(f"title : {table.title}")
+    parts.append("header : " + " | ".join(table.column_names))
+    rows = table.rows if max_rows is None else table.rows[:max_rows]
+    for number, row in enumerate(rows, start=1):
+        cells = " | ".join(cell.raw for cell in row)
+        parts.append(f"row {number} : {cells}")
+    return " ".join(parts)
+
+
+def linearize_row(table: Table, row_index: int) -> str:
+    """Flatten one row as ``col1 is v1 ; col2 is v2 ; ...``."""
+    row = table.rows[row_index]
+    pieces = [
+        f"{column.name} is {cell.raw}"
+        for column, cell in zip(table.schema, row)
+        if not cell.is_null
+    ]
+    return " ; ".join(pieces)

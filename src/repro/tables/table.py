@@ -1,0 +1,220 @@
+"""The :class:`Table` class — the program context of all three DSLs.
+
+Tables are immutable: every relational operation (filter, project, sort,
+drop/append row) returns a new ``Table``.  Immutability keeps the
+Table-Splitting and Table-Expansion pipelines (paper Section III) safe to
+compose, because the original evidence table is never clobbered by the
+operators that derive sub-tables or expanded tables from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.errors import SchemaError
+from repro.tables.schema import Column, Schema
+from repro.tables.values import Value, ValueType, infer_type, parse_value
+
+
+@dataclass(frozen=True)
+class Row:
+    """One table record: a tuple of cells aligned with the schema."""
+
+    cells: tuple[Value, ...]
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self) -> Iterator[Value]:
+        return iter(self.cells)
+
+    def __getitem__(self, index: int) -> Value:
+        return self.cells[index]
+
+
+@dataclass(frozen=True)
+class Table:
+    """An immutable relational table with typed columns.
+
+    ``title`` and ``caption`` carry the table's identity in generated
+    sentences; the optional ``row_name_column`` records which column acts
+    as the "row name" for Text-To-Table matching (paper Section IV-A).
+    """
+
+    schema: Schema
+    rows: tuple[Row, ...] = field(default_factory=tuple)
+    title: str = ""
+    caption: str = ""
+    row_name_column: str | None = None
+
+    def __post_init__(self) -> None:
+        width = len(self.schema)
+        for position, row in enumerate(self.rows):
+            if len(row) != width:
+                raise SchemaError(
+                    f"row {position} has {len(row)} cells, expected {width}"
+                )
+
+    # -- constructors -------------------------------------------------------
+    @staticmethod
+    def from_rows(
+        header: Sequence[str],
+        raw_rows: Iterable[Sequence[object]],
+        title: str = "",
+        caption: str = "",
+        row_name_column: str | None = None,
+    ) -> "Table":
+        """Build a table from raw cell data, inferring column types.
+
+        Cells may be strings (parsed), numbers, or ready-made
+        :class:`Value` objects.
+        """
+        parsed_rows: list[Row] = []
+        for position, raw_row in enumerate(raw_rows):
+            cells = tuple(_to_value(cell) for cell in raw_row)
+            if len(cells) != len(header):
+                raise SchemaError(
+                    f"row {position} has {len(cells)} cells, expected "
+                    f"{len(header)}"
+                )
+            parsed_rows.append(Row(cells))
+        columns = []
+        for position, name in enumerate(header):
+            column_values = [row[position] for row in parsed_rows]
+            columns.append(Column(str(name), infer_type(column_values)))
+        return Table(
+            schema=Schema(tuple(columns)),
+            rows=tuple(parsed_rows),
+            title=title,
+            caption=caption,
+            row_name_column=row_name_column,
+        )
+
+    # -- basic accessors ------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def n_columns(self) -> int:
+        return len(self.schema)
+
+    @property
+    def column_names(self) -> list[str]:
+        return self.schema.names
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def cell(self, row_index: int, column: str) -> Value:
+        """The cell at ``row_index`` in the named column."""
+        return self.rows[row_index][self.schema.index(column)]
+
+    def column_values(self, column: str) -> list[Value]:
+        """All cells in the named column, top to bottom."""
+        index = self.schema.index(column)
+        return [row[index] for row in self.rows]
+
+    def distinct_values(self, column: str) -> list[Value]:
+        """Distinct non-null cells of a column, preserving first-seen order."""
+        seen: set[str] = set()
+        out: list[Value] = []
+        for value in self.column_values(column):
+            if value.is_null:
+                continue
+            key = value.raw.strip().lower()
+            if key not in seen:
+                seen.add(key)
+                out.append(value)
+        return out
+
+    # -- relational operations (all return new tables) ----------------------
+    def filter_rows(self, predicate: Callable[[Row], bool]) -> "Table":
+        kept = tuple(row for row in self.rows if predicate(row))
+        return replace(self, rows=kept)
+
+    def select_rows(self, indices: Sequence[int]) -> "Table":
+        kept = tuple(self.rows[index] for index in indices)
+        return replace(self, rows=kept)
+
+    def drop_row(self, index: int) -> "Table":
+        if not 0 <= index < self.n_rows:
+            raise IndexError(f"row index {index} out of range")
+        kept = self.rows[:index] + self.rows[index + 1 :]
+        return replace(self, rows=kept)
+
+    def append_row(self, cells: Sequence[object]) -> "Table":
+        row = Row(tuple(_to_value(cell) for cell in cells))
+        if len(row) != self.n_columns:
+            raise SchemaError(
+                f"appended row has {len(row)} cells, expected {self.n_columns}"
+            )
+        return replace(self, rows=self.rows + (row,))
+
+    def project(self, columns: Sequence[str]) -> "Table":
+        """Keep only the named columns, in the given order."""
+        indices = [self.schema.index(name) for name in columns]
+        new_schema = Schema(tuple(self.schema.columns[i] for i in indices))
+        new_rows = tuple(
+            Row(tuple(row[i] for i in indices)) for row in self.rows
+        )
+        return replace(self, schema=new_schema, rows=new_rows)
+
+    def sort_by(self, column: str, descending: bool = False) -> "Table":
+        index = self.schema.index(column)
+        ordered = sorted(
+            self.rows, key=lambda row: row[index]._key(), reverse=descending
+        )
+        return replace(self, rows=tuple(ordered))
+
+    def head(self, n: int) -> "Table":
+        return replace(self, rows=self.rows[: max(n, 0)])
+
+    # -- row-name helpers (Text-To-Table integration) ------------------------
+    def row_name(self, row_index: int) -> str:
+        """Human identifier of a row: the row-name column, else first cell."""
+        column = self.row_name_column or (
+            self.column_names[0] if self.column_names else None
+        )
+        if column is None or self.n_rows == 0:
+            return ""
+        return self.cell(row_index, column).raw
+
+    def find_row_by_name(self, name: str) -> int | None:
+        """Index of the row whose row-name matches ``name`` (case-folded)."""
+        target = name.strip().lower()
+        for index in range(self.n_rows):
+            if self.row_name(index).strip().lower() == target:
+                return index
+        return None
+
+    # -- typed column summaries ----------------------------------------------
+    def numeric_column_names(self) -> list[str]:
+        return [column.name for column in self.schema.numeric_columns()]
+
+    def column_type(self, column: str) -> ValueType:
+        return self.schema.column(column).type
+
+    def retype(self) -> "Table":
+        """Re-infer all column types from current cell contents."""
+        columns = []
+        for position, column in enumerate(self.schema.columns):
+            cells = [row[position] for row in self.rows]
+            columns.append(Column(column.name, infer_type(cells)))
+        return replace(self, schema=Schema(tuple(columns)))
+
+
+def _to_value(cell: object) -> Value:
+    if isinstance(cell, Value):
+        return cell
+    if isinstance(cell, bool):
+        return Value.boolean(cell)
+    if isinstance(cell, (int, float)):
+        return Value.number(float(cell))
+    if cell is None:
+        return Value.null()
+    return parse_value(str(cell))

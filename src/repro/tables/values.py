@@ -1,0 +1,248 @@
+"""Typed cell values and type inference.
+
+Real-world tables store everything as strings; reasoning programs need
+numbers.  This module is the boundary between the two worlds: it parses
+raw cell strings into typed :class:`Value` objects and infers column
+types by majority vote, the same pragmatics SQUALL-style template
+placeholders rely on (``c2_number`` means "column 2, numeric").
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any
+
+from repro.errors import ValueParseError
+
+
+class ValueType(str, Enum):
+    """Runtime type of a table cell."""
+
+    NUMBER = "number"
+    TEXT = "text"
+    DATE = "date"
+    BOOL = "bool"
+    NULL = "null"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+_NUMBER_RE = re.compile(
+    r"""^\s*
+        (?P<sign>[-+])?
+        (?P<currency>[$€£¥])?
+        (?P<body>\d{1,3}(?:,\d{3})+(?:\.\d+)?|\d+(?:\.\d+)?|\.\d+)
+        \s*(?P<percent>%)?
+        \s*$""",
+    re.VERBOSE,
+)
+
+_DATE_RE = re.compile(
+    r"""^\s*(?P<year>\d{4})-(?P<month>\d{1,2})-(?P<day>\d{1,2})\s*$"""
+    r"""|^\s*(?P<month2>january|february|march|april|may|june|july|august|"""
+    r"""september|october|november|december)\s+(?P<day2>\d{1,2}),?\s+"""
+    r"""(?P<year2>\d{4})\s*$""",
+    re.VERBOSE | re.IGNORECASE,
+)
+
+_MONTHS = {
+    name: index
+    for index, name in enumerate(
+        (
+            "january february march april may june july august "
+            "september october november december"
+        ).split(),
+        start=1,
+    )
+}
+
+_BOOL_WORDS = {"true": True, "yes": True, "false": False, "no": False}
+
+_NULL_WORDS = {"", "-", "--", "n/a", "na", "none", "null", "nil"}
+
+
+@dataclass(frozen=True, order=False)
+class Value:
+    """A typed, comparable table cell.
+
+    ``raw`` preserves the original surface string so generated sentences
+    can quote the table verbatim; ``typed`` carries the parsed payload
+    (float for numbers, ``(y, m, d)`` tuple for dates, bool, or the
+    normalized string).
+    """
+
+    raw: str
+    type: ValueType
+    typed: Any
+
+    # -- constructors ---------------------------------------------------
+    @staticmethod
+    def number(value: float, raw: str | None = None) -> "Value":
+        """Build a numeric value, defaulting ``raw`` to a compact repr."""
+        if raw is None:
+            raw = format_number(value)
+        return Value(raw=raw, type=ValueType.NUMBER, typed=float(value))
+
+    @staticmethod
+    def text(value: str) -> "Value":
+        return Value(raw=value, type=ValueType.TEXT, typed=value.strip())
+
+    @staticmethod
+    def date(year: int, month: int, day: int, raw: str | None = None) -> "Value":
+        if raw is None:
+            raw = f"{year:04d}-{month:02d}-{day:02d}"
+        return Value(raw=raw, type=ValueType.DATE, typed=(year, month, day))
+
+    @staticmethod
+    def boolean(value: bool, raw: str | None = None) -> "Value":
+        if raw is None:
+            raw = "true" if value else "false"
+        return Value(raw=raw, type=ValueType.BOOL, typed=bool(value))
+
+    @staticmethod
+    def null(raw: str = "") -> "Value":
+        return Value(raw=raw, type=ValueType.NULL, typed=None)
+
+    # -- predicates ------------------------------------------------------
+    @property
+    def is_null(self) -> bool:
+        return self.type is ValueType.NULL
+
+    @property
+    def is_number(self) -> bool:
+        return self.type is ValueType.NUMBER
+
+    def as_number(self) -> float:
+        """Return the numeric payload, parsing text lazily if needed."""
+        if self.type is ValueType.NUMBER:
+            return float(self.typed)
+        if self.type is ValueType.DATE:
+            year, month, day = self.typed
+            return year * 10000 + month * 100 + day
+        if self.type is ValueType.BOOL:
+            return 1.0 if self.typed else 0.0
+        parsed = coerce_number(self.raw)
+        if parsed is None:
+            raise ValueParseError(f"value {self.raw!r} is not numeric")
+        return parsed
+
+    # -- comparisons -----------------------------------------------------
+    def _key(self) -> tuple:
+        """Sort key: group by type, order within type."""
+        if self.type is ValueType.NULL:
+            return (0, 0)
+        if self.type in (ValueType.NUMBER, ValueType.BOOL, ValueType.DATE):
+            return (1, self.as_number())
+        return (2, self.typed.lower())
+
+    def __lt__(self, other: "Value") -> bool:
+        return self._key() < other._key()
+
+    def __le__(self, other: "Value") -> bool:
+        return self._key() <= other._key()
+
+    def __gt__(self, other: "Value") -> bool:
+        return self._key() > other._key()
+
+    def __ge__(self, other: "Value") -> bool:
+        return self._key() >= other._key()
+
+    def equals(self, other: "Value") -> bool:
+        """Semantic equality: numeric when both sides are numeric."""
+        if self.is_null or other.is_null:
+            return self.is_null and other.is_null
+        self_num = coerce_number(self.raw)
+        other_num = coerce_number(other.raw)
+        if self_num is not None and other_num is not None:
+            return math.isclose(self_num, other_num, rel_tol=1e-9, abs_tol=1e-9)
+        return self.raw.strip().lower() == other.raw.strip().lower()
+
+    def __str__(self) -> str:
+        return self.raw
+
+
+def format_number(value: float) -> str:
+    """Render a float compactly and re-parseably.
+
+    Integers drop the trailing ``.0``; other values use positional
+    notation with up to six significant digits (never scientific
+    notation, which :func:`coerce_number` does not read).  Magnitudes
+    below 1e-9 collapse to ``0``.
+    """
+    if not math.isfinite(value):
+        return f"{value:g}"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    if abs(value) < 1e-9:
+        return "0"
+    magnitude = math.floor(math.log10(abs(value)))
+    decimals = max(0, 5 - magnitude)
+    rendered = f"{value:.{decimals}f}"
+    if "." in rendered:
+        rendered = rendered.rstrip("0").rstrip(".")
+    return rendered if rendered not in ("", "-") else "0"
+
+
+def coerce_number(raw: str) -> float | None:
+    """Parse a human-formatted number; ``None`` when it is not one.
+
+    Accepts thousands separators, currency symbols, signs, and percent
+    suffixes (``"$1,234.5"`` → 1234.5; ``"12%"`` → 12.0).
+    """
+    match = _NUMBER_RE.match(raw)
+    if not match:
+        return None
+    body = match.group("body").replace(",", "")
+    number = float(body)
+    if match.group("sign") == "-":
+        number = -number
+    return number
+
+
+def parse_value(raw: str) -> Value:
+    """Parse one raw cell string into the most specific :class:`Value`."""
+    stripped = raw.strip()
+    lowered = stripped.lower()
+    if lowered in _NULL_WORDS:
+        return Value.null(raw)
+    if lowered in _BOOL_WORDS:
+        return Value.boolean(_BOOL_WORDS[lowered], raw)
+    date_match = _DATE_RE.match(stripped)
+    if date_match:
+        if date_match.group("year"):
+            year = int(date_match.group("year"))
+            month = int(date_match.group("month"))
+            day = int(date_match.group("day"))
+        else:
+            year = int(date_match.group("year2"))
+            month = _MONTHS[date_match.group("month2").lower()]
+            day = int(date_match.group("day2"))
+        if 1 <= month <= 12 and 1 <= day <= 31:
+            return Value.date(year, month, day, raw)
+    number = coerce_number(stripped)
+    if number is not None:
+        return Value.number(number, raw)
+    return Value.text(raw)
+
+
+def infer_type(values: list[Value]) -> ValueType:
+    """Infer a column type by majority over non-null cells.
+
+    A column is numeric/date/bool only when *every* non-null cell parses
+    as that type; otherwise it degrades to text, which is always safe.
+    """
+    non_null = [value for value in values if not value.is_null]
+    if not non_null:
+        return ValueType.TEXT
+    types = {value.type for value in non_null}
+    if types == {ValueType.NUMBER}:
+        return ValueType.NUMBER
+    if types == {ValueType.DATE}:
+        return ValueType.DATE
+    if types == {ValueType.BOOL}:
+        return ValueType.BOOL
+    return ValueType.TEXT

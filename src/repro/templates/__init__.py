@@ -1,0 +1,35 @@
+"""Program template substrate.
+
+A *template* is a program with its table-specific parts abstracted into
+placeholders: ``c1, c2, ...`` for columns and ``val1, val2, ...`` for
+cell values, exactly as SQUALL writes them (paper Section IV-B).  The
+template pools mirror the three sources the paper samples from —
+SQUALL (SQL), Logic2Text (logical forms), and FinQA (arithmetic).
+"""
+
+from repro.templates.template import (
+    Placeholder,
+    PlaceholderKind,
+    ProgramTemplate,
+)
+from repro.templates.extract import abstract_program, dedup_templates
+from repro.templates.pools import (
+    TemplatePool,
+    squall_pool,
+    logic2text_pool,
+    finqa_pool,
+    pool_for_kind,
+)
+
+__all__ = [
+    "Placeholder",
+    "PlaceholderKind",
+    "ProgramTemplate",
+    "abstract_program",
+    "dedup_templates",
+    "TemplatePool",
+    "squall_pool",
+    "logic2text_pool",
+    "finqa_pool",
+    "pool_for_kind",
+]

@@ -1,0 +1,306 @@
+"""Abstraction: concrete programs → reusable templates.
+
+This implements the paper's template collection step (Section IV-B):
+given a concrete program written against one table, replace its column
+names with ``c1, c2, ...`` and its cell values with ``val1, val2, ...``
+(tied to the column they came from), then deduplicate by structural
+signature ("different questions or claims may have the same underlying
+logic structure ... dropping redundant program templates").
+"""
+
+from __future__ import annotations
+
+from repro.errors import TemplateError
+from repro.programs.arith.ast import (
+    ArithProgram,
+    CellRef,
+    ColumnRef,
+    NumberLiteral,
+    StepRef,
+)
+from repro.programs.base import Program, ProgramKind
+from repro.programs.logic.ops import OPERATORS
+from repro.programs.logic.parser import LogicNode, LogicProgram
+from repro.programs.sql.ast import ArithmeticItem, ColumnItem
+from repro.programs.sql.parser import SqlProgram
+from repro.tables.table import Table
+from repro.templates.template import Placeholder, PlaceholderKind, ProgramTemplate
+
+
+class _Namer:
+    """Allocates stable placeholder names and records their specs."""
+
+    def __init__(self, table: Table):
+        self.table = table
+        self.columns: dict[str, str] = {}  # column name -> placeholder
+        self.placeholders: list[Placeholder] = []
+        self._value_count = 0
+        self._ordinal_count = 0
+
+    def column(self, name: str) -> str:
+        key = name.strip().lower()
+        if key not in self.columns:
+            token = f"c{len(self.columns) + 1}"
+            self.columns[key] = token
+            self.placeholders.append(
+                Placeholder(
+                    name=token,
+                    kind=PlaceholderKind.COLUMN,
+                    value_type=self.table.schema.column(name).type,
+                )
+            )
+        return self.columns[key]
+
+    def value(self, column: str) -> str:
+        self._value_count += 1
+        token = f"val{self._value_count}"
+        self.placeholders.append(
+            Placeholder(
+                name=token,
+                kind=PlaceholderKind.VALUE,
+                column_ref=self.column(column),
+            )
+        )
+        return token
+
+    def rowname(self) -> str:
+        self._value_count += 1
+        token = f"val{self._value_count}"
+        self.placeholders.append(
+            Placeholder(name=token, kind=PlaceholderKind.ROWNAME)
+        )
+        return token
+
+    def ordinal(self) -> str:
+        self._ordinal_count += 1
+        token = f"n{self._ordinal_count}"
+        self.placeholders.append(
+            Placeholder(name=token, kind=PlaceholderKind.ORDINAL)
+        )
+        return token
+
+
+def abstract_program(
+    program: Program, table: Table, category: str = "general", source: str = ""
+) -> ProgramTemplate:
+    """Abstract ``program`` (written against ``table``) into a template."""
+    if isinstance(program, SqlProgram):
+        return _abstract_sql(program, table, category, source)
+    if isinstance(program, LogicProgram):
+        return _abstract_logic(program, table, category, source)
+    if isinstance(program, ArithProgram):
+        return _abstract_arith(program, table, category, source)
+    raise TemplateError(f"cannot abstract program of type {type(program).__name__}")
+
+
+def dedup_templates(templates: list[ProgramTemplate]) -> list[ProgramTemplate]:
+    """Drop templates with an identical structural signature."""
+    seen: set[str] = set()
+    unique: list[ProgramTemplate] = []
+    for template in templates:
+        signature = template.signature()
+        if signature not in seen:
+            seen.add(signature)
+            unique.append(template)
+    return unique
+
+
+# -- SQL ---------------------------------------------------------------------
+
+def _abstract_sql(
+    program: SqlProgram, table: Table, category: str, source: str
+) -> ProgramTemplate:
+    namer = _Namer(table)
+    query = program.query
+    parts: list[str] = ["select"]
+    for index, item in enumerate(query.items):
+        if index:
+            parts.append(",")
+        if isinstance(item, ArithmeticItem):
+            parts.append(_abstract_sql_item(item.left, namer))
+            parts.append(item.op)
+            parts.append(_abstract_sql_item(item.right, namer))
+        else:
+            parts.append(_abstract_sql_item(item, namer))
+    parts.extend(["from", "w"])
+    if query.conditions:
+        parts.append("where")
+        for index, condition in enumerate(query.conditions):
+            if index:
+                parts.append("and")
+            token = namer.column(condition.column)
+            value_token = namer.value(condition.column)
+            parts.extend([token, condition.op.value, value_token])
+    if query.order is not None:
+        direction = "desc" if query.order.descending else "asc"
+        parts.extend(["order", "by", namer.column(query.order.column), direction])
+    if query.limit is not None:
+        parts.extend(["limit", str(query.limit)])
+    return ProgramTemplate(
+        kind=ProgramKind.SQL,
+        pattern=" ".join(parts),
+        placeholders=tuple(namer.placeholders),
+        category=category or _sql_category(program),
+        source=source,
+    )
+
+
+def _abstract_sql_item(item: ColumnItem, namer: _Namer) -> str:
+    if item.column == "*":
+        inner = "*"
+    else:
+        inner = namer.column(item.column)
+    if item.aggregate is None:
+        return inner
+    if item.distinct:
+        inner = f"distinct {inner}"
+    return f"{item.aggregate.value} ( {inner} )"
+
+
+def _sql_category(program: SqlProgram) -> str:
+    query = program.query
+    aggregates = [
+        item.aggregate.value
+        for item in query.items
+        if isinstance(item, ColumnItem) and item.aggregate is not None
+    ]
+    if any(isinstance(item, ArithmeticItem) for item in query.items):
+        return "diff"
+    if "count" in aggregates:
+        return "count"
+    if aggregates:
+        return "aggregation"
+    if query.order is not None and query.limit == 1:
+        return "superlative"
+    if len(query.conditions) > 1:
+        return "conjunction"
+    return "lookup"
+
+
+# -- Logical forms -----------------------------------------------------------
+
+def _abstract_logic(
+    program: LogicProgram, table: Table, category: str, source: str
+) -> ProgramTemplate:
+    namer = _Namer(table)
+    pattern = _abstract_logic_node(program.root, table, namer)
+    meta: dict = {}
+    result_slot = _logic_result_slot(program.root, namer)
+    if result_slot is not None:
+        meta["result_slot"] = result_slot
+    return ProgramTemplate(
+        kind=ProgramKind.LOGIC,
+        pattern=pattern,
+        placeholders=tuple(namer.placeholders),
+        category=category or OPERATORS[program.root.op].category,
+        source=source,
+        meta=meta,
+    )
+
+
+def _abstract_logic_node(node: LogicNode | str, table: Table, namer: _Namer) -> str:
+    if isinstance(node, str):
+        return node
+    spec = OPERATORS[node.op]
+    rendered: list[str] = []
+    for position, arg in enumerate(node.args):
+        if isinstance(arg, LogicNode):
+            rendered.append(_abstract_logic_node(arg, table, namer))
+            continue
+        text = arg.strip()
+        if text.lower() == "all_rows":
+            rendered.append("all_rows")
+        elif _is_column_position(spec.name, position) and text in table.schema:
+            rendered.append(namer.column(text))
+        elif _is_filter_value_position(spec.name, position):
+            # Tie the value to the filter's column (previous argument).
+            column_arg = node.args[1]
+            if isinstance(column_arg, str) and column_arg in table.schema:
+                rendered.append(namer.value(column_arg))
+            else:
+                rendered.append(namer.rowname())
+        elif text.replace(".", "", 1).lstrip("-").isdigit() and spec.category in (
+            "ordinal",
+        ):
+            rendered.append(namer.ordinal())
+        else:
+            # Free value (root comparison target, hop result...).
+            if text in table.schema:
+                rendered.append(namer.column(text))
+            else:
+                rendered.append(namer.rowname())
+    return f"{node.op} {{ {' ; '.join(rendered)} }}"
+
+
+def _is_column_position(op: str, position: int) -> bool:
+    spec = OPERATORS[op]
+    if spec.category in ("filter", "aggregate", "superlative", "majority"):
+        return position == 1
+    if spec.category in ("hop", "ordinal"):
+        return position == 1
+    return False
+
+
+def _is_filter_value_position(op: str, position: int) -> bool:
+    spec = OPERATORS[op]
+    if spec.category in ("filter", "majority") and spec.arity == 3:
+        return position == 2
+    return False
+
+
+def _logic_result_slot(root: LogicNode, namer: _Namer) -> str | None:
+    """Name of the placeholder standing for the root's expected result.
+
+    For ``eq { <expr> ; X }``-shaped roots the second argument is
+    determined by executing the first; the sampler fills it post-hoc.
+    """
+    if root.op in ("eq", "not_eq", "round_eq") and len(root.args) == 2:
+        if isinstance(root.args[1], str):
+            # The last allocated placeholder corresponds to that leaf.
+            if namer.placeholders:
+                return namer.placeholders[-1].name
+    return None
+
+
+# -- Arithmetic expressions ---------------------------------------------------
+
+def _abstract_arith(
+    program: ArithProgram, table: Table, category: str, source: str
+) -> ProgramTemplate:
+    namer = _Namer(table)
+    rownames: dict[str, str] = {}
+    parts: list[str] = []
+    for step in program.steps:
+        args: list[str] = []
+        for arg in step.args:
+            if isinstance(arg, NumberLiteral):
+                args.append(arg.text())
+            elif isinstance(arg, StepRef):
+                args.append(arg.text())
+            elif isinstance(arg, ColumnRef):
+                args.append(namer.column(arg.column_name))
+            elif isinstance(arg, CellRef):
+                row, column = _orient_cell(arg, table)
+                key = row.strip().lower()
+                if key not in rownames:
+                    rownames[key] = namer.rowname()
+                args.append(f"the {rownames[key]} of {namer.column(column)}")
+        parts.append(f"{step.op} ( {' , '.join(args)} )")
+    return ProgramTemplate(
+        kind=ProgramKind.ARITH,
+        pattern=" , ".join(parts),
+        placeholders=tuple(namer.placeholders),
+        category=category or program.steps[-1].op,
+        source=source,
+    )
+
+
+def _orient_cell(ref: CellRef, table: Table) -> tuple[str, str]:
+    """Return (row name, column name) in table orientation."""
+    if ref.column_name in table.schema:
+        return ref.row_name, ref.column_name
+    if ref.row_name in table.schema:
+        return ref.column_name, ref.row_name
+    raise TemplateError(
+        f"cell reference {ref.text()!r} does not mention a known column"
+    )

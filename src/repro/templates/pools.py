@@ -1,0 +1,335 @@
+"""Built-in template pools mirroring SQUALL, Logic2Text, and FinQA.
+
+The paper collects templates from three parallel corpora (Section IV-B).
+Those corpora are not available offline, so each pool below is a curated
+inventory covering the same reasoning types: every SQL reasoning type of
+Section II-C (equivalence, comparison, counting, sum, diff, conjunction),
+every logical-form type (count, superlative, comparative, aggregation,
+majority, unique, ordinal), and the FinQA operation set (add, subtract,
+multiply, divide, greater, exp + table aggregations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TemplateError
+from repro.programs.base import ProgramKind
+from repro.tables.values import ValueType
+from repro.templates.template import Placeholder, PlaceholderKind, ProgramTemplate
+
+_NUM = ValueType.NUMBER
+_TXT = ValueType.TEXT
+
+
+def _col(name: str, value_type: ValueType | None = None) -> Placeholder:
+    return Placeholder(name=name, kind=PlaceholderKind.COLUMN, value_type=value_type)
+
+
+def _val(name: str, column: str) -> Placeholder:
+    return Placeholder(name=name, kind=PlaceholderKind.VALUE, column_ref=column)
+
+
+def _row(name: str) -> Placeholder:
+    return Placeholder(name=name, kind=PlaceholderKind.ROWNAME)
+
+
+def _ord(name: str) -> Placeholder:
+    return Placeholder(name=name, kind=PlaceholderKind.ORDINAL)
+
+
+@dataclass(frozen=True)
+class TemplatePool:
+    """A named collection of program templates of one kind."""
+
+    name: str
+    kind: ProgramKind
+    templates: tuple[ProgramTemplate, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        for template in self.templates:
+            if template.kind is not self.kind:
+                raise TemplateError(
+                    f"pool {self.name!r} holds {self.kind} templates but got "
+                    f"{template.kind}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.templates)
+
+    def __iter__(self):
+        return iter(self.templates)
+
+    def by_category(self, category: str) -> list[ProgramTemplate]:
+        return [t for t in self.templates if t.category == category]
+
+    @property
+    def categories(self) -> list[str]:
+        seen: list[str] = []
+        for template in self.templates:
+            if template.category not in seen:
+                seen.append(template.category)
+        return seen
+
+
+def _sql_templates() -> list[ProgramTemplate]:
+    make = lambda pattern, placeholders, category: ProgramTemplate(  # noqa: E731
+        kind=ProgramKind.SQL,
+        pattern=pattern,
+        placeholders=tuple(placeholders),
+        category=category,
+        source="squall",
+    )
+    return [
+        # equivalence / lookup (conditions bind on categorical columns,
+        # as SQUALL's string-equality conditions overwhelmingly do)
+        make("select c1 from w where c2 = val1",
+             [_col("c1"), _col("c2", _TXT), _val("val1", "c2")], "lookup"),
+        make("select c1 , c2 from w where c3 = val1",
+             [_col("c1"), _col("c2"), _col("c3", _TXT), _val("val1", "c3")],
+             "lookup"),
+        # comparison via order by / limit (argmax, argmin)
+        make("select c1 from w order by c2 desc limit 1",
+             [_col("c1"), _col("c2", _NUM)], "superlative"),
+        make("select c1 from w order by c2 asc limit 1",
+             [_col("c1"), _col("c2", _NUM)], "superlative"),
+        make("select c1 from w where c2 = val1 order by c3 desc limit 1",
+             [_col("c1"), _col("c2", _TXT), _val("val1", "c2"),
+              _col("c3", _NUM)], "superlative"),
+        make("select c1 from w order by c2 desc limit n1",
+             [_col("c1"), _col("c2", _NUM), _ord("n1")], "ordinal"),
+        # numeric comparisons
+        make("select c1 from w where c2 > val1",
+             [_col("c1"), _col("c2", _NUM), _val("val1", "c2")], "comparative"),
+        make("select c1 from w where c2 < val1",
+             [_col("c1"), _col("c2", _NUM), _val("val1", "c2")], "comparative"),
+        # counting
+        make("select count ( * ) from w where c1 = val1",
+             [_col("c1", _TXT), _val("val1", "c1")], "count"),
+        make("select count ( * ) from w where c1 > val1",
+             [_col("c1", _NUM), _val("val1", "c1")], "count"),
+        make("select count ( * ) from w where c1 < val1",
+             [_col("c1", _NUM), _val("val1", "c1")], "count"),
+        make("select count ( distinct c1 ) from w",
+             [_col("c1")], "count"),
+        make("select count ( * ) from w where c1 = val1 and c2 = val2",
+             [_col("c1"), _val("val1", "c1"), _col("c2"), _val("val2", "c2")],
+             "count"),
+        # aggregation: sum / avg / min / max
+        make("select sum ( c1 ) from w",
+             [_col("c1", _NUM)], "aggregation"),
+        make("select sum ( c1 ) from w where c2 = val1",
+             [_col("c1", _NUM), _col("c2", _TXT), _val("val1", "c2")],
+             "aggregation"),
+        make("select avg ( c1 ) from w",
+             [_col("c1", _NUM)], "aggregation"),
+        make("select avg ( c1 ) from w where c2 = val1",
+             [_col("c1", _NUM), _col("c2", _TXT), _val("val1", "c2")],
+             "aggregation"),
+        make("select max ( c1 ) from w",
+             [_col("c1", _NUM)], "aggregation"),
+        make("select min ( c1 ) from w",
+             [_col("c1", _NUM)], "aggregation"),
+        make("select max ( c1 ) from w where c2 = val1",
+             [_col("c1", _NUM), _col("c2", _TXT), _val("val1", "c2")],
+             "aggregation"),
+        # diff
+        make("select max ( c1 ) - min ( c1 ) from w",
+             [_col("c1", _NUM)], "diff"),
+        # conjunction
+        make("select c1 from w where c2 = val1 and c3 = val2",
+             [_col("c1"), _col("c2", _TXT), _val("val1", "c2"), _col("c3"),
+              _val("val2", "c3")], "conjunction"),
+        make("select c1 from w where c2 = val1 and c3 > val2",
+             [_col("c1"), _col("c2", _TXT), _val("val1", "c2"),
+              _col("c3", _NUM), _val("val2", "c3")], "conjunction"),
+    ]
+
+
+def _logic_templates() -> list[ProgramTemplate]:
+    def make(pattern, placeholders, category, result_slot=None):
+        meta = {"result_slot": result_slot} if result_slot else {}
+        return ProgramTemplate(
+            kind=ProgramKind.LOGIC,
+            pattern=pattern,
+            placeholders=tuple(placeholders),
+            category=category,
+            source="logic2text",
+            meta=meta,
+        )
+
+    return [
+        # unique lookup: the row where c1=val1 has c2=val2
+        make("eq { hop { filter_eq { all_rows ; c1 ; val1 } ; c2 } ; val2 }",
+             [_col("c1", _TXT), _val("val1", "c1"), _col("c2"),
+              _val("val2", "c2")],
+             "lookup", result_slot="val2"),
+        # count
+        make("eq { count { filter_eq { all_rows ; c1 ; val1 } } ; n1 }",
+             [_col("c1"), _val("val1", "c1"), _ord("n1")],
+             "count", result_slot="n1"),
+        make("eq { count { filter_greater { all_rows ; c1 ; val1 } } ; n1 }",
+             [_col("c1", _NUM), _val("val1", "c1"), _ord("n1")],
+             "count", result_slot="n1"),
+        make("eq { count { filter_less { all_rows ; c1 ; val1 } } ; n1 }",
+             [_col("c1", _NUM), _val("val1", "c1"), _ord("n1")],
+             "count", result_slot="n1"),
+        # superlative
+        make("eq { hop { argmax { all_rows ; c1 } ; c2 } ; val1 }",
+             [_col("c1", _NUM), _col("c2"), _val("val1", "c2")],
+             "superlative", result_slot="val1"),
+        make("eq { hop { argmin { all_rows ; c1 } ; c2 } ; val1 }",
+             [_col("c1", _NUM), _col("c2"), _val("val1", "c2")],
+             "superlative", result_slot="val1"),
+        make("eq { max { all_rows ; c1 } ; val1 }",
+             [_col("c1", _NUM), _val("val1", "c1")],
+             "superlative", result_slot="val1"),
+        make("eq { min { all_rows ; c1 } ; val1 }",
+             [_col("c1", _NUM), _val("val1", "c1")],
+             "superlative", result_slot="val1"),
+        # comparative between two rows
+        make("greater { hop { filter_eq { all_rows ; c1 ; val1 } ; c2 } ; "
+             "hop { filter_eq { all_rows ; c1 ; val2 } ; c2 } }",
+             [_col("c1", _TXT), _val("val1", "c1"), _col("c2", _NUM),
+              _val("val2", "c1")], "comparative"),
+        make("less { hop { filter_eq { all_rows ; c1 ; val1 } ; c2 } ; "
+             "hop { filter_eq { all_rows ; c1 ; val2 } ; c2 } }",
+             [_col("c1", _TXT), _val("val1", "c1"), _col("c2", _NUM),
+              _val("val2", "c1")], "comparative"),
+        # aggregation
+        make("round_eq { sum { all_rows ; c1 } ; val1 }",
+             [_col("c1", _NUM), _val("val1", "c1")],
+             "aggregation", result_slot="val1"),
+        make("round_eq { avg { all_rows ; c1 } ; val1 }",
+             [_col("c1", _NUM), _val("val1", "c1")],
+             "aggregation", result_slot="val1"),
+        # majority
+        make("most_eq { all_rows ; c1 ; val1 }",
+             [_col("c1"), _val("val1", "c1")], "majority"),
+        make("all_eq { all_rows ; c1 ; val1 }",
+             [_col("c1"), _val("val1", "c1")], "majority"),
+        make("most_greater { all_rows ; c1 ; val1 }",
+             [_col("c1", _NUM), _val("val1", "c1")], "majority"),
+        make("most_less { all_rows ; c1 ; val1 }",
+             [_col("c1", _NUM), _val("val1", "c1")], "majority"),
+        make("all_greater { all_rows ; c1 ; val1 }",
+             [_col("c1", _NUM), _val("val1", "c1")], "majority"),
+        # unique
+        make("only { filter_eq { all_rows ; c1 ; val1 } }",
+             [_col("c1"), _val("val1", "c1")], "unique"),
+        # ordinal
+        make("eq { nth_max { all_rows ; c1 ; n1 } ; val1 }",
+             [_col("c1", _NUM), _ord("n1"), _val("val1", "c1")],
+             "ordinal", result_slot="val1"),
+        make("eq { hop { nth_argmax { all_rows ; c1 ; n1 } ; c2 } ; val1 }",
+             [_col("c1", _NUM), _ord("n1"), _col("c2"), _val("val1", "c2")],
+             "ordinal", result_slot="val1"),
+        make("eq { hop { nth_argmin { all_rows ; c1 ; n1 } ; c2 } ; val1 }",
+             [_col("c1", _NUM), _ord("n1"), _col("c2"), _val("val1", "c2")],
+             "ordinal", result_slot="val1"),
+        # conjunction of two facts about the same row
+        make("and { eq { hop { filter_eq { all_rows ; c1 ; val1 } ; c2 } ; val2 } ; "
+             "eq { hop { filter_eq { all_rows ; c1 ; val1 } ; c3 } ; val3 } }",
+             [_col("c1", _TXT), _val("val1", "c1"), _col("c2"),
+              _val("val2", "c2"), _col("c3"), _val("val3", "c3")],
+             "conjunction",
+             result_slot="val3"),
+        # comparative diff between two rows
+        make("round_eq { diff { hop { filter_eq { all_rows ; c1 ; val1 } ; c2 } ; "
+             "hop { filter_eq { all_rows ; c1 ; val2 } ; c2 } } ; val3 }",
+             [_col("c1", _TXT), _val("val1", "c1"), _col("c2", _NUM),
+              _val("val2", "c1"), _val("val3", "c2")], "comparative",
+             result_slot="val3"),
+    ]
+
+
+def _arith_templates() -> list[ProgramTemplate]:
+    make = lambda pattern, placeholders, category: ProgramTemplate(  # noqa: E731
+        kind=ProgramKind.ARITH,
+        pattern=pattern,
+        placeholders=tuple(placeholders),
+        category=category,
+        source="finqa",
+    )
+    return [
+        # change / difference
+        make("subtract ( the val1 of c1 , the val2 of c1 )",
+             [_row("val1"), _col("c1", _NUM), _row("val2")], "change"),
+        make("subtract ( the val1 of c1 , the val1 of c2 )",
+             [_row("val1"), _col("c1", _NUM), _col("c2", _NUM)], "change"),
+        # percentage change
+        make("subtract ( the val1 of c1 , the val2 of c1 ) , "
+             "divide ( #0 , the val2 of c1 )",
+             [_row("val1"), _col("c1", _NUM), _row("val2")], "pct_change"),
+        make("subtract ( the val1 of c1 , the val1 of c2 ) , "
+             "divide ( #0 , the val1 of c2 )",
+             [_row("val1"), _col("c1", _NUM), _col("c2", _NUM)], "pct_change"),
+        # ratio / proportion
+        make("divide ( the val1 of c1 , the val2 of c1 )",
+             [_row("val1"), _col("c1", _NUM), _row("val2")], "ratio"),
+        make("divide ( the val1 of c1 , table_sum ( c1 ) )",
+             [_row("val1"), _col("c1", _NUM)], "proportion"),
+        # sums and averages
+        make("add ( the val1 of c1 , the val2 of c1 )",
+             [_row("val1"), _col("c1", _NUM), _row("val2")], "sum"),
+        make("add ( the val1 of c1 , the val2 of c1 ) , divide ( #0 , const_2 )",
+             [_row("val1"), _col("c1", _NUM), _row("val2")], "average"),
+        make("add ( the val1 of c1 , the val1 of c2 )",
+             [_row("val1"), _col("c1", _NUM), _col("c2", _NUM)], "sum"),
+        make("table_sum ( c1 )", [_col("c1", _NUM)], "sum"),
+        make("table_average ( c1 )", [_col("c1", _NUM)], "average"),
+        make("table_max ( c1 )", [_col("c1", _NUM)], "superlative"),
+        make("table_min ( c1 )", [_col("c1", _NUM)], "superlative"),
+        make("subtract ( table_max ( c1 ) , table_min ( c1 ) )",
+             [_col("c1", _NUM)], "range"),
+        # comparison (yes / no)
+        make("greater ( the val1 of c1 , the val2 of c1 )",
+             [_row("val1"), _col("c1", _NUM), _row("val2")], "comparison"),
+        make("greater ( the val1 of c1 , the val1 of c2 )",
+             [_row("val1"), _col("c1", _NUM), _col("c2", _NUM)], "comparison"),
+        # growth factor
+        make("divide ( the val1 of c1 , the val1 of c2 ) , "
+             "subtract ( #0 , const_1 )",
+             [_row("val1"), _col("c1", _NUM), _col("c2", _NUM)], "pct_change"),
+        # percentage expression (multiply by 100)
+        make("divide ( the val1 of c1 , the val2 of c1 ) , "
+             "multiply ( #0 , const_100 )",
+             [_row("val1"), _col("c1", _NUM), _row("val2")], "ratio"),
+        # two-period compound growth rate (exp with a fractional power)
+        make("divide ( the val1 of c1 , the val1 of c2 ) , "
+             "exp ( #0 , const_0_5 ) , subtract ( #1 , const_1 )",
+             [_row("val1"), _col("c1", _NUM), _col("c2", _NUM)], "growth"),
+    ]
+
+
+def squall_pool() -> TemplatePool:
+    """SQL templates in the style of SQUALL."""
+    return TemplatePool(
+        name="squall", kind=ProgramKind.SQL, templates=tuple(_sql_templates())
+    )
+
+
+def logic2text_pool() -> TemplatePool:
+    """Logical-form templates in the style of Logic2Text."""
+    return TemplatePool(
+        name="logic2text",
+        kind=ProgramKind.LOGIC,
+        templates=tuple(_logic_templates()),
+    )
+
+
+def finqa_pool() -> TemplatePool:
+    """Arithmetic-expression templates in the style of FinQA."""
+    return TemplatePool(
+        name="finqa", kind=ProgramKind.ARITH, templates=tuple(_arith_templates())
+    )
+
+
+def pool_for_kind(kind: ProgramKind | str) -> TemplatePool:
+    """The default pool for one program kind."""
+    kind = ProgramKind(kind)
+    if kind is ProgramKind.SQL:
+        return squall_pool()
+    if kind is ProgramKind.LOGIC:
+        return logic2text_pool()
+    return finqa_pool()

@@ -1,0 +1,131 @@
+"""Placeholder model and the :class:`ProgramTemplate` type."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import TemplateError
+from repro.programs.base import ProgramKind
+from repro.tables.values import ValueType
+
+
+class PlaceholderKind(str, Enum):
+    """What a placeholder stands for."""
+
+    COLUMN = "column"
+    VALUE = "value"
+    ORDINAL = "ordinal"  # small positive integers (nth_max ranks, limits)
+    ROWNAME = "rowname"  # a row identifier from the table's row-name column
+
+
+@dataclass(frozen=True)
+class Placeholder:
+    """One slot in a template.
+
+    ``name`` is the surface token (``c1``, ``val2``, ``n1``).
+    ``value_type`` constrains sampling: a ``c2_number`` SQUALL slot
+    becomes ``Placeholder('c2', COLUMN, NUMBER)``.  ``column_ref`` on a
+    VALUE placeholder names the column placeholder its values must be
+    drawn from, preserving the paper's "for each column, sample the
+    values in it" coupling.
+    """
+
+    name: str
+    kind: PlaceholderKind
+    value_type: ValueType | None = None
+    column_ref: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind is PlaceholderKind.VALUE and self.column_ref is None:
+            raise TemplateError(
+                f"value placeholder {self.name!r} must reference a column"
+            )
+
+
+_PLACEHOLDER_TOKEN_RE = re.compile(r"^(?:c\d+|val\d+|n\d+)$")
+
+
+def is_placeholder_token(token: str) -> bool:
+    """Whether a token is a placeholder surface form."""
+    return _PLACEHOLDER_TOKEN_RE.match(token) is not None
+
+
+@dataclass(frozen=True)
+class ProgramTemplate:
+    """An abstract program with typed placeholders.
+
+    ``pattern`` is the program source with placeholder tokens in place
+    of concrete columns/values; instantiation is plain string
+    substitution followed by a real parse, so an instantiated template
+    is always a valid program of ``kind``.
+    """
+
+    kind: ProgramKind
+    pattern: str
+    placeholders: tuple[Placeholder, ...]
+    #: reasoning category (count/superlative/comparative/...), used for
+    #: diversity accounting and the NL grammar.
+    category: str = "general"
+    #: free-form provenance tag (e.g. "squall", "logic2text", "finqa").
+    source: str = ""
+    meta: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        names = [placeholder.name for placeholder in self.placeholders]
+        if len(set(names)) != len(names):
+            raise TemplateError(f"duplicate placeholder names in {self.pattern!r}")
+        for placeholder in self.placeholders:
+            if not _mentions(self.pattern, placeholder.name):
+                raise TemplateError(
+                    f"placeholder {placeholder.name!r} does not occur in "
+                    f"pattern {self.pattern!r}"
+                )
+            if placeholder.column_ref is not None and placeholder.column_ref not in names:
+                raise TemplateError(
+                    f"placeholder {placeholder.name!r} references unknown "
+                    f"column placeholder {placeholder.column_ref!r}"
+                )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.pattern))
+
+    @property
+    def column_placeholders(self) -> list[Placeholder]:
+        return [p for p in self.placeholders if p.kind is PlaceholderKind.COLUMN]
+
+    @property
+    def value_placeholders(self) -> list[Placeholder]:
+        return [p for p in self.placeholders if p.kind is PlaceholderKind.VALUE]
+
+    @property
+    def ordinal_placeholders(self) -> list[Placeholder]:
+        return [p for p in self.placeholders if p.kind is PlaceholderKind.ORDINAL]
+
+    def substitute(self, bindings: dict[str, str]) -> str:
+        """Fill every placeholder; raises on missing/extra bindings."""
+        missing = {p.name for p in self.placeholders} - set(bindings)
+        if missing:
+            raise TemplateError(f"missing bindings for {sorted(missing)}")
+        out = self.pattern
+        # Longest names first so "val10" is not clobbered by "val1".
+        for name in sorted(bindings, key=len, reverse=True):
+            out = _replace_token(out, name, bindings[name])
+        return out
+
+    def signature(self) -> str:
+        """Structural identity used for deduplication."""
+        return f"{self.kind.value}::{self.pattern}"
+
+
+def _mentions(pattern: str, name: str) -> bool:
+    return re.search(rf"(?<![A-Za-z0-9_]){re.escape(name)}(?![A-Za-z0-9_])", pattern) is not None
+
+
+def _replace_token(pattern: str, name: str, replacement: str) -> str:
+    return re.sub(
+        rf"(?<![A-Za-z0-9_]){re.escape(name)}(?![A-Za-z0-9_])",
+        replacement.replace("\\", "\\\\"),
+        pattern,
+    )

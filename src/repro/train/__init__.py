@@ -1,0 +1,20 @@
+"""Training harness: settings (supervised / unsupervised / few-shot /
+augmentation) expressed as training plans over the task models."""
+
+from repro.train.loop import (
+    TrainingPlan,
+    train_verifier,
+    train_qa,
+    evaluate_verifier,
+    evaluate_qa,
+)
+from repro.train.fewshot import few_shot_subset
+
+__all__ = [
+    "TrainingPlan",
+    "train_verifier",
+    "train_qa",
+    "evaluate_verifier",
+    "evaluate_qa",
+    "few_shot_subset",
+]

@@ -1,0 +1,34 @@
+"""Few-shot sampling utilities (the paper's 50-label setting)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.pipelines.samples import ReasoningSample
+from repro.rng import make_rng
+
+
+def few_shot_subset(
+    gold: list[ReasoningSample], k: int = 50, seed: int = 0
+) -> list[ReasoningSample]:
+    """``k`` gold samples chosen uniformly at random (paper Section V-B)."""
+    rng = make_rng(seed)
+    if k >= len(gold):
+        return list(gold)
+    return rng.sample(list(gold), k)
+
+
+def label_budget_curve(
+    gold: list[ReasoningSample],
+    budgets: list[int],
+    seed: int = 0,
+) -> dict[int, list[ReasoningSample]]:
+    """Nested subsets of increasing size for the Figure 5 curve.
+
+    Subsets are nested (each budget extends the previous draw) so the
+    curve is monotone in data rather than jumping between draws.
+    """
+    rng = make_rng(seed)
+    order = list(gold)
+    rng.shuffle(order)
+    return {budget: order[: min(budget, len(order))] for budget in sorted(budgets)}

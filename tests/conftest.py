@@ -1,0 +1,92 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.tables import Paragraph, Table, TableContext
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(1234)
+
+
+@pytest.fixture
+def players_table() -> Table:
+    """A small sports table with text and numeric columns."""
+    return Table.from_rows(
+        header=["player", "team", "points", "rebounds"],
+        raw_rows=[
+            ["john smith", "hawks", "31", "7"],
+            ["mike jones", "bulls", "22", "11"],
+            ["alan reed", "hawks", "17", "4"],
+            ["bo chen", "heat", "28", "9"],
+            ["raj patel", "bulls", "12", "6"],
+        ],
+        title="player statistics",
+        row_name_column="player",
+    )
+
+
+@pytest.fixture
+def finance_table() -> Table:
+    """A line-item x year financial table."""
+    return Table.from_rows(
+        header=["item", "2019", "2018"],
+        raw_rows=[
+            ["revenue", "1200", "1000"],
+            ["net income", "300", "250"],
+            ["stockholders equity", "900", "1000"],
+            ["cash", "450", "380"],
+        ],
+        title="consolidated financial data",
+        row_name_column="item",
+    )
+
+
+@pytest.fixture
+def players_context(players_table) -> TableContext:
+    return TableContext(
+        table=players_table,
+        paragraphs=(
+            Paragraph(
+                text=(
+                    "For dana cruz , the team is spurs and the points is 19 "
+                    "and the rebounds is 8 . For john smith , the points is 31 ."
+                ),
+                source="context",
+            ),
+        ),
+        uid="ctx-players",
+        meta={
+            "text_records": [
+                {"player": "dana cruz", "team": "spurs", "points": "19",
+                 "rebounds": "8"}
+            ]
+        },
+    )
+
+
+@pytest.fixture
+def finance_context(finance_table) -> TableContext:
+    return TableContext(
+        table=finance_table,
+        paragraphs=(
+            Paragraph(
+                text=(
+                    "For deferred revenue , the 2019 is 420 and the 2018 is "
+                    "380 . For revenue , the 2019 is 1200 ."
+                ),
+                source="context",
+            ),
+        ),
+        uid="ctx-finance",
+        meta={
+            "text_records": [
+                {"item": "deferred revenue", "2019": "420", "2018": "380"}
+            ]
+        },
+    )

@@ -1,0 +1,123 @@
+"""Tests for the error-analysis breakdowns and the TABFACT stand-in."""
+
+import pytest
+
+from repro.datasets import TabFactConfig, make_tabfact
+from repro.eval.analysis import Breakdown, GroupScore, qa_breakdown, verifier_breakdown
+from repro.pipelines.samples import EvidenceType, ReasoningSample, TaskType
+from repro.sampling.labeler import ClaimLabel
+
+
+class _ConstantVerifier:
+    def predict(self, samples):
+        return [ClaimLabel.SUPPORTED for _ in samples]
+
+
+class _EchoQA:
+    """Predicts the gold answer for even uids, junk otherwise."""
+
+    def predict(self, sample):
+        if int(sample.uid.rsplit("-", 1)[-1]) % 2 == 0:
+            return tuple(sample.answer)
+        return ("wrong",)
+
+
+def _claim(context, i, label, category):
+    return ReasoningSample(
+        uid=f"c-{i}",
+        task=TaskType.FACT_VERIFICATION,
+        context=context,
+        sentence=f"claim {i}",
+        label=label,
+        provenance={"category": category},
+    )
+
+
+def _question(context, i, evidence):
+    return ReasoningSample(
+        uid=f"q-{i}",
+        task=TaskType.QUESTION_ANSWERING,
+        context=context,
+        sentence=f"question {i} ?",
+        answer=(str(i),),
+        evidence_type=evidence,
+    )
+
+
+class TestVerifierBreakdown:
+    def test_groups_by_category(self, players_context):
+        samples = [
+            _claim(players_context, 0, ClaimLabel.SUPPORTED, "lookup"),
+            _claim(players_context, 1, ClaimLabel.REFUTED, "lookup"),
+            _claim(players_context, 2, ClaimLabel.SUPPORTED, "count"),
+        ]
+        breakdown = verifier_breakdown(_ConstantVerifier(), samples)
+        assert breakdown.group("lookup").score == 50.0
+        assert breakdown.group("count").score == 100.0
+        assert breakdown.overall == pytest.approx(200 / 3)
+
+    def test_best_and_worst(self, players_context):
+        samples = [
+            _claim(players_context, 0, ClaimLabel.SUPPORTED, "a"),
+            _claim(players_context, 1, ClaimLabel.REFUTED, "b"),
+        ]
+        breakdown = verifier_breakdown(_ConstantVerifier(), samples)
+        assert breakdown.best().group == "a"
+        assert breakdown.worst().group == "b"
+
+    def test_empty(self):
+        assert verifier_breakdown(_ConstantVerifier(), []).overall == 0.0
+
+    def test_unknown_group_raises(self, players_context):
+        breakdown = verifier_breakdown(
+            _ConstantVerifier(),
+            [_claim(players_context, 0, ClaimLabel.SUPPORTED, "a")],
+        )
+        with pytest.raises(KeyError):
+            breakdown.group("nope")
+
+
+class TestQABreakdown:
+    def test_groups_by_evidence(self, players_context):
+        samples = [
+            _question(players_context, 0, EvidenceType.TABLE),
+            _question(players_context, 1, EvidenceType.TABLE),
+            _question(players_context, 2, EvidenceType.TEXT),
+        ]
+        breakdown = qa_breakdown(_EchoQA(), samples, by="evidence")
+        assert breakdown.group("table").score == 50.0
+        assert breakdown.group("text").score == 100.0
+
+    def test_invalid_grouping(self, players_context):
+        with pytest.raises(ValueError):
+            qa_breakdown(
+                _EchoQA(),
+                [_question(players_context, 0, EvidenceType.TABLE)],
+                by="phase_of_moon",
+            )
+
+
+class TestTabFact:
+    @pytest.fixture(scope="class")
+    def tabfact(self):
+        return make_tabfact(TabFactConfig(train_contexts=15))
+
+    def test_single_train_split(self, tabfact):
+        assert set(tabfact.splits) == {"train"}
+
+    def test_table_only_two_way(self, tabfact):
+        labels = set()
+        for sample in tabfact.train.gold:
+            assert sample.evidence_type is EvidenceType.TABLE
+            labels.add(sample.label)
+        assert labels == {ClaimLabel.SUPPORTED, ClaimLabel.REFUTED}
+
+    def test_no_text(self, tabfact):
+        for context in tabfact.train.contexts:
+            assert not context.has_text
+
+    def test_trains_a_transfer_verifier(self, tabfact):
+        from repro.models.baselines import transfer_verifier
+
+        model = transfer_verifier(list(tabfact.train.gold), three_way=True)
+        assert ClaimLabel.UNKNOWN in model.labels

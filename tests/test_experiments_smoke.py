@@ -1,0 +1,68 @@
+"""Smoke tests: every experiment module runs at SMOKE scale.
+
+These exercise the full harness path (data synthesis → UCTR generation
+→ model training → metric computation → rendering) with tiny budgets;
+the result *shapes* are asserted by the benchmark suite at full scale.
+"""
+
+import pytest
+
+from repro.experiments import SMOKE
+from repro.experiments.runner import REGISTRY, run_all
+
+
+@pytest.fixture(scope="module")
+def all_results():
+    return run_all(SMOKE)
+
+
+def test_registry_covers_every_paper_artifact():
+    for experiment in ("table2", "table3", "table4", "table5", "table6",
+                       "table7", "table8", "table9", "figure1", "figure5"):
+        assert experiment in REGISTRY
+
+
+def test_all_experiments_run(all_results):
+    assert set(all_results) == set(REGISTRY)
+
+
+def test_results_render(all_results):
+    for name, result in all_results.items():
+        text = result.render()
+        assert result.title in text
+        for column in result.columns:
+            assert column in text, (name, column)
+
+
+def test_rows_have_all_columns(all_results):
+    for name, result in all_results.items():
+        for row in result.rows:
+            for column in result.columns:
+                assert column in row, (name, column)
+
+
+def test_table3_has_eight_rows(all_results):
+    assert len(all_results["table3"].rows) == 8
+
+
+def test_table8_settings_ordered(all_results):
+    settings = [row["Setting"] for row in all_results["table8"].rows]
+    assert settings == sorted(settings)
+
+
+def test_figure5_budgets_monotone(all_results):
+    budgets = [row["Labeled Samples"] for row in all_results["figure5"].rows]
+    assert budgets == sorted(budgets)
+
+
+def test_cell_lookup_api(all_results):
+    result = all_results["table4"]
+    value = result.cell("UCTR", "Dev Accuracy")
+    assert isinstance(value, float)
+    with pytest.raises(KeyError):
+        result.cell("Nonexistent Model", "Dev Accuracy")
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(KeyError):
+        run_all(SMOKE, only=["not_a_real_experiment"])

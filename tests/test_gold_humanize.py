@@ -1,0 +1,140 @@
+"""Tests for the gold annotator and the human phrasing bank."""
+
+import random
+import re
+
+import pytest
+
+from repro.datasets.gold import GoldAnnotator
+from repro.datasets.humanize import HUMAN_SKELETONS, realize_human
+from repro.nlgen.grammar import SKELETONS
+from repro.pipelines.samples import EvidenceType, TaskType
+from repro.programs.base import ProgramKind
+from repro.sampling import ProgramSampler
+from repro.sampling.labeler import ClaimLabel
+from repro.sampling.sampler import sample_many
+from repro.templates import logic2text_pool, squall_pool
+
+
+class TestHumanBank:
+    def test_covers_every_template(self):
+        from repro.templates import finqa_pool
+
+        for pool in (squall_pool(), logic2text_pool(), finqa_pool()):
+            for template in pool:
+                assert template.pattern in HUMAN_SKELETONS, template.pattern
+
+    def test_slots_match_placeholders(self):
+        from repro.templates import finqa_pool
+
+        for pool in (squall_pool(), logic2text_pool(), finqa_pool()):
+            for template in pool:
+                names = {p.name for p in template.placeholders}
+                for skeleton in HUMAN_SKELETONS[template.pattern]:
+                    used = set(re.findall(r"\{(\w+)\}", skeleton))
+                    assert used <= names, (template.pattern, skeleton)
+
+    def test_human_phrasing_differs_from_grammar(self):
+        """The supervised phrasing distribution must not be a copy of
+        the synthetic one — otherwise the sup/unsup gap would vanish."""
+        overlap = 0
+        total = 0
+        for pattern, human in HUMAN_SKELETONS.items():
+            grammar = set(SKELETONS.get(pattern, []))
+            total += len(human)
+            overlap += sum(1 for h in human if h in grammar)
+        assert overlap / total < 0.1
+
+    def test_realize_human_fills_slots(self, players_table, rng):
+        sampler = ProgramSampler(rng)
+        for sample in sample_many(
+            sampler, list(squall_pool()), players_table, 8, rng
+        ):
+            text = realize_human(sample, rng)
+            assert "{" not in text
+            assert len(text) > 8
+
+
+class TestGoldAnnotator:
+    @pytest.fixture
+    def qa_annotator(self):
+        return GoldAnnotator(
+            rng=random.Random(3),
+            task=TaskType.QUESTION_ANSWERING,
+            program_kinds=(ProgramKind.SQL, ProgramKind.ARITH),
+        )
+
+    @pytest.fixture
+    def fv_annotator(self):
+        return GoldAnnotator(
+            rng=random.Random(3),
+            task=TaskType.FACT_VERIFICATION,
+            program_kinds=(ProgramKind.LOGIC,),
+        )
+
+    def test_table_sample_answer_matches_program(self, qa_annotator,
+                                                 finance_context):
+        produced = 0
+        for serial in range(10):
+            sample = qa_annotator.table_sample(finance_context, f"g{serial}")
+            if sample is None:
+                continue
+            produced += 1
+            assert sample.answer
+            assert sample.evidence_type is EvidenceType.TABLE
+        assert produced >= 5
+
+    def test_text_sample_reads_text_records(self, qa_annotator,
+                                            finance_context):
+        sample = qa_annotator.text_sample(finance_context, "t0")
+        assert sample is not None
+        assert sample.evidence_type is EvidenceType.TEXT
+        # the answer must come from a text record, not the table
+        record = finance_context.meta["text_records"][0]
+        assert sample.answer[0] in record.values()
+
+    def test_text_sample_without_records(self, qa_annotator, players_table):
+        from repro.tables import TableContext
+
+        bare = TableContext(table=players_table, uid="bare")
+        assert qa_annotator.text_sample(bare, "t0") is None
+
+    def test_joint_sample_spans_modalities(self, qa_annotator,
+                                           finance_context):
+        found = None
+        for serial in range(12):
+            sample = qa_annotator.joint_sample(finance_context, f"j{serial}")
+            if sample is not None:
+                found = sample
+                break
+        assert found is not None
+        assert found.evidence_type is EvidenceType.TABLE_TEXT
+        # the emitted context is the ORIGINAL one
+        assert found.context.table.n_rows == finance_context.table.n_rows
+
+    def test_unknown_claims(self, fv_annotator, players_context):
+        sample = fv_annotator.unknown_claim(
+            players_context, "u0", "zz phantom"
+        )
+        assert sample is not None
+        assert sample.label is ClaimLabel.UNKNOWN
+
+    def test_unknown_claim_rejects_present_entities(self, fv_annotator,
+                                                    players_context):
+        assert fv_annotator.unknown_claim(
+            players_context, "u1", "john smith"
+        ) is None
+        # entity present only in the text is also rejected
+        assert fv_annotator.unknown_claim(
+            players_context, "u2", "dana cruz"
+        ) is None
+
+    def test_verification_text_claims_balanced(self, fv_annotator,
+                                               finance_context):
+        labels = set()
+        for serial in range(20):
+            sample = fv_annotator.text_sample(finance_context, f"b{serial}")
+            if sample is not None:
+                labels.add(sample.label)
+        assert ClaimLabel.SUPPORTED in labels
+        assert ClaimLabel.REFUTED in labels

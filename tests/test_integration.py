@@ -1,0 +1,108 @@
+"""End-to-end integration tests: the full UCTR story on tiny budgets."""
+
+import pytest
+
+from repro.datasets import (
+    FeverousConfig,
+    TatQAConfig,
+    WikiSQLConfig,
+    make_feverous,
+    make_tatqa,
+    make_wikisql,
+)
+from repro.models.baselines import RandomVerifier
+from repro.pipelines import UCTR, UCTRConfig
+from repro.train import (
+    TrainingPlan,
+    evaluate_qa,
+    evaluate_verifier,
+    train_qa,
+    train_verifier,
+)
+
+
+@pytest.fixture(scope="module")
+def feverous_small():
+    return make_feverous(
+        FeverousConfig(train_contexts=25, dev_contexts=12, test_contexts=6)
+    )
+
+
+@pytest.fixture(scope="module")
+def tatqa_small():
+    return make_tatqa(
+        TatQAConfig(train_contexts=25, dev_contexts=12, test_contexts=6)
+    )
+
+
+class TestVerificationEndToEnd:
+    def test_unsupervised_beats_random(self, feverous_small):
+        contexts = list(feverous_small.train.contexts)
+        framework = UCTR(
+            UCTRConfig(program_kinds=("logic",), samples_per_context=10,
+                       seed=5)
+        )
+        framework.fit(contexts)
+        synthetic = framework.generate(contexts)
+        assert len(synthetic) >= 100
+        model = train_verifier(TrainingPlan.unsupervised(synthetic))
+        dev = [s for s in feverous_small.dev.gold if s.label is not None]
+        uctr_accuracy = evaluate_verifier(model, dev).accuracy
+        random_accuracy = RandomVerifier(seed=1).accuracy(dev) * 100
+        assert uctr_accuracy > random_accuracy + 5
+
+    def test_supervised_is_strong(self, feverous_small):
+        gold = [s for s in feverous_small.train.gold if s.label is not None]
+        model = train_verifier(TrainingPlan.supervised(gold))
+        dev = [s for s in feverous_small.dev.gold if s.label is not None]
+        assert evaluate_verifier(model, dev).accuracy > 60
+
+
+class TestQAEndToEnd:
+    def test_unsupervised_answers_questions(self, tatqa_small):
+        contexts = list(tatqa_small.train.contexts)
+        framework = UCTR(
+            UCTRConfig(program_kinds=("sql", "arith"), samples_per_context=10,
+                       seed=5)
+        )
+        framework.fit(contexts)
+        synthetic = framework.generate(contexts)
+        model = train_qa(TrainingPlan.unsupervised(synthetic))
+        dev = list(tatqa_small.dev.gold)
+        scores = evaluate_qa(model, dev)
+        assert scores.f1 > 25  # far above chance for open answers
+
+    def test_few_shot_pretraining_helps(self, tatqa_small):
+        from repro.train import few_shot_subset
+
+        contexts = list(tatqa_small.train.contexts)
+        framework = UCTR(
+            UCTRConfig(program_kinds=("sql", "arith"), samples_per_context=10,
+                       seed=5)
+        )
+        framework.fit(contexts)
+        synthetic = framework.generate(contexts)
+        shots = few_shot_subset(list(tatqa_small.train.gold), k=20, seed=0)
+        pretrained = train_qa(TrainingPlan.few_shot(synthetic, shots))
+        dev = list(tatqa_small.dev.gold)
+        plain_unsup = train_qa(TrainingPlan.unsupervised(synthetic))
+        # fine-tuning on a few shots must not destroy the model
+        assert evaluate_qa(pretrained, dev).f1 >= (
+            evaluate_qa(plain_unsup, dev).f1 - 10
+        )
+
+
+class TestWikiSQLEndToEnd:
+    def test_zero_shot_below_trained(self):
+        bench = make_wikisql(
+            WikiSQLConfig(train_contexts=25, dev_contexts=12, test_contexts=6)
+        )
+        from repro.models.qa import TagOpQA
+
+        zero_shot = TagOpQA()
+        supervised = train_qa(TrainingPlan.supervised(list(bench.train.gold)))
+        dev = list(bench.dev.gold)
+        assert (
+            evaluate_qa(supervised, dev).denotation
+            > evaluate_qa(zero_shot, dev).denotation
+        )

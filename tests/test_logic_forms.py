@@ -1,0 +1,219 @@
+"""Unit tests for the logical-form parser and executor."""
+
+import pytest
+
+from repro.errors import (
+    ProgramExecutionError,
+    ProgramParseError,
+    ProgramTypeError,
+)
+from repro.programs.logic import parse_logic
+from repro.programs.logic.ops import OPERATORS
+from repro.programs.logic.parser import LogicNode
+
+
+def truth(table, source):
+    result = parse_logic(source).execute(table)
+    assert result.truth is not None, source
+    return result.truth
+
+
+class TestParser:
+    def test_nested_structure(self):
+        program = parse_logic(
+            "eq { hop { filter_eq { all_rows ; team ; hawks } ; player } ; x }"
+        )
+        root = program.root
+        assert root.op == "eq"
+        assert isinstance(root.args[0], LogicNode)
+        assert root.args[0].op == "hop"
+        assert root.args[1] == "x"
+
+    def test_token_round_trip(self):
+        source = "greater { max { all_rows ; points } ; 10 }"
+        program = parse_logic(source)
+        assert parse_logic(" ".join(program.tokens())).root == program.root
+
+    def test_multiword_arguments(self):
+        program = parse_logic(
+            "eq { hop { filter_eq { all_rows ; player ; john smith } ; team } "
+            "; hawks }"
+        )
+        leaves = program.root.leaf_strings()
+        assert "john smith" in leaves
+
+    def test_walk_visits_all_nodes(self):
+        program = parse_logic(
+            "and { only { filter_eq { all_rows ; a ; x } } ; eq { 1 ; 1 } }"
+        )
+        ops = [node.op for node in program.root.walk()]
+        assert ops == ["and", "only", "filter_eq", "eq"]
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "eq { 1 ; 2",
+            "eq 1 ; 2 }",
+            "unknown_op { all_rows }",
+            "eq { 1 ; 2 } trailing { }",
+            "eq { 1 , 2 }",
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ProgramParseError):
+            parse_logic(bad)
+
+
+class TestFilters:
+    def test_filter_eq_count(self, players_table):
+        assert truth(
+            players_table,
+            "eq { count { filter_eq { all_rows ; team ; hawks } } ; 2 }",
+        )
+
+    def test_filter_greater(self, players_table):
+        assert truth(
+            players_table,
+            "eq { count { filter_greater { all_rows ; points ; 20 } } ; 3 }",
+        )
+
+    def test_filter_less_eq(self, players_table):
+        assert truth(
+            players_table,
+            "eq { count { filter_less_eq { all_rows ; points ; 17 } } ; 2 }",
+        )
+
+    def test_filter_not_eq(self, players_table):
+        assert truth(
+            players_table,
+            "eq { count { filter_not_eq { all_rows ; team ; hawks } } ; 3 }",
+        )
+
+    def test_chained_filters(self, players_table):
+        assert truth(
+            players_table,
+            "eq { count { filter_greater { filter_eq { all_rows ; team ; "
+            "bulls } ; points ; 15 } } ; 1 }",
+        )
+
+
+class TestSuperlativesAndOrdinals:
+    def test_argmax_hop(self, players_table):
+        assert truth(
+            players_table,
+            "eq { hop { argmax { all_rows ; points } ; player } ; john smith }",
+        )
+
+    def test_argmin_hop(self, players_table):
+        assert truth(
+            players_table,
+            "eq { hop { argmin { all_rows ; points } ; player } ; raj patel }",
+        )
+
+    def test_nth_max(self, players_table):
+        assert truth(players_table, "eq { nth_max { all_rows ; points ; 2 } ; 28 }")
+
+    def test_nth_argmax(self, players_table):
+        assert truth(
+            players_table,
+            "eq { hop { nth_argmax { all_rows ; points ; 3 } ; player } ; "
+            "mike jones }",
+        )
+
+    def test_nth_min_out_of_range(self, players_table):
+        with pytest.raises(ProgramExecutionError):
+            parse_logic("nth_min { all_rows ; points ; 9 }").execute(players_table)
+
+
+class TestAggregation:
+    def test_sum(self, players_table):
+        assert truth(players_table, "eq { sum { all_rows ; points } ; 110 }")
+
+    def test_avg_round_eq(self, players_table):
+        assert truth(players_table, "round_eq { avg { all_rows ; points } ; 22 }")
+
+    def test_round_eq_tolerance(self, players_table):
+        assert truth(players_table, "round_eq { avg { all_rows ; points } ; 22.5 }")
+        assert not truth(players_table, "round_eq { avg { all_rows ; points } ; 40 }")
+
+    def test_diff(self, players_table):
+        assert truth(
+            players_table,
+            "eq { diff { max { all_rows ; points } ; min { all_rows ; points } } "
+            "; 19 }",
+        )
+
+
+class TestMajorityUniqueConnectives:
+    def test_most_greater(self, players_table):
+        assert truth(players_table, "most_greater { all_rows ; points ; 15 }")
+
+    def test_all_greater(self, players_table):
+        assert truth(players_table, "all_greater { all_rows ; points ; 10 }")
+        assert not truth(players_table, "all_greater { all_rows ; points ; 15 }")
+
+    def test_most_eq(self, players_table):
+        assert not truth(players_table, "most_eq { all_rows ; team ; hawks }")
+
+    def test_only(self, players_table):
+        assert truth(
+            players_table, "only { filter_eq { all_rows ; team ; heat } }"
+        )
+        assert not truth(
+            players_table, "only { filter_eq { all_rows ; team ; hawks } }"
+        )
+
+    def test_and_or_not(self, players_table):
+        assert truth(
+            players_table,
+            "and { greater { 2 ; 1 } ; eq { 1 ; 1 } }",
+        )
+        assert truth(
+            players_table,
+            "or { greater { 1 ; 2 } ; eq { 1 ; 1 } }",
+        )
+        assert truth(players_table, "not { greater { 1 ; 2 } }")
+
+    def test_connective_type_error(self, players_table):
+        with pytest.raises(ProgramTypeError):
+            parse_logic("and { count { all_rows } ; eq { 1 ; 1 } }").execute(
+                players_table
+            )
+
+
+class TestHighlighting:
+    def test_filter_highlights(self, players_table):
+        result = parse_logic(
+            "eq { hop { filter_eq { all_rows ; team ; heat } ; points } ; 28 }"
+        ).execute(players_table)
+        assert (3, "team") in result.highlighted_cells
+        assert (3, "points") in result.highlighted_cells
+
+    def test_superlative_highlights_whole_column(self, players_table):
+        result = parse_logic(
+            "eq { hop { argmax { all_rows ; points } ; player } ; john smith }"
+        ).execute(players_table)
+        points_cells = {
+            row for row, column in result.highlighted_cells if column == "points"
+        }
+        assert points_cells == {0, 1, 2, 3, 4}
+
+
+class TestOperatorRegistry:
+    def test_all_operators_have_categories(self):
+        for spec in OPERATORS.values():
+            assert spec.category
+            assert spec.returns in ("rows", "value", "bool", "number")
+
+    def test_paper_reasoning_types_covered(self):
+        categories = {spec.category for spec in OPERATORS.values()}
+        for required in (
+            "count", "superlative", "comparative", "aggregate", "majority",
+            "unique", "ordinal",
+        ):
+            assert required in categories, required
+
+    def test_arity_enforced_at_parse(self):
+        with pytest.raises(ProgramParseError):
+            parse_logic("count { all_rows ; points }")

@@ -1,0 +1,157 @@
+"""Tests for evaluation metrics and the FEVEROUS score."""
+
+import pytest
+
+from repro.eval import (
+    SimulatedRetriever,
+    denotation_accuracy,
+    exact_match,
+    feverous_score,
+    label_accuracy,
+    micro_f1,
+    normalize_answer,
+    numeracy_f1,
+    qa_scores,
+)
+from repro.eval.report import em_f1, render_table
+from repro.pipelines.samples import EvidenceType, ReasoningSample, TaskType
+from repro.sampling.labeler import ClaimLabel
+
+S, R, U = ClaimLabel.SUPPORTED, ClaimLabel.REFUTED, ClaimLabel.UNKNOWN
+
+
+class TestNormalize:
+    def test_numbers_canonicalized(self):
+        assert normalize_answer("1,200.0") == normalize_answer("1200")
+        assert normalize_answer("$42") == "42"
+
+    def test_rounding(self):
+        assert normalize_answer("0.33333333") == normalize_answer("0.3333299999")
+
+    def test_articles_and_punctuation(self):
+        assert normalize_answer("The Hawks!") == "hawks"
+
+    def test_case(self):
+        assert normalize_answer("John SMITH") == "john smith"
+
+
+class TestExactMatch:
+    def test_set_semantics(self):
+        assert exact_match(["a", "b"], ["b", "a"]) == 1.0
+
+    def test_numeric_equivalence(self):
+        assert exact_match(["1,200"], ["1200"]) == 1.0
+
+    def test_mismatch(self):
+        assert exact_match(["a"], ["b"]) == 0.0
+
+    def test_subset_is_not_match(self):
+        assert exact_match(["a"], ["a", "b"]) == 0.0
+
+
+class TestNumeracyF1:
+    def test_numeric_gold_requires_equality(self):
+        assert numeracy_f1(["41"], ["42"]) == 0.0
+        assert numeracy_f1(["42.0"], ["42"]) == 1.0
+
+    def test_partial_token_credit_for_text(self):
+        score = numeracy_f1(["john smith"], ["john smith jr"])
+        assert 0.0 < score < 1.0
+
+    def test_empty_both(self):
+        assert numeracy_f1([""], [""]) == 1.0
+
+    def test_zero_overlap(self):
+        assert numeracy_f1(["alpha"], ["beta"]) == 0.0
+
+
+class TestAggregates:
+    def test_qa_scores(self):
+        em, f1 = qa_scores([["42"], ["a"]], [["42"], ["b"]])
+        assert em == 50.0
+        assert f1 == 50.0
+
+    def test_denotation_accuracy(self):
+        assert denotation_accuracy([["x"]], [["x"]]) == 100.0
+
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            qa_scores([["a"]], [])
+
+    def test_label_accuracy(self):
+        assert label_accuracy([S, R], [S, S]) == 50.0
+
+    def test_micro_f1_equals_accuracy_single_label(self):
+        predictions = [S, R, U, S]
+        golds = [S, R, R, S]
+        assert micro_f1(predictions, golds) == label_accuracy(predictions, golds)
+
+    def test_micro_f1_empty(self):
+        assert micro_f1([], []) == 0.0
+
+
+def _sample(context, sentence, label, evidence_cells=frozenset(),
+            evidence_type=EvidenceType.TABLE):
+    return ReasoningSample(
+        uid=f"s-{abs(hash(sentence)) % 10**6}",
+        task=TaskType.FACT_VERIFICATION,
+        context=context,
+        sentence=sentence,
+        label=label,
+        evidence_type=evidence_type,
+        evidence_cells=evidence_cells,
+    )
+
+
+class TestFeverousScore:
+    def test_score_never_exceeds_accuracy(self, players_context):
+        samples = [
+            _sample(players_context, "john smith has a points of 31", S,
+                    frozenset({(0, "points")})),
+            _sample(players_context, "bo chen has a rebounds of 9", S,
+                    frozenset({(3, "rebounds")})),
+            _sample(players_context, "some unrelated claim entirely", R,
+                    frozenset({(2, "team")})),
+        ]
+        predictions = [S, S, R]
+        score = feverous_score(samples, predictions)
+        accuracy = label_accuracy(predictions, [s.label for s in samples])
+        assert score <= accuracy
+
+    def test_wrong_label_never_scores(self, players_context):
+        samples = [_sample(players_context, "john smith has a points of 31", S)]
+        assert feverous_score(samples, [R]) == 0.0
+
+    def test_retriever_finds_mentioned_cells(self, players_context):
+        retriever = SimulatedRetriever()
+        sample = _sample(
+            players_context, "john smith has a points of 31", S
+        )
+        retrieved = retriever.retrieve_cells(sample)
+        assert (0, "points") in retrieved or (0, "player") in retrieved
+
+    def test_text_evidence_needs_sentence_overlap(self, players_context):
+        retriever = SimulatedRetriever()
+        on_topic = _sample(
+            players_context, "dana cruz has a points of 19", S,
+            evidence_type=EvidenceType.TEXT,
+        )
+        off_topic = _sample(
+            players_context, "qqq www eee rrr", S,
+            evidence_type=EvidenceType.TEXT,
+        )
+        assert retriever.retrieves_text(on_topic)
+        assert not retriever.retrieves_text(off_topic)
+
+
+class TestReport:
+    def test_render_table(self):
+        text = render_table(
+            "T", ["A", "B"], [{"A": 1.25, "B": "x"}, {"A": 2, "B": "yy"}]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1.2" in text and "yy" in text
+
+    def test_em_f1_format(self):
+        assert em_f1(12.345, 67.89) == "12.3 / 67.9"

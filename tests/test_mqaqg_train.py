@@ -1,0 +1,117 @@
+"""Tests for the MQA-QG baseline and the training harness."""
+
+import pytest
+
+from repro.mqaqg import MQAQG, MQAQGConfig
+from repro.pipelines.samples import EvidenceType, TaskType
+from repro.sampling.labeler import ClaimLabel
+from repro.train import TrainingPlan, few_shot_subset
+from repro.train.fewshot import label_budget_curve
+
+
+class TestMQAQG:
+    def test_generates_simple_questions(self, players_context):
+        generator = MQAQG(MQAQGConfig(samples_per_context=8))
+        samples = generator.generate([players_context])
+        assert samples
+        for sample in samples:
+            assert sample.task is TaskType.QUESTION_ANSWERING
+            assert len(sample.answer) == 1
+            assert len(sample.evidence_cells) == 1  # single-cell lookups only
+            assert sample.provenance["category"] == "lookup"
+
+    def test_answers_are_faithful(self, players_context):
+        generator = MQAQG(MQAQGConfig(samples_per_context=8))
+        for sample in generator.generate([players_context]):
+            ((row, column),) = sample.evidence_cells
+            assert sample.answer[0] == players_context.table.cell(row, column).raw
+
+    def test_claims_are_certified(self, players_context):
+        generator = MQAQG(
+            MQAQGConfig(task=TaskType.FACT_VERIFICATION, samples_per_context=12)
+        )
+        for sample in generator.generate([players_context]):
+            ((row, column),) = sample.evidence_cells
+            cell = players_context.table.cell(row, column)
+            claimed_value = sample.sentence.rsplit(" is ", 1)[-1] \
+                if " is " in sample.sentence else None
+            if sample.label is ClaimLabel.SUPPORTED:
+                assert cell.raw in sample.sentence
+            else:
+                assert sample.label is ClaimLabel.REFUTED
+
+    def test_bridge_rows_use_text(self, players_context):
+        generator = MQAQG(MQAQGConfig(samples_per_context=20, seed=2))
+        samples = generator.generate([players_context])
+        assert any(
+            sample.evidence_type is EvidenceType.TABLE_TEXT
+            for sample in samples
+        )
+
+    def test_no_complex_reasoning(self, players_context):
+        """The baseline's defining limitation: no multi-row programs."""
+        generator = MQAQG(MQAQGConfig(samples_per_context=10))
+        for sample in generator.generate([players_context]):
+            rows = {row for row, _ in sample.evidence_cells}
+            assert len(rows) == 1
+
+
+class TestTrainingPlans:
+    def test_plan_constructors(self):
+        plan = TrainingPlan.few_shot([], [])
+        assert plan.name == "few_shot"
+        assert TrainingPlan.supervised([]).name == "supervised"
+        assert TrainingPlan.unsupervised([]).name == "unsupervised"
+        assert TrainingPlan.augmentation([], []).name == "augmentation"
+
+    def test_few_shot_subset_size(self, players_context):
+        from repro.pipelines.samples import ReasoningSample
+
+        gold = [
+            ReasoningSample(
+                uid=str(i),
+                task=TaskType.QUESTION_ANSWERING,
+                context=players_context,
+                sentence=f"q{i}",
+                answer=("a",),
+            )
+            for i in range(100)
+        ]
+        assert len(few_shot_subset(gold, k=50)) == 50
+        assert len(few_shot_subset(gold, k=500)) == 100
+
+    def test_few_shot_deterministic(self, players_context):
+        from repro.pipelines.samples import ReasoningSample
+
+        gold = [
+            ReasoningSample(
+                uid=str(i),
+                task=TaskType.QUESTION_ANSWERING,
+                context=players_context,
+                sentence=f"q{i}",
+                answer=("a",),
+            )
+            for i in range(40)
+        ]
+        a = [s.uid for s in few_shot_subset(gold, k=10, seed=3)]
+        b = [s.uid for s in few_shot_subset(gold, k=10, seed=3)]
+        assert a == b
+
+    def test_budget_curve_nested(self, players_context):
+        from repro.pipelines.samples import ReasoningSample
+
+        gold = [
+            ReasoningSample(
+                uid=str(i),
+                task=TaskType.QUESTION_ANSWERING,
+                context=players_context,
+                sentence=f"q{i}",
+                answer=("a",),
+            )
+            for i in range(60)
+        ]
+        curve = label_budget_curve(gold, [10, 30, 60])
+        uids_10 = [s.uid for s in curve[10]]
+        uids_30 = [s.uid for s in curve[30]]
+        assert uids_30[:10] == uids_10  # nested subsets
+        assert len(curve[60]) == 60

@@ -1,0 +1,172 @@
+"""Unit tests for the NL-Generator stack (grammar, corpus, model)."""
+
+import random
+
+import pytest
+
+from repro.nlgen import (
+    NLGenerator,
+    NLGeneratorConfig,
+    RealizationGrammar,
+    build_parallel_corpus,
+    train_nl_generator,
+)
+from repro.nlgen.grammar import SKELETONS, fill_skeleton
+from repro.nlgen.model import _abstract
+from repro.programs.base import ProgramKind
+from repro.sampling import ProgramSampler
+from repro.sampling.sampler import sample_many
+from repro.templates import finqa_pool, logic2text_pool, squall_pool
+
+
+@pytest.fixture
+def sql_samples(players_table, rng):
+    sampler = ProgramSampler(rng)
+    return sample_many(sampler, list(squall_pool()), players_table, 12, rng)
+
+
+class TestGrammar:
+    def test_every_pool_template_has_skeletons(self):
+        """Every built-in template must be realizable without fallback."""
+        for pool in (squall_pool(), logic2text_pool(), finqa_pool()):
+            for template in pool:
+                assert template.pattern in SKELETONS, template.pattern
+                assert len(SKELETONS[template.pattern]) >= 1
+
+    def test_skeleton_slots_match_placeholders(self):
+        import re
+
+        for pool in (squall_pool(), logic2text_pool(), finqa_pool()):
+            for template in pool:
+                names = {p.name for p in template.placeholders}
+                for skeleton in SKELETONS[template.pattern]:
+                    used = set(re.findall(r"\{(\w+)\}", skeleton))
+                    assert used <= names, (template.pattern, skeleton)
+
+    def test_realize_fills_all_slots(self, sql_samples, rng):
+        grammar = RealizationGrammar()
+        for sample in sql_samples:
+            text = grammar.realize(sample, rng)
+            assert "{" not in text and "}" not in text
+            assert len(text) > 8
+
+    def test_fallback_for_unknown_pattern(self, sql_samples):
+        grammar = RealizationGrammar(skeletons={})
+        for sample in sql_samples:
+            text = grammar.fallback(sample)
+            assert text.endswith("?")
+
+    def test_fill_skeleton_error_on_unbound(self):
+        from repro.errors import GenerationError
+
+        with pytest.raises(GenerationError):
+            fill_skeleton("what is {missing} ?", {})
+
+    def test_logic_fallback_verbalizes(self, players_table, rng):
+        from repro.programs.base import parse_program
+        from repro.sampling.sampler import SampledProgram
+        from repro.templates import logic2text_pool
+
+        program = parse_program(
+            "most_greater { all_rows ; points ; 15 }", "logic"
+        )
+        sample = SampledProgram(
+            template=logic2text_pool().templates[0],
+            program=program,
+            bindings={},
+            result=program.execute(players_table),
+            table=players_table,
+        )
+        grammar = RealizationGrammar(skeletons={})
+        text = grammar.fallback(sample)
+        assert "points" in text
+        assert "15" in text
+
+
+class TestCorpus:
+    def test_pairs_are_aligned(self, players_table, rng):
+        pairs = build_parallel_corpus(
+            ProgramKind.SQL, [players_table], rng, pairs_per_table=6
+        )
+        assert len(pairs) > 0
+        for pair in pairs:
+            assert pair.kind is ProgramKind.SQL
+            assert pair.program_source
+            assert pair.nl
+            assert pair.bindings
+
+
+class TestAbstraction:
+    def test_abstract_replaces_surfaces(self):
+        skeleton = _abstract(
+            "the points of john smith is 31",
+            {"val1": "john smith", "val2": "31", "c2": "points"},
+        )
+        assert "{val1}" in skeleton
+        assert "{val2}" in skeleton
+        assert "{c2}" in skeleton
+
+    def test_abstract_longest_first(self):
+        """'31' inside 'john 31 smith' must not break longer surfaces."""
+        skeleton = _abstract(
+            "player 31 scored 31", {"a": "player 31", "b": "31"}
+        )
+        assert skeleton.startswith("{a}")
+
+    def test_missing_surface_stays(self):
+        skeleton = _abstract("nothing matches", {"val1": "zebra"})
+        assert skeleton == "nothing matches"
+
+
+class TestModel:
+    def test_train_and_generate(self, players_table, rng):
+        pairs = build_parallel_corpus(
+            ProgramKind.SQL, [players_table], rng, pairs_per_table=8
+        )
+        generator = NLGenerator().train(pairs)
+        assert generator.n_patterns > 0
+        assert generator.n_skeletons > 0
+        sampler = ProgramSampler(rng)
+        samples = sample_many(
+            sampler, list(squall_pool()), players_table, 8, rng
+        )
+        for sample in samples:
+            text = generator.generate(sample, rng)
+            assert isinstance(text, str) and len(text) > 5
+            assert "{" not in text
+
+    def test_untrained_model_falls_back_to_grammar(self, sql_samples, rng):
+        generator = NLGenerator()
+        for sample in sql_samples[:3]:
+            assert len(generator.generate(sample, rng)) > 5
+
+    def test_noise_channel_changes_some_outputs(self, players_table):
+        rng = random.Random(0)
+        pairs = build_parallel_corpus(
+            ProgramKind.SQL, [players_table], rng, pairs_per_table=8
+        )
+        clean = NLGenerator(NLGeneratorConfig(noise_rate=0.0)).train(pairs)
+        noisy = NLGenerator(NLGeneratorConfig(noise_rate=1.0)).train(pairs)
+        sampler = ProgramSampler(random.Random(3))
+        samples = sample_many(
+            sampler, list(squall_pool()), players_table, 20, random.Random(3)
+        )
+        differences = 0
+        for sample in samples:
+            a = clean.generate(sample, random.Random(5))
+            b = noisy.generate(sample, random.Random(5))
+            if a != b:
+                differences += 1
+        assert differences > 0
+
+    def test_train_per_kind(self, players_table, finance_table, rng):
+        pairs = {
+            ProgramKind.SQL: build_parallel_corpus(
+                ProgramKind.SQL, [players_table], rng
+            ),
+            ProgramKind.ARITH: build_parallel_corpus(
+                ProgramKind.ARITH, [finance_table], rng
+            ),
+        }
+        generators = train_nl_generator(pairs)
+        assert set(generators) == {ProgramKind.SQL, ProgramKind.ARITH}

@@ -1,0 +1,109 @@
+"""Numerical-gradient checks for the numpy MLP backpropagation."""
+
+import numpy as np
+import pytest
+
+from repro.models.nn import MLP, MLPConfig
+
+
+def _numerical_gradient(mlp, x, y, param, index, eps=1e-6):
+    original = param[index]
+    param[index] = original + eps
+    loss_plus = mlp.loss(x, y)
+    param[index] = original - eps
+    loss_minus = mlp.loss(x, y)
+    param[index] = original
+    return (loss_plus - loss_minus) / (2 * eps)
+
+
+def _analytic_gradients(mlp, x, y):
+    """Backprop gradients of the mean CE loss (no weight decay)."""
+    logits, activations = mlp.forward(x)
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    proba = np.exp(shifted)
+    proba /= proba.sum(axis=1, keepdims=True)
+    n = len(x)
+    grad = proba.copy()
+    grad[np.arange(n), y] -= 1.0
+    grad /= n
+    grads_w = []
+    grads_b = []
+    for index in reversed(range(len(mlp.weights))):
+        a_in = activations[index]
+        grads_w.append(a_in.T @ grad)
+        grads_b.append(grad.sum(axis=0))
+        if index > 0:
+            grad = grad @ mlp.weights[index].T
+            grad *= (activations[index] > 0).astype(np.float64)
+    return list(reversed(grads_w)), list(reversed(grads_b))
+
+
+class TestBackprop:
+    @pytest.fixture
+    def setup(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(12, 4))
+        y = rng.integers(0, 3, size=12)
+        mlp = MLP(MLPConfig(input_dim=4, hidden_dims=(6,), n_classes=3,
+                            weight_decay=0.0))
+        return mlp, x, y
+
+    def test_weight_gradients_match_numerical(self, setup):
+        mlp, x, y = setup
+        grads_w, _ = _analytic_gradients(mlp, x, y)
+        for layer in range(len(mlp.weights)):
+            for index in [(0, 0), (1, 2), (3, 1)]:
+                if index[0] >= mlp.weights[layer].shape[0]:
+                    continue
+                if index[1] >= mlp.weights[layer].shape[1]:
+                    continue
+                numerical = _numerical_gradient(
+                    mlp, x, y, mlp.weights[layer], index
+                )
+                analytic = grads_w[layer][index]
+                assert numerical == pytest.approx(analytic, abs=1e-5), (
+                    layer, index
+                )
+
+    def test_bias_gradients_match_numerical(self, setup):
+        mlp, x, y = setup
+        _, grads_b = _analytic_gradients(mlp, x, y)
+        for layer in range(len(mlp.biases)):
+            for index in range(min(3, len(mlp.biases[layer]))):
+                numerical = _numerical_gradient(
+                    mlp, x, y, mlp.biases[layer], (index,)
+                )
+                assert numerical == pytest.approx(
+                    grads_b[layer][index], abs=1e-5
+                )
+
+    def test_loss_decreases_on_separable_data(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(100, 3))
+        y = (x[:, 0] > 0).astype(np.int64)
+        mlp = MLP(MLPConfig(input_dim=3, hidden_dims=(8,), epochs=80,
+                            learning_rate=1e-2, patience=20))
+        before = mlp.loss(x, y)
+        mlp.fit(x, y)
+        assert mlp.loss(x, y) < before * 0.5
+
+
+class TestAdam:
+    def test_step_moves_against_gradient(self):
+        from repro.models.nn import AdamState
+
+        param = np.array([1.0, -1.0])
+        state = AdamState.like(param)
+        gradient = np.array([0.5, -0.5])
+        updated = state.step(param, gradient, lr=0.1)
+        assert updated[0] < param[0]
+        assert updated[1] > param[1]
+
+    def test_bias_correction_first_step(self):
+        from repro.models.nn import AdamState
+
+        param = np.zeros(1)
+        state = AdamState.like(param)
+        updated = state.step(param, np.array([1.0]), lr=0.1)
+        # first Adam step is ~lr regardless of gradient magnitude
+        assert updated[0] == pytest.approx(-0.1, abs=1e-6)

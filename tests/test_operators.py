@@ -1,0 +1,138 @@
+"""Unit tests for the Table-To-Text and Text-To-Table operators."""
+
+import pytest
+
+from repro.errors import OperatorError
+from repro.operators import RecordExtractor, TableToText, TextToTable
+from repro.tables import Table, TableContext
+from repro.tables.context import Paragraph
+
+
+class TestTableToText:
+    def test_split_moves_highlighted_row(self, players_table, rng):
+        operator = TableToText()
+        highlighted = frozenset({(1, "points"), (1, "team")})
+        split = operator.split(players_table, highlighted, rng)
+        assert split.row_index == 1
+        assert split.sub_table.n_rows == 4
+        assert "mike jones" in split.sentence
+        assert "22" in split.sentence  # the highlighted points cell
+
+    def test_sentence_contains_highlighted_cells(self, players_table, rng):
+        operator = TableToText()
+        highlighted = frozenset({(3, "rebounds")})
+        split = operator.split(players_table, highlighted, rng)
+        assert "rebounds is 9" in split.sentence
+
+    def test_requires_highlighted_cells(self, players_table, rng):
+        with pytest.raises(OperatorError):
+            TableToText().split(players_table, frozenset(), rng)
+
+    def test_refuses_tiny_tables(self, rng):
+        table = Table.from_rows(["a", "b"], [["x", "1"]])
+        with pytest.raises(OperatorError):
+            TableToText().split(table, frozenset({(0, "b")}), rng)
+
+    def test_describe_row_skips_nulls(self, rng):
+        table = Table.from_rows(
+            ["name", "x", "y"],
+            [["alpha", "n/a", "5"], ["beta", "2", "3"]],
+            row_name_column="name",
+        )
+        sentence, described = TableToText().describe_row(table, 0, rng)
+        assert "x" not in described
+        assert "y is 5" in sentence
+
+    def test_describe_row_too_sparse(self, rng):
+        table = Table.from_rows(
+            ["name", "x"],
+            [["alpha", "n/a"], ["beta", "2"]],
+            row_name_column="name",
+        )
+        with pytest.raises(OperatorError):
+            TableToText().describe_row(table, 0, rng)
+
+
+class TestRecordExtractor:
+    def test_extracts_clauses(self):
+        extractor = RecordExtractor(["player", "team", "points"])
+        record = extractor.extract(
+            "For dana cruz , the team is spurs and the points is 19 ."
+        )
+        assert record["team"].raw == "spurs"
+        assert record["points"].as_number() == 19
+
+    def test_leading_entity_recovery(self):
+        extractor = RecordExtractor(["player", "team", "points"])
+        record = extractor.extract_record(
+            "For dana cruz , the team is spurs and the points is 19 .",
+            name_column="player",
+        )
+        assert record["player"].raw == "dana cruz"
+
+    def test_explicit_name_clause_wins(self):
+        extractor = RecordExtractor(["player", "team"])
+        record = extractor.extract_record(
+            "the player is wes hall and the team is kings .",
+            name_column="player",
+        )
+        assert record["player"].raw == "wes hall"
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(OperatorError):
+            RecordExtractor([])
+
+    def test_unrelated_sentence_yields_nothing(self):
+        extractor = RecordExtractor(["player", "team"])
+        assert extractor.extract("The weather was nice today.") == {}
+
+
+class TestTextToTable:
+    def test_expand_integrates_record(self, players_context):
+        result = TextToTable().expand(players_context)
+        table = result.expanded_table
+        assert table.n_rows == players_context.table.n_rows + 1
+        assert result.row_name == "dana cruz"
+        new_row = table.find_row_by_name("dana cruz")
+        assert table.cell(new_row, "points").as_number() == 19
+
+    def test_expand_skips_rows_already_present(self, players_context):
+        """'john smith' is described in the text but already tabled."""
+        result = TextToTable().expand(players_context)
+        assert result.row_name != "john smith"
+
+    def test_expand_without_text_fails(self, players_table):
+        context = TableContext(table=players_table, uid="no-text")
+        with pytest.raises(OperatorError):
+            TextToTable().expand(context)
+
+    def test_expand_unextractable_text_fails(self, players_table):
+        context = TableContext(
+            table=players_table,
+            paragraphs=(Paragraph("Nothing tabular here at all."),),
+        )
+        with pytest.raises(OperatorError):
+            TextToTable().expand(context)
+
+    def test_expand_all_integrates_every_record(self, finance_context):
+        expansion = TextToTable().expand_all(finance_context)
+        assert expansion.n_new_rows >= 1
+        table = expansion.expanded_table
+        assert table.find_row_by_name("deferred revenue") is not None
+
+    def test_expanded_table_retypes(self, players_context):
+        result = TextToTable().expand(players_context)
+        from repro.tables.values import ValueType
+
+        assert result.expanded_table.column_type("points") is ValueType.NUMBER
+
+    def test_min_cells_threshold(self, players_table):
+        context = TableContext(
+            table=players_table,
+            paragraphs=(Paragraph("For pat lee , the team is suns ."),),
+        )
+        # only (name, team) extractable: below the default threshold of 2
+        # non-name cells? name + team = 2 cells -> integrable
+        operator = TextToTable(min_extracted_cells=3)
+        with pytest.raises(OperatorError):
+            operator.expand(context)

@@ -1,0 +1,187 @@
+"""Unit and integration tests for the generation pipelines and UCTR."""
+
+import pytest
+
+from repro.nlgen.model import NLGenerator
+from repro.pipelines import (
+    EvidenceType,
+    ExpansionPipeline,
+    ReasoningSample,
+    SplittingPipeline,
+    TableOnlyPipeline,
+    TaskType,
+    UCTR,
+    UCTRConfig,
+)
+from repro.pipelines.base import PipelineTools, task_for_kind
+from repro.programs.base import ProgramKind, parse_program
+from repro.sampling.labeler import ClaimLabel
+
+
+@pytest.fixture
+def tools(rng):
+    return PipelineTools(rng=rng, generators={})
+
+
+class TestTaskRouting:
+    def test_logic_makes_claims(self):
+        assert task_for_kind(ProgramKind.LOGIC) is TaskType.FACT_VERIFICATION
+
+    def test_sql_and_arith_make_questions(self):
+        assert task_for_kind(ProgramKind.SQL) is TaskType.QUESTION_ANSWERING
+        assert task_for_kind(ProgramKind.ARITH) is TaskType.QUESTION_ANSWERING
+
+
+class TestTableOnlyPipeline:
+    def test_generates_qa_samples(self, players_context, tools):
+        pipeline = TableOnlyPipeline(tools, (ProgramKind.SQL,))
+        samples = pipeline.generate(players_context, 6)
+        assert samples
+        for sample in samples:
+            assert sample.task is TaskType.QUESTION_ANSWERING
+            assert sample.answer
+            assert sample.evidence_type is EvidenceType.TABLE
+            assert not sample.context.has_text  # paragraphs stripped
+
+    def test_generates_verification_samples(self, players_context, tools):
+        pipeline = TableOnlyPipeline(tools, (ProgramKind.LOGIC,))
+        samples = pipeline.generate(players_context, 6)
+        assert samples
+        for sample in samples:
+            assert sample.task is TaskType.FACT_VERIFICATION
+            assert sample.label in (ClaimLabel.SUPPORTED, ClaimLabel.REFUTED)
+
+    def test_label_certification_end_to_end(self, players_context, tools):
+        pipeline = TableOnlyPipeline(tools, (ProgramKind.LOGIC,))
+        for sample in pipeline.generate(players_context, 10):
+            program = parse_program(sample.provenance["program"], "logic")
+            truth = program.execute(players_context.table).truth
+            expected = sample.label is ClaimLabel.SUPPORTED
+            assert truth is expected
+
+
+class TestSplittingPipeline:
+    def test_generates_joint_samples(self, players_context, tools):
+        pipeline = SplittingPipeline(tools, (ProgramKind.SQL,))
+        samples = pipeline.generate(players_context, 8)
+        assert samples
+        for sample in samples:
+            # the split sentence is the only paragraph
+            assert sample.context.has_text
+            assert sample.context.paragraphs[0].source == "table_to_text"
+            assert sample.context.table.n_rows == (
+                players_context.table.n_rows - 1
+            )
+            assert sample.evidence_type in (
+                EvidenceType.TABLE_TEXT,
+                EvidenceType.TEXT,
+            )
+
+    def test_evidence_cells_remapped(self, players_context, tools):
+        pipeline = SplittingPipeline(tools, (ProgramKind.SQL,))
+        for sample in pipeline.generate(players_context, 8):
+            for row, _ in sample.evidence_cells:
+                assert 0 <= row < sample.context.table.n_rows
+
+
+class TestExpansionPipeline:
+    def test_generates_joint_samples(self, players_context, tools):
+        pipeline = ExpansionPipeline(tools, (ProgramKind.SQL,))
+        samples = pipeline.generate(players_context, 8)
+        # expansion requires the text-derived row to matter, which is
+        # stochastic; but the fixture guarantees an extractable record.
+        for sample in samples:
+            assert sample.evidence_type is EvidenceType.TABLE_TEXT
+            # context keeps the ORIGINAL table and text
+            assert sample.context.table.n_rows == players_context.table.n_rows
+            assert sample.context.has_text
+
+    def test_no_text_contexts_yield_nothing(self, players_context, tools):
+        bare = players_context.with_paragraphs([])
+        pipeline = ExpansionPipeline(tools, (ProgramKind.SQL,))
+        assert pipeline.generate(bare, 5) == []
+
+
+class TestUCTRFacade:
+    def test_fit_then_generate(self, players_context, finance_context):
+        framework = UCTR(
+            UCTRConfig(program_kinds=("sql", "logic"), samples_per_context=6,
+                       seed=3)
+        )
+        framework.fit([players_context, finance_context])
+        assert set(framework.generators) == {ProgramKind.SQL, ProgramKind.LOGIC}
+        for generator in framework.generators.values():
+            assert isinstance(generator, NLGenerator)
+        samples = framework.generate([players_context, finance_context])
+        assert len(samples) >= 8
+        uids = [sample.uid for sample in samples]
+        assert len(uids) == len(set(uids))
+
+    def test_generate_before_fit_raises(self, players_context):
+        framework = UCTR(UCTRConfig())
+        with pytest.raises(RuntimeError):
+            framework.generate([players_context])
+
+    def test_budget_cap(self, players_context):
+        framework = UCTR(UCTRConfig(samples_per_context=10, seed=3))
+        framework.fit([players_context])
+        samples = framework.generate([players_context], budget=4)
+        assert len(samples) <= 4
+
+    def test_no_t2t_variant_is_table_only(self, players_context):
+        framework = UCTR(
+            UCTRConfig(
+                program_kinds=("logic",),
+                use_table_to_text=False,
+                use_text_to_table=False,
+                samples_per_context=8,
+                seed=3,
+            )
+        )
+        framework.fit([players_context])
+        samples = framework.generate([players_context])
+        assert samples
+        assert all(
+            sample.evidence_type is EvidenceType.TABLE for sample in samples
+        )
+
+    def test_determinism(self, players_context):
+        def run():
+            framework = UCTR(
+                UCTRConfig(program_kinds=("sql",), samples_per_context=6,
+                           seed=77)
+            )
+            framework.fit([players_context])
+            return [
+                (sample.sentence, tuple(sample.answer))
+                for sample in framework.generate([players_context])
+            ]
+
+        assert run() == run()
+
+
+class TestSampleSerialization:
+    def test_round_trip(self, players_context, tools):
+        pipeline = TableOnlyPipeline(tools, (ProgramKind.LOGIC,))
+        for sample in pipeline.generate(players_context, 4):
+            back = ReasoningSample.from_json(sample.to_json())
+            assert back.uid == sample.uid
+            assert back.sentence == sample.sentence
+            assert back.label == sample.label
+            assert back.evidence_cells == sample.evidence_cells
+
+    def test_validation(self, players_context):
+        with pytest.raises(ValueError):
+            ReasoningSample(
+                uid="x",
+                task=TaskType.FACT_VERIFICATION,
+                context=players_context,
+                sentence="claim without label",
+            )
+        with pytest.raises(ValueError):
+            ReasoningSample(
+                uid="x",
+                task=TaskType.QUESTION_ANSWERING,
+                context=players_context,
+                sentence="question without answer",
+            )

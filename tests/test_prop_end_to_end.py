@@ -1,0 +1,97 @@
+"""End-to-end generation properties: emitted samples are self-consistent.
+
+The strongest guarantees the pipelines can offer:
+
+* every synthetic QA sample's gold answer is *reachable* from its own
+  emitted context (the candidate generator can derive it), and
+* every synthetic claim re-verifies: its recorded program still executes
+  to the truth value its label asserts, on the table visible in the
+  emitted sample or its provenance.
+"""
+
+import random
+
+import pytest
+
+from repro.datasets.synth import make_finance_context, make_wiki_context
+from repro.eval.metrics import normalize_answer
+from repro.models.qa import CandidateGenerator
+from repro.pipelines import UCTR, UCTRConfig, TaskType
+from repro.rng import make_rng
+
+
+@pytest.fixture(scope="module", params=[3, 17])
+def generated(request):
+    seed = request.param
+    rng = make_rng(seed)
+    contexts = [
+        make_wiki_context(rng, uid=f"p-wiki-{seed}-{i}") for i in range(3)
+    ] + [
+        make_finance_context(rng, uid=f"p-fin-{seed}-{i}") for i in range(3)
+    ]
+    framework = UCTR(
+        UCTRConfig(
+            program_kinds=("sql", "logic", "arith"),
+            samples_per_context=10,
+            seed=seed,
+        )
+    )
+    framework.fit(contexts)
+    return framework.generate(contexts)
+
+
+class TestGeneratedSamples:
+    def test_some_of_each_task(self, generated):
+        tasks = {sample.task for sample in generated}
+        assert TaskType.QUESTION_ANSWERING in tasks
+        assert TaskType.FACT_VERIFICATION in tasks
+
+    def test_qa_answers_reachable_from_context(self, generated):
+        """The emitted evidence suffices to derive the gold answer."""
+        generator = CandidateGenerator(max_candidates=300)
+        qa = [s for s in generated if s.task is TaskType.QUESTION_ANSWERING]
+        assert qa
+        reachable = 0
+        for sample in qa:
+            gold = tuple(sorted(normalize_answer(a) for a in sample.answer))
+            candidates = generator.generate(sample.sentence, sample.context)
+            if any(c.key() == gold for c in candidates):
+                reachable += 1
+        # a modest floor: some answers are legitimately out of candidate
+        # space (rare derivations), but the great majority must be in.
+        assert reachable / len(qa) >= 0.65, f"{reachable}/{len(qa)}"
+
+    def test_claims_recorded_programs_certify_labels(self, generated):
+        from repro.programs.base import parse_program
+        from repro.sampling.labeler import ClaimLabel
+
+        claims = [
+            s for s in generated if s.task is TaskType.FACT_VERIFICATION
+        ]
+        assert claims
+        for sample in claims:
+            source = sample.provenance.get("program")
+            assert source, "claims must record their program"
+            program = parse_program(source, "logic")
+            # splitting/expansion change the visible table, so certify
+            # against the emitted context only for table-only samples.
+            if sample.provenance.get("pipeline") != "table_only":
+                continue
+            truth = program.execute(sample.context.table).truth
+            assert truth is (sample.label is ClaimLabel.SUPPORTED)
+
+    def test_sentences_are_clean(self, generated):
+        for sample in generated:
+            assert "{" not in sample.sentence
+            assert "__result__" not in sample.sentence
+            assert sample.sentence.strip()
+
+    def test_uids_unique(self, generated):
+        uids = [sample.uid for sample in generated]
+        assert len(uids) == len(set(uids))
+
+    def test_evidence_cells_in_range(self, generated):
+        for sample in generated:
+            for row, column in sample.evidence_cells:
+                assert 0 <= row < sample.context.table.n_rows
+                assert column in sample.context.table.schema

@@ -1,0 +1,133 @@
+"""Property tests for logical-form and arithmetic executors."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.programs.arith import parse_arith
+from repro.programs.logic import parse_logic
+from repro.tables.table import Table
+
+_names = st.sampled_from(["alpha", "beta", "gamma", "delta", "epsilon"])
+_scores = st.integers(min_value=-30, max_value=30)
+
+
+@st.composite
+def score_tables(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    names = draw(
+        st.lists(_names, min_size=n, max_size=n, unique=True)
+    )
+    rows = [[name, str(draw(_scores)), str(draw(_scores))] for name in names]
+    return Table.from_rows(
+        ["name", "score", "bonus"], rows, row_name_column="name"
+    )
+
+
+class TestLogicInvariants:
+    @settings(max_examples=80, deadline=None)
+    @given(table=score_tables(), threshold=_scores)
+    def test_filter_partition(self, table, threshold):
+        """filter_greater + filter_less_eq partition the rows."""
+        above = parse_logic(
+            f"count {{ filter_greater {{ all_rows ; score ; {threshold} }} }}"
+        ).execute(table)
+        at_most = parse_logic(
+            f"count {{ filter_less_eq {{ all_rows ; score ; {threshold} }} }}"
+        ).execute(table)
+        total = float(above.single.as_number()) + float(at_most.single.as_number())
+        assert total == table.n_rows
+
+    @settings(max_examples=80, deadline=None)
+    @given(table=score_tables())
+    def test_argmax_is_max(self, table):
+        """hop(argmax, score) equals max(score)."""
+        argmax_value = parse_logic(
+            "hop { argmax { all_rows ; score } ; score }"
+        ).execute(table)
+        max_value = parse_logic("max { all_rows ; score }").execute(table)
+        assert argmax_value.single.as_number() == max_value.single.as_number()
+
+    @settings(max_examples=80, deadline=None)
+    @given(table=score_tables())
+    def test_nth_max_1_is_max(self, table):
+        nth = parse_logic("nth_max { all_rows ; score ; 1 }").execute(table)
+        top = parse_logic("max { all_rows ; score }").execute(table)
+        assert nth.single.as_number() == top.single.as_number()
+
+    @settings(max_examples=80, deadline=None)
+    @given(table=score_tables())
+    def test_sum_equals_avg_times_count(self, table):
+        total = parse_logic("sum { all_rows ; score }").execute(table)
+        average = parse_logic("avg { all_rows ; score }").execute(table)
+        assert abs(
+            total.single.as_number()
+            - average.single.as_number() * table.n_rows
+        ) < 1e-6
+
+    @settings(max_examples=80, deadline=None)
+    @given(table=score_tables(), threshold=_scores)
+    def test_all_implies_most(self, table, threshold):
+        """all_greater(x) implies most_greater(x) on non-empty tables."""
+        all_result = parse_logic(
+            f"all_greater {{ all_rows ; score ; {threshold} }}"
+        ).execute(table)
+        most_result = parse_logic(
+            f"most_greater {{ all_rows ; score ; {threshold} }}"
+        ).execute(table)
+        if all_result.truth:
+            assert most_result.truth
+
+    @settings(max_examples=60, deadline=None)
+    @given(table=score_tables())
+    def test_not_is_involution(self, table):
+        inner = parse_logic("greater { max { all_rows ; score } ; 0 }")
+        double = parse_logic(
+            "not { not { greater { max { all_rows ; score } ; 0 } } }"
+        )
+        assert inner.execute(table).truth == double.execute(table).truth
+
+
+class TestArithInvariants:
+    @settings(max_examples=80, deadline=None)
+    @given(table=score_tables(), data=st.data())
+    def test_subtract_antisymmetric(self, table, data):
+        names = [table.row_name(i) for i in range(table.n_rows)]
+        a = data.draw(st.sampled_from(names))
+        b = data.draw(st.sampled_from(names))
+        forward = parse_arith(
+            f"subtract ( the {a} of score , the {b} of score )"
+        ).execute(table)
+        backward = parse_arith(
+            f"subtract ( the {b} of score , the {a} of score )"
+        ).execute(table)
+        assert (
+            forward.single.as_number() == -backward.single.as_number()
+        )
+
+    @settings(max_examples=80, deadline=None)
+    @given(table=score_tables())
+    def test_table_sum_matches_logic_sum(self, table):
+        arith = parse_arith("table_sum ( score )").execute(table)
+        logic = parse_logic("sum { all_rows ; score }").execute(table)
+        assert arith.single.as_number() == logic.single.as_number()
+
+    @settings(max_examples=80, deadline=None)
+    @given(table=score_tables())
+    def test_range_non_negative(self, table):
+        result = parse_arith(
+            "subtract ( table_max ( score ) , table_min ( score ) )"
+        ).execute(table)
+        assert result.single.as_number() >= 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(table=score_tables(), data=st.data())
+    def test_add_commutative(self, table, data):
+        names = [table.row_name(i) for i in range(table.n_rows)]
+        a = data.draw(st.sampled_from(names))
+        b = data.draw(st.sampled_from(names))
+        ab = parse_arith(
+            f"add ( the {a} of score , the {b} of bonus )"
+        ).execute(table)
+        ba = parse_arith(
+            f"add ( the {b} of bonus , the {a} of score )"
+        ).execute(table)
+        assert ab.single.as_number() == ba.single.as_number()

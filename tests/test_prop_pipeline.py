@@ -1,0 +1,102 @@
+"""Property tests over the sampling/labeling pipeline invariants."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.eval.metrics import exact_match, numeracy_f1
+from repro.sampling import ClaimLabel, ClaimLabeler, ProgramSampler
+from repro.sampling.sampler import sample_many
+from repro.tables.table import Table
+from repro.templates import logic2text_pool, squall_pool
+
+_names = st.sampled_from(
+    ["ash", "birch", "cedar", "dogwood", "elm", "fir", "gum"]
+)
+_groups = st.sampled_from(["north", "south", "east"])
+_scores = st.integers(min_value=0, max_value=99)
+
+
+@st.composite
+def grove_tables(draw):
+    n = draw(st.integers(min_value=2, max_value=7))
+    names = draw(st.lists(_names, min_size=n, max_size=n, unique=True))
+    rows = [
+        [name, draw(_groups), str(draw(_scores)), str(draw(_scores))]
+        for name in names
+    ]
+    return Table.from_rows(
+        ["tree", "region", "height", "age"], rows, row_name_column="tree"
+    )
+
+
+class TestSamplerProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(table=grove_tables(), seed=st.integers(0, 10**6))
+    def test_sampled_sql_always_executes_non_empty(self, table, seed):
+        rng = random.Random(seed)
+        sampler = ProgramSampler(rng)
+        for sample in sample_many(
+            sampler, list(squall_pool()), table, 6, rng
+        ):
+            assert not sample.result.is_empty
+            # re-execution is deterministic
+            again = sample.program.execute(table)
+            assert again.denotation() == sample.result.denotation()
+
+    @settings(max_examples=25, deadline=None)
+    @given(table=grove_tables(), seed=st.integers(0, 10**6))
+    def test_labeled_claims_always_certified(self, table, seed):
+        """THE invariant: labels match program execution, always."""
+        rng = random.Random(seed)
+        sampler = ProgramSampler(rng)
+        labeler = ClaimLabeler(rng)
+        for sample in sample_many(
+            sampler, list(logic2text_pool()), table, 6, rng
+        ):
+            claim = labeler.label(sample)
+            truth = claim.sample.program.execute(table).truth
+            assert truth is not None
+            assert (claim.label is ClaimLabel.SUPPORTED) == truth
+
+    @settings(max_examples=25, deadline=None)
+    @given(table=grove_tables(), seed=st.integers(0, 10**6))
+    def test_bindings_regenerate_program(self, table, seed):
+        rng = random.Random(seed)
+        sampler = ProgramSampler(rng)
+        for sample in sample_many(
+            sampler, list(logic2text_pool()), table, 6, rng
+        ):
+            rebuilt = sample.template.substitute(sample.bindings)
+            assert rebuilt == sample.program.source
+
+
+class TestMetricProperties:
+    answers = st.lists(
+        st.sampled_from(["1", "2", "alpha", "beta gamma", "42.5"]),
+        min_size=1,
+        max_size=3,
+    )
+
+    @settings(max_examples=100, deadline=None)
+    @given(answer=answers)
+    def test_exact_match_reflexive(self, answer):
+        assert exact_match(answer, answer) == 1.0
+        assert numeracy_f1(answer, answer) == 1.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=answers, b=answers)
+    def test_exact_match_symmetric(self, a, b):
+        assert exact_match(a, b) == exact_match(b, a)
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=answers, b=answers)
+    def test_f1_bounded(self, a, b):
+        score = numeracy_f1(a, b)
+        assert 0.0 <= score <= 1.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=answers, b=answers)
+    def test_em_implies_f1(self, a, b):
+        if exact_match(a, b) == 1.0:
+            assert numeracy_f1(a, b) == 1.0

@@ -1,0 +1,114 @@
+"""Property tests (hypothesis) for values, tables, and serialization."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.tables.serialize import table_from_json, table_to_json
+from repro.tables.table import Table
+from repro.tables.values import (
+    Value,
+    coerce_number,
+    format_number,
+    parse_value,
+)
+
+_cell_text = st.text(
+    alphabet="abcdefghij xyz0123456789.,-",
+    min_size=0,
+    max_size=12,
+)
+_numbers = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+class TestValueProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(number=_numbers)
+    def test_format_parse_round_trip(self, number):
+        rendered = format_number(number)
+        parsed = coerce_number(rendered)
+        assert parsed is not None
+        assert abs(parsed - number) <= max(abs(number) * 1e-5, 1e-6)
+
+    @settings(max_examples=200, deadline=None)
+    @given(text=_cell_text)
+    def test_parse_value_total(self, text):
+        """parse_value never raises and preserves the raw string."""
+        value = parse_value(text)
+        assert value.raw == text
+
+    @settings(max_examples=100, deadline=None)
+    @given(text=_cell_text)
+    def test_equals_reflexive(self, text):
+        value = parse_value(text)
+        assert value.equals(parse_value(text))
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=_numbers, b=_numbers)
+    def test_ordering_consistent_with_numbers(self, a, b):
+        va, vb = Value.number(a), Value.number(b)
+        if a < b:
+            assert va < vb
+        if a > b:
+            assert va > vb
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=_cell_text, b=_cell_text)
+    def test_comparison_totality(self, a, b):
+        va, vb = parse_value(a), parse_value(b)
+        assert (va < vb) or (va >= vb)
+
+
+@st.composite
+def random_tables(draw):
+    n_cols = draw(st.integers(min_value=1, max_value=4))
+    n_rows = draw(st.integers(min_value=0, max_value=6))
+    header = [f"col {i}" for i in range(n_cols)]
+    rows = [
+        [draw(_cell_text) for _ in range(n_cols)] for _ in range(n_rows)
+    ]
+    return Table.from_rows(header, rows, title=draw(_cell_text))
+
+
+class TestTableProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(table=random_tables())
+    def test_json_round_trip(self, table):
+        back = table_from_json(table_to_json(table))
+        assert back.column_names == table.column_names
+        assert back.n_rows == table.n_rows
+        for row_index in range(table.n_rows):
+            for column in table.column_names:
+                assert (
+                    back.cell(row_index, column).raw
+                    == table.cell(row_index, column).raw
+                )
+
+    @settings(max_examples=80, deadline=None)
+    @given(table=random_tables())
+    def test_sort_is_permutation(self, table):
+        for column in table.column_names:
+            ordered = table.sort_by(column)
+            assert ordered.n_rows == table.n_rows
+            original = sorted(
+                cell.raw for cell in table.column_values(column)
+            )
+            reordered = sorted(
+                cell.raw for cell in ordered.column_values(column)
+            )
+            assert original == reordered
+
+    @settings(max_examples=80, deadline=None)
+    @given(table=random_tables(), data=st.data())
+    def test_drop_row_shrinks_by_one(self, table, data):
+        if table.n_rows == 0:
+            return
+        index = data.draw(st.integers(0, table.n_rows - 1))
+        assert table.drop_row(index).n_rows == table.n_rows - 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(table=random_tables())
+    def test_retype_idempotent(self, table):
+        once = table.retype()
+        twice = once.retype()
+        assert [c.type for c in once.schema] == [c.type for c in twice.schema]

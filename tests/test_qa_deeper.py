@@ -1,0 +1,165 @@
+"""Deeper coverage of the QA model: candidates, source head, staging."""
+
+import numpy as np
+import pytest
+
+from repro.models.qa import (
+    CANDIDATE_TYPES,
+    CandidateGenerator,
+    QAConfig,
+    TagOpQA,
+    _SourceHead,
+)
+from repro.pipelines.samples import ReasoningSample, TaskType
+from repro.tables.values import format_number
+
+
+def _question(context, sentence, answer):
+    return ReasoningSample(
+        uid=f"qd-{abs(hash(sentence)) % 10**6}",
+        task=TaskType.QUESTION_ANSWERING,
+        context=context,
+        sentence=sentence,
+        answer=tuple(answer),
+    )
+
+
+class TestCandidateCoverage:
+    def test_multi_cell_candidates(self, players_context):
+        generator = CandidateGenerator()
+        candidates = generator.generate(
+            "which players are on the hawks ?", players_context
+        )
+        multi = [c for c in candidates if c.type == "multi_cells"]
+        answers = {c.answer for c in multi}
+        assert ("john smith", "alan reed") in answers
+
+    def test_count_cmp_orientations(self, players_context):
+        generator = CandidateGenerator()
+        candidates = generator.generate(
+            "how many players scored more than 20 points ?", players_context
+        )
+        cmp_candidates = [c for c in candidates if c.type == "count_cmp"]
+        answers = {c.answer[0] for c in cmp_candidates}
+        assert "3" in answers  # above 20: 31, 22, 28
+
+    def test_pct_pair_value(self, finance_context):
+        generator = CandidateGenerator()
+        candidates = generator.generate(
+            "what was the percentage change in revenue from 2018 to 2019 ?",
+            finance_context,
+        )
+        pct = {c.answer[0] for c in candidates if c.type == "pct_pair"}
+        assert format_number(200 / 1000) in pct
+
+    def test_share_candidate(self, finance_context):
+        generator = CandidateGenerator()
+        candidates = generator.generate(
+            "what share of the total 2019 does revenue account for ?",
+            finance_context,
+        )
+        shares = {c.answer[0] for c in candidates if c.type == "share"}
+        assert format_number(1200 / 2850) in shares
+
+    def test_greater_pair_boolean(self, finance_context):
+        generator = CandidateGenerator()
+        candidates = generator.generate(
+            "does revenue beat cash on 2019 ?", finance_context
+        )
+        booleans = {c.answer[0] for c in candidates if c.type == "greater_pair"}
+        assert "true" in booleans
+
+    def test_mixed_source_pairs(self, finance_context):
+        """Pairs across a table cell and a text-record cell."""
+        generator = CandidateGenerator()
+        candidates = generator.generate(
+            "what is the difference between revenue and deferred revenue "
+            "in 2019 ?",
+            finance_context,
+        )
+        mixed = [c for c in candidates if c.source == "mixed"]
+        assert mixed
+        diffs = {c.answer[0] for c in mixed if c.type == "diff_pair"}
+        assert format_number(1200 - 420) in diffs
+
+    def test_candidate_cap(self, players_context):
+        generator = CandidateGenerator(max_candidates=10)
+        candidates = generator.generate("what ?", players_context)
+        assert len(candidates) <= 10
+
+    def test_all_types_are_known(self, players_context, finance_context):
+        generator = CandidateGenerator()
+        for context, question in (
+            (players_context, "how many different teams have more than 20 "
+                              "points for john smith and raj patel ?"),
+            (finance_context, "what was the percentage change of revenue "
+                              "from 2018 to 2019 ?"),
+        ):
+            for candidate in generator.generate(question, context):
+                assert candidate.type in CANDIDATE_TYPES
+
+
+class TestSourceHead:
+    def test_untrained_head(self):
+        head = _SourceHead()
+        assert head.total == 0
+
+    def test_posterior_prefers_observed_source(self):
+        head = _SourceHead()
+        for _ in range(10):
+            head.observe("what does the passage say about x ?", "text")
+            head.observe("what is the highest score in the table ?", "table")
+        posterior = head.log_posterior("according to the passage , what ?")
+        assert posterior["text"] > posterior["table"]
+        posterior = head.log_posterior("what is the highest score ?")
+        assert posterior["table"] > posterior["text"]
+
+    def test_unseen_source_penalized_but_floored(self):
+        head = _SourceHead()
+        head.observe("anything ?", "table")
+        posterior = head.log_posterior("anything ?")
+        # heavily penalized relative to the observed source...
+        assert posterior["mixed"] < posterior["table"] - 2.0
+        # ...but never below the floor (no infinite vetoes)
+        assert posterior["mixed"] >= np.log(0.02) - 1e-9
+
+    def test_merge_pools_counts(self):
+        a, b = _SourceHead(), _SourceHead()
+        a.observe("alpha ?", "table")
+        b.observe("beta ?", "text")
+        merged = a.merged_with(b)
+        assert merged.total == 2
+        assert merged._source_counts["table"] == 1
+        assert merged._source_counts["text"] == 1
+
+
+class TestFineTuneStability:
+    def test_small_fine_tune_preserves_model(self, players_context):
+        """A handful of shots must not destroy a trained model."""
+        table = players_context.table
+        samples = []
+        for row in range(table.n_rows):
+            name = table.row_name(row)
+            for column in ("points", "rebounds"):
+                samples.append(_question(
+                    players_context,
+                    f"what is the {column} of {name} ?",
+                    (table.cell(row, column).raw,),
+                ))
+        model = TagOpQA(QAConfig(epochs=15))
+        model.fit(samples)
+        before = sum(
+            model.predict(s) == s.answer for s in samples
+        )
+        model.fine_tune(samples[:3])
+        after = sum(
+            model.predict(s) == s.answer for s in samples
+        )
+        assert after >= before - 2
+
+    def test_fine_tune_empty_is_noop(self, players_context):
+        model = TagOpQA(QAConfig(epochs=3))
+        samples = [_question(players_context, "what is the points of bo chen ?",
+                             ("28",))]
+        model.fit(samples)
+        model.fine_tune([])  # must not raise

@@ -1,0 +1,161 @@
+"""Unit tests for the program sampler and validity filters."""
+
+import random
+
+import pytest
+
+from repro.errors import SamplingError
+from repro.programs.base import ProgramKind
+from repro.sampling import ProgramSampler, default_filters
+from repro.sampling.filters import passes_all
+from repro.sampling.sampler import RESULT_SENTINEL, sample_many
+from repro.tables import Table
+from repro.tables.values import ValueType
+from repro.templates import (
+    Placeholder,
+    PlaceholderKind,
+    ProgramTemplate,
+    finqa_pool,
+    logic2text_pool,
+    squall_pool,
+)
+
+
+@pytest.fixture
+def sampler(rng):
+    return ProgramSampler(rng)
+
+
+class TestBinding:
+    def test_columns_match_declared_types(self, sampler, players_table):
+        template = squall_pool().templates[2]  # order by c2(num) desc limit 1
+        for _ in range(10):
+            bindings = sampler.bind_placeholders(template, players_table)
+            assert bindings["c2"] in ("points", "rebounds")
+
+    def test_columns_are_distinct(self, sampler, players_table):
+        template = next(
+            t for t in squall_pool()
+            if t.pattern == "select c1 from w where c2 = val1"
+        )
+        for _ in range(10):
+            bindings = sampler.bind_placeholders(template, players_table)
+            assert bindings["c1"] != bindings["c2"]
+
+    def test_values_come_from_bound_column(self, sampler, players_table):
+        template = next(
+            t for t in squall_pool()
+            if t.pattern == "select c1 from w where c2 = val1"
+        )
+        for _ in range(10):
+            bindings = sampler.bind_placeholders(template, players_table)
+            column_values = {
+                value.raw
+                for value in players_table.distinct_values(bindings["c2"])
+            }
+            assert bindings["val1"] in column_values
+
+    def test_ordinals_bounded_by_rows(self, sampler, players_table):
+        template = next(
+            t for t in squall_pool() if "limit n1" in t.pattern
+        )
+        for _ in range(10):
+            bindings = sampler.bind_placeholders(template, players_table)
+            assert 1 <= int(bindings["n1"]) <= players_table.n_rows
+
+    def test_missing_column_type_raises(self, sampler):
+        all_text = Table.from_rows(
+            ["a", "b"], [["x", "y"], ["p", "q"]]
+        )
+        template = ProgramTemplate(
+            kind=ProgramKind.SQL,
+            pattern="select sum ( c1 ) from w",
+            placeholders=(
+                Placeholder("c1", PlaceholderKind.COLUMN,
+                            value_type=ValueType.NUMBER),
+            ),
+        )
+        with pytest.raises(SamplingError):
+            sampler.sample(template, all_text)
+
+
+class TestSampling:
+    def test_sql_sample_executes(self, sampler, players_table):
+        for template in squall_pool():
+            sampled = sampler.try_sample(template, players_table)
+            if sampled is None:
+                continue
+            assert sampled.result is not None
+            assert not sampled.result.is_empty
+
+    def test_logic_result_slot_resolved(self, sampler, players_table):
+        template = next(
+            t for t in logic2text_pool()
+            if t.meta.get("result_slot") == "val2"
+        )
+        sampled = sampler.sample(template, players_table)
+        assert RESULT_SENTINEL not in sampled.program.source
+        # the claim certifies True because the slot holds the real result
+        assert sampled.result.truth is True
+
+    def test_arith_sample_executes(self, sampler, finance_table):
+        produced = 0
+        for template in finqa_pool():
+            sampled = sampler.try_sample(template, finance_table)
+            if sampled is not None:
+                produced += 1
+                assert sampled.answer
+        assert produced >= 10
+
+    def test_sql_quoting_of_text_values(self, sampler, players_table):
+        template = next(
+            t for t in squall_pool()
+            if t.pattern == "select c1 from w where c2 = val1"
+        )
+        sampled = sampler.sample(template, players_table)
+        # a text value must appear quoted in the SQL source
+        value = sampled.bindings["val1"]
+        from repro.tables.values import coerce_number
+
+        if coerce_number(value) is None:
+            assert f"'{value}'" in sampled.program.source
+
+    def test_sample_many_respects_budget(self, sampler, players_table, rng):
+        got = sample_many(sampler, list(squall_pool()), players_table, 5, rng)
+        assert len(got) <= 5
+
+    def test_sample_many_empty_templates(self, sampler, players_table, rng):
+        assert sample_many(sampler, [], players_table, 5, rng) == []
+
+
+class TestFilters:
+    def test_default_filters_accept_good_sample(self, sampler, players_table):
+        template = next(
+            t for t in squall_pool()
+            if t.pattern == "select c1 from w where c2 = val1"
+        )
+        sampled = sampler.sample(template, players_table)
+        assert passes_all(sampled, default_filters())
+
+    def test_touches_table_filter(self, sampler, players_table):
+        """count(*) over an empty filter has no highlighted cells."""
+        from repro.programs.base import parse_program
+        from repro.sampling.sampler import SampledProgram
+
+        program = parse_program(
+            "select count ( * ) from w where team = 'jazz'", "sql"
+        )
+        result = program.execute(players_table)
+        sampled = SampledProgram(
+            template=squall_pool().templates[0],
+            program=program,
+            bindings={},
+            result=result,
+            table=players_table,
+        )
+        filters = {f.name: f for f in default_filters()}
+        assert not filters["touches_table"](sampled)
+
+    def test_filter_names_unique(self):
+        names = [f.name for f in default_filters()]
+        assert len(names) == len(set(names))

@@ -1,0 +1,100 @@
+"""Unit tests for serialization and table-text contexts."""
+
+import json
+
+from repro.tables import TableContext, linearize_table, table_from_json, table_to_json
+from repro.tables.context import Paragraph, split_sentences
+from repro.tables.serialize import dumps, linearize_row, loads
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_cells(self, players_table):
+        back = table_from_json(table_to_json(players_table))
+        assert back.column_names == players_table.column_names
+        assert [
+            [cell.raw for cell in row] for row in back.rows
+        ] == [[cell.raw for cell in row] for row in players_table.rows]
+
+    def test_round_trip_preserves_types(self, players_table):
+        back = table_from_json(table_to_json(players_table))
+        for column in players_table.schema:
+            assert back.column_type(column.name) is column.type
+
+    def test_round_trip_metadata(self, players_table):
+        back = table_from_json(table_to_json(players_table))
+        assert back.title == players_table.title
+        assert back.row_name_column == players_table.row_name_column
+
+    def test_string_round_trip(self, players_table):
+        assert loads(dumps(players_table)).n_rows == players_table.n_rows
+
+    def test_json_is_serializable(self, players_table):
+        json.dumps(table_to_json(players_table))
+
+
+class TestLinearize:
+    def test_contains_header_and_rows(self, players_table):
+        text = linearize_table(players_table)
+        assert "header : player | team | points | rebounds" in text
+        assert "row 1 : john smith | hawks | 31 | 7" in text
+
+    def test_title_prefix(self, players_table):
+        assert linearize_table(players_table).startswith(
+            "title : player statistics"
+        )
+
+    def test_max_rows(self, players_table):
+        text = linearize_table(players_table, max_rows=2)
+        assert "row 2" in text
+        assert "row 3" not in text
+
+    def test_linearize_row_skips_nulls(self, players_table):
+        table = players_table.append_row(["x y", "jazz", "n/a", "3"])
+        text = linearize_row(table, 5)
+        assert "points" not in text
+        assert "rebounds is 3" in text
+
+
+class TestSentenceSplit:
+    def test_splits_on_periods(self):
+        parts = split_sentences("First one. Second one. Third.")
+        assert len(parts) == 3
+
+    def test_empty(self):
+        assert split_sentences("   ") == []
+
+    def test_no_split_inside_numbers(self):
+        parts = split_sentences("Revenue was 3.5 million. It grew.")
+        assert len(parts) == 2
+
+
+class TestTableContext:
+    def test_text_concatenates_paragraphs(self, players_table):
+        context = TableContext(
+            table=players_table,
+            paragraphs=(Paragraph("One."), Paragraph("Two.")),
+        )
+        assert context.text == "One. Two."
+
+    def test_has_text(self, players_table):
+        assert not TableContext(table=players_table).has_text
+        assert TableContext(
+            table=players_table, paragraphs=(Paragraph("hello"),)
+        ).has_text
+
+    def test_add_paragraph_is_immutable(self, players_table):
+        base = TableContext(table=players_table)
+        extended = base.add_paragraph("new text")
+        assert not base.has_text
+        assert extended.has_text
+        assert extended.paragraphs[0].source == "generated"
+
+    def test_json_round_trip(self, players_context):
+        back = TableContext.from_json(players_context.to_json())
+        assert back.uid == players_context.uid
+        assert back.text == players_context.text
+        assert back.meta == players_context.meta
+        assert back.table.n_rows == players_context.table.n_rows
+
+    def test_sentences(self, players_context):
+        assert len(players_context.sentences) == 2

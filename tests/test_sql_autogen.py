@@ -1,0 +1,73 @@
+"""Tests for the SQL auto generator."""
+
+import random
+
+import pytest
+
+from repro.programs.sql.generator import AutoSqlGenerator, SqlAutoGenConfig
+from repro.programs.sql.parser import parse_sql
+from repro.templates.extract import abstract_program
+
+
+@pytest.fixture
+def generator(rng):
+    return AutoSqlGenerator(rng=rng)
+
+
+class TestSqlAutoGen:
+    def test_queries_execute_non_empty(self, generator, players_table):
+        programs = generator.generate_many(players_table, 20)
+        assert len(programs) >= 15
+        for program in programs:
+            result = program.execute(players_table)
+            assert not result.is_empty
+
+    def test_sources_reparse(self, generator, players_table):
+        for program in generator.generate_many(players_table, 10):
+            reparsed = parse_sql(program.source)
+            assert (
+                reparsed.execute(players_table).denotation()
+                == program.execute(players_table).denotation()
+            )
+
+    def test_head_variety(self, players_table):
+        generator = AutoSqlGenerator(rng=random.Random(7))
+        sources = [
+            program.source
+            for program in generator.generate_many(players_table, 50)
+        ]
+        text = " ".join(sources)
+        assert "count" in text
+        assert any(agg in text for agg in ("sum", "avg", "min", "max"))
+        assert "order by" in text
+
+    def test_no_arithmetic_when_disabled(self, players_table):
+        generator = AutoSqlGenerator(
+            rng=random.Random(1),
+            config=SqlAutoGenConfig(allow_arithmetic_head=False),
+        )
+        for program in generator.generate_many(players_table, 30):
+            from repro.programs.sql.ast import ArithmeticItem
+
+            assert not any(
+                isinstance(item, ArithmeticItem)
+                for item in program.query.items
+            )
+
+    def test_abstractable_into_templates(self, generator, players_table):
+        abstracted = 0
+        for program in generator.generate_many(players_table, 15):
+            template = abstract_program(program, players_table)
+            assert template.kind.value == "sql"
+            abstracted += 1
+        assert abstracted >= 10
+
+    def test_text_only_table(self, rng):
+        from repro.tables import Table
+
+        table = Table.from_rows(
+            ["name", "kind"], [["a", "x"], ["b", "y"], ["c", "x"]]
+        )
+        generator = AutoSqlGenerator(rng=rng)
+        programs = generator.generate_many(table, 10)
+        assert programs  # projection/count heads need no numeric column

@@ -1,0 +1,181 @@
+"""Unit tests for the SQL executor, including highlighted-cell tracking."""
+
+import pytest
+
+from repro.errors import ProgramExecutionError, ProgramTypeError
+from repro.programs.sql import parse_sql
+
+
+def run(table, sql):
+    return parse_sql(sql).execute(table)
+
+
+class TestProjectionAndFilter:
+    def test_lookup(self, players_table):
+        result = run(players_table, "select team from w where player = 'bo chen'")
+        assert result.denotation() == ["heat"]
+
+    def test_numeric_equality_across_formats(self, players_table):
+        result = run(players_table, "select player from w where points = 31")
+        assert result.denotation() == ["john smith"]
+
+    def test_string_equality_case_insensitive(self, players_table):
+        result = run(players_table, "select player from w where team = 'HAWKS'")
+        assert result.denotation() == ["john smith", "alan reed"]
+
+    def test_neq(self, players_table):
+        result = run(players_table, "select player from w where team != 'hawks'")
+        assert len(result.values) == 3
+
+    def test_greater(self, players_table):
+        result = run(players_table, "select player from w where points > 25")
+        assert result.denotation() == ["john smith", "bo chen"]
+
+    def test_less_equal(self, players_table):
+        result = run(players_table, "select player from w where points <= 17")
+        assert result.denotation() == ["alan reed", "raj patel"]
+
+    def test_conjunction(self, players_table):
+        result = run(
+            players_table,
+            "select player from w where team = 'bulls' and points > 15",
+        )
+        assert result.denotation() == ["mike jones"]
+
+    def test_empty_filter_returns_empty(self, players_table):
+        result = run(players_table, "select player from w where team = 'jazz'")
+        assert result.denotation() == []
+        assert result.is_empty
+
+    def test_multi_column_projection(self, players_table):
+        result = run(
+            players_table, "select player , points from w where team = 'heat'"
+        )
+        assert result.denotation() == ["bo chen", "28"]
+
+
+class TestOrderLimit:
+    def test_argmax_idiom(self, players_table):
+        result = run(
+            players_table, "select player from w order by points desc limit 1"
+        )
+        assert result.denotation() == ["john smith"]
+
+    def test_argmin_idiom(self, players_table):
+        result = run(
+            players_table, "select player from w order by points asc limit 1"
+        )
+        assert result.denotation() == ["raj patel"]
+
+    def test_top_n(self, players_table):
+        result = run(
+            players_table, "select player from w order by points desc limit 2"
+        )
+        assert result.denotation() == ["john smith", "bo chen"]
+
+    def test_filter_then_order(self, players_table):
+        result = run(
+            players_table,
+            "select player from w where team = 'hawks' "
+            "order by rebounds desc limit 1",
+        )
+        assert result.denotation() == ["john smith"]
+
+
+class TestAggregates:
+    def test_count_star(self, players_table):
+        assert run(players_table, "select count(*) from w").denotation() == ["5"]
+
+    def test_count_filtered(self, players_table):
+        result = run(
+            players_table, "select count(*) from w where team = 'bulls'"
+        )
+        assert result.denotation() == ["2"]
+
+    def test_count_distinct(self, players_table):
+        result = run(players_table, "select count(distinct team) from w")
+        assert result.denotation() == ["3"]
+
+    def test_sum(self, players_table):
+        assert run(players_table, "select sum(points) from w").denotation() == ["110"]
+
+    def test_avg(self, players_table):
+        assert run(players_table, "select avg(points) from w").denotation() == ["22"]
+
+    def test_min_max(self, players_table):
+        assert run(players_table, "select max(points) from w").denotation() == ["31"]
+        assert run(players_table, "select min(points) from w").denotation() == ["12"]
+
+    def test_diff(self, players_table):
+        result = run(players_table, "select max(points) - min(points) from w")
+        assert result.denotation() == ["19"]
+
+    def test_aggregate_on_text_column_raises(self, players_table):
+        with pytest.raises(ProgramTypeError):
+            run(players_table, "select sum(team) from w")
+
+    def test_aggregate_over_empty_filter(self, players_table):
+        result = run(
+            players_table, "select sum(points) from w where team = 'jazz'"
+        )
+        assert result.is_empty
+
+
+class TestHighlightedCells:
+    def test_filter_highlights_matching_cells(self, players_table):
+        result = run(players_table, "select team from w where player = 'bo chen'")
+        assert (3, "player") in result.highlighted_cells
+        assert (3, "team") in result.highlighted_cells
+
+    def test_projection_highlights_output(self, players_table):
+        result = run(players_table, "select points from w where team = 'bulls'")
+        assert (1, "points") in result.highlighted_cells
+        assert (4, "points") in result.highlighted_cells
+
+    def test_order_by_highlights_sort_column(self, players_table):
+        result = run(
+            players_table, "select player from w order by points desc limit 1"
+        )
+        highlighted_columns = {column for _, column in result.highlighted_cells}
+        assert "points" in highlighted_columns
+
+    def test_count_star_no_cell_highlight_without_filter(self, players_table):
+        result = run(players_table, "select count(*) from w")
+        assert result.highlighted_cells == frozenset()
+
+
+class TestErrors:
+    def test_unknown_column(self, players_table):
+        from repro.errors import ColumnNotFoundError
+
+        with pytest.raises(ColumnNotFoundError):
+            run(players_table, "select nothing from w")
+
+    def test_arithmetic_needs_scalars(self, players_table):
+        with pytest.raises(ProgramExecutionError):
+            run(players_table, "select points - rebounds from w")
+
+
+class TestNullHandling:
+    @pytest.fixture
+    def gappy(self):
+        from repro.tables import Table
+
+        return Table.from_rows(
+            ["name", "score"],
+            [["a", "1"], ["b", "n/a"], ["c", "3"]],
+        )
+
+    def test_nulls_skipped_in_projection(self, gappy):
+        result = run(gappy, "select score from w")
+        assert result.denotation() == ["1", "3"]
+
+    def test_nulls_skipped_in_aggregates(self, gappy):
+        assert run(gappy, "select sum(score) from w").denotation() == ["4"]
+        assert run(gappy, "select count(score) from w").denotation() == ["2"]
+
+    def test_null_never_matches_conditions(self, gappy):
+        assert run(gappy, "select name from w where score > 0").denotation() == [
+            "a",
+            "c",
+        ]

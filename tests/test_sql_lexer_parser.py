@@ -1,0 +1,156 @@
+"""Unit tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.errors import ProgramParseError
+from repro.programs.sql import (
+    Aggregate,
+    ArithmeticItem,
+    ColumnItem,
+    CompOp,
+    TokenKind,
+    parse_sql,
+    tokenize_sql,
+)
+
+
+class TestLexer:
+    def test_keywords_lowercased(self):
+        tokens = tokenize_sql("SELECT a FROM w")
+        assert tokens[0].kind is TokenKind.KEYWORD
+        assert tokens[0].text == "select"
+
+    def test_bracketed_identifier(self):
+        tokens = tokenize_sql("select [total deputies] from w")
+        assert tokens[1].kind is TokenKind.IDENT
+        assert tokens[1].text == "total deputies"
+
+    def test_quoted_string_with_escape(self):
+        tokens = tokenize_sql("select a from w where b = 'o''brien'")
+        strings = [t for t in tokens if t.kind is TokenKind.STRING]
+        assert strings[0].text == "o'brien"
+
+    def test_numbers(self):
+        tokens = tokenize_sql("limit 10")
+        assert tokens[1].kind is TokenKind.NUMBER
+        assert tokens[1].text == "10"
+
+    def test_negative_number(self):
+        tokens = tokenize_sql("where a = -5")
+        assert any(t.text == "-5" for t in tokens)
+
+    def test_neq_aliases(self):
+        assert any(t.text == "!=" for t in tokenize_sql("a <> b"))
+        assert any(t.text == "!=" for t in tokenize_sql("a != b"))
+
+    def test_junk_raises_with_position(self):
+        with pytest.raises(ProgramParseError) as exc:
+            tokenize_sql("select # from w")
+        assert exc.value.position == 7
+
+    def test_eof_token(self):
+        assert tokenize_sql("select a from w")[-1].kind is TokenKind.EOF
+
+
+class TestParser:
+    def test_simple_select(self):
+        program = parse_sql("select player from w")
+        assert len(program.query.items) == 1
+        assert program.query.items[0].column == "player"
+
+    def test_where_condition(self):
+        program = parse_sql("select a from w where b = 'x'")
+        condition = program.query.conditions[0]
+        assert condition.column == "b"
+        assert condition.op is CompOp.EQ
+        assert condition.literal.raw == "x"
+
+    def test_multiple_conditions(self):
+        program = parse_sql("select a from w where b = 1 and c > 2")
+        assert len(program.query.conditions) == 2
+        assert program.query.conditions[1].op is CompOp.GT
+
+    def test_order_by_desc_limit(self):
+        program = parse_sql("select a from w order by b desc limit 3")
+        assert program.query.order.column == "b"
+        assert program.query.order.descending
+        assert program.query.limit == 3
+
+    def test_order_by_default_asc(self):
+        program = parse_sql("select a from w order by b")
+        assert not program.query.order.descending
+
+    def test_aggregates(self):
+        for name, member in (
+            ("count", Aggregate.COUNT),
+            ("sum", Aggregate.SUM),
+            ("avg", Aggregate.AVG),
+            ("min", Aggregate.MIN),
+            ("max", Aggregate.MAX),
+        ):
+            program = parse_sql(f"select {name}(a) from w")
+            item = program.query.items[0]
+            assert item.aggregate is member
+
+    def test_count_star(self):
+        program = parse_sql("select count(*) from w")
+        assert program.query.items[0].column == "*"
+
+    def test_count_distinct(self):
+        program = parse_sql("select count(distinct a) from w")
+        assert program.query.items[0].distinct
+
+    def test_multi_select(self):
+        program = parse_sql("select a , b from w")
+        assert [item.column for item in program.query.items] == ["a", "b"]
+
+    def test_arithmetic_item(self):
+        program = parse_sql("select max(a) - min(a) from w")
+        item = program.query.items[0]
+        assert isinstance(item, ArithmeticItem)
+        assert item.op == "-"
+
+    def test_referenced_columns(self):
+        program = parse_sql(
+            "select a from w where b = 1 order by c desc limit 1"
+        )
+        assert program.query.referenced_columns == ["a", "b", "c"]
+
+    def test_round_trip_via_tokens(self):
+        source = "select count ( * ) from w where a = 'x' and b > 3"
+        program = parse_sql(source)
+        reparsed = parse_sql(" ".join(program.tokens()))
+        assert reparsed.query == program.query
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "select",
+            "select from w",
+            "select a where b = 1",
+            "select a from w where b",
+            "select a from w limit x",
+            "select a from w extra",
+            "select a from w where b ~ 1",
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ProgramParseError):
+            parse_sql(bad)
+
+
+class TestProgramInterface:
+    def test_kind(self):
+        from repro.programs.base import ProgramKind
+
+        assert parse_sql("select a from w").kind is ProgramKind.SQL
+
+    def test_equality_and_hash(self):
+        a = parse_sql("select a from w where b = 1")
+        b = parse_sql("select  a  from w where b = 1")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_canonical(self):
+        program = parse_sql("select a from w")
+        assert program.canonical() == "select a from w"

@@ -1,0 +1,124 @@
+"""Unit tests for the Table/Schema substrate."""
+
+import pytest
+
+from repro.errors import ColumnNotFoundError, SchemaError
+from repro.tables import Column, Schema, Table
+from repro.tables.values import ValueType
+
+
+class TestSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema((Column("a"), Column("A")))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema((Column("  "),))
+
+    def test_index_case_insensitive(self):
+        schema = Schema((Column("Player"), Column("Points")))
+        assert schema.index("player") == 0
+        assert schema.index("POINTS") == 1
+
+    def test_missing_column_error_lists_available(self):
+        schema = Schema((Column("a"), Column("b")))
+        with pytest.raises(ColumnNotFoundError) as exc:
+            schema.index("c")
+        assert "a" in str(exc.value)
+
+    def test_contains(self):
+        schema = Schema((Column("a"),))
+        assert "a" in schema
+        assert "z" not in schema
+
+    def test_numeric_columns(self, players_table):
+        names = [c.name for c in players_table.schema.numeric_columns()]
+        assert names == ["points", "rebounds"]
+
+
+class TestTableConstruction:
+    def test_type_inference(self, players_table):
+        assert players_table.column_type("player") is ValueType.TEXT
+        assert players_table.column_type("points") is ValueType.NUMBER
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(SchemaError):
+            Table.from_rows(["a", "b"], [["1"], ["2", "3"]])
+
+    def test_cells_from_mixed_python_types(self):
+        table = Table.from_rows(["n", "b", "x"], [[1, True, None]])
+        assert table.cell(0, "n").as_number() == 1.0
+        assert table.cell(0, "b").typed is True
+        assert table.cell(0, "x").is_null
+
+
+class TestTableAccessors:
+    def test_cell(self, players_table):
+        assert players_table.cell(1, "team").raw == "bulls"
+
+    def test_column_values(self, players_table):
+        points = [v.as_number() for v in players_table.column_values("points")]
+        assert points == [31, 22, 17, 28, 12]
+
+    def test_distinct_values(self, players_table):
+        teams = [v.raw for v in players_table.distinct_values("team")]
+        assert teams == ["hawks", "bulls", "heat"]
+
+    def test_row_name_uses_configured_column(self, players_table):
+        assert players_table.row_name(2) == "alan reed"
+
+    def test_find_row_by_name(self, players_table):
+        assert players_table.find_row_by_name("BO CHEN") == 3
+        assert players_table.find_row_by_name("nobody") is None
+
+
+class TestTableOperations:
+    def test_filter_rows(self, players_table):
+        hawks = players_table.filter_rows(
+            lambda row: row[1].raw == "hawks"
+        )
+        assert hawks.n_rows == 2
+
+    def test_drop_row_immutably(self, players_table):
+        smaller = players_table.drop_row(0)
+        assert smaller.n_rows == 4
+        assert players_table.n_rows == 5
+        assert smaller.row_name(0) == "mike jones"
+
+    def test_drop_row_out_of_range(self, players_table):
+        with pytest.raises(IndexError):
+            players_table.drop_row(99)
+
+    def test_append_row(self, players_table):
+        bigger = players_table.append_row(
+            ["zoe lin", "jazz", "25", "5"]
+        )
+        assert bigger.n_rows == 6
+        assert bigger.row_name(5) == "zoe lin"
+
+    def test_append_row_wrong_width(self, players_table):
+        with pytest.raises(SchemaError):
+            players_table.append_row(["x"])
+
+    def test_project(self, players_table):
+        narrow = players_table.project(["points", "player"])
+        assert narrow.column_names == ["points", "player"]
+        assert narrow.cell(0, "points").raw == "31"
+
+    def test_sort_by_descending(self, players_table):
+        ordered = players_table.sort_by("points", descending=True)
+        assert ordered.row_name(0) == "john smith"
+        assert ordered.row_name(4) == "raj patel"
+
+    def test_head(self, players_table):
+        assert players_table.head(2).n_rows == 2
+        assert players_table.head(0).n_rows == 0
+
+    def test_retype_after_append(self, players_table):
+        mixed = players_table.append_row(
+            ["ann poe", "jazz", "n/a", "three"]
+        ).retype()
+        assert mixed.column_type("rebounds") is ValueType.TEXT
+        # nulls do not break numeric inference
+        assert mixed.column_type("points") is ValueType.NUMBER

@@ -1,0 +1,182 @@
+"""Unit tests for templates, abstraction, and the built-in pools."""
+
+import pytest
+
+from repro.errors import TemplateError
+from repro.programs.base import ProgramKind, parse_program
+from repro.templates import (
+    Placeholder,
+    PlaceholderKind,
+    ProgramTemplate,
+    abstract_program,
+    dedup_templates,
+    finqa_pool,
+    logic2text_pool,
+    pool_for_kind,
+    squall_pool,
+)
+from repro.tables.values import ValueType
+
+
+class TestProgramTemplate:
+    def test_substitute(self):
+        template = ProgramTemplate(
+            kind=ProgramKind.SQL,
+            pattern="select c1 from w where c2 = val1",
+            placeholders=(
+                Placeholder("c1", PlaceholderKind.COLUMN),
+                Placeholder("c2", PlaceholderKind.COLUMN),
+                Placeholder("val1", PlaceholderKind.VALUE, column_ref="c2"),
+            ),
+        )
+        out = template.substitute({"c1": "a", "c2": "b", "val1": "'x'"})
+        assert out == "select a from w where b = 'x'"
+
+    def test_substitute_missing_binding(self):
+        template = ProgramTemplate(
+            kind=ProgramKind.SQL,
+            pattern="select c1 from w",
+            placeholders=(Placeholder("c1", PlaceholderKind.COLUMN),),
+        )
+        with pytest.raises(TemplateError):
+            template.substitute({})
+
+    def test_substitution_does_not_clobber_prefixes(self):
+        """val10 must not be rewritten when substituting val1."""
+        template = ProgramTemplate(
+            kind=ProgramKind.LOGIC,
+            pattern="eq { val1 ; val10 }",
+            placeholders=(
+                Placeholder("val1", PlaceholderKind.ROWNAME),
+                Placeholder("val10", PlaceholderKind.ROWNAME),
+            ),
+        )
+        out = template.substitute({"val1": "A", "val10": "B"})
+        assert out == "eq { A ; B }"
+
+    def test_unknown_placeholder_in_pattern_rejected(self):
+        with pytest.raises(TemplateError):
+            ProgramTemplate(
+                kind=ProgramKind.SQL,
+                pattern="select c1 from w",
+                placeholders=(Placeholder("c9", PlaceholderKind.COLUMN),),
+            )
+
+    def test_value_placeholder_requires_column_ref(self):
+        with pytest.raises(TemplateError):
+            Placeholder("val1", PlaceholderKind.VALUE)
+
+    def test_dangling_column_ref_rejected(self):
+        with pytest.raises(TemplateError):
+            ProgramTemplate(
+                kind=ProgramKind.SQL,
+                pattern="select c1 from w where c1 = val1",
+                placeholders=(
+                    Placeholder("c1", PlaceholderKind.COLUMN),
+                    Placeholder("val1", PlaceholderKind.VALUE, column_ref="cX"),
+                ),
+            )
+
+
+class TestAbstraction:
+    def test_sql_abstraction(self, players_table):
+        program = parse_program(
+            "select player from w where team = 'hawks' "
+            "order by points desc limit 1",
+            "sql",
+        )
+        template = abstract_program(program, players_table)
+        assert template.pattern == (
+            "select c1 from w where c2 = val1 order by c3 desc limit 1"
+        )
+        value = template.value_placeholders[0]
+        assert value.column_ref == "c2"
+
+    def test_sql_abstraction_records_types(self, players_table):
+        program = parse_program(
+            "select player from w order by points desc limit 1", "sql"
+        )
+        template = abstract_program(program, players_table)
+        by_name = {p.name: p for p in template.placeholders}
+        assert by_name["c2"].value_type is ValueType.NUMBER
+
+    def test_logic_abstraction(self, players_table):
+        program = parse_program(
+            "eq { hop { filter_eq { all_rows ; team ; hawks } ; player } ; "
+            "john smith }",
+            "logic",
+        )
+        template = abstract_program(program, players_table)
+        assert "filter_eq { all_rows ; c1 ; val1 }" in template.pattern
+        assert template.meta.get("result_slot") is not None
+
+    def test_arith_abstraction_shares_rownames(self, finance_table):
+        program = parse_program(
+            "subtract ( the revenue of 2019 , the revenue of 2018 )", "arith"
+        )
+        template = abstract_program(program, finance_table)
+        # the same row name maps to one placeholder used twice
+        assert template.pattern.count("val1") == 2
+        assert len(template.column_placeholders) == 2
+
+    def test_abstract_then_instantiate_parses(self, players_table):
+        program = parse_program(
+            "select count ( * ) from w where team = 'hawks'", "sql"
+        )
+        template = abstract_program(program, players_table)
+        rebuilt = template.substitute({"c1": "[team]", "val1": "'hawks'"})
+        assert parse_program(rebuilt, "sql").execute(players_table).denotation() == ["2"]
+
+    def test_dedup(self, players_table):
+        p1 = parse_program("select player from w where team = 'hawks'", "sql")
+        p2 = parse_program("select team from w where player = 'bo chen'", "sql")
+        t1 = abstract_program(p1, players_table)
+        t2 = abstract_program(p2, players_table)
+        assert len(dedup_templates([t1, t2, t1])) == 1  # same structure
+
+
+class TestPools:
+    @pytest.mark.parametrize(
+        "pool,kind",
+        [
+            (squall_pool(), ProgramKind.SQL),
+            (logic2text_pool(), ProgramKind.LOGIC),
+            (finqa_pool(), ProgramKind.ARITH),
+        ],
+    )
+    def test_pool_kinds(self, pool, kind):
+        assert pool.kind is kind
+        assert len(pool) >= 15
+
+    def test_sql_pool_covers_paper_reasoning_types(self):
+        categories = set(squall_pool().categories)
+        for required in ("lookup", "superlative", "count", "aggregation",
+                         "diff", "conjunction", "comparative"):
+            assert required in categories, required
+
+    def test_logic_pool_covers_paper_reasoning_types(self):
+        categories = set(logic2text_pool().categories)
+        for required in ("count", "superlative", "comparative", "aggregation",
+                         "majority", "unique", "ordinal"):
+            assert required in categories, required
+
+    def test_finqa_pool_covers_operations(self):
+        patterns = " ".join(t.pattern for t in finqa_pool())
+        for op in ("add", "subtract", "multiply", "divide", "greater",
+                   "table_max", "table_min", "table_sum", "table_average"):
+            assert op in patterns, op
+
+    def test_pool_for_kind(self):
+        assert pool_for_kind("sql").name == "squall"
+        assert pool_for_kind(ProgramKind.LOGIC).name == "logic2text"
+        assert pool_for_kind("arith").name == "finqa"
+
+    def test_templates_unique(self):
+        for pool in (squall_pool(), logic2text_pool(), finqa_pool()):
+            signatures = [t.signature() for t in pool]
+            assert len(signatures) == len(set(signatures)), pool.name
+
+    def test_by_category(self):
+        pool = logic2text_pool()
+        for template in pool.by_category("majority"):
+            assert template.category == "majority"

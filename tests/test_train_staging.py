@@ -1,0 +1,76 @@
+"""Tests for training-plan staging and experiment scale presets."""
+
+import pytest
+
+from repro.experiments.config import PAPER, SMOKE, Scale
+from repro.pipelines.samples import ReasoningSample, TaskType
+from repro.sampling.labeler import ClaimLabel
+from repro.train.loop import TrainingPlan, _GOLD_REPLICATION, _staged
+
+
+def _claims(context, n, prefix="s"):
+    return [
+        ReasoningSample(
+            uid=f"{prefix}-{i}",
+            task=TaskType.FACT_VERIFICATION,
+            context=context,
+            sentence=f"claim {prefix} {i}",
+            label=ClaimLabel.SUPPORTED if i % 2 else ClaimLabel.REFUTED,
+        )
+        for i in range(n)
+    ]
+
+
+class TestStaging:
+    def test_supervised_plan_has_no_adaptation(self, players_context):
+        gold = _claims(players_context, 10)
+        initial, adaptation = _staged(TrainingPlan.supervised(gold))
+        assert len(initial) == 10
+        assert adaptation == []
+
+    def test_few_shot_small_budget_adapts_sequentially(self, players_context):
+        synthetic = _claims(players_context, 50, "syn")
+        shots = _claims(players_context, 20, "gold")
+        initial, adaptation = _staged(TrainingPlan.few_shot(synthetic, shots))
+        assert len(initial) == 50
+        assert len(adaptation) == 20
+
+    def test_large_budget_switches_to_mixture(self, players_context):
+        synthetic = _claims(players_context, 50, "syn")
+        labels = _claims(players_context, 150, "gold")
+        initial, adaptation = _staged(TrainingPlan.few_shot(synthetic, labels))
+        assert adaptation == []
+        assert len(initial) == 50 + 150 * _GOLD_REPLICATION
+
+    def test_augmentation_always_mixes(self, players_context):
+        synthetic = _claims(players_context, 40, "syn")
+        gold = _claims(players_context, 30, "gold")
+        initial, adaptation = _staged(
+            TrainingPlan.augmentation(synthetic, gold)
+        )
+        assert adaptation == []
+        assert len(initial) == 40 + 30 * _GOLD_REPLICATION
+
+    def test_mixture_preserves_sample_objects(self, players_context):
+        synthetic = _claims(players_context, 5, "syn")
+        gold = _claims(players_context, 2, "gold")
+        initial, _ = _staged(TrainingPlan.augmentation(synthetic, gold))
+        gold_uids = [s.uid for s in initial if s.uid.startswith("gold")]
+        assert len(gold_uids) == 2 * _GOLD_REPLICATION
+
+
+class TestScale:
+    def test_scaled_applies_factor_with_floor(self):
+        scale = Scale(name="x", factor=0.1)
+        assert scale.scaled(100) == 10
+        assert scale.scaled(10) == 8  # floor kicks in
+        assert scale.scaled(10, minimum=2) == 2  # custom floor wins below
+
+    def test_presets(self):
+        assert SMOKE.factor < PAPER.factor
+        assert SMOKE.fewshot_k < PAPER.fewshot_k
+        assert PAPER.scaled(140) == 140
+
+    def test_scale_is_frozen(self):
+        with pytest.raises(Exception):
+            PAPER.factor = 2.0  # type: ignore[misc]

@@ -1,0 +1,177 @@
+"""Unit tests for typed cell values and parsing."""
+
+import math
+
+import pytest
+
+from repro.errors import ValueParseError
+from repro.tables.values import (
+    Value,
+    ValueType,
+    coerce_number,
+    format_number,
+    infer_type,
+    parse_value,
+)
+
+
+class TestCoerceNumber:
+    def test_plain_integer(self):
+        assert coerce_number("42") == 42.0
+
+    def test_negative(self):
+        assert coerce_number("-17") == -17.0
+
+    def test_decimal(self):
+        assert coerce_number("3.14") == pytest.approx(3.14)
+
+    def test_leading_dot(self):
+        assert coerce_number(".5") == pytest.approx(0.5)
+
+    def test_thousands_separators(self):
+        assert coerce_number("1,234,567.5") == pytest.approx(1234567.5)
+
+    def test_currency(self):
+        assert coerce_number("$1,200") == 1200.0
+
+    def test_percent(self):
+        assert coerce_number("12%") == 12.0
+
+    def test_plus_sign(self):
+        assert coerce_number("+8") == 8.0
+
+    def test_not_a_number(self):
+        assert coerce_number("hello") is None
+
+    def test_mixed_garbage(self):
+        assert coerce_number("12abc") is None
+
+    def test_empty(self):
+        assert coerce_number("") is None
+
+    def test_bad_separator_grouping(self):
+        assert coerce_number("1,23") is None
+
+
+class TestParseValue:
+    def test_number(self):
+        value = parse_value("31")
+        assert value.type is ValueType.NUMBER
+        assert value.as_number() == 31.0
+
+    def test_text(self):
+        value = parse_value("john smith")
+        assert value.type is ValueType.TEXT
+        assert value.raw == "john smith"
+
+    def test_iso_date(self):
+        value = parse_value("2021-03-15")
+        assert value.type is ValueType.DATE
+        assert value.typed == (2021, 3, 15)
+
+    def test_written_date(self):
+        value = parse_value("march 15, 2021")
+        assert value.type is ValueType.DATE
+        assert value.typed == (2021, 3, 15)
+
+    def test_bool_true(self):
+        assert parse_value("yes").typed is True
+
+    def test_bool_false(self):
+        assert parse_value("false").typed is False
+
+    def test_null_markers(self):
+        for marker in ("", "-", "n/a", "none", "NULL"):
+            assert parse_value(marker).is_null, marker
+
+    def test_preserves_raw(self):
+        value = parse_value("  $1,200  ")
+        assert value.raw == "  $1,200  "
+        assert value.as_number() == 1200.0
+
+    def test_invalid_date_degrades(self):
+        value = parse_value("2021-13-45")
+        assert value.type is not ValueType.DATE
+
+
+class TestValueComparisons:
+    def test_numeric_ordering(self):
+        assert parse_value("5") < parse_value("12")
+
+    def test_numeric_ordering_with_formatting(self):
+        assert parse_value("$900") < parse_value("1,200")
+
+    def test_text_ordering_case_insensitive(self):
+        assert parse_value("Apple") < parse_value("banana")
+
+    def test_null_sorts_first(self):
+        assert parse_value("-") < parse_value("0")
+
+    def test_date_ordering(self):
+        assert parse_value("2020-01-31") < parse_value("2020-02-01")
+
+    def test_equals_numeric_text(self):
+        assert parse_value("1200").equals(parse_value("1,200.0"))
+
+    def test_equals_case_insensitive(self):
+        assert parse_value("Hawks").equals(parse_value("hawks"))
+
+    def test_not_equals(self):
+        assert not parse_value("12").equals(parse_value("13"))
+
+    def test_null_equals_null_only(self):
+        assert parse_value("-").equals(parse_value("n/a"))
+        assert not parse_value("-").equals(parse_value("x"))
+
+
+class TestAsNumber:
+    def test_bool_to_number(self):
+        assert Value.boolean(True).as_number() == 1.0
+
+    def test_date_to_number_orders(self):
+        early = parse_value("2020-01-31").as_number()
+        late = parse_value("2020-02-01").as_number()
+        assert early < late
+
+    def test_text_number_lazy_parse(self):
+        assert Value.text("7,000").as_number() == 7000.0
+
+    def test_text_raises(self):
+        with pytest.raises(ValueParseError):
+            Value.text("hello").as_number()
+
+
+class TestFormatNumber:
+    def test_integer(self):
+        assert format_number(42.0) == "42"
+
+    def test_decimal(self):
+        assert format_number(1.5) == "1.5"
+
+    def test_negative_integer(self):
+        assert format_number(-3.0) == "-3"
+
+    def test_infinity(self):
+        assert format_number(math.inf) == "inf"
+
+
+class TestInferType:
+    def test_all_numbers(self):
+        values = [parse_value(s) for s in ("1", "2", "3")]
+        assert infer_type(values) is ValueType.NUMBER
+
+    def test_mixed_degrades_to_text(self):
+        values = [parse_value(s) for s in ("1", "two")]
+        assert infer_type(values) is ValueType.TEXT
+
+    def test_nulls_ignored(self):
+        values = [parse_value(s) for s in ("1", "-", "3")]
+        assert infer_type(values) is ValueType.NUMBER
+
+    def test_all_null_is_text(self):
+        values = [parse_value("-"), parse_value("")]
+        assert infer_type(values) is ValueType.TEXT
+
+    def test_dates(self):
+        values = [parse_value("2020-01-01"), parse_value("2021-02-02")]
+        assert infer_type(values) is ValueType.DATE
