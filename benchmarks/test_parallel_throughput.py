@@ -1,0 +1,91 @@
+"""Bench: serial vs parallel generation throughput (samples/sec).
+
+Not a paper table — this harness tracks the engine itself.  Both runs
+must emit byte-identical samples (the determinism contract); the
+recorded ``samples_per_sec`` numbers are the throughput comparison.  On
+a single-core box parallel may not win — the point is that the numbers
+are *recorded* so regressions and speedups are visible in benchmark
+output (``--benchmark-only`` prints them under ``extra_info``).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+
+import pytest
+
+from repro.datasets import make_feverous
+from repro.datasets.feverous import FeverousConfig
+from repro.pipelines import UCTR, UCTRConfig
+
+#: contexts and volume sized so one run takes seconds, not minutes.
+N_CONTEXTS = 40
+PER_CONTEXT = 8
+
+
+@pytest.fixture(scope="module")
+def workbench():
+    bench = make_feverous(
+        FeverousConfig(train_contexts=N_CONTEXTS, dev_contexts=4,
+                       test_contexts=4)
+    )
+    contexts = list(bench.train.contexts)[:N_CONTEXTS]
+    framework = UCTR(
+        UCTRConfig(program_kinds=("logic",), samples_per_context=PER_CONTEXT,
+                   seed=11)
+    )
+    framework.fit(contexts)
+    return framework, contexts
+
+
+def _timed_generate(framework, contexts, workers):
+    started = time.perf_counter()
+    samples = framework.generate(contexts, workers=workers)
+    elapsed = time.perf_counter() - started
+    return samples, elapsed
+
+
+def _fingerprint(samples):
+    return json.dumps([s.to_json() for s in samples], sort_keys=True)
+
+
+def test_serial_throughput(benchmark, workbench):
+    framework, contexts = workbench
+    samples, elapsed = benchmark.pedantic(
+        _timed_generate, args=(framework, contexts, 1),
+        rounds=1, iterations=1,
+    )
+    rate = len(samples) / elapsed if elapsed > 0 else 0.0
+    benchmark.extra_info["workers"] = 1
+    benchmark.extra_info["samples"] = len(samples)
+    benchmark.extra_info["samples_per_sec"] = round(rate, 1)
+    print(f"\nserial: {len(samples)} samples in {elapsed:.2f}s "
+          f"({rate:.1f} samples/sec)")
+    assert samples
+
+
+def test_parallel_throughput(benchmark, workbench):
+    framework, contexts = workbench
+    workers = min(4, max(2, multiprocessing.cpu_count()))
+    serial_samples, serial_elapsed = _timed_generate(framework, contexts, 1)
+    samples, elapsed = benchmark.pedantic(
+        _timed_generate, args=(framework, contexts, workers),
+        rounds=1, iterations=1,
+    )
+    rate = len(samples) / elapsed if elapsed > 0 else 0.0
+    serial_rate = (
+        len(serial_samples) / serial_elapsed if serial_elapsed > 0 else 0.0
+    )
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["samples"] = len(samples)
+    benchmark.extra_info["samples_per_sec"] = round(rate, 1)
+    benchmark.extra_info["serial_samples_per_sec"] = round(serial_rate, 1)
+    benchmark.extra_info["speedup"] = round(
+        rate / serial_rate, 2) if serial_rate else None
+    print(f"\nparallel (workers={workers}): {len(samples)} samples in "
+          f"{elapsed:.2f}s ({rate:.1f} samples/sec; serial "
+          f"{serial_rate:.1f}/sec)")
+    # determinism is non-negotiable regardless of throughput
+    assert _fingerprint(samples) == _fingerprint(serial_samples)

@@ -27,6 +27,10 @@ Package layout:
 * :mod:`repro.operators` — Table-To-Text and Text-To-Table.
 * :mod:`repro.pipelines` — table-only / splitting / expansion pipelines
   and the :class:`UCTR` facade.
+* :mod:`repro.telemetry` — generation counters, timers, and JSON
+  run-reports.
+* :mod:`repro.parallel` — seed-stable multiprocess generation executor
+  behind ``UCTR.generate(workers=...)``.
 * :mod:`repro.datasets` — synthetic benchmark stand-ins.
 * :mod:`repro.models` — downstream verifiers and QA models.
 * :mod:`repro.train` / :mod:`repro.eval` — training plans and metrics.

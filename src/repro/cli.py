@@ -1,11 +1,13 @@
-"""Command-line interface: ``python -m repro.cli <command>``.
+"""Command-line interface: ``python -m repro.cli <command>`` (or the
+``repro`` console script).
 
 Commands:
 
 * ``make-dataset`` — synthesize one of the four benchmarks and write its
   contexts and gold samples to a directory.
 * ``generate`` — run the UCTR pipeline over a JSONL file of contexts and
-  write the synthetic samples.
+  write the synthetic samples; ``--workers N`` fans contexts out to
+  worker processes, ``--report r.json`` writes the telemetry run-report.
 * ``stats`` — print Table II-style statistics for a benchmark.
 * ``experiments`` — alias of :mod:`repro.experiments.runner`.
 """
@@ -14,6 +16,8 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
+from dataclasses import replace
 from pathlib import Path
 
 from repro import UCTR, UCTRConfig
@@ -25,6 +29,8 @@ from repro.datasets import (
     make_wikisql,
 )
 from repro.io import load_contexts, save_contexts, save_samples
+from repro.tables.context import TableContext
+from repro.telemetry import build_report, render_summary, write_report
 
 _BENCHMARKS = {
     "feverous": make_feverous,
@@ -33,6 +39,9 @@ _BENCHMARKS = {
     "semtabfacts": make_semtabfacts,
 }
 
+#: program kinds the paper prescribes per benchmark (Section V):
+#: logical forms for the fact-verification benchmarks, SQL for WikiSQL,
+#: SQL + arithmetic for TAT-QA.
 _DEFAULT_KINDS = {
     "feverous": ("logic",),
     "semtabfacts": ("logic",),
@@ -40,22 +49,52 @@ _DEFAULT_KINDS = {
     "tatqa": ("sql", "arith"),
 }
 
+_FALLBACK_KINDS = ("logic",)
+
 
 def _cmd_make_dataset(args: argparse.Namespace) -> int:
     benchmark = _BENCHMARKS[args.benchmark]()
     out = Path(args.out)
     for split_name, split in benchmark.splits.items():
+        # Stamp the benchmark name so `generate` can pick the paper's
+        # program kinds for these contexts without being told.
+        contexts = [
+            replace(ctx, meta={**ctx.meta, "benchmark": args.benchmark})
+            for ctx in split.contexts
+        ]
         n_ctx = save_contexts(
-            out / f"{split_name}.contexts.jsonl", split.contexts
+            out / f"{split_name}.contexts.jsonl", contexts
         )
         n_gold = save_samples(out / f"{split_name}.gold.jsonl", split.gold)
         print(f"{split_name}: {n_ctx} contexts, {n_gold} gold samples")
     return 0
 
 
+def resolve_kinds(
+    kinds_arg: str | None,
+    benchmark_arg: str | None,
+    contexts: list[TableContext],
+) -> tuple[str, ...]:
+    """Program kinds for a generate run.
+
+    Explicit ``--kinds`` always wins; then ``--benchmark``; then a
+    benchmark name detected from the contexts' ``meta`` (stamped by
+    ``make-dataset``); finally the logic-only fallback.
+    """
+    if kinds_arg:
+        return tuple(part.strip() for part in kinds_arg.split(",") if part.strip())
+    benchmark = benchmark_arg
+    if benchmark is None:
+        stamped = {ctx.meta.get("benchmark") for ctx in contexts}
+        stamped.discard(None)
+        if len(stamped) == 1:
+            benchmark = stamped.pop()
+    return _DEFAULT_KINDS.get(benchmark, _FALLBACK_KINDS)
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     contexts = load_contexts(args.contexts)
-    kinds = tuple(args.kinds.split(",")) if args.kinds else ("logic",)
+    kinds = resolve_kinds(args.kinds, args.benchmark, contexts)
     framework = UCTR(
         UCTRConfig(
             program_kinds=kinds,
@@ -63,10 +102,28 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
     )
+    started = time.perf_counter()
     framework.fit(contexts)
-    samples = framework.generate(contexts)
+    samples = framework.generate(contexts, workers=args.workers)
+    elapsed = time.perf_counter() - started
     written = save_samples(args.out, samples)
-    print(f"wrote {written} synthetic samples to {args.out}")
+    rate = written / elapsed if elapsed > 0 else 0.0
+    print(
+        f"wrote {written} synthetic samples to {args.out} "
+        f"(kinds={','.join(kinds)}, workers={args.workers}, "
+        f"{rate:.1f} samples/sec)"
+    )
+    if args.report:
+        report = build_report(
+            framework.last_telemetry,
+            seed=args.seed,
+            workers=args.workers,
+            contexts=len(contexts),
+            samples_written=written,
+        )
+        path = write_report(args.report, report)
+        print(f"wrote run report to {path}")
+        print(render_summary(report))
     return 0
 
 
@@ -95,11 +152,26 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("contexts", help="input contexts .jsonl")
     generate.add_argument("--out", required=True, help="output samples .jsonl")
     generate.add_argument(
-        "--kinds", default="logic",
-        help="comma-separated program kinds (sql,logic,arith)",
+        "--kinds", default=None,
+        help="comma-separated program kinds (sql,logic,arith); overrides "
+             "the per-benchmark defaults",
+    )
+    generate.add_argument(
+        "--benchmark", choices=sorted(_BENCHMARKS), default=None,
+        help="pick the paper's program kinds for this benchmark "
+             "(auto-detected from make-dataset output when omitted)",
     )
     generate.add_argument("--per-context", type=int, default=8)
     generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for generation (1 = serial; output is "
+             "identical either way)",
+    )
+    generate.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write a JSON telemetry run-report here",
+    )
     generate.set_defaults(fn=_cmd_generate)
 
     stats = commands.add_parser("stats", help="Table II statistics")

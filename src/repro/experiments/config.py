@@ -30,6 +30,9 @@ class Scale:
 
     ``factor`` multiplies the default context counts of each benchmark;
     ``synth_per_context`` sets UCTR / MQA-QG generation volume.
+    ``workers`` fans UCTR generation out to worker processes — synthetic
+    corpora are identical for any worker count (per-context RNG
+    streams), so it is a pure throughput knob.
     """
 
     name: str
@@ -37,6 +40,7 @@ class Scale:
     synth_per_context: int = 16
     fewshot_k: int = 50
     seed: int = 11
+    workers: int = 1
 
     def scaled(self, count: int, minimum: int = 8) -> int:
         return max(minimum, round(count * self.factor))
@@ -76,6 +80,9 @@ class ExperimentResult:
 
 _BENCH_CACHE: dict[tuple[str, str], Benchmark] = {}
 _SYNTH_CACHE: dict[tuple[str, str, str], list[ReasoningSample]] = {}
+#: telemetry snapshots of every UCTR generation run, keyed like the
+#: synthetic cache; the runner renders these after the experiments.
+_TELEMETRY_LOG: dict[tuple[str, str, str], dict] = {}
 
 
 def benchmark(name: str, scale: Scale) -> Benchmark:
@@ -154,7 +161,9 @@ def uctr_synthetic(
     framework = UCTR(config)
     contexts = list(bench.train.contexts)
     framework.fit(contexts)
-    samples = framework.generate(contexts)
+    samples = framework.generate(contexts, workers=scale.workers)
+    if framework.last_telemetry is not None:
+        _TELEMETRY_LOG[key] = framework.last_telemetry.snapshot()
     _SYNTH_CACHE[key] = samples
     return samples
 
@@ -177,7 +186,18 @@ def mqaqg_synthetic(name: str, scale: Scale) -> list[ReasoningSample]:
     return samples
 
 
+def generation_telemetry() -> dict[tuple[str, str, str], dict]:
+    """Telemetry snapshots of every UCTR generation run so far.
+
+    Keys are ``(benchmark, scale_name, variant)`` — the same keys as the
+    synthetic-corpus cache.  Snapshots merge cleanly into one
+    :class:`repro.telemetry.Telemetry` sink for a whole-run report.
+    """
+    return dict(_TELEMETRY_LOG)
+
+
 def clear_caches() -> None:
     """Drop all cached benchmarks and synthetic corpora (tests)."""
     _BENCH_CACHE.clear()
     _SYNTH_CACHE.clear()
+    _TELEMETRY_LOG.clear()

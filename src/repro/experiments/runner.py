@@ -2,7 +2,15 @@
 
 Usage::
 
-    python -m repro.experiments.runner [--scale smoke|paper] [--only table3]
+    python -m repro.experiments.runner [--scale smoke|paper]
+        [--only table3] [--workers N] [--report report.json]
+
+``--workers`` parallelizes UCTR synthetic-data generation inside the
+experiments (results are identical for any worker count); ``--report``
+writes the merged generation telemetry of the whole run as a JSON
+run-report.  A per-benchmark generation summary is printed after the
+experiment tables — see EXPERIMENTS.md ("Reading the telemetry") for how
+to interpret it.
 """
 
 from __future__ import annotations
@@ -10,6 +18,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from dataclasses import replace
 from typing import Callable
 
 from repro.experiments import PAPER, SMOKE, ExperimentResult, Scale
@@ -27,6 +36,8 @@ from repro.experiments import (  # noqa: F401 (registry imports)
     table8_ablation,
     table9_examples,
 )
+from repro.experiments.config import generation_telemetry
+from repro.telemetry import Telemetry, build_report, write_report
 
 REGISTRY: dict[str, Callable[[Scale], ExperimentResult]] = {
     "table2": table2_statistics.run,
@@ -58,18 +69,69 @@ def run_all(
     return results
 
 
+def render_generation_telemetry() -> str:
+    """One line per UCTR generation run executed by the experiments."""
+    log = generation_telemetry()
+    if not log:
+        return ""
+    lines = ["generation telemetry (per synthetic corpus):"]
+    for (benchmark, scale_name, variant), snapshot in sorted(log.items()):
+        telemetry = Telemetry.from_snapshot(snapshot)
+        attempts = telemetry.count("attempts")
+        successes = telemetry.count("successes")
+        seconds = telemetry.seconds("generate")
+        rate = successes / seconds if seconds > 0 else 0.0
+        lines.append(
+            f"  {benchmark}/{variant}@{scale_name}: "
+            f"{successes} samples from {attempts} attempts "
+            f"({successes / attempts if attempts else 0:.0%} accepted) "
+            f"in {seconds:.1f}s ({rate:.0f}/s)"
+        )
+    return "\n".join(lines)
+
+
+def merged_generation_report(scale: Scale) -> dict:
+    """All generation telemetry of this run folded into one report."""
+    merged = Telemetry()
+    total = 0
+    for snapshot in generation_telemetry().values():
+        merged.merge(snapshot)
+        total += sum(
+            Telemetry.from_snapshot(snapshot).section("emitted").values()
+        )
+    return build_report(
+        merged,
+        seed=scale.seed,
+        workers=scale.workers,
+        samples_written=total,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", choices=("smoke", "paper"), default="paper")
     parser.add_argument("--only", nargs="*", default=None,
                         help="experiment ids (default: all)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for UCTR generation")
+    parser.add_argument("--report", default=None, metavar="PATH",
+                        help="write merged generation telemetry as JSON")
     args = parser.parse_args(argv)
     scale = SMOKE if args.scale == "smoke" else PAPER
+    if args.workers != 1:
+        scale = replace(scale, workers=args.workers)
     started = time.time()
     results = run_all(scale, args.only)
     for name, result in results.items():
         print()
         print(result.render())
+    telemetry_text = render_generation_telemetry()
+    if telemetry_text:
+        print()
+        print(telemetry_text)
+    if args.report:
+        path = write_report(args.report, merged_generation_report(scale))
+        print(f"wrote generation report to {path}")
     print(f"\ncompleted {len(results)} experiments in "
           f"{time.time() - started:.1f}s at scale {scale.name!r}")
     return 0

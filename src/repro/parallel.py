@@ -1,0 +1,165 @@
+"""Seed-stable multiprocessing executor for the generation engine.
+
+Generation is embarrassingly parallel across contexts *because* of the
+determinism contract in :mod:`repro.pipelines.uctr`: context ``i`` draws
+only from its own named RNG stream, so any scheduling of contexts onto
+processes yields the same samples.  This module supplies the scheduling:
+
+1. contexts are sharded into contiguous index chunks (several per
+   worker, so a slow context does not idle the rest of the pool);
+2. the fitted :class:`~repro.pipelines.uctr.GenerationState` is pickled
+   **once** in the parent and unpickled **once per worker** by the pool
+   initializer — spawn-safe, no reliance on fork-inherited globals;
+3. each worker runs :func:`~repro.pipelines.uctr.generate_for_one_context`
+   per assigned context and returns ``(index, samples)`` pairs plus a
+   telemetry snapshot;
+4. the parent places results back by context index (chunks may finish
+   out of order) and folds worker telemetry into the caller's sink.
+
+When ``workers <= 1``, there is at most one context, or the platform
+offers no usable ``multiprocessing`` start method, the executor degrades
+to the serial path — same code, same output, no pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from typing import Sequence
+
+from repro.pipelines.samples import ReasoningSample
+from repro.pipelines.uctr import GenerationState, generate_for_one_context
+from repro.tables.context import TableContext
+from repro.telemetry import Telemetry
+
+#: chunks handed out per worker; >1 smooths uneven per-context cost.
+CHUNKS_PER_WORKER = 4
+
+#: worker-side engine state, set once by :func:`_init_worker`.
+_WORKER_STATE: GenerationState | None = None
+
+
+def pick_start_method() -> str | None:
+    """The preferred ``multiprocessing`` start method, or ``None``.
+
+    ``fork`` is cheapest where available (POSIX); ``spawn`` works
+    everywhere the state pickles — which :class:`GenerationState`
+    guarantees.  ``None`` means the platform supports neither and the
+    caller must run serially.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    for preferred in ("fork", "spawn"):
+        if preferred in methods:
+            return preferred
+    return None
+
+
+def shard_indices(count: int, workers: int) -> list[list[int]]:
+    """Contiguous index chunks: ~``CHUNKS_PER_WORKER`` per worker.
+
+    Contiguity keeps merge bookkeeping trivial and preserves whatever
+    locality neighbouring contexts have (same synthetic domain, similar
+    table shapes).
+    """
+    if count <= 0:
+        return []
+    target = max(1, min(count, workers * CHUNKS_PER_WORKER))
+    base, extra = divmod(count, target)
+    chunks: list[list[int]] = []
+    start = 0
+    for position in range(target):
+        size = base + (1 if position < extra else 0)
+        chunks.append(list(range(start, start + size)))
+        start += size
+    return [chunk for chunk in chunks if chunk]
+
+
+def _init_worker(state_blob: bytes) -> None:
+    """Pool initializer: unpickle the engine state once per worker."""
+    global _WORKER_STATE
+    _WORKER_STATE = pickle.loads(state_blob)
+
+
+def _run_chunk(
+    chunk: list[tuple[int, TableContext]],
+) -> tuple[list[tuple[int, list[ReasoningSample]]], dict]:
+    """Generate every (index, context) in one chunk inside a worker."""
+    assert _WORKER_STATE is not None, "worker initialized without state"
+    telemetry = Telemetry()
+    results = [
+        (
+            index,
+            generate_for_one_context(_WORKER_STATE, index, context, telemetry),
+        )
+        for index, context in chunk
+    ]
+    return results, telemetry.snapshot()
+
+
+def _generate_serial(
+    state: GenerationState,
+    contexts: Sequence[TableContext],
+    telemetry: Telemetry,
+) -> list[list[ReasoningSample]]:
+    return [
+        generate_for_one_context(state, index, context, telemetry)
+        for index, context in enumerate(contexts)
+    ]
+
+
+def generate_parallel(
+    state: GenerationState,
+    contexts: Sequence[TableContext],
+    workers: int,
+    telemetry: Telemetry,
+) -> list[list[ReasoningSample]]:
+    """Per-context sample lists, in context order, computed in parallel.
+
+    The caller flattens the returned lists; their concatenation is
+    byte-identical to the serial path for the same ``state``.  Any
+    failure to stand up the pool (no start method, pickling refused by
+    an exotic override, fd exhaustion) falls back to in-process serial
+    generation and records a ``parallel/fallback:*`` drop so the run
+    report shows what happened.
+    """
+    count = len(contexts)
+    workers = max(1, min(workers, count))
+    method = pick_start_method()
+    if workers <= 1 or count <= 1 or method is None:
+        if workers > 1 and method is None:
+            telemetry.drop("parallel", "fallback:no_start_method")
+        return _generate_serial(state, contexts, telemetry)
+    try:
+        state_blob = pickle.dumps(state)
+    except Exception as error:  # pragma: no cover - exotic overrides only
+        telemetry.drop("parallel", f"fallback:{type(error).__name__}")
+        return _generate_serial(state, contexts, telemetry)
+    chunks = [
+        [(index, contexts[index]) for index in chunk]
+        for chunk in shard_indices(count, workers)
+    ]
+    results: list[list[ReasoningSample] | None] = [None] * count
+    context = multiprocessing.get_context(method)
+    try:
+        with context.Pool(
+            processes=workers,
+            initializer=_init_worker,
+            initargs=(state_blob,),
+        ) as pool:
+            for chunk_results, snapshot in pool.imap_unordered(
+                _run_chunk, chunks
+            ):
+                telemetry.merge(snapshot)
+                for index, samples in chunk_results:
+                    results[index] = samples
+    except (OSError, pickle.PicklingError) as error:
+        telemetry.drop("parallel", f"fallback:{type(error).__name__}")
+        return _generate_serial(state, contexts, telemetry)
+    telemetry.increment("parallel", f"workers/{workers}")
+    telemetry.increment("parallel", "chunks", len(chunks))
+    missing = [index for index, value in enumerate(results) if value is None]
+    for index in missing:  # pragma: no cover - defensive; pool lost a chunk
+        results[index] = generate_for_one_context(
+            state, index, contexts[index], telemetry
+        )
+    return results  # type: ignore[return-value]

@@ -7,11 +7,12 @@ from dataclasses import dataclass, field
 
 from repro.nlgen.model import NLGenerator
 from repro.programs.base import ProgramKind
-from repro.sampling.filters import SampleFilter, default_filters, passes_all
+from repro.sampling.filters import SampleFilter, default_filters, first_failure
 from repro.sampling.labeler import ClaimLabeler, LabeledClaim
 from repro.sampling.sampler import ProgramSampler, SampledProgram
 from repro.pipelines.samples import TaskType
 from repro.tables.table import Table
+from repro.telemetry import Telemetry
 from repro.templates.pools import pool_for_kind
 from repro.templates.template import ProgramTemplate
 
@@ -24,7 +25,9 @@ class PipelineTools:
     without an entry falls back to the realization grammar at the call
     site via :class:`NLGenerator`'s own back-off.  ``template_overrides``
     replaces the built-in pool for a kind — used by the auto-program
-    generation extension.
+    generation extension.  ``telemetry`` receives attempt/reject/success
+    accounting from :meth:`draw_program` and the pipelines; recording
+    never draws randomness, so it cannot perturb generation.
     """
 
     rng: random.Random
@@ -35,6 +38,7 @@ class PipelineTools:
     template_overrides: dict[ProgramKind, list[ProgramTemplate]] = field(
         default_factory=dict
     )
+    telemetry: Telemetry = field(default_factory=Telemetry)
 
     def __post_init__(self) -> None:
         if self.sampler is None:
@@ -49,15 +53,27 @@ class PipelineTools:
         return list(pool_for_kind(kind))
 
     def draw_program(
-        self, kind: ProgramKind, table: Table
+        self, kind: ProgramKind, table: Table, pipeline: str = "adhoc"
     ) -> SampledProgram | None:
-        """One filtered sampled program, or ``None``."""
+        """One filtered sampled program, or ``None``.
+
+        Every call is an *attempt* under ``pipeline``; a ``None`` return
+        records exactly one reject reason, so per-pipeline attempts
+        always reconcile as successes + rejects.
+        """
+        self.telemetry.attempt(pipeline, kind.value)
         templates = self.templates(kind)
         if not templates:
+            self.telemetry.reject(pipeline, "no_templates")
             return None
         template = templates[self.rng.randrange(len(templates))]
         sample = self.sampler.try_sample(template, table)
-        if sample is None or not passes_all(sample, self.filters):
+        if sample is None:
+            self.telemetry.reject(pipeline, "sampling_failed")
+            return None
+        failed = first_failure(sample, self.filters)
+        if failed is not None:
+            self.telemetry.reject(pipeline, f"filter:{failed}")
             return None
         return sample
 

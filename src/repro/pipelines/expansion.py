@@ -35,9 +35,12 @@ class ExpansionPipeline:
     def generate(
         self, context: TableContext, budget: int
     ) -> list[ReasoningSample]:
+        telemetry = self._tools.telemetry
         try:
             expansion = self._operator.expand_all(context)
         except ReproError:
+            telemetry.drop(self.name, "expansion_failed")
+            telemetry.shortfall(self.name, budget, "expansion_failed")
             return []
         out: list[ReasoningSample] = []
         attempts = 0
@@ -46,14 +49,20 @@ class ExpansionPipeline:
             sample = self._one(context, expansion, len(out))
             if sample is not None:
                 out.append(sample)
+        telemetry.shortfall(
+            self.name, budget - len(out), "attempts_exhausted"
+        )
         return out
 
     def _one(
         self, context: TableContext, expansion: FullExpansion, serial: int
     ) -> ReasoningSample | None:
         rng = self._tools.rng
+        telemetry = self._tools.telemetry
         kind = self._kinds[rng.randrange(len(self._kinds))]
-        sampled = self._tools.draw_program(kind, expansion.expanded_table)
+        sampled = self._tools.draw_program(
+            kind, expansion.expanded_table, self.name
+        )
         if sampled is None:
             return None
         rows_touched = {row for row, _ in sampled.result.highlighted_cells}
@@ -61,12 +70,14 @@ class ExpansionPipeline:
         if not (rows_touched & new_rows):
             # The program never looked at a text-derived row; that is a
             # plain table sample, which the table-only pipeline covers.
+            telemetry.reject(self.name, "no_text_row_touched")
             return None
         task = task_for_kind(kind)
         label = None
         if task is TaskType.FACT_VERIFICATION:
             claim = self._tools.label_claim(sampled)
             sampled, label = claim.sample, claim.label
+        telemetry.success(self.name, kind.value)
         sentence = self._tools.verbalize(sampled)
         evidence_cells = frozenset(
             (row, column)

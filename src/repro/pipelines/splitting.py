@@ -43,12 +43,16 @@ class SplittingPipeline:
             sample = self._one(context, len(out))
             if sample is not None:
                 out.append(sample)
+        self._tools.telemetry.shortfall(
+            self.name, budget - len(out), "attempts_exhausted"
+        )
         return out
 
     def _one(self, context: TableContext, serial: int) -> ReasoningSample | None:
         rng = self._tools.rng
+        telemetry = self._tools.telemetry
         kind = self._kinds[rng.randrange(len(self._kinds))]
-        sampled = self._tools.draw_program(kind, context.table)
+        sampled = self._tools.draw_program(kind, context.table, self.name)
         if sampled is None:
             return None
         task = task_for_kind(kind)
@@ -61,9 +65,12 @@ class SplittingPipeline:
                 context.table, sampled.result.highlighted_cells, rng
             )
         except ReproError:
+            telemetry.reject(self.name, "split_failed")
             return None
         if not self._round_trips(context, split, sampled):
+            telemetry.reject(self.name, "round_trip_failed")
             return None
+        telemetry.success(self.name, kind.value)
         sentence = self._tools.verbalize(sampled)
         moved_row = split.row_index
         rows_touched = {row for row, _ in sampled.result.highlighted_cells}

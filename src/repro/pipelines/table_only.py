@@ -24,15 +24,21 @@ class TableOnlyPipeline:
         self._kinds = tuple(kinds)
 
     def generate(
-        self, context: TableContext, budget: int
+        self, context: TableContext, budget: int, start: int = 0
     ) -> list[ReasoningSample]:
-        """Up to ``budget`` samples from one context."""
+        """Up to ``budget`` samples from one context.
+
+        ``start`` offsets the uid serial — callers that invoke this
+        pipeline more than once per context (the UCTR facade backfills
+        joint-pipeline shortfalls with table-only samples) pass the
+        number already emitted so uids stay unique.
+        """
         out: list[ReasoningSample] = []
         attempts = 0
         while len(out) < budget and attempts < budget * 5:
             attempts += 1
             kind = self._kinds[self._tools.rng.randrange(len(self._kinds))]
-            sample = self._tools.draw_program(kind, context.table)
+            sample = self._tools.draw_program(kind, context.table, self.name)
             if sample is None:
                 continue
             task = task_for_kind(kind)
@@ -41,7 +47,7 @@ class TableOnlyPipeline:
                 sentence = self._tools.verbalize(claim.sample)
                 out.append(
                     ReasoningSample(
-                        uid=f"{context.uid}-tab-{len(out)}",
+                        uid=f"{context.uid}-tab-{start + len(out)}",
                         task=task,
                         context=context.with_paragraphs([]),
                         sentence=sentence,
@@ -55,7 +61,7 @@ class TableOnlyPipeline:
                 sentence = self._tools.verbalize(sample)
                 out.append(
                     ReasoningSample(
-                        uid=f"{context.uid}-tab-{len(out)}",
+                        uid=f"{context.uid}-tab-{start + len(out)}",
                         task=task,
                         context=context.with_paragraphs([]),
                         sentence=sentence,
@@ -65,6 +71,10 @@ class TableOnlyPipeline:
                         provenance=self._provenance(sample),
                     )
                 )
+            self._tools.telemetry.success(self.name, kind.value)
+        self._tools.telemetry.shortfall(
+            self.name, budget - len(out), "attempts_exhausted"
+        )
         return out
 
     def _provenance(self, sample) -> dict:

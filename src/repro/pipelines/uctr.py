@@ -5,17 +5,29 @@ Typical use::
     config = UCTRConfig(program_kinds=("logic",), seed=7)
     framework = UCTR(config)
     framework.fit(contexts)          # trains the NL-Generators
-    samples = framework.generate(contexts)
+    samples = framework.generate(contexts, workers=4)
 
 ``fit`` builds the program↔NL parallel corpora on the *unlabeled* tables
 and trains one NL-Generator per program kind — the offline equivalent of
 fine-tuning BART/GPT-2 on SQUALL / Logic2Text / FinQA.  ``generate``
 then runs the enabled pipelines over every context.
+
+Determinism contract
+--------------------
+Each context is generated from its **own named RNG stream**,
+``rng_from_key(pipeline_key, "context", str(index))``, where
+``pipeline_key`` is fixed at :meth:`UCTR.fit` time and ``index`` is the
+context's position in the ``generate`` call.  Contexts therefore neither
+see nor perturb each other's randomness, which is what makes the output
+independent of *how* the work is scheduled: ``workers=1`` and
+``workers=N`` produce byte-identical sample lists for a fixed seed (the
+parallel executor in :mod:`repro.parallel` merges worker results back
+into context order).  Telemetry recording draws no randomness either, so
+instrumented and bare runs also match.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 
 from repro.nlgen.corpus import build_parallel_corpus
@@ -26,8 +38,9 @@ from repro.pipelines.samples import ReasoningSample
 from repro.pipelines.splitting import SplittingPipeline
 from repro.pipelines.table_only import TableOnlyPipeline
 from repro.programs.base import ProgramKind
-from repro.rng import make_rng, spawn
+from repro.rng import make_rng, rng_from_key, spawn, spawn_key
 from repro.tables.context import TableContext
+from repro.telemetry import Telemetry
 
 
 @dataclass(frozen=True)
@@ -54,6 +67,82 @@ class UCTRConfig:
         return tuple(ProgramKind(kind) for kind in self.program_kinds)
 
 
+@dataclass(frozen=True)
+class GenerationState:
+    """Everything Algorithm 1 needs for one context, picklable.
+
+    This is the unit :mod:`repro.parallel` ships to worker processes:
+    the config, the *fitted* NL-Generators, template overrides, and the
+    ``pipeline_key`` that roots every per-context RNG stream.  It is
+    deliberately free of open handles and RNG objects so one pickle per
+    worker rehydrates the full engine.
+    """
+
+    config: UCTRConfig
+    generators: dict[ProgramKind, NLGenerator]
+    template_overrides: dict[ProgramKind, list] = field(default_factory=dict)
+    pipeline_key: str = ""
+
+
+def generate_for_one_context(
+    state: GenerationState,
+    index: int,
+    context: TableContext,
+    telemetry: Telemetry,
+) -> list[ReasoningSample]:
+    """Algorithm 1 on a single context, on its own RNG stream.
+
+    This module-level function is the worker-side entry point of the
+    parallel executor; the serial path in :meth:`UCTR.generate` calls
+    the very same code, which is why the two agree sample-for-sample.
+    """
+    config = state.config
+    tools = PipelineTools(
+        rng=rng_from_key(state.pipeline_key, "context", str(index)),
+        generators=dict(state.generators),
+        template_overrides=dict(state.template_overrides),
+        telemetry=telemetry,
+    )
+    kinds = config.kinds()
+    table_only = TableOnlyPipeline(tools, kinds)
+    splitting = (
+        SplittingPipeline(tools, kinds) if config.use_table_to_text else None
+    )
+    expansion = (
+        ExpansionPipeline(tools, kinds) if config.use_text_to_table else None
+    )
+    joint = [p for p in (splitting, expansion) if p is not None]
+    per_context = config.samples_per_context
+    joint_budget = round(per_context * config.joint_fraction) if joint else 0
+    flat_budget = per_context - joint_budget
+
+    out: list[ReasoningSample] = []
+    flat_emitted = 0
+    with telemetry.timer("pipeline/table_only"):
+        flat = table_only.generate(context, flat_budget)
+    flat_emitted += len(flat)
+    out.extend(flat)
+    remaining = joint_budget
+    for position, pipeline in enumerate(joint):
+        share = remaining // (len(joint) - position)
+        with telemetry.timer(f"pipeline/{pipeline.name}"):
+            produced = pipeline.generate(context, share)
+        out.extend(produced)
+        remaining -= share
+        shortfall = share - len(produced)
+        if shortfall > 0:
+            # Joint generation can fail (no text, unsplittable
+            # table); keep the volume up with table-only samples,
+            # continuing the uid serial so backfill never collides.
+            with telemetry.timer("pipeline/table_only"):
+                backfill = table_only.generate(
+                    context, shortfall, start=flat_emitted
+                )
+            flat_emitted += len(backfill)
+            out.extend(backfill)
+    return out
+
+
 class UCTR:
     """Unsupervised Complex Tabular Reasoning data generator."""
 
@@ -65,8 +154,9 @@ class UCTR:
         self.config = config or UCTRConfig()
         self._rng = make_rng(self.config.seed)
         self._generators: dict[ProgramKind, NLGenerator] = {}
-        self._tools: PipelineTools | None = None
+        self._pipeline_key: str | None = None
         self._template_overrides = dict(template_overrides or {})
+        self._last_telemetry: Telemetry | None = None
 
     # -- training ---------------------------------------------------------
     def fit(self, contexts: list[TableContext]) -> "UCTR":
@@ -82,72 +172,99 @@ class UCTR:
                 pairs_per_table=self.config.corpus_pairs_per_table,
             )
             self._generators[kind] = NLGenerator(nl_config).train(pairs)
-        self._tools = PipelineTools(
-            rng=spawn(self._rng, "pipelines"),
-            generators=self._generators,
-            template_overrides=self._template_overrides,
-        )
+        self._pipeline_key = spawn_key(self._rng, "pipelines")
         return self
 
     @property
     def generators(self) -> dict[ProgramKind, NLGenerator]:
         return dict(self._generators)
 
+    @property
+    def last_telemetry(self) -> Telemetry | None:
+        """The telemetry sink of the most recent ``generate`` call."""
+        return self._last_telemetry
+
+    def generation_state(self) -> GenerationState:
+        """The picklable engine state (requires :meth:`fit` first)."""
+        return GenerationState(
+            config=self.config,
+            generators=dict(self._generators),
+            template_overrides=dict(self._template_overrides),
+            pipeline_key=self._require_fitted(),
+        )
+
     # -- generation ---------------------------------------------------------
     def generate(
-        self, contexts: list[TableContext], budget: int | None = None
+        self,
+        contexts: list[TableContext],
+        budget: int | None = None,
+        workers: int = 1,
+        telemetry: Telemetry | None = None,
     ) -> list[ReasoningSample]:
         """Run Algorithm 1 over every context.
 
         ``budget`` caps the total number of emitted samples; by default
-        every context contributes ``samples_per_context``.
+        every context contributes ``samples_per_context``.  ``workers``
+        > 1 fans contexts out to worker processes via
+        :mod:`repro.parallel`; the merged output is byte-identical to
+        the serial path for a fixed seed.  Pass a ``telemetry`` sink to
+        accumulate across calls; otherwise a fresh one is created and
+        exposed as :attr:`last_telemetry`.
         """
-        tools = self._require_tools()
-        kinds = self.config.kinds()
-        table_only = TableOnlyPipeline(tools, kinds)
-        splitting = (
-            SplittingPipeline(tools, kinds)
-            if self.config.use_table_to_text
-            else None
-        )
-        expansion = (
-            ExpansionPipeline(tools, kinds)
-            if self.config.use_text_to_table
-            else None
-        )
+        state = self.generation_state()
+        telemetry = telemetry if telemetry is not None else Telemetry()
+        self._last_telemetry = telemetry
         out: list[ReasoningSample] = []
-        per_context = self.config.samples_per_context
-        joint = [p for p in (splitting, expansion) if p is not None]
-        joint_budget = (
-            round(per_context * self.config.joint_fraction) if joint else 0
-        )
-        flat_budget = per_context - joint_budget
-        for context in contexts:
-            if budget is not None and len(out) >= budget:
-                break
-            out.extend(table_only.generate(context, flat_budget))
-            remaining = joint_budget
-            for index, pipeline in enumerate(joint):
-                share = remaining // (len(joint) - index)
-                produced = pipeline.generate(context, share)
-                out.extend(produced)
-                remaining -= share
-                shortfall = share - len(produced)
-                if shortfall > 0:
-                    # Joint generation can fail (no text, unsplittable
-                    # table); keep the volume up with table-only samples.
-                    out.extend(table_only.generate(context, shortfall))
+        with telemetry.timer("generate"):
+            if workers > 1 and len(contexts) > 1:
+                from repro.parallel import generate_parallel
+
+                per_context = generate_parallel(
+                    state, contexts, workers, telemetry
+                )
+                for produced in per_context:
+                    out.extend(produced)
+            else:
+                for index, context in enumerate(contexts):
+                    if budget is not None and len(out) >= budget:
+                        break
+                    out.extend(
+                        generate_for_one_context(
+                            state, index, context, telemetry
+                        )
+                    )
         if budget is not None:
             out = out[:budget]
+        for sample in out:
+            telemetry.emitted(sample.provenance.get("pipeline", "unknown"))
         return out
 
     def generate_for_context(
-        self, context: TableContext, budget: int
+        self,
+        context: TableContext,
+        budget: int | None = None,
+        *,
+        context_index: int = 0,
+        telemetry: Telemetry | None = None,
     ) -> list[ReasoningSample]:
-        """Convenience: Algorithm 1 on a single context."""
-        return self.generate([context], budget=budget)
+        """Algorithm 1 on a single context.
 
-    def _require_tools(self) -> PipelineTools:
-        if self._tools is None:
+        ``context_index`` names the RNG stream: passing the context's
+        position in a batch reproduces exactly the samples that
+        ``generate`` would emit for it (this is what the parallel
+        workers rely on).
+        """
+        state = self.generation_state()
+        telemetry = telemetry if telemetry is not None else Telemetry()
+        self._last_telemetry = telemetry
+        out = generate_for_one_context(state, context_index, context, telemetry)
+        if budget is not None:
+            out = out[:budget]
+        for sample in out:
+            telemetry.emitted(sample.provenance.get("pipeline", "unknown"))
+        return out
+
+    def _require_fitted(self) -> str:
+        if self._pipeline_key is None:
             raise RuntimeError("call fit() before generate()")
-        return self._tools
+        return self._pipeline_key

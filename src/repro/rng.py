@@ -37,7 +37,30 @@ def spawn(rng: random.Random, stream: str) -> random.Random:
     adding a draw to one stage does not perturb the sequence seen by
     another.
     """
-    return random.Random(f"{rng.getrandbits(64)}:{stream}")
+    return random.Random(spawn_key(rng, stream))
+
+
+def spawn_key(rng: random.Random, stream: str) -> str:
+    """The seed string :func:`spawn` would use, without building the RNG.
+
+    Keys are plain strings, so they pickle cheaply across process
+    boundaries; :func:`rng_from_key` rebuilds the exact child stream on
+    the other side.  Note this *advances* ``rng`` (one 64-bit draw),
+    just like :func:`spawn`.
+    """
+    return f"{rng.getrandbits(64)}:{stream}"
+
+
+def rng_from_key(key: str, *parts: str) -> random.Random:
+    """Rebuild (or further derive) a stream RNG from a spawn key.
+
+    Extra ``parts`` extend the key with ``:``-joined segments — e.g.
+    ``rng_from_key(pipeline_key, "context", "17")`` names the stream for
+    the 18th context.  String seeding hashes with SHA-512 under
+    ``random.seed(..., version=2)``, so the stream depends only on the
+    key text: stable across processes, platforms and ``PYTHONHASHSEED``.
+    """
+    return random.Random(":".join((key,) + parts))
 
 
 def choice(rng: random.Random, items: Sequence[T]) -> T:

@@ -82,3 +82,17 @@ def default_filters() -> list[SampleFilter]:
 def passes_all(sample: SampledProgram, filters: list[SampleFilter]) -> bool:
     """Whether ``sample`` survives the whole chain."""
     return all(check(sample) for check in filters)
+
+
+def first_failure(
+    sample: SampledProgram, filters: list[SampleFilter]
+) -> str | None:
+    """Name of the first filter that rejects ``sample`` (None == passes).
+
+    Telemetry wants the *reason* a sample died, not just the verdict;
+    filters run in chain order, so the first failure is the recorded one.
+    """
+    for check in filters:
+        if not check(sample):
+            return check.name
+    return None

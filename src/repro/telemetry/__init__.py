@@ -1,0 +1,45 @@
+"""Observability for the generation engine (counters, timers, reports).
+
+Generation used to be a black box: ``UCTR.generate`` returned a sample
+list and discarded everything it learned along the way — how many
+programs were drawn, which validity filter killed the rest, where the
+per-context budget went unfilled.  This package makes that visible
+without perturbing the samples themselves:
+
+* :mod:`repro.telemetry.core` — the :class:`Telemetry` sink: additive
+  counters (attempts / rejects / successes / drops / shortfalls /
+  emitted, keyed per pipeline and program kind) and wall-clock timers,
+  with snapshot/merge so worker processes can ship their accounting to
+  the parent.
+* :mod:`repro.telemetry.report` — the versioned JSON run-report written
+  by ``repro generate --report`` and the experiments runner, plus its
+  validator and a human-readable digest.
+
+A :class:`Telemetry` handle rides inside
+:class:`repro.pipelines.base.PipelineTools`; every pipeline and the
+sampler/filter chain report through it.  Recording never draws from an
+RNG, so instrumented runs are sample-for-sample identical to bare ones.
+"""
+
+from repro.telemetry.core import SECTIONS, Telemetry
+from repro.telemetry.report import (
+    REPORT_KIND,
+    REPORT_SCHEMA_VERSION,
+    build_report,
+    load_report,
+    render_summary,
+    validate_report,
+    write_report,
+)
+
+__all__ = [
+    "SECTIONS",
+    "Telemetry",
+    "REPORT_KIND",
+    "REPORT_SCHEMA_VERSION",
+    "build_report",
+    "load_report",
+    "render_summary",
+    "validate_report",
+    "write_report",
+]

@@ -1,0 +1,169 @@
+"""Counters and timers for the generation engine.
+
+:class:`Telemetry` is an additive event sink: pipelines report every
+program-sampling *attempt*, each *reject* with its reason (a failed
+validity filter, an unsplittable table, …), each *success*, and any
+per-context *drop* or end-of-budget *shortfall*.  Nothing here touches a
+random number generator, so instrumented and uninstrumented runs emit
+identical samples.
+
+Counters live in named sections keyed by ``/``-joined paths
+(``"table_only/sql"``, ``"splitting/filter:non_empty"``) so merging two
+sinks — the parent process folding in a worker's snapshot — is a plain
+per-key sum.  :meth:`Telemetry.snapshot` and :meth:`Telemetry.merge`
+round-trip through JSON-compatible dicts, which is how worker processes
+ship their accounting back over a pipe.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter, defaultdict
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+#: counter sections with a defined meaning; ad-hoc sections are allowed.
+SECTIONS = (
+    "attempts",    # one per draw_program call, keyed pipeline/kind
+    "successes",   # emitted by a pipeline, keyed pipeline/kind
+    "rejects",     # one per failed attempt, keyed pipeline/reason
+    "drops",       # context-level failures not tied to an attempt
+    "shortfalls",  # budget a pipeline could not fill, keyed pipeline/reason
+    "emitted",     # samples surviving the final budget trim, keyed pipeline
+)
+
+
+class Telemetry:
+    """Additive counters + wall-clock timers for one generation run."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = defaultdict(Counter)
+        self._timers: dict[str, dict[str, float]] = {}
+
+    # -- generic counters ---------------------------------------------------
+    def increment(self, section: str, key: str, amount: int = 1) -> None:
+        """Add ``amount`` to ``section``'s counter for ``key``."""
+        self._counters[section][key] += amount
+
+    def count(self, section: str, key: str | None = None) -> int:
+        """Total for one key, or the whole section when ``key`` is None."""
+        counter = self._counters.get(section)
+        if counter is None:
+            return 0
+        if key is None:
+            return sum(counter.values())
+        return counter.get(key, 0)
+
+    def section(self, name: str) -> dict[str, int]:
+        """A copy of one section's counters."""
+        return dict(self._counters.get(name, {}))
+
+    def keys_under(self, section: str, prefix: str) -> dict[str, int]:
+        """Counters in ``section`` whose key starts with ``prefix + "/"``."""
+        marker = prefix + "/"
+        return {
+            key[len(marker):]: value
+            for key, value in self._counters.get(section, {}).items()
+            if key.startswith(marker)
+        }
+
+    # -- the generation-engine vocabulary -----------------------------------
+    def attempt(self, pipeline: str, kind: str) -> None:
+        """One call into the sampler on behalf of ``pipeline``."""
+        self.increment("attempts", f"{pipeline}/{kind}")
+
+    def success(self, pipeline: str, kind: str) -> None:
+        """An attempt that became an emitted sample."""
+        self.increment("successes", f"{pipeline}/{kind}")
+
+    def reject(self, pipeline: str, reason: str) -> None:
+        """An attempt discarded for ``reason`` (filter name, failure mode)."""
+        self.increment("rejects", f"{pipeline}/{reason}")
+
+    def drop(self, pipeline: str, reason: str) -> None:
+        """A context-level failure that preempted any attempts."""
+        self.increment("drops", f"{pipeline}/{reason}")
+
+    def shortfall(self, pipeline: str, amount: int, reason: str) -> None:
+        """Budget the pipeline could not fill for one context."""
+        if amount > 0:
+            self.increment("shortfalls", f"{pipeline}/{reason}", amount)
+
+    def emitted(self, pipeline: str, amount: int = 1) -> None:
+        """A sample that survived the final budget trim."""
+        self.increment("emitted", pipeline, amount)
+
+    # -- timers -------------------------------------------------------------
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Accumulate wall-clock seconds under ``name``."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - started)
+
+    def add_time(self, name: str, seconds: float, calls: int = 1) -> None:
+        stat = self._timers.setdefault(name, {"seconds": 0.0, "calls": 0})
+        stat["seconds"] += seconds
+        stat["calls"] += calls
+
+    def seconds(self, name: str) -> float:
+        return self._timers.get(name, {}).get("seconds", 0.0)
+
+    # -- snapshot / merge ---------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-compatible dump of every counter and timer."""
+        return {
+            "counters": {
+                section: dict(counter)
+                for section, counter in self._counters.items()
+                if counter
+            },
+            "timers": {
+                name: dict(stat) for name, stat in self._timers.items()
+            },
+        }
+
+    def merge(self, snapshot: "Telemetry | dict[str, Any]") -> "Telemetry":
+        """Fold another sink (or its :meth:`snapshot`) into this one."""
+        if isinstance(snapshot, Telemetry):
+            snapshot = snapshot.snapshot()
+        for section, counter in snapshot.get("counters", {}).items():
+            for key, value in counter.items():
+                self._counters[section][key] += value
+        for name, stat in snapshot.get("timers", {}).items():
+            self.add_time(
+                name, stat.get("seconds", 0.0), int(stat.get("calls", 0))
+            )
+        return self
+
+    @staticmethod
+    def from_snapshot(snapshot: dict[str, Any]) -> "Telemetry":
+        return Telemetry().merge(snapshot)
+
+    # -- derived views ------------------------------------------------------
+    def pipelines(self) -> list[str]:
+        """Every pipeline name seen by any counter section."""
+        names: set[str] = set()
+        for section in ("attempts", "successes", "rejects", "drops",
+                        "shortfalls"):
+            for key in self._counters.get(section, {}):
+                names.add(key.split("/", 1)[0])
+        names.update(self._counters.get("emitted", {}))
+        return sorted(names)
+
+    def reconciles(self, pipeline: str) -> bool:
+        """attempts == successes + rejects for ``pipeline``.
+
+        Every sampler attempt must end in exactly one of the two; a
+        False return means a pipeline forgot to report an outcome.
+        """
+        attempts = sum(self.keys_under("attempts", pipeline).values())
+        successes = sum(self.keys_under("successes", pipeline).values())
+        rejects = sum(self.keys_under("rejects", pipeline).values())
+        return attempts == successes + rejects
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        totals = {s: self.count(s) for s in SECTIONS if self.count(s)}
+        return f"Telemetry({totals})"

@@ -1,0 +1,135 @@
+"""The JSON run-report: one document summarizing a generation run.
+
+``repro generate --report report.json`` (and the experiments runner)
+serializes a :class:`Telemetry` sink plus run metadata into a stable,
+versioned schema.  The invariant consumers may rely on: the per-pipeline
+``emitted`` counts sum to ``samples_written``, because both are tallied
+from the *final* sample list after any global budget trim.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.telemetry.core import Telemetry
+
+#: bump when the report layout changes incompatibly.
+REPORT_SCHEMA_VERSION = 1
+
+#: the ``kind`` discriminator written into every report.
+REPORT_KIND = "uctr-generation-report"
+
+
+def build_report(
+    telemetry: Telemetry,
+    *,
+    seed: int | None = None,
+    workers: int = 1,
+    contexts: int | None = None,
+    samples_written: int | None = None,
+    extra: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Assemble the versioned run-report dict from a telemetry sink."""
+    pipelines: dict[str, Any] = {}
+    for name in telemetry.pipelines():
+        attempts = telemetry.keys_under("attempts", name)
+        successes = telemetry.keys_under("successes", name)
+        pipelines[name] = {
+            "attempts": sum(attempts.values()),
+            "successes": sum(successes.values()),
+            "rejects": sum(telemetry.keys_under("rejects", name).values()),
+            "emitted": telemetry.count("emitted", name),
+            "program_kinds": {
+                kind: {
+                    "attempts": attempts.get(kind, 0),
+                    "successes": successes.get(kind, 0),
+                }
+                for kind in sorted(set(attempts) | set(successes))
+            },
+            "reject_reasons": telemetry.keys_under("rejects", name),
+        }
+    report: dict[str, Any] = {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "kind": REPORT_KIND,
+        "seed": seed,
+        "workers": workers,
+        "contexts": contexts,
+        "samples_written": samples_written,
+        "pipelines": pipelines,
+        "drops": telemetry.section("drops"),
+        "shortfalls": telemetry.section("shortfalls"),
+        "timers": {
+            name: dict(stat)
+            for name, stat in telemetry.snapshot()["timers"].items()
+        },
+    }
+    seconds = telemetry.seconds("generate")
+    if seconds > 0 and samples_written is not None:
+        report["samples_per_second"] = round(samples_written / seconds, 2)
+    if extra:
+        report.update(extra)
+    return report
+
+
+def write_report(path: str | Path, report: dict[str, Any]) -> Path:
+    """Write a report dict as pretty-printed JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def load_report(path: str | Path) -> dict[str, Any]:
+    """Read back a report written by :func:`write_report`."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def validate_report(report: dict[str, Any]) -> list[str]:
+    """Return a list of schema problems (empty == valid)."""
+    problems: list[str] = []
+    if report.get("kind") != REPORT_KIND:
+        problems.append(f"kind is {report.get('kind')!r}, not {REPORT_KIND!r}")
+    if report.get("schema_version") != REPORT_SCHEMA_VERSION:
+        problems.append("unknown schema_version "
+                        f"{report.get('schema_version')!r}")
+    pipelines = report.get("pipelines")
+    if not isinstance(pipelines, dict):
+        problems.append("pipelines must be a dict")
+        return problems
+    for name, stats in pipelines.items():
+        for field in ("attempts", "successes", "rejects", "emitted"):
+            if not isinstance(stats.get(field), int):
+                problems.append(f"pipelines[{name!r}].{field} missing")
+    written = report.get("samples_written")
+    if isinstance(written, int):
+        total = sum(stats.get("emitted", 0) for stats in pipelines.values())
+        if total != written:
+            problems.append(
+                f"emitted counts sum to {total}, samples_written={written}"
+            )
+    return problems
+
+
+def render_summary(report: dict[str, Any]) -> str:
+    """A compact human-readable digest for CLI output."""
+    lines = [
+        f"generation report (seed={report.get('seed')}, "
+        f"workers={report.get('workers')}, "
+        f"contexts={report.get('contexts')}, "
+        f"samples={report.get('samples_written')})"
+    ]
+    for name, stats in sorted(report.get("pipelines", {}).items()):
+        attempts = stats["attempts"]
+        rate = stats["successes"] / attempts if attempts else 0.0
+        lines.append(
+            f"  {name:<12} emitted={stats['emitted']:<5} "
+            f"attempts={attempts:<6} success-rate={rate:.0%}"
+        )
+    rate = report.get("samples_per_second")
+    if rate is not None:
+        lines.append(f"  throughput: {rate} samples/sec")
+    return "\n".join(lines)

@@ -13,8 +13,9 @@ from repro.io import (
     save_samples,
     write_jsonl,
 )
-from repro.cli import main as cli_main
+from repro.cli import main as cli_main, resolve_kinds
 from repro.pipelines.samples import ReasoningSample, TaskType
+from repro.telemetry import REPORT_KIND, validate_report
 
 
 @pytest.fixture
@@ -116,3 +117,91 @@ class TestCli:
         assert code == 0
         assert (tmp_path / "stf" / "train.contexts.jsonl").exists()
         assert (tmp_path / "stf" / "dev.gold.jsonl").exists()
+
+    def test_make_dataset_stamps_benchmark(self, tmp_path, monkeypatch):
+        import repro.cli as cli_module
+        from repro.datasets import make_semtabfacts
+        from repro.datasets.semtabfacts import SemTabFactsConfig
+
+        monkeypatch.setitem(
+            cli_module._BENCHMARKS,
+            "semtabfacts",
+            lambda: make_semtabfacts(
+                SemTabFactsConfig(train_contexts=4, dev_contexts=2,
+                                  test_contexts=2)
+            ),
+        )
+        cli_main(["make-dataset", "semtabfacts",
+                  "--out", str(tmp_path / "stf")])
+        contexts = load_contexts(tmp_path / "stf" / "train.contexts.jsonl")
+        assert all(
+            ctx.meta.get("benchmark") == "semtabfacts" for ctx in contexts
+        )
+
+
+class TestDefaultKinds:
+    """The per-benchmark program-kind defaults the paper prescribes."""
+
+    def test_explicit_kinds_win(self):
+        assert resolve_kinds("sql,arith", "feverous", []) == ("sql", "arith")
+
+    def test_benchmark_flag_selects_paper_kinds(self):
+        assert resolve_kinds(None, "wikisql", []) == ("sql",)
+        assert resolve_kinds(None, "tatqa", []) == ("sql", "arith")
+        assert resolve_kinds(None, "feverous", []) == ("logic",)
+        assert resolve_kinds(None, "semtabfacts", []) == ("logic",)
+
+    def test_detects_benchmark_from_context_meta(self, players_context):
+        stamped = [
+            players_context.with_paragraphs([]),
+        ]
+        stamped[0].meta["benchmark"] = "tatqa"
+        assert resolve_kinds(None, None, stamped) == ("sql", "arith")
+
+    def test_mixed_or_missing_meta_falls_back_to_logic(self, players_context):
+        assert resolve_kinds(None, None, [players_context]) == ("logic",)
+
+
+class TestCliReport:
+    def test_generate_report_round_trip(self, tmp_path, players_context):
+        contexts_path = tmp_path / "ctx.jsonl"
+        save_contexts(contexts_path, [players_context])
+        out_path = tmp_path / "synth.jsonl"
+        report_path = tmp_path / "report.json"
+        code = cli_main([
+            "generate", str(contexts_path),
+            "--out", str(out_path),
+            "--kinds", "sql",
+            "--per-context", "5",
+            "--report", str(report_path),
+        ])
+        assert code == 0
+        report = json.loads(report_path.read_text())
+        assert report["kind"] == REPORT_KIND
+        assert validate_report(report) == []
+        written = len(load_samples(out_path))
+        assert report["samples_written"] == written
+        emitted = sum(
+            stats["emitted"] for stats in report["pipelines"].values()
+        )
+        assert emitted == written
+
+    def test_generate_workers_matches_serial(self, tmp_path, players_context,
+                                             finance_context):
+        contexts_path = tmp_path / "ctx.jsonl"
+        save_contexts(contexts_path, [players_context, finance_context])
+
+        def run(workers, out_name):
+            out_path = tmp_path / out_name
+            code = cli_main([
+                "generate", str(contexts_path),
+                "--out", str(out_path),
+                "--kinds", "sql",
+                "--per-context", "4",
+                "--seed", "9",
+                "--workers", str(workers),
+            ])
+            assert code == 0
+            return out_path.read_text()
+
+        assert run(1, "serial.jsonl") == run(2, "parallel.jsonl")

@@ -1,0 +1,128 @@
+"""Serial ≡ parallel determinism and the executor's plumbing."""
+
+import json
+
+import pytest
+
+import repro.parallel as parallel
+from repro.parallel import generate_parallel, pick_start_method, shard_indices
+from repro.pipelines import UCTR, UCTRConfig
+from repro.tables import Paragraph, Table, TableContext
+from repro.telemetry import Telemetry
+
+
+def _context(i: int) -> TableContext:
+    table = Table.from_rows(
+        header=["player", "team", "points", "rebounds"],
+        raw_rows=[
+            [f"p{i}{j}", f"team{j % 3}", str(10 + 3 * j + i), str(j + i)]
+            for j in range(5)
+        ],
+        title=f"stats {i}",
+        row_name_column="player",
+    )
+    text = (
+        f"For newcomer{i} , the team is team9 and the points is {20 + i} "
+        f"and the rebounds is {3 + i} ."
+    )
+    return TableContext(
+        table=table, uid=f"ctx{i}", paragraphs=(Paragraph(text=text),)
+    )
+
+
+@pytest.fixture(scope="module")
+def contexts():
+    return [_context(i) for i in range(6)]
+
+
+@pytest.fixture(scope="module")
+def framework(contexts):
+    framework = UCTR(
+        UCTRConfig(program_kinds=("sql", "logic"), samples_per_context=6,
+                   seed=7)
+    )
+    return framework.fit(contexts)
+
+
+def _fingerprint(samples):
+    return json.dumps([s.to_json() for s in samples], sort_keys=True)
+
+
+class TestDeterminism:
+    def test_workers_do_not_change_output(self, framework, contexts):
+        baseline = _fingerprint(framework.generate(contexts, workers=1))
+        for workers in (2, 4):
+            assert _fingerprint(
+                framework.generate(contexts, workers=workers)
+            ) == baseline, f"workers={workers} diverged from serial"
+
+    def test_budget_respected_in_parallel(self, framework, contexts):
+        serial = framework.generate(contexts, budget=9, workers=1)
+        parallel_run = framework.generate(contexts, budget=9, workers=2)
+        assert _fingerprint(serial) == _fingerprint(parallel_run)
+        assert len(parallel_run) == 9
+
+    def test_per_context_stream_matches_batch(self, framework, contexts):
+        batch = framework.generate(contexts, workers=2)
+        solo = framework.generate_for_context(contexts[3], context_index=3)
+        from_batch = [s for s in batch if s.uid.startswith("ctx3-")]
+        assert _fingerprint(solo) == _fingerprint(from_batch)
+
+    def test_repeated_runs_are_stable(self, framework, contexts):
+        assert _fingerprint(framework.generate(contexts, workers=2)) == \
+            _fingerprint(framework.generate(contexts, workers=2))
+
+
+class TestExecutorPlumbing:
+    def test_shard_indices_partition(self):
+        for count in (1, 2, 5, 17, 64):
+            for workers in (1, 2, 4):
+                chunks = shard_indices(count, workers)
+                flat = [i for chunk in chunks for i in chunk]
+                assert flat == list(range(count))
+                assert all(chunk for chunk in chunks)
+
+    def test_shard_indices_empty(self):
+        assert shard_indices(0, 4) == []
+
+    def test_pick_start_method_on_this_platform(self):
+        # CPython always offers at least spawn; the contract is just
+        # "a usable method or None", never an exception.
+        assert pick_start_method() in ("fork", "spawn", None)
+
+    def test_fallback_without_start_method(
+        self, monkeypatch, framework, contexts
+    ):
+        monkeypatch.setattr(parallel, "pick_start_method", lambda: None)
+        telemetry = Telemetry()
+        results = generate_parallel(
+            framework.generation_state(), contexts, 4, telemetry
+        )
+        flat = [s for produced in results for s in produced]
+        assert _fingerprint(flat) == _fingerprint(
+            framework.generate(contexts, workers=1)
+        )
+        assert telemetry.count("drops", "parallel/fallback:no_start_method") == 1
+
+    def test_worker_telemetry_merged(self, framework, contexts):
+        framework.generate(contexts, workers=2)
+        telemetry = framework.last_telemetry
+        assert telemetry.count("attempts") > 0
+        for pipeline in telemetry.pipelines():
+            if pipeline == "parallel":
+                continue
+            assert telemetry.reconciles(pipeline), pipeline
+
+    def test_generation_state_requires_fit(self, contexts):
+        unfitted = UCTR(UCTRConfig())
+        with pytest.raises(RuntimeError):
+            unfitted.generation_state()
+
+    def test_single_context_skips_pool(self, framework, contexts):
+        # workers capped at len(contexts); one context runs in-process
+        telemetry = Telemetry()
+        results = generate_parallel(
+            framework.generation_state(), contexts[:1], 8, telemetry
+        )
+        assert len(results) == 1
+        assert results[0]

@@ -1,0 +1,182 @@
+"""Tests for the telemetry subsystem and its accounting invariants."""
+
+import json
+
+import pytest
+
+from repro.pipelines import UCTR, UCTRConfig
+from repro.telemetry import (
+    REPORT_KIND,
+    REPORT_SCHEMA_VERSION,
+    Telemetry,
+    build_report,
+    load_report,
+    render_summary,
+    validate_report,
+    write_report,
+)
+
+
+class TestTelemetryCore:
+    def test_counters_accumulate(self):
+        telemetry = Telemetry()
+        telemetry.attempt("table_only", "sql")
+        telemetry.attempt("table_only", "sql")
+        telemetry.attempt("table_only", "logic")
+        telemetry.success("table_only", "sql")
+        telemetry.reject("table_only", "filter:non_empty")
+        assert telemetry.count("attempts") == 3
+        assert telemetry.count("attempts", "table_only/sql") == 2
+        assert telemetry.keys_under("attempts", "table_only") == {
+            "sql": 2, "logic": 1,
+        }
+
+    def test_shortfall_ignores_non_positive(self):
+        telemetry = Telemetry()
+        telemetry.shortfall("splitting", 0, "attempts_exhausted")
+        telemetry.shortfall("splitting", -2, "attempts_exhausted")
+        assert telemetry.count("shortfalls") == 0
+        telemetry.shortfall("splitting", 3, "attempts_exhausted")
+        assert telemetry.count("shortfalls") == 3
+
+    def test_snapshot_merge_round_trip(self):
+        a = Telemetry()
+        a.attempt("p", "sql")
+        a.success("p", "sql")
+        a.add_time("generate", 1.5)
+        b = Telemetry()
+        b.attempt("p", "sql")
+        b.reject("p", "sampling_failed")
+        b.add_time("generate", 0.5)
+        merged = Telemetry.from_snapshot(a.snapshot()).merge(b)
+        assert merged.count("attempts", "p/sql") == 2
+        assert merged.count("successes") == 1
+        assert merged.count("rejects") == 1
+        assert merged.seconds("generate") == pytest.approx(2.0)
+        # snapshots are JSON-compatible (what workers send over a pipe)
+        json.dumps(merged.snapshot())
+
+    def test_timer_context_manager(self):
+        telemetry = Telemetry()
+        with telemetry.timer("work"):
+            pass
+        assert telemetry.seconds("work") >= 0.0
+        assert telemetry.snapshot()["timers"]["work"]["calls"] == 1
+
+    def test_reconciles_detects_missing_outcome(self):
+        telemetry = Telemetry()
+        telemetry.attempt("p", "sql")
+        assert not telemetry.reconciles("p")
+        telemetry.success("p", "sql")
+        assert telemetry.reconciles("p")
+
+
+class TestGenerationAccounting:
+    @pytest.fixture
+    def framework(self, players_context, finance_context):
+        framework = UCTR(
+            UCTRConfig(program_kinds=("sql", "logic"),
+                       samples_per_context=6, seed=5)
+        )
+        return framework.fit([players_context, finance_context])
+
+    def test_attempts_reconcile_with_outcomes(
+        self, framework, players_context, finance_context
+    ):
+        framework.generate([players_context, finance_context])
+        telemetry = framework.last_telemetry
+        assert telemetry is not None
+        for pipeline in telemetry.pipelines():
+            if pipeline == "parallel":
+                continue
+            assert telemetry.reconciles(pipeline), pipeline
+
+    def test_emitted_matches_returned_samples(
+        self, framework, players_context, finance_context
+    ):
+        samples = framework.generate([players_context, finance_context])
+        telemetry = framework.last_telemetry
+        assert telemetry.count("emitted") == len(samples)
+        by_pipeline = {}
+        for sample in samples:
+            name = sample.provenance["pipeline"]
+            by_pipeline[name] = by_pipeline.get(name, 0) + 1
+        assert telemetry.section("emitted") == by_pipeline
+
+    def test_budget_trim_keeps_emitted_consistent(
+        self, framework, players_context, finance_context
+    ):
+        samples = framework.generate(
+            [players_context, finance_context], budget=4
+        )
+        telemetry = framework.last_telemetry
+        assert len(samples) <= 4
+        assert telemetry.count("emitted") == len(samples)
+
+    def test_generate_timer_recorded(self, framework, players_context):
+        framework.generate([players_context])
+        assert framework.last_telemetry.seconds("generate") > 0.0
+
+    def test_instrumentation_does_not_change_samples(self, players_context):
+        """A caller-supplied sink must not perturb generation."""
+        def run(telemetry):
+            framework = UCTR(
+                UCTRConfig(program_kinds=("sql",), samples_per_context=5,
+                           seed=13)
+            )
+            framework.fit([players_context])
+            return [
+                sample.to_json()
+                for sample in framework.generate(
+                    [players_context], telemetry=telemetry
+                )
+            ]
+
+        assert run(None) == run(Telemetry())
+
+
+class TestRunReport:
+    def _report(self, framework_samples):
+        framework, samples = framework_samples
+        return build_report(
+            framework.last_telemetry,
+            seed=5,
+            workers=1,
+            contexts=2,
+            samples_written=len(samples),
+        )
+
+    @pytest.fixture
+    def framework_samples(self, players_context, finance_context):
+        framework = UCTR(
+            UCTRConfig(program_kinds=("sql", "logic"),
+                       samples_per_context=6, seed=5)
+        )
+        framework.fit([players_context, finance_context])
+        samples = framework.generate([players_context, finance_context])
+        return framework, samples
+
+    def test_schema_and_invariant(self, framework_samples):
+        report = self._report(framework_samples)
+        assert report["schema_version"] == REPORT_SCHEMA_VERSION
+        assert report["kind"] == REPORT_KIND
+        assert validate_report(report) == []
+        _, samples = framework_samples
+        total = sum(p["emitted"] for p in report["pipelines"].values())
+        assert total == len(samples)
+
+    def test_validate_flags_mismatch(self, framework_samples):
+        report = self._report(framework_samples)
+        report["samples_written"] += 1
+        assert any("sum" in p for p in validate_report(report))
+
+    def test_write_load_round_trip(self, tmp_path, framework_samples):
+        report = self._report(framework_samples)
+        path = write_report(tmp_path / "r.json", report)
+        assert load_report(path) == report
+
+    def test_render_summary_mentions_pipelines(self, framework_samples):
+        report = self._report(framework_samples)
+        text = render_summary(report)
+        assert "table_only" in text
+        assert "samples=" in text
