@@ -7,7 +7,10 @@ Commands:
   contexts and gold samples to a directory.
 * ``generate`` — run the UCTR pipeline over a JSONL file of contexts and
   write the synthetic samples; ``--workers N`` fans contexts out to
-  worker processes, ``--report r.json`` writes the telemetry run-report.
+  worker processes, ``--report r.json`` writes the telemetry run-report,
+  ``--checkpoint-dir d/ [--resume]`` makes the run crash-safe and
+  resumable, ``--max-attempts``/``--per-context-timeout`` tune the
+  fault-tolerance policy.
 * ``stats`` — print Table II-style statistics for a benchmark.
 * ``experiments`` — alias of :mod:`repro.experiments.runner`.
 """
@@ -92,7 +95,35 @@ def resolve_kinds(
     return _DEFAULT_KINDS.get(benchmark, _FALLBACK_KINDS)
 
 
+def _write_generate_report(
+    args: argparse.Namespace,
+    framework: UCTR,
+    n_contexts: int,
+    written: int | None,
+    *,
+    partial: bool = False,
+) -> None:
+    if not args.report:
+        return
+    report = build_report(
+        framework.last_telemetry,
+        seed=args.seed,
+        workers=args.workers,
+        contexts=n_contexts,
+        samples_written=written,
+        extra={"partial": True} if partial else None,
+    )
+    path = write_report(args.report, report)
+    print(f"wrote {'partial ' if partial else ''}run report to {path}")
+    print(render_summary(report))
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.runtime import RetryPolicy
+
+    if args.resume and not args.checkpoint_dir:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     contexts = load_contexts(args.contexts)
     kinds = resolve_kinds(args.kinds, args.benchmark, contexts)
     framework = UCTR(
@@ -102,9 +133,36 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
     )
+    policy = RetryPolicy(
+        max_attempts=args.max_attempts,
+        deadline=args.per_context_timeout,
+    )
     started = time.perf_counter()
     framework.fit(contexts)
-    samples = framework.generate(contexts, workers=args.workers)
+    try:
+        samples = framework.generate(
+            contexts,
+            workers=args.workers,
+            retry=policy,
+            checkpoint_dir=args.checkpoint_dir,
+            resume_from=args.checkpoint_dir if args.resume else None,
+            checkpoint_every=args.checkpoint_every,
+        )
+    except KeyboardInterrupt:
+        # UCTR.generate already landed a final partial checkpoint.
+        print(
+            "\ninterrupted; progress checkpointed"
+            + (
+                f" in {args.checkpoint_dir} — rerun with --resume "
+                "to continue"
+                if args.checkpoint_dir
+                else " nowhere (no --checkpoint-dir given)"
+            )
+        )
+        _write_generate_report(
+            args, framework, len(contexts), None, partial=True
+        )
+        return 130
     elapsed = time.perf_counter() - started
     written = save_samples(args.out, samples)
     rate = written / elapsed if elapsed > 0 else 0.0
@@ -113,17 +171,16 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         f"(kinds={','.join(kinds)}, workers={args.workers}, "
         f"{rate:.1f} samples/sec)"
     )
-    if args.report:
-        report = build_report(
-            framework.last_telemetry,
-            seed=args.seed,
-            workers=args.workers,
-            contexts=len(contexts),
-            samples_written=written,
+    quarantined = framework.last_telemetry.events("quarantine")
+    if quarantined:
+        print(
+            f"quarantined {len(quarantined)} context(s): "
+            + ", ".join(
+                f"#{entry['index']} ({entry.get('error') or entry['reason']})"
+                for entry in quarantined
+            )
         )
-        path = write_report(args.report, report)
-        print(f"wrote run report to {path}")
-        print(render_summary(report))
+    _write_generate_report(args, framework, len(contexts), written)
     return 0
 
 
@@ -171,6 +228,31 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument(
         "--report", default=None, metavar="PATH",
         help="write a JSON telemetry run-report here",
+    )
+    generate.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="stream completed contexts here (append+fsync results, "
+             "atomic manifest) so a killed run loses nothing finished",
+    )
+    generate.add_argument(
+        "--resume", action="store_true",
+        help="resume from --checkpoint-dir: replay completed contexts "
+             "byte-identically and generate only the remainder",
+    )
+    generate.add_argument(
+        "--checkpoint-every", type=int, default=16, metavar="N",
+        help="manifest flush cadence in contexts (default 16)",
+    )
+    generate.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="retry budget per context/chunk before quarantine "
+             "(default 3)",
+    )
+    generate.add_argument(
+        "--per-context-timeout", type=float, default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline per context; overruns are killed and "
+             "quarantined (default: none)",
     )
     generate.set_defaults(fn=_cmd_generate)
 

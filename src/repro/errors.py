@@ -85,6 +85,54 @@ class DatasetError(ReproError):
     """Errors in dataset synthesis or loading."""
 
 
+class FileFormatError(DatasetError):
+    """A persisted file is malformed (truncated line, invalid JSON...).
+
+    ``path`` and ``line_number`` pin the offending location so a corrupt
+    multi-gigabyte corpus can be repaired instead of regenerated.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        path: str | None = None,
+        line_number: int | None = None,
+    ):
+        self.path = path
+        self.line_number = line_number
+        if path is not None and line_number is not None:
+            message = f"{path}:{line_number}: {message}"
+        elif path is not None:
+            message = f"{path}: {message}"
+        super().__init__(message)
+
+
+class ExecutorError(ReproError):
+    """The parallel execution runtime broke an internal invariant."""
+
+
+class QuarantinedContextError(ExecutorError):
+    """A context was quarantined and the caller asked for strict mode.
+
+    Carries enough structure (``index``, ``uid``, ``reason``) for a
+    supervisor to decide whether to drop the context or abort the run.
+    """
+
+    def __init__(self, index: int, uid: str, reason: str, detail: str = ""):
+        self.index = index
+        self.uid = uid
+        self.reason = reason
+        self.detail = detail
+        message = f"context {index} ({uid!r}) quarantined: {reason}"
+        if detail:
+            message += f" — {detail}"
+        super().__init__(message)
+
+
+class CheckpointError(ReproError):
+    """A checkpoint directory is missing, corrupt, or from another run."""
+
+
 class ModelError(ReproError):
     """Errors in model construction, training, or inference."""
 

@@ -81,12 +81,19 @@ def render_generation_telemetry() -> str:
         successes = telemetry.count("successes")
         seconds = telemetry.seconds("generate")
         rate = successes / seconds if seconds > 0 else 0.0
-        lines.append(
+        line = (
             f"  {benchmark}/{variant}@{scale_name}: "
             f"{successes} samples from {attempts} attempts "
             f"({successes / attempts if attempts else 0:.0%} accepted) "
             f"in {seconds:.1f}s ({rate:.0f}/s)"
         )
+        quarantined = telemetry.events("quarantine")
+        retries = telemetry.count("retries")
+        if quarantined or retries:
+            line += (
+                f" [quarantined={len(quarantined)}, retries={retries}]"
+            )
+        lines.append(line)
     return "\n".join(lines)
 
 

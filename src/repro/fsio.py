@@ -1,0 +1,61 @@
+"""Crash-safe filesystem primitives.
+
+Everything the package persists — JSONL corpora, run reports, checkpoint
+manifests — goes through the two helpers here so an interrupted process
+(SIGKILL, OOM, power loss) can never leave a *partially written* file in
+place of a good one.  The recipe is the classic POSIX one: write to a
+sibling temp file in the same directory, flush + ``fsync``, then
+``os.replace`` onto the destination (atomic on POSIX and on NTFS).
+
+This module deliberately imports nothing from the rest of ``repro`` so
+that low-level layers (:mod:`repro.io`, :mod:`repro.telemetry.report`,
+:mod:`repro.runtime.checkpoint`) can all use it without import cycles.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Iterator
+
+
+def fsync_handle(handle: IO[str]) -> None:
+    """Flush a text handle and push its bytes to stable storage."""
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+@contextmanager
+def atomic_writer(path: str | Path, encoding: str = "utf-8") -> Iterator[IO[str]]:
+    """A text handle whose contents appear at ``path`` all-or-nothing.
+
+    The handle writes to ``path + ".tmp"``; on clean exit the temp file
+    is fsynced and atomically renamed over ``path``.  On an exception
+    the temp file is removed and ``path`` is left exactly as it was —
+    including not existing at all.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    handle = tmp.open("w", encoding=encoding)
+    try:
+        yield handle
+        fsync_handle(handle)
+    except BaseException:
+        handle.close()
+        tmp.unlink(missing_ok=True)
+        raise
+    else:
+        handle.close()
+        os.replace(tmp, path)
+
+
+def atomic_write_text(
+    path: str | Path, text: str, encoding: str = "utf-8"
+) -> Path:
+    """Atomically replace ``path`` with ``text``; returns the path."""
+    path = Path(path)
+    with atomic_writer(path, encoding=encoding) as handle:
+        handle.write(text)
+    return path

@@ -5,6 +5,13 @@ The on-disk interchange format: one JSON object per line, written by
 ``to_json``/``from_json`` pairs on the data classes, so synthetic
 corpora can be generated once and shared between experiments or
 exported for external training stacks.
+
+Writes are **atomic** (temp file + fsync + ``os.replace`` via
+:mod:`repro.fsio`): a run killed mid-write never leaves a truncated
+JSONL file where a good one — or nothing — used to be.  Reads validate
+line-by-line and raise :class:`~repro.errors.FileFormatError` with the
+offending line number, so a corrupt corpus is repairable instead of a
+mystery.
 """
 
 from __future__ import annotations
@@ -13,17 +20,22 @@ import json
 from pathlib import Path
 from typing import Iterable, Iterator
 
-from repro.errors import DatasetError
+from repro.errors import FileFormatError
+from repro.fsio import atomic_writer
 from repro.pipelines.samples import ReasoningSample
 from repro.tables.context import TableContext
 
 
 def write_jsonl(path: str | Path, records: Iterable[dict]) -> int:
-    """Write dict records as JSONL; returns the number written."""
+    """Atomically write dict records as JSONL; returns the number written.
+
+    The destination appears all-or-nothing: if serialization or the
+    record iterator fails midway, any pre-existing file at ``path`` is
+    left untouched.
+    """
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     count = 0
-    with path.open("w", encoding="utf-8") as handle:
+    with atomic_writer(path) as handle:
         for record in records:
             handle.write(json.dumps(record, ensure_ascii=False))
             handle.write("\n")
@@ -32,21 +44,35 @@ def write_jsonl(path: str | Path, records: Iterable[dict]) -> int:
 
 
 def read_jsonl(path: str | Path) -> Iterator[dict]:
-    """Yield dict records from a JSONL file."""
+    """Yield dict records from a JSONL file.
+
+    Raises :class:`FileFormatError` (a :class:`DatasetError`) naming the
+    file and line for a missing file, invalid JSON, or a non-object
+    line.
+    """
     path = Path(path)
     if not path.exists():
-        raise DatasetError(f"no such file: {path}")
+        raise FileFormatError("no such file", path=str(path))
     with path.open("r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             stripped = line.strip()
             if not stripped:
                 continue
             try:
-                yield json.loads(stripped)
+                record = json.loads(stripped)
             except json.JSONDecodeError as error:
-                raise DatasetError(
-                    f"{path}:{line_number}: invalid JSON ({error})"
+                raise FileFormatError(
+                    f"invalid JSON ({error})",
+                    path=str(path),
+                    line_number=line_number,
                 ) from error
+            if not isinstance(record, dict):
+                raise FileFormatError(
+                    f"expected a JSON object, got {type(record).__name__}",
+                    path=str(path),
+                    line_number=line_number,
+                )
+            yield record
 
 
 def save_samples(path: str | Path, samples: Iterable[ReasoningSample]) -> int:

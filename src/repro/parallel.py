@@ -1,34 +1,63 @@
-"""Seed-stable multiprocessing executor for the generation engine.
+"""Fault-tolerant, seed-stable multiprocessing executor.
 
 Generation is embarrassingly parallel across contexts *because* of the
 determinism contract in :mod:`repro.pipelines.uctr`: context ``i`` draws
 only from its own named RNG stream, so any scheduling of contexts onto
-processes yields the same samples.  This module supplies the scheduling:
+processes yields the same samples.  This module supplies the scheduling
+— and keeps the run alive when pieces of it die:
 
 1. contexts are sharded into contiguous index chunks (several per
    worker, so a slow context does not idle the rest of the pool);
 2. the fitted :class:`~repro.pipelines.uctr.GenerationState` is pickled
    **once** in the parent and unpickled **once per worker** by the pool
    initializer — spawn-safe, no reliance on fork-inherited globals;
-3. each worker runs :func:`~repro.pipelines.uctr.generate_for_one_context`
-   per assigned context and returns ``(index, samples)`` pairs plus a
-   telemetry snapshot;
-4. the parent places results back by context index (chunks may finish
-   out of order) and folds worker telemetry into the caller's sink.
+3. each worker runs every assigned context through
+   :func:`repro.runtime.quarantine.run_context`: a context whose
+   execution raises (after the retry policy is spent) is *quarantined*
+   — structured record in telemetry, zero samples — instead of killing
+   the chunk;
+4. worker-process **death** (segfault, OOM kill, injected ``os._exit``)
+   breaks the pool.  Blame is not guessable from a broken pool — every
+   pending future looks dead — so the parent only *suspects* the chunk
+   it was blocked on, requeues the bystanders uncharged, respawns the
+   pool, and **probes** each suspect in isolation (a one-worker pool
+   running only that chunk).  A probe failure is definitive: the chunk
+   retries up to the policy's budget, then bisects to isolate the
+   poisoned context, which is quarantined with reason ``worker_death``;
+5. a per-context wall-clock **deadline** (``RetryPolicy.deadline``)
+   bounds each chunk; on overrun the parent kills the pool and the
+   chunk follows the same probe → retry → bisect → quarantine path
+   with reason ``timeout``;
+6. the parent places results back by context index and folds worker
+   telemetry (counters *and* quarantine events) into the caller's sink,
+   reporting each completed context through ``on_result`` so a
+   checkpoint manager can persist progress as it happens.
 
-When ``workers <= 1``, there is at most one context, or the platform
-offers no usable ``multiprocessing`` start method, the executor degrades
-to the serial path — same code, same output, no pool.
+When ``workers <= 1``, there is at most one runnable context, or the
+platform offers no usable ``multiprocessing`` start method, the executor
+degrades to the in-process serial path — same per-context code, same
+output, same quarantine semantics, no pool.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import multiprocessing
 import pickle
-from typing import Sequence
+import time
+from collections import deque
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
 
 from repro.pipelines.samples import ReasoningSample
-from repro.pipelines.uctr import GenerationState, generate_for_one_context
+from repro.pipelines.uctr import GenerationState
+from repro.runtime.quarantine import (
+    QuarantineRecord,
+    record_quarantine,
+    run_context,
+)
+from repro.runtime.retry import RetryPolicy
 from repro.tables.context import TableContext
 from repro.telemetry import Telemetry
 
@@ -37,6 +66,10 @@ CHUNKS_PER_WORKER = 4
 
 #: worker-side engine state, set once by :func:`_init_worker`.
 _WORKER_STATE: GenerationState | None = None
+_WORKER_POLICY: RetryPolicy | None = None
+
+#: a completed-context callback: ``on_result(index, samples)``.
+ResultCallback = Callable[[int, list[ReasoningSample]], None]
 
 
 def pick_start_method() -> str | None:
@@ -74,25 +107,39 @@ def shard_indices(count: int, workers: int) -> list[list[int]]:
     return [chunk for chunk in chunks if chunk]
 
 
-def _init_worker(state_blob: bytes) -> None:
+@dataclass
+class _Chunk:
+    """A unit of pool work: context indices plus its failure history."""
+
+    indices: list[int]
+    attempts: int = 0
+
+
+def _init_worker(state_blob: bytes, policy: RetryPolicy) -> None:
     """Pool initializer: unpickle the engine state once per worker."""
-    global _WORKER_STATE
+    global _WORKER_STATE, _WORKER_POLICY
     _WORKER_STATE = pickle.loads(state_blob)
+    _WORKER_POLICY = policy
 
 
 def _run_chunk(
     chunk: list[tuple[int, TableContext]],
-) -> tuple[list[tuple[int, list[ReasoningSample]]], dict]:
-    """Generate every (index, context) in one chunk inside a worker."""
+) -> tuple[list[tuple[int, list[ReasoningSample], bool]], dict]:
+    """Execute one chunk in a worker; quarantine failures per context.
+
+    Returns ``(index, samples, ok)`` triples — ``ok`` is False for a
+    quarantined context (its structured record rides in the telemetry
+    snapshot's events) — plus the chunk's telemetry snapshot.
+    """
     assert _WORKER_STATE is not None, "worker initialized without state"
     telemetry = Telemetry()
-    results = [
-        (
-            index,
-            generate_for_one_context(_WORKER_STATE, index, context, telemetry),
+    results = []
+    for index, context in chunk:
+        outcome = run_context(
+            _WORKER_STATE, index, context, telemetry, _WORKER_POLICY,
+            stage="worker",
         )
-        for index, context in chunk
-    ]
+        results.append((index, outcome.samples, outcome.ok))
     return results, telemetry.snapshot()
 
 
@@ -100,11 +147,223 @@ def _generate_serial(
     state: GenerationState,
     contexts: Sequence[TableContext],
     telemetry: Telemetry,
+    *,
+    policy: RetryPolicy | None = None,
+    on_result: ResultCallback | None = None,
+    skip: Iterable[int] = (),
 ) -> list[list[ReasoningSample]]:
-    return [
-        generate_for_one_context(state, index, context, telemetry)
-        for index, context in enumerate(contexts)
+    """The in-process path: same quarantine semantics, no pool."""
+    skip_set = set(skip)
+    results: list[list[ReasoningSample]] = []
+    for index, context in enumerate(contexts):
+        if index in skip_set:
+            results.append([])
+            continue
+        outcome = run_context(
+            state, index, context, telemetry, policy, stage="serial"
+        )
+        results.append(outcome.samples)
+        if outcome.ok and on_result is not None:
+            on_result(index, outcome.samples)
+    return results
+
+
+def _kill_workers(executor: concurrent.futures.ProcessPoolExecutor) -> None:
+    """Forcibly terminate a pool whose workers may be stuck or poisoned."""
+    for process in list(getattr(executor, "_processes", {}).values()):
+        if process.is_alive():
+            process.terminate()
+    executor.shutdown(wait=False, cancel_futures=True)
+
+
+def _merge_chunk(
+    chunk_results: list[tuple[int, list[ReasoningSample], bool]],
+    snapshot: dict,
+    results: list[list[ReasoningSample] | None],
+    telemetry: Telemetry,
+    on_result: ResultCallback | None,
+) -> None:
+    """Fold one completed chunk into the parent's results + telemetry."""
+    telemetry.merge(snapshot)
+    for index, samples, ok in chunk_results:
+        if results[index] is not None:
+            continue
+        results[index] = samples
+        if ok and on_result is not None:
+            on_result(index, samples)
+
+
+def _run_round(
+    mp_context,
+    workers: int,
+    state_blob: bytes,
+    policy: RetryPolicy,
+    batch: list[_Chunk],
+    contexts: Sequence[TableContext],
+    results: list[list[ReasoningSample] | None],
+    telemetry: Telemetry,
+    on_result: ResultCallback | None,
+) -> list[tuple[_Chunk, str]]:
+    """One pool lifetime: submit ``batch``, harvest, report losses.
+
+    Returns ``(chunk, reason)`` pairs for chunks whose results did not
+    come back.  The chunk the parent was blocked on when the pool broke
+    (or overran its deadline) carries the real reason
+    (``worker_death``/``timeout``); bystanders whose pool died under
+    them come back as ``requeue`` — they are not to blame.  A chunk
+    whose future failed in a *healthy* pool is ``chunk_error:<type>``.
+    """
+    executor = concurrent.futures.ProcessPoolExecutor(
+        max_workers=min(workers, len(batch)),
+        mp_context=mp_context,
+        initializer=_init_worker,
+        initargs=(state_blob, policy),
+    )
+    started = time.monotonic()
+    futures = [
+        (
+            executor.submit(
+                _run_chunk, [(i, contexts[i]) for i in chunk.indices]
+            ),
+            chunk,
+        )
+        for chunk in batch
     ]
+    lost: list[tuple[_Chunk, str]] = []
+    harvested: set[int] = set()
+    killed = False
+    try:
+        for position, (future, chunk) in enumerate(futures):
+            deadline = policy.chunk_deadline(len(chunk.indices))
+            try:
+                if deadline is None:
+                    chunk_results, snapshot = future.result()
+                else:
+                    # chunks queue behind one another; later waves get a
+                    # proportionally larger allowance measured from the
+                    # round start.  The probe round (single chunk) gives
+                    # the exact per-chunk deadline.
+                    waves = 1 + position // max(1, workers)
+                    remaining = max(
+                        0.0, started + deadline * waves - time.monotonic()
+                    )
+                    chunk_results, snapshot = future.result(
+                        timeout=remaining
+                    )
+            except concurrent.futures.TimeoutError:
+                lost.append((chunk, "timeout"))
+                harvested.add(position)
+                _kill_workers(executor)
+                killed = True
+                break
+            except BrokenProcessPool:
+                lost.append((chunk, "worker_death"))
+                harvested.add(position)
+                break
+            except KeyboardInterrupt:
+                _kill_workers(executor)
+                killed = True
+                raise
+            except Exception as error:
+                # the future failed in a healthy pool (result refused to
+                # pickle, ...): definitively this chunk's fault.
+                lost.append((chunk, f"chunk_error:{type(error).__name__}"))
+                harvested.add(position)
+                continue
+            else:
+                _merge_chunk(
+                    chunk_results, snapshot, results, telemetry, on_result
+                )
+                harvested.add(position)
+        # sweep: futures not harvested above either finished before the
+        # pool went down (keep their results) or are blameless
+        # bystanders of the breakage.
+        for position, (future, chunk) in enumerate(futures):
+            if position in harvested:
+                continue
+            done_ok = False
+            if future.done() and not future.cancelled():
+                try:
+                    done_ok = future.exception() is None
+                except concurrent.futures.CancelledError:
+                    done_ok = False
+            if done_ok:
+                chunk_results, snapshot = future.result()
+                _merge_chunk(
+                    chunk_results, snapshot, results, telemetry, on_result
+                )
+            else:
+                lost.append((chunk, "requeue"))
+    finally:
+        if not killed:
+            executor.shutdown(wait=True, cancel_futures=True)
+    return lost
+
+
+def _charge_chunk(
+    chunk: _Chunk,
+    reason: str,
+    destination: deque[_Chunk],
+    policy: RetryPolicy,
+    contexts: Sequence[TableContext],
+    results: list[list[ReasoningSample] | None],
+    telemetry: Telemetry,
+) -> None:
+    """Charge a definitively failed chunk: retry, bisect, or quarantine.
+
+    Retries (and the halves of a bisection) go to ``destination`` — the
+    suspect queue, so they keep running in isolation.  A single-context
+    chunk out of attempts is quarantined with the failure reason.
+    """
+    chunk.attempts += 1
+    if chunk.attempts < policy.max_attempts:
+        telemetry.increment("retries", f"chunk/{reason}")
+        destination.append(chunk)
+    elif len(chunk.indices) > 1:
+        telemetry.increment("retries", f"bisect/{reason}")
+        mid = len(chunk.indices) // 2
+        destination.append(_Chunk(chunk.indices[:mid]))
+        destination.append(_Chunk(chunk.indices[mid:]))
+    else:
+        index = chunk.indices[0]
+        record = QuarantineRecord(
+            index=index,
+            uid=contexts[index].uid,
+            reason=reason,
+            attempts=chunk.attempts,
+            stage="parent",
+        )
+        record_quarantine(telemetry, record)
+        results[index] = []
+
+
+def _backfill_missing(
+    state: GenerationState,
+    contexts: Sequence[TableContext],
+    results: list[list[ReasoningSample] | None],
+    telemetry: Telemetry,
+    policy: RetryPolicy | None = None,
+    *,
+    on_result: ResultCallback | None = None,
+) -> list[int]:
+    """Regenerate still-missing contexts in-process, with quarantine.
+
+    The safety net under the pool driver: any index the rounds failed to
+    fill (a driver bug, the round budget exhausted) is executed in the
+    parent through the same retry/quarantine machinery — counted once
+    under ``retries:backfill/missing_chunk``, never silently and never
+    with unbounded re-execution.
+    """
+    missing = [i for i, value in enumerate(results) if value is None]
+    for index in missing:
+        telemetry.increment("retries", "backfill/missing_chunk")
+        outcome = run_context(
+            state, index, contexts[index], telemetry, policy, stage="parent"
+        )
+        results[index] = outcome.samples
+        if outcome.ok and on_result is not None:
+            on_result(index, outcome.samples)
+    return missing
 
 
 def generate_parallel(
@@ -112,54 +371,112 @@ def generate_parallel(
     contexts: Sequence[TableContext],
     workers: int,
     telemetry: Telemetry,
+    *,
+    policy: RetryPolicy | None = None,
+    on_result: ResultCallback | None = None,
+    skip: Iterable[int] = (),
 ) -> list[list[ReasoningSample]]:
     """Per-context sample lists, in context order, computed in parallel.
 
     The caller flattens the returned lists; their concatenation is
-    byte-identical to the serial path for the same ``state``.  Any
-    failure to stand up the pool (no start method, pickling refused by
-    an exotic override, fd exhaustion) falls back to in-process serial
-    generation and records a ``parallel/fallback:*`` drop so the run
-    report shows what happened.
+    byte-identical to the serial path for the same ``state`` (a
+    quarantined context contributes an empty list on both paths).
+
+    ``skip`` names context indices already satisfied elsewhere (resumed
+    from a checkpoint); they come back as empty lists for the caller to
+    fill.  ``on_result`` fires in the parent for every *successfully*
+    completed context, in completion order.  Any failure to stand up
+    the pool (no start method, pickling refused, fd exhaustion) falls
+    back to in-process serial generation and records a
+    ``parallel/fallback:*`` drop so the run report shows what happened.
     """
+    policy = policy or RetryPolicy()
     count = len(contexts)
-    workers = max(1, min(workers, count))
+    skip_set = set(skip)
+    todo = [index for index in range(count) if index not in skip_set]
+    workers = max(1, min(workers, len(todo)))
     method = pick_start_method()
-    if workers <= 1 or count <= 1 or method is None:
+    if workers <= 1 or len(todo) <= 1 or method is None:
         if workers > 1 and method is None:
             telemetry.drop("parallel", "fallback:no_start_method")
-        return _generate_serial(state, contexts, telemetry)
+        return _generate_serial(
+            state, contexts, telemetry,
+            policy=policy, on_result=on_result, skip=skip_set,
+        )
     try:
         state_blob = pickle.dumps(state)
     except Exception as error:  # pragma: no cover - exotic overrides only
         telemetry.drop("parallel", f"fallback:{type(error).__name__}")
-        return _generate_serial(state, contexts, telemetry)
-    chunks = [
-        [(index, contexts[index]) for index in chunk]
-        for chunk in shard_indices(count, workers)
-    ]
-    results: list[list[ReasoningSample] | None] = [None] * count
-    context = multiprocessing.get_context(method)
-    try:
-        with context.Pool(
-            processes=workers,
-            initializer=_init_worker,
-            initargs=(state_blob,),
-        ) as pool:
-            for chunk_results, snapshot in pool.imap_unordered(
-                _run_chunk, chunks
-            ):
-                telemetry.merge(snapshot)
-                for index, samples in chunk_results:
-                    results[index] = samples
-    except (OSError, pickle.PicklingError) as error:
-        telemetry.drop("parallel", f"fallback:{type(error).__name__}")
-        return _generate_serial(state, contexts, telemetry)
-    telemetry.increment("parallel", f"workers/{workers}")
-    telemetry.increment("parallel", "chunks", len(chunks))
-    missing = [index for index, value in enumerate(results) if value is None]
-    for index in missing:  # pragma: no cover - defensive; pool lost a chunk
-        results[index] = generate_for_one_context(
-            state, index, contexts[index], telemetry
+        return _generate_serial(
+            state, contexts, telemetry,
+            policy=policy, on_result=on_result, skip=skip_set,
         )
+    results: list[list[ReasoningSample] | None] = [None] * count
+    for index in skip_set:
+        results[index] = []
+    pending: deque[_Chunk] = deque(
+        _Chunk([todo[position] for position in positions])
+        for positions in shard_indices(len(todo), workers)
+    )
+    suspects: deque[_Chunk] = deque()
+    initial_chunks = len(pending)
+    mp_context = multiprocessing.get_context(method)
+    # Round budget.  Every broken batch round permanently moves one chunk
+    # to the suspect queue, and every suspect resolves within
+    # max_attempts probes per node of its bisection tree (≤ 2·contexts
+    # nodes), so this cap is unreachable without a driver bug — it only
+    # guards against looping forever, since leftovers finish in-process.
+    max_rounds = 4 + 2 * initial_chunks + 2 * policy.max_attempts * (
+        initial_chunks + len(todo)
+    )
+    rounds = 0
+    while (pending or suspects) and rounds < max_rounds:
+        rounds += 1
+        if pending:
+            batch = list(pending)
+            pending.clear()
+            round_workers = workers
+        else:
+            batch = [suspects.popleft()]
+            round_workers = 1
+        losses = _run_round(
+            mp_context, round_workers, state_blob, policy, batch,
+            contexts, results, telemetry, on_result,
+        )
+        probing = len(batch) == 1 and round_workers == 1
+        for chunk, reason in losses:
+            if reason == "requeue":
+                telemetry.increment("retries", "chunk/requeue")
+                pending.append(chunk)
+            elif probing or reason.startswith("chunk_error"):
+                # blame is definitive: a probe round has no bystanders,
+                # and a chunk_error came from a healthy pool.
+                _charge_chunk(
+                    chunk, reason, suspects, policy, contexts, results,
+                    telemetry,
+                )
+            else:
+                # broken batch round: the blocked-on chunk is only a
+                # suspect — isolate it to establish blame.
+                telemetry.increment("retries", f"suspect/{reason}")
+                suspects.append(chunk)
+    for chunk in list(pending) + list(suspects):
+        # round budget spent: finish in-process with full quarantine
+        # semantics rather than dropping work.
+        telemetry.increment("retries", "chunk/rounds_exhausted")
+        for index in chunk.indices:
+            if results[index] is None:
+                outcome = run_context(
+                    state, index, contexts[index], telemetry, policy,
+                    stage="parent",
+                )
+                results[index] = outcome.samples
+                if outcome.ok and on_result is not None:
+                    on_result(index, outcome.samples)
+    telemetry.increment("parallel", f"workers/{workers}")
+    telemetry.increment("parallel", "chunks", initial_chunks)
+    telemetry.increment("parallel", "rounds", rounds)
+    _backfill_missing(
+        state, contexts, results, telemetry, policy, on_result=on_result
+    )
     return results  # type: ignore[return-value]

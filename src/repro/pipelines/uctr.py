@@ -29,6 +29,8 @@ instrumented and bare runs also match.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.nlgen.corpus import build_parallel_corpus
 from repro.nlgen.model import NLGenerator, NLGeneratorConfig
@@ -41,6 +43,9 @@ from repro.programs.base import ProgramKind
 from repro.rng import make_rng, rng_from_key, spawn, spawn_key
 from repro.tables.context import TableContext
 from repro.telemetry import Telemetry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.retry import RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -200,8 +205,14 @@ class UCTR:
         budget: int | None = None,
         workers: int = 1,
         telemetry: Telemetry | None = None,
+        *,
+        retry: "RetryPolicy | None" = None,
+        checkpoint_dir: "str | Path | None" = None,
+        resume_from: "str | Path | None" = None,
+        checkpoint_every: int = 16,
+        strict_quarantine: bool = False,
     ) -> list[ReasoningSample]:
-        """Run Algorithm 1 over every context.
+        """Run Algorithm 1 over every context, fault-tolerantly.
 
         ``budget`` caps the total number of emitted samples; by default
         every context contributes ``samples_per_context``.  ``workers``
@@ -210,33 +221,149 @@ class UCTR:
         the serial path for a fixed seed.  Pass a ``telemetry`` sink to
         accumulate across calls; otherwise a fresh one is created and
         exposed as :attr:`last_telemetry`.
+
+        A context whose execution fails — an exception surviving the
+        ``retry`` policy, a worker killed under it, a blown deadline —
+        is *quarantined*: it contributes zero samples and a structured
+        record in ``telemetry.events("quarantine")`` (and the run
+        report), and the run continues.  ``strict_quarantine=True``
+        raises :class:`~repro.errors.QuarantinedContextError` instead.
+
+        ``checkpoint_dir`` streams every completed context to disk
+        (append + fsync, atomically-replaced manifest) so a crashed or
+        killed run loses at most the contexts in flight.
+        ``resume_from`` replays a checkpoint: completed contexts are
+        loaded byte-identically, previously quarantined ones stay
+        quarantined, and only the remainder is generated.  On
+        ``KeyboardInterrupt`` a final partial checkpoint is written
+        before the interrupt propagates.
         """
+        from repro.errors import CheckpointError, QuarantinedContextError
+        from repro.runtime import (
+            CheckpointManager,
+            QuarantineRecord,
+            RetryPolicy,
+            load_checkpoint,
+            record_quarantine,
+            run_context,
+            run_fingerprint,
+        )
+
         state = self.generation_state()
         telemetry = telemetry if telemetry is not None else Telemetry()
         self._last_telemetry = telemetry
-        out: list[ReasoningSample] = []
-        with telemetry.timer("generate"):
-            if workers > 1 and len(contexts) > 1:
-                from repro.parallel import generate_parallel
+        policy = retry if retry is not None else RetryPolicy()
+        fingerprint = run_fingerprint(state, contexts)
 
-                per_context = generate_parallel(
-                    state, contexts, workers, telemetry
+        results: list[list[ReasoningSample] | None] = [None] * len(contexts)
+        loaded = None
+        if resume_from is not None:
+            loaded = load_checkpoint(resume_from)
+            if loaded.fingerprint != fingerprint:
+                raise CheckpointError(
+                    "checkpoint at "
+                    f"{resume_from} belongs to a different run "
+                    f"({loaded.fingerprint} != {fingerprint}); refusing "
+                    "to splice unrelated samples"
                 )
-                for produced in per_context:
-                    out.extend(produced)
-            else:
-                for index, context in enumerate(contexts):
-                    if budget is not None and len(out) >= budget:
-                        break
-                    out.extend(
-                        generate_for_one_context(
-                            state, index, context, telemetry
-                        )
+            for index, samples in loaded.completed.items():
+                if 0 <= index < len(contexts):
+                    results[index] = samples
+            for record in loaded.quarantined:
+                record_quarantine(telemetry, record)
+                if 0 <= record.index < len(contexts):
+                    results[record.index] = []
+
+        manager = None
+        if checkpoint_dir is not None:
+            manager = CheckpointManager(
+                checkpoint_dir,
+                fingerprint=fingerprint,
+                total=len(contexts),
+                every=checkpoint_every,
+            )
+            same_dir = resume_from is not None and Path(
+                resume_from
+            ).resolve() == Path(checkpoint_dir).resolve()
+            manager.open(seed_from=loaded if same_dir else None)
+            if loaded is not None and not same_dir:
+                for index, samples in loaded.completed.items():
+                    manager.record(index, samples)
+                for record in loaded.quarantined:
+                    manager.quarantine(record)
+
+        def on_result(index: int, samples: list[ReasoningSample]) -> None:
+            if manager is not None:
+                manager.record(index, samples)
+
+        def file_quarantines() -> None:
+            if manager is not None:
+                for payload in telemetry.events("quarantine"):
+                    manager.quarantine(QuarantineRecord.from_json(payload))
+
+        try:
+            with telemetry.timer("generate"):
+                done = {
+                    index
+                    for index, value in enumerate(results)
+                    if value is not None
+                }
+                remaining = len(contexts) - len(done)
+                if workers > 1 and remaining > 1:
+                    from repro.parallel import generate_parallel
+
+                    computed = generate_parallel(
+                        state, contexts, workers, telemetry,
+                        policy=policy, on_result=on_result, skip=done,
                     )
+                    for index, produced in enumerate(computed):
+                        if results[index] is None:
+                            results[index] = produced
+                else:
+                    produced_so_far = sum(
+                        len(value) for value in results if value is not None
+                    )
+                    for index, context in enumerate(contexts):
+                        if results[index] is not None:
+                            continue
+                        if budget is not None and produced_so_far >= budget:
+                            break
+                        outcome = run_context(
+                            state, index, context, telemetry, policy,
+                            stage="serial",
+                        )
+                        results[index] = outcome.samples
+                        produced_so_far += len(outcome.samples)
+                        if outcome.ok:
+                            on_result(index, outcome.samples)
+        except KeyboardInterrupt:
+            if manager is not None:
+                file_quarantines()
+                manager.finalize(
+                    telemetry=telemetry.snapshot(), partial=True
+                )
+            raise
+        if manager is not None:
+            file_quarantines()
+            manager.finalize(telemetry=telemetry.snapshot(), partial=False)
+        out: list[ReasoningSample] = []
+        for value in results:
+            if value is not None:
+                out.extend(value)
         if budget is not None:
             out = out[:budget]
         for sample in out:
             telemetry.emitted(sample.provenance.get("pipeline", "unknown"))
+        if strict_quarantine:
+            records = telemetry.events("quarantine")
+            if records:
+                first = records[0]
+                raise QuarantinedContextError(
+                    index=first.get("index", -1),
+                    uid=first.get("uid", ""),
+                    reason=first.get("reason", "exception"),
+                    detail=first.get("detail", ""),
+                )
         return out
 
     def generate_for_context(

@@ -1,0 +1,253 @@
+"""Checkpoint/resume for generation runs: never lose completed work.
+
+Layout of a checkpoint directory::
+
+    <dir>/
+      manifest.json    # versioned summary, atomically replaced each flush
+      results.jsonl    # one line per completed context, append + fsync
+
+``results.jsonl`` is append-only: each completed context is written and
+fsynced immediately, so a SIGKILL can lose at most the context that was
+in flight (a torn final line is detected and dropped on load).  The
+manifest is rewritten atomically (temp file + ``os.replace``) every
+``every`` completions and at finalization; it carries a *fingerprint*
+binding the checkpoint to its run — seed-derived pipeline key, config,
+and the context uid sequence — so resuming against different inputs
+fails loudly with :class:`~repro.errors.CheckpointError` instead of
+silently splicing unrelated samples.
+
+Resume (:func:`load_checkpoint` → ``UCTR.generate(resume_from=...)``)
+replays completed contexts from disk byte-identically (samples
+round-trip through the same ``to_json``/``from_json`` pair used by
+:mod:`repro.io`) and re-executes only the remainder; previously
+quarantined contexts stay quarantined, their records carried forward
+into the resumed run's telemetry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.errors import CheckpointError
+from repro.fsio import atomic_write_text, fsync_handle
+from repro.pipelines.samples import ReasoningSample
+from repro.pipelines.uctr import GenerationState
+from repro.runtime.quarantine import QuarantineRecord
+from repro.tables.context import TableContext
+
+#: bump when the on-disk layout changes incompatibly.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+CHECKPOINT_KIND = "uctr-checkpoint"
+
+MANIFEST_NAME = "manifest.json"
+RESULTS_NAME = "results.jsonl"
+
+
+def run_fingerprint(
+    state: GenerationState, contexts: Sequence[TableContext]
+) -> str:
+    """A digest binding a checkpoint to (seed, config, context sequence)."""
+    payload = {
+        "pipeline_key": state.pipeline_key,
+        "config": asdict(state.config),
+        "uids": [context.uid for context in contexts],
+    }
+    text = json.dumps(payload, sort_keys=True, default=list)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:32]
+
+
+@dataclass
+class CheckpointData:
+    """Everything :func:`load_checkpoint` recovers from a directory."""
+
+    fingerprint: str
+    total: int
+    completed: dict[int, list[ReasoningSample]] = field(default_factory=dict)
+    quarantined: list[QuarantineRecord] = field(default_factory=list)
+    telemetry: dict[str, Any] | None = None
+    complete: bool = False
+
+    @property
+    def quarantined_indices(self) -> set[int]:
+        return {record.index for record in self.quarantined}
+
+
+def load_checkpoint(directory: str | Path) -> CheckpointData:
+    """Read a checkpoint directory back; tolerates a torn final line."""
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise CheckpointError(f"no checkpoint manifest in {directory}")
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise CheckpointError(
+            f"corrupt checkpoint manifest {manifest_path}: {error}"
+        ) from error
+    if manifest.get("kind") != CHECKPOINT_KIND:
+        raise CheckpointError(
+            f"{manifest_path} is not a {CHECKPOINT_KIND} manifest"
+        )
+    if manifest.get("schema_version") != CHECKPOINT_SCHEMA_VERSION:
+        raise CheckpointError(
+            "unsupported checkpoint schema_version "
+            f"{manifest.get('schema_version')!r}"
+        )
+    completed: dict[int, list[ReasoningSample]] = {}
+    results_path = directory / RESULTS_NAME
+    if results_path.exists():
+        with results_path.open("r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        for position, line in enumerate(lines):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                record = json.loads(stripped)
+            except json.JSONDecodeError as error:
+                if position == len(lines) - 1:
+                    break  # torn final line from a mid-write kill
+                raise CheckpointError(
+                    f"{results_path}:{position + 1}: corrupt result line "
+                    f"({error})"
+                ) from error
+            completed[int(record["index"])] = [
+                ReasoningSample.from_json(payload)
+                for payload in record["samples"]
+            ]
+    return CheckpointData(
+        fingerprint=manifest.get("fingerprint", ""),
+        total=int(manifest.get("contexts", 0)),
+        completed=completed,
+        quarantined=[
+            QuarantineRecord.from_json(payload)
+            for payload in manifest.get("quarantined", [])
+        ],
+        telemetry=manifest.get("telemetry"),
+        complete=bool(manifest.get("complete", False)),
+    )
+
+
+class CheckpointManager:
+    """Streams completed contexts to disk; survives SIGKILL at any point."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        fingerprint: str,
+        total: int,
+        every: int = 16,
+    ):
+        self.directory = Path(directory)
+        self.fingerprint = fingerprint
+        self.total = total
+        self.every = max(1, every)
+        self._completed: set[int] = set()
+        self._quarantined: dict[int, QuarantineRecord] = {}
+        self._since_flush = 0
+        self._handle = None
+
+    # -- lifecycle ----------------------------------------------------------
+    def open(self, seed_from: CheckpointData | None = None) -> "CheckpointManager":
+        """Create/continue the directory; ``seed_from`` resumes in place."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        mode = "a"
+        if seed_from is not None:
+            if seed_from.fingerprint != self.fingerprint:
+                raise CheckpointError(
+                    "checkpoint fingerprint mismatch: resuming "
+                    f"{seed_from.fingerprint} into run {self.fingerprint}"
+                )
+            self._completed = set(seed_from.completed)
+            self._quarantined = {
+                record.index: record for record in seed_from.quarantined
+            }
+        else:
+            # fresh run: discard any stale results from a prior run in
+            # the same directory (fingerprint may differ).
+            (self.directory / RESULTS_NAME).unlink(missing_ok=True)
+            mode = "w"
+        self._handle = (self.directory / RESULTS_NAME).open(
+            mode, encoding="utf-8"
+        )
+        self._write_manifest(complete=False)
+        return self
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # -- recording ----------------------------------------------------------
+    def record(self, index: int, samples: list[ReasoningSample]) -> None:
+        """Persist one completed context (append + fsync, crash-safe)."""
+        if self._handle is None:
+            raise CheckpointError("checkpoint manager is not open")
+        if index in self._completed:
+            return
+        line = json.dumps(
+            {
+                "index": index,
+                "samples": [sample.to_json() for sample in samples],
+            },
+            ensure_ascii=False,
+        )
+        self._handle.write(line + "\n")
+        fsync_handle(self._handle)
+        self._completed.add(index)
+        self._since_flush += 1
+        if self._since_flush >= self.every:
+            self._write_manifest(complete=False)
+
+    def quarantine(self, record: QuarantineRecord) -> None:
+        """Note a quarantined context (carried in the manifest)."""
+        self._quarantined[record.index] = record
+        self._since_flush += 1
+        if self._since_flush >= self.every:
+            self._write_manifest(complete=False)
+
+    def finalize(
+        self,
+        *,
+        telemetry: dict[str, Any] | None = None,
+        partial: bool = False,
+    ) -> Path:
+        """Write the closing manifest; ``partial`` marks an interrupted run."""
+        path = self._write_manifest(
+            complete=not partial, telemetry=telemetry
+        )
+        self.close()
+        return path
+
+    # -- internals ----------------------------------------------------------
+    def _write_manifest(
+        self,
+        *,
+        complete: bool,
+        telemetry: dict[str, Any] | None = None,
+    ) -> Path:
+        self._since_flush = 0
+        manifest = {
+            "schema_version": CHECKPOINT_SCHEMA_VERSION,
+            "kind": CHECKPOINT_KIND,
+            "fingerprint": self.fingerprint,
+            "contexts": self.total,
+            "completed": sorted(self._completed),
+            "quarantined": [
+                self._quarantined[index].to_json()
+                for index in sorted(self._quarantined)
+            ],
+            "complete": complete,
+        }
+        if telemetry is not None:
+            manifest["telemetry"] = telemetry
+        return atomic_write_text(
+            self.directory / MANIFEST_NAME,
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+        )

@@ -1,0 +1,171 @@
+"""Deterministic fault injection for exercising the runtime in tests.
+
+A :class:`FaultPlan` maps context indices to faults:
+
+``raise``
+    raise :class:`FaultInjectedError` inside the context's execution —
+    exercises per-context quarantine and (with ``attempts=N``) the
+    retry path, since the fault only fires while ``attempt <= N``.
+``kill``
+    ``os._exit`` the hosting process — exercises worker-death
+    detection, pool respawn, and chunk bisection.
+``slow``
+    sleep ``seconds`` before generating — exercises the per-context
+    deadline and the parent-side kill.
+``interrupt``
+    raise :class:`KeyboardInterrupt` — exercises the SIGINT
+    final-checkpoint path without sending a real signal.
+
+The plan travels to worker processes through the ``REPRO_FAULTS``
+environment variable (inherited by both ``fork`` and ``spawn``
+children), so nothing in the production pickle path changes.  One-shot
+faults use an ``once_path`` sentinel file created with ``O_EXCL``: the
+first process to claim it injects, every later attempt — in any process
+— passes clean.  This is test-only machinery: with the variable unset,
+:func:`inject` is a dictionary miss and two attribute reads.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import ReproError
+
+#: environment variable carrying the JSON-encoded plan to workers.
+FAULTS_ENV = "REPRO_FAULTS"
+
+
+class FaultInjectedError(ReproError):
+    """The error raised by ``raise``-kind injected faults."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault to inject for one context index."""
+
+    kind: str  # "raise" | "kill" | "slow" | "interrupt"
+    #: inject only while the 1-based attempt number is <= this
+    #: (None = every attempt).  ``attempts=1`` makes a transient fault
+    #: that a single retry clears.
+    attempts: int | None = None
+    #: sleep duration for ``slow`` faults.
+    seconds: float = 0.0
+    #: sentinel file making the fault fire at most once across processes.
+    once_path: str | None = None
+    #: exit status for ``kill`` faults (visible in pool diagnostics).
+    exit_code: int = 66
+
+    KINDS = ("raise", "kill", "slow", "interrupt")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+    def to_json(self) -> dict:
+        return {
+            "kind": self.kind,
+            "attempts": self.attempts,
+            "seconds": self.seconds,
+            "once_path": self.once_path,
+            "exit_code": self.exit_code,
+        }
+
+    @staticmethod
+    def from_json(payload: dict) -> "FaultSpec":
+        return FaultSpec(
+            kind=payload["kind"],
+            attempts=payload.get("attempts"),
+            seconds=payload.get("seconds", 0.0),
+            once_path=payload.get("once_path"),
+            exit_code=payload.get("exit_code", 66),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Context index → fault, JSON-serializable for the environment."""
+
+    specs: dict[int, FaultSpec] = field(default_factory=dict)
+
+    def for_context(self, index: int) -> FaultSpec | None:
+        return self.specs.get(index)
+
+    def to_json(self) -> dict:
+        return {str(i): spec.to_json() for i, spec in self.specs.items()}
+
+    @staticmethod
+    def from_json(payload: dict) -> "FaultPlan":
+        return FaultPlan(
+            {int(i): FaultSpec.from_json(s) for i, s in payload.items()}
+        )
+
+
+def install(plan: FaultPlan) -> None:
+    """Activate ``plan`` for this process and all future children."""
+    os.environ[FAULTS_ENV] = json.dumps(plan.to_json(), sort_keys=True)
+
+
+def clear() -> None:
+    """Deactivate fault injection."""
+    os.environ.pop(FAULTS_ENV, None)
+
+
+def active_plan() -> FaultPlan | None:
+    """The currently installed plan, or None."""
+    raw = os.environ.get(FAULTS_ENV)
+    if not raw:
+        return None
+    return FaultPlan.from_json(json.loads(raw))
+
+
+@contextmanager
+def injected(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Install ``plan`` for the duration of a ``with`` block."""
+    install(plan)
+    try:
+        yield plan
+    finally:
+        clear()
+
+
+def _claim_once(path: str) -> bool:
+    """Atomically claim a one-shot sentinel; True == we fire the fault."""
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+def inject(index: int, attempt: int = 1) -> None:
+    """Fire the installed fault for ``index``, if any.
+
+    Called by the runtime at the top of every context execution attempt.
+    No-op unless a plan is installed and names this index.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    spec = plan.for_context(index)
+    if spec is None:
+        return
+    if spec.attempts is not None and attempt > spec.attempts:
+        return
+    if spec.once_path is not None and not _claim_once(spec.once_path):
+        return
+    if spec.kind == "slow":
+        time.sleep(spec.seconds)
+        return
+    if spec.kind == "kill":
+        os._exit(spec.exit_code)
+    if spec.kind == "interrupt":
+        raise KeyboardInterrupt(f"injected interrupt at context {index}")
+    raise FaultInjectedError(
+        f"injected fault at context {index} (attempt {attempt})"
+    )

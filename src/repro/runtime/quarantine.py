@@ -1,0 +1,152 @@
+"""Per-context quarantine: isolate a poisoned context, keep the run.
+
+The paper's Algorithm 1 already treats failing *programs* as
+discard-and-continue filter signals; this module extends the same
+philosophy one level up, to whole contexts.  A context whose execution
+raises — after the retry policy is exhausted — is *quarantined*: the
+run records a structured :class:`QuarantineRecord` (index, uid,
+exception type, traceback digest, attempt count) in telemetry, emits
+zero samples for that context, and moves on.  Nothing else in the run
+is perturbed, because every context draws from its own RNG stream.
+
+Retries use a scratch :class:`~repro.telemetry.Telemetry` per attempt
+and merge only the *successful* attempt into the caller's sink, so a
+context that fails twice and succeeds on the third try contributes
+exactly one context's worth of attempt/reject counters — the
+``attempts == successes + rejects`` reconciliation stays exact.  Failed
+attempts are tallied separately in the ``retries`` section.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import traceback
+from dataclasses import dataclass
+
+from repro.pipelines.samples import ReasoningSample
+from repro.pipelines.uctr import GenerationState, generate_for_one_context
+from repro.runtime import faults
+from repro.runtime.retry import RetryPolicy, run_with_retry
+from repro.tables.context import TableContext
+from repro.telemetry import Telemetry
+
+
+def traceback_digest(error: BaseException, length: int = 12) -> str:
+    """A short stable digest of an exception's traceback text."""
+    text = "".join(
+        traceback.format_exception(type(error), error, error.__traceback__)
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:length]
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """One quarantined context, as it appears in telemetry and reports."""
+
+    index: int
+    uid: str
+    reason: str  # "exception" | "worker_death" | "timeout"
+    error: str = ""  # exception type name, when reason == "exception"
+    detail: str = ""  # first line of the exception message
+    digest: str = ""  # traceback digest, for grouping repeat offenders
+    attempts: int = 0
+    stage: str = "serial"  # "serial" | "worker" | "parent"
+
+    def to_json(self) -> dict:
+        return {
+            "index": self.index,
+            "uid": self.uid,
+            "reason": self.reason,
+            "error": self.error,
+            "detail": self.detail,
+            "digest": self.digest,
+            "attempts": self.attempts,
+            "stage": self.stage,
+        }
+
+    @staticmethod
+    def from_json(payload: dict) -> "QuarantineRecord":
+        return QuarantineRecord(
+            index=int(payload["index"]),
+            uid=payload.get("uid", ""),
+            reason=payload.get("reason", "exception"),
+            error=payload.get("error", ""),
+            detail=payload.get("detail", ""),
+            digest=payload.get("digest", ""),
+            attempts=int(payload.get("attempts", 0)),
+            stage=payload.get("stage", "serial"),
+        )
+
+
+@dataclass(frozen=True)
+class ContextOutcome:
+    """Result of executing one context: samples, or a quarantine record."""
+
+    index: int
+    samples: list[ReasoningSample]
+    quarantine: QuarantineRecord | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.quarantine is None
+
+
+def record_quarantine(telemetry: Telemetry, record: QuarantineRecord) -> None:
+    """File a quarantine record in a telemetry sink (event + drop)."""
+    label = record.error or record.reason
+    telemetry.drop("runtime", f"quarantine:{label}")
+    telemetry.event("quarantine", record.to_json())
+
+
+def run_context(
+    state: GenerationState,
+    index: int,
+    context: TableContext,
+    telemetry: Telemetry,
+    policy: RetryPolicy | None = None,
+    *,
+    stage: str = "serial",
+) -> ContextOutcome:
+    """Algorithm 1 on one context, wrapped in retry + quarantine.
+
+    Never raises for an :class:`Exception` from the context — the
+    failure becomes a :class:`QuarantineRecord` and an empty sample
+    list.  ``KeyboardInterrupt`` propagates so checkpointing can land.
+    """
+    policy = policy or RetryPolicy()
+    attempts_used = 0
+
+    def attempt_once(attempt: int) -> tuple[list[ReasoningSample], Telemetry]:
+        nonlocal attempts_used
+        attempts_used = attempt
+        faults.inject(index, attempt)
+        scratch = Telemetry()
+        samples = generate_for_one_context(state, index, context, scratch)
+        return samples, scratch
+
+    def on_retry(attempt: int, error: BaseException) -> None:
+        telemetry.increment("retries", f"context/{type(error).__name__}")
+
+    try:
+        samples, scratch = run_with_retry(
+            attempt_once,
+            policy,
+            jitter_key=state.pipeline_key,
+            stream=f"context/{index}",
+            on_retry=on_retry,
+        )
+    except Exception as error:
+        record = QuarantineRecord(
+            index=index,
+            uid=context.uid,
+            reason="exception",
+            error=type(error).__name__,
+            detail=str(error).splitlines()[0] if str(error) else "",
+            digest=traceback_digest(error),
+            attempts=attempts_used,
+            stage=stage,
+        )
+        record_quarantine(telemetry, record)
+        return ContextOutcome(index=index, samples=[], quarantine=record)
+    telemetry.merge(scratch)
+    return ContextOutcome(index=index, samples=samples, quarantine=None)

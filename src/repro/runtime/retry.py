@@ -1,0 +1,111 @@
+"""Retry with exponential backoff, deterministic jitter, and a deadline.
+
+The generation runtime retries two kinds of work: a context whose
+execution raised (the fault may be transient — an injected test fault,
+a flaky resource) and a chunk lost to worker-process death.  Both use
+the same :class:`RetryPolicy`.
+
+Jitter is *deterministic*: instead of ``random.random()`` it draws from
+a named stream derived from the run's RNG key
+(:func:`repro.rng.rng_from_key`), so two runs of the same seed back off
+by exactly the same amounts and the retry schedule never perturbs the
+samples.  The policy is a frozen dataclass and pickles cheaply, which is
+how it travels to worker processes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.rng import rng_from_key
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry, how long to wait, when to give up.
+
+    ``deadline`` is a per-unit wall-clock budget in seconds: retries
+    stop (and, in the parallel runtime, a running chunk is killed) once
+    it is exhausted.  ``None`` means no time limit.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff must be non-negative")
+
+    def delay(self, attempt: int, jitter: float = 1.0) -> float:
+        """Seconds to sleep after failed attempt number ``attempt``."""
+        raw = min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+        return raw * jitter
+
+    def chunk_deadline(self, size: int) -> float | None:
+        """The wall-clock budget for a chunk of ``size`` contexts."""
+        if self.deadline is None:
+            return None
+        return self.deadline * max(1, size)
+
+
+def deterministic_jitter(key: str, stream: str, attempt: int) -> float:
+    """A jitter factor in ``[0.5, 1.0)`` that depends only on its name.
+
+    Same ``(key, stream, attempt)`` → same factor, on any process or
+    platform; distinct streams decorrelate so a thundering herd of
+    retrying chunks spreads out.
+    """
+    rng = rng_from_key(key, "retry-jitter", stream, str(attempt))
+    return 0.5 + rng.random() / 2
+
+
+def run_with_retry(
+    fn: Callable[[int], T],
+    policy: RetryPolicy,
+    *,
+    jitter_key: str = "",
+    stream: str = "",
+    sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.monotonic,
+    on_retry: Callable[[int, BaseException], None] | None = None,
+) -> T:
+    """Call ``fn(attempt)`` until it succeeds or the policy is spent.
+
+    ``fn`` receives the 1-based attempt number (fault-injection hooks
+    are attempt-aware).  Only :class:`Exception` is retried —
+    ``KeyboardInterrupt``/``SystemExit`` always propagate so Ctrl-C
+    still lands a final checkpoint.  The last error is re-raised when
+    attempts or the deadline run out.
+    """
+    started = clock()
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return fn(attempt)
+        except Exception as error:
+            if attempt >= policy.max_attempts:
+                raise
+            if (
+                policy.deadline is not None
+                and clock() - started >= policy.deadline
+            ):
+                raise
+            if on_retry is not None:
+                on_retry(attempt, error)
+            factor = (
+                deterministic_jitter(jitter_key, stream, attempt)
+                if jitter_key
+                else 1.0
+            )
+            pause = policy.delay(attempt, factor)
+            if pause > 0:
+                sleep(pause)

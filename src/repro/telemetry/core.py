@@ -33,12 +33,23 @@ SECTIONS = (
 )
 
 
+def _event_sort_key(event: dict[str, Any]) -> tuple:
+    """Deterministic ordering regardless of worker completion order."""
+    return (
+        str(event.get("kind", "")),
+        event.get("index", -1) if isinstance(event.get("index"), int) else -1,
+        str(event.get("uid", "")),
+        str(event.get("reason", "")),
+    )
+
+
 class Telemetry:
-    """Additive counters + wall-clock timers for one generation run."""
+    """Additive counters + wall-clock timers + structured events."""
 
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = defaultdict(Counter)
         self._timers: dict[str, dict[str, float]] = {}
+        self._events: list[dict[str, Any]] = []
 
     # -- generic counters ---------------------------------------------------
     def increment(self, section: str, key: str, amount: int = 1) -> None:
@@ -93,6 +104,25 @@ class Telemetry:
         """A sample that survived the final budget trim."""
         self.increment("emitted", pipeline, amount)
 
+    # -- structured events --------------------------------------------------
+    def event(self, kind: str, payload: dict[str, Any]) -> None:
+        """Record a structured event (e.g. a quarantine record).
+
+        Unlike counters, events keep their full payload; they ride along
+        in :meth:`snapshot`/:meth:`merge` so workers can ship structured
+        records (not just counts) back to the parent.
+        """
+        self._events.append({"kind": kind, **payload})
+
+    def events(self, kind: str | None = None) -> list[dict[str, Any]]:
+        """All events (optionally of one kind), in a deterministic order."""
+        found = [
+            dict(event)
+            for event in self._events
+            if kind is None or event.get("kind") == kind
+        ]
+        return sorted(found, key=_event_sort_key)
+
     # -- timers -------------------------------------------------------------
     @contextmanager
     def timer(self, name: str) -> Iterator[None]:
@@ -113,8 +143,8 @@ class Telemetry:
 
     # -- snapshot / merge ---------------------------------------------------
     def snapshot(self) -> dict[str, Any]:
-        """A JSON-compatible dump of every counter and timer."""
-        return {
+        """A JSON-compatible dump of every counter, timer, and event."""
+        out: dict[str, Any] = {
             "counters": {
                 section: dict(counter)
                 for section, counter in self._counters.items()
@@ -124,6 +154,9 @@ class Telemetry:
                 name: dict(stat) for name, stat in self._timers.items()
             },
         }
+        if self._events:
+            out["events"] = self.events()
+        return out
 
     def merge(self, snapshot: "Telemetry | dict[str, Any]") -> "Telemetry":
         """Fold another sink (or its :meth:`snapshot`) into this one."""
@@ -136,6 +169,9 @@ class Telemetry:
             self.add_time(
                 name, stat.get("seconds", 0.0), int(stat.get("calls", 0))
             )
+        self._events.extend(
+            dict(event) for event in snapshot.get("events", [])
+        )
         return self
 
     @staticmethod

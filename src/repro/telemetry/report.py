@@ -2,9 +2,16 @@
 
 ``repro generate --report report.json`` (and the experiments runner)
 serializes a :class:`Telemetry` sink plus run metadata into a stable,
-versioned schema.  The invariant consumers may rely on: the per-pipeline
-``emitted`` counts sum to ``samples_written``, because both are tallied
-from the *final* sample list after any global budget trim.
+versioned schema.  The invariants consumers may rely on: the
+per-pipeline ``emitted`` counts sum to ``samples_written`` (both are
+tallied from the *final* sample list after any global budget trim), and
+per pipeline ``attempts == successes + rejects`` — every sampler
+attempt ends in exactly one outcome, retried attempts included, because
+the runtime merges only the successful attempt's counters.
+
+Schema version 2 adds the resilience sections: ``quarantine`` (the
+structured records of contexts isolated by the fault-tolerant runtime)
+and ``retries`` (how often contexts, chunks, and pools were retried).
 """
 
 from __future__ import annotations
@@ -13,10 +20,11 @@ import json
 from pathlib import Path
 from typing import Any
 
+from repro.fsio import atomic_write_text
 from repro.telemetry.core import Telemetry
 
 #: bump when the report layout changes incompatibly.
-REPORT_SCHEMA_VERSION = 1
+REPORT_SCHEMA_VERSION = 2
 
 #: the ``kind`` discriminator written into every report.
 REPORT_KIND = "uctr-generation-report"
@@ -50,6 +58,7 @@ def build_report(
             },
             "reject_reasons": telemetry.keys_under("rejects", name),
         }
+    quarantined = telemetry.events("quarantine")
     report: dict[str, Any] = {
         "schema_version": REPORT_SCHEMA_VERSION,
         "kind": REPORT_KIND,
@@ -60,6 +69,11 @@ def build_report(
         "pipelines": pipelines,
         "drops": telemetry.section("drops"),
         "shortfalls": telemetry.section("shortfalls"),
+        "quarantine": {
+            "count": len(quarantined),
+            "contexts": quarantined,
+        },
+        "retries": telemetry.section("retries"),
         "timers": {
             name: dict(stat)
             for name, stat in telemetry.snapshot()["timers"].items()
@@ -74,13 +88,10 @@ def build_report(
 
 
 def write_report(path: str | Path, report: dict[str, Any]) -> Path:
-    """Write a report dict as pretty-printed JSON; returns the path."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(
-        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    """Atomically write a report dict as pretty JSON; returns the path."""
+    return atomic_write_text(
+        path, json.dumps(report, indent=2, sort_keys=True) + "\n"
     )
-    return path
 
 
 def load_report(path: str | Path) -> dict[str, Any]:
@@ -104,6 +115,29 @@ def validate_report(report: dict[str, Any]) -> list[str]:
         for field in ("attempts", "successes", "rejects", "emitted"):
             if not isinstance(stats.get(field), int):
                 problems.append(f"pipelines[{name!r}].{field} missing")
+        attempts = stats.get("attempts")
+        successes = stats.get("successes")
+        rejects = stats.get("rejects")
+        if (
+            isinstance(attempts, int)
+            and isinstance(successes, int)
+            and isinstance(rejects, int)
+            and attempts != successes + rejects
+        ):
+            problems.append(
+                f"pipelines[{name!r}] does not reconcile: "
+                f"attempts={attempts} != successes+rejects="
+                f"{successes + rejects}"
+            )
+    quarantine = report.get("quarantine")
+    if quarantine is not None:
+        contexts_list = quarantine.get("contexts")
+        if not isinstance(contexts_list, list) or quarantine.get(
+            "count"
+        ) != len(contexts_list):
+            problems.append(
+                "quarantine.count does not match quarantine.contexts"
+            )
     written = report.get("samples_written")
     if isinstance(written, int):
         total = sum(stats.get("emitted", 0) for stats in pipelines.values())
@@ -129,6 +163,22 @@ def render_summary(report: dict[str, Any]) -> str:
             f"  {name:<12} emitted={stats['emitted']:<5} "
             f"attempts={attempts:<6} success-rate={rate:.0%}"
         )
+    quarantine = report.get("quarantine") or {}
+    if quarantine.get("count"):
+        reasons = sorted(
+            {
+                entry.get("error") or entry.get("reason", "?")
+                for entry in quarantine.get("contexts", [])
+            }
+        )
+        lines.append(
+            f"  quarantined: {quarantine['count']} context(s) "
+            f"({', '.join(reasons)})"
+        )
+    retries = report.get("retries") or {}
+    if retries:
+        total = sum(retries.values())
+        lines.append(f"  retries: {total} ({', '.join(sorted(retries))})")
     rate = report.get("samples_per_second")
     if rate is not None:
         lines.append(f"  throughput: {rate} samples/sec")

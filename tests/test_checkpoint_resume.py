@@ -1,0 +1,346 @@
+"""Checkpoint/resume: crash-safe persistence and byte-identical replay.
+
+The acceptance criterion from the runtime design: a run interrupted at
+any point — cooperative (SIGINT) or violent (SIGKILL of the whole
+process) — resumes from its checkpoint directory and produces output
+byte-identical to an uninterrupted run, minus only contexts that were
+quarantined.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.io import save_contexts
+from repro.pipelines import UCTR, UCTRConfig
+from repro.runtime import (
+    CheckpointManager,
+    QuarantineRecord,
+    RetryPolicy,
+    load_checkpoint,
+    run_fingerprint,
+)
+from repro.runtime.checkpoint import (
+    CHECKPOINT_KIND,
+    MANIFEST_NAME,
+    RESULTS_NAME,
+)
+from repro.runtime.faults import FAULTS_ENV, FaultPlan, FaultSpec, injected
+from repro.tables import Paragraph, Table, TableContext
+
+
+def _context(i: int) -> TableContext:
+    table = Table.from_rows(
+        header=["player", "team", "points"],
+        raw_rows=[
+            [f"p{i}{j}", f"team{j % 3}", str(10 + 3 * j + i)]
+            for j in range(5)
+        ],
+        title=f"stats {i}",
+        row_name_column="player",
+    )
+    text = f"For newcomer{i} , the team is team9 and the points is {20 + i} ."
+    return TableContext(
+        table=table, uid=f"ctx{i}", paragraphs=(Paragraph(text=text),)
+    )
+
+
+def _fingerprint(samples):
+    return json.dumps([s.to_json() for s in samples], sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def contexts():
+    return [_context(i) for i in range(6)]
+
+
+@pytest.fixture(scope="module")
+def framework(contexts):
+    framework = UCTR(
+        UCTRConfig(program_kinds=("sql",), samples_per_context=4, seed=7)
+    )
+    return framework.fit(contexts)
+
+
+@pytest.fixture(scope="module")
+def baseline(framework, contexts):
+    return framework.generate(contexts, workers=1)
+
+
+class TestCheckpointManager:
+    def _manager(self, tmp_path, fingerprint="fp", total=4, every=1):
+        return CheckpointManager(
+            tmp_path / "ckpt", fingerprint=fingerprint, total=total,
+            every=every,
+        )
+
+    def test_record_load_round_trip(self, tmp_path, baseline):
+        manager = self._manager(tmp_path).open()
+        per_context = baseline[:2]
+        manager.record(0, per_context)
+        manager.record(3, [])
+        manager.finalize(partial=False)
+        data = load_checkpoint(tmp_path / "ckpt")
+        assert data.fingerprint == "fp"
+        assert data.total == 4
+        assert data.complete is True
+        assert sorted(data.completed) == [0, 3]
+        assert _fingerprint(data.completed[0]) == _fingerprint(per_context)
+
+    def test_duplicate_record_ignored(self, tmp_path, baseline):
+        manager = self._manager(tmp_path).open()
+        manager.record(0, baseline[:1])
+        manager.record(0, baseline[:2])  # already recorded: dropped
+        manager.finalize(partial=False)
+        data = load_checkpoint(tmp_path / "ckpt")
+        assert len(data.completed[0]) == 1
+
+    def test_partial_finalize_not_complete(self, tmp_path):
+        manager = self._manager(tmp_path).open()
+        manager.record(1, [])
+        manager.finalize(partial=True)
+        assert load_checkpoint(tmp_path / "ckpt").complete is False
+
+    def test_quarantine_carried_in_manifest(self, tmp_path):
+        manager = self._manager(tmp_path).open()
+        record = QuarantineRecord(
+            index=2, uid="ctx2", reason="worker_death", attempts=3,
+            stage="parent",
+        )
+        manager.quarantine(record)
+        manager.finalize(partial=True)
+        data = load_checkpoint(tmp_path / "ckpt")
+        assert data.quarantined == [record]
+        assert data.quarantined_indices == {2}
+
+    def test_fingerprint_mismatch_refused(self, tmp_path):
+        manager = self._manager(tmp_path, fingerprint="aaa").open()
+        manager.finalize(partial=True)
+        loaded = load_checkpoint(tmp_path / "ckpt")
+        fresh = self._manager(tmp_path, fingerprint="bbb")
+        with pytest.raises(CheckpointError, match="fingerprint"):
+            fresh.open(seed_from=loaded)
+
+    def test_fresh_open_discards_stale_results(self, tmp_path, baseline):
+        manager = self._manager(tmp_path).open()
+        manager.record(0, baseline[:1])
+        manager.finalize(partial=True)
+        self._manager(tmp_path).open().finalize(partial=True)
+        assert load_checkpoint(tmp_path / "ckpt").completed == {}
+
+    def test_torn_final_line_tolerated(self, tmp_path, baseline):
+        manager = self._manager(tmp_path).open()
+        manager.record(0, baseline[:1])
+        manager.record(1, baseline[1:2])
+        manager.finalize(partial=True)
+        results = tmp_path / "ckpt" / RESULTS_NAME
+        with results.open("a", encoding="utf-8") as handle:
+            handle.write('{"index": 2, "samples": [{"tr')  # mid-write kill
+        data = load_checkpoint(tmp_path / "ckpt")
+        assert sorted(data.completed) == [0, 1]
+
+    def test_corrupt_interior_line_rejected(self, tmp_path, baseline):
+        manager = self._manager(tmp_path).open()
+        manager.record(0, baseline[:1])
+        manager.finalize(partial=True)
+        results = tmp_path / "ckpt" / RESULTS_NAME
+        good = results.read_text(encoding="utf-8")
+        results.write_text("not json\n" + good, encoding="utf-8")
+        with pytest.raises(CheckpointError, match=":1:"):
+            load_checkpoint(tmp_path / "ckpt")
+
+    def test_no_temp_files_left_behind(self, tmp_path, baseline):
+        manager = self._manager(tmp_path).open()
+        manager.record(0, baseline[:1])
+        manager.finalize(partial=False)
+        leftovers = list((tmp_path / "ckpt").glob("*.tmp"))
+        assert leftovers == []
+
+
+class TestLoadErrors:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            load_checkpoint(tmp_path)
+
+    def test_corrupt_manifest(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text("{nope", encoding="utf-8")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            load_checkpoint(tmp_path)
+
+    def test_wrong_kind(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text(
+            json.dumps({"kind": "something-else", "schema_version": 1}),
+            encoding="utf-8",
+        )
+        with pytest.raises(CheckpointError, match=CHECKPOINT_KIND):
+            load_checkpoint(tmp_path)
+
+    def test_wrong_schema_version(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text(
+            json.dumps({"kind": CHECKPOINT_KIND, "schema_version": 999}),
+            encoding="utf-8",
+        )
+        with pytest.raises(CheckpointError, match="schema_version"):
+            load_checkpoint(tmp_path)
+
+
+class TestGenerateWithCheckpoint:
+    def test_full_run_writes_complete_checkpoint(
+        self, framework, contexts, baseline, tmp_path
+    ):
+        samples = framework.generate(
+            contexts, workers=1, checkpoint_dir=tmp_path / "ckpt",
+            checkpoint_every=2,
+        )
+        assert _fingerprint(samples) == _fingerprint(baseline)
+        data = load_checkpoint(tmp_path / "ckpt")
+        assert data.complete is True
+        assert sorted(data.completed) == list(range(len(contexts)))
+        state = framework.generation_state()
+        assert data.fingerprint == run_fingerprint(state, contexts)
+
+    def test_resume_from_complete_run_is_identical(
+        self, framework, contexts, baseline, tmp_path
+    ):
+        framework.generate(
+            contexts, workers=1, checkpoint_dir=tmp_path / "ckpt"
+        )
+        resumed = framework.generate(
+            contexts, workers=1, resume_from=tmp_path / "ckpt",
+            checkpoint_dir=tmp_path / "ckpt",
+        )
+        assert _fingerprint(resumed) == _fingerprint(baseline)
+
+    def test_resume_against_different_contexts_refused(
+        self, framework, contexts, tmp_path
+    ):
+        framework.generate(
+            contexts, workers=1, checkpoint_dir=tmp_path / "ckpt"
+        )
+        with pytest.raises(CheckpointError, match="different run"):
+            framework.generate(
+                contexts[:-1], workers=1, resume_from=tmp_path / "ckpt"
+            )
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_interrupted_run_resumes_byte_identically(
+        self, framework, contexts, baseline, tmp_path, workers
+    ):
+        """Satellite (d): faulted + resumed == uninterrupted, per worker
+        count."""
+        ckpt = tmp_path / f"ckpt-w{workers}"
+        sentinel = str(tmp_path / f"interrupt-w{workers}")
+        plan = FaultPlan({
+            3: FaultSpec(kind="interrupt", once_path=sentinel)
+        })
+        with injected(plan):
+            with pytest.raises(KeyboardInterrupt):
+                framework.generate(
+                    contexts, workers=workers, checkpoint_dir=ckpt,
+                    checkpoint_every=1,
+                    retry=RetryPolicy(max_attempts=2, backoff_base=0.0),
+                )
+            data = load_checkpoint(ckpt)
+            assert data.complete is False
+            assert len(data.completed) < len(contexts)
+            # the sentinel is claimed: the resumed run passes clean
+            resumed = framework.generate(
+                contexts, workers=workers, resume_from=ckpt,
+                checkpoint_dir=ckpt,
+            )
+        assert _fingerprint(resumed) == _fingerprint(baseline)
+        assert load_checkpoint(ckpt).complete is True
+
+    def test_resume_keeps_quarantined_contexts_quarantined(
+        self, framework, contexts, baseline, tmp_path
+    ):
+        ckpt = tmp_path / "ckpt"
+        with injected(FaultPlan({2: FaultSpec(kind="raise")})):
+            framework.generate(
+                contexts, workers=1, checkpoint_dir=ckpt,
+                retry=RetryPolicy(max_attempts=2, backoff_base=0.0),
+            )
+        # resume with no faults installed: ctx2 must NOT be regenerated
+        resumed = framework.generate(
+            contexts, workers=1, resume_from=ckpt, checkpoint_dir=ckpt,
+        )
+        expected = [s for s in baseline if not s.uid.startswith("ctx2-")]
+        assert _fingerprint(resumed) == _fingerprint(expected)
+        events = framework.last_telemetry.events("quarantine")
+        assert [e["index"] for e in events] == [2]
+
+
+class TestKillDashNine:
+    def test_sigkilled_cli_run_resumes_byte_identically(
+        self, framework, contexts, baseline, tmp_path
+    ):
+        """The acceptance test: SIGKILL mid-run, resume, same bytes."""
+        contexts_path = tmp_path / "ctx.jsonl"
+        save_contexts(contexts_path, contexts)
+        ckpt = tmp_path / "ckpt"
+        out = tmp_path / "synth.jsonl"
+        argv = [
+            sys.executable, "-m", "repro.cli", "generate",
+            str(contexts_path), "--out", str(out),
+            "--kinds", "sql", "--per-context", "4", "--seed", "7",
+            "--checkpoint-dir", str(ckpt), "--checkpoint-every", "1",
+        ]
+        # slow every context down so the kill lands mid-run
+        plan = FaultPlan({
+            i: FaultSpec(kind="slow", seconds=0.3)
+            for i in range(len(contexts))
+        })
+        env = dict(os.environ)
+        env[FAULTS_ENV] = json.dumps(plan.to_json(), sort_keys=True)
+        env["PYTHONPATH"] = str(
+            Path(__file__).resolve().parent.parent / "src"
+        )
+        process = subprocess.Popen(
+            argv, env=env, stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            results = ckpt / RESULTS_NAME
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if process.poll() is not None:
+                    break  # finished before we could kill it
+                if results.exists() and len(
+                    results.read_text(encoding="utf-8").splitlines()
+                ) >= 2:
+                    break
+                time.sleep(0.05)
+            if process.poll() is None:
+                process.send_signal(signal.SIGKILL)
+            process.wait(timeout=30)
+        finally:
+            if process.poll() is None:  # pragma: no cover - safety net
+                process.kill()
+                process.wait()
+        # some progress must have been persisted before the kill
+        data = load_checkpoint(ckpt)
+        assert data.completed
+        # resume in-process (no faults) and compare bytes
+        from repro.cli import main as cli_main
+
+        code = cli_main([
+            "generate", str(contexts_path), "--out", str(out),
+            "--kinds", "sql", "--per-context", "4", "--seed", "7",
+            "--checkpoint-dir", str(ckpt), "--resume",
+        ])
+        assert code == 0
+        clean = tmp_path / "clean.jsonl"
+        assert cli_main([
+            "generate", str(contexts_path), "--out", str(clean),
+            "--kinds", "sql", "--per-context", "4", "--seed", "7",
+        ]) == 0
+        assert out.read_text(encoding="utf-8") == clean.read_text(
+            encoding="utf-8"
+        )

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.errors import DatasetError
+from repro.errors import DatasetError, FileFormatError
 from repro.io import (
     load_contexts,
     load_samples,
@@ -73,6 +73,57 @@ class TestJsonl:
         path = tmp_path / "deep" / "nested" / "x.jsonl"
         write_jsonl(path, [{"a": 1}])
         assert path.exists()
+
+    def test_read_non_object_line_reports_line(self, tmp_path):
+        path = tmp_path / "list.jsonl"
+        path.write_text('{"ok": 1}\n[1, 2]\n')
+        with pytest.raises(FileFormatError) as exc:
+            list(read_jsonl(path))
+        assert exc.value.line_number == 2
+        assert ":2:" in str(exc.value)
+
+    def test_format_errors_are_dataset_errors(self, tmp_path):
+        # callers that catch DatasetError keep working
+        assert issubclass(FileFormatError, DatasetError)
+        with pytest.raises(FileFormatError):
+            list(read_jsonl(tmp_path / "nope.jsonl"))
+
+
+class TestAtomicWrites:
+    def test_failed_write_leaves_original_intact(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        write_jsonl(path, [{"keep": 1}])
+        before = path.read_text(encoding="utf-8")
+
+        def poisoned():
+            yield {"partial": 1}
+            raise RuntimeError("source died mid-iteration")
+
+        with pytest.raises(RuntimeError):
+            write_jsonl(path, poisoned())
+        assert path.read_text(encoding="utf-8") == before
+
+    def test_failed_write_leaves_no_temp_file(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+
+        def poisoned():
+            yield {"partial": 1}
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            write_jsonl(path, poisoned())
+        assert list(tmp_path.iterdir()) == []
+
+    def test_successful_write_leaves_no_temp_file(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        write_jsonl(path, [{"a": 1}])
+        assert [p.name for p in tmp_path.iterdir()] == ["data.jsonl"]
+
+    def test_overwrite_is_all_or_nothing(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        write_jsonl(path, [{"old": 1}])
+        write_jsonl(path, [{"new": 1}, {"new": 2}])
+        assert list(read_jsonl(path)) == [{"new": 1}, {"new": 2}]
 
 
 class TestCli:
@@ -205,3 +256,38 @@ class TestCliReport:
             return out_path.read_text()
 
         assert run(1, "serial.jsonl") == run(2, "parallel.jsonl")
+
+
+class TestCliCheckpoint:
+    def test_resume_requires_checkpoint_dir(self, tmp_path, capsys):
+        assert cli_main([
+            "generate", str(tmp_path / "ctx.jsonl"),
+            "--out", str(tmp_path / "o.jsonl"),
+            "--resume",
+        ]) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_checkpoint_then_resume_matches_plain_run(
+        self, tmp_path, players_context, finance_context
+    ):
+        contexts_path = tmp_path / "ctx.jsonl"
+        save_contexts(contexts_path, [players_context, finance_context])
+        common = [
+            "generate", str(contexts_path),
+            "--kinds", "sql", "--per-context", "4", "--seed", "9",
+        ]
+        plain = tmp_path / "plain.jsonl"
+        assert cli_main(common + ["--out", str(plain)]) == 0
+        ckpt = tmp_path / "ckpt"
+        first = tmp_path / "first.jsonl"
+        assert cli_main(
+            common + ["--out", str(first), "--checkpoint-dir", str(ckpt),
+                      "--checkpoint-every", "1"]
+        ) == 0
+        resumed = tmp_path / "resumed.jsonl"
+        assert cli_main(
+            common + ["--out", str(resumed), "--checkpoint-dir", str(ckpt),
+                      "--resume"]
+        ) == 0
+        assert first.read_text() == plain.read_text()
+        assert resumed.read_text() == plain.read_text()

@@ -5,8 +5,14 @@ import json
 import pytest
 
 import repro.parallel as parallel
-from repro.parallel import generate_parallel, pick_start_method, shard_indices
+from repro.parallel import (
+    _backfill_missing,
+    generate_parallel,
+    pick_start_method,
+    shard_indices,
+)
 from repro.pipelines import UCTR, UCTRConfig
+from repro.runtime import RetryPolicy
 from repro.tables import Paragraph, Table, TableContext
 from repro.telemetry import Telemetry
 
@@ -126,3 +132,79 @@ class TestExecutorPlumbing:
         )
         assert len(results) == 1
         assert results[0]
+
+    def test_skip_indices_come_back_empty(self, framework, contexts):
+        telemetry = Telemetry()
+        results = generate_parallel(
+            framework.generation_state(), contexts, 2, telemetry,
+            skip=(0, 4),
+        )
+        assert results[0] == [] and results[4] == []
+        serial = generate_parallel(
+            framework.generation_state(), contexts, 1, Telemetry(),
+            skip=(0, 4),
+        )
+        assert _fingerprint(
+            [s for produced in results for s in produced]
+        ) == _fingerprint([s for produced in serial for s in produced])
+
+    def test_on_result_fires_once_per_context(self, framework, contexts):
+        seen = []
+        generate_parallel(
+            framework.generation_state(), contexts, 2, Telemetry(),
+            on_result=lambda index, samples: seen.append(index),
+        )
+        assert sorted(seen) == list(range(len(contexts)))
+
+
+class TestBackfill:
+    """The safety net under the pool driver (no more silent chunk loss)."""
+
+    def test_missing_indices_regenerated_and_counted(
+        self, framework, contexts
+    ):
+        state = framework.generation_state()
+        serial = generate_parallel(state, contexts, 1, Telemetry())
+        results = list(serial)
+        results[1] = None
+        results[4] = None  # simulate chunks the rounds never filled
+        telemetry = Telemetry()
+        filled = []
+        missing = _backfill_missing(
+            state, contexts, results, telemetry, RetryPolicy(),
+            on_result=lambda index, samples: filled.append(index),
+        )
+        assert missing == [1, 4]
+        assert filled == [1, 4]
+        # regenerated in-process, byte-identical to the serial output
+        assert _fingerprint(results[1]) == _fingerprint(serial[1])
+        assert _fingerprint(results[4]) == _fingerprint(serial[4])
+        # counted exactly once per missing context, never silently
+        assert telemetry.count("retries", "backfill/missing_chunk") == 2
+
+    def test_nothing_missing_is_a_noop(self, framework, contexts):
+        state = framework.generation_state()
+        results = generate_parallel(state, contexts, 1, Telemetry())
+        telemetry = Telemetry()
+        assert _backfill_missing(
+            state, contexts, results, telemetry, RetryPolicy()
+        ) == []
+        assert telemetry.count("retries") == 0
+
+    def test_backfill_quarantines_poisoned_context(
+        self, framework, contexts
+    ):
+        from repro.runtime.faults import FaultPlan, FaultSpec, injected
+
+        state = framework.generation_state()
+        results = [[] for _ in contexts]
+        results[2] = None
+        telemetry = Telemetry()
+        with injected(FaultPlan({2: FaultSpec(kind="raise")})):
+            _backfill_missing(
+                state, contexts, results, telemetry,
+                RetryPolicy(max_attempts=2, backoff_base=0.0),
+            )
+        assert results[2] == []
+        events = telemetry.events("quarantine")
+        assert [e["index"] for e in events] == [2]

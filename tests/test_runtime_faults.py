@@ -1,0 +1,278 @@
+"""Fault-injection tests: quarantine, retries, and worker-death recovery.
+
+These tests drive the production runtime through
+:mod:`repro.runtime.faults` — the same code paths a real segfault, OOM
+kill, or flaky context would take, but deterministic.  The core
+invariant throughout: a faulted run's output equals the unfaulted run's
+output minus exactly the quarantined contexts, for any worker count.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import QuarantinedContextError
+from repro.pipelines import UCTR, UCTRConfig
+from repro.runtime import RetryPolicy
+from repro.runtime.faults import (
+    FaultInjectedError,
+    FaultPlan,
+    FaultSpec,
+    active_plan,
+    clear,
+    inject,
+    injected,
+    install,
+)
+from repro.tables import Paragraph, Table, TableContext
+from repro.telemetry import build_report, validate_report
+
+
+def _context(i: int) -> TableContext:
+    table = Table.from_rows(
+        header=["player", "team", "points"],
+        raw_rows=[
+            [f"p{i}{j}", f"team{j % 3}", str(10 + 3 * j + i)]
+            for j in range(5)
+        ],
+        title=f"stats {i}",
+        row_name_column="player",
+    )
+    text = f"For newcomer{i} , the team is team9 and the points is {20 + i} ."
+    return TableContext(
+        table=table, uid=f"ctx{i}", paragraphs=(Paragraph(text=text),)
+    )
+
+
+def _fingerprint(samples):
+    return json.dumps([s.to_json() for s in samples], sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def contexts():
+    return [_context(i) for i in range(6)]
+
+
+@pytest.fixture(scope="module")
+def framework(contexts):
+    framework = UCTR(
+        UCTRConfig(program_kinds=("sql",), samples_per_context=4, seed=7)
+    )
+    return framework.fit(contexts)
+
+
+@pytest.fixture(scope="module")
+def baseline(framework, contexts):
+    return framework.generate(contexts, workers=1)
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_plan():
+    clear()
+    yield
+    clear()
+
+
+def _minus(baseline, *indices):
+    dropped = tuple(f"ctx{i}-" for i in indices)
+    return [s for s in baseline if not s.uid.startswith(dropped)]
+
+
+class TestFaultPlumbing:
+    def test_plan_round_trips_through_environment(self):
+        plan = FaultPlan({
+            2: FaultSpec(kind="raise", attempts=1),
+            5: FaultSpec(kind="slow", seconds=0.5, once_path="/tmp/x"),
+        })
+        install(plan)
+        assert active_plan() == plan
+        clear()
+        assert active_plan() is None
+
+    def test_injected_context_manager_cleans_up(self):
+        with injected(FaultPlan({0: FaultSpec(kind="raise")})):
+            assert active_plan() is not None
+        assert active_plan() is None
+
+    def test_inject_is_noop_without_plan(self):
+        inject(0)  # no plan installed: must not raise
+
+    def test_inject_raises_for_named_index_only(self):
+        with injected(FaultPlan({3: FaultSpec(kind="raise")})):
+            inject(2)  # not named: clean
+            with pytest.raises(FaultInjectedError):
+                inject(3)
+
+    def test_attempt_gate(self):
+        with injected(FaultPlan({0: FaultSpec(kind="raise", attempts=2)})):
+            with pytest.raises(FaultInjectedError):
+                inject(0, attempt=1)
+            with pytest.raises(FaultInjectedError):
+                inject(0, attempt=2)
+            inject(0, attempt=3)  # past the gate: clean
+
+    def test_once_path_fires_exactly_once(self, tmp_path):
+        sentinel = str(tmp_path / "once")
+        spec = FaultSpec(kind="raise", once_path=sentinel)
+        with injected(FaultPlan({0: spec})):
+            with pytest.raises(FaultInjectedError):
+                inject(0)
+            inject(0)  # sentinel claimed: every later attempt passes
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="meteor")
+
+
+class TestQuarantine:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_faulted_output_is_baseline_minus_quarantined(
+        self, framework, contexts, baseline, workers
+    ):
+        plan = FaultPlan({
+            1: FaultSpec(kind="raise"),
+            4: FaultSpec(kind="raise"),
+        })
+        with injected(plan):
+            samples = framework.generate(
+                contexts, workers=workers,
+                retry=RetryPolicy(max_attempts=2, backoff_base=0.0),
+            )
+        telemetry = framework.last_telemetry
+        events = telemetry.events("quarantine")
+        assert [e["index"] for e in events] == [1, 4]
+        assert {e["error"] for e in events} == {"FaultInjectedError"}
+        assert {e["uid"] for e in events} == {"ctx1", "ctx4"}
+        assert _fingerprint(samples) == _fingerprint(_minus(baseline, 1, 4))
+
+    def test_transient_fault_retried_to_full_output(
+        self, framework, contexts, baseline
+    ):
+        plan = FaultPlan({2: FaultSpec(kind="raise", attempts=1)})
+        with injected(plan):
+            samples = framework.generate(
+                contexts, workers=1,
+                retry=RetryPolicy(max_attempts=3, backoff_base=0.0),
+            )
+        telemetry = framework.last_telemetry
+        assert _fingerprint(samples) == _fingerprint(baseline)
+        assert not telemetry.events("quarantine")
+        assert telemetry.count(
+            "retries", "context/FaultInjectedError"
+        ) == 1
+
+    def test_retry_does_not_double_count_attempts(
+        self, framework, contexts
+    ):
+        """Only the successful attempt's counters merge (satellite c)."""
+        plan = FaultPlan({2: FaultSpec(kind="raise", attempts=1)})
+        with injected(plan):
+            framework.generate(
+                contexts, workers=1,
+                retry=RetryPolicy(max_attempts=3, backoff_base=0.0),
+            )
+        telemetry = framework.last_telemetry
+        for pipeline in telemetry.pipelines():
+            if pipeline in ("parallel", "runtime"):
+                continue
+            assert telemetry.reconciles(pipeline), pipeline
+
+    def test_quarantine_record_shape(self, framework, contexts):
+        with injected(FaultPlan({0: FaultSpec(kind="raise")})):
+            framework.generate(
+                contexts, workers=1,
+                retry=RetryPolicy(max_attempts=2, backoff_base=0.0),
+            )
+        (event,) = framework.last_telemetry.events("quarantine")
+        assert event["reason"] == "exception"
+        assert event["attempts"] == 2
+        assert event["stage"] == "serial"
+        assert event["digest"]  # traceback digest present for grouping
+
+    def test_strict_quarantine_raises(self, framework, contexts):
+        with injected(FaultPlan({3: FaultSpec(kind="raise")})):
+            with pytest.raises(QuarantinedContextError) as exc:
+                framework.generate(
+                    contexts, workers=1,
+                    retry=RetryPolicy(max_attempts=1, backoff_base=0.0),
+                    strict_quarantine=True,
+                )
+        assert exc.value.index == 3
+        assert exc.value.uid == "ctx3"
+
+
+class TestWorkerDeath:
+    def test_killed_worker_once_recovers_full_output(
+        self, framework, contexts, baseline, tmp_path
+    ):
+        sentinel = str(tmp_path / "kill-once")
+        plan = FaultPlan({3: FaultSpec(kind="kill", once_path=sentinel)})
+        with injected(plan):
+            samples = framework.generate(
+                contexts, workers=2,
+                retry=RetryPolicy(max_attempts=3, backoff_base=0.0),
+            )
+        telemetry = framework.last_telemetry
+        assert _fingerprint(samples) == _fingerprint(baseline)
+        assert not telemetry.events("quarantine")
+        # the pool broke once: the blocked-on chunk was suspected and
+        # probed clean, the bystanders requeued uncharged.
+        assert telemetry.count("retries", "suspect/worker_death") >= 1
+
+    def test_poisoned_context_quarantined_as_worker_death(
+        self, framework, contexts, baseline
+    ):
+        plan = FaultPlan({3: FaultSpec(kind="kill")})
+        with injected(plan):
+            samples = framework.generate(
+                contexts, workers=2,
+                retry=RetryPolicy(max_attempts=2, backoff_base=0.0),
+            )
+        telemetry = framework.last_telemetry
+        events = telemetry.events("quarantine")
+        assert [(e["index"], e["reason"]) for e in events] == [
+            (3, "worker_death")
+        ]
+        assert events[0]["stage"] == "parent"
+        assert _fingerprint(samples) == _fingerprint(_minus(baseline, 3))
+
+    def test_slow_context_quarantined_on_deadline(
+        self, framework, contexts, baseline
+    ):
+        plan = FaultPlan({4: FaultSpec(kind="slow", seconds=30.0)})
+        with injected(plan):
+            samples = framework.generate(
+                contexts, workers=2,
+                retry=RetryPolicy(
+                    max_attempts=2, backoff_base=0.0, deadline=0.7
+                ),
+            )
+        telemetry = framework.last_telemetry
+        events = telemetry.events("quarantine")
+        assert [(e["index"], e["reason"]) for e in events] == [
+            (4, "timeout")
+        ]
+        assert _fingerprint(samples) == _fingerprint(_minus(baseline, 4))
+
+
+class TestFaultedRunReport:
+    def test_report_carries_quarantine_and_validates(
+        self, framework, contexts
+    ):
+        with injected(FaultPlan({1: FaultSpec(kind="raise")})):
+            samples = framework.generate(
+                contexts, workers=1,
+                retry=RetryPolicy(max_attempts=2, backoff_base=0.0),
+            )
+        report = build_report(
+            framework.last_telemetry,
+            seed=7,
+            workers=1,
+            contexts=len(contexts),
+            samples_written=len(samples),
+        )
+        assert validate_report(report) == []
+        assert report["quarantine"]["count"] == 1
+        (entry,) = report["quarantine"]["contexts"]
+        assert entry["index"] == 1 and entry["uid"] == "ctx1"
+        assert report["retries"].get("context/FaultInjectedError") == 1

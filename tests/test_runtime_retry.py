@@ -1,0 +1,145 @@
+"""Tests for the retry policy: backoff, deterministic jitter, deadline."""
+
+import pytest
+
+from repro.runtime.retry import (
+    RetryPolicy,
+    deterministic_jitter,
+    run_with_retry,
+)
+
+
+class TestRetryPolicy:
+    def test_delay_is_exponential(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_cap=100.0)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.4)
+
+    def test_delay_respects_cap(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_cap=2.5)
+        assert policy.delay(10) == pytest.approx(2.5)
+
+    def test_delay_applies_jitter_factor(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_cap=10.0)
+        assert policy.delay(2, jitter=0.5) == pytest.approx(1.0)
+
+    def test_chunk_deadline_scales_with_size(self):
+        policy = RetryPolicy(deadline=2.0)
+        assert policy.chunk_deadline(3) == pytest.approx(6.0)
+        assert policy.chunk_deadline(0) == pytest.approx(2.0)
+        assert RetryPolicy(deadline=None).chunk_deadline(5) is None
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base=-0.1)
+
+    def test_policy_is_hashable_and_frozen(self):
+        policy = RetryPolicy()
+        hash(policy)
+        with pytest.raises(Exception):
+            policy.max_attempts = 5
+
+
+class TestDeterministicJitter:
+    def test_stable_for_same_name(self):
+        a = deterministic_jitter("key", "context/3", 1)
+        b = deterministic_jitter("key", "context/3", 1)
+        assert a == b
+
+    def test_in_half_open_unit_upper_half(self):
+        for attempt in range(1, 20):
+            factor = deterministic_jitter("key", "chunk/0", attempt)
+            assert 0.5 <= factor < 1.0
+
+    def test_streams_decorrelate(self):
+        factors = {
+            deterministic_jitter("key", f"context/{i}", 1) for i in range(8)
+        }
+        assert len(factors) > 1
+
+
+class TestRunWithRetry:
+    def _flaky(self, failures):
+        calls = []
+
+        def fn(attempt):
+            calls.append(attempt)
+            if len(calls) <= failures:
+                raise ValueError(f"boom {attempt}")
+            return f"ok@{attempt}"
+
+        return fn, calls
+
+    def test_succeeds_after_transient_failures(self):
+        fn, calls = self._flaky(failures=2)
+        policy = RetryPolicy(max_attempts=3, backoff_base=0.0)
+        assert run_with_retry(fn, policy) == "ok@3"
+        # fn receives the 1-based attempt number each time
+        assert calls == [1, 2, 3]
+
+    def test_reraises_when_attempts_exhausted(self):
+        fn, calls = self._flaky(failures=10)
+        policy = RetryPolicy(max_attempts=3, backoff_base=0.0)
+        with pytest.raises(ValueError, match="boom 3"):
+            run_with_retry(fn, policy)
+        assert calls == [1, 2, 3]
+
+    def test_deadline_stops_retries_early(self):
+        fn, calls = self._flaky(failures=10)
+        clock = iter([0.0, 100.0]).__next__  # started, then first check
+        policy = RetryPolicy(max_attempts=5, backoff_base=0.0, deadline=1.0)
+        with pytest.raises(ValueError, match="boom 1"):
+            run_with_retry(fn, policy, clock=clock)
+        assert calls == [1]
+
+    def test_sleeps_policy_delays(self):
+        fn, _ = self._flaky(failures=2)
+        pauses = []
+        policy = RetryPolicy(max_attempts=3, backoff_base=0.1,
+                             backoff_cap=10.0)
+        run_with_retry(fn, policy, sleep=pauses.append)
+        assert pauses == [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_jittered_sleeps_are_deterministic(self):
+        def pauses_for_run():
+            fn, _ = self._flaky(failures=2)
+            pauses = []
+            run_with_retry(
+                fn,
+                RetryPolicy(max_attempts=3, backoff_base=0.1),
+                jitter_key="run-key",
+                stream="context/4",
+                sleep=pauses.append,
+            )
+            return pauses
+
+        first, second = pauses_for_run(), pauses_for_run()
+        assert first == second
+        # jitter scales the raw delay into [0.5, 1.0) of its value
+        assert 0.05 <= first[0] < 0.1
+
+    def test_keyboard_interrupt_propagates_unretried(self):
+        calls = []
+
+        def fn(attempt):
+            calls.append(attempt)
+            raise KeyboardInterrupt()
+
+        with pytest.raises(KeyboardInterrupt):
+            run_with_retry(fn, RetryPolicy(max_attempts=5, backoff_base=0.0))
+        assert calls == [1]
+
+    def test_on_retry_sees_each_failure(self):
+        fn, _ = self._flaky(failures=2)
+        seen = []
+        run_with_retry(
+            fn,
+            RetryPolicy(max_attempts=3, backoff_base=0.0),
+            on_retry=lambda attempt, error: seen.append(
+                (attempt, type(error).__name__)
+            ),
+        )
+        assert seen == [(1, "ValueError"), (2, "ValueError")]

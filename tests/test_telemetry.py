@@ -71,6 +71,45 @@ class TestTelemetryCore:
         assert telemetry.reconciles("p")
 
 
+class TestTelemetryEvents:
+    """Structured events: how quarantine records ride in telemetry."""
+
+    def test_events_filtered_by_kind(self):
+        telemetry = Telemetry()
+        telemetry.event("quarantine", {"index": 3, "uid": "c3"})
+        telemetry.event("other", {"index": 0})
+        assert len(telemetry.events()) == 2
+        assert telemetry.events("quarantine") == [
+            {"kind": "quarantine", "index": 3, "uid": "c3"}
+        ]
+
+    def test_events_survive_snapshot_and_merge(self):
+        a = Telemetry()
+        a.event("quarantine", {"index": 5, "uid": "c5", "reason": "x"})
+        b = Telemetry.from_snapshot(a.snapshot())
+        assert b.events("quarantine") == a.events("quarantine")
+        c = Telemetry()
+        c.event("quarantine", {"index": 1, "uid": "c1", "reason": "y"})
+        c.merge(b)
+        assert [e["index"] for e in c.events("quarantine")] == [1, 5]
+        json.dumps(c.snapshot())  # still pipe-safe
+
+    def test_events_sorted_deterministically(self):
+        telemetry = Telemetry()
+        telemetry.event("quarantine", {"index": 9, "uid": "z"})
+        telemetry.event("quarantine", {"index": 2, "uid": "a"})
+        assert [e["index"] for e in telemetry.events("quarantine")] == [2, 9]
+
+    def test_empty_events_do_not_bloat_snapshot(self):
+        assert "events" not in Telemetry().snapshot()
+
+    def test_returned_events_are_copies(self):
+        telemetry = Telemetry()
+        telemetry.event("quarantine", {"index": 0, "uid": "c"})
+        telemetry.events("quarantine")[0]["index"] = 99
+        assert telemetry.events("quarantine")[0]["index"] == 0
+
+
 class TestGenerationAccounting:
     @pytest.fixture
     def framework(self, players_context, finance_context):
@@ -169,6 +208,44 @@ class TestRunReport:
         report = self._report(framework_samples)
         report["samples_written"] += 1
         assert any("sum" in p for p in validate_report(report))
+
+    def test_validate_accepts_reconciled_pipeline(self, framework_samples):
+        """The pass case: attempts == successes + rejects is valid."""
+        report = self._report(framework_samples)
+        for stats in report["pipelines"].values():
+            assert stats["attempts"] == stats["successes"] + stats["rejects"]
+        assert validate_report(report) == []
+
+    def test_validate_rejects_unreconciled_pipeline(self, framework_samples):
+        """The fail case: a report whose outcomes do not account for
+        every attempt is rejected (an attempt vanished or was counted
+        twice)."""
+        report = self._report(framework_samples)
+        name = next(iter(report["pipelines"]))
+        report["pipelines"][name]["attempts"] += 1
+        problems = validate_report(report)
+        assert any("reconcile" in p and name in p for p in problems)
+
+    def test_validate_rejects_quarantine_count_mismatch(
+        self, framework_samples
+    ):
+        report = self._report(framework_samples)
+        report["quarantine"] = {"count": 2, "contexts": []}
+        problems = validate_report(report)
+        assert any("quarantine" in p for p in problems)
+
+    def test_render_summary_mentions_quarantine_and_retries(
+        self, framework_samples
+    ):
+        report = self._report(framework_samples)
+        report["quarantine"] = {
+            "count": 1,
+            "contexts": [{"index": 3, "uid": "c3", "reason": "timeout"}],
+        }
+        report["retries"] = {"chunk/timeout": 2}
+        text = render_summary(report)
+        assert "quarantined: 1 context(s) (timeout)" in text
+        assert "retries: 2" in text
 
     def test_write_load_round_trip(self, tmp_path, framework_samples):
         report = self._report(framework_samples)
