@@ -1,0 +1,185 @@
+"""Bench: serial hot-path throughput (value equality, schema lookups,
+sorting, parsing, end-to-end generation).
+
+Not a paper table — this harness tracks the executor hot path itself.
+Each micro-benchmark exercises one cached operation through the public
+API only, so the same file measures pre- and post-caching builds; the
+recorded numbers land in ``benchmarks/BENCH_hotpath.json`` and are
+compared against the committed pre-PR baseline
+(``benchmarks/BENCH_hotpath_baseline.json``).
+
+The regression gate (current < 70% of baseline samples-per-second)
+only *fails* when ``REPRO_BENCH_ENFORCE=1`` — CI sets it; developer
+laptops with different hardware just get the numbers printed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.datasets import make_feverous
+from repro.datasets.feverous import FeverousConfig
+from repro.pipelines import UCTR, UCTRConfig
+from repro.programs.sql import parse_sql
+from repro.tables.table import Table
+from repro.tables.values import parse_value
+
+_HERE = Path(__file__).resolve().parent
+BENCH_PATH = _HERE / "BENCH_hotpath.json"
+BASELINE_PATH = _HERE / "BENCH_hotpath_baseline.json"
+
+#: results accumulated across the tests in this module, written once.
+RESULTS: dict[str, float] = {}
+
+_MIXED_CELLS = [
+    "1,000", "$1,000", "1000", "12%", "-42", "3.14159", "0.5",
+    "January 5, 2020", "2020-01-05", "March 14, 1999", "2,500,000",
+    "alpha", "Beta", "GAMMA", "delta airlines", "true", "yes", "no",
+    "€75", "88.8", "n/a", "7", "£12,345.67",
+]
+
+
+def _ops_per_sec(fn, *, repeat: int = 5) -> float:
+    """Best-of-``repeat`` throughput for ``fn() -> n_ops``."""
+    best = 0.0
+    for _ in range(repeat):
+        started = time.perf_counter()
+        ops = fn()
+        elapsed = time.perf_counter() - started
+        if elapsed > 0:
+            best = max(best, ops / elapsed)
+    return best
+
+
+def test_value_equals_throughput():
+    values = [parse_value(cell) for cell in _MIXED_CELLS]
+    pairs = [(a, b) for a in values for b in values]
+
+    def run() -> int:
+        total = 0
+        for _ in range(40):
+            for a, b in pairs:
+                if a.equals(b):
+                    total += 1
+        assert total > 0
+        return 40 * len(pairs)
+
+    rate = _ops_per_sec(run)
+    RESULTS["value_equals_per_sec"] = round(rate, 1)
+    print(f"\nValue.equals: {rate:,.0f} comparisons/sec")
+    assert rate > 0
+
+
+def test_schema_index_throughput():
+    table = Table.from_rows(
+        [f"column {i}" for i in range(12)],
+        [[str(i * j) for i in range(12)] for j in range(3)],
+    )
+    names = table.column_names
+
+    def run() -> int:
+        for _ in range(2000):
+            for name in names:
+                table.schema.index(name.upper())
+        return 2000 * len(names)
+
+    rate = _ops_per_sec(run)
+    RESULTS["schema_index_per_sec"] = round(rate, 1)
+    print(f"\nSchema.index: {rate:,.0f} lookups/sec")
+    assert rate > 0
+
+
+def test_sort_and_filter_throughput():
+    rows = [
+        [_MIXED_CELLS[(i * 7 + j) % len(_MIXED_CELLS)] for j in range(3)]
+        for i in range(60)
+    ]
+    table = Table.from_rows(["a", "b", "c"], rows)
+    query = parse_sql("select a from w order by b desc limit 5")
+
+    def run() -> int:
+        for _ in range(300):
+            query.execute(table)
+        return 300
+
+    rate = _ops_per_sec(run)
+    RESULTS["sql_order_by_per_sec"] = round(rate, 1)
+    print(f"\nexecute_sql order-by: {rate:,.0f} queries/sec")
+    assert rate > 0
+
+
+def test_parse_value_throughput():
+    cells = _MIXED_CELLS * 10
+
+    def run() -> int:
+        for cell in cells:
+            parse_value(cell)
+        return len(cells)
+
+    rate = _ops_per_sec(run, repeat=20)
+    RESULTS["parse_value_per_sec"] = round(rate, 1)
+    print(f"\nparse_value: {rate:,.0f} parses/sec")
+    assert rate > 0
+
+
+def test_serial_generation_throughput():
+    bench = make_feverous(
+        FeverousConfig(train_contexts=40, dev_contexts=4, test_contexts=4)
+    )
+    contexts = list(bench.train.contexts)[:40]
+    framework = UCTR(
+        UCTRConfig(
+            program_kinds=("logic", "sql"), samples_per_context=8, seed=11
+        )
+    )
+    framework.fit(contexts)
+    framework.generate(contexts[:4])  # warm-up outside the timing
+
+    started = time.perf_counter()
+    samples = framework.generate(contexts)
+    elapsed = time.perf_counter() - started
+    rate = len(samples) / elapsed if elapsed > 0 else 0.0
+    RESULTS["samples_per_sec"] = round(rate, 1)
+    RESULTS["samples"] = len(samples)
+    print(f"\nserial generation: {len(samples)} samples in {elapsed:.2f}s "
+          f"({rate:.1f} samples/sec)")
+    assert samples
+
+
+def test_write_bench_json():
+    """Write BENCH_hotpath.json and gate against the committed baseline.
+
+    Runs last in the module (pytest preserves file order) so every
+    micro-benchmark above has already filled ``RESULTS``.
+    """
+    report: dict[str, object] = {"current": dict(RESULTS)}
+    baseline = None
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+        report["baseline"] = baseline.get("current", baseline)
+    if baseline is not None:
+        base = report["baseline"]
+        speedups = {
+            key: round(RESULTS[key] / base[key], 2)
+            for key in RESULTS
+            if isinstance(base.get(key), (int, float)) and base.get(key)
+        }
+        report["speedup_vs_baseline"] = speedups
+        print("\nspeedup vs committed baseline:")
+        for key, factor in sorted(speedups.items()):
+            print(f"  {key:<24} {factor:.2f}x")
+    BENCH_PATH.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {BENCH_PATH}")
+    if baseline is not None and os.environ.get("REPRO_BENCH_ENFORCE"):
+        base_rate = report["baseline"].get("samples_per_sec")
+        current = RESULTS.get("samples_per_sec", 0.0)
+        if isinstance(base_rate, (int, float)) and base_rate > 0:
+            assert current >= 0.7 * base_rate, (
+                f"throughput regression: {current:.1f} samples/sec is below "
+                f"70% of the committed baseline {base_rate:.1f}"
+            )

@@ -10,7 +10,8 @@ Commands:
   worker processes, ``--report r.json`` writes the telemetry run-report,
   ``--checkpoint-dir d/ [--resume]`` makes the run crash-safe and
   resumable, ``--max-attempts``/``--per-context-timeout`` tune the
-  fault-tolerance policy.
+  fault-tolerance policy, ``--profile`` prints a hot-path stage-time
+  breakdown (and adds it to the report).
 * ``stats`` — print Table II-style statistics for a benchmark.
 * ``experiments`` — alias of :mod:`repro.experiments.runner`.
 """
@@ -119,11 +120,17 @@ def _write_generate_report(
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro import profiling
     from repro.runtime import RetryPolicy
 
     if args.resume and not args.checkpoint_dir:
         print("--resume requires --checkpoint-dir", file=sys.stderr)
         return 2
+    if args.profile:
+        # install() also sets REPRO_PROFILE so worker processes inherit
+        # the setting; their stage timers come back with the telemetry
+        # snapshots and merge additively.
+        profiling.install()
     contexts = load_contexts(args.contexts)
     kinds = resolve_kinds(args.kinds, args.benchmark, contexts)
     framework = UCTR(
@@ -171,6 +178,14 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         f"(kinds={','.join(kinds)}, workers={args.workers}, "
         f"{rate:.1f} samples/sec)"
     )
+    if args.profile:
+        # Pick up parent-side stages (e.g. serialization) recorded after
+        # the last per-context flush, then print the hot-spot table.
+        profiling.flush_into(framework.last_telemetry)
+        section = profiling.profile_section(
+            framework.last_telemetry.snapshot()["timers"]
+        )
+        print(profiling.render_profile(section, top=args.profile_top))
     quarantined = framework.last_telemetry.events("quarantine")
     if quarantined:
         print(
@@ -253,6 +268,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="wall-clock deadline per context; overruns are killed and "
              "quarantined (default: none)",
+    )
+    generate.add_argument(
+        "--profile", action="store_true",
+        help="time the hot-path stages (sampler, executor, filters, "
+             "NL-gen, serialization) and print the top hot spots; the "
+             "breakdown also lands in the --report profile section",
+    )
+    generate.add_argument(
+        "--profile-top", type=int, default=10, metavar="N",
+        help="rows in the --profile hot-spot table (default 10)",
     )
     generate.set_defaults(fn=_cmd_generate)
 

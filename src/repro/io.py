@@ -77,7 +77,10 @@ def read_jsonl(path: str | Path) -> Iterator[dict]:
 
 def save_samples(path: str | Path, samples: Iterable[ReasoningSample]) -> int:
     """Persist reasoning samples (synthetic or gold) as JSONL."""
-    return write_jsonl(path, (sample.to_json() for sample in samples))
+    from repro import profiling
+
+    with profiling.stage("serialize"):
+        return write_jsonl(path, (sample.to_json() for sample in samples))
 
 
 def load_samples(path: str | Path) -> list[ReasoningSample]:

@@ -4,7 +4,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Sequence
 
+from repro import profiling
 from repro.nlgen.model import NLGenerator
 from repro.programs.base import ProgramKind
 from repro.sampling.filters import SampleFilter, default_filters, first_failure
@@ -45,12 +47,22 @@ class PipelineTools:
             self.sampler = ProgramSampler(self.rng)
         if self.labeler is None:
             self.labeler = ClaimLabeler(self.rng)
+        self._template_cache: dict[ProgramKind, tuple[ProgramTemplate, ...]] = {}
 
-    def templates(self, kind: ProgramKind) -> list[ProgramTemplate]:
-        override = self.template_overrides.get(kind)
-        if override is not None:
-            return list(override)
-        return list(pool_for_kind(kind))
+    def templates(self, kind: ProgramKind) -> Sequence[ProgramTemplate]:
+        """The template pool for ``kind``, as a cached immutable tuple.
+
+        Overrides are snapshotted on first use; replace the whole
+        ``template_overrides`` dict (and rebuild the tools) to change
+        pools mid-run — the hot path assumes the pool is stable.
+        """
+        cached = self._template_cache.get(kind)
+        if cached is None:
+            override = self.template_overrides.get(kind)
+            pool = override if override is not None else pool_for_kind(kind)
+            cached = tuple(pool)
+            self._template_cache[kind] = cached
+        return cached
 
     def draw_program(
         self, kind: ProgramKind, table: Table, pipeline: str = "adhoc"
@@ -67,23 +79,26 @@ class PipelineTools:
             self.telemetry.reject(pipeline, "no_templates")
             return None
         template = templates[self.rng.randrange(len(templates))]
-        sample = self.sampler.try_sample(template, table)
+        with profiling.stage("sampler"):
+            sample = self.sampler.try_sample(template, table)
         if sample is None:
             self.telemetry.reject(pipeline, "sampling_failed")
             return None
-        failed = first_failure(sample, self.filters)
+        with profiling.stage("filters"):
+            failed = first_failure(sample, self.filters)
         if failed is not None:
             self.telemetry.reject(pipeline, f"filter:{failed}")
             return None
         return sample
 
     def verbalize(self, sample: SampledProgram) -> str:
-        generator = self.generators.get(sample.kind)
-        if generator is None:
-            from repro.nlgen.grammar import realize
+        with profiling.stage("nlgen"):
+            generator = self.generators.get(sample.kind)
+            if generator is None:
+                from repro.nlgen.grammar import realize
 
-            return realize(sample, self.rng)
-        return generator.generate(sample, self.rng)
+                return realize(sample, self.rng)
+            return generator.generate(sample, self.rng)
 
     def label_claim(self, sample: SampledProgram) -> LabeledClaim:
         return self.labeler.label(sample)

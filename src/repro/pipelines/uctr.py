@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING
 
+from repro import profiling
 from repro.nlgen.corpus import build_parallel_corpus
 from repro.nlgen.model import NLGenerator, NLGeneratorConfig
 from repro.pipelines.base import PipelineTools
@@ -123,28 +124,34 @@ def generate_for_one_context(
 
     out: list[ReasoningSample] = []
     flat_emitted = 0
-    with telemetry.timer("pipeline/table_only"):
-        flat = table_only.generate(context, flat_budget)
-    flat_emitted += len(flat)
-    out.extend(flat)
-    remaining = joint_budget
-    for position, pipeline in enumerate(joint):
-        share = remaining // (len(joint) - position)
-        with telemetry.timer(f"pipeline/{pipeline.name}"):
-            produced = pipeline.generate(context, share)
-        out.extend(produced)
-        remaining -= share
-        shortfall = share - len(produced)
-        if shortfall > 0:
-            # Joint generation can fail (no text, unsplittable
-            # table); keep the volume up with table-only samples,
-            # continuing the uid serial so backfill never collides.
-            with telemetry.timer("pipeline/table_only"):
-                backfill = table_only.generate(
-                    context, shortfall, start=flat_emitted
-                )
-            flat_emitted += len(backfill)
-            out.extend(backfill)
+    try:
+        with telemetry.timer("pipeline/table_only"):
+            flat = table_only.generate(context, flat_budget)
+        flat_emitted += len(flat)
+        out.extend(flat)
+        remaining = joint_budget
+        for position, pipeline in enumerate(joint):
+            share = remaining // (len(joint) - position)
+            with telemetry.timer(f"pipeline/{pipeline.name}"):
+                produced = pipeline.generate(context, share)
+            out.extend(produced)
+            remaining -= share
+            shortfall = share - len(produced)
+            if shortfall > 0:
+                # Joint generation can fail (no text, unsplittable
+                # table); keep the volume up with table-only samples,
+                # continuing the uid serial so backfill never collides.
+                with telemetry.timer("pipeline/table_only"):
+                    backfill = table_only.generate(
+                        context, shortfall, start=flat_emitted
+                    )
+                flat_emitted += len(backfill)
+                out.extend(backfill)
+    finally:
+        # Profile stages flush into this context's sink even on failure
+        # — under retry that sink is the attempt's scratch telemetry, so
+        # a failed attempt's profile is discarded with its counters.
+        profiling.flush_into(telemetry)
     return out
 
 
@@ -169,14 +176,18 @@ class UCTR:
         corpus_rng = spawn(self._rng, "nl-corpus")
         tables = [context.table for context in contexts]
         nl_config = NLGeneratorConfig(noise_rate=self.config.nl_noise_rate)
-        for kind in self.config.kinds():
-            pairs = build_parallel_corpus(
-                kind,
-                tables,
-                corpus_rng,
-                pairs_per_table=self.config.corpus_pairs_per_table,
-            )
-            self._generators[kind] = NLGenerator(nl_config).train(pairs)
+        # Corpus building executes programs too; the "fit" stage keeps
+        # that time distinguishable from generation-phase executor time
+        # in a profiled run ("fit/executor" vs "sampler/executor").
+        with profiling.stage("fit"):
+            for kind in self.config.kinds():
+                pairs = build_parallel_corpus(
+                    kind,
+                    tables,
+                    corpus_rng,
+                    pairs_per_table=self.config.corpus_pairs_per_table,
+                )
+                self._generators[kind] = NLGenerator(nl_config).train(pairs)
         self._pipeline_key = spawn_key(self._rng, "pipelines")
         return self
 
@@ -252,6 +263,12 @@ class UCTR:
         state = self.generation_state()
         telemetry = telemetry if telemetry is not None else Telemetry()
         self._last_telemetry = telemetry
+        # Flush stages recorded before this run (fit-phase corpus
+        # building) into this run's sink exactly once, *before* any
+        # worker processes fork — a forked worker inheriting unflushed
+        # parent stats would ship a duplicate copy with its first
+        # per-context flush.
+        profiling.flush_into(telemetry)
         policy = retry if retry is not None else RetryPolicy()
         fingerprint = run_fingerprint(state, contexts)
 

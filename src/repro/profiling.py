@@ -1,0 +1,213 @@
+"""Nestable, near-zero-overhead stage timers for the generation engine.
+
+The hot path (sampler → executor → filters → NL-gen → serialization) is
+instrumented with :func:`stage` markers.  When profiling is *off* — the
+default — each marker costs one global load and ``None`` check plus a
+no-op context manager, so production throughput is unaffected.  When
+profiling is *on* (``repro generate --profile``, or the
+``REPRO_PROFILE=1`` environment variable, which is how worker processes
+inherit the setting), stages accumulate wall-clock seconds and call
+counts keyed by their nesting path (``"sampler/executor"`` is executor
+time *inside* the sampler).
+
+Accumulated stats are flushed into a :class:`~repro.telemetry.Telemetry`
+sink as timers named ``profile/<path>`` (:func:`flush_into`), which is
+what makes the design parallel-safe for free: worker processes ship
+their telemetry snapshots to the parent over the existing pipe, timers
+merge additively, and the run report's ``profile`` section
+(:func:`repro.telemetry.report.build_report`, schema v3) sees the whole
+fleet.  Profiling never touches a random number generator, so profiled
+and unprofiled runs emit byte-identical samples.
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.telemetry import Telemetry
+
+#: environment flag that enables profiling at import time — the vehicle
+#: by which ``--profile`` reaches worker processes.
+ENV_FLAG = "REPRO_PROFILE"
+
+#: telemetry-timer prefix under which flushed stage stats are filed.
+PROFILE_PREFIX = "profile/"
+
+
+class _NullStage:
+    """The do-nothing context manager returned while profiling is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_STAGE = _NullStage()
+
+
+class _StageFrame:
+    """One live ``with stage(...)`` frame (re-entrant via fresh frames)."""
+
+    __slots__ = ("profiler", "name", "path", "started", "child_seconds")
+
+    def __init__(self, profiler: "Profiler", name: str):
+        self.profiler = profiler
+        self.name = name
+        self.path = ""
+        self.started = 0.0
+        self.child_seconds = 0.0
+
+    def __enter__(self) -> "_StageFrame":
+        stack = self.profiler._stack
+        self.path = f"{stack[-1].path}/{self.name}" if stack else self.name
+        stack.append(self)
+        self.started = perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        elapsed = perf_counter() - self.started
+        stack = self.profiler._stack
+        stack.pop()
+        stats = self.profiler._stats
+        stat = stats.get(self.path)
+        if stat is None:
+            stats[self.path] = [elapsed, 1]
+        else:
+            stat[0] += elapsed
+            stat[1] += 1
+        if stack:
+            stack[-1].child_seconds += elapsed
+        return False
+
+
+class Profiler:
+    """Accumulates seconds/calls per nesting path of :func:`stage`."""
+
+    __slots__ = ("_stats", "_stack")
+
+    def __init__(self) -> None:
+        self._stats: dict[str, list[float]] = {}
+        self._stack: list[_StageFrame] = []
+
+    def stage(self, name: str) -> _StageFrame:
+        return _StageFrame(self, name)
+
+    def stats(self) -> dict[str, tuple[float, int]]:
+        """``path -> (seconds, calls)``, a copy."""
+        return {
+            path: (stat[0], int(stat[1])) for path, stat in self._stats.items()
+        }
+
+    def reset(self) -> None:
+        self._stats.clear()
+
+    def flush_into(self, telemetry: "Telemetry") -> None:
+        """Move accumulated stats into ``telemetry`` timers and reset.
+
+        Timers are named ``profile/<path>``; moving (not copying) means
+        a failed generation attempt's stats land in that attempt's
+        scratch sink and are discarded with it, exactly like the
+        attempt's counters.
+        """
+        for path, stat in self._stats.items():
+            telemetry.add_time(PROFILE_PREFIX + path, stat[0], int(stat[1]))
+        self._stats.clear()
+
+
+_ACTIVE: Profiler | None = Profiler() if os.environ.get(ENV_FLAG) else None
+
+
+def active() -> Profiler | None:
+    """The process-wide profiler, or ``None`` when profiling is off."""
+    return _ACTIVE
+
+
+def install() -> Profiler:
+    """Enable profiling in this process *and* future child processes."""
+    global _ACTIVE
+    os.environ[ENV_FLAG] = "1"
+    if _ACTIVE is None:
+        _ACTIVE = Profiler()
+    return _ACTIVE
+
+
+def uninstall() -> None:
+    """Disable profiling and drop any unflushed stats."""
+    global _ACTIVE
+    _ACTIVE = None
+    os.environ.pop(ENV_FLAG, None)
+
+
+def stage(name: str):
+    """Context manager timing one named stage (no-op when disabled)."""
+    profiler = _ACTIVE
+    if profiler is None:
+        return _NULL_STAGE
+    return profiler.stage(name)
+
+
+def flush_into(telemetry: "Telemetry") -> None:
+    """Flush the active profiler into ``telemetry`` (no-op when off)."""
+    profiler = _ACTIVE
+    if profiler is not None:
+        profiler.flush_into(telemetry)
+
+
+def profile_section(telemetry_timers: dict[str, dict]) -> dict:
+    """Build the run-report ``profile`` section from telemetry timers.
+
+    Extracts every ``profile/<path>`` timer and computes per-stage
+    *self* time (total minus the total of the stage's direct children),
+    so a report reader can tell "time in the sampler itself" from "time
+    in the executor the sampler called".
+    """
+    stages: dict[str, dict] = {}
+    for name, stat in telemetry_timers.items():
+        if not name.startswith(PROFILE_PREFIX):
+            continue
+        path = name[len(PROFILE_PREFIX):]
+        stages[path] = {
+            "seconds": round(float(stat.get("seconds", 0.0)), 6),
+            "calls": int(stat.get("calls", 0)),
+        }
+    for path, entry in stages.items():
+        child_seconds = sum(
+            other["seconds"]
+            for other_path, other in stages.items()
+            if other_path.startswith(path + "/")
+            and "/" not in other_path[len(path) + 1:]
+        )
+        entry["self_seconds"] = round(
+            max(0.0, entry["seconds"] - child_seconds), 6
+        )
+    return {"enabled": bool(stages), "stages": stages}
+
+
+def render_profile(profile: dict, top: int = 10) -> str:
+    """A compact top-N hot-spot table for CLI output."""
+    stages = profile.get("stages") or {}
+    if not stages:
+        return "profile: no stages recorded (run with --profile)"
+    ranked = sorted(
+        stages.items(), key=lambda item: -item[1].get("self_seconds", 0.0)
+    )
+    total_self = sum(entry.get("self_seconds", 0.0) for _, entry in ranked)
+    lines = [f"profile: top {min(top, len(ranked))} stages by self-time"]
+    lines.append(
+        f"  {'stage':<32} {'self':>9} {'total':>9} {'calls':>9}  share"
+    )
+    for path, entry in ranked[:top]:
+        self_seconds = entry.get("self_seconds", 0.0)
+        share = self_seconds / total_self if total_self > 0 else 0.0
+        lines.append(
+            f"  {path:<32} {self_seconds:>8.3f}s {entry['seconds']:>8.3f}s "
+            f"{entry['calls']:>9}  {share:>5.1%}"
+        )
+    return "\n".join(lines)

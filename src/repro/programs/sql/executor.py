@@ -128,7 +128,9 @@ def _column_item_values(
         cells = _column_cells(table, item.column, row_indices, highlighted)
         cells = [cell for cell in cells if not cell.is_null]
         if item.distinct:
-            return [Value.number(len({c.raw.strip().lower() for c in cells}))]
+            # canonical_key matches Value.equals semantics, so "1,000",
+            # "1000", and "$1,000" collapse to one distinct value.
+            return [Value.number(len({c.canonical_key() for c in cells}))]
         return [Value.number(len(cells))]
 
     if item.column == "*":

@@ -84,6 +84,12 @@ def run_with_retry(
     ``KeyboardInterrupt``/``SystemExit`` always propagate so Ctrl-C
     still lands a final checkpoint.  The last error is re-raised when
     attempts or the deadline run out.
+
+    The deadline bounds the backoff pause too: a pause never exceeds
+    the remaining budget, and when the pause would consume everything
+    that remains the last error is re-raised instead — the function
+    never sleeps past the deadline and never launches an attempt after
+    it expired.
     """
     started = clock()
     attempt = 0
@@ -94,18 +100,20 @@ def run_with_retry(
         except Exception as error:
             if attempt >= policy.max_attempts:
                 raise
-            if (
-                policy.deadline is not None
-                and clock() - started >= policy.deadline
-            ):
-                raise
-            if on_retry is not None:
-                on_retry(attempt, error)
             factor = (
                 deterministic_jitter(jitter_key, stream, attempt)
                 if jitter_key
                 else 1.0
             )
             pause = policy.delay(attempt, factor)
+            if policy.deadline is not None:
+                remaining = policy.deadline - (clock() - started)
+                # Backing off for ``pause`` would leave nothing of the
+                # budget for the attempt itself: give up now rather than
+                # sleep past the deadline and retry after expiry.
+                if remaining <= 0 or pause >= remaining:
+                    raise
+            if on_retry is not None:
+                on_retry(attempt, error)
             if pause > 0:
                 sleep(pause)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro import profiling
 from repro.errors import ReproError, SamplingError
 from repro.programs.base import ExecutionResult, Program, ProgramKind, parse_program
 from repro.rng import choice, sample_up_to
@@ -104,7 +105,8 @@ class ProgramSampler:
                 self._render_bindings(template, bindings)
             )
             program = parse_program(source, template.kind)
-        result = program.execute(table).require_non_empty()
+        with profiling.stage("executor"):
+            result = program.execute(table).require_non_empty()
         return SampledProgram(
             template=template,
             program=program,
@@ -252,7 +254,8 @@ class ProgramSampler:
             raise SamplingError("result slot must compare against an expression")
         from repro.programs.logic.executor import execute_logic
 
-        outcome = execute_logic(table, sub).require_non_empty()
+        with profiling.stage("executor"):
+            outcome = execute_logic(table, sub).require_non_empty()
         value = outcome.single
         if value.is_number:
             return format_number(value.as_number())

@@ -44,6 +44,15 @@ class Schema:
             raise SchemaError(f"duplicate column names: {duplicates}")
         if any(not name.strip() for name in names):
             raise SchemaError("column names must be non-empty")
+        # Case-folded name→index map, memoized on the frozen instance so
+        # every lookup is O(1) instead of an O(columns) scan.  The map is
+        # pure function of ``columns`` (validated unique above), so it
+        # never goes stale; it is not a dataclass field, so ``==``,
+        # ``hash``, and ``repr`` are untouched.
+        index_map: dict[str, int] = {}
+        for index, name in enumerate(names):
+            index_map.setdefault(name.strip().lower(), index)
+        object.__setattr__(self, "_index_map", index_map)
 
     # -- queries ----------------------------------------------------------
     @property
@@ -61,11 +70,13 @@ class Schema:
 
     def try_index(self, name: str) -> int | None:
         """Index of the column named ``name`` (case-insensitive), or None."""
-        target = name.strip().lower()
-        for index, column in enumerate(self.columns):
-            if column.name.strip().lower() == target:
-                return index
-        return None
+        index_map = self.__dict__.get("_index_map")
+        if index_map is None:  # unpickled before __post_init__ memo existed
+            index_map = {}
+            for index, column in enumerate(self.columns):
+                index_map.setdefault(column.name.strip().lower(), index)
+            object.__setattr__(self, "_index_map", index_map)
+        return index_map.get(name.strip().lower())
 
     def index(self, name: str) -> int:
         found = self.try_index(name)

@@ -120,13 +120,18 @@ class Table:
         return [row[index] for row in self.rows]
 
     def distinct_values(self, column: str) -> list[Value]:
-        """Distinct non-null cells of a column, preserving first-seen order."""
-        seen: set[str] = set()
+        """Distinct non-null cells of a column, preserving first-seen order.
+
+        Distinctness follows :meth:`Value.canonical_key`, the same
+        equivalence :meth:`Value.equals` implements — ``"1,000"`` and
+        ``"$1,000"`` are one value, not two.
+        """
+        seen: set[tuple] = set()
         out: list[Value] = []
         for value in self.column_values(column):
             if value.is_null:
                 continue
-            key = value.raw.strip().lower()
+            key = value.canonical_key()
             if key not in seen:
                 seen.add(key)
                 out.append(value)

@@ -3,8 +3,20 @@
 Real-world tables store everything as strings; reasoning programs need
 numbers.  This module is the boundary between the two worlds: it parses
 raw cell strings into typed :class:`Value` objects and infers column
-types by majority vote, the same pragmatics SQUALL-style template
-placeholders rely on (``c2_number`` means "column 2, numeric").
+types by unanimity over non-null cells (a column is numeric only when
+*every* non-null cell parses as a number), the same pragmatics
+SQUALL-style template placeholders rely on (``c2_number`` means
+"column 2, numeric").
+
+Hot-path caching
+----------------
+``Value`` objects are immutable, so every derived quantity is a pure
+function of ``(raw, type, typed)`` and can be memoized on the instance:
+the numeric coercion of ``raw`` (one regex run per value instead of one
+per comparison), the sort key, and the canonical distinct-count key.
+:func:`parse_value` additionally runs behind a bounded LRU keyed on the
+raw string.  None of this consumes randomness or changes any result, so
+cached and cache-free execution are byte-identical.
 """
 
 from __future__ import annotations
@@ -12,6 +24,7 @@ from __future__ import annotations
 import math
 import re
 from dataclasses import dataclass
+from functools import lru_cache
 from enum import Enum
 from typing import Any
 
@@ -60,9 +73,15 @@ _MONTHS = {
     )
 }
 
+_DAYS_IN_MONTH = (31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)
+
 _BOOL_WORDS = {"true": True, "yes": True, "false": False, "no": False}
 
 _NULL_WORDS = {"", "-", "--", "n/a", "na", "none", "null", "nil"}
+
+#: sentinel for "not computed yet" in the per-instance memo slots
+#: (``None`` is a real cached outcome for numeric coercion).
+_UNSET = object()
 
 
 @dataclass(frozen=True, order=False)
@@ -73,6 +92,11 @@ class Value:
     can quote the table verbatim; ``typed`` carries the parsed payload
     (float for numbers, ``(y, m, d)`` tuple for dates, bool, or the
     normalized string).
+
+    Derived quantities (numeric coercion, sort key, canonical key) are
+    memoized lazily on the instance — safe because the dataclass is
+    frozen and the memo slots are not dataclass fields, so ``==``,
+    ``hash``, ``repr``, and pickling semantics are unaffected.
     """
 
     raw: str
@@ -125,19 +149,60 @@ class Value:
             return year * 10000 + month * 100 + day
         if self.type is ValueType.BOOL:
             return 1.0 if self.typed else 0.0
-        parsed = coerce_number(self.raw)
+        parsed = self._coerced()
         if parsed is None:
             raise ValueParseError(f"value {self.raw!r} is not numeric")
         return parsed
 
+    # -- memoized derived quantities -------------------------------------
+    def _coerced(self) -> float | None:
+        """:func:`coerce_number` of ``raw``, computed at most once."""
+        cached = self.__dict__.get("_coerced_memo", _UNSET)
+        if cached is _UNSET:
+            cached = coerce_number(self.raw)
+            object.__setattr__(self, "_coerced_memo", cached)
+        return cached
+
     # -- comparisons -----------------------------------------------------
     def _key(self) -> tuple:
-        """Sort key: group by type, order within type."""
-        if self.type is ValueType.NULL:
-            return (0, 0)
-        if self.type in (ValueType.NUMBER, ValueType.BOOL, ValueType.DATE):
-            return (1, self.as_number())
-        return (2, self.typed.lower())
+        """Sort key: group by type, order within type (memoized)."""
+        cached = self.__dict__.get("_key_memo")
+        if cached is None:
+            if self.type is ValueType.NULL:
+                cached = (0, 0)
+            elif self.type in (ValueType.NUMBER, ValueType.BOOL, ValueType.DATE):
+                cached = (1, self.as_number())
+            else:
+                cached = (2, self.typed.lower())
+            object.__setattr__(self, "_key_memo", cached)
+        return cached
+
+    def canonical_key(self) -> tuple:
+        """The equivalence-class key consistent with :meth:`equals`.
+
+        Two non-null values are ``equals`` exactly when their canonical
+        keys match (modulo float tolerance): typed payload for dates and
+        booleans, the coerced number when the surface form is numeric
+        (so ``"1,000"``, ``"1000"``, and ``"$1,000"`` share one key),
+        case-folded text otherwise.  ``COUNT(DISTINCT …)`` and
+        :meth:`~repro.tables.table.Table.distinct_values` key on this.
+        """
+        cached = self.__dict__.get("_canonical_memo")
+        if cached is None:
+            if self.type is ValueType.DATE:
+                cached = ("date", self.typed)
+            elif self.type is ValueType.BOOL:
+                cached = ("bool", self.typed)
+            elif self.type is ValueType.NULL:
+                cached = ("null",)
+            else:
+                number = self._coerced()
+                if number is not None:
+                    cached = ("num", number)
+                else:
+                    cached = ("text", self.raw.strip().lower())
+            object.__setattr__(self, "_canonical_memo", cached)
+        return cached
 
     def __lt__(self, other: "Value") -> bool:
         return self._key() < other._key()
@@ -152,11 +217,16 @@ class Value:
         return self._key() >= other._key()
 
     def equals(self, other: "Value") -> bool:
-        """Semantic equality: numeric when both sides are numeric."""
+        """Semantic equality: typed for dates/booleans, numeric when both
+        sides coerce to numbers, case-folded text otherwise."""
         if self.is_null or other.is_null:
             return self.is_null and other.is_null
-        self_num = coerce_number(self.raw)
-        other_num = coerce_number(other.raw)
+        if self.type is ValueType.DATE and other.type is ValueType.DATE:
+            return self.typed == other.typed
+        if self.type is ValueType.BOOL and other.type is ValueType.BOOL:
+            return self.typed == other.typed
+        self_num = self._coerced()
+        other_num = other._coerced()
         if self_num is not None and other_num is not None:
             return math.isclose(self_num, other_num, rel_tol=1e-9, abs_tol=1e-9)
         return self.raw.strip().lower() == other.raw.strip().lower()
@@ -203,7 +273,14 @@ def coerce_number(raw: str) -> float | None:
     return number
 
 
-def parse_value(raw: str) -> Value:
+def days_in_month(year: int, month: int) -> int:
+    """Number of days in ``month`` of ``year`` (leap-year aware)."""
+    if month == 2 and (year % 4 == 0 and (year % 100 != 0 or year % 400 == 0)):
+        return 29
+    return _DAYS_IN_MONTH[month - 1]
+
+
+def _parse_value_uncached(raw: str) -> Value:
     """Parse one raw cell string into the most specific :class:`Value`."""
     stripped = raw.strip()
     lowered = stripped.lower()
@@ -221,7 +298,7 @@ def parse_value(raw: str) -> Value:
             year = int(date_match.group("year2"))
             month = _MONTHS[date_match.group("month2").lower()]
             day = int(date_match.group("day2"))
-        if 1 <= month <= 12 and 1 <= day <= 31:
+        if 1 <= month <= 12 and 1 <= day <= days_in_month(year, month):
             return Value.date(year, month, day, raw)
     number = coerce_number(stripped)
     if number is not None:
@@ -229,11 +306,27 @@ def parse_value(raw: str) -> Value:
     return Value.text(raw)
 
 
+@lru_cache(maxsize=4096)
+def parse_value(raw: str) -> Value:
+    """Parse one raw cell string into the most specific :class:`Value`.
+
+    Memoized behind a bounded LRU: table corpora repeat the same surface
+    strings constantly (years, grades, team names), and ``Value`` is
+    immutable, so handing every caller the same instance is safe — and
+    makes the per-instance memo fields (:meth:`Value._key`,
+    :meth:`Value.canonical_key`) shared across all appearances of the
+    string.  Use ``parse_value.__wrapped__`` for a cache-free parse.
+    """
+    return _parse_value_uncached(raw)
+
+
 def infer_type(values: list[Value]) -> ValueType:
-    """Infer a column type by majority over non-null cells.
+    """Infer a column type by unanimity over non-null cells.
 
     A column is numeric/date/bool only when *every* non-null cell parses
     as that type; otherwise it degrades to text, which is always safe.
+    (Unanimity, not majority vote: a single stray string in a "numeric"
+    column would make aggregates over it raise.)
     """
     non_null = [value for value in values if not value.is_null]
     if not non_null:

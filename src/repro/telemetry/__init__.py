@@ -25,6 +25,7 @@ from repro.telemetry.core import SECTIONS, Telemetry
 from repro.telemetry.report import (
     REPORT_KIND,
     REPORT_SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
     build_report,
     load_report,
     render_summary,
@@ -37,6 +38,7 @@ __all__ = [
     "Telemetry",
     "REPORT_KIND",
     "REPORT_SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "build_report",
     "load_report",
     "render_summary",

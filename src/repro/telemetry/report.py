@@ -12,6 +12,13 @@ the runtime merges only the successful attempt's counters.
 Schema version 2 adds the resilience sections: ``quarantine`` (the
 structured records of contexts isolated by the fault-tolerant runtime)
 and ``retries`` (how often contexts, chunks, and pools were retried).
+
+Schema version 3 adds the ``profile`` section — per-stage wall-clock
+breakdown of the hot path (sampler, executor, filters, NL-gen,
+serialization) recorded by :mod:`repro.profiling` when a run is
+profiled (``repro generate --profile``).  The section is present in
+every v3 report with ``enabled: false`` when profiling was off; the
+validator still accepts v2 reports, which simply lack it.
 """
 
 from __future__ import annotations
@@ -21,10 +28,15 @@ from pathlib import Path
 from typing import Any
 
 from repro.fsio import atomic_write_text
+from repro.profiling import PROFILE_PREFIX, profile_section
 from repro.telemetry.core import Telemetry
 
 #: bump when the report layout changes incompatibly.
-REPORT_SCHEMA_VERSION = 2
+REPORT_SCHEMA_VERSION = 3
+
+#: schema versions :func:`validate_report` accepts (older versions stay
+#: readable: every section they define is a subset of the current one).
+SUPPORTED_SCHEMA_VERSIONS = (2, 3)
 
 #: the ``kind`` discriminator written into every report.
 REPORT_KIND = "uctr-generation-report"
@@ -59,6 +71,7 @@ def build_report(
             "reject_reasons": telemetry.keys_under("rejects", name),
         }
     quarantined = telemetry.events("quarantine")
+    timers = telemetry.snapshot()["timers"]
     report: dict[str, Any] = {
         "schema_version": REPORT_SCHEMA_VERSION,
         "kind": REPORT_KIND,
@@ -76,8 +89,10 @@ def build_report(
         "retries": telemetry.section("retries"),
         "timers": {
             name: dict(stat)
-            for name, stat in telemetry.snapshot()["timers"].items()
+            for name, stat in timers.items()
+            if not name.startswith(PROFILE_PREFIX)
         },
+        "profile": profile_section(timers),
     }
     seconds = telemetry.seconds("generate")
     if seconds > 0 and samples_written is not None:
@@ -104,9 +119,24 @@ def validate_report(report: dict[str, Any]) -> list[str]:
     problems: list[str] = []
     if report.get("kind") != REPORT_KIND:
         problems.append(f"kind is {report.get('kind')!r}, not {REPORT_KIND!r}")
-    if report.get("schema_version") != REPORT_SCHEMA_VERSION:
-        problems.append("unknown schema_version "
-                        f"{report.get('schema_version')!r}")
+    version = report.get("schema_version")
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
+        problems.append(f"unknown schema_version {version!r}")
+    profile = report.get("profile")
+    if version == REPORT_SCHEMA_VERSION and not isinstance(profile, dict):
+        problems.append("v3 report is missing its profile section")
+    if isinstance(profile, dict):
+        stages = profile.get("stages")
+        if not isinstance(stages, dict):
+            problems.append("profile.stages must be a dict")
+        else:
+            for stage_name, entry in stages.items():
+                if not isinstance(entry, dict) or not isinstance(
+                    entry.get("seconds"), (int, float)
+                ):
+                    problems.append(
+                        f"profile.stages[{stage_name!r}] malformed"
+                    )
     pipelines = report.get("pipelines")
     if not isinstance(pipelines, dict):
         problems.append("pipelines must be a dict")

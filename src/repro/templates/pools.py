@@ -12,6 +12,7 @@ multiply, divide, greater, exp + table aggregations).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.errors import TemplateError
 from repro.programs.base import ProgramKind
@@ -302,15 +303,17 @@ def _arith_templates() -> list[ProgramTemplate]:
     ]
 
 
+@lru_cache(maxsize=None)
 def squall_pool() -> TemplatePool:
-    """SQL templates in the style of SQUALL."""
+    """SQL templates in the style of SQUALL (built once per process)."""
     return TemplatePool(
         name="squall", kind=ProgramKind.SQL, templates=tuple(_sql_templates())
     )
 
 
+@lru_cache(maxsize=None)
 def logic2text_pool() -> TemplatePool:
-    """Logical-form templates in the style of Logic2Text."""
+    """Logical-form templates in the style of Logic2Text (built once)."""
     return TemplatePool(
         name="logic2text",
         kind=ProgramKind.LOGIC,
@@ -318,15 +321,22 @@ def logic2text_pool() -> TemplatePool:
     )
 
 
+@lru_cache(maxsize=None)
 def finqa_pool() -> TemplatePool:
-    """Arithmetic-expression templates in the style of FinQA."""
+    """Arithmetic-expression templates in the style of FinQA (built once)."""
     return TemplatePool(
         name="finqa", kind=ProgramKind.ARITH, templates=tuple(_arith_templates())
     )
 
 
 def pool_for_kind(kind: ProgramKind | str) -> TemplatePool:
-    """The default pool for one program kind."""
+    """The default pool for one program kind.
+
+    Pools and their templates are immutable (frozen dataclasses holding
+    tuples), so the memoized instances are shared safely: the hot path
+    (:meth:`repro.pipelines.base.PipelineTools.templates`) used to
+    rebuild ~65 template dataclasses per draw.
+    """
     kind = ProgramKind(kind)
     if kind is ProgramKind.SQL:
         return squall_pool()

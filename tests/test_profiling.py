@@ -1,0 +1,236 @@
+"""Unit tests for the hot-path profiler and the report's profile section."""
+
+import pytest
+
+from repro import profiling
+from repro.profiling import (
+    PROFILE_PREFIX,
+    Profiler,
+    profile_section,
+    render_profile,
+)
+from repro.telemetry import (
+    SUPPORTED_SCHEMA_VERSIONS,
+    Telemetry,
+    build_report,
+    validate_report,
+)
+
+
+@pytest.fixture
+def installed():
+    """Profiling enabled for the duration of one test, then torn down."""
+    was_active = profiling.active()
+    profiler = profiling.install()
+    profiler.reset()
+    yield profiler
+    if was_active is None:
+        profiling.uninstall()
+    else:
+        was_active.reset()
+
+
+class TestProfiler:
+    def test_records_seconds_and_calls(self):
+        profiler = Profiler()
+        with profiler.stage("sampler"):
+            pass
+        with profiler.stage("sampler"):
+            pass
+        stats = profiler.stats()
+        seconds, calls = stats["sampler"]
+        assert calls == 2
+        assert seconds >= 0.0
+
+    def test_nested_stages_get_path_keys(self):
+        profiler = Profiler()
+        with profiler.stage("sampler"):
+            with profiler.stage("executor"):
+                pass
+        with profiler.stage("executor"):
+            pass
+        stats = profiler.stats()
+        assert set(stats) == {"sampler", "sampler/executor", "executor"}
+        assert stats["sampler/executor"][1] == 1
+        assert stats["executor"][1] == 1
+
+    def test_reentrant_nesting(self):
+        profiler = Profiler()
+        with profiler.stage("a"):
+            with profiler.stage("a"):
+                pass
+        assert set(profiler.stats()) == {"a", "a/a"}
+
+    def test_exception_still_pops_frame(self):
+        profiler = Profiler()
+        with pytest.raises(RuntimeError):
+            with profiler.stage("outer"):
+                raise RuntimeError("boom")
+        with profiler.stage("after"):
+            pass
+        stats = profiler.stats()
+        assert "after" in stats  # not "outer/after": the stack unwound
+        assert "outer" in stats
+
+    def test_reset_clears(self):
+        profiler = Profiler()
+        with profiler.stage("x"):
+            pass
+        profiler.reset()
+        assert profiler.stats() == {}
+
+    def test_flush_into_moves_stats_to_telemetry(self):
+        profiler = Profiler()
+        with profiler.stage("sampler"):
+            with profiler.stage("executor"):
+                pass
+        telemetry = Telemetry()
+        profiler.flush_into(telemetry)
+        timers = telemetry.snapshot()["timers"]
+        assert PROFILE_PREFIX + "sampler" in timers
+        assert PROFILE_PREFIX + "sampler/executor" in timers
+        assert profiler.stats() == {}  # moved, not copied
+
+    def test_flushes_merge_additively(self):
+        telemetry = Telemetry()
+        profiler = Profiler()
+        for _ in range(3):
+            with profiler.stage("s"):
+                pass
+            profiler.flush_into(telemetry)
+        timers = telemetry.snapshot()["timers"]
+        assert timers[PROFILE_PREFIX + "s"]["calls"] == 3
+
+
+class TestModuleSwitch:
+    def test_stage_is_noop_when_uninstalled(self):
+        if profiling.active() is not None:
+            pytest.skip("profiling externally enabled")
+        with profiling.stage("anything"):
+            pass
+        profiling.flush_into(Telemetry())  # no-op, must not raise
+
+    def test_install_activates_and_env_propagates(self, installed):
+        import os
+
+        assert profiling.active() is installed
+        assert os.environ.get(profiling.ENV_FLAG)
+        with profiling.stage("probe"):
+            pass
+        assert "probe" in installed.stats()
+
+    def test_uninstall_drops_state(self):
+        import os
+
+        profiling.install()
+        profiling.uninstall()
+        assert profiling.active() is None
+        assert profiling.ENV_FLAG not in os.environ
+
+
+class TestProfileSection:
+    def _timers(self, **seconds):
+        return {
+            PROFILE_PREFIX + path: {"seconds": value, "calls": 1}
+            for path, value in seconds.items()
+        }
+
+    def test_extracts_only_profile_timers(self):
+        timers = self._timers(sampler=1.0)
+        timers["generate"] = {"seconds": 9.0, "calls": 1}
+        section = profile_section(timers)
+        assert section["enabled"] is True
+        assert set(section["stages"]) == {"sampler"}
+
+    def test_disabled_when_no_stages(self):
+        section = profile_section({"generate": {"seconds": 1.0, "calls": 1}})
+        assert section == {"enabled": False, "stages": {}}
+
+    def test_self_seconds_subtracts_direct_children_only(self):
+        section = profile_section(
+            self._timers(
+                **{
+                    "sampler": 1.0,
+                    "sampler/executor": 0.6,
+                    "sampler/executor/parse": 0.2,
+                }
+            )
+        )
+        stages = section["stages"]
+        # grandchild time is inside the child's total already
+        assert stages["sampler"]["self_seconds"] == pytest.approx(0.4)
+        assert stages["sampler/executor"]["self_seconds"] == pytest.approx(0.4)
+        assert stages["sampler/executor/parse"]["self_seconds"] == (
+            pytest.approx(0.2)
+        )
+
+    def test_self_seconds_never_negative(self):
+        section = profile_section(
+            self._timers(**{"a": 0.1, "a/b": 0.5})
+        )
+        assert section["stages"]["a"]["self_seconds"] == 0.0
+
+    def test_render_ranks_by_self_time(self):
+        section = profile_section(
+            self._timers(**{"cold": 0.1, "hot": 5.0})
+        )
+        rendered = render_profile(section, top=10)
+        assert rendered.index("hot") < rendered.index("cold")
+
+    def test_render_handles_empty(self):
+        assert "no stages" in render_profile({"enabled": False, "stages": {}})
+
+
+class TestReportV3:
+    def _run_report(self, profiled=True):
+        telemetry = Telemetry()
+        if profiled:
+            profiler = Profiler()
+            with profiler.stage("sampler"):
+                pass
+            profiler.flush_into(telemetry)
+        return build_report(telemetry, seed=0, workers=1, contexts=0)
+
+    def test_build_report_carries_profile_section(self):
+        report = self._run_report()
+        assert report["schema_version"] == 3
+        assert report["profile"]["enabled"] is True
+        assert "sampler" in report["profile"]["stages"]
+
+    def test_unprofiled_report_has_disabled_section(self):
+        report = self._run_report(profiled=False)
+        assert report["profile"] == {"enabled": False, "stages": {}}
+        assert validate_report(report) == []
+
+    def test_profile_timers_not_duplicated_in_timers(self):
+        report = self._run_report()
+        assert not any(
+            name.startswith(PROFILE_PREFIX) for name in report["timers"]
+        )
+
+    def test_validator_accepts_v3(self):
+        assert validate_report(self._run_report()) == []
+
+    def test_validator_accepts_v2_without_profile(self):
+        report = self._run_report(profiled=False)
+        report["schema_version"] = 2
+        del report["profile"]
+        assert 2 in SUPPORTED_SCHEMA_VERSIONS
+        assert validate_report(report) == []
+
+    def test_validator_rejects_unknown_version(self):
+        report = self._run_report()
+        report["schema_version"] = 99
+        assert any("schema_version" in p for p in validate_report(report))
+
+    def test_validator_rejects_missing_profile_on_v3(self):
+        report = self._run_report()
+        del report["profile"]
+        assert any("profile" in p for p in validate_report(report))
+
+    def test_validator_rejects_malformed_stage_entries(self):
+        report = self._run_report()
+        report["profile"]["stages"]["sampler"] = {"seconds": "fast"}
+        assert any("sampler" in p for p in validate_report(report))
+        report["profile"]["stages"] = ["not", "a", "dict"]
+        assert any("stages" in p for p in validate_report(report))

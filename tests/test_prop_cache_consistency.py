@@ -1,0 +1,138 @@
+"""Property tests: the hot-path caches never change an execution result.
+
+The value/schema caches (memoized coercion and keys on ``Value``, the
+``parse_value`` LRU, the schema index map) must be pure accelerations.
+These tests build the *same* table twice — once through the cached
+parser, once through ``parse_value.__wrapped__`` with fresh, memo-free
+``Value`` instances — run the same programs on both, and require
+identical :class:`ExecutionResult`s, highlighted cells included.  A
+cold-vs-warm pass re-executes on the same table so populated memos are
+also exercised against their first computation.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.programs.sql import parse_sql
+from repro.tables.table import Row, Table
+from repro.tables.values import parse_value
+
+_COLUMNS = ["name", "amount", "day"]
+
+_names = st.sampled_from(
+    ["alpha", "beta", "Gamma", "delta", " beta ", "epsilon"]
+)
+#: numeric surface forms that coerce to overlapping values
+_amounts = st.sampled_from(
+    ["1,000", "1000", "$1,000", "500", "0.5", "12%", "-17", "+8"]
+)
+#: the same few days written in both supported date syntaxes
+_days = st.sampled_from(
+    [
+        "2020-01-05",
+        "January 5, 2020",
+        "2021-03-01",
+        "March 1, 2021",
+        "2020-02-29",
+    ]
+)
+
+
+@st.composite
+def raw_rows(draw) -> list[list[str]]:
+    n_rows = draw(st.integers(min_value=1, max_value=8))
+    return [
+        [draw(_names), draw(_amounts), draw(_days)] for _ in range(n_rows)
+    ]
+
+
+@st.composite
+def queries(draw) -> str:
+    kind = draw(st.sampled_from(
+        ["lookup", "count", "count_distinct", "sum", "order", "gt", "date"]
+    ))
+    if kind == "lookup":
+        name = draw(_names)
+        return f"select amount from w where name = '{name.strip()}'"
+    if kind == "count":
+        return "select count ( * ) from w"
+    if kind == "count_distinct":
+        column = draw(st.sampled_from(["amount", "day", "name"]))
+        return f"select count ( distinct {column} ) from w"
+    if kind == "sum":
+        return "select sum ( amount ) from w"
+    if kind == "order":
+        direction = draw(st.sampled_from(["asc", "desc"]))
+        limit = draw(st.integers(min_value=1, max_value=3))
+        return f"select name from w order by amount {direction} limit {limit}"
+    if kind == "gt":
+        return "select name from w where amount > 400"
+    day = draw(_days)
+    return f"select name from w where day = '{day}'"
+
+
+def cached_table(rows: list[list[str]]) -> Table:
+    """The production path: ``from_rows`` parses via the LRU-cached parser."""
+    return Table.from_rows(_COLUMNS, rows)
+
+
+def cache_free_table(rows: list[list[str]]) -> Table:
+    """Same table, but every cell is a fresh memo-free ``Value``."""
+    parsed = [
+        Row(tuple(parse_value.__wrapped__(cell) for cell in row))
+        for row in rows
+    ]
+    reference = cached_table(rows)
+    return Table(
+        schema=reference.schema, rows=tuple(parsed),
+        title=reference.title, caption=reference.caption,
+        row_name_column=reference.row_name_column,
+    )
+
+
+def fingerprint(result) -> tuple:
+    """Everything observable about an ExecutionResult, hashable."""
+    return (
+        tuple((v.raw, v.type, v.typed) for v in result.values),
+        tuple(result.denotation()),
+        frozenset(result.highlighted_cells),
+    )
+
+
+@settings(max_examples=150, deadline=None)
+@given(rows=raw_rows(), sql=queries())
+def test_cached_and_cache_free_execution_agree(rows, sql):
+    program = parse_sql(sql)
+    cached = program.execute(cached_table(rows))
+    fresh = program.execute(cache_free_table(rows))
+    assert fingerprint(cached) == fingerprint(fresh), sql
+
+
+@settings(max_examples=100, deadline=None)
+@given(rows=raw_rows(), sql=queries())
+def test_cold_and_warm_execution_agree(rows, sql):
+    """Re-running on the same table (memos now populated) changes nothing."""
+    program = parse_sql(sql)
+    table = cache_free_table(rows)  # fresh memos: first run populates them
+    cold = fingerprint(program.execute(table))
+    warm = fingerprint(program.execute(table))
+    assert cold == warm, sql
+
+
+@settings(max_examples=100, deadline=None)
+@given(rows=raw_rows())
+def test_value_semantics_survive_caching(rows):
+    """equals / ordering / canonical keys match between the two parses."""
+    for row in rows:
+        for raw in row:
+            cached = parse_value(raw)
+            fresh = parse_value.__wrapped__(raw)
+            assert cached.canonical_key() == fresh.canonical_key()
+            assert cached.equals(fresh) or cached.is_null
+            for other_raw in row:
+                other = parse_value(other_raw)
+                other_fresh = parse_value.__wrapped__(other_raw)
+                assert cached.equals(other) == fresh.equals(other_fresh)
+                if not (cached.is_null or other.is_null):
+                    assert (cached < other) == (fresh < other_fresh)

@@ -95,6 +95,65 @@ class TestRunWithRetry:
             run_with_retry(fn, policy, clock=clock)
         assert calls == [1]
 
+    def test_never_sleeps_past_deadline(self):
+        # Regression: the backoff pause used to ignore the deadline, so
+        # a 10s pause could be slept inside a 1s budget and the next
+        # attempt launched long after expiry.
+        fn, calls = self._flaky(failures=10)
+        now = [0.0]
+        slept = []
+
+        def sleep(seconds):
+            slept.append(seconds)
+            now[0] += seconds
+
+        policy = RetryPolicy(
+            max_attempts=5, backoff_base=10.0, backoff_cap=10.0, deadline=1.0
+        )
+        with pytest.raises(ValueError, match="boom 1"):
+            run_with_retry(fn, policy, sleep=sleep, clock=lambda: now[0])
+        assert slept == []  # gave up instead of sleeping 10s into a 1s budget
+        assert calls == [1]
+        assert now[0] <= policy.deadline
+
+    def test_gives_up_when_pause_would_exhaust_budget(self):
+        fn, calls = self._flaky(failures=10)
+        now = [0.0]
+
+        def fn_with_time(attempt):
+            now[0] += 0.4  # each attempt takes 0.4s of the 1.0s budget
+            return fn(attempt)
+
+        def sleep(seconds):
+            now[0] += seconds
+
+        policy = RetryPolicy(
+            max_attempts=5, backoff_base=0.3, backoff_cap=0.3, deadline=1.0
+        )
+        with pytest.raises(ValueError):
+            run_with_retry(fn_with_time, policy, sleep=sleep,
+                           clock=lambda: now[0])
+        # attempt 1 (t=0.4) + pause 0.3 fits; attempt 2 ends at t=1.1,
+        # past the deadline, so no third attempt is launched.
+        assert calls == [1, 2]
+        assert now[0] == pytest.approx(1.1)
+
+    def test_retries_freely_inside_generous_deadline(self):
+        fn, calls = self._flaky(failures=2)
+        now = [0.0]
+
+        def sleep(seconds):
+            now[0] += seconds
+
+        policy = RetryPolicy(
+            max_attempts=5, backoff_base=0.1, backoff_cap=1.0, deadline=60.0
+        )
+        assert (
+            run_with_retry(fn, policy, sleep=sleep, clock=lambda: now[0])
+            == "ok@3"
+        )
+        assert calls == [1, 2, 3]
+
     def test_sleeps_policy_delays(self):
         fn, _ = self._flaky(failures=2)
         pauses = []

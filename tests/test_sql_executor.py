@@ -121,6 +121,57 @@ class TestAggregates:
         assert result.is_empty
 
 
+class TestSemanticEquality:
+    """Regressions: equality and distinctness on typed/formatted cells."""
+
+    @pytest.fixture
+    def releases_table(self):
+        from repro.tables import Table
+
+        return Table.from_rows(
+            ["album", "released", "sales"],
+            [
+                ["alpha", "January 5, 2020", "1,000"],
+                ["beta", "2020-01-05", "1000"],
+                ["gamma", "March 1, 2021", "$1,000"],
+                ["delta", "2021-03-02", "500"],
+            ],
+        )
+
+    def test_date_literal_matches_written_date(self, releases_table):
+        # "January 5, 2020" and '2020-01-05' are the same day; the
+        # filter used to compare their raw strings and match nothing.
+        result = run(
+            releases_table,
+            "select album from w where released = '2020-01-05'",
+        )
+        assert result.denotation() == ["alpha", "beta"]
+
+    def test_written_date_literal_matches_iso_cell(self, releases_table):
+        result = run(
+            releases_table,
+            "select album from w where released = 'March 2, 2021'",
+        )
+        assert result.denotation() == ["delta"]
+
+    def test_date_inequality_uses_typed_payload(self, releases_table):
+        result = run(
+            releases_table,
+            "select album from w where released != '2020-01-05'",
+        )
+        assert result.denotation() == ["gamma", "delta"]
+
+    def test_count_distinct_collapses_numeric_formats(self, releases_table):
+        # "1,000", "1000", and "$1,000" are one value; the old raw-string
+        # key counted them as three.
+        result = run(releases_table, "select count(distinct sales) from w")
+        assert result.denotation() == ["2"]
+
+    def test_count_distinct_collapses_date_formats(self, releases_table):
+        result = run(releases_table, "select count(distinct released) from w")
+        assert result.denotation() == ["3"]
+
+
 class TestHighlightedCells:
     def test_filter_highlights_matching_cells(self, players_table):
         result = run(players_table, "select team from w where player = 'bo chen'")

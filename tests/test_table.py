@@ -65,6 +65,24 @@ class TestTableAccessors:
         teams = [v.raw for v in players_table.distinct_values("team")]
         assert teams == ["hawks", "bulls", "heat"]
 
+    def test_distinct_values_collapse_equivalent_formats(self):
+        # Regression: distinctness used to key on the lowered raw string,
+        # splitting "1,000"/"1000"/"$1,000" into three values and
+        # "2020-01-05"/"January 5, 2020" into two.
+        table = Table.from_rows(
+            ["amount", "day"],
+            [
+                ["1,000", "2020-01-05"],
+                ["1000", "January 5, 2020"],
+                ["$1,000", "2021-03-01"],
+                ["500", "2021-03-01"],
+            ],
+        )
+        amounts = [v.raw for v in table.distinct_values("amount")]
+        assert amounts == ["1,000", "500"]  # first-seen representative
+        days = [v.raw for v in table.distinct_values("day")]
+        assert days == ["2020-01-05", "2021-03-01"]
+
     def test_row_name_uses_configured_column(self, players_table):
         assert players_table.row_name(2) == "alan reed"
 

@@ -1,6 +1,7 @@
 """Unit tests for typed cell values and parsing."""
 
 import math
+import pickle
 
 import pytest
 
@@ -9,6 +10,7 @@ from repro.tables.values import (
     Value,
     ValueType,
     coerce_number,
+    days_in_month,
     format_number,
     infer_type,
     parse_value,
@@ -122,6 +124,110 @@ class TestValueComparisons:
     def test_null_equals_null_only(self):
         assert parse_value("-").equals(parse_value("n/a"))
         assert not parse_value("-").equals(parse_value("x"))
+
+    def test_equals_dates_across_surface_forms(self):
+        # Regression: equality used to fall through to the case-folded
+        # raw strings, so the same day written two ways compared unequal.
+        assert parse_value("January 5, 2020").equals(parse_value("2020-01-05"))
+        assert parse_value("2020-01-05").equals(parse_value("january 5 2020"))
+
+    def test_equals_dates_distinguishes_days(self):
+        assert not parse_value("January 5, 2020").equals(
+            parse_value("2020-01-06")
+        )
+
+    def test_equals_booleans_across_surface_forms(self):
+        assert parse_value("yes").equals(parse_value("TRUE"))
+        assert not parse_value("yes").equals(parse_value("no"))
+
+
+class TestCanonicalKey:
+    def test_numeric_surface_forms_share_one_key(self):
+        # Regression: distinct-counting used to key on the lowered raw
+        # string, so these counted as three distinct values.
+        keys = {
+            parse_value(raw).canonical_key()
+            for raw in ("1,000", "1000", "$1,000")
+        }
+        assert len(keys) == 1
+
+    def test_distinct_numbers_get_distinct_keys(self):
+        assert (
+            parse_value("1,000").canonical_key()
+            != parse_value("1,001").canonical_key()
+        )
+
+    def test_date_surface_forms_share_one_key(self):
+        assert (
+            parse_value("January 5, 2020").canonical_key()
+            == parse_value("2020-01-05").canonical_key()
+        )
+
+    def test_text_key_is_case_and_space_folded(self):
+        assert (
+            parse_value(" Hawks ").canonical_key()
+            == parse_value("hawks").canonical_key()
+        )
+
+    def test_consistent_with_equals(self):
+        raws = ["1,000", "1000", "$1,000", "500", "2020-01-05",
+                "January 5, 2020", "hawks", "HAWKS", "yes", "true"]
+        values = [parse_value(raw) for raw in raws]
+        for a in values:
+            for b in values:
+                assert a.equals(b) == (
+                    a.canonical_key() == b.canonical_key()
+                ), (a.raw, b.raw)
+
+
+class TestImpossibleDates:
+    def test_february_31_degrades_to_text(self):
+        # Regression: the parser used to accept any day up to 31 in any
+        # month, so "February 31" became a DATE.
+        assert parse_value("February 31, 2020").type is ValueType.TEXT
+        assert parse_value("2020-02-31").type is ValueType.TEXT
+
+    def test_leap_day_is_a_date_only_in_leap_years(self):
+        assert parse_value("February 29, 2020").type is ValueType.DATE
+        assert parse_value("February 29, 2021").type is ValueType.TEXT
+
+    def test_thirty_day_months_reject_day_31(self):
+        assert parse_value("April 31, 2021").type is ValueType.TEXT
+        assert parse_value("2021-06-31").type is ValueType.TEXT
+        assert parse_value("2021-07-31").type is ValueType.DATE
+
+    def test_days_in_month_century_rules(self):
+        assert days_in_month(2000, 2) == 29  # divisible by 400: leap
+        assert days_in_month(1900, 2) == 28  # divisible by 100 only: not
+        assert days_in_month(2024, 2) == 29
+        assert days_in_month(2023, 2) == 28
+        assert days_in_month(2023, 12) == 31
+
+
+class TestParseValueCache:
+    def test_returns_shared_instance(self):
+        assert parse_value("cache-probe-31") is parse_value("cache-probe-31")
+
+    def test_cache_free_parse_agrees(self):
+        for raw in ("31", "2020-01-05", "yes", "-", "hello", "$1,200"):
+            cached = parse_value(raw)
+            fresh = parse_value.__wrapped__(raw)
+            assert cached is not fresh
+            assert cached == fresh
+            assert cached.equals(fresh)
+
+    def test_memo_slots_do_not_leak_into_semantics(self):
+        warm = parse_value.__wrapped__("1,234")
+        warm.as_number()       # populates the coercion memo
+        warm.canonical_key()   # populates the canonical-key memo
+        _ = warm < parse_value.__wrapped__("2,000")  # populates sort key
+        cold = parse_value.__wrapped__("1,234")
+        assert warm == cold
+        assert hash(warm) == hash(cold)
+        assert repr(warm) == repr(cold)
+        unpickled = pickle.loads(pickle.dumps(warm))
+        assert unpickled == cold
+        assert unpickled.canonical_key() == cold.canonical_key()
 
 
 class TestAsNumber:
