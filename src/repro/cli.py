@@ -13,6 +13,9 @@ Commands:
   fault-tolerance policy, ``--profile`` prints a hot-path stage-time
   breakdown (and adds it to the report).
 * ``stats`` — print Table II-style statistics for a benchmark.
+* ``validate`` — audit a persisted samples corpus: verify its integrity
+  manifest, load with graceful degradation (``--on-error``), and run the
+  semantic re-execution gate; exits 0 only when the corpus is clean.
 * ``experiments`` — alias of :mod:`repro.experiments.runner`.
 """
 
@@ -32,9 +35,14 @@ from repro.datasets import (
     make_tatqa,
     make_wikisql,
 )
-from repro.io import load_contexts, save_contexts, save_samples
+from repro.io import load_contexts, load_samples, save_contexts, save_samples
 from repro.tables.context import TableContext
-from repro.telemetry import build_report, render_summary, write_report
+from repro.telemetry import (
+    Telemetry,
+    build_report,
+    render_summary,
+    write_report,
+)
 
 _BENCHMARKS = {
     "feverous": make_feverous,
@@ -66,10 +74,13 @@ def _cmd_make_dataset(args: argparse.Namespace) -> int:
             replace(ctx, meta={**ctx.meta, "benchmark": args.benchmark})
             for ctx in split.contexts
         ]
+        stamp = {"benchmark": args.benchmark, "split": split_name}
         n_ctx = save_contexts(
-            out / f"{split_name}.contexts.jsonl", contexts
+            out / f"{split_name}.contexts.jsonl", contexts, generator=stamp
         )
-        n_gold = save_samples(out / f"{split_name}.gold.jsonl", split.gold)
+        n_gold = save_samples(
+            out / f"{split_name}.gold.jsonl", split.gold, generator=stamp
+        )
         print(f"{split_name}: {n_ctx} contexts, {n_gold} gold samples")
     return 0
 
@@ -171,7 +182,17 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         )
         return 130
     elapsed = time.perf_counter() - started
-    written = save_samples(args.out, samples)
+    written = save_samples(
+        args.out,
+        samples,
+        generator={
+            "command": "generate",
+            "seed": args.seed,
+            "kinds": list(kinds),
+            "per_context": args.per_context,
+            "contexts": str(args.contexts),
+        },
+    )
     rate = written / elapsed if elapsed > 0 else 0.0
     print(
         f"wrote {written} synthetic samples to {args.out} "
@@ -205,6 +226,75 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     for key, value in stats.as_row().items():
         print(f"{key}: {value}")
     return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.errors import FileFormatError, IntegrityError
+    from repro.validate import LoadResult, read_manifest, validate_samples
+
+    integrity = "require" if args.require_manifest else "verify"
+    try:
+        loaded = load_samples(
+            args.samples, on_error=args.on_error, integrity=integrity
+        )
+    except (FileFormatError, IntegrityError) as error:
+        print(f"FAIL {args.samples}: {error}", file=sys.stderr)
+        return 1
+    if isinstance(loaded, LoadResult):
+        samples, rejects = loaded.records, loaded.rejects
+    else:
+        samples, rejects = loaded, []
+    integrity_failed = any(r.reason == "integrity" for r in rejects)
+    try:
+        manifest = read_manifest(args.samples)
+    except IntegrityError:
+        manifest = None
+    if integrity_failed:
+        manifest_status = "FAILED"
+    elif manifest is None:
+        manifest_status = "absent"
+    else:
+        manifest_status = (
+            f"ok (sha256={manifest.data_sha256[:12]}…, "
+            f"{manifest.records} records)"
+        )
+    print(
+        f"{args.samples}: {len(samples)} sample(s) loaded, "
+        f"{len(rejects)} reject(s), manifest {manifest_status}"
+    )
+    for reject in rejects:
+        print(
+            f"  reject {reject.path}:{reject.line_number} "
+            f"[{reject.reason}] {reject.detail}"
+        )
+    telemetry = Telemetry()
+    summary = validate_samples(samples, telemetry)
+    print(summary.render())
+    for verdict in summary.flagged:
+        print(
+            f"  {verdict.status}: {verdict.uid} "
+            f"[{verdict.reason}] {verdict.detail}"
+        )
+    if args.report:
+        report = build_report(
+            telemetry,
+            extra={
+                "validated_path": str(args.samples),
+                "samples_loaded": len(samples),
+                "rejects": [reject.to_json() for reject in rejects],
+            },
+        )
+        path = write_report(args.report, report)
+        print(f"wrote validation report to {path}")
+    clean = summary.clean and not rejects
+    print("PASS" if clean else "FAIL")
+    return 0 if clean else 1
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import main as experiments_main
+
+    return experiments_main(list(args.rest))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -285,10 +375,52 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("benchmark", choices=sorted(_BENCHMARKS))
     stats.set_defaults(fn=_cmd_stats)
 
+    validate = commands.add_parser(
+        "validate",
+        help="audit a samples corpus: manifest, load contract, and the "
+             "semantic re-execution gate",
+    )
+    validate.add_argument("samples", help="samples .jsonl to audit")
+    validate.add_argument(
+        "--on-error", choices=("raise", "skip", "collect"),
+        default="collect",
+        help="bad-record policy while loading (default: collect — "
+             "salvage intact records and report the casualties)",
+    )
+    validate.add_argument(
+        "--require-manifest", action="store_true",
+        help="fail when the sidecar integrity manifest is missing "
+             "(default: verify it only when present)",
+    )
+    validate.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the validation run-report (schema v4) here",
+    )
+    validate.set_defaults(fn=_cmd_validate)
+
+    experiments = commands.add_parser(
+        "experiments",
+        help="run the experiment harness "
+             "(forwards to repro.experiments.runner)",
+    )
+    experiments.add_argument(
+        "rest", nargs=argparse.REMAINDER,
+        help="arguments for the experiments runner "
+             "(e.g. --scale smoke --validate)",
+    )
+    experiments.set_defaults(fn=_cmd_experiments)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "experiments":
+        # Forward verbatim: argparse's REMAINDER stops at the first
+        # option-like token, which would swallow `--scale` etc.
+        from repro.experiments.runner import main as experiments_main
+
+        return experiments_main(argv[1:])
     args = build_parser().parse_args(argv)
     return args.fn(args)
 

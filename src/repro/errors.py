@@ -107,6 +107,25 @@ class FileFormatError(DatasetError):
         super().__init__(message)
 
 
+class IntegrityError(DatasetError):
+    """A persisted corpus fails its integrity manifest.
+
+    Raised at *load* time when the sidecar manifest written by
+    :func:`repro.io.save_samples`/:func:`repro.io.save_contexts` does not
+    match the data file — a flipped bit, a truncated tail, a record-count
+    drift, or a manifest that is itself corrupt or missing (in
+    ``integrity="require"`` mode).  Catching it one stage downstream is
+    the whole point: a poisoned corpus surfaces here, not as a weird
+    metric three stages later.
+    """
+
+    def __init__(self, message: str, path: str | None = None):
+        self.path = path
+        if path is not None:
+            message = f"{path}: {message}"
+        super().__init__(message)
+
+
 class ExecutorError(ReproError):
     """The parallel execution runtime broke an internal invariant."""
 

@@ -186,6 +186,16 @@ def mqaqg_synthetic(name: str, scale: Scale) -> list[ReasoningSample]:
     return samples
 
 
+def synthetic_corpora() -> dict[tuple[str, str, str], list[ReasoningSample]]:
+    """Every synthetic corpus generated so far, keyed like the telemetry.
+
+    Keys are ``(benchmark, scale_name, variant)``; the runner's
+    ``--validate`` pass audits these through the semantic re-execution
+    gate after the experiments finish.
+    """
+    return dict(_SYNTH_CACHE)
+
+
 def generation_telemetry() -> dict[tuple[str, str, str], dict]:
     """Telemetry snapshots of every UCTR generation run so far.
 

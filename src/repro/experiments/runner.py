@@ -4,13 +4,18 @@ Usage::
 
     python -m repro.experiments.runner [--scale smoke|paper]
         [--only table3] [--workers N] [--report report.json]
+        [--validate]
 
 ``--workers`` parallelizes UCTR synthetic-data generation inside the
 experiments (results are identical for any worker count); ``--report``
 writes the merged generation telemetry of the whole run as a JSON
-run-report.  A per-benchmark generation summary is printed after the
-experiment tables — see EXPERIMENTS.md ("Reading the telemetry") for how
-to interpret it.
+run-report.  ``--validate`` runs the semantic re-execution gate over
+every synthetic corpus the experiments generated, prints a per-corpus
+verdict line, and folds the counters into the ``--report`` validation
+section (schema v4); the run exits non-zero if any corpus carries stale
+or unexecutable samples.  A per-benchmark generation summary is printed
+after the experiment tables — see EXPERIMENTS.md ("Reading the
+telemetry") for how to interpret it.
 """
 
 from __future__ import annotations
@@ -36,8 +41,9 @@ from repro.experiments import (  # noqa: F401 (registry imports)
     table8_ablation,
     table9_examples,
 )
-from repro.experiments.config import generation_telemetry
+from repro.experiments.config import generation_telemetry, synthetic_corpora
 from repro.telemetry import Telemetry, build_report, write_report
+from repro.validate import validate_samples
 
 REGISTRY: dict[str, Callable[[Scale], ExperimentResult]] = {
     "table2": table2_statistics.run,
@@ -97,7 +103,31 @@ def render_generation_telemetry() -> str:
     return "\n".join(lines)
 
 
-def merged_generation_report(scale: Scale) -> dict:
+def validate_corpora(telemetry: Telemetry | None = None) -> tuple[str, bool]:
+    """Semantic re-execution gate over every generated synthetic corpus.
+
+    Returns ``(rendered per-corpus verdict lines, all_clean)``; counters
+    and flagged-sample events fold into ``telemetry`` when provided, so
+    they ride into the merged run-report's ``validation`` section.
+    """
+    corpora = synthetic_corpora()
+    if not corpora:
+        return "", True
+    lines = ["corpus validation (semantic re-execution gate):"]
+    all_clean = True
+    for (name, scale_name, variant), samples in sorted(corpora.items()):
+        summary = validate_samples(samples, telemetry)
+        all_clean = all_clean and summary.clean
+        lines.append(
+            f"  {name}/{variant}@{scale_name}: {summary.render()}"
+            + ("" if summary.clean else "  ← FAIL")
+        )
+    return "\n".join(lines), all_clean
+
+
+def merged_generation_report(
+    scale: Scale, validation: Telemetry | None = None
+) -> dict:
     """All generation telemetry of this run folded into one report."""
     merged = Telemetry()
     total = 0
@@ -106,6 +136,8 @@ def merged_generation_report(scale: Scale) -> dict:
         total += sum(
             Telemetry.from_snapshot(snapshot).section("emitted").values()
         )
+    if validation is not None:
+        merged.merge(validation.snapshot())
     return build_report(
         merged,
         seed=scale.seed,
@@ -123,6 +155,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="worker processes for UCTR generation")
     parser.add_argument("--report", default=None, metavar="PATH",
                         help="write merged generation telemetry as JSON")
+    parser.add_argument("--validate", action="store_true",
+                        help="re-execute every generated synthetic corpus "
+                             "through the semantic gate; exit non-zero on "
+                             "stale or unexecutable samples")
     args = parser.parse_args(argv)
     scale = SMOKE if args.scale == "smoke" else PAPER
     if args.workers != 1:
@@ -136,12 +172,23 @@ def main(argv: list[str] | None = None) -> int:
     if telemetry_text:
         print()
         print(telemetry_text)
+    all_clean = True
+    validation_telemetry: Telemetry | None = None
+    if args.validate:
+        validation_telemetry = Telemetry()
+        validation_text, all_clean = validate_corpora(validation_telemetry)
+        if validation_text:
+            print()
+            print(validation_text)
     if args.report:
-        path = write_report(args.report, merged_generation_report(scale))
+        path = write_report(
+            args.report,
+            merged_generation_report(scale, validation_telemetry),
+        )
         print(f"wrote generation report to {path}")
     print(f"\ncompleted {len(results)} experiments in "
           f"{time.time() - started:.1f}s at scale {scale.name!r}")
-    return 0
+    return 0 if all_clean else 1
 
 
 if __name__ == "__main__":  # pragma: no cover - CLI entry

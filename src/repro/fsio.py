@@ -14,10 +14,39 @@ that low-level layers (:mod:`repro.io`, :mod:`repro.telemetry.report`,
 
 from __future__ import annotations
 
+import hashlib
 import os
 from contextlib import contextmanager
 from pathlib import Path
 from typing import IO, Iterator
+
+#: read granularity for whole-file digests (files are re-hashed on every
+#: verified load, so stream instead of slurping multi-gigabyte corpora).
+_DIGEST_CHUNK = 1 << 20
+
+
+def sha256_file(path: str | Path) -> tuple[str, int]:
+    """``(hex digest, byte count)`` of a file's exact on-disk content.
+
+    The digest is over raw bytes (no newline or encoding normalization),
+    so any single-byte change — data, separator, or trailing newline —
+    changes it.
+    """
+    digest = hashlib.sha256()
+    size = 0
+    with Path(path).open("rb") as handle:
+        while True:
+            chunk = handle.read(_DIGEST_CHUNK)
+            if not chunk:
+                break
+            digest.update(chunk)
+            size += len(chunk)
+    return digest.hexdigest(), size
+
+
+def sha256_text(text: str) -> str:
+    """Hex SHA-256 of a string's UTF-8 bytes."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 def fsync_handle(handle: IO[str]) -> None:

@@ -7,23 +7,53 @@ corpora can be generated once and shared between experiments or
 exported for external training stacks.
 
 Writes are **atomic** (temp file + fsync + ``os.replace`` via
-:mod:`repro.fsio`): a run killed mid-write never leaves a truncated
-JSONL file where a good one — or nothing — used to be.  Reads validate
-line-by-line and raise :class:`~repro.errors.FileFormatError` with the
-offending line number, so a corrupt corpus is repairable instead of a
-mystery.
+:mod:`repro.fsio`) and **self-verifying**: :func:`save_samples` and
+:func:`save_contexts` write a sidecar integrity manifest (schema
+version, record count, SHA-256, generator fingerprint — see
+:mod:`repro.validate.manifest`) that loads check before deserializing,
+so a single flipped or missing byte raises a typed
+:class:`~repro.errors.IntegrityError` at load time.
+
+Reads validate line-by-line.  The default (``on_error="raise"``) raises
+:class:`~repro.errors.FileFormatError` naming the file and line, so a
+corrupt corpus is repairable instead of a mystery.  The lenient modes
+degrade gracefully instead of dying on the first casualty:
+
+``on_error="skip"``
+    yield/return only the intact records.
+``on_error="collect"``
+    additionally emit one structured
+    :class:`~repro.validate.rejects.RejectRecord` (path, line, reason,
+    content digest) per casualty — the load-time mirror of the
+    generation runtime's quarantine records.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
-from repro.errors import FileFormatError
+from repro.errors import FileFormatError, IntegrityError, ReproError
 from repro.fsio import atomic_writer
 from repro.pipelines.samples import ReasoningSample
 from repro.tables.context import TableContext
+from repro.validate.manifest import verify_manifest, write_manifest
+from repro.validate.rejects import LoadResult, RejectRecord
+
+#: how a load reacts to a bad record: die, drop, or drop-and-account.
+ON_ERROR_MODES = ("raise", "skip", "collect")
+
+#: how a load treats the sidecar manifest: check it when present,
+#: insist it exists, or ignore it entirely.
+INTEGRITY_MODES = ("verify", "require", "skip")
+
+
+def _check_on_error(on_error: str) -> None:
+    if on_error not in ON_ERROR_MODES:
+        raise ValueError(
+            f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}"
+        )
 
 
 def write_jsonl(path: str | Path, records: Iterable[dict]) -> int:
@@ -43,14 +73,28 @@ def write_jsonl(path: str | Path, records: Iterable[dict]) -> int:
     return count
 
 
-def read_jsonl(path: str | Path) -> Iterator[dict]:
-    """Yield dict records from a JSONL file.
+def iter_jsonl(
+    path: str | Path,
+    *,
+    on_error: str = "raise",
+    rejects: list[RejectRecord] | None = None,
+) -> Iterator[tuple[int, dict]]:
+    """Yield ``(line_number, record)`` pairs from a JSONL file.
 
-    Raises :class:`FileFormatError` (a :class:`DatasetError`) naming the
-    file and line for a missing file, invalid JSON, or a non-object
-    line.
+    The numbered variant of :func:`read_jsonl`, for callers that need to
+    attribute downstream failures (deserialization, checkpoint replay)
+    to a file location.  In lenient modes, bad lines are dropped; with
+    ``on_error="collect"`` each one appends a
+    :class:`~repro.validate.rejects.RejectRecord` to ``rejects``.
+
+    A missing file or a directory always raises
+    :class:`FileFormatError` — there are no records to salvage.
     """
+    _check_on_error(on_error)
     path = Path(path)
+    if path.is_dir():
+        raise FileFormatError("path is a directory, not a JSONL file",
+                              path=str(path))
     if not path.exists():
         raise FileFormatError("no such file", path=str(path))
     with path.open("r", encoding="utf-8") as handle:
@@ -58,41 +102,212 @@ def read_jsonl(path: str | Path) -> Iterator[dict]:
             stripped = line.strip()
             if not stripped:
                 continue
+            reason = detail = None
+            cause: Exception | None = None
+            record = None
             try:
                 record = json.loads(stripped)
             except json.JSONDecodeError as error:
+                reason, detail, cause = "invalid_json", str(error), error
+            if reason is None and not isinstance(record, dict):
+                reason = "not_an_object"
+                detail = f"expected a JSON object, got {type(record).__name__}"
+            if reason is None:
+                yield line_number, record
+                continue
+            if on_error == "raise":
                 raise FileFormatError(
-                    f"invalid JSON ({error})",
+                    detail if reason == "not_an_object"
+                    else f"invalid JSON ({detail})",
+                    path=str(path),
+                    line_number=line_number,
+                ) from cause
+            if on_error == "collect" and rejects is not None:
+                rejects.append(
+                    RejectRecord.for_line(
+                        str(path), line_number, reason, stripped, detail
+                    )
+                )
+
+
+def read_jsonl(
+    path: str | Path,
+    *,
+    on_error: str = "raise",
+    rejects: list[RejectRecord] | None = None,
+) -> Iterator[dict]:
+    """Yield dict records from a JSONL file.
+
+    With the default ``on_error="raise"``, raises
+    :class:`FileFormatError` (a :class:`~repro.errors.DatasetError`)
+    naming the file and line for a missing file, a directory, invalid
+    JSON, or a non-object line.  ``"skip"`` drops bad lines;
+    ``"collect"`` drops them and appends structured reject records to
+    the caller-provided ``rejects`` list.
+    """
+    for _, record in iter_jsonl(path, on_error=on_error, rejects=rejects):
+        yield record
+
+
+# -- typed corpora ----------------------------------------------------------
+
+def _generator_stamp(generator: dict | None) -> dict:
+    """The manifest's generator fingerprint, always naming the version."""
+    from repro import __version__
+
+    stamp = {"repro_version": __version__}
+    if generator:
+        stamp.update(generator)
+    return stamp
+
+
+def _load_typed(
+    path: str | Path,
+    from_json: Callable[[dict], object],
+    record_kind: str,
+    on_error: str,
+    integrity: str,
+):
+    """Shared engine of :func:`load_samples`/:func:`load_contexts`."""
+    _check_on_error(on_error)
+    if integrity not in INTEGRITY_MODES:
+        raise ValueError(
+            f"integrity must be one of {INTEGRITY_MODES}, got {integrity!r}"
+        )
+    path = Path(path)
+    rejects: list[RejectRecord] = []
+    manifest = None
+    if integrity != "skip":
+        try:
+            manifest = verify_manifest(path, required=integrity == "require")
+        except IntegrityError as error:
+            if on_error == "raise":
+                raise
+            rejects.append(
+                RejectRecord(
+                    path=str(path),
+                    line_number=0,
+                    reason="integrity",
+                    detail=str(error),
+                )
+            )
+    records: list = []
+    for line_number, payload in iter_jsonl(
+        path, on_error=on_error, rejects=rejects
+    ):
+        try:
+            records.append(from_json(payload))
+        except (KeyError, TypeError, ValueError, ReproError) as error:
+            if on_error == "raise":
+                raise FileFormatError(
+                    f"cannot deserialize {record_kind} record ({error!r})",
                     path=str(path),
                     line_number=line_number,
                 ) from error
-            if not isinstance(record, dict):
-                raise FileFormatError(
-                    f"expected a JSON object, got {type(record).__name__}",
-                    path=str(path),
-                    line_number=line_number,
+            if on_error == "collect":
+                rejects.append(
+                    RejectRecord.for_line(
+                        str(path),
+                        line_number,
+                        "deserialization",
+                        json.dumps(payload, sort_keys=True,
+                                   ensure_ascii=False),
+                        f"{error!r}",
+                    )
                 )
-            yield record
+    if (
+        manifest is not None
+        and on_error == "raise"
+        and len(records) != manifest.records
+    ):
+        raise IntegrityError(
+            f"record count mismatch: manifest says {manifest.records}, "
+            f"file holds {len(records)}",
+            path=str(path),
+        )
+    if on_error == "collect":
+        return LoadResult(records=records, rejects=rejects)
+    return records
 
 
-def save_samples(path: str | Path, samples: Iterable[ReasoningSample]) -> int:
-    """Persist reasoning samples (synthetic or gold) as JSONL."""
+def save_samples(
+    path: str | Path,
+    samples: Iterable[ReasoningSample],
+    *,
+    manifest: bool = True,
+    generator: dict | None = None,
+) -> int:
+    """Persist reasoning samples (synthetic or gold) as JSONL.
+
+    Writes the data atomically, then (unless ``manifest=False``) the
+    sidecar integrity manifest; ``generator`` is stamped into it so a
+    corpus can name the run that produced it.
+    """
     from repro import profiling
 
     with profiling.stage("serialize"):
-        return write_jsonl(path, (sample.to_json() for sample in samples))
+        count = write_jsonl(path, (sample.to_json() for sample in samples))
+    if manifest:
+        write_manifest(
+            path,
+            record_kind="samples",
+            records=count,
+            generator=_generator_stamp(generator),
+        )
+    return count
 
 
-def load_samples(path: str | Path) -> list[ReasoningSample]:
-    """Load reasoning samples written by :func:`save_samples`."""
-    return [ReasoningSample.from_json(record) for record in read_jsonl(path)]
+def load_samples(
+    path: str | Path,
+    *,
+    on_error: str = "raise",
+    integrity: str = "verify",
+) -> list[ReasoningSample] | LoadResult:
+    """Load reasoning samples written by :func:`save_samples`.
+
+    The sidecar manifest (when present, or mandatorily with
+    ``integrity="require"``) is verified first; any mismatch raises
+    :class:`~repro.errors.IntegrityError` in strict mode or becomes a
+    file-level reject in the lenient modes, which then salvage every
+    intact record.  ``on_error="collect"`` returns a
+    :class:`~repro.validate.rejects.LoadResult` carrying both the
+    samples and the structured rejects; the other modes return a plain
+    list.
+    """
+    return _load_typed(
+        path, ReasoningSample.from_json, "sample", on_error, integrity
+    )
 
 
-def save_contexts(path: str | Path, contexts: Iterable[TableContext]) -> int:
-    """Persist unlabeled table-text contexts as JSONL."""
-    return write_jsonl(path, (context.to_json() for context in contexts))
+def save_contexts(
+    path: str | Path,
+    contexts: Iterable[TableContext],
+    *,
+    manifest: bool = True,
+    generator: dict | None = None,
+) -> int:
+    """Persist unlabeled table-text contexts as JSONL (with manifest)."""
+    count = write_jsonl(path, (context.to_json() for context in contexts))
+    if manifest:
+        write_manifest(
+            path,
+            record_kind="contexts",
+            records=count,
+            generator=_generator_stamp(generator),
+        )
+    return count
 
 
-def load_contexts(path: str | Path) -> list[TableContext]:
-    """Load contexts written by :func:`save_contexts`."""
-    return [TableContext.from_json(record) for record in read_jsonl(path)]
+def load_contexts(
+    path: str | Path,
+    *,
+    on_error: str = "raise",
+    integrity: str = "verify",
+) -> list[TableContext] | LoadResult:
+    """Load contexts written by :func:`save_contexts`.
+
+    Same integrity and degradation semantics as :func:`load_samples`.
+    """
+    return _load_typed(
+        path, TableContext.from_json, "context", on_error, integrity
+    )

@@ -101,25 +101,41 @@ def load_checkpoint(directory: str | Path) -> CheckpointData:
     completed: dict[int, list[ReasoningSample]] = {}
     results_path = directory / RESULTS_NAME
     if results_path.exists():
-        with results_path.open("r", encoding="utf-8") as handle:
-            lines = handle.readlines()
-        for position, line in enumerate(lines):
-            stripped = line.strip()
-            if not stripped:
-                continue
+        # Ride the shared degradation path (`on_error="collect"` in
+        # repro.io) instead of ad-hoc tolerant parsing: intact lines
+        # come back numbered, casualties come back as structured
+        # rejects.  The only casualty append+fsync can legitimately
+        # produce is a torn *final* line (a mid-write SIGKILL); any
+        # other reject means real corruption and fails the load.
+        from repro.io import iter_jsonl
+
+        rejects: list = []
+        numbered = list(
+            iter_jsonl(results_path, on_error="collect", rejects=rejects)
+        )
+        last_line = max(
+            [line for line, _ in numbered]
+            + [reject.line_number for reject in rejects],
+            default=0,
+        )
+        for reject in rejects:
+            if reject.line_number == last_line and reject.reason == "invalid_json":
+                continue  # torn final line from a mid-write kill
+            raise CheckpointError(
+                f"{results_path}:{reject.line_number}: corrupt result "
+                f"line ({reject.reason}: {reject.detail})"
+            )
+        for line_number, record in numbered:
             try:
-                record = json.loads(stripped)
-            except json.JSONDecodeError as error:
-                if position == len(lines) - 1:
-                    break  # torn final line from a mid-write kill
+                completed[int(record["index"])] = [
+                    ReasoningSample.from_json(payload)
+                    for payload in record["samples"]
+                ]
+            except (KeyError, TypeError, ValueError) as error:
                 raise CheckpointError(
-                    f"{results_path}:{position + 1}: corrupt result line "
-                    f"({error})"
+                    f"{results_path}:{line_number}: result record does "
+                    f"not deserialize ({error!r})"
                 ) from error
-            completed[int(record["index"])] = [
-                ReasoningSample.from_json(payload)
-                for payload in record["samples"]
-            ]
     return CheckpointData(
         fingerprint=manifest.get("fingerprint", ""),
         total=int(manifest.get("contexts", 0)),

@@ -143,6 +143,63 @@ def _claim_once(path: str) -> bool:
     return True
 
 
+# -- corruption faults -------------------------------------------------------
+#
+# Unlike the execution faults above (which fire *inside* a running
+# context), corruption faults damage *files at rest* — the scenario the
+# integrity layer (:mod:`repro.validate`) exists to catch.  They are
+# deterministic by construction: every parameter is explicit, so a test
+# that flips bit 3 of byte 17 today flips bit 3 of byte 17 forever.
+
+CORRUPTION_KINDS = ("bit-flip", "truncate", "manifest-drop")
+
+
+@dataclass(frozen=True)
+class CorruptionSpec:
+    """One deterministic act of file damage.
+
+    ``bit-flip``
+        XOR one bit (``bit``, 0–7) of the byte at ``offset``.
+    ``truncate``
+        drop everything from ``offset`` onward (``offset=-n`` keeps all
+        but the last ``n`` bytes, the torn-tail shape).
+    ``manifest-drop``
+        unlink the file's sidecar integrity manifest, leaving the data
+        untouched — the "someone cleaned up the wrong file" failure.
+    """
+
+    kind: str
+    offset: int = 0
+    bit: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in CORRUPTION_KINDS:
+            raise ValueError(f"unknown corruption kind {self.kind!r}")
+        if not 0 <= self.bit <= 7:
+            raise ValueError(f"bit must be 0-7, got {self.bit}")
+
+
+def corrupt_file(path: str | os.PathLike, spec: CorruptionSpec) -> None:
+    """Apply ``spec`` to the file at ``path`` (in place, no backup)."""
+    if spec.kind == "manifest-drop":
+        from repro.validate.manifest import manifest_path
+
+        manifest_path(path).unlink(missing_ok=True)
+        return
+    data = bytearray(open(path, "rb").read())
+    if spec.kind == "truncate":
+        remaining = data[:spec.offset] if spec.offset else data[:0]
+        with open(path, "wb") as handle:
+            handle.write(bytes(remaining))
+        return
+    offset = spec.offset % len(data) if data else 0
+    if not data:
+        raise ValueError(f"cannot bit-flip empty file {path}")
+    data[offset] ^= 1 << spec.bit
+    with open(path, "wb") as handle:
+        handle.write(bytes(data))
+
+
 def inject(index: int, attempt: int = 1) -> None:
     """Fire the installed fault for ``index``, if any.
 

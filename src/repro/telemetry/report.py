@@ -19,6 +19,14 @@ serialization) recorded by :mod:`repro.profiling` when a run is
 profiled (``repro generate --profile``).  The section is present in
 every v3 report with ``enabled: false`` when profiling was off; the
 validator still accepts v2 reports, which simply lack it.
+
+Schema version 4 adds the ``validation`` section — the semantic
+re-execution gate's verdict counts (``ok``/``stale``/``unexecutable``/
+``skipped``) and the structured verdicts of every flagged sample,
+recorded by :mod:`repro.validate.semantic` (``repro validate``, or
+``--validate`` on the experiments runner).  Like ``profile``, the
+section is always present (``enabled: false`` when the gate did not
+run), and the validator still accepts v2/v3 reports.
 """
 
 from __future__ import annotations
@@ -32,14 +40,19 @@ from repro.profiling import PROFILE_PREFIX, profile_section
 from repro.telemetry.core import Telemetry
 
 #: bump when the report layout changes incompatibly.
-REPORT_SCHEMA_VERSION = 3
+REPORT_SCHEMA_VERSION = 4
 
 #: schema versions :func:`validate_report` accepts (older versions stay
 #: readable: every section they define is a subset of the current one).
-SUPPORTED_SCHEMA_VERSIONS = (2, 3)
+SUPPORTED_SCHEMA_VERSIONS = (2, 3, 4)
 
 #: the ``kind`` discriminator written into every report.
 REPORT_KIND = "uctr-generation-report"
+
+#: verdict classes of the semantic re-execution gate (kept in sync with
+#: :class:`repro.validate.semantic.SampleStatus`; spelled out here so
+#: telemetry does not import the validation layer that imports it).
+VALIDATION_STATUSES = ("ok", "stale", "unexecutable", "skipped")
 
 
 def build_report(
@@ -71,6 +84,19 @@ def build_report(
             "reject_reasons": telemetry.keys_under("rejects", name),
         }
     quarantined = telemetry.events("quarantine")
+    validation_counts = telemetry.section("validation")
+    validation: dict[str, Any] = {"enabled": bool(validation_counts)}
+    if validation_counts:
+        validation.update(
+            {
+                "checked": sum(validation_counts.values()),
+                "counts": {
+                    status: validation_counts.get(status, 0)
+                    for status in VALIDATION_STATUSES
+                },
+                "flagged": telemetry.events("validation"),
+            }
+        )
     timers = telemetry.snapshot()["timers"]
     report: dict[str, Any] = {
         "schema_version": REPORT_SCHEMA_VERSION,
@@ -87,6 +113,7 @@ def build_report(
             "contexts": quarantined,
         },
         "retries": telemetry.section("retries"),
+        "validation": validation,
         "timers": {
             name: dict(stat)
             for name, stat in timers.items()
@@ -123,8 +150,39 @@ def validate_report(report: dict[str, Any]) -> list[str]:
     if version not in SUPPORTED_SCHEMA_VERSIONS:
         problems.append(f"unknown schema_version {version!r}")
     profile = report.get("profile")
-    if version == REPORT_SCHEMA_VERSION and not isinstance(profile, dict):
-        problems.append("v3 report is missing its profile section")
+    if (
+        isinstance(version, int)
+        and version >= 3
+        and not isinstance(profile, dict)
+    ):
+        problems.append(f"v{version} report is missing its profile section")
+    validation = report.get("validation")
+    if (
+        isinstance(version, int)
+        and version >= 4
+        and not isinstance(validation, dict)
+    ):
+        problems.append(
+            f"v{version} report is missing its validation section"
+        )
+    if isinstance(validation, dict) and validation.get("enabled"):
+        counts = validation.get("counts")
+        if not isinstance(counts, dict) or any(
+            not isinstance(counts.get(status), int)
+            for status in VALIDATION_STATUSES
+        ):
+            problems.append(
+                "validation.counts must carry integer "
+                f"{'/'.join(VALIDATION_STATUSES)} counts"
+            )
+        else:
+            flagged = validation.get("flagged")
+            expected = counts.get("stale", 0) + counts.get("unexecutable", 0)
+            if not isinstance(flagged, list) or len(flagged) != expected:
+                problems.append(
+                    "validation.flagged does not match the stale + "
+                    "unexecutable counts"
+                )
     if isinstance(profile, dict):
         stages = profile.get("stages")
         if not isinstance(stages, dict):
@@ -209,6 +267,13 @@ def render_summary(report: dict[str, Any]) -> str:
     if retries:
         total = sum(retries.values())
         lines.append(f"  retries: {total} ({', '.join(sorted(retries))})")
+    validation = report.get("validation") or {}
+    if validation.get("enabled"):
+        counts = validation.get("counts", {})
+        lines.append(
+            "  validation: "
+            + " ".join(f"{s}={counts.get(s, 0)}" for s in VALIDATION_STATUSES)
+        )
     rate = report.get("samples_per_second")
     if rate is not None:
         lines.append(f"  throughput: {rate} samples/sec")

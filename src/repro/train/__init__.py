@@ -3,6 +3,7 @@ augmentation) expressed as training plans over the task models."""
 
 from repro.train.loop import (
     TrainingPlan,
+    load_training_samples,
     train_verifier,
     train_qa,
     evaluate_verifier,
@@ -12,6 +13,7 @@ from repro.train.fewshot import few_shot_subset
 
 __all__ = [
     "TrainingPlan",
+    "load_training_samples",
     "train_verifier",
     "train_qa",
     "evaluate_verifier",

@@ -4,11 +4,19 @@
 * unsupervised    — fit on synthetic data only (UCTR or a baseline).
 * few-shot        — fit on synthetic, fine-tune on K gold samples.
 * augmentation    — fit on synthetic, fine-tune on the full gold set.
+
+Persisted corpora enter training through
+:func:`load_training_samples`, which layers the integrity stack under
+the plans: manifest verification and contract-checked loading
+(:mod:`repro.io`) plus the optional semantic re-execution gate
+(``validate=True``), so stale pseudo-labels are dropped before they can
+poison a model.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.eval.metrics import label_accuracy, micro_f1, qa_scores, denotation_accuracy
 from repro.models.qa import QAConfig, TagOpQA
@@ -47,6 +55,42 @@ class TrainingPlan:
         return TrainingPlan(
             primary=tuple(synthetic), fine_tune=tuple(gold), name="augmentation"
         )
+
+
+def load_training_samples(
+    path: str | Path,
+    *,
+    validate: bool = False,
+    on_error: str = "raise",
+    integrity: str = "verify",
+    telemetry=None,
+):
+    """Load a persisted corpus for training, optionally semantically gated.
+
+    Loads through :func:`repro.io.load_samples` (manifest verification
+    and the ``on_error`` degradation contract apply).  With
+    ``validate=True``, every sample additionally passes the semantic
+    re-execution gate; ``stale`` and ``unexecutable`` samples are
+    dropped from the returned list so they cannot poison training.
+
+    Returns ``(samples, summary)`` — ``summary`` is the gate's
+    :class:`~repro.validate.semantic.ValidationSummary`, or ``None``
+    when ``validate=False``.  ``telemetry`` (a
+    :class:`~repro.telemetry.Telemetry` sink) receives the gate's
+    counters and flagged-sample events when provided.
+    """
+    from repro.io import load_samples
+    from repro.validate import validate_samples
+
+    loaded = load_samples(path, on_error=on_error, integrity=integrity)
+    samples = list(loaded)  # LoadResult iterates its intact records
+    if not validate:
+        return samples, None
+    summary = validate_samples(samples, telemetry)
+    flagged = {verdict.uid for verdict in summary.flagged}
+    if flagged:
+        samples = [s for s in samples if s.uid not in flagged]
+    return samples, summary
 
 
 #: labeled budgets below this use gentle sequential adaptation; at or

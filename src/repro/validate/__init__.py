@@ -1,0 +1,55 @@
+"""Data-integrity and contract layer for the sample lifecycle.
+
+Three lines of defense between a generated corpus and the models that
+train on it:
+
+1. **Self-verifying files** (:mod:`repro.validate.manifest`) — every
+   saved corpus gets a sidecar manifest (SHA-256, byte/record counts,
+   generator fingerprint); loads verify it and raise
+   :class:`~repro.errors.IntegrityError` on any single-byte corruption.
+2. **Contract-checked, gracefully degrading loads**
+   (:mod:`repro.validate.rejects` + ``on_error=`` in :mod:`repro.io`) —
+   lenient modes yield the intact records and structured
+   :class:`RejectRecord`\\ s instead of dying on the first bad line.
+3. **Semantic re-execution gate** (:mod:`repro.validate.semantic`) —
+   re-runs each sample's program on the cache-free executor path and
+   confirms the stored answer/label, classifying samples
+   ``ok | stale | unexecutable`` (``repro validate`` on the CLI).
+"""
+
+from repro.validate.manifest import (
+    MANIFEST_KIND,
+    MANIFEST_SCHEMA_VERSION,
+    CorpusManifest,
+    manifest_path,
+    read_manifest,
+    verify_manifest,
+    write_manifest,
+)
+from repro.validate.rejects import LoadResult, RejectRecord
+from repro.validate.semantic import (
+    SampleStatus,
+    SampleVerdict,
+    ValidationSummary,
+    cache_free_table,
+    validate_sample,
+    validate_samples,
+)
+
+__all__ = [
+    "MANIFEST_KIND",
+    "MANIFEST_SCHEMA_VERSION",
+    "CorpusManifest",
+    "LoadResult",
+    "RejectRecord",
+    "SampleStatus",
+    "SampleVerdict",
+    "ValidationSummary",
+    "cache_free_table",
+    "manifest_path",
+    "read_manifest",
+    "validate_sample",
+    "validate_samples",
+    "verify_manifest",
+    "write_manifest",
+]

@@ -1,0 +1,192 @@
+"""Sidecar integrity manifests: corpora that can prove they are intact.
+
+Every corpus :func:`repro.io.save_samples`/:func:`repro.io.save_contexts`
+writes gets a sibling ``<name>.manifest.json`` recording the data file's
+exact SHA-256, byte count, record count, schema version, and the
+generator fingerprint of the run that produced it.  Loads verify the
+manifest (see :func:`verify_manifest`) before deserializing, so flipping
+any single byte of a multi-gigabyte corpus is caught as a typed
+:class:`~repro.errors.IntegrityError` at load time — not as a weird
+metric three stages later.
+
+The manifest protects *itself* too: ``manifest_sha256`` is a digest of
+the manifest's own canonical payload, so a bit-flip inside the manifest
+(in the record count, the generator block, even the digest hex) is as
+detectable as one in the data.  Both files are written atomically
+(:mod:`repro.fsio`), data first, manifest second — a crash between the
+two leaves a new data file with a stale manifest, which the next load
+reports as a mismatch instead of silently trusting either half.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.errors import IntegrityError
+from repro.fsio import atomic_write_text, sha256_file, sha256_text
+
+#: bump when the manifest layout changes incompatibly.
+MANIFEST_SCHEMA_VERSION = 1
+
+#: the ``kind`` discriminator written into every manifest.
+MANIFEST_KIND = "uctr-corpus-manifest"
+
+#: sidecar suffix: ``samples.jsonl`` -> ``samples.jsonl.manifest.json``.
+MANIFEST_SUFFIX = ".manifest.json"
+
+
+def manifest_path(data_path: str | Path) -> Path:
+    """The sidecar manifest path for a data file."""
+    data_path = Path(data_path)
+    return data_path.with_name(data_path.name + MANIFEST_SUFFIX)
+
+
+def _self_digest(payload: dict[str, Any]) -> str:
+    """Digest of the canonical manifest payload (sans the digest field)."""
+    body = {k: v for k, v in payload.items() if k != "manifest_sha256"}
+    return sha256_text(
+        json.dumps(body, sort_keys=True, separators=(",", ":"))
+    )
+
+
+@dataclass(frozen=True)
+class CorpusManifest:
+    """The parsed, verified contents of a sidecar manifest."""
+
+    record_kind: str
+    records: int
+    data_file: str
+    data_sha256: str
+    data_bytes: int
+    generator: dict[str, Any] | None = None
+
+    def to_json(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "schema_version": MANIFEST_SCHEMA_VERSION,
+            "kind": MANIFEST_KIND,
+            "record_kind": self.record_kind,
+            "records": self.records,
+            "data_file": self.data_file,
+            "data_sha256": self.data_sha256,
+            "data_bytes": self.data_bytes,
+            "generator": self.generator,
+        }
+        payload["manifest_sha256"] = _self_digest(payload)
+        return payload
+
+
+def write_manifest(
+    data_path: str | Path,
+    *,
+    record_kind: str,
+    records: int,
+    generator: dict[str, Any] | None = None,
+) -> Path:
+    """Hash ``data_path`` and atomically write its sidecar manifest."""
+    data_path = Path(data_path)
+    digest, size = sha256_file(data_path)
+    manifest = CorpusManifest(
+        record_kind=record_kind,
+        records=records,
+        data_file=data_path.name,
+        data_sha256=digest,
+        data_bytes=size,
+        generator=dict(generator) if generator else None,
+    )
+    return atomic_write_text(
+        manifest_path(data_path),
+        json.dumps(manifest.to_json(), sort_keys=True, separators=(",", ":"))
+        + "\n",
+    )
+
+
+def read_manifest(data_path: str | Path) -> CorpusManifest | None:
+    """Parse and self-check the sidecar manifest; ``None`` when absent.
+
+    Raises :class:`IntegrityError` when the manifest exists but is
+    unreadable, fails its self-digest, or has an unknown layout.  It
+    does **not** touch the data file — see :func:`verify_manifest`.
+    """
+    sidecar = manifest_path(data_path)
+    if not sidecar.exists():
+        return None
+    try:
+        payload = json.loads(sidecar.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise IntegrityError(
+            f"unreadable manifest ({error})", path=str(sidecar)
+        ) from error
+    if not isinstance(payload, dict):
+        raise IntegrityError("manifest is not a JSON object", path=str(sidecar))
+    if payload.get("manifest_sha256") != _self_digest(payload):
+        raise IntegrityError(
+            "manifest failed its self-digest (the manifest itself is "
+            "corrupt)",
+            path=str(sidecar),
+        )
+    if payload.get("kind") != MANIFEST_KIND:
+        raise IntegrityError(
+            f"not a {MANIFEST_KIND} manifest (kind={payload.get('kind')!r})",
+            path=str(sidecar),
+        )
+    if payload.get("schema_version") != MANIFEST_SCHEMA_VERSION:
+        raise IntegrityError(
+            "unsupported manifest schema_version "
+            f"{payload.get('schema_version')!r}",
+            path=str(sidecar),
+        )
+    try:
+        return CorpusManifest(
+            record_kind=str(payload["record_kind"]),
+            records=int(payload["records"]),
+            data_file=str(payload["data_file"]),
+            data_sha256=str(payload["data_sha256"]),
+            data_bytes=int(payload["data_bytes"]),
+            generator=payload.get("generator"),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise IntegrityError(
+            f"malformed manifest field ({error!r})", path=str(sidecar)
+        ) from error
+
+
+def verify_manifest(
+    data_path: str | Path, *, required: bool = False
+) -> CorpusManifest | None:
+    """Check ``data_path`` against its sidecar manifest.
+
+    Returns the verified manifest, or ``None`` when there is no sidecar
+    and ``required`` is False (pre-manifest corpora stay loadable).
+    Raises :class:`IntegrityError` on any mismatch: wrong SHA-256, wrong
+    byte count, missing data file, or (with ``required=True``) a missing
+    manifest — the manifest-drop corruption case.
+    """
+    data_path = Path(data_path)
+    manifest = read_manifest(data_path)
+    if manifest is None:
+        if required:
+            raise IntegrityError(
+                f"no integrity manifest at {manifest_path(data_path)}",
+                path=str(data_path),
+            )
+        return None
+    if not data_path.is_file():
+        raise IntegrityError("manifest present but data file is missing",
+                             path=str(data_path))
+    digest, size = sha256_file(data_path)
+    if size != manifest.data_bytes:
+        raise IntegrityError(
+            f"size mismatch: manifest says {manifest.data_bytes} bytes, "
+            f"file has {size} (truncated or appended?)",
+            path=str(data_path),
+        )
+    if digest != manifest.data_sha256:
+        raise IntegrityError(
+            f"SHA-256 mismatch: manifest says {manifest.data_sha256}, "
+            f"file hashes to {digest} (corrupted corpus)",
+            path=str(data_path),
+        )
+    return manifest

@@ -1,0 +1,93 @@
+"""Structured reject records for graceful-degradation loading.
+
+When :func:`repro.io.read_jsonl` or :func:`repro.io.load_samples` runs
+in a lenient mode (``on_error="skip"|"collect"``), every record it
+cannot use becomes a :class:`RejectRecord` instead of an exception —
+the load-time mirror of the generation runtime's quarantine records
+(:mod:`repro.runtime.quarantine`): structured, attributable, and cheap
+to aggregate.  ``digest`` fingerprints the offending line so the same
+corruption seen by two consumers is recognizably the same corruption.
+
+This module deliberately imports only :mod:`repro.fsio` so every layer
+(io, runtime, validate, cli) can use it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.fsio import sha256_text
+
+
+@dataclass(frozen=True)
+class RejectRecord:
+    """One record a lenient load could not use.
+
+    ``reason`` is a stable machine-readable tag (``invalid_json``,
+    ``not_an_object``, ``deserialization``, ``integrity``); ``detail``
+    carries the human-readable specifics.  ``line_number`` is 1-based;
+    file-level rejects (an integrity failure) use ``line_number=0``.
+    """
+
+    path: str
+    line_number: int
+    reason: str
+    digest: str = ""
+    detail: str = ""
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "line_number": self.line_number,
+            "reason": self.reason,
+            "digest": self.digest,
+            "detail": self.detail,
+        }
+
+    @staticmethod
+    def from_json(payload: dict[str, Any]) -> "RejectRecord":
+        return RejectRecord(
+            path=str(payload.get("path", "")),
+            line_number=int(payload.get("line_number", 0)),
+            reason=str(payload.get("reason", "")),
+            digest=str(payload.get("digest", "")),
+            detail=str(payload.get("detail", "")),
+        )
+
+    @staticmethod
+    def for_line(
+        path: str, line_number: int, reason: str, line: str, detail: str = ""
+    ) -> "RejectRecord":
+        """Build a reject for one raw line, fingerprinting its content."""
+        return RejectRecord(
+            path=path,
+            line_number=line_number,
+            reason=reason,
+            digest=sha256_text(line)[:16],
+            detail=detail,
+        )
+
+
+@dataclass
+class LoadResult:
+    """What a lenient (``on_error="collect"``) load returns.
+
+    ``records`` holds everything that survived; ``rejects`` holds one
+    structured record per casualty, in file order.  ``len()`` and
+    iteration delegate to ``records`` so callers that only care about
+    the good data can treat it as the list they used to get.
+    """
+
+    records: list = field(default_factory=list)
+    rejects: list[RejectRecord] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def clean(self) -> bool:
+        return not self.rejects

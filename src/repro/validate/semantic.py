@@ -1,0 +1,260 @@
+"""The semantic re-execution gate: does a stored sample still check out?
+
+A persisted :class:`~repro.pipelines.samples.ReasoningSample` carries
+its generating program in ``provenance["program"]``.  The gate re-runs
+that program against the sample's own table and confirms the stored
+answer (QA) or label (fact verification), classifying each sample:
+
+``ok``
+    re-executed; the stored answer/label matches the fresh result.
+``stale``
+    re-executed cleanly, but the stored answer/label no longer matches
+    — the pseudo-label is wrong and would poison training.
+``unexecutable``
+    the stored program fails to parse or execute against its table.
+``skipped``
+    nothing to re-run: gold/MQA-QG samples carry no program, and
+    joint-evidence samples (Table-Splitting / Table-Expansion) executed
+    against a table that no longer exists verbatim — part of their
+    evidence was moved into text, so re-execution against the stored
+    table would misclassify sound samples.
+
+Why the cache-free executor path: the gate exists to *distrust* state.
+The hot path memoizes parsed cell values process-wide
+(:func:`repro.tables.values.parse_value`); re-using those memos would
+let a warm cache vouch for the very bytes the gate is auditing.  Every
+table is therefore rebuilt through ``parse_value.__wrapped__`` — fresh
+:class:`Value` instances, no shared memo slots — before execution.
+
+Answer comparison uses :meth:`Value.equals` — the equality that
+:meth:`Value.canonical_key` is defined to be consistent with — so
+``"1,000"``, ``"1000"`` and ``"$1,000"`` verify as the same answer,
+exactly as they count as one value in ``COUNT(DISTINCT ...)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Any, Iterable
+
+from repro.errors import ReproError
+from repro.pipelines.samples import ReasoningSample, TaskType
+from repro.programs.base import parse_program
+from repro.sampling.labeler import ClaimLabel
+from repro.tables.table import Row, Table
+from repro.tables.values import parse_value
+from repro.telemetry import Telemetry
+
+#: provenance keys that mark a joint-evidence sample whose execution
+#: table is not the stored table (evidence was moved between modalities).
+_JOINT_MARKERS = ("moved_row", "expansion_rows")
+
+
+class SampleStatus(str, Enum):
+    """Outcome classes of the re-execution gate."""
+
+    OK = "ok"
+    STALE = "stale"
+    UNEXECUTABLE = "unexecutable"
+    SKIPPED = "skipped"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class SampleVerdict:
+    """The gate's verdict on one sample."""
+
+    uid: str
+    status: SampleStatus
+    reason: str = ""
+    detail: str = ""
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "uid": self.uid,
+            "status": self.status.value,
+            "reason": self.reason,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class ValidationSummary:
+    """Aggregated verdicts for a whole corpus."""
+
+    counts: dict[str, int] = field(
+        default_factory=lambda: {status.value: 0 for status in SampleStatus}
+    )
+    #: verdicts for every non-``ok`` sample (``ok`` is the common case
+    #: and would bloat reports for large corpora).
+    flagged: list[SampleVerdict] = field(default_factory=list)
+
+    @property
+    def checked(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def clean(self) -> bool:
+        """No stale and no unexecutable samples (skips are fine)."""
+        return (
+            self.counts[SampleStatus.STALE.value] == 0
+            and self.counts[SampleStatus.UNEXECUTABLE.value] == 0
+        )
+
+    def add(self, verdict: SampleVerdict) -> None:
+        self.counts[verdict.status.value] += 1
+        if verdict.status not in (SampleStatus.OK, SampleStatus.SKIPPED):
+            self.flagged.append(verdict)
+
+    def to_section(self) -> dict[str, Any]:
+        """The run-report ``validation`` section body (schema v4)."""
+        return {
+            "enabled": True,
+            "checked": self.checked,
+            "counts": dict(self.counts),
+            "flagged": [verdict.to_json() for verdict in self.flagged],
+        }
+
+    def render(self) -> str:
+        """One human-readable summary line."""
+        parts = " ".join(
+            f"{status.value}={self.counts[status.value]}"
+            for status in SampleStatus
+        )
+        return f"validation: {parts}"
+
+
+def cache_free_table(table: Table) -> Table:
+    """Rebuild a table with freshly parsed, memo-free cell values.
+
+    The recorded schema (column names and types) is kept — type
+    inference already happened at build time and the round-trip contract
+    says recorded types win — but every cell goes back through the
+    uncached value parser, so no process-wide memo state can influence
+    what the gate executes against.
+    """
+    rows = tuple(
+        Row(tuple(parse_value.__wrapped__(cell.raw) for cell in row))
+        for row in table.rows
+    )
+    return replace(table, rows=rows)
+
+
+def validate_sample(sample: ReasoningSample) -> SampleVerdict:
+    """Re-execute one sample's program and check its answer/label."""
+    provenance = sample.provenance or {}
+    source = provenance.get("program")
+    kind = provenance.get("program_kind")
+    if not source or not kind:
+        return SampleVerdict(
+            uid=sample.uid,
+            status=SampleStatus.SKIPPED,
+            reason="no_program",
+            detail="sample carries no program provenance (gold or baseline)",
+        )
+    if any(marker in provenance for marker in _JOINT_MARKERS):
+        return SampleVerdict(
+            uid=sample.uid,
+            status=SampleStatus.SKIPPED,
+            reason="joint_evidence",
+            detail="program executed against a table whose evidence was "
+                   "moved between modalities; the stored table is not the "
+                   "execution table",
+        )
+    try:
+        program = parse_program(source, kind)
+    except ReproError as error:
+        return SampleVerdict(
+            uid=sample.uid,
+            status=SampleStatus.UNEXECUTABLE,
+            reason="parse_error",
+            detail=str(error),
+        )
+    try:
+        result = program.execute(cache_free_table(sample.table))
+    except ReproError as error:
+        return SampleVerdict(
+            uid=sample.uid,
+            status=SampleStatus.UNEXECUTABLE,
+            reason="execution_error",
+            detail=str(error),
+        )
+    if sample.task is TaskType.FACT_VERIFICATION:
+        if result.truth is None:
+            return SampleVerdict(
+                uid=sample.uid,
+                status=SampleStatus.STALE,
+                reason="no_truth_value",
+                detail="claim program no longer produces a boolean",
+            )
+        expected = ClaimLabel.SUPPORTED if result.truth else ClaimLabel.REFUTED
+        if sample.label is not expected:
+            return SampleVerdict(
+                uid=sample.uid,
+                status=SampleStatus.STALE,
+                reason="label_mismatch",
+                detail=f"stored {sample.label}, re-execution certifies "
+                       f"{expected.value}",
+            )
+        return SampleVerdict(uid=sample.uid, status=SampleStatus.OK)
+    return _check_answer(sample, result.denotation())
+
+
+def _check_answer(
+    sample: ReasoningSample, denotation: list[str]
+) -> SampleVerdict:
+    stored = list(sample.answer)
+    if len(stored) != len(denotation):
+        return SampleVerdict(
+            uid=sample.uid,
+            status=SampleStatus.STALE,
+            reason="answer_mismatch",
+            detail=f"stored {len(stored)} answer value(s), re-execution "
+                   f"produced {len(denotation)}",
+        )
+    for stored_raw, fresh_raw in zip(stored, denotation):
+        stored_value = parse_value.__wrapped__(stored_raw)
+        fresh_value = parse_value.__wrapped__(fresh_raw)
+        if not stored_value.equals(fresh_value):
+            return SampleVerdict(
+                uid=sample.uid,
+                status=SampleStatus.STALE,
+                reason="answer_mismatch",
+                detail=f"stored {stored_raw!r}, re-execution produced "
+                       f"{fresh_raw!r}",
+            )
+    return SampleVerdict(uid=sample.uid, status=SampleStatus.OK)
+
+
+def validate_samples(
+    samples: Iterable[ReasoningSample],
+    telemetry: Telemetry | None = None,
+) -> ValidationSummary:
+    """Run the gate over a corpus, folding counters into ``telemetry``.
+
+    Counters land in the ``validation`` telemetry section keyed by
+    status, and every non-``ok`` verdict becomes a structured
+    ``validation`` event — the same snapshot/merge pipe the generation
+    counters ride, so per-context aggregation and the run report get
+    validation results for free.
+    """
+    summary = ValidationSummary()
+    for sample in samples:
+        verdict = validate_sample(sample)
+        summary.add(verdict)
+        if telemetry is not None:
+            telemetry.increment("validation", verdict.status.value)
+            if verdict.status not in (SampleStatus.OK, SampleStatus.SKIPPED):
+                telemetry.event(
+                    "validation",
+                    {
+                        "uid": verdict.uid,
+                        "status": verdict.status.value,
+                        "reason": verdict.reason,
+                        "detail": verdict.detail,
+                    },
+                )
+    return summary

@@ -10,6 +10,7 @@ from repro.profiling import (
     render_profile,
 )
 from repro.telemetry import (
+    REPORT_SCHEMA_VERSION,
     SUPPORTED_SCHEMA_VERSIONS,
     Telemetry,
     build_report,
@@ -193,7 +194,7 @@ class TestReportV3:
 
     def test_build_report_carries_profile_section(self):
         report = self._run_report()
-        assert report["schema_version"] == 3
+        assert report["schema_version"] == REPORT_SCHEMA_VERSION
         assert report["profile"]["enabled"] is True
         assert "sampler" in report["profile"]["stages"]
 
@@ -208,8 +209,15 @@ class TestReportV3:
             name.startswith(PROFILE_PREFIX) for name in report["timers"]
         )
 
-    def test_validator_accepts_v3(self):
+    def test_validator_accepts_current_version(self):
         assert validate_report(self._run_report()) == []
+
+    def test_validator_accepts_v3_without_validation(self):
+        report = self._run_report()
+        report["schema_version"] = 3
+        del report["validation"]
+        assert 3 in SUPPORTED_SCHEMA_VERSIONS
+        assert validate_report(report) == []
 
     def test_validator_accepts_v2_without_profile(self):
         report = self._run_report(profiled=False)

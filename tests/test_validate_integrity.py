@@ -1,0 +1,301 @@
+"""Integrity manifests, corruption faults, and graceful-degradation loads.
+
+The property at the heart of the layer: **any** single-byte corruption
+of a saved corpus — in the data file or in its sidecar manifest — is
+detected at load time, and the lenient modes salvage exactly the intact
+records while accounting for every casualty.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import DatasetError, FileFormatError, IntegrityError
+from repro.io import (
+    load_contexts,
+    load_samples,
+    read_jsonl,
+    save_contexts,
+    save_samples,
+)
+from repro.pipelines import UCTR, UCTRConfig
+from repro.pipelines.samples import ReasoningSample, TaskType
+from repro.runtime.faults import CorruptionSpec, corrupt_file
+from repro.validate import (
+    LoadResult,
+    RejectRecord,
+    manifest_path,
+    read_manifest,
+    verify_manifest,
+)
+
+
+@pytest.fixture
+def samples(players_context):
+    return [
+        ReasoningSample(
+            uid=f"int-{i}",
+            task=TaskType.QUESTION_ANSWERING,
+            context=players_context,
+            sentence=f"question {i} ?",
+            answer=(str(i),),
+        )
+        for i in range(6)
+    ]
+
+
+@pytest.fixture
+def corpus(tmp_path, samples):
+    path = tmp_path / "corpus.jsonl"
+    save_samples(path, samples)
+    return path
+
+
+class TestManifest:
+    def test_save_writes_sidecar(self, corpus):
+        sidecar = manifest_path(corpus)
+        assert sidecar.name == "corpus.jsonl.manifest.json"
+        manifest = read_manifest(corpus)
+        assert manifest is not None
+        assert manifest.record_kind == "samples"
+        assert manifest.records == 6
+        assert len(manifest.data_sha256) == 64
+        assert manifest.data_bytes == corpus.stat().st_size
+
+    def test_generator_stamp_names_version(self, tmp_path, samples):
+        from repro import __version__
+
+        path = tmp_path / "stamped.jsonl"
+        save_samples(path, samples, generator={"seed": 7})
+        manifest = read_manifest(path)
+        assert manifest.generator["repro_version"] == __version__
+        assert manifest.generator["seed"] == 7
+
+    def test_read_manifest_absent_is_none(self, tmp_path):
+        assert read_manifest(tmp_path / "nothing.jsonl") is None
+
+    def test_verify_required_raises_when_absent(self, tmp_path, samples):
+        path = tmp_path / "bare.jsonl"
+        save_samples(path, samples, manifest=False)
+        assert verify_manifest(path) is None
+        with pytest.raises(IntegrityError):
+            verify_manifest(path, required=True)
+
+    def test_load_without_manifest_is_backward_compatible(
+        self, tmp_path, samples
+    ):
+        path = tmp_path / "bare.jsonl"
+        save_samples(path, samples, manifest=False)
+        assert len(load_samples(path)) == 6
+
+    def test_record_count_mismatch_detected(self, corpus):
+        # A manifest whose digest matches but whose count lies: rewrite
+        # the sidecar claiming one extra record.
+        from repro.validate import write_manifest
+
+        write_manifest(corpus, record_kind="samples", records=7)
+        with pytest.raises(IntegrityError, match="count"):
+            load_samples(corpus)
+
+    def test_contexts_manifest_round_trip(self, tmp_path, players_context):
+        path = tmp_path / "ctx.jsonl"
+        save_contexts(path, [players_context])
+        assert read_manifest(path).record_kind == "contexts"
+        (loaded,) = load_contexts(path, integrity="require")
+        assert loaded.uid == players_context.uid
+
+
+class TestCorruptionFaults:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            CorruptionSpec(kind="melt")
+        with pytest.raises(ValueError):
+            CorruptionSpec(kind="bit-flip", bit=8)
+
+    def test_bit_flip_is_deterministic(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        path.write_bytes(b"abcdef")
+        corrupt_file(path, CorruptionSpec(kind="bit-flip", offset=2, bit=0))
+        assert path.read_bytes() == b"ab" + bytes([ord("c") ^ 1]) + b"def"
+
+    def test_truncate_tail(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        path.write_bytes(b"0123456789")
+        corrupt_file(path, CorruptionSpec(kind="truncate", offset=-3))
+        assert path.read_bytes() == b"0123456"
+
+    def test_manifest_drop(self, corpus):
+        corrupt_file(corpus, CorruptionSpec(kind="manifest-drop"))
+        assert not manifest_path(corpus).exists()
+
+
+class TestSingleByteDetection:
+    """save → corrupt one byte anywhere → strict load raises IntegrityError."""
+
+    def _probe_offsets(self, size, probes=24):
+        step = max(1, size // probes)
+        offsets = set(range(0, size, step))
+        offsets.add(size - 1)
+        return sorted(offsets)
+
+    def test_flip_anywhere_in_data_file(self, corpus):
+        pristine = corpus.read_bytes()
+        for offset in self._probe_offsets(len(pristine)):
+            corrupt_file(
+                corpus, CorruptionSpec(kind="bit-flip", offset=offset, bit=5)
+            )
+            with pytest.raises(IntegrityError):
+                load_samples(corpus)
+            corpus.write_bytes(pristine)
+        assert len(load_samples(corpus)) == 6  # restored corpus is clean
+
+    def test_flip_every_byte_of_manifest(self, corpus):
+        sidecar = manifest_path(corpus)
+        pristine = sidecar.read_bytes()
+        for offset in range(len(pristine)):
+            corrupt_file(
+                sidecar, CorruptionSpec(kind="bit-flip", offset=offset, bit=1)
+            )
+            with pytest.raises(IntegrityError):
+                load_samples(corpus)
+            sidecar.write_bytes(pristine)
+
+    def test_truncation_detected(self, corpus):
+        corrupt_file(corpus, CorruptionSpec(kind="truncate", offset=-5))
+        with pytest.raises(IntegrityError):
+            load_samples(corpus)
+
+    def test_manifest_drop_detected_only_when_required(self, corpus):
+        corrupt_file(corpus, CorruptionSpec(kind="manifest-drop"))
+        assert len(load_samples(corpus)) == 6  # default: verify-if-present
+        with pytest.raises(IntegrityError):
+            load_samples(corpus, integrity="require")
+
+    def test_integrity_skip_ignores_corruption_of_manifest(self, corpus):
+        sidecar = manifest_path(corpus)
+        corrupt_file(sidecar, CorruptionSpec(kind="bit-flip", offset=10))
+        assert len(load_samples(corpus, integrity="skip")) == 6
+
+
+def _generated_corpus(path, contexts, workers):
+    framework = UCTR(
+        UCTRConfig(
+            program_kinds=("sql",), samples_per_context=4, seed=13
+        )
+    )
+    framework.fit(contexts)
+    generated = framework.generate(contexts, workers=workers)
+    save_samples(path, generated)
+    return generated
+
+
+class TestGracefulDegradation:
+    """Lenient loads of an N-record corpus with K corrupted lines."""
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_salvages_all_but_the_casualties(
+        self, tmp_path, players_context, finance_context, workers
+    ):
+        path = tmp_path / f"gen-{workers}.jsonl"
+        generated = _generated_corpus(
+            path, [players_context, finance_context], workers
+        )
+        n = len(generated)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == n and n >= 4
+        corrupted_at = [1, n // 2, n - 1]  # 0-based line indices
+        for index in corrupted_at:
+            lines[index] = lines[index][: len(lines[index]) // 2]
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+        result = load_samples(path, on_error="collect")
+        assert isinstance(result, LoadResult)
+        assert not result.clean
+        assert len(result.records) == n - len(corrupted_at)
+        line_rejects = [r for r in result.rejects if r.line_number > 0]
+        assert [r.line_number for r in line_rejects] == [
+            i + 1 for i in corrupted_at
+        ]
+        for reject in line_rejects:
+            assert reject.path == str(path)
+            assert reject.reason == "invalid_json"
+            assert len(reject.digest) == 16
+        # the manifest no longer matches: exactly one file-level reject
+        integrity_rejects = [
+            r for r in result.rejects if r.line_number == 0
+        ]
+        assert [r.reason for r in integrity_rejects] == ["integrity"]
+
+        skipped = load_samples(path, on_error="skip")
+        assert [s.uid for s in skipped] == [s.uid for s in result.records]
+
+    def test_collect_on_clean_corpus_is_empty_handed(self, corpus):
+        result = load_samples(corpus, on_error="collect")
+        assert result.clean
+        assert len(result) == 6
+        assert list(result) == result.records
+
+    def test_deserialization_failure_collected(self, tmp_path, samples):
+        path = tmp_path / "typed.jsonl"
+        save_samples(path, samples, manifest=False)
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[2])
+        del record["sentence"]
+        lines[2] = json.dumps(record)
+        path.write_text("\n".join(lines) + "\n")
+        result = load_samples(path, on_error="collect")
+        assert len(result.records) == 5
+        (reject,) = result.rejects
+        assert reject.line_number == 3
+        assert reject.reason == "deserialization"
+
+    def test_reject_record_round_trips(self):
+        reject = RejectRecord.for_line("/x.jsonl", 4, "invalid_json", "{oops")
+        assert RejectRecord.from_json(reject.to_json()) == reject
+
+
+class TestLoadContract:
+    """Satellite regressions: typed errors with file/line attribution."""
+
+    def test_missing_field_names_file_and_line(self, tmp_path, samples):
+        path = tmp_path / "typed.jsonl"
+        save_samples(path, samples, manifest=False)
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[1])
+        del record["uid"]
+        lines[1] = json.dumps(record)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(FileFormatError) as exc:
+            load_samples(path)
+        assert exc.value.line_number == 2
+        assert str(path) in str(exc.value)
+        assert ":2:" in str(exc.value)
+
+    def test_context_missing_field_names_file_and_line(
+        self, tmp_path, players_context
+    ):
+        path = tmp_path / "ctx.jsonl"
+        save_contexts(path, [players_context], manifest=False)
+        record = json.loads(path.read_text())
+        del record["table"]
+        path.write_text(json.dumps(record) + "\n")
+        with pytest.raises(FileFormatError) as exc:
+            load_contexts(path)
+        assert exc.value.line_number == 1
+
+    def test_read_jsonl_on_directory(self, tmp_path):
+        with pytest.raises(FileFormatError, match="directory"):
+            list(read_jsonl(tmp_path))
+
+    def test_load_samples_on_directory(self, tmp_path):
+        with pytest.raises(FileFormatError, match="directory"):
+            load_samples(tmp_path)
+
+    def test_integrity_errors_are_dataset_errors(self):
+        assert issubclass(IntegrityError, DatasetError)
+
+    def test_invalid_modes_rejected(self, corpus):
+        with pytest.raises(ValueError):
+            load_samples(corpus, on_error="explode")
+        with pytest.raises(ValueError):
+            load_samples(corpus, integrity="maybe")

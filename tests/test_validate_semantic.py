@@ -1,0 +1,348 @@
+"""The semantic re-execution gate, its telemetry, and the v4 report."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.io import save_samples
+from repro.pipelines import UCTR, UCTRConfig
+from repro.pipelines.samples import ReasoningSample, TaskType
+from repro.sampling.labeler import ClaimLabel
+from repro.telemetry import (
+    Telemetry,
+    build_report,
+    load_report,
+    render_summary,
+    validate_report,
+)
+from repro.train import load_training_samples
+from repro.validate import (
+    SampleStatus,
+    cache_free_table,
+    validate_sample,
+    validate_samples,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """One UCTR corpus over both fixture contexts, generated once."""
+    import tests.conftest  # noqa: F401 (fixtures are function-scoped)
+    from repro.tables import Paragraph, Table, TableContext
+
+    table = Table.from_rows(
+        header=["player", "team", "points", "rebounds"],
+        raw_rows=[
+            ["john smith", "hawks", "31", "7"],
+            ["mike jones", "bulls", "22", "11"],
+            ["alan reed", "hawks", "17", "4"],
+            ["bo chen", "heat", "28", "9"],
+            ["raj patel", "bulls", "12", "6"],
+        ],
+        title="player statistics",
+        row_name_column="player",
+    )
+    context = TableContext(
+        table=table,
+        paragraphs=(
+            Paragraph(
+                text=(
+                    "For dana cruz , the team is spurs and the points is 19 "
+                    "and the rebounds is 8 . For john smith , the points "
+                    "is 31 ."
+                ),
+                source="context",
+            ),
+        ),
+        uid="ctx-gate",
+        meta={
+            "text_records": [
+                {"player": "dana cruz", "team": "spurs", "points": "19",
+                 "rebounds": "8"}
+            ]
+        },
+    )
+    framework = UCTR(
+        UCTRConfig(
+            program_kinds=("sql", "logic"), samples_per_context=10, seed=21
+        )
+    )
+    framework.fit([context])
+    return framework.generate([context])
+
+
+def _executable(samples, task=None):
+    """Samples the gate will actually re-execute (program, non-joint)."""
+    picked = [
+        s
+        for s in samples
+        if s.provenance.get("program")
+        and "moved_row" not in s.provenance
+        and "expansion_rows" not in s.provenance
+        and (task is None or s.task is task)
+    ]
+    assert picked, "corpus produced no directly re-executable samples"
+    return picked
+
+
+class TestGateVerdicts:
+    def test_fresh_corpus_is_clean(self, corpus):
+        summary = validate_samples(corpus)
+        assert summary.clean
+        assert summary.checked == len(corpus)
+        assert summary.counts["stale"] == 0
+        assert summary.counts["unexecutable"] == 0
+        assert summary.counts["ok"] > 0
+        assert not summary.flagged
+
+    def test_tampered_answer_is_stale(self, corpus):
+        sample = _executable(corpus, TaskType.QUESTION_ANSWERING)[0]
+        forged = replace(sample, answer=("999991",))
+        verdict = validate_sample(forged)
+        assert verdict.status is SampleStatus.STALE
+        assert verdict.reason == "answer_mismatch"
+
+    def test_tampered_label_is_stale(self, corpus):
+        sample = _executable(corpus, TaskType.FACT_VERIFICATION)[0]
+        flipped = (
+            ClaimLabel.REFUTED
+            if sample.label is ClaimLabel.SUPPORTED
+            else ClaimLabel.SUPPORTED
+        )
+        verdict = validate_sample(replace(sample, label=flipped))
+        assert verdict.status is SampleStatus.STALE
+        assert verdict.reason == "label_mismatch"
+
+    def test_tampered_program_is_unexecutable(self, corpus):
+        sample = _executable(corpus)[0]
+        forged = replace(
+            sample,
+            provenance={**sample.provenance, "program": "garbage((("},
+        )
+        verdict = validate_sample(forged)
+        assert verdict.status is SampleStatus.UNEXECUTABLE
+        assert verdict.reason == "parse_error"
+
+    def test_gold_sample_skipped(self, players_context):
+        gold = ReasoningSample(
+            uid="gold-1",
+            task=TaskType.QUESTION_ANSWERING,
+            context=players_context,
+            sentence="how many points did john smith score ?",
+            answer=("31",),
+        )
+        verdict = validate_sample(gold)
+        assert verdict.status is SampleStatus.SKIPPED
+        assert verdict.reason == "no_program"
+
+    def test_joint_evidence_skipped(self, corpus):
+        sample = _executable(corpus)[0]
+        moved = replace(
+            sample, provenance={**sample.provenance, "moved_row": 1}
+        )
+        verdict = validate_sample(moved)
+        assert verdict.status is SampleStatus.SKIPPED
+        assert verdict.reason == "joint_evidence"
+
+    def test_answer_equality_is_canonical(self, corpus):
+        # "1,000" and "1000" are the same value under canonical_key, so
+        # a cosmetic reformat of the stored answer must not read stale.
+        sample = _executable(corpus, TaskType.QUESTION_ANSWERING)[0]
+        from repro.tables.values import parse_value
+
+        reformatted = tuple(
+            f"{float(raw):,.1f}"
+            if parse_value(raw).is_number
+            else raw
+            for raw in sample.answer
+        )
+        verdict = validate_sample(replace(sample, answer=reformatted))
+        assert verdict.status is SampleStatus.OK
+
+
+class TestCacheFreeTable:
+    def test_rebuild_preserves_schema_and_values(self, players_table):
+        rebuilt = cache_free_table(players_table)
+        assert rebuilt.column_names == players_table.column_names
+        assert rebuilt.n_rows == players_table.n_rows
+        for row, fresh_row in zip(players_table.rows, rebuilt.rows):
+            for cell, fresh in zip(row, fresh_row):
+                assert cell.raw == fresh.raw
+                assert cell.equals(fresh)
+                # fresh Value instances, not the memoized ones
+                assert cell is not fresh
+
+
+class TestTelemetryAndReport:
+    def test_counters_and_events(self, corpus):
+        sample = _executable(corpus)[0]
+        forged = replace(
+            sample,
+            provenance={**sample.provenance, "program": "garbage((("},
+        )
+        telemetry = Telemetry()
+        summary = validate_samples(list(corpus) + [forged], telemetry)
+        section = telemetry.section("validation")
+        zeros = {status.value: 0 for status in SampleStatus}
+        assert {**zeros, **section} == summary.counts
+        assert summary.counts["unexecutable"] == 1
+        assert summary.counts["stale"] == 0
+        (event,) = telemetry.events("validation")
+        assert event["uid"] == forged.uid
+        assert event["status"] == "unexecutable"
+
+    def test_v4_report_round_trip(self, corpus, tmp_path):
+        from repro.telemetry import write_report
+
+        telemetry = Telemetry()
+        summary = validate_samples(corpus, telemetry)
+        report = build_report(telemetry)
+        assert report["schema_version"] == 4
+        assert validate_report(report) == []
+        assert report["validation"]["enabled"] is True
+        assert report["validation"]["checked"] == summary.checked
+        path = write_report(tmp_path / "r.json", report)
+        assert validate_report(load_report(path)) == []
+        assert "validation:" in render_summary(report)
+
+    def test_report_without_gate_is_disabled_but_valid(self):
+        report = build_report(Telemetry())
+        assert report["validation"] == {"enabled": False}
+        assert validate_report(report) == []
+
+    def test_validator_rejects_flagged_count_mismatch(self, corpus):
+        telemetry = Telemetry()
+        validate_samples(corpus, telemetry)
+        report = build_report(telemetry)
+        report["validation"]["counts"]["stale"] += 1
+        assert any(
+            "flagged" in problem for problem in validate_report(report)
+        )
+
+    def test_summary_to_section_matches_report_shape(self, corpus):
+        summary = validate_samples(corpus)
+        section = summary.to_section()
+        assert section["enabled"] is True
+        assert set(section["counts"]) == {
+            "ok", "stale", "unexecutable", "skipped"
+        }
+        assert section["flagged"] == []
+
+
+class TestTrainingLoader:
+    def test_stale_samples_dropped(self, corpus, tmp_path):
+        sample = _executable(corpus, TaskType.QUESTION_ANSWERING)[0]
+        forged = replace(
+            sample, uid="forged-stale", answer=("999993",)
+        )
+        path = tmp_path / "train.jsonl"
+        save_samples(path, list(corpus) + [forged])
+        telemetry = Telemetry()
+        loaded, summary = load_training_samples(
+            path, validate=True, telemetry=telemetry
+        )
+        assert summary is not None
+        assert summary.counts["stale"] == 1
+        assert len(loaded) == len(corpus)
+        assert all(s.uid != "forged-stale" for s in loaded)
+        assert telemetry.section("validation")["stale"] == 1
+
+    def test_without_validation_returns_everything(self, corpus, tmp_path):
+        path = tmp_path / "train.jsonl"
+        save_samples(path, corpus)
+        loaded, summary = load_training_samples(path)
+        assert summary is None
+        assert len(loaded) == len(corpus)
+
+    def test_integrity_still_enforced(self, corpus, tmp_path):
+        from repro.errors import IntegrityError
+        from repro.runtime.faults import CorruptionSpec, corrupt_file
+
+        path = tmp_path / "train.jsonl"
+        save_samples(path, corpus)
+        corrupt_file(path, CorruptionSpec(kind="bit-flip", offset=40))
+        with pytest.raises(IntegrityError):
+            load_training_samples(path)
+
+
+class TestCliValidate:
+    def test_clean_corpus_passes(self, corpus, tmp_path, capsys):
+        path = tmp_path / "clean.jsonl"
+        save_samples(path, corpus)
+        report_path = tmp_path / "report.json"
+        code = cli_main(
+            ["validate", str(path), "--report", str(report_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PASS" in out
+        assert "manifest ok" in out
+        report = load_report(report_path)
+        assert validate_report(report) == []
+        assert report["validation"]["enabled"] is True
+
+    def test_stale_corpus_fails(self, corpus, tmp_path, capsys):
+        sample = _executable(corpus, TaskType.QUESTION_ANSWERING)[0]
+        forged = replace(sample, uid="forged", answer=("999997",))
+        path = tmp_path / "stale.jsonl"
+        save_samples(path, list(corpus) + [forged])
+        code = cli_main(["validate", str(path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL" in out
+        assert "forged" in out
+
+    def test_corrupted_corpus_fails_but_reports(
+        self, corpus, tmp_path, capsys
+    ):
+        from repro.runtime.faults import CorruptionSpec, corrupt_file
+
+        path = tmp_path / "bad.jsonl"
+        save_samples(path, corpus)
+        corrupt_file(path, CorruptionSpec(kind="bit-flip", offset=60))
+        code = cli_main(["validate", str(path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "manifest FAILED" in out
+        assert "reject" in out
+
+    def test_require_manifest(self, corpus, tmp_path, capsys):
+        path = tmp_path / "bare.jsonl"
+        save_samples(path, corpus, manifest=False)
+        assert cli_main(["validate", str(path)]) == 0
+        capsys.readouterr()
+        code = cli_main(["validate", str(path), "--require-manifest"])
+        assert code == 1
+
+
+class TestExperimentsValidation:
+    def test_runner_validates_cached_corpora(self, corpus):
+        from repro.experiments import config as exp_config
+        from repro.experiments.runner import validate_corpora
+
+        exp_config.clear_caches()
+        exp_config._SYNTH_CACHE[("players", "smoke", "full")] = list(corpus)
+        try:
+            telemetry = Telemetry()
+            text, clean = validate_corpora(telemetry)
+            assert clean
+            assert "players/full@smoke" in text
+            assert telemetry.section("validation")["ok"] > 0
+        finally:
+            exp_config.clear_caches()
+
+    def test_runner_flags_stale_corpus(self, corpus):
+        from repro.experiments import config as exp_config
+        from repro.experiments.runner import validate_corpora
+
+        sample = _executable(corpus, TaskType.QUESTION_ANSWERING)[0]
+        forged = replace(sample, uid="forged", answer=("999999",))
+        exp_config.clear_caches()
+        exp_config._SYNTH_CACHE[("players", "smoke", "full")] = [forged]
+        try:
+            text, clean = validate_corpora()
+            assert not clean
+            assert "FAIL" in text
+        finally:
+            exp_config.clear_caches()
