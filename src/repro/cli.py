@@ -16,6 +16,13 @@ Commands:
 * ``validate`` — audit a persisted samples corpus: verify its integrity
   manifest, load with graceful degradation (``--on-error``), and run the
   semantic re-execution gate; exits 0 only when the corpus is clean.
+* ``save-model`` — train a QA model or fact verifier on a samples
+  corpus and register the artifact (pickle + integrity manifest) in a
+  model registry directory.
+* ``models`` — inspect a registry (``repro models list --registry DIR``).
+* ``serve`` — serve registered models over HTTP: ``POST /v1/qa``,
+  ``POST /v1/verify``, ``GET /healthz``, ``GET /metrics``; micro-batched,
+  admission-controlled, drains in-flight work on SIGTERM/SIGINT.
 * ``experiments`` — alias of :mod:`repro.experiments.runner`.
 """
 
@@ -297,8 +304,200 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return experiments_main(list(args.rest))
 
 
+def _cmd_save_model(args: argparse.Namespace) -> int:
+    from repro.errors import IntegrityError
+    from repro.models.qa import QAConfig
+    from repro.models.verifier import VerifierConfig
+    from repro.pipelines.samples import TaskType
+    from repro.serve import ModelRegistry
+    from repro.train.loop import (
+        TrainingPlan,
+        evaluate_qa,
+        evaluate_verifier,
+        load_training_samples,
+        train_qa,
+        train_verifier,
+    )
+    from repro.validate import read_manifest
+
+    samples, _ = load_training_samples(args.samples, validate=args.validate)
+    wanted = (
+        TaskType.QUESTION_ANSWERING
+        if args.task == "qa"
+        else TaskType.FACT_VERIFICATION
+    )
+    usable = [s for s in samples if s.task is wanted]
+    if not usable:
+        print(
+            f"no {args.task} samples in {args.samples}; nothing to train",
+            file=sys.stderr,
+        )
+        return 1
+    plan = TrainingPlan.unsupervised(usable)
+    overrides = {"seed": args.seed}
+    if args.epochs is not None:
+        overrides["epochs"] = args.epochs
+    if args.task == "qa":
+        model = train_qa(plan, QAConfig(**overrides))
+        scores = evaluate_qa(model, usable)
+        metrics = {
+            "train_em": scores.em,
+            "train_f1": scores.f1,
+            "train_denotation": scores.denotation,
+        }
+    else:
+        model = train_verifier(plan, VerifierConfig(**overrides))
+        scores = evaluate_verifier(model, usable)
+        metrics = {"train_accuracy": scores.accuracy, "train_f1": scores.f1}
+    train_corpus = {"path": str(args.samples), "records": len(usable)}
+    try:
+        manifest = read_manifest(args.samples)
+    except IntegrityError:
+        manifest = None
+    if manifest is not None:
+        train_corpus["sha256"] = manifest.data_sha256
+    record = ModelRegistry(args.registry).save(
+        model, args.name, metrics=metrics, train_corpus=train_corpus
+    )
+    print(
+        f"saved {record.model_id} (task={record.task}, "
+        f"{record.artifact_bytes} bytes, "
+        f"sha256={record.artifact_sha256[:12]}…) to {record.path}"
+    )
+    for key, value in sorted(metrics.items()):
+        print(f"  {key}: {value:.4f}")
+    return 0
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    from repro.serve import ModelRegistry
+
+    registry = ModelRegistry(args.registry)
+    records = registry.list_records()
+    if not records:
+        print(f"no models registered in {args.registry}")
+        return 0
+    default_model = registry.default_model()
+    for record in records:
+        is_default = (
+            record.name == default_model
+            and record.version == registry.default_version(record.name)
+        )
+        metrics = " ".join(
+            f"{key}={value:.3f}" for key, value in sorted(record.metrics.items())
+        )
+        marker = "*" if is_default else " "
+        print(
+            f"{marker} {record.name:<20} {record.version:<8} "
+            f"{record.task:<7} {metrics}"
+        )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+    import signal
+    import threading
+
+    from repro.serve import (
+        EngineConfig,
+        InferenceEngine,
+        ModelRegistry,
+        make_server,
+        serve_in_thread,
+    )
+
+    registry = ModelRegistry(args.registry)
+    names = args.model or sorted(registry.models())
+    if not names:
+        print(f"no models registered in {args.registry}", file=sys.stderr)
+        return 1
+    models = {}
+    for name in names:
+        loaded = registry.load(name)
+        task = loaded.record.task
+        if task in models:
+            print(
+                f"both {models[task].record.model_id} and "
+                f"{loaded.record.model_id} serve task {task!r}; pass "
+                "--model to pick one per task",
+                file=sys.stderr,
+            )
+            return 2
+        models[task] = loaded
+    engine = InferenceEngine(
+        models,
+        EngineConfig(
+            workers=args.workers,
+            max_batch_size=args.max_batch,
+            max_wait_s=args.max_wait_ms / 1e3,
+            queue_limit=args.queue_limit,
+            cache_size=args.cache_size,
+            default_deadline_s=(
+                args.deadline_ms / 1e3 if args.deadline_ms else None
+            ),
+        ),
+    )
+    engine.start()
+    server = make_server(engine, host=args.host, port=args.port)
+    for task, loaded in sorted(models.items()):
+        print(f"loaded {loaded.record.model_id} for task {task}")
+    print(
+        f"serving on http://{args.host}:{server.port} "
+        f"(workers={args.workers}, max_batch={args.max_batch}, "
+        f"queue_limit={args.queue_limit})",
+        flush=True,
+    )
+
+    stop = threading.Event()
+
+    def _on_signal(signum: int, _frame) -> None:
+        print(
+            f"received {signal.Signals(signum).name}; draining…", flush=True
+        )
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    serve_in_thread(server)
+    # Poll so signals interrupt promptly (Event.wait without a timeout
+    # can block signal delivery on some platforms).
+    while not stop.wait(0.2):
+        pass
+    # Order matters for a clean drain: stop accepting connections, join
+    # the in-flight HTTP handler threads (the engine is still running,
+    # so they finish normally), then drain whatever is still queued.
+    server.shutdown()
+    server.server_close()
+    engine.stop(drain=True)
+    print("drained; final stats: " + json.dumps(engine.stats()), flush=True)
+    return 0
+
+
+def _package_version() -> str:
+    """The installed distribution version, falling back to the source tree.
+
+    The fallback matters for ``PYTHONPATH=src`` runs (tests, CI) where
+    the ``repro`` distribution is not pip-installed and
+    :func:`importlib.metadata.version` raises ``PackageNotFoundError``.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except Exception:  # PackageNotFoundError or metadata backend issues
+        import repro
+
+        return repro.__version__
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {_package_version()}",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     make_dataset = commands.add_parser(
@@ -397,6 +596,88 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the validation run-report (schema v4) here",
     )
     validate.set_defaults(fn=_cmd_validate)
+
+    save_model = commands.add_parser(
+        "save-model",
+        help="train a model on a samples corpus and register the "
+             "artifact (pickle + integrity manifest)",
+    )
+    save_model.add_argument("samples", help="training samples .jsonl")
+    save_model.add_argument(
+        "--registry", required=True, metavar="DIR",
+        help="model registry directory (created if missing)",
+    )
+    save_model.add_argument(
+        "--name", required=True, help="model name in the registry"
+    )
+    save_model.add_argument(
+        "--task", choices=("qa", "verify"), required=True,
+        help="which model family to train",
+    )
+    save_model.add_argument("--seed", type=int, default=0)
+    save_model.add_argument(
+        "--epochs", type=int, default=None, metavar="N",
+        help="override training epochs (default: the model's own)",
+    )
+    save_model.add_argument(
+        "--validate", action="store_true",
+        help="run the semantic re-execution gate on the corpus first",
+    )
+    save_model.set_defaults(fn=_cmd_save_model)
+
+    models = commands.add_parser(
+        "models", help="inspect a model registry"
+    )
+    models_commands = models.add_subparsers(dest="models_command", required=True)
+    models_list = models_commands.add_parser(
+        "list", help="list registered models (default marked with *)"
+    )
+    models_list.add_argument("--registry", required=True, metavar="DIR")
+    models_list.set_defaults(fn=_cmd_models)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve registered models over HTTP (micro-batched, "
+             "admission-controlled; drains on SIGTERM)",
+    )
+    serve.add_argument(
+        "--registry", required=True, metavar="DIR",
+        help="model registry directory",
+    )
+    serve.add_argument(
+        "--model", action="append", default=None, metavar="NAME",
+        help="model name to serve (repeatable, one per task; default: "
+             "every registered model)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="listen port (0 picks a free one; default 8080)",
+    )
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument(
+        "--max-batch", type=int, default=16,
+        help="micro-batch size cap (default 16)",
+    )
+    serve.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="batching linger in milliseconds (default 2.0)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=256,
+        help="admission-queue bound; beyond it requests are rejected "
+             "with a retry-after hint (default 256)",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=1024,
+        help="response-cache entries, 0 disables (default 1024)",
+    )
+    serve.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="default per-request deadline in milliseconds "
+             "(default: none)",
+    )
+    serve.set_defaults(fn=_cmd_serve)
 
     experiments = commands.add_parser(
         "experiments",

@@ -156,5 +156,33 @@ class ModelError(ReproError):
     """Errors in model construction, training, or inference."""
 
 
+class ServeError(ReproError):
+    """Errors in the online inference subsystem (:mod:`repro.serve`)."""
+
+
+class RegistryError(ServeError):
+    """A model registry lookup failed (unknown model, version, task)."""
+
+
+class OverloadedError(ServeError):
+    """The serving engine's admission queue is full.
+
+    The 429 of the serving stack: the request was *not* enqueued and
+    the engine did no work for it.  ``retry_after`` is the engine's
+    estimate (in seconds) of when capacity frees up, suitable for an
+    HTTP ``Retry-After`` header or a client-side backoff
+    (:func:`repro.runtime.retry.run_with_retry` treats this like any
+    retryable fault).
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.05):
+        self.retry_after = max(0.0, retry_after)
+        super().__init__(message)
+
+
+class EngineStoppedError(ServeError):
+    """A request was submitted to a stopped or draining engine."""
+
+
 class EvaluationError(ReproError):
     """Errors computing evaluation metrics."""

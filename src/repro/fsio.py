@@ -88,3 +88,28 @@ def atomic_write_text(
     with atomic_writer(path, encoding=encoding) as handle:
         handle.write(text)
     return path
+
+
+def atomic_write_bytes(path: str | Path, payload: bytes) -> Path:
+    """Atomically replace ``path`` with ``payload`` (binary artifacts).
+
+    Same temp-file + fsync + ``os.replace`` recipe as
+    :func:`atomic_writer`, for binary payloads such as pickled model
+    artifacts in the serving registry.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    handle = tmp.open("wb")
+    try:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    except BaseException:
+        handle.close()
+        tmp.unlink(missing_ok=True)
+        raise
+    else:
+        handle.close()
+        os.replace(tmp, path)
+    return path

@@ -640,6 +640,20 @@ class TagOpQA:
         return candidates[best].answer
 
     def predict_batch(self, samples: list[ReasoningSample]) -> list[tuple[str, ...]]:
+        """Batch inference with scores *identical* to per-sample
+        :meth:`predict`.
+
+        This is the entry point micro-batch serving and batched
+        evaluation use.  Candidate scoring deliberately stays
+        per-sample: concatenating all candidates into one MLP forward
+        is not bitwise-stable (BLAS picks different kernels by matrix
+        shape, perturbing low-order bits and, at a near-tie, the
+        argmax), and the contract here is that batching can never
+        change an answer.  Cross-sample amortization therefore lives in
+        shared read-only state (the candidate generator's per-context
+        evidence-view memo, the template pools), which repeated
+        contexts in a batch hit for free.
+        """
         return [self.predict(sample) for sample in samples]
 
 

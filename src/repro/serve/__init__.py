@@ -1,0 +1,78 @@
+"""Online inference: model registry, micro-batching engine, HTTP frontend.
+
+The serving arc of the reproduction — the paper trains TAGOP-style QA
+models and FEVEROUS-style verifiers on synthetic data *so they can
+answer questions and verify claims over unseen tables*; this package is
+the path from a trained model to answers over the wire:
+
+* :mod:`repro.serve.registry` — versioned on-disk artifacts with
+  integrity manifests (``save_model`` / ``load_model``).
+* :mod:`repro.serve.engine` — admission control, micro-batching,
+  per-worker model replicas, response cache, drain-then-stop shutdown.
+* :mod:`repro.serve.http` — ``POST /v1/qa``, ``POST /v1/verify``,
+  ``GET /healthz``, ``GET /metrics``; in-process and HTTP clients.
+* :mod:`repro.serve.loadgen` — deterministic closed-loop load
+  generation for benchmarks and smoke tests.
+"""
+
+from repro.serve.engine import (
+    EngineConfig,
+    InferenceEngine,
+    InferenceRequest,
+    InferenceResponse,
+    PendingResponse,
+    Timing,
+)
+from repro.serve.http import (
+    HttpServeClient,
+    ServeClient,
+    ServeHTTPServer,
+    make_server,
+    serve_in_thread,
+)
+from repro.serve.loadgen import (
+    LoadReport,
+    WorkItem,
+    build_workload,
+    run_load,
+)
+from repro.serve.registry import (
+    TASK_QA,
+    TASK_VERIFY,
+    TASKS,
+    LoadedModel,
+    ModelRecord,
+    ModelRegistry,
+    load_model,
+    model_task,
+    save_model,
+    schema_fingerprint,
+)
+
+__all__ = [
+    "EngineConfig",
+    "HttpServeClient",
+    "InferenceEngine",
+    "InferenceRequest",
+    "InferenceResponse",
+    "LoadReport",
+    "LoadedModel",
+    "ModelRecord",
+    "ModelRegistry",
+    "PendingResponse",
+    "ServeClient",
+    "ServeHTTPServer",
+    "TASKS",
+    "TASK_QA",
+    "TASK_VERIFY",
+    "Timing",
+    "WorkItem",
+    "build_workload",
+    "load_model",
+    "make_server",
+    "model_task",
+    "run_load",
+    "save_model",
+    "schema_fingerprint",
+    "serve_in_thread",
+]

@@ -1,0 +1,446 @@
+"""HTTP frontend over the inference engine, plus serve clients.
+
+Endpoints (all JSON):
+
+* ``POST /v1/qa``      — ``{"question": str, "context": {…}}`` →
+  ``{"ok": true, "answer": […], "model": "name@v0001", "latency": {…}}``
+* ``POST /v1/verify``  — ``{"claim": str, "context": {…}}`` →
+  ``{"ok": true, "label": "supported" | "refuted" | "unknown", …}``
+* ``GET /healthz``     — liveness + which models are loaded.
+* ``GET /metrics``     — the engine's stats snapshot (throughput,
+  p50/p95/p99 latency, batch sizes, cache hit rate, queue depth,
+  rejects; ``accepted == completed + rejected + in_flight``).
+
+``context`` is the :meth:`repro.tables.context.TableContext.to_json`
+payload.  Status mapping: 400 malformed request, 404 unknown route,
+429 + ``Retry-After`` on admission-queue overload, 503 while draining,
+200 otherwise (a failed request — e.g. a blown deadline — is a 200 with
+``ok: false`` and an ``error`` string: the *transport* worked).
+
+Two clients share one interface for tests and the load generator:
+:class:`ServeClient` calls the engine in-process (no sockets), and
+:class:`HttpServeClient` speaks real HTTP via :mod:`urllib`.  Both can
+retry overload rejections with the runtime's
+:class:`~repro.runtime.retry.RetryPolicy` semantics.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.errors import (
+    EngineStoppedError,
+    OverloadedError,
+    ReproError,
+    ServeError,
+)
+from repro.runtime.retry import RetryPolicy
+from repro.serve.engine import InferenceEngine, InferenceResponse, Timing
+from repro.serve.registry import TASK_QA, TASK_VERIFY
+from repro.tables.context import TableContext
+
+#: request bodies beyond this are refused (protects the JSON parser).
+MAX_BODY_BYTES = 16 << 20
+
+_TASK_ROUTES = {"/v1/qa": TASK_QA, "/v1/verify": TASK_VERIFY}
+_SENTENCE_FIELD = {TASK_QA: "question", TASK_VERIFY: "claim"}
+
+
+class _BadRequest(ServeError):
+    """Maps to HTTP 400."""
+
+
+def parse_request_payload(task: str, payload: Any) -> tuple[str, TableContext, float | None, str | None]:
+    """Validate a POST body into (sentence, context, deadline_s, id)."""
+    if not isinstance(payload, dict):
+        raise _BadRequest("request body must be a JSON object")
+    field = _SENTENCE_FIELD[task]
+    sentence = payload.get(field)
+    if not isinstance(sentence, str) or not sentence.strip():
+        raise _BadRequest(f"missing or empty {field!r} field")
+    context_payload = payload.get("context")
+    if not isinstance(context_payload, dict):
+        raise _BadRequest(
+            "missing 'context' field (a TableContext.to_json payload)"
+        )
+    try:
+        context = TableContext.from_json(context_payload)
+    except (ReproError, KeyError, TypeError, ValueError) as error:
+        raise _BadRequest(f"malformed context: {error}") from error
+    deadline_ms = payload.get("deadline_ms")
+    deadline_s: float | None = None
+    if deadline_ms is not None:
+        if not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0:
+            raise _BadRequest("'deadline_ms' must be a positive number")
+        deadline_s = float(deadline_ms) / 1e3
+    request_id = payload.get("id")
+    if request_id is not None and not isinstance(request_id, str):
+        raise _BadRequest("'id' must be a string")
+    return sentence, context, deadline_s, request_id
+
+
+class ServeRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the engine owned by the server."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve/1"
+
+    @property
+    def engine(self) -> InferenceEngine:
+        return self.server.engine  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(format, *args)
+
+    # -- plumbing -----------------------------------------------------------
+    def _send_json(
+        self,
+        status: int,
+        payload: dict[str, Any],
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(
+        self,
+        status: int,
+        error_type: str,
+        message: str,
+        headers: dict[str, str] | None = None,
+        extra: dict[str, Any] | None = None,
+    ) -> None:
+        payload: dict[str, Any] = {
+            "ok": False,
+            "error": {"type": error_type, "message": message},
+        }
+        if extra:
+            payload["error"].update(extra)
+        self._send_json(status, payload, headers)
+
+    # -- GET ----------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/healthz":
+            stats = self.engine.stats()
+            status = 503 if stats["draining"] else 200
+            self._send_json(
+                status,
+                {
+                    "status": "draining" if stats["draining"] else "ok",
+                    "models": stats["models"],
+                    "uptime_s": stats["uptime_s"],
+                },
+            )
+            return
+        if self.path == "/metrics":
+            self._send_json(200, self.engine.stats())
+            return
+        self._send_error_json(404, "not_found", f"no route {self.path!r}")
+
+    # -- POST ---------------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        task = _TASK_ROUTES.get(self.path)
+        if task is None:
+            self._send_error_json(404, "not_found", f"no route {self.path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            self._send_error_json(400, "bad_request", "bad Content-Length")
+            return
+        if length <= 0:
+            self._send_error_json(400, "bad_request", "empty request body")
+            return
+        if length > MAX_BODY_BYTES:
+            self._send_error_json(
+                413, "payload_too_large",
+                f"body of {length} bytes exceeds {MAX_BODY_BYTES}",
+            )
+            return
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+            sentence, context, deadline_s, request_id = parse_request_payload(
+                task, payload
+            )
+        except json.JSONDecodeError as error:
+            self._send_error_json(400, "bad_request", f"invalid JSON: {error}")
+            return
+        except _BadRequest as error:
+            self._send_error_json(400, "bad_request", str(error))
+            return
+        try:
+            response = self.engine.infer(
+                task, sentence, context,
+                deadline_s=deadline_s, request_id=request_id,
+            )
+        except OverloadedError as error:
+            self._send_error_json(
+                429, "overloaded", str(error),
+                headers={
+                    "Retry-After": str(max(1, math.ceil(error.retry_after)))
+                },
+                extra={"retry_after_ms": round(error.retry_after * 1e3, 1)},
+            )
+            return
+        except EngineStoppedError as error:
+            self._send_error_json(503, "stopping", str(error))
+            return
+        except ServeError as error:
+            self._send_error_json(400, "bad_request", str(error))
+            return
+        self._send_json(200, response.to_json())
+
+
+class ServeHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one inference engine."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    # Overload must surface as the engine's typed 429, not as kernel-level
+    # connection resets: the stdlib default backlog of 5 overflows under a
+    # modest burst of reconnecting clients, long before admission control
+    # gets to rule on anything.
+    request_queue_size = 128
+
+    def __init__(self, address: tuple[str, int], engine: InferenceEngine):
+        super().__init__(address, ServeRequestHandler)
+        self.engine = engine
+        self.verbose = False
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+def make_server(
+    engine: InferenceEngine, host: str = "127.0.0.1", port: int = 0
+) -> ServeHTTPServer:
+    """Bind a :class:`ServeHTTPServer` (``port=0`` picks a free port)."""
+    return ServeHTTPServer((host, port), engine)
+
+
+def serve_in_thread(server: ServeHTTPServer) -> threading.Thread:
+    """Run ``server.serve_forever`` on a daemon thread (tests, CLI)."""
+    thread = threading.Thread(
+        target=server.serve_forever, name="serve-http", daemon=True
+    )
+    thread.start()
+    return thread
+
+
+# -- clients -----------------------------------------------------------------
+
+
+class _BaseClient:
+    """Shared retry-on-overload behavior for both client flavors."""
+
+    def __init__(self, retry: RetryPolicy | None = None):
+        self.retry = retry
+
+    def _with_retry(self, fn):
+        """Retry *only* overload rejections under the runtime's policy.
+
+        Same semantics as :func:`repro.runtime.retry.run_with_retry`
+        (attempt budget, capped exponential backoff, never sleeping
+        past the deadline), specialized to :class:`OverloadedError` —
+        a 429 is the one failure where the server explicitly asked the
+        client to come back, and its ``retry_after`` hint floors the
+        backoff pause.  Everything else propagates immediately.
+        """
+        if self.retry is None:
+            return fn(1)
+        import time as _time
+
+        started = _time.monotonic()
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return fn(attempt)
+            except OverloadedError as error:
+                if attempt >= self.retry.max_attempts:
+                    raise
+                pause = max(self.retry.delay(attempt), error.retry_after)
+                if self.retry.deadline is not None:
+                    remaining = self.retry.deadline - (
+                        _time.monotonic() - started
+                    )
+                    if remaining <= 0 or pause >= remaining:
+                        raise
+                if pause > 0:
+                    _time.sleep(pause)
+
+    # subclasses implement _request(task, …)
+    def qa(
+        self,
+        question: str,
+        context: TableContext,
+        *,
+        deadline_s: float | None = None,
+    ) -> InferenceResponse:
+        return self._with_retry(
+            lambda _attempt: self._request(
+                TASK_QA, question, context, deadline_s
+            )
+        )
+
+    def verify(
+        self,
+        claim: str,
+        context: TableContext,
+        *,
+        deadline_s: float | None = None,
+    ) -> InferenceResponse:
+        return self._with_retry(
+            lambda _attempt: self._request(
+                TASK_VERIFY, claim, context, deadline_s
+            )
+        )
+
+
+class ServeClient(_BaseClient):
+    """In-process client: the engine without sockets (tests, loadgen)."""
+
+    def __init__(
+        self, engine: InferenceEngine, retry: RetryPolicy | None = None
+    ):
+        super().__init__(retry)
+        self.engine = engine
+
+    def _request(
+        self,
+        task: str,
+        sentence: str,
+        context: TableContext,
+        deadline_s: float | None,
+    ) -> InferenceResponse:
+        return self.engine.infer(task, sentence, context, deadline_s=deadline_s)
+
+    def metrics(self) -> dict[str, Any]:
+        return self.engine.stats()
+
+    def healthz(self) -> dict[str, Any]:
+        stats = self.engine.stats()
+        return {
+            "status": "draining" if stats["draining"] else "ok",
+            "models": stats["models"],
+        }
+
+
+class HttpServeClient(_BaseClient):
+    """Real-HTTP client over :mod:`urllib` (loadgen, smoke tests)."""
+
+    def __init__(
+        self,
+        base_url: str,
+        retry: RetryPolicy | None = None,
+        timeout: float = 30.0,
+    ):
+        super().__init__(retry)
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _get(self, path: str) -> dict[str, Any]:
+        with urllib.request.urlopen(
+            self.base_url + path, timeout=self.timeout
+        ) as reply:
+            return json.loads(reply.read().decode("utf-8"))
+
+    def metrics(self) -> dict[str, Any]:
+        return self._get("/metrics")
+
+    def healthz(self) -> dict[str, Any]:
+        try:
+            return self._get("/healthz")
+        except urllib.error.HTTPError as error:
+            if error.code == 503:
+                return json.loads(error.read().decode("utf-8"))
+            raise
+
+    def _request(
+        self,
+        task: str,
+        sentence: str,
+        context: TableContext,
+        deadline_s: float | None,
+    ) -> InferenceResponse:
+        body: dict[str, Any] = {
+            _SENTENCE_FIELD[task]: sentence,
+            "context": context.to_json(),
+        }
+        if deadline_s is not None:
+            body["deadline_ms"] = deadline_s * 1e3
+        data = json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            self.base_url + ("/v1/qa" if task == TASK_QA else "/v1/verify"),
+            data=data,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as reply:
+                payload = json.loads(reply.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            detail = error.read().decode("utf-8", "replace")
+            if error.code == 429:
+                try:
+                    retry_after = (
+                        json.loads(detail)["error"]["retry_after_ms"] / 1e3
+                    )
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    retry_after = float(
+                        error.headers.get("Retry-After", 1) or 1
+                    )
+                raise OverloadedError(
+                    f"server overloaded: {detail}", retry_after=retry_after
+                ) from error
+            if error.code == 503:
+                raise EngineStoppedError(f"server draining: {detail}") from error
+            raise ServeError(
+                f"HTTP {error.code} from {self.base_url}: {detail}"
+            ) from error
+        return _response_from_json(payload)
+
+
+def _response_from_json(payload: dict[str, Any]) -> InferenceResponse:
+    latency = payload.get("latency") or {}
+    timing = None
+    if latency:
+        timing = Timing(
+            queue_s=latency.get("queue_ms", 0.0) / 1e3,
+            compute_s=latency.get("compute_ms", 0.0) / 1e3,
+            total_s=latency.get("total_ms", 0.0) / 1e3,
+            batch_size=int(latency.get("batch_size", 1)),
+        )
+    task = payload.get("task", TASK_QA)
+    return InferenceResponse(
+        id=payload.get("id", ""),
+        task=task,
+        ok=bool(payload.get("ok")),
+        answer=tuple(payload.get("answer") or ()),
+        label=payload.get("label"),
+        error=(
+            payload["error"]
+            if isinstance(payload.get("error"), str)
+            else None
+        ),
+        cached=bool(payload.get("cached")),
+        model=payload.get("model", ""),
+        timing=timing,
+    )

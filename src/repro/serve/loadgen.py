@@ -1,0 +1,219 @@
+"""Deterministic closed-loop load generator for the serving stack.
+
+:func:`build_workload` derives a reproducible stream of QA questions and
+verification claims from any list of :class:`TableContext`\\ s — it reads
+actual row names, columns, and cell values, so the requests exercise the
+real candidate/featurization paths, and it draws from a named RNG stream
+(:func:`repro.rng.rng_from_key`) so the same seed always produces the
+same workload.
+
+:func:`run_load` drives the workload *closed-loop*: ``clients`` threads
+each own a fixed shard and issue its requests back-to-back, so offered
+load tracks service capacity (the standard way to measure sustainable
+RPS rather than queue growth).  Works against either client flavor —
+the in-process :class:`~repro.serve.http.ServeClient` or the real-HTTP
+:class:`~repro.serve.http.HttpServeClient` — and folds per-request
+outcomes into a :class:`LoadReport` (sustained RPS, latency
+percentiles, overload rejections, errors) that the serving benchmark
+commits to ``benchmarks/BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.errors import OverloadedError, ServeError
+from repro.rng import rng_from_key
+from repro.serve.registry import TASK_QA, TASK_VERIFY
+from repro.tables.context import TableContext
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One scripted request: a task, a sentence, and its context."""
+
+    task: str
+    sentence: str
+    context: TableContext
+
+
+def _context_sentences(
+    context: TableContext, rng, tasks: Sequence[str]
+) -> WorkItem | None:
+    """One deterministic request against ``context``, or None if barren."""
+    table = context.table
+    if table.n_rows == 0 or not table.column_names:
+        return None
+    row = rng.randrange(table.n_rows)
+    name = table.row_name(row)
+    columns = [
+        column for column in table.column_names
+        if column != table.row_name_column
+    ] or table.column_names
+    column = columns[rng.randrange(len(columns))]
+    cell = table.cell(row, column)
+    task = tasks[rng.randrange(len(tasks))]
+    if task == TASK_QA:
+        return WorkItem(
+            task=TASK_QA,
+            sentence=f"what is the {column} for {name} ?",
+            context=context,
+        )
+    # Half the claims are perturbed so the verifier sees both verdicts.
+    value = cell.raw
+    if rng.random() < 0.5 and value:
+        value = f"not {value}"
+    return WorkItem(
+        task=TASK_VERIFY,
+        sentence=f"for {name} , the {column} is {value} .",
+        context=context,
+    )
+
+
+def build_workload(
+    contexts: Sequence[TableContext],
+    n_requests: int,
+    *,
+    tasks: Sequence[str] = (TASK_QA, TASK_VERIFY),
+    seed: int = 0,
+) -> list[WorkItem]:
+    """``n_requests`` scripted requests over ``contexts``, seed-stable."""
+    if not contexts:
+        raise ServeError("cannot build a workload over zero contexts")
+    for task in tasks:
+        if task not in (TASK_QA, TASK_VERIFY):
+            raise ServeError(f"unknown workload task {task!r}")
+    out: list[WorkItem] = []
+    index = 0
+    while len(out) < n_requests:
+        rng = rng_from_key(str(seed), "serve-loadgen", str(index))
+        context = contexts[index % len(contexts)]
+        item = _context_sentences(context, rng, tasks)
+        index += 1
+        if item is not None:
+            out.append(item)
+        elif index > n_requests * 10 + len(contexts):
+            raise ServeError("contexts produced no usable workload items")
+    return out
+
+
+@dataclass
+class LoadReport:
+    """What a closed-loop run measured."""
+
+    duration_s: float
+    clients: int
+    sent: int
+    completed: int
+    rejected: int
+    errors: int
+    rps: float
+    latency: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "duration_s": round(self.duration_s, 4),
+            "clients": self.clients,
+            "sent": self.sent,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "rps": round(self.rps, 2),
+            "latency": self.latency,
+        }
+
+
+def _percentiles(samples: list[float]) -> dict[str, float]:
+    if not samples:
+        return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0, "count": 0}
+    ordered = sorted(samples)
+
+    def at(q: float) -> float:
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return round(ordered[index] * 1e3, 3)
+
+    return {
+        "p50_ms": at(0.50),
+        "p95_ms": at(0.95),
+        "p99_ms": at(0.99),
+        "count": len(ordered),
+    }
+
+
+def run_load(
+    client: Any,
+    workload: Sequence[WorkItem],
+    *,
+    clients: int = 4,
+) -> LoadReport:
+    """Drive ``workload`` through ``client`` with ``clients`` threads.
+
+    Each thread owns the shard ``workload[i::clients]`` and issues it
+    sequentially (closed loop).  ``client`` needs ``qa(sentence,
+    context)`` and ``verify(sentence, context)`` returning an
+    :class:`~repro.serve.engine.InferenceResponse`; overload
+    rejections that survive the client's own retry policy are counted,
+    not raised.
+    """
+    if clients < 1:
+        raise ServeError("clients must be >= 1")
+    lock = threading.Lock()
+    latencies: dict[str, list[float]] = {TASK_QA: [], TASK_VERIFY: []}
+    counts = {"completed": 0, "rejected": 0, "errors": 0}
+
+    def drive(shard: Sequence[WorkItem]) -> None:
+        for item in shard:
+            call = client.qa if item.task == TASK_QA else client.verify
+            started = time.perf_counter()
+            try:
+                response = call(item.sentence, item.context)
+            except OverloadedError:
+                with lock:
+                    counts["rejected"] += 1
+                continue
+            except Exception:
+                # transport-level failures too (connection refused when a
+                # server is shutting down mid-run must count, not crash
+                # the client thread)
+                with lock:
+                    counts["errors"] += 1
+                continue
+            elapsed = time.perf_counter() - started
+            with lock:
+                if response.ok:
+                    counts["completed"] += 1
+                    latencies[item.task].append(elapsed)
+                else:
+                    counts["errors"] += 1
+
+    threads = [
+        threading.Thread(
+            target=drive, args=(list(workload[i::clients]),),
+            name=f"loadgen-{i}", daemon=True,
+        )
+        for i in range(clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    duration = max(1e-9, time.perf_counter() - started)
+    all_latencies = latencies[TASK_QA] + latencies[TASK_VERIFY]
+    return LoadReport(
+        duration_s=duration,
+        clients=clients,
+        sent=len(workload),
+        completed=counts["completed"],
+        rejected=counts["rejected"],
+        errors=counts["errors"],
+        rps=counts["completed"] / duration,
+        latency={
+            "overall": _percentiles(all_latencies),
+            TASK_QA: _percentiles(latencies[TASK_QA]),
+            TASK_VERIFY: _percentiles(latencies[TASK_VERIFY]),
+        },
+    )

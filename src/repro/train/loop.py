@@ -154,6 +154,11 @@ def evaluate_verifier(
     verifier, samples: list[ReasoningSample]
 ) -> VerifierScores:
     usable = [s for s in samples if s.label is not None]
+    if not usable:
+        # Zeroed scores, not a crash: an empty (or all-unlabeled) eval
+        # split is a data problem the caller reports, and some verifier
+        # implementations choke on an empty predict batch.
+        return VerifierScores(accuracy=0.0, f1=0.0)
     predictions = verifier.predict(usable)
     golds = [s.label for s in usable]
     return VerifierScores(
@@ -170,7 +175,15 @@ class QAScores:
 
 
 def evaluate_qa(model, samples: list[ReasoningSample]) -> QAScores:
-    predictions = [model.predict(sample) for sample in samples]
+    if not samples:
+        return QAScores(em=0.0, f1=0.0, denotation=0.0)
+    # One predict_batch call instead of a per-sample Python loop: the
+    # batched path shares the model's per-batch bookkeeping (and is the
+    # same code path the serving engine exercises).  Scores are
+    # guaranteed identical to per-sample predict — see the
+    # predict_batch contract and the regression test in
+    # tests/test_train_staging.py.
+    predictions = model.predict_batch(samples)
     golds = [list(sample.answer) for sample in samples]
     em, f1 = qa_scores(predictions, golds)
     return QAScores(em=em, f1=f1, denotation=denotation_accuracy(predictions, golds))

@@ -14,9 +14,7 @@ def rng() -> random.Random:
     return random.Random(1234)
 
 
-@pytest.fixture
-def players_table() -> Table:
-    """A small sports table with text and numeric columns."""
+def _players_table() -> Table:
     return Table.from_rows(
         header=["player", "team", "points", "rebounds"],
         raw_rows=[
@@ -29,6 +27,34 @@ def players_table() -> Table:
         title="player statistics",
         row_name_column="player",
     )
+
+
+def _players_context() -> TableContext:
+    return TableContext(
+        table=_players_table(),
+        paragraphs=(
+            Paragraph(
+                text=(
+                    "For dana cruz , the team is spurs and the points is 19 "
+                    "and the rebounds is 8 . For john smith , the points is 31 ."
+                ),
+                source="context",
+            ),
+        ),
+        uid="ctx-players",
+        meta={
+            "text_records": [
+                {"player": "dana cruz", "team": "spurs", "points": "19",
+                 "rebounds": "8"}
+            ]
+        },
+    )
+
+
+@pytest.fixture
+def players_table() -> Table:
+    """A small sports table with text and numeric columns."""
+    return _players_table()
 
 
 @pytest.fixture
@@ -49,25 +75,89 @@ def finance_table() -> Table:
 
 @pytest.fixture
 def players_context(players_table) -> TableContext:
+    context = _players_context()
     return TableContext(
         table=players_table,
-        paragraphs=(
-            Paragraph(
-                text=(
-                    "For dana cruz , the team is spurs and the points is 19 "
-                    "and the rebounds is 8 . For john smith , the points is 31 ."
-                ),
-                source="context",
-            ),
-        ),
-        uid="ctx-players",
-        meta={
-            "text_records": [
-                {"player": "dana cruz", "team": "spurs", "points": "19",
-                 "rebounds": "8"}
-            ]
-        },
+        paragraphs=context.paragraphs,
+        uid=context.uid,
+        meta=context.meta,
     )
+
+
+# -- serving-stack helpers ---------------------------------------------------
+# Tiny trained models are expensive enough (a few hundred ms each) that
+# the serve/registry/pickle tests share session-scoped instances.
+
+
+def qa_lookup_samples(context: TableContext):
+    """Lookup QA samples over every (row, numeric column) of a context."""
+    from repro.pipelines.samples import ReasoningSample, TaskType
+
+    table = context.table
+    samples = []
+    for row in range(table.n_rows):
+        name = table.row_name(row)
+        for column in table.numeric_column_names():
+            cell = table.cell(row, column)
+            samples.append(ReasoningSample(
+                uid=f"qa-{row}-{column}",
+                task=TaskType.QUESTION_ANSWERING,
+                context=context,
+                sentence=f"what is the {column} of {name} ?",
+                answer=(cell.raw,),
+            ))
+    return samples
+
+
+def verification_samples(context: TableContext):
+    """Supported/refuted claim pairs over every cell of a context."""
+    from repro.pipelines.samples import ReasoningSample, TaskType
+    from repro.sampling.labeler import ClaimLabel
+
+    table = context.table
+    samples = []
+    for row in range(table.n_rows):
+        name = table.row_name(row)
+        for column in table.column_names:
+            if column == table.row_name_column:
+                continue
+            cell = table.cell(row, column)
+            for label, value in (
+                (ClaimLabel.SUPPORTED, cell.raw),
+                (ClaimLabel.REFUTED, "999999"),
+            ):
+                samples.append(ReasoningSample(
+                    uid=f"v-{row}-{column}-{label.value}",
+                    task=TaskType.FACT_VERIFICATION,
+                    context=context,
+                    sentence=f"{name} has a {column} of {value}",
+                    label=label,
+                ))
+    return samples
+
+
+@pytest.fixture(scope="session")
+def serve_context() -> TableContext:
+    """Session-scoped copy of the players context for serving tests."""
+    return _players_context()
+
+
+@pytest.fixture(scope="session")
+def tiny_qa_model(serve_context):
+    from repro.models.qa import QAConfig, TagOpQA
+
+    model = TagOpQA(QAConfig(epochs=8, seed=0))
+    model.fit(qa_lookup_samples(serve_context))
+    return model
+
+
+@pytest.fixture(scope="session")
+def tiny_verifier(serve_context):
+    from repro.models.verifier import FactVerifier, VerifierConfig
+
+    model = FactVerifier(VerifierConfig(epochs=8, seed=0))
+    model.fit(verification_samples(serve_context))
+    return model
 
 
 @pytest.fixture

@@ -127,6 +127,19 @@ class TestAtomicWrites:
 
 
 class TestCli:
+    def test_version_flag(self, capsys):
+        from repro.cli import _package_version
+
+        with pytest.raises(SystemExit) as caught:
+            cli_main(["--version"])
+        assert caught.value.code == 0
+        out = capsys.readouterr().out
+        assert out.strip() == f"repro {_package_version()}"
+        # the fallback path must report the source tree's version
+        import repro
+
+        assert _package_version() == repro.__version__
+
     def test_stats(self, capsys):
         assert cli_main(["stats", "semtabfacts"]) == 0
         out = capsys.readouterr().out
@@ -188,6 +201,51 @@ class TestCli:
         assert all(
             ctx.meta.get("benchmark") == "semtabfacts" for ctx in contexts
         )
+
+
+class TestCliModels:
+    def test_save_model_then_list(self, tmp_path, capsys, serve_context):
+        from .conftest import verification_samples
+
+        corpus = tmp_path / "claims.jsonl"
+        save_samples(corpus, verification_samples(serve_context))
+        registry = tmp_path / "registry"
+        code = cli_main([
+            "save-model", str(corpus),
+            "--registry", str(registry),
+            "--name", "verifier",
+            "--task", "verify",
+            "--epochs", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "saved verifier@v0001" in out
+        assert "train_accuracy" in out
+
+        assert cli_main(["models", "list", "--registry", str(registry)]) == 0
+        listing = capsys.readouterr().out
+        assert "verifier" in listing and "v0001" in listing
+        assert listing.lstrip().startswith("*")  # default marker
+
+    def test_save_model_wrong_task_fails(self, tmp_path, capsys, serve_context):
+        from .conftest import verification_samples
+
+        corpus = tmp_path / "claims.jsonl"
+        save_samples(corpus, verification_samples(serve_context))
+        code = cli_main([
+            "save-model", str(corpus),
+            "--registry", str(tmp_path / "registry"),
+            "--name", "qa", "--task", "qa",
+        ])
+        assert code == 1
+        assert "no qa samples" in capsys.readouterr().err
+
+    def test_serve_empty_registry_fails(self, tmp_path, capsys):
+        code = cli_main([
+            "serve", "--registry", str(tmp_path / "nothing"), "--port", "0",
+        ])
+        assert code == 1
+        assert "no models registered" in capsys.readouterr().err
 
 
 class TestDefaultKinds:

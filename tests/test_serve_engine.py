@@ -1,0 +1,278 @@
+"""Tests for the micro-batching inference engine."""
+
+import threading
+
+import pytest
+
+from repro.errors import EngineStoppedError, OverloadedError, ServeError
+from repro.serve import (
+    EngineConfig,
+    InferenceEngine,
+    InferenceRequest,
+    TASK_QA,
+    TASK_VERIFY,
+)
+from repro.telemetry import Telemetry
+
+from .conftest import qa_lookup_samples, verification_samples
+
+
+class _ExplodingVerifier:
+    """Picklable stand-in whose batch predict always fails."""
+
+    def predict(self, samples):
+        raise RuntimeError("boom")
+
+
+@pytest.fixture
+def engine(tiny_qa_model, tiny_verifier):
+    with InferenceEngine(
+        {TASK_QA: tiny_qa_model, TASK_VERIFY: tiny_verifier},
+        EngineConfig(workers=2, max_batch_size=8),
+    ) as running:
+        yield running
+
+
+class TestCorrectness:
+    def test_qa_matches_direct_predict(
+        self, engine, tiny_qa_model, serve_context
+    ):
+        for sample in qa_lookup_samples(serve_context):
+            response = engine.infer(TASK_QA, sample.sentence, serve_context)
+            assert response.ok, response.error
+            assert response.answer == tiny_qa_model.predict(sample)
+            assert response.task == TASK_QA
+            assert response.timing is not None
+
+    def test_verify_matches_direct_predict(
+        self, engine, tiny_verifier, serve_context
+    ):
+        samples = verification_samples(serve_context)
+        expected = tiny_verifier.predict(samples)
+        for sample, label in zip(samples, expected):
+            response = engine.infer(TASK_VERIFY, sample.sentence, serve_context)
+            assert response.ok, response.error
+            assert response.label == label.value
+
+    def test_unknown_task_is_typed(self, engine, serve_context):
+        with pytest.raises(ServeError):
+            InferenceRequest(
+                id="x", task="summarize", sentence="hi", context=serve_context
+            )
+
+    def test_unserved_task_is_typed(self, tiny_qa_model, serve_context):
+        with InferenceEngine({TASK_QA: tiny_qa_model}) as engine:
+            with pytest.raises(ServeError):
+                engine.infer(TASK_VERIFY, "claim", serve_context)
+
+
+class TestBatching:
+    def test_queued_requests_coalesce(self, tiny_verifier, serve_context):
+        """Requests submitted before start() land in one micro-batch."""
+        engine = InferenceEngine(
+            {TASK_VERIFY: tiny_verifier},
+            EngineConfig(workers=1, max_batch_size=8, cache_size=0),
+        )
+        claims = [s.sentence for s in verification_samples(serve_context)[:6]]
+        pendings = [
+            engine.submit(InferenceRequest(
+                id=f"b{i}", task=TASK_VERIFY, sentence=claim,
+                context=serve_context,
+            ))
+            for i, claim in enumerate(claims)
+        ]
+        engine.start()
+        responses = [p.result(10.0) for p in pendings]
+        engine.stop()
+        assert all(r.ok for r in responses)
+        assert responses[0].timing.batch_size == 6
+        stats = engine.stats()
+        assert stats["batches"]["max_size"] == 6
+        assert stats["batches"]["count"] == 1
+
+    def test_batch_failure_fails_each_request(self, serve_context):
+        engine = InferenceEngine(
+            {TASK_VERIFY: _ExplodingVerifier()},
+            EngineConfig(workers=1, cache_size=0),
+        )
+        with engine:
+            response = engine.infer(TASK_VERIFY, "a claim", serve_context)
+        assert not response.ok
+        assert "boom" in response.error
+        stats = engine.stats()
+        assert stats["errors"] == 1
+        assert stats["reconciles"]
+
+
+class TestAdmission:
+    def test_overload_rejects_with_retry_after(
+        self, tiny_verifier, serve_context
+    ):
+        engine = InferenceEngine(
+            {TASK_VERIFY: tiny_verifier},
+            EngineConfig(workers=1, queue_limit=2, cache_size=0),
+        )
+        # Not started: nothing drains, so the queue fills deterministically.
+        for i in range(2):
+            engine.submit(InferenceRequest(
+                id=f"q{i}", task=TASK_VERIFY, sentence=f"claim {i}",
+                context=serve_context,
+            ))
+        with pytest.raises(OverloadedError) as caught:
+            engine.submit(InferenceRequest(
+                id="q2", task=TASK_VERIFY, sentence="claim 2",
+                context=serve_context,
+            ))
+        assert caught.value.retry_after > 0
+        stats = engine.stats()
+        assert stats["rejected"] == 1
+        assert stats["accepted"] == 3
+        assert stats["in_flight"] == 2
+        assert stats["reconciles"]
+        engine.start()
+        engine.stop(drain=True)
+        assert engine.stats()["completed"] == 2
+
+    def test_submit_after_stop_is_typed(self, tiny_verifier, serve_context):
+        engine = InferenceEngine({TASK_VERIFY: tiny_verifier})
+        engine.start()
+        engine.stop()
+        with pytest.raises(EngineStoppedError):
+            engine.infer(TASK_VERIFY, "too late", serve_context)
+        assert engine.stats()["reconciles"]
+
+    def test_deadline_expired_is_error_response(
+        self, tiny_verifier, serve_context
+    ):
+        engine = InferenceEngine(
+            {TASK_VERIFY: tiny_verifier},
+            EngineConfig(workers=1, cache_size=0),
+        )
+        pending = engine.submit(InferenceRequest(
+            id="late", task=TASK_VERIFY, sentence="a claim",
+            context=serve_context, deadline_s=1e-9,
+        ))
+        engine.start()
+        response = pending.result(10.0)
+        engine.stop()
+        assert not response.ok
+        assert response.error.startswith("deadline_exceeded")
+        stats = engine.stats()
+        assert stats["deadline_expired"] == 1
+        assert stats["reconciles"]
+
+
+class TestCache:
+    def test_repeat_question_hits_cache(self, engine, serve_context):
+        first = engine.infer(TASK_QA, "what is the points of bo chen ?",
+                             serve_context)
+        second = engine.infer(TASK_QA, "what is the points of bo chen ?",
+                              serve_context)
+        # Token-stream normalization: casing/spacing don't miss.
+        third = engine.infer(TASK_QA, "What is  the POINTS of bo chen?",
+                             serve_context)
+        assert not first.cached
+        assert second.cached and second.answer == first.answer
+        assert third.cached and third.answer == first.answer
+        assert engine.stats()["cache"]["hits"] == 2
+
+    def test_cache_disabled(self, tiny_qa_model, serve_context):
+        with InferenceEngine(
+            {TASK_QA: tiny_qa_model}, EngineConfig(cache_size=0)
+        ) as engine:
+            engine.infer(TASK_QA, "what is the points of bo chen ?",
+                         serve_context)
+            repeat = engine.infer(TASK_QA, "what is the points of bo chen ?",
+                                  serve_context)
+        assert not repeat.cached
+        assert engine.stats()["cache"]["hits"] == 0
+
+
+class TestLifecycle:
+    def test_drain_completes_everything(self, tiny_verifier, serve_context):
+        engine = InferenceEngine(
+            {TASK_VERIFY: tiny_verifier},
+            EngineConfig(workers=2, cache_size=0),
+        )
+        pendings = [
+            engine.submit(InferenceRequest(
+                id=f"d{i}", task=TASK_VERIFY, sentence=f"claim number {i}",
+                context=serve_context,
+            ))
+            for i in range(20)
+        ]
+        engine.start()
+        engine.stop(drain=True)
+        assert all(p.done() for p in pendings)
+        assert all(p.result(0).ok for p in pendings)
+        stats = engine.stats()
+        assert stats["completed"] == 20
+        assert stats["in_flight"] == 0
+        assert stats["reconciles"]
+
+    def test_no_drain_fails_fast_not_hangs(self, tiny_verifier, serve_context):
+        engine = InferenceEngine(
+            {TASK_VERIFY: tiny_verifier}, EngineConfig(cache_size=0)
+        )
+        pendings = [
+            engine.submit(InferenceRequest(
+                id=f"n{i}", task=TASK_VERIFY, sentence=f"claim {i}",
+                context=serve_context,
+            ))
+            for i in range(5)
+        ]
+        engine.stop(drain=False)
+        for pending in pendings:
+            response = pending.result(1.0)
+            assert not response.ok
+            assert response.error.startswith("stopped")
+        stats = engine.stats()
+        assert stats["rejected"] == 5
+        assert stats["reconciles"]
+
+    def test_reconciles_under_concurrent_load(
+        self, tiny_qa_model, tiny_verifier, serve_context
+    ):
+        telemetry = Telemetry()
+        engine = InferenceEngine(
+            {TASK_QA: tiny_qa_model, TASK_VERIFY: tiny_verifier},
+            EngineConfig(workers=2, queue_limit=8, cache_size=0),
+            telemetry,
+        )
+        engine.start()
+        outcomes = {"completed": 0, "rejected": 0}
+        lock = threading.Lock()
+
+        def client(offset: int) -> None:
+            for i in range(25):
+                task = TASK_QA if (offset + i) % 2 else TASK_VERIFY
+                sentence = (
+                    f"what is the points of bo chen ?"
+                    if task == TASK_QA else f"claim {offset} {i}"
+                )
+                try:
+                    engine.infer(task, sentence, serve_context)
+                    key = "completed"
+                except OverloadedError:
+                    key = "rejected"
+                with lock:
+                    outcomes[key] += 1
+
+        threads = [
+            threading.Thread(target=client, args=(k,)) for k in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        engine.stop(drain=True)
+        stats = engine.stats()
+        assert stats["accepted"] == 100
+        assert stats["completed"] == outcomes["completed"]
+        assert stats["rejected"] == outcomes["rejected"]
+        assert stats["in_flight"] == 0
+        assert stats["reconciles"]
+        # telemetry mirrors the engine counters
+        counters = telemetry.snapshot()["counters"]["serve"]
+        assert counters["accepted"] == 100
+        assert counters["completed"] == stats["completed"]

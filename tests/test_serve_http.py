@@ -1,0 +1,293 @@
+"""Tests for the HTTP frontend, clients, and the CLI serve lifecycle."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import OverloadedError
+from repro.pipelines.samples import ReasoningSample, TaskType
+from repro.runtime import RetryPolicy
+from repro.serve import (
+    EngineConfig,
+    HttpServeClient,
+    InferenceEngine,
+    InferenceRequest,
+    ModelRegistry,
+    ServeClient,
+    TASK_QA,
+    TASK_VERIFY,
+    build_workload,
+    make_server,
+    run_load,
+    serve_in_thread,
+)
+
+
+@pytest.fixture
+def served(tiny_qa_model, tiny_verifier):
+    engine = InferenceEngine(
+        {TASK_QA: tiny_qa_model, TASK_VERIFY: tiny_verifier},
+        EngineConfig(workers=2, max_batch_size=8),
+    )
+    engine.start()
+    server = make_server(engine)
+    serve_in_thread(server)
+    yield server
+    server.shutdown()
+    server.server_close()
+    engine.stop(drain=True)
+
+
+def _post(port, path, payload, timeout=30.0):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as reply:
+        return reply.status, json.loads(reply.read().decode("utf-8"))
+
+
+class TestEndpoints:
+    def test_qa_over_the_wire(self, served, tiny_qa_model, serve_context):
+        status, payload = _post(served.port, "/v1/qa", {
+            "question": "what is the points of bo chen ?",
+            "context": serve_context.to_json(),
+        })
+        assert status == 200
+        assert payload["ok"]
+        assert payload["task"] == TASK_QA
+        assert tuple(payload["answer"]) == tiny_qa_model.predict(
+            ReasoningSample(
+                uid="x",
+                task=TaskType.QUESTION_ANSWERING,
+                context=serve_context,
+                sentence="what is the points of bo chen ?",
+                answer=("",),
+            )
+        )
+        assert "latency" in payload
+
+    def test_verify_over_the_wire(self, served, serve_context):
+        status, payload = _post(served.port, "/v1/verify", {
+            "claim": "bo chen has a points of 28",
+            "context": serve_context.to_json(),
+        })
+        assert status == 200
+        assert payload["ok"]
+        assert payload["label"] in ("supported", "refuted", "unknown")
+
+    def test_healthz_and_metrics(self, served, serve_context):
+        client = HttpServeClient(f"http://127.0.0.1:{served.port}")
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert set(health["models"]) == {TASK_QA, TASK_VERIFY}
+        client.qa("what is the points of bo chen ?", serve_context)
+        metrics = client.metrics()
+        assert metrics["accepted"] >= 1
+        assert metrics["reconciles"]
+        assert "latency" in metrics and "batches" in metrics
+
+    def test_bad_json_is_400(self, served):
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{served.port}/v1/qa",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            urllib.request.urlopen(request, timeout=30.0)
+        assert caught.value.code == 400
+
+    def test_missing_fields_are_400(self, served, serve_context):
+        for payload in (
+            {"context": serve_context.to_json()},          # no question
+            {"question": "q ?"},                           # no context
+            {"question": "q ?", "context": {"bogus": 1}},  # bad context
+            {"question": "q ?", "context": serve_context.to_json(),
+             "deadline_ms": -5},                           # bad deadline
+        ):
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{served.port}/v1/qa",
+                data=json.dumps(payload).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                urllib.request.urlopen(request, timeout=30.0)
+            assert caught.value.code == 400
+
+    def test_unknown_route_is_404(self, served):
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{served.port}/v1/nope", timeout=30.0
+            )
+        assert caught.value.code == 404
+
+    def test_listen_backlog_outlives_admission_queue(self, served):
+        # Overload must be ruled on by the engine (typed 429), not by
+        # the kernel: the stdlib default backlog of 5 resets bursty
+        # reconnecting clients before admission control ever runs.
+        assert type(served).request_queue_size >= 128
+
+
+class TestOverloadOverHttp:
+    def test_429_with_retry_after(self, tiny_verifier, serve_context):
+        # One never-started engine: the queue fills and stays full.
+        engine = InferenceEngine(
+            {TASK_VERIFY: tiny_verifier},
+            EngineConfig(workers=1, queue_limit=1, cache_size=0),
+        )
+        server = make_server(engine)
+        serve_in_thread(server)
+        try:
+            engine.submit(InferenceRequest(
+                id="hog", task=TASK_VERIFY, sentence="hog claim",
+                context=serve_context,
+            ))
+            client = HttpServeClient(f"http://127.0.0.1:{server.port}")
+            with pytest.raises(OverloadedError) as caught:
+                client.verify("one too many", serve_context)
+            assert caught.value.retry_after > 0
+            metrics = client.metrics()
+            assert metrics["rejected"] >= 1
+            assert metrics["reconciles"]
+        finally:
+            server.shutdown()
+            server.server_close()
+            engine.stop(drain=False)
+
+    def test_client_retry_eventually_lands(self, tiny_verifier, serve_context):
+        engine = InferenceEngine(
+            {TASK_VERIFY: tiny_verifier},
+            EngineConfig(workers=1, queue_limit=1, cache_size=0),
+        )
+        pending = engine.submit(InferenceRequest(
+            id="hog", task=TASK_VERIFY, sentence="hog claim",
+            context=serve_context,
+        ))
+        client = ServeClient(
+            engine,
+            retry=RetryPolicy(max_attempts=10, backoff_base=0.01),
+        )
+        with pytest.raises(OverloadedError):
+            client.verify("rejected while full", serve_context)
+        engine.start()  # capacity appears; the retrying client lands
+        pending.result(10.0)
+        response = client.verify("now it fits", serve_context)
+        assert response.ok
+        engine.stop(drain=True)
+
+
+class TestLoadgen:
+    def test_workload_is_deterministic(self, serve_context):
+        first = build_workload([serve_context], 16, seed=7)
+        second = build_workload([serve_context], 16, seed=7)
+        assert [(w.task, w.sentence) for w in first] == [
+            (w.task, w.sentence) for w in second
+        ]
+        assert {w.task for w in first} == {TASK_QA, TASK_VERIFY}
+
+    def test_run_load_reconciles_with_metrics(self, served, serve_context):
+        client = HttpServeClient(f"http://127.0.0.1:{served.port}")
+        report = run_load(
+            client, build_workload([serve_context], 24, seed=3), clients=3
+        )
+        assert report.sent == 24
+        assert report.completed + report.rejected + report.errors == 24
+        assert report.rps > 0
+        metrics = client.metrics()
+        assert metrics["reconciles"]
+        json.dumps(report.to_json())  # report must serialize as-is
+
+
+class TestCliServeLifecycle:
+    """End-to-end: registry on disk, `repro serve` subprocess, SIGTERM."""
+
+    @pytest.fixture
+    def registry_dir(self, tmp_path, tiny_qa_model, tiny_verifier):
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.save(tiny_qa_model, "qa-model", metrics={"em": 1.0})
+        registry.save(tiny_verifier, "verifier", metrics={"accuracy": 1.0})
+        return tmp_path / "registry"
+
+    def _spawn(self, registry_dir, *extra):
+        from pathlib import Path
+
+        src = Path(__file__).resolve().parents[1] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [str(src), env.get("PYTHONPATH", "")])
+        )
+        env["PYTHONUNBUFFERED"] = "1"
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--registry", str(registry_dir), "--port", "0", *extra],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env,
+        )
+        port = None
+        deadline = time.monotonic() + 60
+        lines = []
+        while time.monotonic() < deadline:
+            line = process.stdout.readline()
+            if not line:
+                break
+            lines.append(line)
+            if line.startswith("serving on http://"):
+                port = int(line.split(":")[2].split()[0])
+                break
+        if port is None:
+            process.kill()
+            raise AssertionError("server never came up:\n" + "".join(lines))
+        return process, port
+
+    def test_sigterm_drains_and_exits_zero(self, registry_dir, serve_context):
+        process, port = self._spawn(registry_dir)
+        try:
+            client = HttpServeClient(f"http://127.0.0.1:{port}")
+            # prove both tasks answer over the wire from the registry
+            assert client.qa(
+                "what is the points of bo chen ?", serve_context
+            ).ok
+            assert client.verify(
+                "bo chen has a points of 28", serve_context
+            ).ok
+
+            # SIGTERM in the middle of a load burst
+            import threading
+
+            workload = build_workload([serve_context], 60, seed=5)
+            report_box = {}
+
+            def burst():
+                report_box["report"] = run_load(client, workload, clients=3)
+
+            loader = threading.Thread(target=burst)
+            loader.start()
+            time.sleep(0.2)
+            process.send_signal(signal.SIGTERM)
+            loader.join(timeout=60)
+            output = process.communicate(timeout=60)[0]
+        finally:
+            if process.poll() is None:
+                process.kill()
+        assert process.returncode == 0, output
+        assert "draining" in output
+        marker = "final stats: "
+        stats_line = next(
+            line for line in output.splitlines() if marker in line
+        )
+        stats = json.loads(stats_line.split(marker, 1)[1])
+        # every request the engine ever accepted was resolved
+        assert stats["reconciles"]
+        assert stats["in_flight"] == 0
+        assert stats["accepted"] == stats["completed"] + stats["rejected"]

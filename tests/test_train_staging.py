@@ -1,11 +1,19 @@
-"""Tests for training-plan staging and experiment scale presets."""
+"""Tests for training-plan staging, evaluation, and scale presets."""
 
 import pytest
 
 from repro.experiments.config import PAPER, SMOKE, Scale
 from repro.pipelines.samples import ReasoningSample, TaskType
 from repro.sampling.labeler import ClaimLabel
-from repro.train.loop import TrainingPlan, _GOLD_REPLICATION, _staged
+from repro.train.loop import (
+    TrainingPlan,
+    _GOLD_REPLICATION,
+    _staged,
+    evaluate_qa,
+    evaluate_verifier,
+)
+
+from .conftest import qa_lookup_samples
 
 
 def _claims(context, n, prefix="s"):
@@ -57,6 +65,51 @@ class TestStaging:
         initial, _ = _staged(TrainingPlan.augmentation(synthetic, gold))
         gold_uids = [s.uid for s in initial if s.uid.startswith("gold")]
         assert len(gold_uids) == 2 * _GOLD_REPLICATION
+
+
+class TestEvaluation:
+    def test_empty_qa_eval_is_zeroed(self, tiny_qa_model):
+        scores = evaluate_qa(tiny_qa_model, [])
+        assert (scores.em, scores.f1, scores.denotation) == (0.0, 0.0, 0.0)
+
+    def test_empty_verifier_eval_is_zeroed(self, tiny_verifier):
+        scores = evaluate_verifier(tiny_verifier, [])
+        assert (scores.accuracy, scores.f1) == (0.0, 0.0)
+
+    def test_unlabeled_verifier_eval_is_zeroed(
+        self, tiny_verifier, players_context
+    ):
+        unlabeled = [
+            ReasoningSample(
+                uid="u-0",
+                task=TaskType.QUESTION_ANSWERING,
+                context=players_context,
+                sentence="what is the points of bo chen ?",
+                answer=("28",),
+            )
+        ]
+        scores = evaluate_verifier(tiny_verifier, unlabeled)
+        assert (scores.accuracy, scores.f1) == (0.0, 0.0)
+
+    def test_batched_eval_matches_per_sample_predict(
+        self, tiny_qa_model, serve_context
+    ):
+        """Regression for the predict_batch contract evaluate_qa relies on.
+
+        evaluate_qa switched from a per-sample predict loop to one
+        predict_batch call; that is only a pure optimization if batch
+        predictions are *identical* to per-sample ones.
+        """
+        from repro.eval.metrics import denotation_accuracy, qa_scores
+
+        samples = qa_lookup_samples(serve_context)
+        batched = evaluate_qa(tiny_qa_model, samples)
+        predictions = [tiny_qa_model.predict(s) for s in samples]
+        golds = [list(s.answer) for s in samples]
+        em, f1 = qa_scores(predictions, golds)
+        assert (batched.em, batched.f1) == (em, f1)
+        assert batched.denotation == denotation_accuracy(predictions, golds)
+        assert predictions == tiny_qa_model.predict_batch(samples)
 
 
 class TestScale:
