@@ -111,6 +111,33 @@ def test_sort_and_filter_throughput():
     assert rate > 0
 
 
+def test_where_aggregate_throughput():
+    """WHERE + aggregate over a wider table (the columnar filter path)."""
+    rows = [
+        [
+            ["alpha", "beta", "Gamma", "delta"][i % 4],
+            str((i * 37) % 400),
+            _MIXED_CELLS[i % len(_MIXED_CELLS)],
+        ]
+        for i in range(80)
+    ]
+    table = Table.from_rows(["name", "score", "mixed"], rows)
+    query = parse_sql(
+        "select count ( * ) , sum ( score ) from w "
+        "where score > 100 and name != 'beta'"
+    )
+
+    def run() -> int:
+        for _ in range(300):
+            query.execute(table)
+        return 300
+
+    rate = _ops_per_sec(run)
+    RESULTS["sql_where_agg_per_sec"] = round(rate, 1)
+    print(f"\nexecute_sql where+agg: {rate:,.0f} queries/sec")
+    assert rate > 0
+
+
 def test_parse_value_throughput():
     cells = _MIXED_CELLS * 10
 
@@ -138,14 +165,20 @@ def test_serial_generation_throughput():
     framework.fit(contexts)
     framework.generate(contexts[:4])  # warm-up outside the timing
 
-    started = time.perf_counter()
-    samples = framework.generate(contexts)
-    elapsed = time.perf_counter() - started
-    rate = len(samples) / elapsed if elapsed > 0 else 0.0
+    # Best-of-3, same as the micro-benchmarks: generation is
+    # deterministic per (contexts, seed), so repeats time identical work.
+    rate = 0.0
+    samples: list = []
+    for _ in range(3):
+        started = time.perf_counter()
+        samples = framework.generate(contexts)
+        elapsed = time.perf_counter() - started
+        if elapsed > 0:
+            rate = max(rate, len(samples) / elapsed)
     RESULTS["samples_per_sec"] = round(rate, 1)
     RESULTS["samples"] = len(samples)
-    print(f"\nserial generation: {len(samples)} samples in {elapsed:.2f}s "
-          f"({rate:.1f} samples/sec)")
+    print(f"\nserial generation: {len(samples)} samples "
+          f"({rate:.1f} samples/sec best-of-3)")
     assert samples
 
 
@@ -182,4 +215,16 @@ def test_write_bench_json():
             assert current >= 0.7 * base_rate, (
                 f"throughput regression: {current:.1f} samples/sec is below "
                 f"70% of the committed baseline {base_rate:.1f}"
+            )
+        # The columnar engine must hold at least 2x the committed
+        # pre-caching order-by baseline even on slower CI hardware
+        # (the measured speedup on the reference machine is far higher
+        # — see benchmarks/BENCH_hotpath.json and docs/PERFORMANCE.md).
+        base_order = report["baseline"].get("sql_order_by_per_sec")
+        current_order = RESULTS.get("sql_order_by_per_sec", 0.0)
+        if isinstance(base_order, (int, float)) and base_order > 0:
+            assert current_order >= 2.0 * base_order, (
+                f"columnar regression: {current_order:.1f} order-by "
+                f"queries/sec is below 2x the committed baseline "
+                f"{base_order:.1f}"
             )

@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Fail on dead relative links in the repo's Markdown files.
+
+Scans every tracked ``*.md`` for inline links and images, resolves
+relative targets against the linking file (or the repo root for
+``/``-prefixed targets, GitHub-style), and checks that the target file
+exists.  For ``file#anchor`` and in-page ``#anchor`` links into
+Markdown files, the anchor must match a heading's GitHub-style slug
+(lowercase, punctuation dropped, spaces to hyphens, ``-N`` suffixes
+for duplicates).
+
+External schemes (``http(s)://``, ``mailto:``) are ignored; fenced
+code blocks and inline code spans are stripped before scanning so
+example snippets cannot produce false positives.
+
+Exit status: 0 when every relative link resolves, 1 otherwise (each
+dead link is listed as ``file:line: target — reason``).  CI runs this
+as the ``docs-links`` job.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` / ``![alt](target)`` — target ends at whitespace
+#: (an optional ``"title"``) or the closing parenthesis.
+_LINK = re.compile(r"!?\[[^\]]*\]\(\s*([^)\s]+)(?:\s+\"[^\"]*\")?\s*\)")
+_FENCE = re.compile(r"^(```|~~~)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+_INLINE_CODE = re.compile(r"`[^`]*`")
+_EXTERNAL = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")  # http:, mailto:, …
+
+
+def _strip_fences(lines: list[str]) -> list[str]:
+    """Blank out fenced code blocks, preserving line numbers."""
+    out: list[str] = []
+    in_fence = False
+    for line in lines:
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            out.append("")
+            continue
+        out.append("" if in_fence else line)
+    return out
+
+
+def _slugify(heading: str) -> str:
+    """GitHub's anchor slug for a heading's rendered text."""
+    text = _INLINE_CODE.sub(lambda m: m.group(0).strip("`"), heading)
+    text = text.replace("`", "").replace("*", "")
+    # drop link syntax, keep the link text
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.lower()
+    text = re.sub(r"[^a-z0-9 _-]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set[str]:
+    """Every heading slug in ``path``, with ``-N`` duplicate suffixes."""
+    lines = _strip_fences(path.read_text(encoding="utf-8").splitlines())
+    seen: dict[str, int] = {}
+    slugs: set[str] = set()
+    for line in lines:
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = _slugify(match.group(1))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        slugs.add(slug if count == 0 else f"{slug}-{count}")
+    return slugs
+
+
+def _markdown_files() -> list[Path]:
+    return sorted(
+        path
+        for path in REPO_ROOT.rglob("*.md")
+        if not any(part.startswith(".") for part in path.parts[:-1])
+    )
+
+
+def check() -> list[str]:
+    problems: list[str] = []
+    anchor_cache: dict[Path, set[str]] = {}
+
+    def anchors_of(path: Path) -> set[str]:
+        if path not in anchor_cache:
+            anchor_cache[path] = _anchors(path)
+        return anchor_cache[path]
+
+    for md_file in _markdown_files():
+        lines = _strip_fences(
+            md_file.read_text(encoding="utf-8").splitlines()
+        )
+        rel_name = md_file.relative_to(REPO_ROOT)
+        for line_no, line in enumerate(lines, start=1):
+            scannable = _INLINE_CODE.sub("", line)
+            for match in _LINK.finditer(scannable):
+                target = match.group(1)
+                if _EXTERNAL.match(target):
+                    continue
+                path_part, _, anchor = target.partition("#")
+                if path_part:
+                    if path_part.startswith("/"):
+                        resolved = REPO_ROOT / path_part.lstrip("/")
+                    else:
+                        resolved = md_file.parent / path_part
+                    resolved = resolved.resolve()
+                    if not resolved.exists():
+                        problems.append(
+                            f"{rel_name}:{line_no}: {target} — file not found"
+                        )
+                        continue
+                else:
+                    resolved = md_file
+                if anchor and resolved.suffix == ".md":
+                    if anchor.lower() not in anchors_of(resolved):
+                        problems.append(
+                            f"{rel_name}:{line_no}: {target} — no such "
+                            f"anchor in {resolved.relative_to(REPO_ROOT)}"
+                        )
+    return problems
+
+
+def main() -> int:
+    problems = check()
+    files = len(_markdown_files())
+    if problems:
+        print(f"dead links in {files} scanned Markdown file(s):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"docs links ok ({files} Markdown file(s) scanned)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

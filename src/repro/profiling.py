@@ -1,7 +1,8 @@
 """Nestable, near-zero-overhead stage timers for the generation engine.
 
-The hot path (sampler → executor → filters → NL-gen → serialization) is
-instrumented with :func:`stage` markers.  When profiling is *off* — the
+The hot path (sampler → executor → columnar array construction →
+filters → NL-gen → serialization) is instrumented with :func:`stage`
+markers.  When profiling is *off* — the
 default — each marker costs one global load and ``None`` check plus a
 no-op context manager, so production throughput is unaffected.  When
 profiling is *on* (``repro generate --profile``, or the

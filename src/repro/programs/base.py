@@ -10,6 +10,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from enum import Enum
+from functools import lru_cache
 from typing import TYPE_CHECKING
 
 from repro.errors import EmptyResultError, ProgramParseError
@@ -98,9 +99,8 @@ class Program(ABC):
         return " ".join(self.tokens())
 
 
-def parse_program(text: str, kind: ProgramKind | str) -> Program:
-    """Parse ``text`` in the DSL named by ``kind``."""
-    kind = ProgramKind(kind)
+@lru_cache(maxsize=4096)
+def _parse_program_cached(text: str, kind: ProgramKind) -> Program:
     if kind is ProgramKind.SQL:
         from repro.programs.sql import parse_sql
 
@@ -114,6 +114,19 @@ def parse_program(text: str, kind: ProgramKind | str) -> Program:
 
         return parse_arith(text)
     raise ProgramParseError(f"unknown program kind: {kind!r}")
+
+
+def parse_program(text: str, kind: ProgramKind | str) -> Program:
+    """Parse ``text`` in the DSL named by ``kind``.
+
+    Memoized: parsing is a pure function of the source text and every
+    AST node is a frozen dataclass, so identical sources share one
+    program instance.  The sampler re-parses each result-slot template
+    twice and the labeler re-parses claim variants, which makes this a
+    hot path during generation.  Parse *errors* are never cached — the
+    failing path re-raises from the parser each time.
+    """
+    return _parse_program_cached(text, ProgramKind(kind))
 
 
 def execute_program(table: "Table", program: Program) -> ExecutionResult:

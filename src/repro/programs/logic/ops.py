@@ -38,12 +38,14 @@ class RowsView:
         return len(self.indices)
 
     def column_cells(self, column: str) -> list[tuple[int, Value]]:
-        """(source row index, cell) pairs for a column within this view."""
-        column_index = self.table.schema.index(column)
-        return [
-            (row_index, self.table.rows[row_index][column_index])
-            for row_index in self.indices
-        ]
+        """(source row index, cell) pairs for a column within this view.
+
+        Reads the table's cached columnar view, so repeated operator
+        evaluations over the same table index into one flat cell array
+        instead of chasing row tuples.
+        """
+        cells = self.table.columnar().vector(column).cells
+        return [(row_index, cells[row_index]) for row_index in self.indices]
 
     def subset(self, kept: list[int]) -> "RowsView":
         return RowsView(table=self.table, indices=tuple(kept))

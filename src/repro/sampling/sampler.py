@@ -196,9 +196,9 @@ class ProgramSampler:
 
     def _pick_rowname(self, table: Table, exclude: set[str]) -> str:
         names = [
-            table.row_name(index)
-            for index in range(table.n_rows)
-            if _is_clean(table.row_name(index)) and " of " not in table.row_name(index)
+            name
+            for name in table.row_names()
+            if _is_clean(name) and " of " not in name
         ]
         fresh = [name for name in names if name not in exclude]
         pool = fresh or names

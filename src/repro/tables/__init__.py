@@ -14,6 +14,7 @@ from repro.tables.values import (
     infer_type,
     coerce_number,
 )
+from repro.tables.columnar import ColumnarTable, ColumnVector, columnar_view
 from repro.tables.schema import Column, Schema
 from repro.tables.table import Row, Table
 from repro.tables.context import Paragraph, TableContext
@@ -30,6 +31,9 @@ __all__ = [
     "infer_type",
     "coerce_number",
     "Column",
+    "ColumnarTable",
+    "ColumnVector",
+    "columnar_view",
     "Schema",
     "Row",
     "Table",

@@ -15,6 +15,11 @@ class Column:
     ``name`` is the header string exactly as shown to the NL-Generator;
     ``type`` is the inferred :class:`~repro.tables.values.ValueType` used
     by the type-aware program sampler (paper Section IV-C).
+
+    Immutability contract: ``Column`` is frozen and must stay that way —
+    schemas, tables, and the columnar execution view all memoize state
+    derived from it (see :class:`Schema` and
+    :mod:`repro.tables.columnar`).
     """
 
     name: str
@@ -30,7 +35,16 @@ class Column:
 
 @dataclass(frozen=True)
 class Schema:
-    """An ordered collection of uniquely named columns."""
+    """An ordered collection of uniquely named columns.
+
+    Lookups are case-insensitive and O(1) via a name→index map built
+    once in ``__post_init__`` and memoized on the frozen instance.
+    The memo is the template for every cache in the table substrate:
+    a pure function of immutable fields, stored outside the dataclass
+    machinery so ``==``, ``hash``, ``repr``, and pickling are
+    untouched, and therefore invisible to determinism — cached and
+    cache-free lookups return identical results by construction.
+    """
 
     columns: tuple[Column, ...] = field(default_factory=tuple)
 

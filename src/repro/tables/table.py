@@ -5,6 +5,13 @@ drop/append row) returns a new ``Table``.  Immutability keeps the
 Table-Splitting and Table-Expansion pipelines (paper Section III) safe to
 compose, because the original evidence table is never clobbered by the
 operators that derive sub-tables or expanded tables from it.
+
+Immutability is also the load-bearing wall of the hot path: the SQL
+executor runs on a columnar view (:mod:`repro.tables.columnar`) that is
+memoized on each frozen ``Table`` instance, and that memo is only safe
+because no code path can change a table in place — a "modified" table
+is always a *new* instance with a fresh, empty cache.  See
+docs/PERFORMANCE.md for the full performance model.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.errors import SchemaError
+from repro.tables.columnar import ColumnarTable, columnar_view
 from repro.tables.schema import Column, Schema
 from repro.tables.values import Value, ValueType, infer_type, parse_value
 
@@ -40,6 +48,14 @@ class Table:
     ``title`` and ``caption`` carry the table's identity in generated
     sentences; the optional ``row_name_column`` records which column acts
     as the "row name" for Text-To-Table matching (paper Section IV-A).
+
+    **Immutability contract.** Instances are frozen and every relational
+    operation returns a new ``Table``; callers must never mutate
+    ``rows`` / ``schema`` through ``object.__setattr__``.  The hot-path
+    caches depend on it: the columnar execution view (:meth:`columnar`)
+    and the schema's name→index map are both memoized per instance as
+    pure functions of the frozen fields, which is what makes cached,
+    cache-free, serial, and parallel execution byte-identical.
     """
 
     schema: Schema
@@ -114,10 +130,20 @@ class Table:
         """The cell at ``row_index`` in the named column."""
         return self.rows[row_index][self.schema.index(column)]
 
+    def columnar(self) -> ColumnarTable:
+        """The cached column-major execution view of this table.
+
+        Built lazily and memoized on the instance — safe because the
+        table is immutable, so the view is a pure function of it and
+        can never go stale.  The SQL executor, :meth:`sort_by`,
+        :meth:`distinct_values`, and the logic engine's row views all
+        run on it.
+        """
+        return columnar_view(self)
+
     def column_values(self, column: str) -> list[Value]:
         """All cells in the named column, top to bottom."""
-        index = self.schema.index(column)
-        return [row[index] for row in self.rows]
+        return list(self.columnar().vector(column).cells)
 
     def distinct_values(self, column: str) -> list[Value]:
         """Distinct non-null cells of a column, preserving first-seen order.
@@ -126,12 +152,15 @@ class Table:
         equivalence :meth:`Value.equals` implements — ``"1,000"`` and
         ``"$1,000"`` are one value, not two.
         """
+        vector = self.columnar().vector(column)
+        validity = vector.validity()
+        keys = vector.canonical_keys()
         seen: set[tuple] = set()
         out: list[Value] = []
-        for value in self.column_values(column):
-            if value.is_null:
+        for index, value in enumerate(vector.cells):
+            if not validity[index]:
                 continue
-            key = value.canonical_key()
+            key = keys[index]
             if key not in seen:
                 seen.add(key)
                 out.append(value)
@@ -170,11 +199,17 @@ class Table:
         return replace(self, schema=new_schema, rows=new_rows)
 
     def sort_by(self, column: str, descending: bool = False) -> "Table":
-        index = self.schema.index(column)
-        ordered = sorted(
-            self.rows, key=lambda row: row[index]._key(), reverse=descending
+        """A new table with rows stably ordered by the named column.
+
+        Sorts row indices on the columnar view's precomputed key array
+        (``Value._key()`` per cell) — same ordering as sorting the rows
+        themselves, without a method call per comparison.
+        """
+        keys = self.columnar().vector(column).sort_keys()
+        order = sorted(
+            range(self.n_rows), key=keys.__getitem__, reverse=descending
         )
-        return replace(self, rows=tuple(ordered))
+        return replace(self, rows=tuple(self.rows[i] for i in order))
 
     def head(self, n: int) -> "Table":
         return replace(self, rows=self.rows[: max(n, 0)])
@@ -189,11 +224,25 @@ class Table:
             return ""
         return self.cell(row_index, column).raw
 
+    def row_names(self) -> list[str]:
+        """:meth:`row_name` for every row, via one columnar scan.
+
+        Equivalent to ``[self.row_name(i) for i in range(self.n_rows)]``
+        without a schema lookup per row; empty when the table has no
+        rows or no columns.
+        """
+        column = self.row_name_column or (
+            self.column_names[0] if self.column_names else None
+        )
+        if column is None or self.n_rows == 0:
+            return []
+        return [cell.raw for cell in self.columnar().vector(column).cells]
+
     def find_row_by_name(self, name: str) -> int | None:
         """Index of the row whose row-name matches ``name`` (case-folded)."""
         target = name.strip().lower()
-        for index in range(self.n_rows):
-            if self.row_name(index).strip().lower() == target:
+        for index, row_name in enumerate(self.row_names()):
+            if row_name.strip().lower() == target:
                 return index
         return None
 

@@ -186,6 +186,11 @@ class Value:
         (so ``"1,000"``, ``"1000"``, and ``"$1,000"`` share one key),
         case-folded text otherwise.  ``COUNT(DISTINCT …)`` and
         :meth:`~repro.tables.table.Table.distinct_values` key on this.
+
+        The key is a pure function of the frozen ``(raw, type,
+        typed)`` fields — the contract that lets the columnar engine
+        (:mod:`repro.tables.columnar`) cache per-column key arrays
+        without any determinism risk.
         """
         cached = self.__dict__.get("_canonical_memo")
         if cached is None:

@@ -1,0 +1,199 @@
+"""Property tests: the columnar SQL engine ≡ the pre-refactor row path.
+
+The columnar executor (default) and the row-oriented executor (kept for
+one release behind ``REPRO_ROW_EXECUTOR=1``) must produce identical
+:class:`ExecutionResult`s — values, ``highlighted_cells``, and raised
+error types — over adversarial tables: mixed numeric surface forms
+(currency, thousands separators, percent), both date syntaxes,
+booleans, null conventions, and whitespace-y text, against every
+operator, aggregate, DISTINCT, ORDER BY / LIMIT, ``*`` projection, and
+arithmetic items the grammar supports.
+
+The same suite pins the table-level columnar reroutes (``sort_by``,
+``distinct_values``, ``column_values``, ``row_names``) to their naive
+row-at-a-time definitions.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.programs.sql import parse_sql
+from repro.programs.sql.executor import ROW_EXECUTOR_FLAG
+from repro.tables.table import Table
+
+_COLUMNS = ["name", "amount", "day", "flag"]
+
+_names = st.sampled_from(
+    ["alpha", "beta", "Gamma", " beta ", "delta airlines", "n/a", "-"]
+)
+_amounts = st.sampled_from(
+    ["1,000", "1000", "$1,000", "500", "0.5", "12%", "-17", "+8",
+     "€75", "n/a", "zz-top"]
+)
+_days = st.sampled_from(
+    [
+        "2020-01-05",
+        "January 5, 2020",
+        "2021-03-01",
+        "March 1, 2021",
+        "2020-02-29",
+        "",
+    ]
+)
+_flags = st.sampled_from(["true", "yes", "no", "false", "n/a"])
+
+
+@st.composite
+def tables(draw) -> Table:
+    n_rows = draw(st.integers(min_value=0, max_value=9))
+    rows = [
+        [draw(_names), draw(_amounts), draw(_days), draw(_flags)]
+        for _ in range(n_rows)
+    ]
+    return Table.from_rows(_COLUMNS, rows)
+
+
+@st.composite
+def queries(draw) -> str:
+    kind = draw(st.sampled_from(
+        [
+            "eq", "neq", "ineq", "conj", "order", "star",
+            "count_star", "count_col", "count_distinct",
+            "agg", "arith",
+        ]
+    ))
+    op = draw(st.sampled_from(["<", ">", "<=", ">="]))
+    name = draw(_names).strip() or "alpha"
+    amount = draw(st.sampled_from(["1000", "$1,000", "0.5", "-17", "500"]))
+    day = draw(st.sampled_from(["2020-01-05", "January 5, 2020", "beta"]))
+    column = draw(st.sampled_from(_COLUMNS))
+    if kind == "eq":
+        return f"select amount from w where {column} = '{name}'"
+    if kind == "neq":
+        return f"select name from w where {column} != '{day}'"
+    if kind == "ineq":
+        return f"select day from w where {column} {op} {amount}"
+    if kind == "conj":
+        return (
+            f"select name from w where amount {op} {amount} "
+            f"and flag = 'yes'"
+        )
+    if kind == "order":
+        direction = draw(st.sampled_from(["asc", "desc"]))
+        limit = draw(st.integers(min_value=1, max_value=4))
+        return (
+            f"select name from w order by {column} {direction} "
+            f"limit {limit}"
+        )
+    if kind == "star":
+        return f"select * from w where {column} {op} {amount}"
+    if kind == "count_star":
+        return f"select count ( * ) from w where {column} = '{name}'"
+    if kind == "count_col":
+        return f"select count ( {column} ) from w"
+    if kind == "count_distinct":
+        return f"select count ( distinct {column} ) from w"
+    if kind == "agg":
+        agg = draw(st.sampled_from(["sum", "avg", "min", "max"]))
+        return f"select {agg} ( {column} ) from w where {column} {op} {amount}"
+    return "select max ( amount ) - min ( amount ) from w"
+
+
+def _columnar_outcome(table: Table, sql: str):
+    os.environ.pop(ROW_EXECUTOR_FLAG, None)
+    try:
+        return ("ok", parse_sql(sql).execute(table))
+    except Exception as error:  # compared by type below
+        return ("error", type(error))
+
+
+def _row_outcome(table: Table, sql: str):
+    os.environ[ROW_EXECUTOR_FLAG] = "1"
+    try:
+        return ("ok", parse_sql(sql).execute(table))
+    except Exception as error:
+        return ("error", type(error))
+    finally:
+        os.environ.pop(ROW_EXECUTOR_FLAG, None)
+
+
+@settings(max_examples=300, deadline=None)
+@given(table=tables(), sql=queries())
+def test_columnar_matches_row_executor(table: Table, sql: str):
+    assert _columnar_outcome(table, sql) == _row_outcome(table, sql)
+
+
+@settings(max_examples=150, deadline=None)
+@given(table=tables(), sql=queries())
+def test_row_flag_round_trips(table: Table, sql: str):
+    """Toggling the flag back re-enables the columnar engine cleanly."""
+    first = _columnar_outcome(table, sql)
+    _row_outcome(table, sql)
+    assert _columnar_outcome(table, sql) == first
+    assert ROW_EXECUTOR_FLAG not in os.environ
+
+
+@settings(max_examples=120, deadline=None)
+@given(table=tables(), column=st.sampled_from(_COLUMNS),
+       descending=st.booleans())
+def test_sort_by_matches_naive(table: Table, column: str, descending: bool):
+    fast = table.sort_by(column, descending=descending)
+    index = table.schema.index(column)
+    naive = sorted(
+        table.rows, key=lambda row: row[index]._key(), reverse=descending
+    )
+    assert fast.rows == tuple(naive)
+    assert fast.schema == table.schema
+
+
+@settings(max_examples=120, deadline=None)
+@given(table=tables(), column=st.sampled_from(_COLUMNS))
+def test_distinct_and_column_values_match_naive(table: Table, column: str):
+    index = table.schema.index(column)
+    naive_values = [row[index] for row in table.rows]
+    assert table.column_values(column) == naive_values
+
+    seen: set[tuple] = set()
+    naive_distinct = []
+    for value in naive_values:
+        if value.is_null:
+            continue
+        key = value.canonical_key()
+        if key not in seen:
+            seen.add(key)
+            naive_distinct.append(value)
+    assert table.distinct_values(column) == naive_distinct
+
+
+@settings(max_examples=80, deadline=None)
+@given(table=tables())
+def test_row_names_match_per_row_accessor(table: Table):
+    assert table.row_names() == [
+        table.row_name(index) for index in range(table.n_rows)
+    ]
+
+
+def test_view_is_cached_and_not_inherited_by_derived_tables():
+    table = Table.from_rows(
+        ["a", "b"], [["1", "x"], ["2", "y"], ["3", "x"]]
+    )
+    view = table.columnar()
+    assert table.columnar() is view  # memoized per instance
+    trimmed = table.head(2)
+    assert trimmed.columnar() is not view  # derived table = fresh cache
+    assert len(trimmed.columnar().vector("a").cells) == 2
+
+
+@pytest.mark.parametrize("sql", [
+    "select missing from w",
+    "select count ( missing ) from w",
+    "select name from w where missing = 'x'",
+    "select name from w order by missing asc",
+])
+def test_unknown_columns_raise_identically(sql: str):
+    table = Table.from_rows(["name"], [["alpha"]])
+    assert _columnar_outcome(table, sql) == _row_outcome(table, sql)
