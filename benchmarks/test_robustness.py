@@ -1,0 +1,201 @@
+"""Bench: messy-table robustness — corruption, sanitization, recovery.
+
+For each of the four paper benchmarks, one model is trained on clean
+UCTR synthetic data and evaluated three ways on the dev set:
+
+* **clean**     — the dev tables as-is;
+* **perturbed** — dev tables corrupted with the "heavy" profile of
+  :mod:`repro.messy` (every operator: abbreviated/merged headers,
+  currency, units, footnotes, locale noise, dashes, duplicated and
+  shuffled columns, transposes);
+* **sanitized** — the perturbed tables repaired best-effort with
+  :mod:`repro.sanitize` before prediction.
+
+Two recovery measures are recorded:
+
+* the benchmark **metric** (EM for QA, accuracy for verification), and
+* **fidelity** — agreement with the model's own clean-table
+  predictions.  Fidelity is the artifact-free recovery measure: it
+  asks "does the model behave as if the table were clean again?"
+  independent of whether the clean-table prediction was right.
+
+The distinction matters for FEVEROUS: a verifier that cannot read a
+corrupted table drifts toward "refuted", which *wins for free* on
+gold-refuted claims.  Sanitization removes that crutch — raw accuracy
+can dip a hair below the perturbed arm while fidelity rises sharply.
+The enforced gates are therefore:
+
+* fidelity(sanitized) > fidelity(perturbed) on EVERY benchmark;
+* metric(sanitized) >= metric(perturbed) - 2.5 on every benchmark
+  (floor against genuine sanitizer regressions);
+* mean metric across benchmarks recovers by >= 5 points.
+
+Results land in ``benchmarks/BENCH_robustness.json``; gates run under
+``REPRO_BENCH_ENFORCE=1`` (the CI robustness job).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import benchmark, uctr_synthetic
+from repro.messy import perturb_samples
+from repro.sanitize import sanitize_samples
+from repro.train import (
+    TrainingPlan,
+    evaluate_qa,
+    evaluate_verifier,
+    train_qa,
+    train_verifier,
+)
+
+_HERE = Path(__file__).resolve().parent
+BENCH_PATH = _HERE / "BENCH_robustness.json"
+
+#: per-benchmark metric floor: sanitized may trail perturbed by at most
+#: this much (the FEVEROUS refuted-bias artifact; see module docstring).
+METRIC_FLOOR = 2.5
+
+#: the mean metric across benchmarks must recover by at least this much.
+MEAN_RECOVERY = 5.0
+
+#: (benchmark, task, metric name) in run order.
+BENCHMARKS = (
+    ("tatqa", "qa", "em"),
+    ("wikisql", "qa", "em"),
+    ("feverous", "verify", "accuracy"),
+    ("semtabfacts", "verify", "accuracy"),
+)
+
+#: results accumulated across the tests in this module, written once.
+RESULTS: dict[str, dict] = {}
+
+
+def _enforcing() -> bool:
+    return bool(os.environ.get("REPRO_BENCH_ENFORCE"))
+
+
+def _predictions(task: str, model, samples) -> list:
+    if task == "qa":
+        return [tuple(model.predict(sample)) for sample in samples]
+    return list(model.predict(list(samples)))
+
+
+def _agreement(reference: list, candidate: list) -> float:
+    assert len(reference) == len(candidate) and reference
+    same = sum(a == b for a, b in zip(reference, candidate))
+    return round(100.0 * same / len(reference), 1)
+
+
+@pytest.mark.parametrize("name,task,metric", BENCHMARKS)
+def test_robustness(name, task, metric, scale):
+    bench = benchmark(name, scale)
+    dev = list(bench.dev.gold)
+    perturbed = perturb_samples(dev, f"bench-robust:{name}", "heavy")
+    sanitized, report = sanitize_samples(perturbed)
+    assert report.errors == [], "sanitizer stages must not fail"
+
+    synthetic = uctr_synthetic(name, scale, "full")
+    if task == "qa":
+        model = train_qa(TrainingPlan.unsupervised(synthetic))
+        scores = {
+            arm: evaluate_qa(model, samples).em
+            for arm, samples in (
+                ("clean", dev), ("perturbed", perturbed),
+                ("sanitized", sanitized),
+            )
+        }
+    else:
+        model = train_verifier(TrainingPlan.unsupervised(synthetic))
+        scores = {
+            arm: evaluate_verifier(model, samples).accuracy
+            for arm, samples in (
+                ("clean", dev), ("perturbed", perturbed),
+                ("sanitized", sanitized),
+            )
+        }
+    clean_preds = _predictions(task, model, dev)
+    fidelity = {
+        "perturbed": _agreement(
+            clean_preds, _predictions(task, model, perturbed)
+        ),
+        "sanitized": _agreement(
+            clean_preds, _predictions(task, model, sanitized)
+        ),
+    }
+    RESULTS[name] = {
+        "task": task,
+        "metric": metric,
+        "n_dev": len(dev),
+        "scores": {arm: round(value, 1) for arm, value in scores.items()},
+        "fidelity_to_clean": fidelity,
+        "sanitize": {
+            "cells_repaired": report.repaired_cells,
+            "cells_kept_text": report.kept_text_cells,
+            "structure_repairs": report.structure_repairs,
+        },
+    }
+    print(
+        f"\n{name} ({metric}): clean={scores['clean']:.1f} "
+        f"perturbed={scores['perturbed']:.1f} "
+        f"sanitized={scores['sanitized']:.1f} | fidelity "
+        f"{fidelity['perturbed']:.1f} -> {fidelity['sanitized']:.1f}"
+    )
+
+    # shape that must hold at any scale: corruption hurts, repairs land
+    assert scores["perturbed"] < scores["clean"]
+    assert report.repaired_cells > 0 and report.structure_repairs > 0
+
+    if _enforcing():
+        assert fidelity["sanitized"] > fidelity["perturbed"], (
+            f"{name}: sanitization must move predictions back toward "
+            f"their clean-table values ({fidelity['perturbed']:.1f} -> "
+            f"{fidelity['sanitized']:.1f})"
+        )
+        assert scores["sanitized"] >= scores["perturbed"] - METRIC_FLOOR, (
+            f"{name}: sanitized {metric} {scores['sanitized']:.1f} fell "
+            f"more than {METRIC_FLOOR} below perturbed "
+            f"{scores['perturbed']:.1f}"
+        )
+
+
+def test_mean_metric_recovery():
+    assert len(RESULTS) == len(BENCHMARKS), "per-benchmark runs incomplete"
+    perturbed = [r["scores"]["perturbed"] for r in RESULTS.values()]
+    sanitized = [r["scores"]["sanitized"] for r in RESULTS.values()]
+    recovery = sum(sanitized) / len(sanitized) - sum(perturbed) / len(
+        perturbed
+    )
+    RESULTS["_aggregate"] = {"mean_metric_recovery": round(recovery, 2)}
+    print(f"\nmean metric recovery: {recovery:+.1f} points")
+    if _enforcing():
+        assert recovery >= MEAN_RECOVERY, (
+            f"sanitization must recover >= {MEAN_RECOVERY} metric points "
+            f"on average across benchmarks; got {recovery:+.1f}"
+        )
+
+
+def test_write_bench_json(scale):
+    """Write BENCH_robustness.json (runs last in the module)."""
+    assert "_aggregate" in RESULTS, "aggregate gate did not record results"
+    report = {
+        "setup": {
+            "scale": scale.name,
+            "profile": "heavy",
+            "training": "clean UCTR synthetic (variant 'full')",
+            "gates": {
+                "fidelity": "sanitized > perturbed, every benchmark",
+                "metric_floor": METRIC_FLOOR,
+                "mean_recovery": MEAN_RECOVERY,
+            },
+        },
+        "results": dict(RESULTS),
+    }
+    BENCH_PATH.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {BENCH_PATH}")

@@ -155,6 +155,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         UCTRConfig(
             program_kinds=kinds,
             samples_per_context=args.per_context,
+            perturb=args.perturb,
             seed=args.seed,
         )
     )
@@ -197,6 +198,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             "seed": args.seed,
             "kinds": list(kinds),
             "per_context": args.per_context,
+            "perturb": args.perturb,
             "contexts": str(args.contexts),
         },
     )
@@ -524,6 +526,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     generate.add_argument("--per-context", type=int, default=8)
     generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument(
+        "--perturb", default=None, metavar="PROFILE",
+        help="corrupt each context with this messy-table profile before "
+             "generation (light, headers, cells, layout, heavy); "
+             "deterministic per seed, baked into checkpoint fingerprints",
+    )
     generate.add_argument(
         "--workers", type=int, default=1,
         help="worker processes for generation (1 = serial; output is "

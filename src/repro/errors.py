@@ -81,6 +81,14 @@ class OperatorError(ReproError):
     """Table-To-Text / Text-To-Table operator failures."""
 
 
+class MessyTableError(ReproError):
+    """Unknown corruption operator or profile (:mod:`repro.messy`).
+
+    Note the *sanitizer* never raises: this error only guards the
+    perturbation side, where an unknown profile name is a caller bug.
+    """
+
+
 class DatasetError(ReproError):
     """Errors in dataset synthesis or loading."""
 

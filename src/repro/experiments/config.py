@@ -143,19 +143,22 @@ def uctr_synthetic(
 ) -> list[ReasoningSample]:
     """UCTR synthetic training data for one benchmark.
 
-    ``variant``: "full" (both operators) or "no_t2t" (w/o Table-To-Text
-    and Text-To-Table — the ablation row of Tables III/VIII).
+    ``variant``: "full" (both operators), "no_t2t" (w/o Table-To-Text
+    and Text-To-Table — the ablation row of Tables III/VIII), or
+    "perturbed" (generation over "heavy"-corrupted contexts — the
+    train-on-messy arm of the robustness ablation).
     """
     key = (name, scale.name, variant)
     if key in _SYNTH_CACHE:
         return _SYNTH_CACHE[key]
     bench = benchmark(name, scale)
-    use_t2t = variant == "full"
+    use_t2t = variant == "full" or variant == "perturbed"
     config = UCTRConfig(
         program_kinds=_PROGRAM_KINDS[name],
         use_table_to_text=use_t2t,
         use_text_to_table=use_t2t,
         samples_per_context=scale.synth_per_context,
+        perturb="heavy" if variant == "perturbed" else None,
         seed=scale.seed,
     )
     framework = UCTR(config)

@@ -31,6 +31,7 @@ from repro.experiments import (  # noqa: F401 (registry imports)
     ablation_autogen,
     analysis_diversity,
     figure1_topic_shift,
+    robustness,
     figure5_data_curve,
     table2_statistics,
     table3_tatqa,
@@ -59,6 +60,7 @@ REGISTRY: dict[str, Callable[[Scale], ExperimentResult]] = {
     # extensions beyond the paper's tables
     "diversity": analysis_diversity.run,
     "autogen": ablation_autogen.run,
+    "robustness": robustness.run,
 }
 
 

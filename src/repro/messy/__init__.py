@@ -1,0 +1,41 @@
+"""Messy-table corruption: deterministic, composable table noise.
+
+Real published tables are not clean: headers get abbreviated or merged,
+cells carry currency symbols, units, footnote markers and locale-specific
+number formats, nulls are spelled a dozen ways, and whole tables arrive
+transposed.  This package synthesizes that messiness *deterministically*
+— every operator is a pure function of ``(Table, rng_key)`` — so
+perturbed corpora are as reproducible as clean ones, and serial and
+parallel generation stay byte-identical.
+
+The best-effort inverse lives in :mod:`repro.sanitize`.
+
+Entry points:
+
+* :data:`OPERATORS` / :func:`get_operator` — the operator registry.
+* :data:`PROFILES` / :func:`profile_operators` — named bundles
+  ("light", "headers", "cells", "layout", "heavy").
+* :func:`perturb_table` / :func:`perturb_context` /
+  :func:`perturb_samples` — apply a profile to a table, a context, or
+  an evaluation set.  ``UCTR.generate(perturb="heavy")`` and the CLI's
+  ``generate --perturb heavy`` route through :func:`perturb_context`.
+"""
+
+from repro.messy.operators import OPERATORS, get_operator
+from repro.messy.profiles import (
+    PROFILES,
+    perturb_context,
+    perturb_samples,
+    perturb_table,
+    profile_operators,
+)
+
+__all__ = [
+    "OPERATORS",
+    "PROFILES",
+    "get_operator",
+    "perturb_context",
+    "perturb_samples",
+    "perturb_table",
+    "profile_operators",
+]

@@ -1,0 +1,426 @@
+"""Deterministic table-corruption operators.
+
+Each operator is a **pure function** ``op(table, rng_key) -> Table``:
+all randomness comes from a named stream derived from ``rng_key``
+(:func:`repro.rng.rng_from_key`), and every operator derives its *own*
+sub-stream from the key, so operators are composable without perturbing
+each other's draws.  Same key, same input table → byte-identical output,
+no matter which process, thread, or worker applies the operator — the
+same argument that makes ``UCTR.generate(workers=N)`` byte-identical to
+serial generation extends unchanged to perturbed generation.
+
+The operators model the messiness real published tables exhibit (see
+docs/ARCHITECTURE.md "Messy tables & sanitization" for the inventory
+and the per-operator determinism argument):
+
+* header damage — abbreviated words, merged adjacent columns;
+* cell surface noise — currency symbols, unit suffixes, percent signs,
+  footnote markers, dash/word null conventions, locale number formats;
+* layout damage — transposed orientation, duplicated columns, shuffled
+  column order.
+
+Operators keep the table *valid*: schemas stay uniquely and non-emptily
+named, every row keeps the schema width, and ``row_name_column`` is
+remapped (or left untouched) so :meth:`Table.row_name` never breaks.
+Some corruption is deliberately irrecoverable (cells dashed out to
+nulls, abbreviated headers): the sanitizer's graceful-degradation
+contract is exercised by data it genuinely cannot restore.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from typing import Callable, Sequence
+
+from repro.errors import MessyTableError
+from repro.rng import rng_from_key
+from repro.tables.table import Table
+
+#: registry of all operators, in canonical application order: header
+#: damage first, then cell noise, then layout damage — so layout
+#: operators act on already-noised cells and cell operators see the
+#: original (typed) column layout.
+OPERATORS: dict[str, Callable[[Table, str], Table]] = {}
+
+_CURRENCY_SYMBOLS = ("$", "€", "£")
+_UNIT_WORDS = ("units", "pts", "kg", "km", "people", "million")
+_FOOTNOTE_MARKERS = ("*", "**", " *", " [1]", " [a]", " (est.)", " †")
+_DASH_NULLS = ("—", "–", "n.a.", "N.A.", "(n/a)")
+
+_PLAIN_NUMBER_RE = re.compile(
+    r"^(?P<sign>[-+]?)(?P<int>\d+)(?:\.(?P<frac>\d+))?$"
+)
+
+
+def operator(name: str):
+    """Register a corruption operator under ``name``."""
+
+    def register(fn: Callable[[Table, str], Table]):
+        OPERATORS[name] = fn
+        fn.op_name = name
+        return fn
+
+    return register
+
+
+def _op_rng(rng_key: str, name: str) -> random.Random:
+    """The operator's private stream: keyed by ``rng_key`` *and* name.
+
+    Two operators applied with the same key draw from different
+    streams, so enabling or reordering one never changes what another
+    does — the property that makes profiles composable.
+    """
+    return rng_from_key(rng_key, "messy", name)
+
+
+def _raw_rows(table: Table) -> list[list[str]]:
+    return [[cell.raw for cell in row] for row in table.rows]
+
+
+def _rebuild(
+    table: Table,
+    header: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    row_name_column: str | None,
+) -> Table:
+    """A fresh table with re-inferred column types."""
+    return Table.from_rows(
+        header,
+        rows,
+        title=table.title,
+        caption=table.caption,
+        row_name_column=row_name_column,
+    )
+
+
+def _numeric_column_indices(table: Table) -> list[int]:
+    """Indices of numeric columns, excluding the row-name column."""
+    out = []
+    for index, column in enumerate(table.schema.columns):
+        if not column.is_numeric:
+            continue
+        if (
+            table.row_name_column is not None
+            and column.name.strip().lower()
+            == table.row_name_column.strip().lower()
+        ):
+            continue
+        out.append(index)
+    return out
+
+
+# -- header damage ------------------------------------------------------------
+
+
+def _abbreviate_word(word: str, rng: random.Random) -> str:
+    if len(word) < 5 or not word.isalpha():
+        return word
+    cut = 3 if rng.random() < 0.5 else 4
+    return word[:cut] + "."
+
+
+@operator("abbrev_headers")
+def abbrev_headers(table: Table, rng_key: str) -> Table:
+    """Truncate long header words to abbreviations ("revenue" → "rev.").
+
+    Digit-only words (year columns like "2019") are never touched, and
+    a candidate that would collide case-insensitively with another
+    header falls back to the original name — schemas stay valid.
+    """
+    rng = _op_rng(rng_key, "abbrev_headers")
+    names = table.column_names
+    candidates = []
+    for name in names:
+        if rng.random() < 0.7:
+            words = [_abbreviate_word(word, rng) for word in name.split()]
+            candidates.append(" ".join(words))
+        else:
+            candidates.append(name)
+    final: list[str] = []
+    used: set[str] = set()
+    for original, candidate in zip(names, candidates):
+        for choice in (candidate, original, f"{original} (col)"):
+            key = choice.strip().lower()
+            if choice.strip() and key not in used:
+                final.append(choice)
+                used.add(key)
+                break
+    if final == names:
+        return table
+    mapping = dict(zip(names, final))
+    row_name = (
+        mapping.get(table.row_name_column)
+        if table.row_name_column is not None
+        else None
+    )
+    return _rebuild(table, final, _raw_rows(table), row_name)
+
+
+@operator("merge_columns")
+def merge_columns(table: Table, rng_key: str) -> Table:
+    """Collapse one adjacent column pair into "a / b" with "x | y" cells.
+
+    The row-name column is never merged (``Table.row_name`` must keep
+    working), and the merge is skipped when the combined header would
+    collide with an existing one.
+    """
+    rng = _op_rng(rng_key, "merge_columns")
+    if table.n_columns < 3:
+        return table
+    names = table.column_names
+    row_name_index = (
+        table.schema.try_index(table.row_name_column)
+        if table.row_name_column is not None
+        else None
+    )
+    pairs = [
+        j
+        for j in range(table.n_columns - 1)
+        if j != row_name_index and j + 1 != row_name_index
+    ]
+    if not pairs:
+        return table
+    j = pairs[rng.randrange(len(pairs))]
+    merged_name = f"{names[j]} / {names[j + 1]}"
+    survivors = {
+        name.strip().lower() for k, name in enumerate(names) if k not in (j, j + 1)
+    }
+    if merged_name.strip().lower() in survivors:
+        return table
+    header = names[:j] + [merged_name] + names[j + 2 :]
+    rows = []
+    for raw_row in _raw_rows(table):
+        merged_cell = f"{raw_row[j]} | {raw_row[j + 1]}"
+        rows.append(raw_row[:j] + [merged_cell] + raw_row[j + 2 :])
+    return _rebuild(table, header, rows, table.row_name_column)
+
+
+# -- cell surface noise -------------------------------------------------------
+
+
+@operator("currency_cells")
+def currency_cells(table: Table, rng_key: str) -> Table:
+    """Prefix a currency symbol to numeric cells ("1200" → "$1200").
+
+    Accounting placement keeps the sign parseable ("-42" → "-$42"), so
+    this is *benign* surface noise: the cells still parse as NUMBER —
+    the messy-tables track includes noise the value parser absorbs on
+    its own as well as noise it cannot.
+    """
+    rng = _op_rng(rng_key, "currency_cells")
+    targets = [j for j in _numeric_column_indices(table) if rng.random() < 0.5]
+    if not targets:
+        return table
+    rows = _raw_rows(table)
+    for j in targets:
+        symbol = _CURRENCY_SYMBOLS[rng.randrange(len(_CURRENCY_SYMBOLS))]
+        for raw_row in rows:
+            raw = raw_row[j].strip()
+            if not raw or raw[0] in "$€£¥":
+                continue
+            if raw.startswith(("-", "+")):
+                raw_row[j] = f"{raw[0]}{symbol}{raw[1:]}"
+            else:
+                raw_row[j] = f"{symbol}{raw}"
+    return _rebuild(table, table.column_names, rows, table.row_name_column)
+
+
+@operator("unit_suffix_cells")
+def unit_suffix_cells(table: Table, rng_key: str) -> Table:
+    """Append a per-column unit word ("12" → "12 kg"); degrades to TEXT."""
+    rng = _op_rng(rng_key, "unit_suffix_cells")
+    targets = [j for j in _numeric_column_indices(table) if rng.random() < 0.4]
+    if not targets:
+        return table
+    rows = _raw_rows(table)
+    for j in targets:
+        unit = _UNIT_WORDS[rng.randrange(len(_UNIT_WORDS))]
+        for raw_row in rows:
+            raw = raw_row[j].strip()
+            if raw:
+                raw_row[j] = f"{raw} {unit}"
+    return _rebuild(table, table.column_names, rows, table.row_name_column)
+
+
+@operator("percent_cells")
+def percent_cells(table: Table, rng_key: str) -> Table:
+    """Append "%" to numeric cells — parseable noise (still NUMBER)."""
+    rng = _op_rng(rng_key, "percent_cells")
+    targets = [j for j in _numeric_column_indices(table) if rng.random() < 0.3]
+    if not targets:
+        return table
+    rows = _raw_rows(table)
+    for j in targets:
+        for raw_row in rows:
+            raw = raw_row[j].strip()
+            if raw and not raw.endswith("%"):
+                raw_row[j] = f"{raw}%"
+    return _rebuild(table, table.column_names, rows, table.row_name_column)
+
+
+@operator("locale_numbers")
+def locale_numbers(table: Table, rng_key: str) -> Table:
+    """Reformat numeric columns in a non-US locale.
+
+    Either space thousands-grouping ("1200" → "1 200") or the European
+    convention ("1200.5" → "1.200,5") — both per whole column, the way
+    a real exported spreadsheet is uniformly mis-localized.
+    """
+    rng = _op_rng(rng_key, "locale_numbers")
+    targets = [j for j in _numeric_column_indices(table) if rng.random() < 0.45]
+    if not targets:
+        return table
+    rows = _raw_rows(table)
+    for j in targets:
+        euro = rng.random() < 0.5
+        for raw_row in rows:
+            raw_row[j] = _localize(raw_row[j], euro=euro)
+    return _rebuild(table, table.column_names, rows, table.row_name_column)
+
+
+def _localize(raw: str, euro: bool) -> str:
+    match = _PLAIN_NUMBER_RE.match(raw.strip())
+    if not match:
+        return raw
+    sign, int_part, frac = match.group("sign"), match.group("int"), match.group("frac")
+    if len(int_part) <= 3 and not (euro and frac):
+        return raw
+    group_sep = "." if euro else " "
+    decimal_sep = "," if euro else "."
+    grouped = int_part
+    if len(int_part) > 3:
+        pieces = []
+        while int_part:
+            pieces.append(int_part[-3:])
+            int_part = int_part[:-3]
+        grouped = group_sep.join(reversed(pieces))
+    out = sign + grouped
+    if frac:
+        out += decimal_sep + frac
+    return out
+
+
+@operator("footnote_markers")
+def footnote_markers(table: Table, rng_key: str) -> Table:
+    """Append footnote markers ("*", "[1]", "(est.)") to scattered cells."""
+    rng = _op_rng(rng_key, "footnote_markers")
+    rows = _raw_rows(table)
+    changed = False
+    for raw_row in rows:
+        for j, raw in enumerate(raw_row):
+            if raw.strip() and rng.random() < 0.22:
+                marker = _FOOTNOTE_MARKERS[rng.randrange(len(_FOOTNOTE_MARKERS))]
+                raw_row[j] = f"{raw}{marker}"
+                changed = True
+    if not changed:
+        return table
+    return _rebuild(table, table.column_names, rows, table.row_name_column)
+
+
+@operator("dash_nulls")
+def dash_nulls(table: Table, rng_key: str) -> Table:
+    """Re-spell nulls as dash/word conventions and dash out a few cells.
+
+    Existing nulls become "—" / "n.a." variants the default parser does
+    *not* recognize; additionally ~5% of non-row-name cells are dashed
+    out entirely — information loss no sanitizer can undo, which is
+    what keeps perturbed+sanitized accuracy below clean accuracy.
+    """
+    rng = _op_rng(rng_key, "dash_nulls")
+    row_name_index = (
+        table.schema.try_index(table.row_name_column)
+        if table.row_name_column is not None
+        else None
+    )
+    rows = _raw_rows(table)
+    changed = False
+    for i, row in enumerate(table.rows):
+        for j, cell in enumerate(row):
+            if cell.is_null:
+                rows[i][j] = _DASH_NULLS[rng.randrange(len(_DASH_NULLS))]
+                changed = True
+            elif j != row_name_index and rng.random() < 0.05:
+                rows[i][j] = _DASH_NULLS[rng.randrange(len(_DASH_NULLS))]
+                changed = True
+    if not changed:
+        return table
+    return _rebuild(table, table.column_names, rows, table.row_name_column)
+
+
+# -- layout damage ------------------------------------------------------------
+
+
+@operator("duplicate_column")
+def duplicate_column(table: Table, rng_key: str) -> Table:
+    """Insert a duplicate of one column, renamed "name (2)"."""
+    rng = _op_rng(rng_key, "duplicate_column")
+    if table.n_columns == 0 or rng.random() >= 0.5:
+        return table
+    names = table.column_names
+    j = rng.randrange(table.n_columns)
+    copy_name = f"{names[j]} (2)"
+    if copy_name.strip().lower() in {name.strip().lower() for name in names}:
+        return table
+    header = names[: j + 1] + [copy_name] + names[j + 1 :]
+    rows = [
+        raw_row[: j + 1] + [raw_row[j]] + raw_row[j + 1 :]
+        for raw_row in _raw_rows(table)
+    ]
+    return _rebuild(table, header, rows, table.row_name_column)
+
+
+@operator("shuffle_columns")
+def shuffle_columns(table: Table, rng_key: str) -> Table:
+    """Permute column order (cells follow their headers; lookups by
+    name are unaffected, but positional assumptions break)."""
+    rng = _op_rng(rng_key, "shuffle_columns")
+    if table.n_columns < 2 or rng.random() >= 0.6:
+        return table
+    order = list(range(table.n_columns))
+    rng.shuffle(order)
+    if order == sorted(order):
+        return table
+    names = table.column_names
+    header = [names[j] for j in order]
+    rows = [[raw_row[j] for j in order] for raw_row in _raw_rows(table)]
+    return _rebuild(table, header, rows, table.row_name_column)
+
+
+@operator("transpose")
+def transpose(table: Table, rng_key: str) -> Table:
+    """Flip the table so former rows become columns.
+
+    Only applied when the result is a valid table: a bounded number of
+    rows (they become headers), unique non-empty first-column cells,
+    and no header collisions.  The first column's values become the new
+    header; the old header names become the new first column.
+    """
+    rng = _op_rng(rng_key, "transpose")
+    if rng.random() >= 0.35:
+        return table
+    if not (2 <= table.n_rows <= 8) or table.n_columns < 2:
+        return table
+    names = table.column_names
+    first_column = [row[0].raw.strip() for row in table.rows]
+    new_header = [names[0]] + first_column
+    lowered = [name.strip().lower() for name in new_header]
+    if any(not name for name in lowered) or len(set(lowered)) != len(lowered):
+        return table
+    raw_rows = _raw_rows(table)
+    new_rows = [
+        [names[j]] + [raw_rows[i][j] for i in range(table.n_rows)]
+        for j in range(1, table.n_columns)
+    ]
+    return _rebuild(table, new_header, new_rows, names[0])
+
+
+def get_operator(name: str) -> Callable[[Table, str], Table]:
+    """Look up one registered operator by name."""
+    try:
+        return OPERATORS[name]
+    except KeyError:
+        raise MessyTableError(
+            f"unknown corruption operator {name!r} "
+            f"(registered: {', '.join(sorted(OPERATORS))})"
+        ) from None

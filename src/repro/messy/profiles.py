@@ -1,0 +1,96 @@
+"""Corruption profiles: named operator bundles + the perturb entry points.
+
+A profile is an ordered subset of the registry in
+:mod:`repro.messy.operators`; :func:`perturb_table` applies the
+profile's operators in their canonical registration order, each drawing
+from its own named sub-stream of the caller's ``rng_key``.  Because no
+operator reads another's stream, a profile is exactly as deterministic
+as its members: same key + same table → byte-identical output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from repro.errors import MessyTableError
+from repro.messy.operators import OPERATORS, get_operator
+from repro.pipelines.samples import ReasoningSample
+from repro.tables.context import TableContext
+from repro.tables.table import Table
+
+#: named operator bundles.  "heavy" is the full registry in canonical
+#: order; the narrower profiles isolate one damage family for ablations.
+PROFILES: dict[str, tuple[str, ...]] = {
+    "headers": ("abbrev_headers", "merge_columns"),
+    "cells": (
+        "currency_cells",
+        "unit_suffix_cells",
+        "percent_cells",
+        "locale_numbers",
+        "footnote_markers",
+        "dash_nulls",
+    ),
+    "layout": ("duplicate_column", "shuffle_columns", "transpose"),
+    "light": ("footnote_markers", "dash_nulls"),
+    "heavy": tuple(OPERATORS),
+}
+
+
+def profile_operators(profile: str) -> tuple[str, ...]:
+    """The operator names a profile applies, in application order."""
+    try:
+        return PROFILES[profile]
+    except KeyError:
+        raise MessyTableError(
+            f"unknown corruption profile {profile!r} "
+            f"(available: {', '.join(sorted(PROFILES))})"
+        ) from None
+
+
+def perturb_table(
+    table: Table, rng_key: str, profile: str = "heavy"
+) -> Table:
+    """Apply a corruption profile to one table, deterministically."""
+    out = table
+    for name in profile_operators(profile):
+        out = get_operator(name)(out, rng_key)
+    return out
+
+
+def perturb_context(
+    context: TableContext, rng_key: str, profile: str = "heavy"
+) -> TableContext:
+    """Perturb a context's table; paragraphs and uid are untouched.
+
+    The context is stamped ``meta["perturb"] = profile`` so downstream
+    stages (stratified evaluation, telemetry) can tell messy contexts
+    from clean ones.
+    """
+    table = perturb_table(context.table, rng_key, profile)
+    meta = {**context.meta, "perturb": profile}
+    return replace(context, table=table, meta=meta)
+
+
+def perturb_samples(
+    samples: Sequence[ReasoningSample],
+    rng_key: str,
+    profile: str = "heavy",
+) -> list[ReasoningSample]:
+    """Perturb the *contexts* of evaluation samples, keeping gold labels.
+
+    This is the robustness-benchmark transform: the question/claim and
+    its gold answer still describe the clean evidence, but the model
+    only sees the corrupted table — exactly the situation of a model
+    trained on clean data meeting a messy production table.  Each
+    sample's table draws from its own sub-stream (keyed by position),
+    so evaluation subsets can be perturbed independently yet
+    reproducibly.
+    """
+    out = []
+    for index, sample in enumerate(samples):
+        context = perturb_context(
+            sample.context, f"{rng_key}:sample:{index}", profile
+        )
+        out.append(replace(sample, context=context))
+    return out

@@ -67,6 +67,11 @@ class UCTRConfig:
     joint_fraction: float = 0.4
     nl_noise_rate: float = 0.05
     corpus_pairs_per_table: int = 4
+    #: corruption profile from :mod:`repro.messy` applied to each context
+    #: before generation (None == clean).  Part of the config, so it is
+    #: baked into checkpoint fingerprints: a perturbed run can never be
+    #: resumed from (or spliced into) a clean run's checkpoint.
+    perturb: str | None = None
     seed: int = 0
 
     def kinds(self) -> tuple[ProgramKind, ...]:
@@ -103,6 +108,16 @@ def generate_for_one_context(
     the very same code, which is why the two agree sample-for-sample.
     """
     config = state.config
+    if config.perturb is not None:
+        from repro.messy import perturb_context
+
+        # Perturbation draws from its own named stream (keyed off the
+        # pipeline key and the context's position), so enabling it does
+        # not shift the generation streams — and the perturbed run is as
+        # schedule-independent as the clean one.
+        context = perturb_context(
+            context, f"{state.pipeline_key}:messy:{index}", config.perturb
+        )
     tools = PipelineTools(
         rng=rng_from_key(state.pipeline_key, "context", str(index)),
         generators=dict(state.generators),
@@ -222,6 +237,7 @@ class UCTR:
         resume_from: "str | Path | None" = None,
         checkpoint_every: int = 16,
         strict_quarantine: bool = False,
+        perturb: str | None = None,
     ) -> list[ReasoningSample]:
         """Run Algorithm 1 over every context, fault-tolerantly.
 
@@ -239,6 +255,12 @@ class UCTR:
         record in ``telemetry.events("quarantine")`` (and the run
         report), and the run continues.  ``strict_quarantine=True``
         raises :class:`~repro.errors.QuarantinedContextError` instead.
+
+        ``perturb`` names a corruption profile from :mod:`repro.messy`
+        ("light", "cells", "heavy"...) applied to each context before
+        generation — the messy-table training/robustness arm.  It
+        overrides ``config.perturb`` for this call and participates in
+        the checkpoint fingerprint like any other config field.
 
         ``checkpoint_dir`` streams every completed context to disk
         (append + fsync, atomically-replaced manifest) so a crashed or
@@ -261,6 +283,18 @@ class UCTR:
         )
 
         state = self.generation_state()
+        if perturb is not None:
+            from dataclasses import replace
+
+            state = replace(
+                state, config=replace(state.config, perturb=perturb)
+            )
+        if state.config.perturb is not None:
+            from repro.messy import profile_operators
+
+            # Fail fast on an unknown profile name — before the
+            # fingerprint is computed and before any worker forks.
+            profile_operators(state.config.perturb)
         telemetry = telemetry if telemetry is not None else Telemetry()
         self._last_telemetry = telemetry
         # Flush stages recorded before this run (fit-phase corpus

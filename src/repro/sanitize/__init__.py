@@ -1,0 +1,30 @@
+"""Best-effort table sanitization with graceful degradation.
+
+The inverse half of the messy-table robustness track
+(:mod:`repro.messy` is the forward half).  :func:`sanitize_table`
+repairs what can be proven — orientation, merged/duplicated columns,
+header noise, null conventions, footnote markers, units, locale number
+formats — and keeps everything else verbatim as TEXT.  It **never
+raises**: the worst case is the input table returned unchanged with the
+failure recorded in the accompanying :class:`SanitizeReport`.
+
+The serve frontend runs this as an optional preprocessor
+(``"sanitize": true`` in a ``/v1/qa`` / ``/v1/verify`` payload); the
+report is echoed in the response and aggregated into ``/metrics``.
+"""
+
+from repro.sanitize.report import SanitizeReport
+from repro.sanitize.sanitizer import (
+    sanitize_context,
+    sanitize_samples,
+    sanitize_table,
+    sanitize_table_payload,
+)
+
+__all__ = [
+    "SanitizeReport",
+    "sanitize_context",
+    "sanitize_samples",
+    "sanitize_table",
+    "sanitize_table_payload",
+]

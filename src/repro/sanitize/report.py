@@ -1,0 +1,88 @@
+"""Structured accounting of what sanitization did to one table.
+
+The graceful-degradation contract of :func:`repro.sanitize.sanitize_table`
+is that it *never raises*: every repair it makes, every cell it gives up
+on, and every internal error it swallows is recorded here instead, so
+callers (the serve frontend echoes the report in responses; the engine
+folds its counters into ``/metrics``) can see exactly how trustworthy
+the sanitized table is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class SanitizeReport:
+    """Per-table sanitization outcome.
+
+    * ``structure`` — table-shape repairs (transposed back, merged
+      columns split, duplicates dropped, headers normalized, plus any
+      payload-level fixes such as padded ragged rows).
+    * ``cells`` — the cell ledger: ``scanned`` (every body cell),
+      ``repaired`` (rewritten to a cleaner parse), ``nulled``
+      (non-standard null conventions canonicalized), ``kept_text``
+      (looked numeric-intent but could not be repaired; kept verbatim
+      as TEXT — the degradation half of the contract).
+    * ``repairs`` — repaired-cell counts by reason ("footnote",
+      "unit", "locale", "currency_code", "null_convention").
+    * ``errors`` — exceptions swallowed by a sanitization stage; the
+      stage's changes are discarded but the table is still returned.
+    """
+
+    structure: dict[str, int] = field(default_factory=dict)
+    cells: dict[str, int] = field(default_factory=dict)
+    repairs: dict[str, int] = field(default_factory=dict)
+    errors: list[str] = field(default_factory=list)
+
+    def bump(self, section: str, key: str, by: int = 1) -> None:
+        """Increment one counter in ``structure``/``cells``/``repairs``."""
+        counters: dict[str, int] = getattr(self, section)
+        counters[key] = counters.get(key, 0) + by
+
+    @property
+    def repaired_cells(self) -> int:
+        return self.cells.get("repaired", 0)
+
+    @property
+    def kept_text_cells(self) -> int:
+        return self.cells.get("kept_text", 0)
+
+    @property
+    def structure_repairs(self) -> int:
+        return sum(self.structure.values())
+
+    @property
+    def changed(self) -> bool:
+        """Whether sanitization altered the table at all."""
+        return bool(
+            self.structure
+            or self.repaired_cells
+            or self.cells.get("nulled", 0)
+        )
+
+    def merge_structure(self, counts: dict[str, int]) -> None:
+        """Fold payload-level fix counts (pre-parse repairs) in."""
+        for key, value in counts.items():
+            if value:
+                self.bump("structure", key, value)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "structure": dict(self.structure),
+            "cells": dict(self.cells),
+            "repairs": dict(self.repairs),
+            "errors": list(self.errors),
+        }
+
+    def summary(self) -> str:
+        """One human line: what changed, what was kept as-is."""
+        return (
+            f"{self.structure_repairs} structure repair(s), "
+            f"{self.repaired_cells} cell(s) repaired, "
+            f"{self.cells.get('nulled', 0)} null(s) canonicalized, "
+            f"{self.kept_text_cells} kept as text, "
+            f"{len(self.errors)} stage error(s)"
+        )

@@ -1,0 +1,572 @@
+"""Best-effort inverse of :mod:`repro.messy`: repair what can be proven.
+
+``sanitize_table`` runs a fixed stage pipeline — orientation detection,
+merged-column splitting, duplicate-column dropping, header
+normalization, per-cell repair — and **never raises**: each stage runs
+under its own guard, a failing stage contributes an entry to
+``SanitizeReport.errors`` and is skipped, and the worst-case result is
+the input table returned unchanged with the report explaining why.
+
+Repairs are conservative by design.  A cell is only rewritten when the
+cleaned form demonstrably parses better (a recognized null convention, a
+footnote marker stripped from otherwise-intact content, a
+column-consensus unit suffix, a locale number format that re-parses as a
+number); anything else is **kept verbatim as TEXT** and counted in
+``cells.kept_text``.  Ambiguity is resolved by column consensus, never
+per cell: a lone "1.200" is left alone, but a column where several cells
+carry European grouping is converted as a block.  The known blind spots
+(abbreviated headers, cells dashed out to nulls, transposed tables whose
+body is type-uniform *and* not a year matrix) are documented in
+docs/ARCHITECTURE.md — they are irrecoverable without external
+knowledge, and the robustness benchmark's residual accuracy gap between
+"perturbed+sanitized" and "clean" measures exactly that.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Sequence
+
+from repro.sanitize.report import SanitizeReport
+from repro.tables.context import TableContext
+from repro.tables.table import Table
+from repro.tables.values import ValueType, coerce_number, parse_value
+
+#: null spellings beyond what :func:`repro.tables.values.parse_value`
+#: already recognizes; all are canonicalized to the empty string.
+_EXTENDED_NULLS = {
+    "—", "–", "n.a.", "n.a", "(n/a)", "(na)", "n.m.", "n.d.", "nd", "nm",
+}
+
+_FOOTNOTE_RE = re.compile(
+    r"""(?:
+        \s*(?:\*+|†|‡)
+      | \s*\[[0-9a-z]{1,3}\]
+      | \s*\((?:est\.?|approx\.?|unaudited|[a-z]|[0-9]{1,2})\)
+    )+$""",
+    re.VERBOSE | re.IGNORECASE,
+)
+
+_SPACE_GROUPED_RE = re.compile(r"^[-+]?\d{1,3}(?: \d{3})+(?:\.\d+)?$")
+_EURO_GROUPED_RE = re.compile(
+    r"^[-+]?\d{1,3}(?:\.\d{3})+(?:,\d+)?$|^[-+]?\d+,\d+$"
+)
+_UNIT_SUFFIX_RE = re.compile(
+    r"^(?P<num>[-+$€£¥]?[\d.,% ]*\d%?)\s+(?P<unit>[A-Za-z][A-Za-z.]*)$"
+)
+
+_DUPLICATE_SUFFIX_RE = re.compile(r"\s*\(\d+\)$")
+
+_YEAR_RE = re.compile(r"^(?:19|20)\d{2}$")
+
+
+# -- stage 1: orientation -----------------------------------------------------
+
+
+def _flip(table: Table) -> Table | None:
+    """The transpose of ``table``, or None when it would be invalid."""
+    if table.n_rows < 1 or table.n_columns < 2:
+        return None
+    names = table.column_names
+    first_column = [row[0].raw.strip() for row in table.rows]
+    new_header = [names[0]] + first_column
+    lowered = [name.strip().lower() for name in new_header]
+    if any(not name for name in lowered) or len(set(lowered)) != len(lowered):
+        return None
+    raw_rows = [[cell.raw for cell in row] for row in table.rows]
+    new_rows = [
+        [names[j]] + [raw_rows[i][j] for i in range(table.n_rows)]
+        for j in range(1, table.n_columns)
+    ]
+    return Table.from_rows(
+        new_header,
+        new_rows,
+        title=table.title,
+        caption=table.caption,
+        row_name_column=names[0],
+    )
+
+
+def _looks_transposed(table: Table) -> bool:
+    """Orientation heuristics; both err toward *not* flipping.
+
+    1. **Type mixing**: body rows are type-uniform while body columns
+       mix types — attribute rows laid out sideways.
+    2. **Year matrix**: every first-column cell is a four-digit year
+       while no other header is — in published tables years are
+       overwhelmingly column headers, not row names.
+    """
+    if table.n_rows < 2 or table.n_columns < 2:
+        return False
+    body = [
+        [parse_value(cell.raw) for cell in row] for row in table.rows
+    ]
+
+    def uniform(values) -> bool:
+        types = {v.type for v in values if not v.is_null}
+        return len(types) <= 1
+
+    if table.n_columns >= 3:
+        row_uniform = sum(uniform(row[1:]) for row in body)
+        col_uniform = sum(
+            uniform([body[i][j] for i in range(table.n_rows)])
+            for j in range(1, table.n_columns)
+        )
+        if (
+            row_uniform >= 0.8 * table.n_rows
+            and col_uniform <= 0.5 * (table.n_columns - 1)
+        ):
+            return True
+    first = [row[0].raw.strip() for row in table.rows]
+    if all(_YEAR_RE.match(cell) for cell in first) and not any(
+        _YEAR_RE.match(name.strip()) for name in table.column_names[1:]
+    ):
+        return True
+    return False
+
+
+def _untranspose(table: Table, report: SanitizeReport) -> Table:
+    if not _looks_transposed(table):
+        return table
+    flipped = _flip(table)
+    if flipped is None:
+        return table
+    report.bump("structure", "transposed")
+    return flipped
+
+
+# -- stage 2: merged columns --------------------------------------------------
+
+
+def _split_merged_columns(table: Table, report: SanitizeReport) -> Table:
+    names = table.column_names
+    raw_rows = [[cell.raw for cell in row] for row in table.rows]
+    header: list[str] = []
+    splits: list[tuple[int, bool]] = []  # (source column, is_split)
+    taken = {name.strip().lower() for name in names}
+    for j, name in enumerate(names):
+        parts = name.split(" / ")
+        mergeable = (
+            len(parts) == 2
+            and all(part.strip() for part in parts)
+            and all(
+                row[j].count(" | ") == 1 for row in raw_rows
+            )
+            and parts[0].strip().lower() != parts[1].strip().lower()
+            and not any(
+                part.strip().lower() in (taken - {name.strip().lower()})
+                for part in parts
+            )
+        )
+        if mergeable and table.n_rows > 0:
+            header.extend(part.strip() for part in parts)
+            splits.append((j, True))
+            taken.discard(name.strip().lower())
+            taken.update(part.strip().lower() for part in parts)
+        else:
+            header.append(name)
+            splits.append((j, False))
+    if not any(is_split for _, is_split in splits):
+        return table
+    new_rows = []
+    for row in raw_rows:
+        cells: list[str] = []
+        for j, is_split in splits:
+            if is_split:
+                left, right = row[j].split(" | ", 1)
+                cells.extend((left, right))
+            else:
+                cells.append(row[j])
+        new_rows.append(cells)
+    report.bump(
+        "structure", "columns_split",
+        sum(1 for _, is_split in splits if is_split),
+    )
+    row_name = table.row_name_column
+    if row_name is not None and row_name.strip().lower() not in {
+        name.strip().lower() for name in header
+    }:
+        row_name = None
+    return Table.from_rows(
+        header, new_rows,
+        title=table.title, caption=table.caption, row_name_column=row_name,
+    )
+
+
+# -- stage 3: duplicate columns ----------------------------------------------
+
+
+def _drop_duplicate_columns(table: Table, report: SanitizeReport) -> Table:
+    names = table.column_names
+    columns = [
+        [row[j].raw for row in table.rows] for j in range(table.n_columns)
+    ]
+    drop: set[int] = set()
+    for j, name in enumerate(names):
+        base = _DUPLICATE_SUFFIX_RE.sub("", name).strip().lower()
+        if base == name.strip().lower():
+            continue  # no "(n)" suffix: not a duplicate candidate
+        for i in range(table.n_columns):
+            if i == j or i in drop:
+                continue
+            if names[i].strip().lower() == base and columns[i] == columns[j]:
+                drop.add(j)
+                break
+    if not drop:
+        return table
+    keep = [j for j in range(table.n_columns) if j not in drop]
+    header = [names[j] for j in keep]
+    rows = [[row[j].raw for j in keep] for row in table.rows]
+    report.bump("structure", "duplicate_columns_dropped", len(drop))
+    return Table.from_rows(
+        header, rows,
+        title=table.title, caption=table.caption,
+        row_name_column=table.row_name_column,
+    )
+
+
+# -- stage 4: headers ---------------------------------------------------------
+
+
+def _normalize_headers(table: Table, report: SanitizeReport) -> Table:
+    names = table.column_names
+    cleaned: list[str] = []
+    used: set[str] = set()
+    changed = 0
+    for index, name in enumerate(names):
+        candidate = _FOOTNOTE_RE.sub("", name)
+        candidate = " ".join(candidate.split())
+        if not candidate.strip():
+            candidate = f"column {index + 1}"
+        base, n = candidate, 2
+        while candidate.strip().lower() in used:
+            candidate = f"{base} ({n})"
+            n += 1
+        used.add(candidate.strip().lower())
+        if candidate != name:
+            changed += 1
+        cleaned.append(candidate)
+    if not changed:
+        return table
+    report.bump("structure", "headers_normalized", changed)
+    mapping = dict(zip(names, cleaned))
+    row_name = (
+        mapping.get(table.row_name_column)
+        if table.row_name_column is not None
+        else None
+    )
+    rows = [[cell.raw for cell in row] for row in table.rows]
+    return Table.from_rows(
+        cleaned, rows,
+        title=table.title, caption=table.caption, row_name_column=row_name,
+    )
+
+
+# -- stage 5: cells -----------------------------------------------------------
+
+
+def _strip_footnotes(raw: str) -> str:
+    stripped = _FOOTNOTE_RE.sub("", raw)
+    return stripped if stripped.strip() else raw
+
+
+def _degroup_spaces(raw: str) -> str:
+    if _SPACE_GROUPED_RE.match(raw.strip()):
+        return raw.strip().replace(" ", "")
+    return raw
+
+
+def _deeuro(raw: str) -> str:
+    out = raw.strip().replace(".", "").replace(",", ".")
+    return out
+
+
+def _repair_column(
+    cells: list[str], report: SanitizeReport
+) -> list[str]:
+    """Best-effort repair of one column; pure string → string."""
+    work = list(cells)
+    reasons: list[set[str]] = [set() for _ in cells]
+
+    # per-cell pass: null conventions, footnote markers, space grouping
+    for i, raw in enumerate(work):
+        stripped = raw.strip()
+        if parse_value(raw).is_null:
+            continue
+        if stripped.lower() in _EXTENDED_NULLS:
+            work[i] = ""
+            reasons[i].add("null_convention")
+            continue
+        cleaned = _strip_footnotes(raw)
+        if cleaned != raw:
+            work[i] = cleaned
+            reasons[i].add("footnote")
+        degrouped = _degroup_spaces(work[i])
+        if degrouped != work[i]:
+            work[i] = degrouped
+            reasons[i].add("locale")
+
+    # column pass: a consensus unit suffix (>= 60% of non-null cells and
+    # at least two of them agree on the word) is stripped as a block.
+    non_null = [i for i, w in enumerate(work) if not parse_value(w).is_null]
+    unit_votes: dict[str, list[int]] = {}
+    for i in non_null:
+        match = _UNIT_SUFFIX_RE.match(work[i].strip())
+        if not match:
+            continue
+        number = match.group("num").strip()
+        if (
+            coerce_number(number) is None
+            and not _EURO_GROUPED_RE.match(number)
+            and not _SPACE_GROUPED_RE.match(number)
+        ):
+            continue
+        unit_votes.setdefault(match.group("unit").lower(), []).append(i)
+    if unit_votes:
+        unit, holders = max(unit_votes.items(), key=lambda kv: len(kv[1]))
+        if len(holders) >= 2 and len(holders) >= 0.6 * len(non_null):
+            for i in holders:
+                match = _UNIT_SUFFIX_RE.match(work[i].strip())
+                work[i] = match.group("num").strip()
+                reasons[i].add("unit")
+                degrouped = _degroup_spaces(work[i])
+                if degrouped != work[i]:
+                    work[i] = degrouped
+                    reasons[i].add("locale")
+
+    # column pass: European grouping, by consensus only — "1.200" alone
+    # is ambiguous (1.2 with trailing zeros), but a column where >= 2
+    # cells carry euro grouping and everything else is a plain number
+    # (or null) is converted as a block.
+    euro = [i for i in non_null if _EURO_GROUPED_RE.match(work[i].strip())]
+    others_plain = all(
+        coerce_number(work[i]) is not None
+        for i in non_null
+        if i not in euro
+    )
+    if len(euro) >= 2 and others_plain:
+        for i in euro:
+            work[i] = _deeuro(work[i])
+            reasons[i].add("locale")
+
+    # ledger
+    for i, raw in enumerate(cells):
+        report.bump("cells", "scanned")
+        if work[i] == raw:
+            continue
+        if "null_convention" in reasons[i]:
+            report.bump("cells", "nulled")
+        else:
+            report.bump("cells", "repaired")
+        for reason in sorted(reasons[i]):
+            report.bump("repairs", reason)
+    return work
+
+
+def _repair_cells(table: Table, report: SanitizeReport) -> Table:
+    if table.n_rows == 0 or table.n_columns == 0:
+        return table
+    names = table.column_names
+    columns = [
+        _repair_column([row[j].raw for row in table.rows], report)
+        for j in range(table.n_columns)
+    ]
+    rows = [
+        [columns[j][i] for j in range(table.n_columns)]
+        for i in range(table.n_rows)
+    ]
+    repaired = Table.from_rows(
+        names, rows,
+        title=table.title, caption=table.caption,
+        row_name_column=table.row_name_column,
+    )
+    # degradation ledger: cells that still read as TEXT inside a column
+    # that is majority-numeric were numeric-intent we failed to repair.
+    for j, column in enumerate(repaired.schema.columns):
+        cells = [row[j] for row in repaired.rows]
+        non_null = [cell for cell in cells if not cell.is_null]
+        if not non_null:
+            continue
+        numeric = sum(cell.type is ValueType.NUMBER for cell in non_null)
+        texts = sum(cell.type is ValueType.TEXT for cell in non_null)
+        if texts and numeric >= 0.6 * len(non_null):
+            report.bump("cells", "kept_text", texts)
+    return repaired
+
+
+# -- the pipeline -------------------------------------------------------------
+
+_STAGES: tuple[tuple[str, Callable[[Table, SanitizeReport], Table]], ...] = (
+    ("untranspose", _untranspose),
+    # duplicates are dropped twice: a duplicated *merged* column
+    # ("a / b (2)") can only match its original before the original is
+    # split away, while a duplicate of a plain column may only become
+    # detectable after splitting frees its base name.
+    ("drop_duplicates", _drop_duplicate_columns),
+    ("split_merged", _split_merged_columns),
+    ("drop_duplicates", _drop_duplicate_columns),
+    ("normalize_headers", _normalize_headers),
+    ("repair_cells", _repair_cells),
+)
+
+
+def sanitize_table(table: Table) -> tuple[Table, SanitizeReport]:
+    """Repair one table as far as the evidence allows; never raises.
+
+    Returns the sanitized table (always a valid :class:`Table`; in the
+    worst case the input itself) and the :class:`SanitizeReport`
+    describing every repair, every kept-as-TEXT cell, and every stage
+    error that was swallowed.
+    """
+    report = SanitizeReport()
+    out = table
+    for stage_name, stage in _STAGES:
+        try:
+            out = stage(out, report)
+        except Exception as error:  # graceful degradation, by contract
+            report.errors.append(
+                f"{stage_name}: {type(error).__name__}: {error}"
+            )
+    return out, report
+
+
+def sanitize_context(
+    context: TableContext,
+) -> tuple[TableContext, SanitizeReport]:
+    """Sanitize a context's table; paragraphs and uid are untouched."""
+    table, report = sanitize_table(context.table)
+    sanitized = context.with_table(table)
+    return sanitized, report
+
+
+def sanitize_samples(
+    samples: Sequence[Any],
+) -> tuple[list[Any], SanitizeReport]:
+    """Sanitize the contexts of evaluation samples; aggregate report.
+
+    The inverse of :func:`repro.messy.perturb_samples` as far as the
+    evidence allows — the robustness benchmark's "perturbed+sanitized"
+    arm.
+    """
+    from dataclasses import replace
+
+    aggregate = SanitizeReport()
+    out = []
+    for sample in samples:
+        context, report = sanitize_context(sample.context)
+        out.append(replace(sample, context=context))
+        for section in ("structure", "cells", "repairs"):
+            for key, value in getattr(report, section).items():
+                aggregate.bump(section, key, value)
+        aggregate.errors.extend(report.errors)
+    return out, aggregate
+
+
+# -- payload-level repair (pre-parse) ----------------------------------------
+
+
+_VALID_TYPES = {"number", "text", "date", "bool", "null"}
+
+
+def sanitize_table_payload(payload: Any) -> tuple[Any, dict[str, int]]:
+    """Repair a raw ``table`` JSON payload **before** parsing.
+
+    Some damage is unrepresentable in a typed :class:`Table` — duplicate
+    or empty header names are rejected by ``Schema`` at construction,
+    ragged rows by ``Table`` itself — so when the serve frontend is
+    asked to sanitize, these must be fixed on the JSON dict first.
+    Returns the repaired payload plus fix counts (folded into the
+    :class:`SanitizeReport`'s ``structure`` section).  Non-dict input is
+    returned unchanged: validation will reject it with a field-level
+    error.
+    """
+    if not isinstance(payload, dict):
+        return payload, {}
+    fixes: dict[str, int] = {}
+
+    def bump(key: str, by: int = 1) -> None:
+        fixes[key] = fixes.get(key, 0) + by
+
+    columns = payload.get("columns", [])
+    if not isinstance(columns, list):
+        columns = []
+        bump("columns_rebuilt")
+    new_columns = []
+    used: set[str] = set()
+    for index, entry in enumerate(columns):
+        if not isinstance(entry, dict):
+            entry = {"name": str(entry)}
+            bump("columns_rebuilt")
+        name = entry.get("name")
+        if not isinstance(name, str):
+            name = "" if name is None else str(name)
+            bump("header_names_coerced")
+        cleaned = " ".join(name.split())
+        if not cleaned:
+            cleaned = f"column {index + 1}"
+            bump("header_names_filled")
+        base, n = cleaned, 2
+        deduped = False
+        while cleaned.strip().lower() in used:
+            cleaned = f"{base} ({n})"
+            n += 1
+            deduped = True
+        if deduped:
+            bump("header_names_deduped")
+        used.add(cleaned.strip().lower())
+        column_type = entry.get("type", "text")
+        if column_type not in _VALID_TYPES:
+            column_type = "text"
+            bump("column_types_reset")
+        new_columns.append({"name": cleaned, "type": column_type})
+    width = len(new_columns)
+
+    rows = payload.get("rows", [])
+    if not isinstance(rows, list):
+        rows = []
+        bump("rows_rebuilt")
+    new_rows = []
+    for row in rows:
+        if not isinstance(row, list):
+            bump("rows_dropped")
+            continue
+        cells = []
+        for cell in row:
+            if isinstance(cell, str):
+                cells.append(cell)
+            elif cell is None:
+                cells.append("")
+                bump("cells_coerced")
+            elif isinstance(cell, (int, float, bool)):
+                cells.append(str(cell))
+            else:
+                cells.append(str(cell))
+                bump("cells_coerced")
+        if len(cells) < width:
+            cells.extend([""] * (width - len(cells)))
+            bump("rows_padded")
+        elif len(cells) > width:
+            cells = cells[:width]
+            bump("rows_truncated")
+        new_rows.append(cells)
+
+    row_name = payload.get("row_name_column")
+    if row_name is not None and (
+        not isinstance(row_name, str)
+        or row_name.strip().lower() not in used
+    ):
+        row_name = None
+        bump("row_name_column_dropped")
+
+    out = {
+        "title": payload.get("title", "")
+        if isinstance(payload.get("title", ""), str)
+        else str(payload.get("title")),
+        "caption": payload.get("caption", "")
+        if isinstance(payload.get("caption", ""), str)
+        else str(payload.get("caption")),
+        "row_name_column": row_name,
+        "columns": new_columns,
+        "rows": new_rows,
+    }
+    return out, fixes

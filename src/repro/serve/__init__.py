@@ -25,9 +25,11 @@ from repro.serve.engine import (
 )
 from repro.serve.http import (
     HttpServeClient,
+    ParsedRequest,
     ServeClient,
     ServeHTTPServer,
     make_server,
+    parse_request_payload,
     serve_in_thread,
 )
 from repro.serve.loadgen import (
@@ -59,6 +61,7 @@ __all__ = [
     "LoadedModel",
     "ModelRecord",
     "ModelRegistry",
+    "ParsedRequest",
     "PendingResponse",
     "ServeClient",
     "ServeHTTPServer",
@@ -71,6 +74,7 @@ __all__ = [
     "load_model",
     "make_server",
     "model_task",
+    "parse_request_payload",
     "run_load",
     "save_model",
     "schema_fingerprint",

@@ -143,6 +143,9 @@ class InferenceResponse:
     cached: bool = False
     model: str = ""
     timing: Timing | None = None
+    #: ``SanitizeReport.to_json()`` of the serve-side sanitizer pass,
+    #: present only when the request asked for ``sanitize=true``.
+    sanitize: dict[str, Any] | None = None
 
     def to_json(self) -> dict[str, Any]:
         payload: dict[str, Any] = {
@@ -160,6 +163,8 @@ class InferenceResponse:
             payload["error"] = self.error
         if self.timing is not None:
             payload["latency"] = self.timing.to_json()
+        if self.sanitize is not None:
+            payload["sanitize"] = self.sanitize
         return payload
 
 
@@ -316,6 +321,15 @@ class InferenceEngine:
         self._latencies: dict[str, deque[float]] = {
             task: deque(maxlen=_LATENCY_WINDOW) for task in self._slots
         }
+        self._sanitize = {
+            "requests": 0,
+            "tables_changed": 0,
+            "cells_repaired": 0,
+            "cells_nulled": 0,
+            "cells_kept_text": 0,
+            "structure_repairs": 0,
+            "stage_errors": 0,
+        }
 
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> "InferenceEngine":
@@ -468,6 +482,34 @@ class InferenceEngine:
             deadline_s=deadline_s,
         )
         return self.submit(request).result(timeout)
+
+    def note_sanitize(self, report: dict[str, Any]) -> None:
+        """Fold one ``SanitizeReport.to_json()`` into engine accounting.
+
+        The serve frontend calls this for every request that asked for
+        ``sanitize=true``; the aggregate surfaces as the ``sanitize``
+        section of :meth:`stats` (and thus ``/metrics``) and mirrors
+        into telemetry like the other serve counters.
+        """
+        cells = report.get("cells", {}) or {}
+        structure = report.get("structure", {}) or {}
+        errors = report.get("errors", []) or []
+        changed = bool(
+            structure
+            or cells.get("repaired", 0)
+            or cells.get("nulled", 0)
+        )
+        with self._cond:
+            self._sanitize["requests"] += 1
+            self._sanitize["tables_changed"] += 1 if changed else 0
+            self._sanitize["cells_repaired"] += cells.get("repaired", 0)
+            self._sanitize["cells_nulled"] += cells.get("nulled", 0)
+            self._sanitize["cells_kept_text"] += cells.get("kept_text", 0)
+            self._sanitize["structure_repairs"] += sum(structure.values())
+            self._sanitize["stage_errors"] += len(errors)
+            self.telemetry.increment("serve", "sanitize_requests")
+            if changed:
+                self.telemetry.increment("serve", "sanitize_changed")
 
     def _retry_after_locked(self) -> float:
         """Seconds until capacity likely frees (caller holds the lock)."""
@@ -744,6 +786,7 @@ class InferenceEngine:
                     ),
                 },
                 "latency": latencies,
+                "sanitize": dict(self._sanitize),
                 "models": {
                     task: slot.model_id for task, slot in self._slots.items()
                 },

@@ -12,7 +12,16 @@ Endpoints (all JSON):
   rejects; ``accepted == completed + rejected + in_flight``).
 
 ``context`` is the :meth:`repro.tables.context.TableContext.to_json`
-payload.  Status mapping: 400 malformed request, 404 unknown route,
+payload.  Adding ``"sanitize": true`` runs the messy-table sanitizer
+(:mod:`repro.sanitize`) over the context before inference — ragged rows,
+duplicate/empty headers and scalar cells are repaired at the payload
+level, the typed table is then cleaned best-effort, and the per-table
+``SanitizeReport`` is echoed back under ``"sanitize"`` in the response
+(aggregates appear in ``/metrics`` under ``sanitize``).  Without the
+flag, validation is strict: every defect is a 400 whose error object
+names the offending field (``error.field``).
+
+Status mapping: 400 malformed request, 404 unknown route,
 429 + ``Retry-After`` on admission-queue overload, 503 while draining,
 200 otherwise (a failed request — e.g. a blown deadline — is a 200 with
 ``ok: false`` and an ``error`` string: the *transport* worked).
@@ -31,6 +40,8 @@ import math
 import threading
 import urllib.error
 import urllib.request
+from dataclasses import dataclass
+from dataclasses import replace as _dc_replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
@@ -41,6 +52,7 @@ from repro.errors import (
     ServeError,
 )
 from repro.runtime.retry import RetryPolicy
+from repro.sanitize import sanitize_context, sanitize_table_payload
 from repro.serve.engine import InferenceEngine, InferenceResponse, Timing
 from repro.serve.registry import TASK_QA, TASK_VERIFY
 from repro.tables.context import TableContext
@@ -53,36 +65,178 @@ _SENTENCE_FIELD = {TASK_QA: "question", TASK_VERIFY: "claim"}
 
 
 class _BadRequest(ServeError):
-    """Maps to HTTP 400."""
+    """Maps to HTTP 400; ``field`` names the offending payload path."""
+
+    def __init__(self, message: str, field: str | None = None):
+        self.field = field
+        super().__init__(message)
 
 
-def parse_request_payload(task: str, payload: Any) -> tuple[str, TableContext, float | None, str | None]:
-    """Validate a POST body into (sentence, context, deadline_s, id)."""
+def _validate_context_payload(payload: dict[str, Any]) -> None:
+    """Field-level validation of a ``context`` payload.
+
+    ``TableContext.from_json`` is strict but its failures surface as
+    deep ``SchemaError``/``KeyError``s with no payload coordinates.
+    This pass walks the JSON first so a ragged row or a duplicate
+    header comes back as a 400 naming the exact field, never a 500.
+    """
+    table = payload.get("table")
+    if not isinstance(table, dict):
+        raise _BadRequest(
+            "'context.table' must be a JSON object "
+            "(a Table.to_json payload)",
+            field="context.table",
+        )
+    columns = table.get("columns")
+    if not isinstance(columns, list) or not columns:
+        raise _BadRequest(
+            "'context.table.columns' must be a non-empty list",
+            field="context.table.columns",
+        )
+    seen: dict[str, int] = {}
+    for index, entry in enumerate(columns):
+        path = f"context.table.columns[{index}]"
+        if not isinstance(entry, dict):
+            raise _BadRequest(f"'{path}' must be an object", field=path)
+        name = entry.get("name")
+        if not isinstance(name, str) or not name.strip():
+            raise _BadRequest(
+                f"'{path}.name' must be a non-empty string",
+                field=f"{path}.name",
+            )
+        key = name.strip().lower()
+        if key in seen:
+            raise _BadRequest(
+                f"duplicate column name {name!r} at '{path}' "
+                f"(first used at 'context.table.columns[{seen[key]}]')",
+                field=f"{path}.name",
+            )
+        seen[key] = index
+    rows = table.get("rows", [])
+    if not isinstance(rows, list):
+        raise _BadRequest(
+            "'context.table.rows' must be a list of rows",
+            field="context.table.rows",
+        )
+    width = len(columns)
+    for index, row in enumerate(rows):
+        path = f"context.table.rows[{index}]"
+        if not isinstance(row, list):
+            raise _BadRequest(
+                f"'{path}' must be a list of cells", field=path
+            )
+        if len(row) != width:
+            raise _BadRequest(
+                f"'{path}' has {len(row)} cells, expected {width} "
+                "(ragged rows are rejected; pass \"sanitize\": true to "
+                "have the server pad/truncate them)",
+                field=path,
+            )
+        for cell_index, cell in enumerate(row):
+            if not isinstance(cell, str):
+                raise _BadRequest(
+                    f"'{path}[{cell_index}]' must be a string cell, "
+                    f"got {type(cell).__name__} (pass \"sanitize\": true "
+                    "to have the server coerce scalars)",
+                    field=f"{path}[{cell_index}]",
+                )
+    paragraphs = payload.get("paragraphs", [])
+    if not isinstance(paragraphs, list):
+        raise _BadRequest(
+            "'context.paragraphs' must be a list",
+            field="context.paragraphs",
+        )
+    for index, entry in enumerate(paragraphs):
+        path = f"context.paragraphs[{index}]"
+        if not isinstance(entry, dict) or not isinstance(
+            entry.get("text"), str
+        ):
+            raise _BadRequest(
+                f"'{path}' must be an object with a string 'text' field",
+                field=path,
+            )
+
+
+@dataclass(frozen=True)
+class ParsedRequest:
+    """A validated (and optionally sanitized) inference request."""
+
+    sentence: str
+    context: TableContext
+    deadline_s: float | None
+    request_id: str | None
+    #: ``SanitizeReport.to_json()`` when the payload asked for
+    #: ``"sanitize": true``; ``None`` otherwise.
+    sanitize_report: dict[str, Any] | None = None
+
+
+def parse_request_payload(task: str, payload: Any) -> ParsedRequest:
+    """Validate a POST body into a :class:`ParsedRequest`.
+
+    With ``"sanitize": true`` in the payload the table JSON is first
+    repaired at the payload level (ragged rows padded, duplicate/empty
+    headers renamed, scalar cells coerced — damage a typed ``Table``
+    cannot even represent), then validated, then run through
+    :func:`repro.sanitize.sanitize_context`; the merged report rides
+    along.  Without it, validation is strict and every defect is a 400
+    naming the offending field.
+    """
     if not isinstance(payload, dict):
         raise _BadRequest("request body must be a JSON object")
     field = _SENTENCE_FIELD[task]
     sentence = payload.get(field)
     if not isinstance(sentence, str) or not sentence.strip():
-        raise _BadRequest(f"missing or empty {field!r} field")
+        raise _BadRequest(
+            f"missing or empty {field!r} field", field=field
+        )
+    sanitize = payload.get("sanitize", False)
+    if not isinstance(sanitize, bool):
+        raise _BadRequest("'sanitize' must be a boolean", field="sanitize")
     context_payload = payload.get("context")
     if not isinstance(context_payload, dict):
         raise _BadRequest(
-            "missing 'context' field (a TableContext.to_json payload)"
+            "missing 'context' field (a TableContext.to_json payload)",
+            field="context",
         )
+    payload_fixes: dict[str, int] = {}
+    if sanitize:
+        table_payload, payload_fixes = sanitize_table_payload(
+            context_payload.get("table")
+        )
+        context_payload = {**context_payload, "table": table_payload}
+    _validate_context_payload(context_payload)
     try:
         context = TableContext.from_json(context_payload)
     except (ReproError, KeyError, TypeError, ValueError) as error:
-        raise _BadRequest(f"malformed context: {error}") from error
+        # validation above should have caught everything; this is the
+        # belt-and-braces guard keeping parser changes from becoming 500s
+        raise _BadRequest(
+            f"malformed context: {error}", field="context"
+        ) from error
+    sanitize_report: dict[str, Any] | None = None
+    if sanitize:
+        context, report = sanitize_context(context)
+        report.merge_structure(payload_fixes)
+        sanitize_report = report.to_json()
     deadline_ms = payload.get("deadline_ms")
     deadline_s: float | None = None
     if deadline_ms is not None:
         if not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0:
-            raise _BadRequest("'deadline_ms' must be a positive number")
+            raise _BadRequest(
+                "'deadline_ms' must be a positive number",
+                field="deadline_ms",
+            )
         deadline_s = float(deadline_ms) / 1e3
     request_id = payload.get("id")
     if request_id is not None and not isinstance(request_id, str):
-        raise _BadRequest("'id' must be a string")
-    return sentence, context, deadline_s, request_id
+        raise _BadRequest("'id' must be a string", field="id")
+    return ParsedRequest(
+        sentence=sentence,
+        context=context,
+        deadline_s=deadline_s,
+        request_id=request_id,
+        sanitize_report=sanitize_report,
+    )
 
 
 class ServeRequestHandler(BaseHTTPRequestHandler):
@@ -173,19 +327,20 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
         raw = self.rfile.read(length)
         try:
             payload = json.loads(raw)
-            sentence, context, deadline_s, request_id = parse_request_payload(
-                task, payload
-            )
+            parsed = parse_request_payload(task, payload)
         except json.JSONDecodeError as error:
             self._send_error_json(400, "bad_request", f"invalid JSON: {error}")
             return
         except _BadRequest as error:
-            self._send_error_json(400, "bad_request", str(error))
+            self._send_error_json(
+                400, "bad_request", str(error),
+                extra={"field": error.field} if error.field else None,
+            )
             return
         try:
             response = self.engine.infer(
-                task, sentence, context,
-                deadline_s=deadline_s, request_id=request_id,
+                task, parsed.sentence, parsed.context,
+                deadline_s=parsed.deadline_s, request_id=parsed.request_id,
             )
         except OverloadedError as error:
             self._send_error_json(
@@ -202,6 +357,13 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
         except ServeError as error:
             self._send_error_json(400, "bad_request", str(error))
             return
+        if parsed.sanitize_report is not None:
+            # counted only for requests that actually reached the model
+            # (a 429/503 did no sanitizer-visible work either way).
+            self.engine.note_sanitize(parsed.sanitize_report)
+            response = _dc_replace(
+                response, sanitize=parsed.sanitize_report
+            )
         self._send_json(200, response.to_json())
 
 
@@ -291,10 +453,11 @@ class _BaseClient:
         context: TableContext,
         *,
         deadline_s: float | None = None,
+        sanitize: bool = False,
     ) -> InferenceResponse:
         return self._with_retry(
             lambda _attempt: self._request(
-                TASK_QA, question, context, deadline_s
+                TASK_QA, question, context, deadline_s, sanitize
             )
         )
 
@@ -304,10 +467,11 @@ class _BaseClient:
         context: TableContext,
         *,
         deadline_s: float | None = None,
+        sanitize: bool = False,
     ) -> InferenceResponse:
         return self._with_retry(
             lambda _attempt: self._request(
-                TASK_VERIFY, claim, context, deadline_s
+                TASK_VERIFY, claim, context, deadline_s, sanitize
             )
         )
 
@@ -327,8 +491,20 @@ class ServeClient(_BaseClient):
         sentence: str,
         context: TableContext,
         deadline_s: float | None,
+        sanitize: bool = False,
     ) -> InferenceResponse:
-        return self.engine.infer(task, sentence, context, deadline_s=deadline_s)
+        report = None
+        if sanitize:
+            # same order as the HTTP frontend: sanitize before
+            # admission, so the cache is keyed on the sanitized table.
+            context, report = sanitize_context(context)
+        response = self.engine.infer(
+            task, sentence, context, deadline_s=deadline_s
+        )
+        if report is not None:
+            self.engine.note_sanitize(report.to_json())
+            response = _dc_replace(response, sanitize=report.to_json())
+        return response
 
     def metrics(self) -> dict[str, Any]:
         return self.engine.stats()
@@ -377,11 +553,14 @@ class HttpServeClient(_BaseClient):
         sentence: str,
         context: TableContext,
         deadline_s: float | None,
+        sanitize: bool = False,
     ) -> InferenceResponse:
         body: dict[str, Any] = {
             _SENTENCE_FIELD[task]: sentence,
             "context": context.to_json(),
         }
+        if sanitize:
+            body["sanitize"] = True
         if deadline_s is not None:
             body["deadline_ms"] = deadline_s * 1e3
         data = json.dumps(body).encode("utf-8")
@@ -443,4 +622,5 @@ def _response_from_json(payload: dict[str, Any]) -> InferenceResponse:
         cached=bool(payload.get("cached")),
         model=payload.get("model", ""),
         timing=timing,
+        sanitize=payload.get("sanitize"),
     )

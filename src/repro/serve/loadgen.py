@@ -33,11 +33,17 @@ from repro.tables.context import TableContext
 
 @dataclass(frozen=True)
 class WorkItem:
-    """One scripted request: a task, a sentence, and its context."""
+    """One scripted request: a task, a sentence, and its context.
+
+    ``sanitize`` asks the serving side to run the messy-table sanitizer
+    on this request (the loadgen sets it for items whose context was
+    deliberately corrupted).
+    """
 
     task: str
     sentence: str
     context: TableContext
+    sanitize: bool = False
 
 
 def _context_sentences(
@@ -79,13 +85,34 @@ def build_workload(
     *,
     tasks: Sequence[str] = (TASK_QA, TASK_VERIFY),
     seed: int = 0,
+    messy_fraction: float = 0.0,
+    messy_profile: str = "heavy",
+    sanitize_messy: bool = False,
 ) -> list[WorkItem]:
-    """``n_requests`` scripted requests over ``contexts``, seed-stable."""
+    """``n_requests`` scripted requests over ``contexts``, seed-stable.
+
+    ``messy_fraction`` > 0 corrupts that (deterministic) share of the
+    items with the named :mod:`repro.messy` profile: the sentence is
+    built against the *clean* table first, then the context is swapped
+    for its perturbed twin — exactly the production situation of a
+    well-posed question meeting a messy table.  The messy decision and
+    the corruption itself draw from their own named streams, so the
+    clean part of the workload is byte-identical to a
+    ``messy_fraction=0`` run with the same seed.  ``sanitize_messy``
+    marks the messy items ``sanitize=True`` so :func:`run_load` asks
+    the serving side to repair them.
+    """
     if not contexts:
         raise ServeError("cannot build a workload over zero contexts")
     for task in tasks:
         if task not in (TASK_QA, TASK_VERIFY):
             raise ServeError(f"unknown workload task {task!r}")
+    if not 0.0 <= messy_fraction <= 1.0:
+        raise ServeError("messy_fraction must be within [0, 1]")
+    if messy_fraction > 0:
+        from repro.messy import profile_operators
+
+        profile_operators(messy_profile)  # fail fast on unknown profile
     out: list[WorkItem] = []
     index = 0
     while len(out) < n_requests:
@@ -93,10 +120,30 @@ def build_workload(
         context = contexts[index % len(contexts)]
         item = _context_sentences(context, rng, tasks)
         index += 1
-        if item is not None:
-            out.append(item)
-        elif index > n_requests * 10 + len(contexts):
-            raise ServeError("contexts produced no usable workload items")
+        if item is None:
+            if index > n_requests * 10 + len(contexts):
+                raise ServeError(
+                    "contexts produced no usable workload items"
+                )
+            continue
+        if messy_fraction > 0:
+            messy_rng = rng_from_key(
+                str(seed), "serve-loadgen-messy", str(index - 1)
+            )
+            if messy_rng.random() < messy_fraction:
+                from repro.messy import perturb_context
+
+                item = WorkItem(
+                    task=item.task,
+                    sentence=item.sentence,
+                    context=perturb_context(
+                        item.context,
+                        f"loadgen:{seed}:{index - 1}",
+                        messy_profile,
+                    ),
+                    sanitize=sanitize_messy,
+                )
+        out.append(item)
     return out
 
 
@@ -167,9 +214,12 @@ def run_load(
     def drive(shard: Sequence[WorkItem]) -> None:
         for item in shard:
             call = client.qa if item.task == TASK_QA else client.verify
+            # pass sanitize only when asked: the documented client
+            # protocol requires just qa/verify(sentence, context).
+            kwargs = {"sanitize": True} if item.sanitize else {}
             started = time.perf_counter()
             try:
-                response = call(item.sentence, item.context)
+                response = call(item.sentence, item.context, **kwargs)
             except OverloadedError:
                 with lock:
                     counts["rejected"] += 1

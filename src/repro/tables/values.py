@@ -54,6 +54,11 @@ _NUMBER_RE = re.compile(
     re.VERBOSE,
 )
 
+#: accounting negatives: "(1,200)" means -1200.  The inner part must not
+#: carry its own sign — "(-5)" is not an accounting convention and would
+#: otherwise double-negate.
+_PAREN_NEGATIVE_RE = re.compile(r"^\s*\(\s*(?P<inner>[^()+-][^()]*)\)\s*$")
+
 _DATE_RE = re.compile(
     r"""^\s*(?P<year>\d{4})-(?P<month>\d{1,2})-(?P<day>\d{1,2})\s*$"""
     r"""|^\s*(?P<month2>january|february|march|april|may|june|july|august|"""
@@ -265,11 +270,17 @@ def format_number(value: float) -> str:
 def coerce_number(raw: str) -> float | None:
     """Parse a human-formatted number; ``None`` when it is not one.
 
-    Accepts thousands separators, currency symbols, signs, and percent
-    suffixes (``"$1,234.5"`` → 1234.5; ``"12%"`` → 12.0).
+    Accepts thousands separators, currency symbols, signs, percent
+    suffixes (``"$1,234.5"`` → 1234.5; ``"12%"`` → 12.0), and
+    accounting-style parenthesized negatives (``"(1,200)"`` → -1200.0).
     """
     match = _NUMBER_RE.match(raw)
     if not match:
+        paren = _PAREN_NEGATIVE_RE.match(raw)
+        if paren:
+            inner = coerce_number(paren.group("inner"))
+            if inner is not None:
+                return -inner
         return None
     body = match.group("body").replace(",", "")
     number = float(body)

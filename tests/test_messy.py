@@ -1,0 +1,165 @@
+"""Unit tests for the messy-table corruption operators and profiles."""
+
+import json
+
+import pytest
+
+from repro.errors import MessyTableError
+from repro.messy import (
+    OPERATORS,
+    PROFILES,
+    get_operator,
+    perturb_context,
+    perturb_samples,
+    perturb_table,
+    profile_operators,
+)
+from repro.tables.serialize import table_to_json
+from repro.tables.table import Table
+
+_CANONICAL_ORDER = (
+    "abbrev_headers",
+    "merge_columns",
+    "currency_cells",
+    "unit_suffix_cells",
+    "percent_cells",
+    "locale_numbers",
+    "footnote_markers",
+    "dash_nulls",
+    "duplicate_column",
+    "shuffle_columns",
+    "transpose",
+)
+
+
+class TestRegistry:
+    def test_canonical_order(self):
+        assert tuple(OPERATORS) == _CANONICAL_ORDER
+
+    def test_get_operator_unknown(self):
+        with pytest.raises(MessyTableError):
+            get_operator("melt_table")
+
+    def test_heavy_profile_is_full_registry(self):
+        assert PROFILES["heavy"] == tuple(OPERATORS)
+
+    def test_profiles_reference_real_operators(self):
+        for profile, names in PROFILES.items():
+            for name in names:
+                assert name in OPERATORS, f"{profile} references {name}"
+
+    def test_unknown_profile(self):
+        with pytest.raises(MessyTableError):
+            profile_operators("apocalyptic")
+
+
+class TestOperatorContracts:
+    @pytest.mark.parametrize("name", _CANONICAL_ORDER)
+    def test_deterministic(self, name, players_table):
+        op = get_operator(name)
+        first = table_to_json(op(players_table, "k:1"))
+        second = table_to_json(op(players_table, "k:1"))
+        assert first == second
+
+    @pytest.mark.parametrize("name", _CANONICAL_ORDER)
+    def test_returns_valid_table(self, name, players_table, finance_table):
+        op = get_operator(name)
+        for table in (players_table, finance_table):
+            for key in ("a", "b", "c"):
+                out = op(table, key)
+                assert isinstance(out, Table)
+                # row_name lookups must keep working after every operator
+                if out.row_name_column is not None and out.n_rows:
+                    assert out.row_name(0)
+
+    def test_input_table_untouched(self, players_table):
+        before = table_to_json(players_table)
+        for name in _CANONICAL_ORDER:
+            get_operator(name)(players_table, "x")
+        assert table_to_json(players_table) == before
+
+    def test_some_operator_changes_the_table(self, players_table):
+        changed = [
+            name
+            for name in _CANONICAL_ORDER
+            for key in ("s1", "s2", "s3")
+            if table_to_json(get_operator(name)(players_table, key))
+            != table_to_json(players_table)
+        ]
+        assert changed, "no operator fired on any of three keys"
+
+    def test_duplicate_column_renames_copy(self, players_table):
+        for key in ("d0", "d1", "d2", "d3", "d4", "d5"):
+            out = get_operator("duplicate_column")(players_table, key)
+            if out.n_columns > players_table.n_columns:
+                extras = [
+                    name for name in out.column_names
+                    if name not in players_table.column_names
+                ]
+                assert extras and all("(" in name for name in extras)
+                return
+        pytest.fail("duplicate_column never fired across six keys")
+
+    def test_transpose_preserves_cell_multiset(self, finance_table):
+        for key in ("t0", "t1", "t2", "t3", "t4", "t5"):
+            out = get_operator("transpose")(finance_table, key)
+            if out.column_names != finance_table.column_names:
+                before = sorted(
+                    cell.raw
+                    for row in finance_table.rows
+                    for cell in row[1:]
+                )
+                after = sorted(
+                    cell.raw for row in out.rows for cell in row[1:]
+                )
+                assert before == after
+                return
+        pytest.fail("transpose never fired across six keys")
+
+
+class TestPerturbEntryPoints:
+    def test_perturb_table_deterministic(self, players_table):
+        a = table_to_json(perturb_table(players_table, "seed:0", "heavy"))
+        b = table_to_json(perturb_table(players_table, "seed:0", "heavy"))
+        assert a == b
+
+    def test_different_keys_differ(self, players_table):
+        outs = {
+            json.dumps(
+                table_to_json(
+                    perturb_table(players_table, f"seed:{i}", "heavy")
+                ),
+                sort_keys=True,
+            )
+            for i in range(4)
+        }
+        assert len(outs) > 1, "four keys produced identical corruption"
+
+    def test_perturb_context_stamps_meta(self, players_context):
+        out = perturb_context(players_context, "ctx:0", "light")
+        assert out.meta["perturb"] == "light"
+        assert out.uid == players_context.uid
+        assert out.paragraphs == players_context.paragraphs
+        # original untouched
+        assert "perturb" not in players_context.meta
+
+    def test_perturb_samples_keeps_gold(self, players_context):
+        from tests.conftest import qa_lookup_samples
+
+        samples = qa_lookup_samples(players_context)[:4]
+        messy = perturb_samples(samples, "bench:0", "light")
+        assert len(messy) == len(samples)
+        for clean, dirty in zip(samples, messy):
+            assert dirty.answer == clean.answer
+            assert dirty.sentence == clean.sentence
+            assert dirty.context.meta["perturb"] == "light"
+
+    def test_perturb_samples_deterministic(self, players_context):
+        from tests.conftest import qa_lookup_samples
+
+        samples = qa_lookup_samples(players_context)[:4]
+        a = perturb_samples(samples, "bench:0", "heavy")
+        b = perturb_samples(samples, "bench:0", "heavy")
+        assert [table_to_json(s.context.table) for s in a] == [
+            table_to_json(s.context.table) for s in b
+        ]

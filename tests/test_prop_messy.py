@@ -1,0 +1,179 @@
+"""Property tests: corruption determinism and the never-raise sanitizer.
+
+The two contracts the robustness track stands on:
+
+* every operator is a pure function of ``(Table, rng_key)`` — same key,
+  byte-identical output; and generation with ``perturb=`` is as
+  schedule-independent as clean generation (workers ∈ {1, 2, 4} agree).
+* ``sanitize_table`` never raises on *any* table an operator chain can
+  produce, and always returns a valid :class:`Table` plus a report.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.messy import OPERATORS, PROFILES, get_operator, perturb_table
+from repro.sanitize import SanitizeReport, sanitize_table
+from repro.tables.serialize import table_to_json
+from repro.tables.table import Table
+
+_cell = st.one_of(
+    st.text(
+        alphabet="abcdef ghij0123456789.,$%-—*| /()",
+        min_size=0,
+        max_size=10,
+    ),
+    st.integers(min_value=-10_000, max_value=10_000).map(str),
+    st.sampled_from(
+        ["", "-", "n/a", "1,200", "12.5%", "$400", "(1,200)", "1.200",
+         "42 km", "2019", "march 3, 2019", "true"]
+    ),
+)
+
+_keys = st.text(alphabet="abcdefgh0123456789:", min_size=1, max_size=12)
+
+
+@st.composite
+def tables(draw):
+    n_cols = draw(st.integers(min_value=1, max_value=5))
+    n_rows = draw(st.integers(min_value=0, max_value=6))
+    header = [f"col {i}" for i in range(n_cols)]
+    rows = [
+        [draw(_cell) for _ in range(n_cols)] for _ in range(n_rows)
+    ]
+    # a plausible row-name column: unique non-empty first-column cells
+    row_name = None
+    first = [row[0].strip().lower() for row in rows]
+    if rows and all(first) and len(set(first)) == len(first):
+        row_name = header[0]
+    return Table.from_rows(header, rows, row_name_column=row_name)
+
+
+def _fingerprint(table: Table) -> str:
+    return json.dumps(table_to_json(table), sort_keys=True)
+
+
+class TestOperatorDeterminism:
+    @settings(max_examples=60, deadline=None)
+    @given(table=tables(), key=_keys)
+    def test_every_operator_is_pure(self, table, key):
+        for name in OPERATORS:
+            op = get_operator(name)
+            assert _fingerprint(op(table, key)) == _fingerprint(
+                op(table, key)
+            ), f"operator {name} is not deterministic for key {key!r}"
+
+    @settings(max_examples=40, deadline=None)
+    @given(table=tables(), key=_keys)
+    def test_profiles_are_pure(self, table, key):
+        for profile in PROFILES:
+            assert _fingerprint(
+                perturb_table(table, key, profile)
+            ) == _fingerprint(perturb_table(table, key, profile))
+
+    @settings(max_examples=40, deadline=None)
+    @given(table=tables(), key=_keys)
+    def test_operators_do_not_mutate_input(self, table, key):
+        before = _fingerprint(table)
+        for name in OPERATORS:
+            get_operator(name)(table, key)
+        assert _fingerprint(table) == before
+
+
+class TestSanitizerTotality:
+    @settings(max_examples=80, deadline=None)
+    @given(table=tables(), key=_keys)
+    def test_never_raises_on_perturbed_tables(self, table, key):
+        messy = perturb_table(table, key, "heavy")
+        out, report = sanitize_table(messy)
+        assert isinstance(out, Table)
+        assert isinstance(report, SanitizeReport)
+        # the output is a *valid* table: serializable and re-parseable
+        from repro.tables.serialize import table_from_json
+
+        assert _fingerprint(table_from_json(table_to_json(out))) == \
+            _fingerprint(out)
+
+    @settings(max_examples=60, deadline=None)
+    @given(table=tables())
+    def test_never_raises_on_raw_tables(self, table):
+        out, report = sanitize_table(table)
+        assert isinstance(out, Table)
+        assert report.cells.get("scanned", 0) == (
+            table.n_rows * table.n_columns if table.n_columns else 0
+        ) or report.structure  # structure repairs change the cell count
+
+    @settings(max_examples=40, deadline=None)
+    @given(table=tables(), key=_keys)
+    def test_sanitize_is_deterministic(self, table, key):
+        messy = perturb_table(table, key, "heavy")
+        out_a, report_a = sanitize_table(messy)
+        out_b, report_b = sanitize_table(messy)
+        assert _fingerprint(out_a) == _fingerprint(out_b)
+        assert report_a.to_json() == report_b.to_json()
+
+
+class TestGenerationParity:
+    """UCTR.generate(perturb=...) is schedule-independent."""
+
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        from repro.pipelines import UCTR, UCTRConfig
+        from repro.tables import TableContext
+
+        contexts = [
+            TableContext(
+                table=Table.from_rows(
+                    ["player", "team", "points", "rebounds"],
+                    [
+                        [f"p{i}{j}", f"team{j % 3}", str(10 + 3 * j + i),
+                         str(j + i)]
+                        for j in range(5)
+                    ],
+                    title=f"stats {i}",
+                    row_name_column="player",
+                ),
+                uid=f"ctx{i}",
+            )
+            for i in range(5)
+        ]
+        framework = UCTR(
+            UCTRConfig(
+                program_kinds=("sql",), samples_per_context=4, seed=7
+            )
+        )
+        return framework.fit(contexts), contexts
+
+    def _fingerprint_samples(self, samples):
+        return json.dumps([s.to_json() for s in samples], sort_keys=True)
+
+    def test_workers_do_not_change_perturbed_output(self, fitted):
+        framework, contexts = fitted
+        baseline = self._fingerprint_samples(
+            framework.generate(contexts, workers=1, perturb="heavy")
+        )
+        for workers in (2, 4):
+            assert self._fingerprint_samples(
+                framework.generate(
+                    contexts, workers=workers, perturb="heavy"
+                )
+            ) == baseline, f"workers={workers} diverged from serial"
+
+    def test_perturbed_differs_from_clean(self, fitted):
+        framework, contexts = fitted
+        clean = self._fingerprint_samples(
+            framework.generate(contexts, workers=1)
+        )
+        messy = self._fingerprint_samples(
+            framework.generate(contexts, workers=1, perturb="heavy")
+        )
+        assert clean != messy
+
+    def test_unknown_profile_fails_fast(self, fitted):
+        from repro.errors import MessyTableError
+
+        framework, contexts = fitted
+        with pytest.raises(MessyTableError):
+            framework.generate(contexts, workers=1, perturb="nope")

@@ -1,0 +1,247 @@
+"""Unit tests for the best-effort sanitizer and its report."""
+
+from repro.sanitize import (
+    SanitizeReport,
+    sanitize_context,
+    sanitize_samples,
+    sanitize_table,
+    sanitize_table_payload,
+)
+from repro.tables.serialize import table_to_json
+from repro.tables.table import Table
+from repro.tables.values import ValueType
+
+
+def _table(header, rows, **kwargs):
+    return Table.from_rows(header, rows, **kwargs)
+
+
+class TestCellRepairs:
+    def test_clean_table_is_untouched(self, players_table):
+        out, report = sanitize_table(players_table)
+        assert table_to_json(out) == table_to_json(players_table)
+        assert not report.changed
+        assert report.cells["scanned"] == 20
+        assert not report.errors
+
+    def test_footnote_markers_stripped(self):
+        table = _table(
+            ["name", "points"],
+            [["ada *", "31 [a]"], ["grace †", "22 (est.)"]],
+        )
+        out, report = sanitize_table(table)
+        assert [row[0].raw for row in out.rows] == ["ada", "grace"]
+        assert [row[1].raw for row in out.rows] == ["31", "22"]
+        assert report.repairs["footnote"] == 4
+
+    def test_dash_null_conventions_canonicalized(self):
+        table = _table(
+            ["name", "points"],
+            [["ada", "—"], ["grace", "n.a."], ["alan", "(n/a)"]],
+        )
+        out, report = sanitize_table(table)
+        assert all(row[1].is_null for row in out.rows)
+        assert report.cells["nulled"] == 3
+        assert report.repairs["null_convention"] == 3
+
+    def test_euro_locale_needs_column_consensus(self):
+        lone = _table(["name", "value"], [["a", "1.200"], ["b", "7"]])
+        out, report = sanitize_table(lone)
+        # a single euro-looking cell is ambiguous: left alone
+        assert out.rows[0][1].raw == "1.200"
+        consensus = _table(
+            ["name", "value"],
+            [["a", "1.200"], ["b", "3.450.000"], ["c", "7"]],
+        )
+        out, report = sanitize_table(consensus)
+        assert [row[1].raw for row in out.rows] == ["1200", "3450000", "7"]
+        assert report.repairs["locale"] == 2
+
+    def test_space_grouping_unambiguous_per_cell(self):
+        table = _table(["name", "value"], [["a", "1 234 567"], ["b", "9"]])
+        out, report = sanitize_table(table)
+        assert out.rows[0][1].raw == "1234567"
+        assert out.rows[0][1].type is ValueType.NUMBER
+
+    def test_unit_suffix_stripped_by_majority(self):
+        table = _table(
+            ["city", "area"],
+            [["x", "891 km"], ["y", "755 km"], ["z", "405 km"]],
+        )
+        out, report = sanitize_table(table)
+        assert [row[1].raw for row in out.rows] == ["891", "755", "405"]
+        assert out.schema.columns[1].type is ValueType.NUMBER
+        assert report.repairs["unit"] == 3
+
+    def test_unrepairable_cells_kept_as_text(self):
+        table = _table(
+            ["name", "points"],
+            [["a", "31"], ["b", "22"], ["c", "twenty"], ["d", "14"]],
+        )
+        out, report = sanitize_table(table)
+        assert out.cell(2, "points").raw == "twenty"
+        assert out.cell(2, "points").type is ValueType.TEXT
+        assert report.kept_text_cells == 1
+
+
+class TestStructureRepairs:
+    def test_merged_column_split(self):
+        table = _table(
+            ["name", "points / rebounds"],
+            [["a", "31 | 7"], ["b", "22 | 11"]],
+        )
+        out, report = sanitize_table(table)
+        assert out.column_names == ["name", "points", "rebounds"]
+        assert [c.raw for c in out.rows[0]] == ["a", "31", "7"]
+        assert report.structure["columns_split"] == 1
+
+    def test_duplicate_column_dropped(self):
+        table = _table(
+            ["name", "points", "points (2)"],
+            [["a", "31", "31"], ["b", "22", "22"]],
+        )
+        out, report = sanitize_table(table)
+        assert out.column_names == ["name", "points"]
+        assert report.structure["duplicate_columns_dropped"] == 1
+
+    def test_suffixed_column_with_different_cells_kept(self):
+        table = _table(
+            ["name", "points", "points (2)"],
+            [["a", "31", "99"], ["b", "22", "98"]],
+        )
+        out, _ = sanitize_table(table)
+        assert out.n_columns == 3
+
+    def test_year_matrix_untransposed(self, finance_table):
+        from repro.messy import get_operator
+
+        for key in ("t0", "t1", "t2", "t3", "t4", "t5"):
+            transposed = get_operator("transpose")(finance_table, key)
+            if transposed.column_names != finance_table.column_names:
+                break
+        else:
+            raise AssertionError("transpose never fired")
+        out, report = sanitize_table(transposed)
+        assert out.column_names == finance_table.column_names
+        assert table_to_json(out) == table_to_json(finance_table)
+        assert report.structure["transposed"] == 1
+
+    def test_header_footnotes_normalized(self):
+        table = _table(
+            ["name", "points *", "rebounds [1]"],
+            [["a", "1", "2"]],
+        )
+        out, report = sanitize_table(table)
+        assert out.column_names == ["name", "points", "rebounds"]
+        assert report.structure["headers_normalized"] == 2
+
+
+class TestEntryPoints:
+    def test_sanitize_context_keeps_everything_else(self, players_context):
+        sanitized, _ = sanitize_context(players_context)
+        assert sanitized.uid == players_context.uid
+        assert sanitized.paragraphs == players_context.paragraphs
+
+    def test_sanitize_samples_aggregates(self, players_context):
+        from repro.messy import perturb_samples
+        from tests.conftest import qa_lookup_samples
+
+        samples = qa_lookup_samples(players_context)[:3]
+        messy = perturb_samples(samples, "agg:0", "light")
+        cleaned, report = sanitize_samples(messy)
+        assert len(cleaned) == 3
+        assert report.cells["scanned"] == sum(
+            s.context.table.n_rows * s.context.table.n_columns
+            for s in messy
+        )
+        for clean, dirty in zip(cleaned, messy):
+            assert clean.answer == dirty.answer
+
+
+class TestPayloadRepair:
+    def test_ragged_rows_padded_and_truncated(self):
+        payload = {
+            "columns": [{"name": "a"}, {"name": "b"}],
+            "rows": [["1"], ["1", "2", "3"], ["1", "2"]],
+        }
+        fixed, fixes = sanitize_table_payload(payload)
+        assert [len(row) for row in fixed["rows"]] == [2, 2, 2]
+        assert fixes["rows_padded"] == 1
+        assert fixes["rows_truncated"] == 1
+
+    def test_duplicate_and_empty_headers_repaired(self):
+        payload = {
+            "columns": [
+                {"name": "points"}, {"name": "points"}, {"name": "  "},
+            ],
+            "rows": [],
+        }
+        fixed, fixes = sanitize_table_payload(payload)
+        names = [column["name"] for column in fixed["columns"]]
+        assert len({n.lower() for n in names}) == 3
+        assert fixes["header_names_deduped"] == 1
+        assert fixes["header_names_filled"] == 1
+
+    def test_scalar_cells_coerced(self):
+        payload = {
+            "columns": [{"name": "a"}],
+            "rows": [[None], [12], [True], [{"x": 1}]],
+        }
+        fixed, fixes = sanitize_table_payload(payload)
+        assert all(
+            isinstance(cell, str) for row in fixed["rows"] for cell in row
+        )
+        assert fixed["rows"][0] == [""]
+
+    def test_invalid_type_reset(self):
+        payload = {
+            "columns": [{"name": "a", "type": "quantum"}],
+            "rows": [["1"]],
+        }
+        fixed, fixes = sanitize_table_payload(payload)
+        assert fixed["columns"][0]["type"] == "text"
+        assert fixes["column_types_reset"] == 1
+
+    def test_non_dict_passthrough(self):
+        fixed, fixes = sanitize_table_payload("not a table")
+        assert fixed == "not a table"
+        assert fixes == {}
+
+    def test_repaired_payload_parses(self):
+        from repro.tables.serialize import table_from_json
+
+        payload = {
+            "columns": [{"name": "a"}, {"name": "a"}, {"name": ""}],
+            "rows": [["1"], ["1", "2", "3", "4"], [None, 5, "x"]],
+            "row_name_column": "ghost",
+        }
+        fixed, _ = sanitize_table_payload(payload)
+        table = table_from_json(fixed)
+        assert table.n_columns == 3
+        assert table.n_rows == 3
+
+
+class TestReport:
+    def test_changed_flag(self):
+        report = SanitizeReport()
+        assert not report.changed
+        report.bump("cells", "repaired")
+        assert report.changed
+
+    def test_merge_structure(self):
+        report = SanitizeReport()
+        report.merge_structure({"rows_padded": 2, "noop": 0})
+        assert report.structure == {"rows_padded": 2}
+
+    def test_summary_mentions_counts(self):
+        report = SanitizeReport()
+        report.bump("cells", "repaired", 3)
+        assert "3 cell(s) repaired" in report.summary()
+
+    def test_to_json_shape(self):
+        report = SanitizeReport()
+        report.bump("structure", "transposed")
+        report.errors.append("boom")
+        payload = report.to_json()
+        assert set(payload) == {"structure", "cells", "repairs", "errors"}
+        assert payload["errors"] == ["boom"]

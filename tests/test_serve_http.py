@@ -291,3 +291,248 @@ class TestCliServeLifecycle:
         assert stats["reconciles"]
         assert stats["in_flight"] == 0
         assert stats["accepted"] == stats["completed"] + stats["rejected"]
+
+
+def _post_error(port, path, payload):
+    """POST expecting an HTTP error; returns (status, decoded body)."""
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with pytest.raises(urllib.error.HTTPError) as caught:
+        urllib.request.urlopen(request, timeout=30.0)
+    body = json.loads(caught.value.read().decode("utf-8"))
+    return caught.value.code, body
+
+
+class TestStrictValidation:
+    """Malformed tables are field-level 400s, never 500s."""
+
+    def _payload(self, serve_context, **table_overrides):
+        context = serve_context.to_json()
+        context["table"] = {**context["table"], **table_overrides}
+        return {"question": "what is the points of bo chen ?",
+                "context": context}
+
+    def test_ragged_row_names_the_field(self, served, serve_context):
+        payload = self._payload(serve_context)
+        payload["context"]["table"]["rows"] = [
+            row[:-1] for row in payload["context"]["table"]["rows"]
+        ]
+        status, body = _post_error(served.port, "/v1/qa", payload)
+        assert status == 400
+        assert not body["ok"]
+        assert body["error"]["field"] == "context.table.rows[0]"
+        assert "ragged" in body["error"]["message"]
+        assert "sanitize" in body["error"]["message"]  # points at the fix
+
+    def test_duplicate_header_names_the_field(self, served, serve_context):
+        payload = self._payload(serve_context)
+        columns = payload["context"]["table"]["columns"]
+        columns[1]["name"] = columns[0]["name"].upper()  # case-insensitive
+        status, body = _post_error(served.port, "/v1/qa", payload)
+        assert status == 400
+        assert body["error"]["field"] == "context.table.columns[1].name"
+        assert "columns[0]" in body["error"]["message"]  # first use cited
+
+    def test_empty_header_names_the_field(self, served, serve_context):
+        payload = self._payload(serve_context)
+        payload["context"]["table"]["columns"][0]["name"] = "   "
+        status, body = _post_error(served.port, "/v1/qa", payload)
+        assert status == 400
+        assert body["error"]["field"] == "context.table.columns[0].name"
+
+    def test_non_string_cell_names_the_field(self, served, serve_context):
+        payload = self._payload(serve_context)
+        payload["context"]["table"]["rows"][1][2] = 28
+        status, body = _post_error(served.port, "/v1/qa", payload)
+        assert status == 400
+        assert body["error"]["field"] == "context.table.rows[1][2]"
+        assert "int" in body["error"]["message"]
+
+    def test_empty_columns_rejected(self, served, serve_context):
+        payload = self._payload(serve_context, columns=[], rows=[])
+        status, body = _post_error(served.port, "/v1/qa", payload)
+        assert status == 400
+        assert body["error"]["field"] == "context.table.columns"
+
+    def test_sanitize_flag_must_be_boolean(self, served, serve_context):
+        payload = self._payload(serve_context)
+        payload["sanitize"] = "yes"
+        status, body = _post_error(served.port, "/v1/qa", payload)
+        assert status == 400
+        assert body["error"]["field"] == "sanitize"
+
+
+class TestSanitizeOverHttp:
+    def _messy_payload(self, serve_context):
+        """Ragged rows + footnoted cells: payload and cell damage."""
+        context = serve_context.to_json()
+        table = dict(context["table"])
+        rows = [list(row) for row in table["rows"]]
+        rows[0][2] = rows[0][2] + " [a]"     # footnote marker
+        rows[1] = rows[1][:-1]               # ragged: short one cell
+        table["rows"] = rows
+        context["table"] = table
+        return context
+
+    def test_strict_rejects_then_sanitize_repairs(
+        self, served, serve_context
+    ):
+        context = self._messy_payload(serve_context)
+        question = "what is the points of bo chen ?"
+        status, body = _post_error(
+            served.port, "/v1/qa",
+            {"question": question, "context": context},
+        )
+        assert status == 400  # same table, no flag: strict path
+        status, payload = _post(served.port, "/v1/qa", {
+            "question": question, "context": context, "sanitize": True,
+        })
+        assert status == 200
+        assert payload["ok"]
+        report = payload["sanitize"]
+        assert report["structure"]["rows_padded"] == 1
+        assert report["repairs"]["footnote"] >= 1
+        assert report["errors"] == []
+
+    def test_clean_table_reports_no_changes(self, served, serve_context):
+        status, payload = _post(served.port, "/v1/qa", {
+            "question": "what is the points of bo chen ?",
+            "context": serve_context.to_json(),
+            "sanitize": True,
+        })
+        assert status == 200
+        assert payload["sanitize"]["structure"] == {}
+        assert payload["sanitize"]["cells"].get("repaired", 0) == 0
+
+    def test_metrics_aggregate_sanitize_counters(
+        self, served, serve_context
+    ):
+        context = self._messy_payload(serve_context)
+        _post(served.port, "/v1/qa", {
+            "question": "what is the points of bo chen ?",
+            "context": context, "sanitize": True,
+        })
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{served.port}/metrics", timeout=30.0
+        ) as reply:
+            metrics = json.loads(reply.read().decode("utf-8"))
+        assert metrics["sanitize"]["requests"] >= 1
+        assert metrics["sanitize"]["tables_changed"] >= 1
+        assert metrics["sanitize"]["cells_repaired"] >= 1
+
+    def test_in_process_client_sanitizes(self, tiny_qa_model, serve_context):
+        from repro.messy import perturb_context
+
+        engine = InferenceEngine(
+            {TASK_QA: tiny_qa_model}, EngineConfig(workers=1)
+        )
+        engine.start()
+        try:
+            client = ServeClient(engine)
+            messy = perturb_context(serve_context, "client:0", "light")
+            response = client.qa(
+                "what is the points of bo chen ?", messy, sanitize=True
+            )
+            assert response.ok
+            assert response.sanitize is not None
+            assert engine.stats()["sanitize"]["requests"] == 1
+        finally:
+            engine.stop(drain=True)
+
+    def test_overload_still_429_with_sanitize(
+        self, tiny_verifier, serve_context
+    ):
+        # Sanitization must not bypass admission control.
+        engine = InferenceEngine(
+            {TASK_VERIFY: tiny_verifier},
+            EngineConfig(workers=1, queue_limit=1, cache_size=0),
+        )
+        server = make_server(engine)
+        serve_in_thread(server)
+        try:
+            engine.submit(InferenceRequest(
+                id="hog", task=TASK_VERIFY, sentence="hog claim",
+                context=serve_context,
+            ))
+            client = HttpServeClient(f"http://127.0.0.1:{server.port}")
+            with pytest.raises(OverloadedError):
+                client.verify("one too many", serve_context, sanitize=True)
+            # rejected requests never reach the model: not counted
+            assert engine.stats()["sanitize"]["requests"] == 0
+        finally:
+            server.shutdown()
+            server.server_close()
+            engine.stop(drain=False)
+
+
+class TestLoadgenMessy:
+    def test_messy_workload_is_deterministic(self, serve_context):
+        build = lambda: build_workload(  # noqa: E731
+            [serve_context], 16, seed=7,
+            messy_fraction=0.5, sanitize_messy=True,
+        )
+        first, second = build(), build()
+        assert [
+            (w.task, w.sentence, w.sanitize, w.context.table.column_names)
+            for w in first
+        ] == [
+            (w.task, w.sentence, w.sanitize, w.context.table.column_names)
+            for w in second
+        ]
+        assert any(w.sanitize for w in first)
+        assert not all(w.sanitize for w in first)
+
+    def test_clean_share_matches_fraction_zero_run(self, serve_context):
+        from repro.tables.serialize import table_to_json
+
+        clean = build_workload([serve_context], 16, seed=7)
+        mixed = build_workload(
+            [serve_context], 16, seed=7,
+            messy_fraction=0.5, sanitize_messy=True,
+        )
+        # same questions in the same order; only messy contexts swapped
+        assert [(w.task, w.sentence) for w in clean] == [
+            (w.task, w.sentence) for w in mixed
+        ]
+        for base, item in zip(clean, mixed):
+            if not item.sanitize:
+                assert table_to_json(item.context.table) == table_to_json(
+                    base.context.table
+                )
+
+    def test_messy_without_sanitize_keeps_flag_off(self, serve_context):
+        items = build_workload(
+            [serve_context], 12, seed=3, messy_fraction=1.0
+        )
+        assert all(not w.sanitize for w in items)
+        assert all(w.context.meta.get("perturb") == "heavy" for w in items)
+
+    def test_bad_fraction_and_profile_fail_fast(self, serve_context):
+        from repro.errors import MessyTableError, ServeError
+
+        with pytest.raises(ServeError):
+            build_workload([serve_context], 4, messy_fraction=1.5)
+        with pytest.raises(MessyTableError):
+            build_workload(
+                [serve_context], 4,
+                messy_fraction=0.5, messy_profile="nope",
+            )
+
+    def test_run_load_drives_sanitized_requests(self, served, serve_context):
+        client = HttpServeClient(f"http://127.0.0.1:{served.port}")
+        workload = build_workload(
+            [serve_context], 12, seed=9,
+            messy_fraction=0.5, sanitize_messy=True,
+        )
+        n_messy = sum(1 for w in workload if w.sanitize)
+        assert n_messy >= 1
+        report = run_load(client, workload, clients=1)  # closed loop: no 429
+        assert report.completed == 12
+        assert report.errors == 0
+        metrics = client.metrics()
+        assert metrics["sanitize"]["requests"] >= n_messy
+        assert metrics["reconciles"]

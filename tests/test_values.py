@@ -281,3 +281,59 @@ class TestInferType:
     def test_dates(self):
         values = [parse_value("2020-01-01"), parse_value("2021-02-02")]
         assert infer_type(values) is ValueType.DATE
+
+
+class TestPercentAndAccountingForms:
+    """Satellite regression tests: percent strings and paren-negatives
+    must coerce as NUMBER and share canonical keys with the plain forms."""
+
+    def test_percent_string_is_number(self):
+        value = parse_value("12.5%")
+        assert value.type is ValueType.NUMBER
+        assert value.typed == pytest.approx(12.5)
+
+    def test_percent_canonical_key_matches_plain(self):
+        assert parse_value("12.5%").canonical_key() == \
+            parse_value("12.5").canonical_key()
+
+    def test_percent_equals_plain(self):
+        assert parse_value("12.5%").equals(parse_value("12.5"))
+
+    def test_paren_negative_coerces(self):
+        assert coerce_number("(1,200)") == -1200.0
+
+    def test_paren_negative_with_decimal(self):
+        assert coerce_number("(3.5)") == pytest.approx(-3.5)
+
+    def test_paren_negative_with_currency(self):
+        assert coerce_number("($400)") == -400.0
+
+    def test_paren_negative_parses_as_number(self):
+        value = parse_value("(1,200)")
+        assert value.type is ValueType.NUMBER
+        assert value.typed == -1200.0
+
+    def test_paren_canonical_key_matches_plain_negative(self):
+        assert parse_value("(1,200)").canonical_key() == \
+            parse_value("-1200").canonical_key()
+
+    def test_paren_equals_plain_negative(self):
+        assert parse_value("(1,200)").equals(parse_value("-1200"))
+        assert parse_value("-1200").equals(parse_value("(1,200)"))
+
+    def test_inner_sign_is_not_accounting(self):
+        # "(-5)" is not the accounting convention; double negation would
+        # silently flip its meaning.
+        assert coerce_number("(-5)") is None
+        assert parse_value("(-5)").type is ValueType.TEXT
+
+    def test_paren_text_stays_text(self):
+        assert coerce_number("(n/a)") is None
+        assert parse_value("(n/a)").type is ValueType.TEXT
+
+    def test_nested_parens_rejected(self):
+        assert coerce_number("((5))") is None
+
+    def test_infer_type_accepts_accounting_columns(self):
+        values = [parse_value(s) for s in ("1,200", "(300)", "45%")]
+        assert infer_type(values) is ValueType.NUMBER
