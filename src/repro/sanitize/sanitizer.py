@@ -48,9 +48,8 @@ _FOOTNOTE_RE = re.compile(
 )
 
 _SPACE_GROUPED_RE = re.compile(r"^[-+]?\d{1,3}(?: \d{3})+(?:\.\d+)?$")
-_EURO_GROUPED_RE = re.compile(
-    r"^[-+]?\d{1,3}(?:\.\d{3})+(?:,\d+)?$|^[-+]?\d+,\d+$"
-)
+_EURO_DOT_GROUPED_RE = re.compile(r"^[-+]?\d{1,3}(?:\.\d{3})+(?:,\d+)?$")
+_EURO_DECIMAL_COMMA_RE = re.compile(r"^[-+]?\d+,\d+$")
 _UNIT_SUFFIX_RE = re.compile(
     r"^(?P<num>[-+$€£¥]?[\d.,% ]*\d%?)\s+(?P<unit>[A-Za-z][A-Za-z.]*)$"
 )
@@ -58,6 +57,14 @@ _UNIT_SUFFIX_RE = re.compile(
 _DUPLICATE_SUFFIX_RE = re.compile(r"\s*\(\d+\)$")
 
 _YEAR_RE = re.compile(r"^(?:19|20)\d{2}$")
+
+#: first-column headers that mark a table as legitimately keyed by
+#: time: an all-year first column under one of these is the table's
+#: intended layout, not transposition damage.
+_TIME_HEADER_NAMES = {
+    "year", "years", "fy", "fiscal year", "date", "month", "quarter",
+    "period", "season",
+}
 
 
 # -- stage 1: orientation -----------------------------------------------------
@@ -94,7 +101,9 @@ def _looks_transposed(table: Table) -> bool:
        mix types — attribute rows laid out sideways.
     2. **Year matrix**: every first-column cell is a four-digit year
        while no other header is — in published tables years are
-       overwhelmingly column headers, not row names.
+       overwhelmingly column headers, not row names.  Suppressed when
+       the first column's own header names a time dimension ("year",
+       "date", "fy", …): that table is legitimately keyed by year.
     """
     if table.n_rows < 2 or table.n_columns < 2:
         return False
@@ -118,8 +127,12 @@ def _looks_transposed(table: Table) -> bool:
         ):
             return True
     first = [row[0].raw.strip() for row in table.rows]
-    if all(_YEAR_RE.match(cell) for cell in first) and not any(
-        _YEAR_RE.match(name.strip()) for name in table.column_names[1:]
+    if (
+        table.column_names[0].strip().lower() not in _TIME_HEADER_NAMES
+        and all(_YEAR_RE.match(cell) for cell in first)
+        and not any(
+            _YEAR_RE.match(name.strip()) for name in table.column_names[1:]
+        )
     ):
         return True
     return False
@@ -281,6 +294,19 @@ def _deeuro(raw: str) -> str:
     return out
 
 
+def _euro_like(raw: str) -> bool:
+    """Unambiguously European-formatted: dot grouping, or a decimal
+    comma that does **not** already parse as a US-grouped number
+    ("12,5" is euro-like; "1,200" reads as 1200 and is not)."""
+    stripped = raw.strip()
+    if _EURO_DOT_GROUPED_RE.match(stripped):
+        return True
+    return bool(
+        _EURO_DECIMAL_COMMA_RE.match(stripped)
+        and coerce_number(stripped) is None
+    )
+
+
 def _repair_column(
     cells: list[str], report: SanitizeReport
 ) -> list[str]:
@@ -317,7 +343,7 @@ def _repair_column(
         number = match.group("num").strip()
         if (
             coerce_number(number) is None
-            and not _EURO_GROUPED_RE.match(number)
+            and not _euro_like(number)
             and not _SPACE_GROUPED_RE.match(number)
         ):
             continue
@@ -337,8 +363,18 @@ def _repair_column(
     # column pass: European grouping, by consensus only — "1.200" alone
     # is ambiguous (1.2 with trailing zeros), but a column where >= 2
     # cells carry euro grouping and everything else is a plain number
-    # (or null) is converted as a block.
-    euro = [i for i in non_null if _EURO_GROUPED_RE.match(work[i].strip())]
+    # (or null) is converted as a block.  A comma-only form that already
+    # parses as a US-grouped number ("1,200" → 1200) is never treated as
+    # euro on its own evidence; it joins the block only when the column
+    # also carries dot-grouped cells, which pin the column's locale.
+    euro = [i for i in non_null if _euro_like(work[i])]
+    if any(_EURO_DOT_GROUPED_RE.match(work[i].strip()) for i in euro):
+        euro.extend(
+            i for i in non_null
+            if i not in euro
+            and _EURO_DECIMAL_COMMA_RE.match(work[i].strip())
+        )
+        euro.sort()
     others_plain = all(
         coerce_number(work[i]) is not None
         for i in non_null
@@ -537,8 +573,6 @@ def sanitize_table_payload(payload: Any) -> tuple[Any, dict[str, int]]:
             elif cell is None:
                 cells.append("")
                 bump("cells_coerced")
-            elif isinstance(cell, (int, float, bool)):
-                cells.append(str(cell))
             else:
                 cells.append(str(cell))
                 bump("cells_coerced")

@@ -57,6 +57,38 @@ class TestCellRepairs:
         assert [row[1].raw for row in out.rows] == ["1200", "3450000", "7"]
         assert report.repairs["locale"] == 2
 
+    def test_us_comma_grouping_never_rewritten(self):
+        # "1,200"-style cells already parse as 1200 via coerce_number;
+        # consensus among them is *not* euro evidence.
+        table = _table(
+            ["name", "value"],
+            [["a", "1,200"], ["b", "3,450"], ["c", "7"]],
+        )
+        out, report = sanitize_table(table)
+        assert [row[1].raw for row in out.rows] == ["1,200", "3,450", "7"]
+        assert out.cell(0, "value").as_number() == 1200.0
+        assert "locale" not in report.repairs
+
+    def test_euro_decimal_comma_converted_by_consensus(self):
+        table = _table(
+            ["name", "value"],
+            [["a", "12,5"], ["b", "3,45"], ["c", "7"]],
+        )
+        out, report = sanitize_table(table)
+        assert [row[1].raw for row in out.rows] == ["12.5", "3.45", "7"]
+        assert report.repairs["locale"] == 2
+
+    def test_dot_grouping_pins_column_locale_for_comma_cells(self):
+        # "3,450" alone reads as US 3450, but next to "1.200,5" the
+        # column is demonstrably euro-localized, so it means 3.450.
+        table = _table(
+            ["name", "value"],
+            [["a", "1.200,5"], ["b", "3,450"], ["c", "7"]],
+        )
+        out, report = sanitize_table(table)
+        assert [row[1].raw for row in out.rows] == ["1200.5", "3.450", "7"]
+        assert report.repairs["locale"] == 2
+
     def test_space_grouping_unambiguous_per_cell(self):
         table = _table(["name", "value"], [["a", "1 234 567"], ["b", "9"]])
         out, report = sanitize_table(table)
@@ -126,6 +158,18 @@ class TestStructureRepairs:
         assert table_to_json(out) == table_to_json(finance_table)
         assert report.structure["transposed"] == 1
 
+    def test_year_keyed_table_not_flipped(self):
+        # an all-year first column under a header that names a time
+        # dimension is the table's intended layout, not transposition.
+        table = _table(
+            ["year", "revenue", "profit"],
+            [["2019", "1200", "300"], ["2020", "1400", "350"],
+             ["2021", "1600", "400"]],
+        )
+        out, report = sanitize_table(table)
+        assert out.column_names == ["year", "revenue", "profit"]
+        assert "transposed" not in report.structure
+
     def test_header_footnotes_normalized(self):
         table = _table(
             ["name", "points *", "rebounds [1]"],
@@ -192,6 +236,8 @@ class TestPayloadRepair:
             isinstance(cell, str) for row in fixed["rows"] for cell in row
         )
         assert fixed["rows"][0] == [""]
+        # every non-string cell counts as a repair in the report
+        assert fixes["cells_coerced"] == 4
 
     def test_invalid_type_reset(self):
         payload = {
