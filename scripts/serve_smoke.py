@@ -1,7 +1,7 @@
 """End-to-end serving smoke check (run by the CI ``serve-smoke`` job).
 
 Spawns ``repro serve`` as a real subprocess against a registry
-directory, then proves the four behaviors the serving stack promises:
+directory, then proves the behaviors the serving stack promises:
 
 1. QA and verification both answer over the wire from registry
    artifacts (``POST /v1/qa`` / ``POST /v1/verify``).
@@ -9,18 +9,25 @@ directory, then proves the four behaviors the serving stack promises:
    is rejected with typed 429s — never hangs, never transport errors.
 3. ``GET /metrics`` reconciles exactly:
    ``accepted == completed + rejected + in_flight``.
-4. SIGTERM in the middle of a load burst drains in-flight work and
+4. With ``--reload``: a new model version registered mid-load and
+   ``POST /v1/admin/reload`` flips serving to it with zero failed
+   (non-429) requests and a still-reconciling ``/metrics``.
+5. SIGTERM in the middle of a load burst drains in-flight work and
    exits 0, printing final stats that still reconcile.
 
 Usage::
 
-    PYTHONPATH=src python scripts/serve_smoke.py REGISTRY_DIR CONTEXTS_JSONL
+    PYTHONPATH=src python scripts/serve_smoke.py REGISTRY_DIR \\
+        CONTEXTS_JSONL [--replicas N] [--reload]
 
-Exits non-zero (assertion) on any violation.
+``--replicas N`` runs the server through the multi-process replica
+pool instead of the in-process engine.  Exits non-zero (assertion) on
+any violation.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import signal
@@ -30,24 +37,75 @@ import threading
 import time
 
 from repro.io import load_contexts
-from repro.serve import HttpServeClient, build_workload, run_load
+from repro.serve import (
+    HttpServeClient,
+    ModelRegistry,
+    build_workload,
+    run_load,
+)
 
 
-def main(registry_dir: str, contexts_path: str) -> None:
-    contexts = load_contexts(contexts_path)[:4]
+def _reload_cycle(
+    client: HttpServeClient, registry_dir: str, contexts
+) -> None:
+    """Register a new default version under load and hot-reload to it."""
+    registry = ModelRegistry(registry_dir)
+    name = sorted(registry.models())[0]
+    old_id = registry.record(name).model_id
+    # Re-save the current default as the next version: same weights,
+    # new version id — exactly the retrain-and-redeploy drill.
+    registry.save(registry.load(name).model, name)
+    new_id = registry.record(name).model_id
+    assert new_id != old_id, (old_id, new_id)
+
+    box: dict = {}
+    loader = threading.Thread(
+        target=lambda: box.update(report=run_load(
+            client, build_workload(contexts, 80, seed=21), clients=4)))
+    loader.start()
+    time.sleep(0.2)
+    summary = client.reload(timeout=120.0)
+    print("reload:", json.dumps(summary))
+    assert summary["ok"] is True, summary
+    loader.join(timeout=120)
+    report = box["report"]
+    print("reload load:", json.dumps(report.to_json()))
+    assert report.errors == 0, report  # zero non-429 failures
+
+    metrics = client.metrics()
+    assert metrics["reloads"] == 1, metrics
+    assert new_id in metrics["models"].values(), metrics
+    assert metrics["reconciles"], metrics
+    print(f"reload cycle OK: {old_id} -> {new_id} with zero failures")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("registry_dir")
+    parser.add_argument("contexts_path")
+    parser.add_argument("--replicas", type=int, default=0)
+    parser.add_argument("--reload", action="store_true")
+    args = parser.parse_args()
+
+    contexts = load_contexts(args.contexts_path)[:4]
     assert contexts, "no contexts to build a workload from"
 
     env = dict(os.environ)
     env["PYTHONUNBUFFERED"] = "1"
+    command = [
+        sys.executable, "-m", "repro.cli", "serve",
+        "--registry", args.registry_dir, "--port", "0",
+        "--workers", "1", "--max-batch", "8", "--queue-limit", "2",
+    ]
+    if args.replicas > 0:
+        command += ["--replicas", str(args.replicas)]
     process = subprocess.Popen(
-        [sys.executable, "-m", "repro.cli", "serve",
-         "--registry", registry_dir, "--port", "0",
-         "--workers", "1", "--max-batch", "8", "--queue-limit", "2"],
+        command,
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
     )
     port = None
     lines: list[str] = []
-    deadline = time.monotonic() + 60
+    deadline = time.monotonic() + 120
     while time.monotonic() < deadline:
         line = process.stdout.readline()
         if not line:
@@ -92,6 +150,12 @@ def main(registry_dir: str, contexts_path: str) -> None:
         ), metrics
         # everything this script sent (plus the 2 probes) was accounted
         assert metrics["accepted"] >= report.sent + 2, metrics
+        if args.replicas > 0:
+            assert len(metrics["replicas"]) == args.replicas, metrics
+
+        # Zero-downtime reload under load (new version, POST reload).
+        if args.reload:
+            _reload_cycle(client, args.registry_dir, contexts)
 
         # SIGTERM mid-burst: clean drain, exit 0.
         box: dict = {}
@@ -102,7 +166,7 @@ def main(registry_dir: str, contexts_path: str) -> None:
         time.sleep(0.2)
         process.send_signal(signal.SIGTERM)
         loader.join(timeout=60)
-        output = process.communicate(timeout=60)[0]
+        output = process.communicate(timeout=120)[0]
     finally:
         if process.poll() is None:
             process.kill()
@@ -117,9 +181,10 @@ def main(registry_dir: str, contexts_path: str) -> None:
     assert stats["reconciles"], stats
     assert stats["in_flight"] == 0, stats
     assert stats["accepted"] == stats["completed"] + stats["rejected"], stats
-    print("serve smoke OK: overload rejected", report.rejected,
+    mode = f"{args.replicas} replicas" if args.replicas else "engine"
+    print(f"serve smoke OK ({mode}): overload rejected", report.rejected,
           "of", report.sent, "and the drain reconciled")
 
 
 if __name__ == "__main__":
-    main(sys.argv[1], sys.argv[2])
+    main()

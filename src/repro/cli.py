@@ -21,8 +21,11 @@ Commands:
   model registry directory.
 * ``models`` — inspect a registry (``repro models list --registry DIR``).
 * ``serve`` — serve registered models over HTTP: ``POST /v1/qa``,
-  ``POST /v1/verify``, ``GET /healthz``, ``GET /metrics``; micro-batched,
-  admission-controlled, drains in-flight work on SIGTERM/SIGINT.
+  ``POST /v1/verify``, ``GET /healthz``, ``GET /metrics``,
+  ``POST /v1/admin/reload``; micro-batched, admission-controlled,
+  drains in-flight work on SIGTERM/SIGINT.  ``--replicas N`` scales out
+  to N pre-fork replica processes; ``--watch-registry S`` hot-reloads
+  (zero downtime) when the registry's default version moves.
 * ``experiments`` — alias of :mod:`repro.experiments.runner`.
 """
 
@@ -405,7 +408,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         EngineConfig,
         InferenceEngine,
         ModelRegistry,
+        PoolConfig,
         make_server,
+        pool_from_registry,
         serve_in_thread,
     )
 
@@ -414,39 +419,79 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if not names:
         print(f"no models registered in {args.registry}", file=sys.stderr)
         return 1
-    models = {}
-    for name in names:
-        loaded = registry.load(name)
-        task = loaded.record.task
-        if task in models:
-            print(
-                f"both {models[task].record.model_id} and "
-                f"{loaded.record.model_id} serve task {task!r}; pass "
-                "--model to pick one per task",
-                file=sys.stderr,
-            )
-            return 2
-        models[task] = loaded
-    engine = InferenceEngine(
-        models,
-        EngineConfig(
-            workers=args.workers,
-            max_batch_size=args.max_batch,
-            max_wait_s=args.max_wait_ms / 1e3,
-            queue_limit=args.queue_limit,
-            cache_size=args.cache_size,
-            default_deadline_s=(
-                args.deadline_ms / 1e3 if args.deadline_ms else None
-            ),
+
+    engine_config = EngineConfig(
+        workers=args.workers,
+        max_batch_size=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1e3,
+        queue_limit=args.queue_limit,
+        cache_size=args.cache_size,
+        default_deadline_s=(
+            args.deadline_ms / 1e3 if args.deadline_ms else None
         ),
     )
-    engine.start()
-    server = make_server(engine, host=args.host, port=args.port)
-    for task, loaded in sorted(models.items()):
-        print(f"loaded {loaded.record.model_id} for task {task}")
+
+    if args.replicas > 0:
+        # multi-process replica pool: models load inside the replicas.
+        try:
+            backend = pool_from_registry(
+                args.registry,
+                names=names,
+                config=PoolConfig(
+                    replicas=args.replicas, engine=engine_config
+                ),
+            )
+        except Exception as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        backend.start()
+        for task, model_id in sorted(backend.stats()["models"].items()):
+            print(f"loaded {model_id} for task {task}")
+
+        def reloader() -> dict:
+            return {"mode": "pool", **backend.reload()}
+
+    else:
+        models = {}
+        for name in names:
+            loaded = registry.load(name)
+            task = loaded.record.task
+            if task in models:
+                print(
+                    f"both {models[task].record.model_id} and "
+                    f"{loaded.record.model_id} serve task {task!r}; pass "
+                    "--model to pick one per task",
+                    file=sys.stderr,
+                )
+                return 2
+            models[task] = loaded
+        backend = InferenceEngine(models, engine_config)
+        backend.start()
+        for task, loaded in sorted(models.items()):
+            print(f"loaded {loaded.record.model_id} for task {task}")
+
+        def reloader() -> dict:
+            # in-place engine swap: re-resolve each served name's
+            # default and swap only the tasks whose version moved.
+            serving = backend.stats()["models"]
+            changes = {}
+            for name in names:
+                fresh = registry.load(name)
+                task = fresh.record.task
+                if serving.get(task) != fresh.record.model_id:
+                    changes[task] = backend.swap_model(task, fresh)
+            return {"mode": "engine", "changes": changes}
+
+    server = make_server(
+        backend, host=args.host, port=args.port, reloader=reloader
+    )
+    mode = (
+        f"replicas={args.replicas}" if args.replicas > 0
+        else "in-process engine"
+    )
     print(
         f"serving on http://{args.host}:{server.port} "
-        f"(workers={args.workers}, max_batch={args.max_batch}, "
+        f"({mode}, workers={args.workers}, max_batch={args.max_batch}, "
         f"queue_limit={args.queue_limit})",
         flush=True,
     )
@@ -462,17 +507,54 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     signal.signal(signal.SIGTERM, _on_signal)
     signal.signal(signal.SIGINT, _on_signal)
     serve_in_thread(server)
+
+    if args.watch_registry > 0:
+        # Poll the registry's default pointers and hot-reload when any
+        # served name's default version moves — `repro registry save`
+        # followed by nothing else rolls the fleet.
+        def watch() -> None:
+            def default_ids() -> dict:
+                out = {}
+                for name in names:
+                    try:
+                        out[name] = registry.record(name).model_id
+                    except Exception:
+                        pass  # mid-write; settle next tick
+                return out
+
+            last = default_ids()
+            while not stop.wait(args.watch_registry):
+                now_ids = default_ids()
+                if now_ids != last and now_ids:
+                    try:
+                        summary = reloader()
+                        print(
+                            "registry watch reloaded: "
+                            + json.dumps(summary),
+                            flush=True,
+                        )
+                        last = now_ids
+                    except Exception as error:
+                        print(
+                            f"registry watch reload failed: {error}",
+                            flush=True,
+                        )
+
+        threading.Thread(
+            target=watch, name="registry-watch", daemon=True
+        ).start()
+
     # Poll so signals interrupt promptly (Event.wait without a timeout
     # can block signal delivery on some platforms).
     while not stop.wait(0.2):
         pass
     # Order matters for a clean drain: stop accepting connections, join
-    # the in-flight HTTP handler threads (the engine is still running,
+    # the in-flight HTTP handler threads (the backend is still running,
     # so they finish normally), then drain whatever is still queued.
     server.shutdown()
     server.server_close()
-    engine.stop(drain=True)
-    print("drained; final stats: " + json.dumps(engine.stats()), flush=True)
+    backend.stop(drain=True)
+    print("drained; final stats: " + json.dumps(backend.stats()), flush=True)
     return 0
 
 
@@ -684,6 +766,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--deadline-ms", type=float, default=None,
         help="default per-request deadline in milliseconds "
              "(default: none)",
+    )
+    serve.add_argument(
+        "--replicas", type=int, default=0,
+        help="serve through N pre-fork replica processes, each with "
+             "its own engine and model copies (default 0: single "
+             "in-process engine)",
+    )
+    serve.add_argument(
+        "--watch-registry", type=float, default=0.0, metavar="SECONDS",
+        help="poll the registry every SECONDS and hot-reload when a "
+             "served model's default version changes (default 0: off; "
+             "POST /v1/admin/reload always works)",
     )
     serve.set_defaults(fn=_cmd_serve)
 

@@ -8,11 +8,19 @@ the path from a trained model to answers over the wire:
 * :mod:`repro.serve.registry` — versioned on-disk artifacts with
   integrity manifests (``save_model`` / ``load_model``).
 * :mod:`repro.serve.engine` — admission control, micro-batching,
-  per-worker model replicas, response cache, drain-then-stop shutdown.
+  per-worker model replicas, response cache, in-place model swap,
+  drain-then-stop shutdown.
+* :mod:`repro.serve.pool` — N pre-fork replica processes (shared
+  nothing) behind deterministic routing, with zero-downtime rolling
+  reload from the registry.
 * :mod:`repro.serve.http` — ``POST /v1/qa``, ``POST /v1/verify``,
-  ``GET /healthz``, ``GET /metrics``; in-process and HTTP clients.
-* :mod:`repro.serve.loadgen` — deterministic closed-loop load
-  generation for benchmarks and smoke tests.
+  ``GET /healthz``, ``GET /metrics``, ``POST /v1/admin/reload``;
+  in-process and HTTP clients; serves an engine or a pool.
+* :mod:`repro.serve.loadgen` — deterministic closed-loop *and*
+  open-loop (fixed-rate, coordinated-omission-free) load generation
+  for benchmarks and smoke tests.
+* :mod:`repro.serve.stats` — the shared nearest-rank percentile
+  definition every latency window reports.
 """
 
 from repro.serve.engine import (
@@ -22,6 +30,7 @@ from repro.serve.engine import (
     InferenceResponse,
     PendingResponse,
     Timing,
+    response_from_json,
 )
 from repro.serve.http import (
     HttpServeClient,
@@ -37,6 +46,13 @@ from repro.serve.loadgen import (
     WorkItem,
     build_workload,
     run_load,
+    run_load_open,
+)
+from repro.serve.pool import (
+    PoolConfig,
+    ReplicaPool,
+    ReplicaSpec,
+    pool_from_registry,
 )
 from repro.serve.registry import (
     TASK_QA,
@@ -50,6 +66,7 @@ from repro.serve.registry import (
     save_model,
     schema_fingerprint,
 )
+from repro.serve.stats import nearest_rank_percentiles
 
 __all__ = [
     "EngineConfig",
@@ -63,6 +80,9 @@ __all__ = [
     "ModelRegistry",
     "ParsedRequest",
     "PendingResponse",
+    "PoolConfig",
+    "ReplicaPool",
+    "ReplicaSpec",
     "ServeClient",
     "ServeHTTPServer",
     "TASKS",
@@ -74,8 +94,12 @@ __all__ = [
     "load_model",
     "make_server",
     "model_task",
+    "nearest_rank_percentiles",
     "parse_request_payload",
+    "pool_from_registry",
+    "response_from_json",
     "run_load",
+    "run_load_open",
     "save_model",
     "schema_fingerprint",
     "serve_in_thread",

@@ -49,12 +49,30 @@ from repro.errors import (
 from repro.models.features import tokenize
 from repro.pipelines.samples import ReasoningSample, TaskType
 from repro.sampling.labeler import ClaimLabel
-from repro.serve.registry import TASK_QA, TASK_VERIFY, TASKS, LoadedModel
+from repro.serve.registry import (
+    TASK_QA,
+    TASK_VERIFY,
+    TASKS,
+    LoadedModel,
+    model_task,
+)
+from repro.serve.stats import nearest_rank_percentiles
 from repro.tables.context import TableContext
 from repro.telemetry import Telemetry
 
 #: latency samples kept per task for percentile estimation.
 _LATENCY_WINDOW = 8192
+
+#: per-model-version latency windows kept for canary comparison; the
+#: oldest window is dropped when a reload pushes past this many
+#: distinct model ids.
+_MODEL_WINDOWS = 8
+
+#: recent per-request compute samples backing the retry-after hint.
+#: Bounded so the estimate tracks the *currently served* model: a
+#: lifetime average would stay stale for the rest of the process
+#: lifetime after a reload to a slower/faster model.
+_RETRY_WINDOW = 512
 
 #: fallback retry-after hint when the engine has no throughput estimate.
 _DEFAULT_RETRY_AFTER = 0.05
@@ -196,6 +214,39 @@ class PendingResponse:
         return self._response
 
 
+def response_from_json(payload: dict[str, Any]) -> InferenceResponse:
+    """Rebuild an :class:`InferenceResponse` from its ``to_json`` payload.
+
+    Shared by the HTTP client and the replica pool (replica processes
+    ship responses over a pipe as JSON-compatible dicts).
+    """
+    latency = payload.get("latency") or {}
+    timing = None
+    if latency:
+        timing = Timing(
+            queue_s=latency.get("queue_ms", 0.0) / 1e3,
+            compute_s=latency.get("compute_ms", 0.0) / 1e3,
+            total_s=latency.get("total_ms", 0.0) / 1e3,
+            batch_size=int(latency.get("batch_size", 1)),
+        )
+    return InferenceResponse(
+        id=payload.get("id", ""),
+        task=payload.get("task", TASK_QA),
+        ok=bool(payload.get("ok")),
+        answer=tuple(payload.get("answer") or ()),
+        label=payload.get("label"),
+        error=(
+            payload["error"]
+            if isinstance(payload.get("error"), str)
+            else None
+        ),
+        cached=bool(payload.get("cached")),
+        model=payload.get("model", ""),
+        timing=timing,
+        sanitize=payload.get("sanitize"),
+    )
+
+
 def normalize_sentence(sentence: str) -> str:
     """Cache normalization of a question/claim: token stream only."""
     return " ".join(tokenize(sentence))
@@ -219,13 +270,25 @@ class _ResponseCache:
         self.hits = 0
         self.misses = 0
 
-    def key(self, model_id: str, request: InferenceRequest) -> tuple:
+    def key(self, slot: "_ModelSlot", request: InferenceRequest) -> tuple:
+        # Keyed on the slot's *content fingerprint*, not its model_id:
+        # every unregistered model shares the id "unregistered-{task}@v0",
+        # so an id-keyed cache would serve one model's answers for a
+        # different model swapped in under the same id.
         return (
-            model_id,
+            slot.fingerprint,
             request.task,
             normalize_sentence(request.sentence),
             context_digest(request.context),
         )
+
+    def flush_task(self, task: str) -> int:
+        """Drop every cached response for ``task`` (model reload)."""
+        with self._lock:
+            stale = [key for key in self._entries if key[1] == task]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
 
     def get(self, key: tuple) -> InferenceResponse | None:
         with self._lock:
@@ -249,7 +312,13 @@ class _ResponseCache:
 
 
 class _ModelSlot:
-    """One served model: identity + payload for per-worker replication."""
+    """One served model: identity + payload for per-worker replication.
+
+    ``fingerprint`` is a digest of the artifact *content* (the registry
+    manifest's SHA-256 for registered models, a payload hash
+    otherwise); the response cache keys on it so two different models
+    that happen to share a display id can never share cache entries.
+    """
 
     def __init__(self, task: str, loaded: Any):
         import pickle
@@ -259,10 +328,12 @@ class _ModelSlot:
             self.model = loaded.model
             self.payload = loaded.payload
             self.model_id = loaded.record.model_id
+            self.fingerprint = loaded.record.artifact_sha256
         else:
             self.model = loaded
             self.payload = pickle.dumps(loaded, protocol=4)
             self.model_id = f"unregistered-{task}@v0"
+            self.fingerprint = hashlib.sha256(self.payload).hexdigest()
 
     def replica(self) -> Any:
         import pickle
@@ -318,9 +389,14 @@ class InferenceEngine:
         self._batched_requests = 0
         self._max_batch_seen = 0
         self._compute_seconds = 0.0  # summed per-request compute time
+        self._recent_compute: deque[float] = deque(maxlen=_RETRY_WINDOW)
+        self._reloads = 0
         self._latencies: dict[str, deque[float]] = {
             task: deque(maxlen=_LATENCY_WINDOW) for task in self._slots
         }
+        # per-model-version windows: after a reload, old and new
+        # versions report side by side for canary comparison.
+        self._latencies_by_model: dict[str, deque[float]] = {}
         self._sanitize = {
             "requests": 0,
             "tables_changed": 0,
@@ -412,7 +488,7 @@ class InferenceEngine:
         if self._cache.size > 0:
             # digest outside the lock: hashing a big table must not
             # serialize admissions.
-            cache_key = self._cache.key(slot.model_id, request)
+            cache_key = self._cache.key(slot, request)
         now = time.monotonic()
         with self._cond:
             self.accepted += 1
@@ -512,29 +588,82 @@ class InferenceEngine:
                 self.telemetry.increment("serve", "sanitize_changed")
 
     def _retry_after_locked(self) -> float:
-        """Seconds until capacity likely frees (caller holds the lock)."""
-        done = self.completed
-        if done <= 0 or self._compute_seconds <= 0:
+        """Seconds until capacity likely frees (caller holds the lock).
+
+        Estimated from a bounded window of *recent* per-request compute
+        times, not the lifetime average: after a reload to a model with
+        a different speed, a lifetime ``compute_seconds / completed``
+        average would keep hinting the old model's pace for the rest of
+        the process lifetime.
+        """
+        if not self._recent_compute:
             return _DEFAULT_RETRY_AFTER
-        per_request = self._compute_seconds / done
+        per_request = sum(self._recent_compute) / len(self._recent_compute)
         backlog = self._queued + self._computing
         estimate = per_request * backlog / max(1, self.config.workers)
         return min(5.0, max(0.005, estimate))
 
+    # -- model reload -------------------------------------------------------
+    def swap_model(self, task: str, loaded: Any) -> dict[str, str]:
+        """Swap the served model for ``task`` in place, zero downtime.
+
+        The single-process reload path (the multi-process path replaces
+        whole replicas; see :mod:`repro.serve.pool`).  Worker threads
+        pick up the new slot on their next batch — requests already
+        being computed finish on the old model and are tagged with its
+        ``model_id``.  The response cache's entries for ``task`` are
+        flushed, and the retry-after window is reset so the overload
+        hint re-learns the new model's pace.
+        """
+        if task not in self._slots:
+            raise ServeError(
+                f"no model loaded for task {task!r} "
+                f"(serving: {', '.join(sorted(self._slots))})"
+            )
+        try:
+            new_task = (
+                loaded.record.task if isinstance(loaded, LoadedModel)
+                else model_task(loaded)
+            )
+        except RegistryError:
+            # bare stand-ins (tests, stubs) aren't registry-typed;
+            # __init__ accepts them, so the swap path must too.
+            new_task = task
+        if new_task != task:
+            raise ServeError(
+                f"cannot swap a {new_task!r} model into the {task!r} slot"
+            )
+        slot = _ModelSlot(task, loaded)
+        with self._cond:
+            old = self._slots[task]
+            self._slots[task] = slot
+            self._reloads += 1
+            self._recent_compute.clear()
+            self.telemetry.increment("serve", "reloads")
+        self._cache.flush_task(task)
+        return {"task": task, "old": old.model_id, "new": slot.model_id}
+
     # -- worker side --------------------------------------------------------
     def _worker(self) -> None:
-        if self.config.replicate_models:
-            models = {
-                task: slot.replica() for task, slot in self._slots.items()
-            }
-        else:
-            models = {task: slot.model for task, slot in self._slots.items()}
+        # Per-worker model replicas, re-resolved per batch by slot
+        # identity so a swap_model() reload takes effect on the very
+        # next batch without restarting workers.
+        replicas: dict[str, tuple[_ModelSlot, Any]] = {}
         while True:
             taken = self._take_batch()
             if taken is None:
                 return
             task, batch = taken
-            self._run_batch(task, models[task], batch)
+            slot = self._slots[task]
+            cached = replicas.get(task)
+            if cached is None or cached[0] is not slot:
+                model = (
+                    slot.replica()
+                    if self.config.replicate_models
+                    else slot.model
+                )
+                replicas[task] = (slot, model)
+            self._run_batch(task, slot, replicas[task][1], batch)
 
     def _pick_task_locked(self) -> str | None:
         """The task whose queue head has waited longest (FIFO across tasks)."""
@@ -606,9 +735,13 @@ class InferenceEngine:
         )
 
     def _run_batch(
-        self, task: str, model: Any, batch: list[PendingResponse]
+        self,
+        task: str,
+        slot: _ModelSlot,
+        model: Any,
+        batch: list[PendingResponse],
     ) -> None:
-        model_id = self._slots[task].model_id
+        model_id = slot.model_id
         now = time.monotonic()
         live: list[PendingResponse] = []
         finished: list[tuple[PendingResponse, InferenceResponse]] = []
@@ -702,14 +835,27 @@ class InferenceEngine:
                         self.telemetry.increment("serve", "deadline_expired")
                 if response.timing is not None:
                     self._compute_seconds += response.timing.compute_s
+                    if response.timing.compute_s > 0:
+                        self._recent_compute.append(
+                            response.timing.compute_s
+                        )
                     self._latencies[task].append(response.timing.total_s)
+                    window = self._latencies_by_model.get(response.model)
+                    if window is None:
+                        while len(self._latencies_by_model) >= _MODEL_WINDOWS:
+                            self._latencies_by_model.pop(
+                                next(iter(self._latencies_by_model))
+                            )
+                        window = deque(maxlen=_LATENCY_WINDOW)
+                        self._latencies_by_model[response.model] = window
+                    window.append(response.timing.total_s)
         for pending, response in finished:
             if (
                 response.ok
                 and self._cache.size > 0
             ):
                 self._cache.put(
-                    self._cache.key(model_id, pending.request), response
+                    self._cache.key(slot, pending.request), response
                 )
             pending._complete(response)
         with self._cond:
@@ -728,20 +874,7 @@ class InferenceEngine:
 
     @staticmethod
     def _percentiles(values: list[float]) -> dict[str, float]:
-        if not values:
-            return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0, "count": 0}
-        ordered = sorted(values)
-
-        def at(q: float) -> float:
-            index = min(len(ordered) - 1, int(q * len(ordered)))
-            return round(ordered[index] * 1e3, 3)
-
-        return {
-            "p50_ms": at(0.50),
-            "p95_ms": at(0.95),
-            "p99_ms": at(0.99),
-            "count": len(ordered),
-        }
+        return nearest_rank_percentiles(values)
 
     def stats(self) -> dict[str, Any]:
         """A JSON-compatible snapshot of engine accounting.
@@ -756,6 +889,10 @@ class InferenceEngine:
             latencies = {
                 task: self._percentiles(list(window))
                 for task, window in self._latencies.items()
+            }
+            latencies_by_model = {
+                model_id: self._percentiles(list(window))
+                for model_id, window in self._latencies_by_model.items()
             }
             snapshot: dict[str, Any] = {
                 "uptime_s": round(uptime, 3),
@@ -786,10 +923,12 @@ class InferenceEngine:
                     ),
                 },
                 "latency": latencies,
+                "latency_by_model": latencies_by_model,
                 "sanitize": dict(self._sanitize),
                 "models": {
                     task: slot.model_id for task, slot in self._slots.items()
                 },
+                "reloads": self._reloads,
                 "draining": self._stopping,
                 "workers": self.config.workers,
                 "max_batch_size": self.config.max_batch_size,

@@ -10,6 +10,14 @@ Endpoints (all JSON):
 * ``GET /metrics``     — the engine's stats snapshot (throughput,
   p50/p95/p99 latency, batch sizes, cache hit rate, queue depth,
   rejects; ``accepted == completed + rejected + in_flight``).
+* ``POST /v1/admin/reload`` — zero-downtime reload of the registry's
+  current default model versions (501 when the server was started
+  without a registry-backed reloader).
+
+The frontend serves either backend behind the same surface: a
+single-process :class:`~repro.serve.engine.InferenceEngine` or a
+multi-process :class:`~repro.serve.pool.ReplicaPool` — both expose
+``infer`` / ``stats`` / ``note_sanitize``.
 
 ``context`` is the :meth:`repro.tables.context.TableContext.to_json`
 payload.  Adding ``"sanitize": true`` runs the messy-table sanitizer
@@ -53,7 +61,11 @@ from repro.errors import (
 )
 from repro.runtime.retry import RetryPolicy
 from repro.sanitize import sanitize_context, sanitize_table_payload
-from repro.serve.engine import InferenceEngine, InferenceResponse, Timing
+from repro.serve.engine import (
+    InferenceEngine,
+    InferenceResponse,
+    response_from_json,
+)
 from repro.serve.registry import TASK_QA, TASK_VERIFY
 from repro.tables.context import TableContext
 
@@ -306,6 +318,9 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
 
     # -- POST ---------------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/v1/admin/reload":
+            self._handle_reload()
+            return
         task = _TASK_ROUTES.get(self.path)
         if task is None:
             self._send_error_json(404, "not_found", f"no route {self.path!r}")
@@ -366,6 +381,43 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
             )
         self._send_json(200, response.to_json())
 
+    def _handle_reload(self) -> None:
+        """``POST /v1/admin/reload`` — swap in the registry's defaults.
+
+        Delegates to the server's ``reloader`` callback (wired by the
+        CLI: an engine ``swap_model`` pass in single-process mode, a
+        rolling replica replacement in ``--replicas`` mode).  Servers
+        constructed without one answer 501: they have no registry to
+        reload from.
+        """
+        reloader = getattr(self.server, "reloader", None)
+        if reloader is None:
+            self._send_error_json(
+                501, "not_implemented",
+                "this server has no reloader (started without a "
+                "registry to reload from)",
+            )
+            return
+        # the body is accepted-and-ignored for forward compatibility;
+        # drain it so HTTP/1.1 keep-alive framing stays intact.
+        try:
+            length = int(self.headers.get("Content-Length", 0) or 0)
+        except (TypeError, ValueError):
+            length = 0
+        if length > 0:
+            self.rfile.read(min(length, MAX_BODY_BYTES))
+        try:
+            summary = reloader()
+        except ReproError as error:
+            self._send_error_json(409, "reload_failed", str(error))
+            return
+        except Exception as error:  # registry IO, spawn failures, …
+            self._send_error_json(
+                500, "reload_failed", f"{type(error).__name__}: {error}"
+            )
+            return
+        self._send_json(200, {"ok": True, "reload": summary})
+
 
 class ServeHTTPServer(ThreadingHTTPServer):
     """A threading HTTP server bound to one inference engine."""
@@ -378,10 +430,18 @@ class ServeHTTPServer(ThreadingHTTPServer):
     # gets to rule on anything.
     request_queue_size = 128
 
-    def __init__(self, address: tuple[str, int], engine: InferenceEngine):
+    def __init__(
+        self,
+        address: tuple[str, int],
+        engine: Any,
+        reloader: Any = None,
+    ):
         super().__init__(address, ServeRequestHandler)
         self.engine = engine
         self.verbose = False
+        #: zero-arg callable performing a model reload and returning a
+        #: JSON-compatible summary; ``None`` disables /v1/admin/reload.
+        self.reloader = reloader
 
     @property
     def port(self) -> int:
@@ -389,10 +449,19 @@ class ServeHTTPServer(ThreadingHTTPServer):
 
 
 def make_server(
-    engine: InferenceEngine, host: str = "127.0.0.1", port: int = 0
+    engine: Any,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    reloader: Any = None,
 ) -> ServeHTTPServer:
-    """Bind a :class:`ServeHTTPServer` (``port=0`` picks a free port)."""
-    return ServeHTTPServer((host, port), engine)
+    """Bind a :class:`ServeHTTPServer` (``port=0`` picks a free port).
+
+    ``engine`` is anything with the engine's serving surface —
+    ``infer`` / ``stats`` / ``note_sanitize`` — i.e. an
+    :class:`~repro.serve.engine.InferenceEngine` or a
+    :class:`~repro.serve.pool.ReplicaPool`.
+    """
+    return ServeHTTPServer((host, port), engine, reloader=reloader)
 
 
 def serve_in_thread(server: ServeHTTPServer) -> threading.Thread:
@@ -594,33 +663,25 @@ class HttpServeClient(_BaseClient):
             raise ServeError(
                 f"HTTP {error.code} from {self.base_url}: {detail}"
             ) from error
-        return _response_from_json(payload)
+        return response_from_json(payload)
 
-
-def _response_from_json(payload: dict[str, Any]) -> InferenceResponse:
-    latency = payload.get("latency") or {}
-    timing = None
-    if latency:
-        timing = Timing(
-            queue_s=latency.get("queue_ms", 0.0) / 1e3,
-            compute_s=latency.get("compute_ms", 0.0) / 1e3,
-            total_s=latency.get("total_ms", 0.0) / 1e3,
-            batch_size=int(latency.get("batch_size", 1)),
+    def reload(self, timeout: float | None = None) -> dict[str, Any]:
+        """``POST /v1/admin/reload``; returns the reload summary."""
+        request = urllib.request.Request(
+            self.base_url + "/v1/admin/reload",
+            data=b"{}",
+            headers={"Content-Type": "application/json"},
+            method="POST",
         )
-    task = payload.get("task", TASK_QA)
-    return InferenceResponse(
-        id=payload.get("id", ""),
-        task=task,
-        ok=bool(payload.get("ok")),
-        answer=tuple(payload.get("answer") or ()),
-        label=payload.get("label"),
-        error=(
-            payload["error"]
-            if isinstance(payload.get("error"), str)
-            else None
-        ),
-        cached=bool(payload.get("cached")),
-        model=payload.get("model", ""),
-        timing=timing,
-        sanitize=payload.get("sanitize"),
-    )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=timeout or self.timeout
+            ) as reply:
+                return json.loads(reply.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            detail = error.read().decode("utf-8", "replace")
+            raise ServeError(
+                f"reload failed: HTTP {error.code}: {detail}"
+            ) from error
+
+

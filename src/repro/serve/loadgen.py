@@ -1,4 +1,4 @@
-"""Deterministic closed-loop load generator for the serving stack.
+"""Deterministic load generator for the serving stack.
 
 :func:`build_workload` derives a reproducible stream of QA questions and
 verification claims from any list of :class:`TableContext`\\ s — it reads
@@ -16,6 +16,17 @@ the in-process :class:`~repro.serve.http.ServeClient` or the real-HTTP
 outcomes into a :class:`LoadReport` (sustained RPS, latency
 percentiles, overload rejections, errors) that the serving benchmark
 commits to ``benchmarks/BENCH_serve.json``.
+
+:func:`run_load_open` drives the same workload *open-loop*: requests
+fire on a fixed arrival schedule (``rate`` per second) regardless of
+how fast earlier ones complete, and each latency is measured from the
+request's *scheduled* arrival time — the coordinated-omission-free
+discipline.  A closed loop politely stops offering load while the
+server stalls, hiding exactly the tail a stall creates; the open loop
+keeps the meter running, so a 1-second hiccup shows up as 1 second of
+queueing in p99 instead of disappearing.  Use closed-loop numbers for
+*sustainable capacity* and open-loop numbers for *latency at an
+offered rate*.
 """
 
 from __future__ import annotations
@@ -28,6 +39,7 @@ from typing import Any, Sequence
 from repro.errors import OverloadedError, ServeError
 from repro.rng import rng_from_key
 from repro.serve.registry import TASK_QA, TASK_VERIFY
+from repro.serve.stats import nearest_rank_percentiles
 from repro.tables.context import TableContext
 
 
@@ -149,7 +161,15 @@ def build_workload(
 
 @dataclass
 class LoadReport:
-    """What a closed-loop run measured."""
+    """What a load run measured.
+
+    ``mode`` is ``"closed"`` or ``"open"``; ``offered_rps`` is the
+    scheduled arrival rate (open-loop only — a closed loop has no
+    offered rate independent of service capacity).  In open-loop
+    reports every latency is measured from the request's *scheduled*
+    arrival, so queueing delay caused by a saturated server is part of
+    the number (coordinated-omission-free).
+    """
 
     duration_s: float
     clients: int
@@ -159,9 +179,12 @@ class LoadReport:
     errors: int
     rps: float
     latency: dict[str, dict[str, float]] = field(default_factory=dict)
+    mode: str = "closed"
+    offered_rps: float | None = None
 
     def to_json(self) -> dict[str, Any]:
-        return {
+        out = {
+            "mode": self.mode,
             "duration_s": round(self.duration_s, 4),
             "clients": self.clients,
             "sent": self.sent,
@@ -171,23 +194,13 @@ class LoadReport:
             "rps": round(self.rps, 2),
             "latency": self.latency,
         }
+        if self.offered_rps is not None:
+            out["offered_rps"] = round(self.offered_rps, 2)
+        return out
 
 
 def _percentiles(samples: list[float]) -> dict[str, float]:
-    if not samples:
-        return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0, "count": 0}
-    ordered = sorted(samples)
-
-    def at(q: float) -> float:
-        index = min(len(ordered) - 1, int(q * len(ordered)))
-        return round(ordered[index] * 1e3, 3)
-
-    return {
-        "p50_ms": at(0.50),
-        "p95_ms": at(0.95),
-        "p99_ms": at(0.99),
-        "count": len(ordered),
-    }
+    return nearest_rank_percentiles(samples)
 
 
 def run_load(
@@ -266,4 +279,96 @@ def run_load(
             TASK_QA: _percentiles(latencies[TASK_QA]),
             TASK_VERIFY: _percentiles(latencies[TASK_VERIFY]),
         },
+    )
+
+
+def run_load_open(
+    client: Any,
+    workload: Sequence[WorkItem],
+    *,
+    rate: float,
+    clients: int = 8,
+) -> LoadReport:
+    """Drive ``workload`` open-loop at a fixed arrival rate.
+
+    Request ``i`` is *scheduled* at ``t0 + i / rate`` and issued by the
+    first free client thread at or after that instant; its latency is
+    ``completion - scheduled arrival``, so time a request spends
+    waiting because the server (or every client thread) was busy
+    counts against the tail instead of silently stretching the
+    schedule.  That is the coordinated-omission-free discipline: the
+    offered load never adapts to service speed.
+
+    ``clients`` bounds in-flight concurrency from the generator side;
+    size it well above ``rate × expected latency`` or the generator
+    itself becomes the queue (which the numbers will then honestly
+    report as latency).
+    """
+    if rate <= 0:
+        raise ServeError("open-loop rate must be > 0 requests/second")
+    if clients < 1:
+        raise ServeError("clients must be >= 1")
+    lock = threading.Lock()
+    latencies: dict[str, list[float]] = {TASK_QA: [], TASK_VERIFY: []}
+    counts = {"completed": 0, "rejected": 0, "errors": 0}
+    next_index = [0]
+    t0 = time.perf_counter() + 0.05  # small lead so slot 0 isn't late
+
+    def drive() -> None:
+        while True:
+            with lock:
+                index = next_index[0]
+                if index >= len(workload):
+                    return
+                next_index[0] = index + 1
+            item = workload[index]
+            scheduled = t0 + index / rate
+            delay = scheduled - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            call = client.qa if item.task == TASK_QA else client.verify
+            kwargs = {"sanitize": True} if item.sanitize else {}
+            try:
+                response = call(item.sentence, item.context, **kwargs)
+            except OverloadedError:
+                with lock:
+                    counts["rejected"] += 1
+                continue
+            except Exception:
+                with lock:
+                    counts["errors"] += 1
+                continue
+            elapsed = time.perf_counter() - scheduled
+            with lock:
+                if response.ok:
+                    counts["completed"] += 1
+                    latencies[item.task].append(elapsed)
+                else:
+                    counts["errors"] += 1
+
+    threads = [
+        threading.Thread(target=drive, name=f"loadgen-open-{i}", daemon=True)
+        for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    duration = max(1e-9, time.perf_counter() - t0)
+    all_latencies = latencies[TASK_QA] + latencies[TASK_VERIFY]
+    return LoadReport(
+        duration_s=duration,
+        clients=clients,
+        sent=len(workload),
+        completed=counts["completed"],
+        rejected=counts["rejected"],
+        errors=counts["errors"],
+        rps=counts["completed"] / duration,
+        latency={
+            "overall": _percentiles(all_latencies),
+            TASK_QA: _percentiles(latencies[TASK_QA]),
+            TASK_VERIFY: _percentiles(latencies[TASK_VERIFY]),
+        },
+        mode="open",
+        offered_rps=rate,
     )

@@ -1,0 +1,924 @@
+"""Multi-process replica pool: pre-fork serving beyond the GIL.
+
+The thread-based :class:`~repro.serve.engine.InferenceEngine` batches
+well but lives in one process, so Python's GIL caps CPU-bound QA/verify
+inference no matter how many threads it runs.  :class:`ReplicaPool`
+puts N *replica processes* behind the same serving surface — each
+replica owns its own engine and its own model instances loaded from
+the registry (shared-nothing: no shared memory, no locks across
+processes), and the parent routes each request to exactly one replica
+over a private pipe.
+
+Topology::
+
+    HTTP frontend (parent process, threads)
+        │  ReplicaPool.infer(task, sentence, context)
+        │  deterministic route: sha256(task·sentence·context) % N
+        ├── pipe ── replica 0: InferenceEngine + model replicas
+        ├── pipe ── replica 1:        "
+        └── pipe ── replica N-1:      "
+
+Routing is *deterministic*: the replica index is a stable hash of the
+request content (task, normalized sentence, context digest), so a
+repeated request always lands on the same replica and its response
+cache — cache locality survives scale-out, and a given request's
+placement is reproducible across runs of the same pool shape.
+
+Zero-downtime reload (``reload()``): for each slot, a *fresh* replica
+process is spawned loading the registry's current default version; only
+after it reports ready is it swapped into the routing table, and only
+then is the old replica drained — it finishes every request already
+routed to it, request by request, then exits.  At every instant each
+slot has a serving replica, so a sustained request stream sees zero
+failures across a reload.  Responses are tagged with the serving
+``model_id`` (the engine already does this) and the pool keeps
+per-model-version latency windows, so ``/metrics`` reads as a canary
+comparison across versions while old and new overlap.
+
+A replica that dies unexpectedly (OOM kill, segfault) fails its
+in-flight requests with error responses, is removed from the routing
+table, and a replacement is spawned in the background
+(``replica_restarts`` counts these).
+
+Replica processes are started with the ``spawn`` method: the parent
+runs many threads (HTTP handlers, pipe readers), and forking a
+multi-threaded process can deadlock on locks held mid-operation by
+other threads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import (
+    EngineStoppedError,
+    OverloadedError,
+    ServeError,
+)
+from repro.serve.engine import (
+    EngineConfig,
+    InferenceRequest,
+    InferenceResponse,
+    Timing,
+    context_digest,
+    normalize_sentence,
+    response_from_json,
+)
+from repro.serve.registry import TASKS, ModelRegistry
+from repro.serve.stats import nearest_rank_percentiles
+from repro.telemetry import Telemetry
+
+#: latency samples kept per task / per model version at the pool level.
+_LATENCY_WINDOW = 8192
+
+#: per-model-version windows kept for canary comparison.
+_MODEL_WINDOWS = 8
+
+#: how long the parent waits for a freshly spawned replica's ready
+#: handshake (model loading + imports happen inside this budget).
+_SPAWN_TIMEOUT = 120.0
+
+#: resubmission budget for requests that race a rolling reload: a
+#: request dispatched to a replica in the same instant it begins
+#: draining is bounced with a "stopped" rejection and retried on the
+#: slot's fresh replica.
+_REROUTE_ATTEMPTS = 3
+
+
+@dataclass(frozen=True)
+class ReplicaSpec:
+    """What a replica process loads: registry + one model per task.
+
+    ``versions`` maps task -> (name, version); ``version`` may be
+    ``None``, meaning *resolve the registry default at load time* —
+    that resolution happens inside the replica process, so a reload
+    that spawns fresh replicas picks up a default pointer moved since
+    the pool started.
+    """
+
+    registry_dir: str
+    models: tuple[tuple[str, str, str | None], ...]  # (task, name, version)
+
+    def resolve(self) -> dict[str, Any]:
+        """Load and verify every model (runs inside the replica)."""
+        registry = ModelRegistry(self.registry_dir)
+        return {
+            task: registry.load(name, version)
+            for task, name, version in self.models
+        }
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Pool shape and per-replica engine policy."""
+
+    replicas: int = 2
+    engine: EngineConfig = field(default_factory=EngineConfig)
+    #: parent-side wait for one response before giving up on it.
+    request_timeout_s: float = 30.0
+    #: respawn replicas that die unexpectedly.
+    restart_dead_replicas: bool = True
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ServeError("replicas must be >= 1")
+
+
+def _replica_main(spec: ReplicaSpec, config: EngineConfig, conn) -> None:
+    """Entry point of one replica process (runs under ``spawn``).
+
+    Protocol (parent -> replica):
+
+    * ``("infer", rid, request_fields…)`` — submit to the engine;
+      replied with ``("response", rid, response_json)`` or
+      ``("rejected", rid, kind, message, retry_after)``.
+    * ``("stats", rid)`` — replied with ``("stats", rid, stats_json)``.
+    * ``("stop", drain)`` — drain (or fail fast) the engine, flush all
+      pending replies, send ``("bye",)``, exit.
+
+    The engine does the real work; this loop only moves messages.  A
+    single reader thread (this function) submits, and a small responder
+    pool relays completed results so a slow request never blocks the
+    pipe behind it.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.serve.engine import InferenceEngine
+
+    engine = InferenceEngine(spec.resolve(), config)
+    engine.start()
+    send_lock = threading.Lock()
+    responders = ThreadPoolExecutor(
+        max_workers=max(4, config.workers * 2),
+        thread_name_prefix="replica-responder",
+    )
+
+    def send(message: tuple) -> None:
+        with send_lock:
+            try:
+                conn.send(message)
+            except (BrokenPipeError, OSError):  # parent died; exit below
+                pass
+
+    def relay(rid: int, pending) -> None:
+        try:
+            response = pending.result(timeout=None)
+            send(("response", rid, response.to_json()))
+        except Exception as error:  # never lose a reply slot
+            send(("rejected", rid, "error",
+                  f"{type(error).__name__}: {error}", 0.0))
+
+    stats = engine.stats()
+    send(("ready", {
+        "pid": os.getpid(),
+        "models": stats["models"],
+    }))
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                # parent died or closed the pipe: fail fast, don't linger
+                engine.stop(drain=False, timeout=5.0)
+                return
+            kind = message[0]
+            if kind == "infer":
+                _, rid, task, sentence, context, deadline_s, request_id = (
+                    message
+                )
+                request = InferenceRequest(
+                    id=request_id, task=task, sentence=sentence,
+                    context=context, deadline_s=deadline_s,
+                )
+                try:
+                    pending = engine.submit(request)
+                except OverloadedError as error:
+                    send(("rejected", rid, "overloaded", str(error),
+                          error.retry_after))
+                except EngineStoppedError as error:
+                    send(("rejected", rid, "stopped", str(error), 0.0))
+                except ServeError as error:
+                    send(("rejected", rid, "error", str(error), 0.0))
+                else:
+                    responders.submit(relay, rid, pending)
+            elif kind == "stats":
+                send(("stats", message[1], engine.stats()))
+            elif kind == "stop":
+                drain = bool(message[1])
+                engine.stop(drain=drain)
+                responders.shutdown(wait=True)
+                # Grace window: an infer that raced into the pipe
+                # behind the stop message would otherwise sit unread
+                # until the parent's request timeout.  Reject each with
+                # the typed "stopped" verdict so the parent reroutes it
+                # to the slot's fresh replica immediately.
+                while conn.poll(0.25):
+                    try:
+                        extra = conn.recv()
+                    except (EOFError, OSError):
+                        break
+                    if extra[0] == "infer":
+                        send(("rejected", extra[1], "stopped",
+                              "replica draining", 0.0))
+                    elif extra[0] == "stats":
+                        send(("stats", extra[1], engine.stats()))
+                send(("bye", engine.stats()))
+                return
+    finally:
+        responders.shutdown(wait=False)
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+class _Waiter:
+    """Parent-side slot for one in-flight cross-process request."""
+
+    __slots__ = ("event", "kind", "value")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.kind: str | None = None
+        self.value: Any = None
+
+    def complete(self, kind: str, value: Any) -> None:
+        self.kind = kind
+        self.value = value
+        self.event.set()
+
+
+class _ReplicaHandle:
+    """Parent-side view of one replica process: pipe, waiters, state."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, spec: ReplicaSpec, config: EngineConfig, slot: int):
+        self.spec = spec
+        self.config = config
+        self.slot = slot
+        self.uid = next(self._ids)
+        self.models: dict[str, str] = {}
+        self.pid: int | None = None
+        self.draining = False
+        self.dead = False
+        self._stop_sent = False
+        self._send_lock = threading.Lock()
+        self._waiters: dict[int, _Waiter] = {}
+        self._waiters_lock = threading.Lock()
+        self._rid = itertools.count(1)
+        self._process = None
+        self._conn = None
+        self._reader: threading.Thread | None = None
+        self._final_stats: dict[str, Any] | None = None
+        self.started_at = time.monotonic()
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self, timeout: float = _SPAWN_TIMEOUT) -> "_ReplicaHandle":
+        import multiprocessing
+
+        context = multiprocessing.get_context("spawn")
+        parent_conn, child_conn = context.Pipe(duplex=True)
+        self._conn = parent_conn
+        self._process = context.Process(
+            target=_replica_main,
+            args=(self.spec, self.config, child_conn),
+            name=f"serve-replica-{self.slot}-{self.uid}",
+            daemon=True,
+        )
+        self._process.start()
+        child_conn.close()
+        if not parent_conn.poll(timeout):
+            self.terminate()
+            raise ServeError(
+                f"replica {self.slot} did not come up within {timeout}s"
+            )
+        kind, info = parent_conn.recv()
+        if kind != "ready":  # pragma: no cover - defensive
+            self.terminate()
+            raise ServeError(
+                f"replica {self.slot} sent {kind!r} instead of ready"
+            )
+        self.models = dict(info["models"])
+        self.pid = info["pid"]
+        self._reader = threading.Thread(
+            target=self._read_loop,
+            name=f"replica-reader-{self.slot}-{self.uid}",
+            daemon=True,
+        )
+        self._reader.start()
+        return self
+
+    def _read_loop(self) -> None:
+        while True:
+            try:
+                message = self._conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = message[0]
+            if kind == "bye":
+                self._final_stats = message[1]
+                break
+            rid = message[1]
+            with self._waiters_lock:
+                waiter = self._waiters.pop(rid, None)
+            if waiter is not None:
+                waiter.complete(kind, message[2:])
+        self.dead = True
+        # fail whatever is still waiting: the process is gone.
+        with self._waiters_lock:
+            orphans = list(self._waiters.values())
+            self._waiters.clear()
+        for waiter in orphans:
+            waiter.complete(
+                "died", ("replica process exited mid-request",)
+            )
+
+    def _send(self, message: tuple) -> None:
+        with self._send_lock:
+            self._conn.send(message)
+
+    # -- requests -----------------------------------------------------------
+    def infer_remote(
+        self, request: InferenceRequest, timeout: float
+    ) -> InferenceResponse:
+        """Ship one request over the pipe and wait for its reply.
+
+        Raises :class:`OverloadedError` / :class:`EngineStoppedError`
+        mirroring the replica engine's admission verdicts; a dead
+        replica or a parent-side timeout surfaces as :class:`ServeError`
+        so the pool can decide how to account for it.
+        """
+        if self.dead:
+            raise ServeError("replica is dead")
+        if self.draining:
+            # fast path for the reload race: the routing table already
+            # (or imminently) holds this slot's replacement.
+            raise EngineStoppedError("replica is draining")
+        rid = next(self._rid)
+        waiter = _Waiter()
+        with self._waiters_lock:
+            self._waiters[rid] = waiter
+        try:
+            self._send((
+                "infer", rid, request.task, request.sentence,
+                request.context, request.deadline_s, request.id,
+            ))
+        except (BrokenPipeError, OSError) as error:
+            with self._waiters_lock:
+                self._waiters.pop(rid, None)
+            raise ServeError(f"replica pipe closed: {error}") from error
+        if not waiter.event.wait(timeout):
+            with self._waiters_lock:
+                self._waiters.pop(rid, None)
+            raise ServeError(
+                f"timed out after {timeout}s waiting on replica "
+                f"{self.slot} (pid {self.pid})"
+            )
+        if waiter.kind == "response":
+            return response_from_json(waiter.value[0])
+        if waiter.kind == "rejected":
+            verdict, message, retry_after = waiter.value
+            if verdict == "overloaded":
+                raise OverloadedError(message, retry_after=retry_after)
+            if verdict == "stopped":
+                raise EngineStoppedError(message)
+            raise ServeError(message)
+        raise ServeError(str(waiter.value[0]))  # "died"
+
+    def stats_remote(self, timeout: float = 5.0) -> dict[str, Any] | None:
+        """The replica engine's stats snapshot (None if unreachable)."""
+        if self.dead:
+            return self._final_stats
+        rid = next(self._rid)
+        waiter = _Waiter()
+        with self._waiters_lock:
+            self._waiters[rid] = waiter
+        try:
+            self._send(("stats", rid))
+        except (BrokenPipeError, OSError):
+            return self._final_stats
+        if not waiter.event.wait(timeout):
+            with self._waiters_lock:
+                self._waiters.pop(rid, None)
+            return None
+        if waiter.kind != "stats":
+            return None
+        return waiter.value[0]
+
+    # -- shutdown -----------------------------------------------------------
+    def stop(self, drain: bool = True, timeout: float = 60.0) -> None:
+        """Ask the replica to drain and exit, then join the process."""
+        if self._stop_sent:
+            self.join(timeout)
+            return
+        self._stop_sent = True
+        try:
+            self._send(("stop", drain))
+        except (BrokenPipeError, OSError):
+            pass
+        self.join(timeout)
+
+    def join(self, timeout: float = 60.0) -> None:
+        process = self._process
+        if process is None:
+            return
+        process.join(timeout)
+        if process.is_alive():  # pragma: no cover - defensive
+            process.terminate()
+            process.join(5.0)
+        self.dead = True
+
+    def terminate(self) -> None:
+        if self._process is not None and self._process.is_alive():
+            self._process.terminate()
+            self._process.join(5.0)
+        self.dead = True
+
+
+class ReplicaPool:
+    """N pre-fork serving replicas behind the engine's serving surface.
+
+    Exposes the same ``infer`` / ``stats`` / ``note_sanitize`` surface
+    as :class:`~repro.serve.engine.InferenceEngine`, so the HTTP
+    frontend and the in-process :class:`~repro.serve.http.ServeClient`
+    work against either interchangeably.
+    """
+
+    def __init__(
+        self,
+        registry_dir: str,
+        models: dict[str, tuple[str, str | None]],
+        config: PoolConfig | None = None,
+        telemetry: Telemetry | None = None,
+    ):
+        if not models:
+            raise ServeError("pool needs at least one (task, model) pair")
+        for task in models:
+            if task not in TASKS:
+                raise ServeError(f"unknown task {task!r} in models mapping")
+        self.registry_dir = str(registry_dir)
+        self.config = config or PoolConfig()
+        self.telemetry = telemetry or Telemetry()
+        self._model_names = dict(models)
+        self._spec = ReplicaSpec(
+            registry_dir=self.registry_dir,
+            models=tuple(
+                (task, name, version)
+                for task, (name, version) in sorted(models.items())
+            ),
+        )
+        # routing table: slot index -> live handle. Swapped atomically
+        # under _route_lock (reads take the lock briefly; the actual
+        # request wait happens outside it).
+        self._slots: list[_ReplicaHandle | None] = (
+            [None] * self.config.replicas
+        )
+        self._route_lock = threading.Lock()
+        self._reload_lock = threading.Lock()
+        self._draining_handles: list[_ReplicaHandle] = []
+        self._started = False
+        self._stopping = False
+        self._started_at = time.monotonic()
+        self._ids = itertools.count(1)
+        # pool-level accounting (own lock; replicas keep their own too)
+        self._lock = threading.Lock()
+        self.accepted = 0
+        self.completed = 0
+        self.rejected = 0
+        self.errors = 0
+        self.reloads = 0
+        self.replica_restarts = 0
+        self._latencies: dict[str, Any] = {}
+        self._latencies_by_model: dict[str, Any] = {}
+        self._sanitize = {
+            "requests": 0,
+            "tables_changed": 0,
+            "cells_repaired": 0,
+            "cells_nulled": 0,
+            "cells_kept_text": 0,
+            "structure_repairs": 0,
+            "stage_errors": 0,
+        }
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> "ReplicaPool":
+        """Spawn every replica and wait for all ready handshakes."""
+        if self._started:
+            return self
+        for slot in range(self.config.replicas):
+            handle = _ReplicaHandle(self._spec, self.config.engine, slot)
+            handle.start()
+            with self._route_lock:
+                self._slots[slot] = handle
+        self._started = True
+        self._started_at = time.monotonic()
+        return self
+
+    def stop(self, drain: bool = True, timeout: float = 60.0) -> None:
+        """Stop every replica (with ``drain``, in-flight work finishes)."""
+        self._stopping = True
+        with self._route_lock:
+            handles = [h for h in self._slots if h is not None]
+            draining = list(self._draining_handles)
+            self._draining_handles = []
+        for handle in handles + draining:
+            handle.stop(drain=drain, timeout=timeout)
+        self._started = False
+
+    def __enter__(self) -> "ReplicaPool":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop(drain=True)
+
+    @property
+    def draining(self) -> bool:
+        return self._stopping
+
+    # -- routing ------------------------------------------------------------
+    def route(self, task: str, sentence: str, digest: str) -> int:
+        """Deterministic slot index for one request's content."""
+        key = f"{task}\x1f{normalize_sentence(sentence)}\x1f{digest}"
+        bucket = int.from_bytes(
+            hashlib.sha256(key.encode("utf-8")).digest()[:8], "big"
+        )
+        return bucket % self.config.replicas
+
+    def _handle_for(self, slot: int) -> _ReplicaHandle:
+        with self._route_lock:
+            handle = self._slots[slot]
+        if handle is None or handle.dead:
+            raise ServeError(f"slot {slot} has no live replica")
+        return handle
+
+    # -- serving surface ----------------------------------------------------
+    def infer(
+        self,
+        task: str,
+        sentence: str,
+        context: Any,
+        *,
+        deadline_s: float | None = None,
+        request_id: str | None = None,
+        timeout: float | None = None,
+    ) -> InferenceResponse:
+        """Route one request to its replica and wait for the response.
+
+        Mirrors the engine's accounting contract: every call is
+        *accepted*; it ends *rejected* (overload/shutdown — the typed
+        exception propagates) or *completed* (a response came back,
+        possibly ``ok=false``).  A request that races a rolling reload
+        onto a replica in its first instant of draining is transparently
+        resubmitted to the slot's fresh replica — callers never see a
+        drain artifact as a failure.
+        """
+        if task not in self._model_names:
+            raise ServeError(
+                f"no model loaded for task {task!r} "
+                f"(serving: {', '.join(sorted(self._model_names))})"
+            )
+        wait = timeout if timeout is not None else (
+            self.config.request_timeout_s
+        )
+        request = InferenceRequest(
+            id=request_id or f"p{next(self._ids)}",
+            task=task,
+            sentence=sentence,
+            context=context,
+            deadline_s=deadline_s,
+        )
+        with self._lock:
+            self.accepted += 1
+            self.telemetry.increment("serve", "pool_accepted")
+            if self._stopping:
+                self.rejected += 1
+                self.telemetry.increment("serve", "pool_rejected")
+                raise EngineStoppedError(
+                    "pool is stopped/draining; not accepting requests"
+                )
+        digest = context_digest(context)
+        slot = self.route(task, sentence, digest)
+        started = time.monotonic()
+        try:
+            response = self._dispatch(request, slot, wait)
+        except (OverloadedError, EngineStoppedError):
+            with self._lock:
+                self.rejected += 1
+                self.telemetry.increment("serve", "pool_rejected")
+            raise
+        except ServeError as error:
+            # replica died / timed out: surface as an error *response*
+            # (compute may have happened; this is not an admission
+            # rejection) so load generators count it as a failure.
+            response = InferenceResponse(
+                id=request.id, task=task, ok=False,
+                error=f"replica_failed: {error}",
+                model=self._models_snapshot().get(task, ""),
+                timing=Timing(
+                    0.0, 0.0, time.monotonic() - started, 1
+                ),
+            )
+        total_s = time.monotonic() - started
+        with self._lock:
+            self.completed += 1
+            self.telemetry.increment("serve", "pool_completed")
+            if not response.ok:
+                self.errors += 1
+            self._note_latency(task, response.model, total_s)
+        return response
+
+    def _dispatch(
+        self, request: InferenceRequest, slot: int, wait: float
+    ) -> InferenceResponse:
+        for attempt in range(_REROUTE_ATTEMPTS):
+            handle = self._handle_for(slot)
+            try:
+                return handle.infer_remote(request, wait)
+            except EngineStoppedError:
+                # the slot's replica began draining under us; the
+                # routing table has (or will have) its replacement.
+                if attempt == _REROUTE_ATTEMPTS - 1:
+                    raise
+                time.sleep(0.05 * (attempt + 1))
+        raise ServeError("unreachable")  # pragma: no cover
+
+    def _note_latency(
+        self, task: str, model_id: str, total_s: float
+    ) -> None:
+        """Record one completed request (caller holds the pool lock)."""
+        from collections import deque
+
+        window = self._latencies.get(task)
+        if window is None:
+            window = deque(maxlen=_LATENCY_WINDOW)
+            self._latencies[task] = window
+        window.append(total_s)
+        if model_id:
+            by_model = self._latencies_by_model.get(model_id)
+            if by_model is None:
+                while len(self._latencies_by_model) >= _MODEL_WINDOWS:
+                    self._latencies_by_model.pop(
+                        next(iter(self._latencies_by_model))
+                    )
+                by_model = deque(maxlen=_LATENCY_WINDOW)
+                self._latencies_by_model[model_id] = by_model
+            by_model.append(total_s)
+
+    def note_sanitize(self, report: dict[str, Any]) -> None:
+        """Fold one sanitize report into pool-level accounting."""
+        cells = report.get("cells", {}) or {}
+        structure = report.get("structure", {}) or {}
+        errors = report.get("errors", []) or []
+        changed = bool(
+            structure
+            or cells.get("repaired", 0)
+            or cells.get("nulled", 0)
+        )
+        with self._lock:
+            self._sanitize["requests"] += 1
+            self._sanitize["tables_changed"] += 1 if changed else 0
+            self._sanitize["cells_repaired"] += cells.get("repaired", 0)
+            self._sanitize["cells_nulled"] += cells.get("nulled", 0)
+            self._sanitize["cells_kept_text"] += cells.get("kept_text", 0)
+            self._sanitize["structure_repairs"] += sum(structure.values())
+            self._sanitize["stage_errors"] += len(errors)
+
+    # -- reload -------------------------------------------------------------
+    def reload(
+        self, models: dict[str, tuple[str, str | None]] | None = None
+    ) -> dict[str, Any]:
+        """Zero-downtime rolling reload of every replica.
+
+        Slot by slot: spawn a fresh replica (which resolves the
+        registry's *current* default versions — or the explicit
+        ``models`` override), wait for its ready handshake, swap it
+        into the routing table, then drain the old replica
+        request-by-request.  Capacity never drops below N-per-slot
+        because the swap happens only after the replacement is ready.
+        Returns ``{"old": {...}, "new": {...}, "replicas": N}``.
+        """
+        with self._reload_lock:
+            if models is not None:
+                for task in models:
+                    if task not in self._model_names:
+                        raise ServeError(
+                            f"cannot reload unknown task {task!r}"
+                        )
+                merged = {**self._model_names, **models}
+            else:
+                merged = dict(self._model_names)
+            spec = ReplicaSpec(
+                registry_dir=self.registry_dir,
+                models=tuple(
+                    (task, name, version)
+                    for task, (name, version) in sorted(merged.items())
+                ),
+            )
+            old_models = self._models_snapshot()
+            drained: list[_ReplicaHandle] = []
+            for slot in range(self.config.replicas):
+                fresh = _ReplicaHandle(spec, self.config.engine, slot)
+                fresh.start()
+                with self._route_lock:
+                    old = self._slots[slot]
+                    self._slots[slot] = fresh
+                if old is not None:
+                    old.draining = True
+                    # drain synchronously: every request already routed
+                    # to the old replica completes before its process
+                    # exits, one slot at a time.
+                    old.stop(drain=True)
+                    drained.append(old)
+            self._model_names = merged
+            self._spec = spec
+            with self._lock:
+                self.reloads += 1
+                self.telemetry.increment("serve", "pool_reloads")
+            return {
+                "old": old_models,
+                "new": self._models_snapshot(),
+                "replicas": self.config.replicas,
+            }
+
+    def _restart_slot(self, slot: int, dead: _ReplicaHandle) -> None:
+        """Replace a dead replica (background thread)."""
+        try:
+            fresh = _ReplicaHandle(self._spec, self.config.engine, slot)
+            fresh.start()
+        except Exception:  # spawn failed; slot stays dead
+            return
+        with self._route_lock:
+            if self._slots[slot] is dead:
+                self._slots[slot] = fresh
+                with self._lock:
+                    self.replica_restarts += 1
+            else:  # someone else (a reload) already replaced it
+                fresh.stop(drain=False)
+
+    def ensure_live(self) -> None:
+        """Respawn any dead slots (called opportunistically by stats)."""
+        if not self.config.restart_dead_replicas or self._stopping:
+            return
+        with self._route_lock:
+            dead = [
+                (slot, handle)
+                for slot, handle in enumerate(self._slots)
+                if handle is not None and handle.dead
+                and not handle.draining
+            ]
+        for slot, handle in dead:
+            threading.Thread(
+                target=self._restart_slot, args=(slot, handle),
+                name=f"replica-restart-{slot}", daemon=True,
+            ).start()
+
+    # -- stats --------------------------------------------------------------
+    def _models_snapshot(self) -> dict[str, str]:
+        """task -> model_id as currently routed (newest slot wins)."""
+        out: dict[str, str] = {}
+        with self._route_lock:
+            handles = [h for h in self._slots if h is not None]
+        for handle in handles:
+            out.update(handle.models)
+        return out
+
+    def stats(self) -> dict[str, Any]:
+        """Aggregated + per-replica serving stats.
+
+        The top-level keys mirror the engine's snapshot so ``/metrics``
+        consumers (and the smoke tests) read both backends identically;
+        ``replicas`` adds the per-replica engine snapshots and
+        ``latency_by_model`` the canary view across model versions.
+        """
+        self.ensure_live()
+        with self._route_lock:
+            handles = [
+                (slot, handle)
+                for slot, handle in enumerate(self._slots)
+                if handle is not None
+            ]
+        replica_stats: list[dict[str, Any]] = []
+        agg = {
+            "batches": 0, "batched_requests": 0, "max_batch": 0,
+            "cache_hits": 0, "cache_misses": 0, "cache_entries": 0,
+            "queue_depth": 0, "deadline_expired": 0,
+        }
+        for slot, handle in handles:
+            snapshot = handle.stats_remote()
+            entry: dict[str, Any] = {
+                "slot": slot,
+                "pid": handle.pid,
+                "models": dict(handle.models),
+                "alive": not handle.dead,
+                "draining": handle.draining,
+                "uptime_s": round(
+                    time.monotonic() - handle.started_at, 3
+                ),
+            }
+            if snapshot is not None:
+                entry["engine"] = snapshot
+                agg["batches"] += snapshot["batches"]["count"]
+                agg["batched_requests"] += snapshot["batches"]["requests"]
+                agg["max_batch"] = max(
+                    agg["max_batch"], snapshot["batches"]["max_size"]
+                )
+                agg["cache_hits"] += snapshot["cache"]["hits"]
+                agg["cache_misses"] += snapshot["cache"]["misses"]
+                agg["cache_entries"] += snapshot["cache"]["entries"]
+                agg["queue_depth"] += snapshot["queue_depth"]
+                agg["deadline_expired"] += snapshot["deadline_expired"]
+            replica_stats.append(entry)
+        with self._lock:
+            in_flight = self.accepted - self.completed - self.rejected
+            uptime = max(1e-9, time.monotonic() - self._started_at)
+            latencies = {
+                task: nearest_rank_percentiles(list(window))
+                for task, window in self._latencies.items()
+            }
+            latencies_by_model = {
+                model_id: nearest_rank_percentiles(list(window))
+                for model_id, window in self._latencies_by_model.items()
+            }
+            snapshot = {
+                "uptime_s": round(uptime, 3),
+                "accepted": self.accepted,
+                "completed": self.completed,
+                "rejected": self.rejected,
+                "in_flight": in_flight,
+                "queue_depth": agg["queue_depth"],
+                "errors": self.errors,
+                "deadline_expired": agg["deadline_expired"],
+                "throughput_rps": round(self.completed / uptime, 2),
+                "batches": {
+                    "count": agg["batches"],
+                    "requests": agg["batched_requests"],
+                    "mean_size": round(
+                        agg["batched_requests"] / agg["batches"], 3
+                    ) if agg["batches"] else 0.0,
+                    "max_size": agg["max_batch"],
+                },
+                "cache": {
+                    "hits": agg["cache_hits"],
+                    "misses": agg["cache_misses"],
+                    "entries": agg["cache_entries"],
+                    "hit_rate": round(
+                        agg["cache_hits"]
+                        / max(1, agg["cache_hits"] + agg["cache_misses"]),
+                        4,
+                    ),
+                },
+                "latency": latencies,
+                "latency_by_model": latencies_by_model,
+                "sanitize": dict(self._sanitize),
+                "models": self._models_snapshot(),
+                "reloads": self.reloads,
+                "replica_restarts": self.replica_restarts,
+                "draining": self._stopping,
+                "workers": self.config.engine.workers,
+                "max_batch_size": self.config.engine.max_batch_size,
+                "replicas": replica_stats,
+                "reconciles": (
+                    self.accepted
+                    == self.completed + self.rejected + in_flight
+                ),
+            }
+        return snapshot
+
+
+def pool_from_registry(
+    registry_dir: str,
+    names: list[str] | None = None,
+    config: PoolConfig | None = None,
+    telemetry: Telemetry | None = None,
+) -> ReplicaPool:
+    """Build a :class:`ReplicaPool` serving one model per task.
+
+    ``names`` picks specific registered models (like ``repro serve
+    --model``); by default every registered model is served, one per
+    task.  Model *records* are inspected in the parent for task
+    routing, but the artifacts themselves are only unpickled inside
+    the replica processes (shared-nothing).
+    """
+    registry = ModelRegistry(registry_dir)
+    chosen = names or sorted(registry.models())
+    if not chosen:
+        raise ServeError(f"no models registered in {registry_dir}")
+    models: dict[str, tuple[str, str | None]] = {}
+    for name in chosen:
+        record = registry.record(name)
+        if record.task in models:
+            raise ServeError(
+                f"both {models[record.task][0]!r} and {name!r} serve "
+                f"task {record.task!r}; pass names to pick one per task"
+            )
+        models[record.task] = (name, None)
+    return ReplicaPool(
+        str(registry_dir), models, config=config, telemetry=telemetry
+    )

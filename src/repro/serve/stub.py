@@ -1,0 +1,80 @@
+"""Fixed-service-time stand-in models for serving benchmarks.
+
+The scale benchmark needs to answer one question — *does the replica
+pool's dispatch/routing/IPC machinery scale request throughput with
+replica count?* — independent of how many host cores happen to back
+the run.  The real MLP models are CPU-bound pure-Python/numpy work, so
+on a small CI host their compute serializes and hides whatever the
+serving layer does.
+
+These stubs subclass the real servable classes (so the registry's
+``model_task`` / ``schema_fingerprint`` checks, pickling, and the
+engine's dispatch all treat them as first-class models) but replace
+inference with a calibrated ``time.sleep`` per sample.  ``sleep``
+releases the GIL and burns no CPU: each replica behaves as if it owned
+an exclusive fixed-latency accelerator, which is the regime the pool
+is built for.  Benchmarks that use them must say so — they measure
+*serving-infrastructure* scaling, not model FLOPs.
+
+Stubs are deterministic: answers/labels are a stable function of the
+request, so cache behaviour and response-equality checks work the same
+as with trained models.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+from repro.models.qa import QAConfig, TagOpQA
+from repro.models.verifier import FactVerifier, VerifierConfig
+from repro.sampling.labeler import ClaimLabel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pipelines.samples import ReasoningSample
+
+
+class FixedServiceQA(TagOpQA):
+    """A QA model that answers in exactly ``service_s`` seconds/sample.
+
+    Batching still amortizes nothing here (service time is per sample,
+    matching an accelerator running at fixed per-item cost), which
+    makes replica-count scaling curves easy to read: ideal RPS is
+    ``replicas / service_s``.
+    """
+
+    def __init__(self, service_s: float = 0.008):
+        super().__init__(QAConfig(epochs=1))
+        self.service_s = float(service_s)
+        self._trained = True  # never actually scores candidates
+
+    def predict(self, sample: "ReasoningSample") -> tuple[str, ...]:
+        return self.predict_batch([sample])[0]
+
+    def predict_batch(
+        self, samples: "list[ReasoningSample]"
+    ) -> list[tuple[str, ...]]:
+        time.sleep(self.service_s * len(samples))
+        return [
+            (f"stub-answer-{len(sample.sentence) % 7}",)
+            for sample in samples
+        ]
+
+
+class FixedServiceVerifier(FactVerifier):
+    """A verifier that classifies in exactly ``service_s`` s/sample."""
+
+    def __init__(self, service_s: float = 0.016):
+        super().__init__(VerifierConfig(epochs=1))
+        self.service_s = float(service_s)
+
+    def predict(
+        self, samples: "list[ReasoningSample]"
+    ) -> list[ClaimLabel]:
+        time.sleep(self.service_s * len(samples))
+        return [
+            ClaimLabel.SUPPORTED
+            if len(sample.sentence) % 2 == 0
+            else ClaimLabel.REFUTED
+            for sample in samples
+        ]

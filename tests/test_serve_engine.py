@@ -276,3 +276,190 @@ class TestLifecycle:
         counters = telemetry.snapshot()["counters"]["serve"]
         assert counters["accepted"] == 100
         assert counters["completed"] == stats["completed"]
+
+
+class _ConstVerifier:
+    """Picklable verifier stand-in with a fixed verdict."""
+
+    def __init__(self, verdict):
+        self.verdict = verdict
+
+    def predict(self, samples):
+        from repro.sampling.labeler import ClaimLabel
+
+        return [ClaimLabel(self.verdict) for _ in samples]
+
+
+class TestPercentiles:
+    """Nearest-rank pins on small known windows (regression: the old
+    ``int(q * n)`` index reported one rank too high — p50 of two
+    samples returned the max)."""
+
+    def test_two_sample_window_p50_is_lower_sample(self):
+        from repro.serve.stats import nearest_rank_percentiles
+
+        out = nearest_rank_percentiles([0.010, 0.020])
+        assert out["p50_ms"] == 10.0  # old code said 20.0
+        assert out["p95_ms"] == 20.0
+        assert out["p99_ms"] == 20.0
+        assert out["count"] == 2
+
+    def test_hundred_sample_window_matches_definition(self):
+        from repro.serve.stats import nearest_rank_percentiles
+
+        out = nearest_rank_percentiles([i / 1e3 for i in range(1, 101)])
+        assert out["p50_ms"] == 50.0
+        assert out["p95_ms"] == 95.0
+        assert out["p99_ms"] == 99.0
+
+    def test_singleton_and_empty_windows(self):
+        from repro.serve.stats import nearest_rank_percentiles
+
+        single = nearest_rank_percentiles([0.007])
+        assert single["p50_ms"] == single["p99_ms"] == 7.0
+        empty = nearest_rank_percentiles([])
+        assert empty == {
+            "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0, "count": 0,
+        }
+
+    def test_engine_stats_use_nearest_rank(
+        self, tiny_verifier, serve_context
+    ):
+        with InferenceEngine(
+            {TASK_VERIFY: tiny_verifier}, EngineConfig(workers=1)
+        ) as engine:
+            for i in range(4):
+                engine.infer(TASK_VERIFY, f"claim number {i}", serve_context)
+            latency = engine.stats()["latency"][TASK_VERIFY]
+        assert latency["count"] == 4
+        # p50 of 4 samples is the 2nd order statistic — strictly below
+        # the max unless all samples tie.
+        assert latency["p50_ms"] <= latency["p99_ms"]
+
+
+class TestReload:
+    def test_swap_model_flips_id_and_answers(self, serve_context):
+        engine = InferenceEngine(
+            {TASK_VERIFY: _ConstVerifier("supported")},
+            EngineConfig(workers=1),
+        )
+        engine.start()
+        try:
+            before = engine.infer(TASK_VERIFY, "some claim", serve_context)
+            assert before.label == "supported"
+            summary = engine.swap_model(
+                TASK_VERIFY, _ConstVerifier("refuted")
+            )
+            assert summary["task"] == TASK_VERIFY
+            after = engine.infer(
+                TASK_VERIFY, "a different claim", serve_context
+            )
+            assert after.label == "refuted"
+            stats = engine.stats()
+            assert stats["reloads"] == 1
+            assert stats["reconciles"]
+        finally:
+            engine.stop(drain=True)
+
+    def test_swap_unknown_task_is_typed(self, tiny_qa_model):
+        with InferenceEngine({TASK_QA: tiny_qa_model}) as engine:
+            with pytest.raises(ServeError):
+                engine.swap_model(TASK_VERIFY, _ConstVerifier("refuted"))
+
+    def test_swap_wrong_task_model_is_typed(
+        self, tiny_qa_model, tiny_verifier
+    ):
+        with InferenceEngine({TASK_QA: tiny_qa_model}) as engine:
+            with pytest.raises(ServeError):
+                engine.swap_model(TASK_QA, tiny_verifier)
+
+
+class TestCacheFingerprint:
+    """Regression: the cache used to key on ``model_id``, and every
+    unregistered model shares the id ``unregistered-verify@v0`` — so a
+    swap served the *old* model's cached answers."""
+
+    def test_swap_does_not_serve_stale_cache(self, serve_context):
+        engine = InferenceEngine(
+            {TASK_VERIFY: _ConstVerifier("supported")},
+            EngineConfig(workers=1, cache_size=64),
+        )
+        engine.start()
+        try:
+            sentence = "the exact same claim twice"
+            first = engine.infer(TASK_VERIFY, sentence, serve_context)
+            repeat = engine.infer(TASK_VERIFY, sentence, serve_context)
+            assert first.label == repeat.label == "supported"
+            assert repeat.cached
+            engine.swap_model(TASK_VERIFY, _ConstVerifier("refuted"))
+            fresh = engine.infer(TASK_VERIFY, sentence, serve_context)
+            assert fresh.label == "refuted"  # not the stale "supported"
+            assert not fresh.cached
+        finally:
+            engine.stop(drain=True)
+
+    def test_distinct_unregistered_models_never_share_entries(self):
+        from repro.serve.engine import _ModelSlot
+
+        slot_a = _ModelSlot(TASK_VERIFY, _ConstVerifier("supported"))
+        slot_b = _ModelSlot(TASK_VERIFY, _ConstVerifier("refuted"))
+        # same display id (the original bug), different fingerprints
+        assert slot_a.model_id == slot_b.model_id
+        assert slot_a.fingerprint != slot_b.fingerprint
+
+
+class TestRetryAfter:
+    """Regression: the hint used a lifetime average, so after a reload
+    to a model with a different pace it stayed stale forever."""
+
+    def test_hint_tracks_recent_window_not_lifetime(
+        self, tiny_verifier, serve_context
+    ):
+        engine = InferenceEngine(
+            {TASK_VERIFY: tiny_verifier}, EngineConfig(workers=1)
+        )
+        engine.start()
+        try:
+            for i in range(3):
+                engine.infer(TASK_VERIFY, f"warm up claim {i}", serve_context)
+            with engine._cond:
+                engine._queued = 10  # pretend a backlog
+                organic = engine._retry_after_locked()
+                # simulate history from a 100× slower model: a lifetime
+                # average would be dominated by it forever; the bounded
+                # window forgets once recent samples replace it.
+                engine._recent_compute.clear()
+                engine._recent_compute.extend([1.0] * 4)
+                slow = engine._retry_after_locked()
+                engine._recent_compute.clear()
+                engine._recent_compute.extend([0.001] * 4)
+                fast = engine._retry_after_locked()
+                engine._queued = 0
+            assert slow > fast
+            assert fast < organic * 100  # forgot the slow history
+            assert slow == 5.0  # clamped ceiling
+        finally:
+            engine.stop(drain=True)
+
+    def test_swap_model_resets_window(self, serve_context):
+        engine = InferenceEngine(
+            {TASK_VERIFY: _ConstVerifier("supported")},
+            EngineConfig(workers=1),
+        )
+        engine.start()
+        try:
+            engine.infer(TASK_VERIFY, "prime the window", serve_context)
+            with engine._cond:
+                assert len(engine._recent_compute) > 0
+            engine.swap_model(TASK_VERIFY, _ConstVerifier("refuted"))
+            with engine._cond:
+                assert len(engine._recent_compute) == 0
+        finally:
+            engine.stop(drain=True)
+
+    def test_empty_window_uses_default(self, tiny_verifier):
+        from repro.serve.engine import _DEFAULT_RETRY_AFTER
+
+        engine = InferenceEngine({TASK_VERIFY: tiny_verifier})
+        with engine._cond:
+            assert engine._retry_after_locked() == _DEFAULT_RETRY_AFTER

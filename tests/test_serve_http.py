@@ -536,3 +536,176 @@ class TestLoadgenMessy:
         metrics = client.metrics()
         assert metrics["sanitize"]["requests"] >= n_messy
         assert metrics["reconciles"]
+
+
+class TestAdminReload:
+    def test_reload_without_reloader_is_501(self, served):
+        status, body = _post_error(served.port, "/v1/admin/reload", {})
+        assert status == 501
+        assert body["error"]["type"] == "not_implemented"
+
+    def test_reload_over_http_swaps_engine_model(
+        self, tiny_qa_model, tiny_verifier, serve_context, tmp_path
+    ):
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.save(tiny_verifier, "verifier")
+        engine = InferenceEngine(
+            {TASK_VERIFY: registry.load("verifier")},
+            EngineConfig(workers=1),
+        )
+        engine.start()
+
+        def reloader():
+            fresh = registry.load("verifier")
+            return {
+                "changes": {
+                    TASK_VERIFY: engine.swap_model(TASK_VERIFY, fresh)
+                }
+            }
+
+        server = make_server(engine, reloader=reloader)
+        serve_in_thread(server)
+        try:
+            client = HttpServeClient(f"http://127.0.0.1:{server.port}")
+            before = client.verify("bo chen has a points of 28", serve_context)
+            assert before.model == "verifier@v0001"
+            # register a new version; the reload endpoint picks it up
+            registry.save(tiny_verifier, "verifier")
+            summary = client.reload()
+            assert summary["ok"] is True
+            change = summary["reload"]["changes"][TASK_VERIFY]
+            assert change["old"] == "verifier@v0001"
+            assert change["new"] == "verifier@v0002"
+            after = client.verify(
+                "a brand new claim after reload", serve_context
+            )
+            assert after.model == "verifier@v0002"
+            metrics = client.metrics()
+            assert metrics["reloads"] == 1
+            assert metrics["reconciles"]
+        finally:
+            server.shutdown()
+            server.server_close()
+            engine.stop(drain=True)
+
+    def test_reload_failure_is_409(self, tiny_verifier, serve_context):
+        from repro.errors import ReproError
+
+        engine = InferenceEngine(
+            {TASK_VERIFY: tiny_verifier}, EngineConfig(workers=1)
+        )
+        engine.start()
+
+        def reloader():
+            raise ReproError("registry artifact digest mismatch")
+
+        server = make_server(engine, reloader=reloader)
+        serve_in_thread(server)
+        try:
+            status, body = _post_error(server.port, "/v1/admin/reload", {})
+            assert status == 409
+            assert body["error"]["type"] == "reload_failed"
+            # and the server still serves afterwards
+            client = HttpServeClient(f"http://127.0.0.1:{server.port}")
+            assert client.verify("still serving ?", serve_context).ok
+        finally:
+            server.shutdown()
+            server.server_close()
+            engine.stop(drain=True)
+
+
+class TestPoolOverHttp:
+    def test_pool_behind_http_frontend(self, tmp_path, serve_context):
+        from repro.serve import PoolConfig, pool_from_registry
+        from repro.serve.stub import FixedServiceQA, FixedServiceVerifier
+
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.save(FixedServiceQA(0.002), "qa-stub")
+        registry.save(FixedServiceVerifier(0.002), "verify-stub")
+        pool = pool_from_registry(
+            str(tmp_path / "registry"),
+            config=PoolConfig(replicas=2, engine=EngineConfig(workers=1)),
+        )
+        pool.start()
+        server = make_server(pool, reloader=lambda: pool.reload())
+        serve_in_thread(server)
+        try:
+            client = HttpServeClient(f"http://127.0.0.1:{server.port}")
+            qa = client.qa("what is the points of bo chen ?", serve_context)
+            assert qa.ok and qa.model == "qa-stub@v0001"
+            verify = client.verify(
+                "bo chen has a points of 28", serve_context
+            )
+            assert verify.ok and verify.model == "verify-stub@v0001"
+            metrics = client.metrics()
+            assert metrics["completed"] == 2
+            assert metrics["reconciles"]
+            assert len(metrics["replicas"]) == 2
+            # reload over the wire rolls the replicas
+            registry.save(FixedServiceQA(0.001), "qa-stub")
+            summary = client.reload()
+            assert summary["reload"]["new"]["qa"] == "qa-stub@v0002"
+            after = client.qa(
+                "what is the team of raj patel ?", serve_context
+            )
+            assert after.model == "qa-stub@v0002"
+        finally:
+            server.shutdown()
+            server.server_close()
+            pool.stop(drain=True)
+
+
+class TestOpenLoopLoadgen:
+    def test_open_loop_reports_offered_rate(self, served, serve_context):
+        from repro.serve import run_load_open
+
+        client = ServeClient(served.engine)
+        workload = build_workload([serve_context], 40, seed=11)
+        report = run_load_open(client, workload, rate=200.0, clients=8)
+        assert report.mode == "open"
+        assert report.offered_rps == 200.0
+        assert report.completed + report.rejected + report.errors == 40
+        assert report.errors == 0
+        payload = report.to_json()
+        assert payload["mode"] == "open"
+        assert payload["offered_rps"] == 200.0
+        # the schedule paces the run: 40 requests at 200/s ≥ 0.2s
+        assert report.duration_s >= 0.19
+
+    def test_open_loop_counts_stall_as_latency(self, serve_context):
+        """Coordinated omission: a server stall must surface in the
+        tail, not silently stretch the arrival schedule."""
+        from repro.serve import run_load_open
+        from repro.serve.stub import FixedServiceVerifier
+
+        slow = FixedServiceVerifier(0.05)  # 50ms/request, single file
+        engine = InferenceEngine(
+            {TASK_VERIFY: slow},
+            EngineConfig(workers=1, max_batch_size=1, cache_size=0),
+        )
+        engine.start()
+        try:
+            client = ServeClient(engine)
+            workload = build_workload(
+                [serve_context], 20, tasks=(TASK_VERIFY,), seed=3
+            )
+            # offered 100/s against ~20/s capacity: queueing must show
+            report = run_load_open(client, workload, rate=100.0, clients=20)
+            assert report.completed == 20
+            tail = report.latency["overall"]
+            # the last arrival waited ~19 service times; p99 sees it
+            assert tail["p99_ms"] > 300.0
+            assert tail["p99_ms"] > tail["p50_ms"]
+        finally:
+            engine.stop(drain=True)
+
+    def test_bad_rate_and_clients_are_typed(self, served, serve_context):
+        from repro.errors import ServeError
+        from repro.serve import run_load_open
+
+        client = ServeClient(served.engine)
+        workload = build_workload([serve_context], 4, seed=1)
+        with pytest.raises(ServeError):
+            run_load_open(client, workload, rate=0.0)
+        with pytest.raises(ServeError):
+            run_load_open(client, workload, rate=10.0, clients=0)

@@ -1,0 +1,245 @@
+"""Tests for the multi-process replica pool.
+
+These spawn real replica processes, so the served models are the
+fixed-service stubs from :mod:`repro.serve.stub` — picklable,
+importable in the children, and millisecond-fast — rather than trained
+models (training in every spawned child would dominate the suite).
+"""
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.errors import EngineStoppedError, ServeError
+from repro.serve import (
+    EngineConfig,
+    ModelRegistry,
+    PoolConfig,
+    ReplicaPool,
+    TASK_QA,
+    TASK_VERIFY,
+    pool_from_registry,
+)
+from repro.serve.stub import FixedServiceQA, FixedServiceVerifier
+
+
+@pytest.fixture
+def stub_registry(tmp_path):
+    registry = ModelRegistry(tmp_path / "registry")
+    registry.save(FixedServiceQA(0.002), "qa-stub")
+    registry.save(FixedServiceVerifier(0.002), "verify-stub")
+    return tmp_path / "registry"
+
+
+@pytest.fixture
+def pool(stub_registry):
+    pool = pool_from_registry(
+        str(stub_registry),
+        config=PoolConfig(replicas=2, engine=EngineConfig(workers=1)),
+    )
+    pool.start()
+    yield pool
+    pool.stop(drain=True)
+
+
+class TestServing:
+    def test_infer_both_tasks(self, pool, serve_context):
+        qa = pool.infer(
+            TASK_QA, "what is the points for john smith ?", serve_context
+        )
+        verify = pool.infer(
+            TASK_VERIFY, "for john smith , the points is 31 .", serve_context
+        )
+        assert qa.ok and qa.task == TASK_QA
+        assert qa.model == "qa-stub@v0001"
+        assert verify.ok and verify.label in ("supported", "refuted")
+        assert verify.model == "verify-stub@v0001"
+
+    def test_unknown_task_is_typed(self, pool, serve_context):
+        with pytest.raises(ServeError):
+            pool.infer("translate", "bonjour", serve_context)
+
+    def test_stats_aggregate_and_reconcile(self, pool, serve_context):
+        for i in range(6):
+            pool.infer(TASK_QA, f"question number {i} ?", serve_context)
+        stats = pool.stats()
+        assert stats["accepted"] == 6
+        assert stats["completed"] == 6
+        assert stats["in_flight"] == 0
+        assert stats["reconciles"]
+        assert len(stats["replicas"]) == 2
+        # pool accounting equals the sum over replica engines
+        per_replica = sum(
+            entry["engine"]["completed"]
+            for entry in stats["replicas"]
+            if "engine" in entry
+        )
+        assert per_replica == 6
+        assert stats["models"] == {
+            TASK_QA: "qa-stub@v0001", TASK_VERIFY: "verify-stub@v0001",
+        }
+        assert stats["latency"][TASK_QA]["count"] == 6
+        assert stats["latency_by_model"]["qa-stub@v0001"]["count"] == 6
+
+    def test_routing_is_deterministic(self, pool, serve_context):
+        from repro.serve.engine import context_digest
+
+        digest = context_digest(serve_context)
+        slots = {
+            pool.route(TASK_QA, "what is the team for bo chen ?", digest)
+            for _ in range(10)
+        }
+        assert len(slots) == 1  # same request, same replica, always
+        assert slots.pop() in (0, 1)
+        # distinct requests spread across slots
+        spread = {
+            pool.route(TASK_QA, f"question variant {i} ?", digest)
+            for i in range(32)
+        }
+        assert spread == {0, 1}
+
+    def test_repeat_request_hits_one_replica_cache(
+        self, pool, serve_context
+    ):
+        sentence = "what is the rebounds for mike jones ?"
+        first = pool.infer(TASK_QA, sentence, serve_context)
+        repeat = pool.infer(TASK_QA, sentence, serve_context)
+        assert first.answer == repeat.answer
+        assert repeat.cached  # deterministic routing → cache locality
+
+    def test_stopped_pool_rejects_typed(self, stub_registry, serve_context):
+        pool = pool_from_registry(
+            str(stub_registry),
+            config=PoolConfig(replicas=1, engine=EngineConfig(workers=1)),
+        )
+        pool.start()
+        pool.stop(drain=True)
+        with pytest.raises(EngineStoppedError):
+            pool.infer(TASK_QA, "anyone home ?", serve_context)
+        assert pool.stats()["reconciles"]
+
+    def test_bad_shapes_are_typed(self, stub_registry):
+        with pytest.raises(ServeError):
+            PoolConfig(replicas=0)
+        with pytest.raises(ServeError):
+            ReplicaPool(str(stub_registry), {})
+        with pytest.raises(ServeError):
+            ReplicaPool(
+                str(stub_registry), {"translate": ("qa-stub", None)}
+            )
+
+
+class TestReload:
+    def test_rolling_reload_under_load_drops_nothing(
+        self, stub_registry, serve_context
+    ):
+        pool = pool_from_registry(
+            str(stub_registry),
+            config=PoolConfig(replicas=2, engine=EngineConfig(workers=1)),
+        )
+        pool.start()
+        try:
+            failures = []
+            models_seen = set()
+            stop = threading.Event()
+
+            def hammer(offset: int) -> None:
+                i = 0
+                while not stop.is_set():
+                    response = pool.infer(
+                        TASK_QA,
+                        f"load question {offset} {i} ?",
+                        serve_context,
+                    )
+                    if not response.ok:
+                        failures.append(response.error)
+                    models_seen.add(response.model)
+                    i += 1
+
+            threads = [
+                threading.Thread(target=hammer, args=(k,), daemon=True)
+                for k in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.3)
+            ModelRegistry(stub_registry).save(
+                FixedServiceQA(0.001), "qa-stub"
+            )
+            summary = pool.reload()
+            time.sleep(0.3)
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert summary["old"][TASK_QA] == "qa-stub@v0001"
+            assert summary["new"][TASK_QA] == "qa-stub@v0002"
+            assert failures == []  # zero dropped requests across reload
+            assert models_seen == {"qa-stub@v0001", "qa-stub@v0002"}
+            stats = pool.stats()
+            assert stats["reloads"] == 1
+            assert stats["reconciles"]
+            assert stats["in_flight"] == 0
+            # canary view: both versions carry latency windows
+            assert "qa-stub@v0001" in stats["latency_by_model"]
+            assert "qa-stub@v0002" in stats["latency_by_model"]
+        finally:
+            pool.stop(drain=True)
+
+    def test_reload_resolves_moved_default(
+        self, stub_registry, serve_context
+    ):
+        pool = pool_from_registry(
+            str(stub_registry),
+            config=PoolConfig(replicas=1, engine=EngineConfig(workers=1)),
+        )
+        pool.start()
+        try:
+            ModelRegistry(stub_registry).save(
+                FixedServiceVerifier(0.001), "verify-stub"
+            )
+            pool.reload()
+            response = pool.infer(
+                TASK_VERIFY, "a claim after the reload .", serve_context
+            )
+            assert response.ok
+            assert response.model == "verify-stub@v0002"
+        finally:
+            pool.stop(drain=True)
+
+    def test_reload_unknown_task_is_typed(self, pool):
+        with pytest.raises(ServeError):
+            pool.reload({"translate": ("qa-stub", None)})
+
+
+class TestReplicaDeath:
+    def test_dead_replica_is_respawned(self, stub_registry, serve_context):
+        pool = pool_from_registry(
+            str(stub_registry),
+            config=PoolConfig(replicas=2, engine=EngineConfig(workers=1)),
+        )
+        pool.start()
+        try:
+            victim = pool.stats()["replicas"][0]["pid"]
+            os.kill(victim, signal.SIGKILL)
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                stats = pool.stats()  # stats() triggers ensure_live()
+                alive = [e for e in stats["replicas"] if e["alive"]]
+                if stats["replica_restarts"] >= 1 and len(alive) == 2:
+                    break
+                time.sleep(0.1)
+            else:
+                pytest.fail("dead replica was never respawned")
+            # and the pool serves from both slots again
+            for i in range(8):
+                response = pool.infer(
+                    TASK_QA, f"post restart question {i} ?", serve_context
+                )
+                assert response.ok
+            pids = {e["pid"] for e in pool.stats()["replicas"]}
+            assert victim not in pids
+        finally:
+            pool.stop(drain=True)
