@@ -1,0 +1,248 @@
+"""Bench: availability under a hung replica — resilience on vs off.
+
+What this measures
+------------------
+The payoff of the serving resilience layer (hedged dispatch +
+per-replica circuit breakers) under the fault it exists for: one
+replica of a 2-replica pool **hangs** — its child swallows every
+request and never replies, the one failure mode that produces no
+signal at all.  Both configurations serve the identical closed-loop
+workload against the identical injected fault
+(:mod:`repro.serve.chaos`, deterministic gating):
+
+* ``baseline`` — hedging and breakers disabled.  Every request routed
+  to the hung slot waits out the full request timeout and surfaces as
+  a ``replica_failed`` error: availability collapses toward the
+  healthy slot's routing share (~50%), and the tail is pinned at the
+  timeout.
+* ``resilient`` — hedging and breakers enabled.  The first requests to
+  the hung slot are rescued by hedges (fired after the adaptive p95
+  delay); each hedge win strikes the hung primary, the breaker trips,
+  and all subsequent traffic spills deterministically to the healthy
+  slot.  Availability stays at 100% and the tail is bounded by the
+  hedge delay, not the timeout.
+
+Acceptance (asserted here and enforced by the CI ``chaos`` job):
+resilient availability >= 95% (``AVAILABILITY_FLOOR``), baseline
+measurably collapses below it, and both runs reconcile with zero
+silent losses (``completed + errors + rejected == sent``).
+
+Why fixed-service stub models: same reasoning as
+``test_serve_scale.py`` — the pool, not the model, is under test; the
+stubs make per-replica capacity exact and host-independent.
+
+Results land in ``benchmarks/BENCH_chaos.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.serve import (
+    EngineConfig,
+    HedgePolicy,
+    ModelRegistry,
+    PoolConfig,
+    ServeClient,
+    build_workload,
+    pool_from_registry,
+    run_load,
+)
+from repro.serve import chaos
+from repro.serve.chaos import ServeFaultPlan, ServeFaultSpec
+from repro.serve.stub import FixedServiceQA, FixedServiceVerifier
+from repro.tables import Paragraph, Table, TableContext
+
+pytestmark = pytest.mark.timeout(600)
+
+_HERE = Path(__file__).resolve().parent
+BENCH_PATH = _HERE / "BENCH_chaos.json"
+
+#: the CI-enforced goodput floor under a single hung replica with the
+#: resilience layer on.
+AVAILABILITY_FLOOR = 0.95
+
+#: per-sample service time inside a replica, seconds.
+SERVICE_QA = 0.020
+SERVICE_VERIFY = 0.040
+
+#: closed-loop workload size and client count.
+N_REQUESTS = 120
+CLIENTS = 8
+
+#: how long a request may wait on a hung replica before the pool calls
+#: it failed.  Short enough that the baseline's collapse is measured in
+#: seconds not minutes, but with comfortable slack above the hedge
+#: ceiling (0.3 s) plus healthy-slot queueing, so a rescued request is
+#: never failed by the clock that exists to bound the *unrescued* ones.
+REQUEST_TIMEOUT_S = 2.0
+
+#: a replica-0 child that swallows every request, forever.
+HANG_PLAN = ServeFaultPlan((ServeFaultSpec(kind="hang", replica=0),))
+
+RESULTS: dict[str, object] = {}
+
+
+def _bench_context() -> TableContext:
+    table = Table.from_rows(
+        header=["player", "team", "points", "rebounds", "assists"],
+        raw_rows=[
+            ["john smith", "hawks", "31", "7", "4"],
+            ["mike jones", "bulls", "22", "11", "9"],
+            ["alan reed", "hawks", "17", "4", "2"],
+            ["bo chen", "heat", "28", "9", "6"],
+            ["raj patel", "bulls", "12", "6", "11"],
+            ["omar diaz", "heat", "25", "8", "3"],
+        ],
+        title="player statistics",
+        row_name_column="player",
+    )
+    return TableContext(
+        table=table,
+        paragraphs=(
+            Paragraph(text="league statistics for the season .",
+                      source="context"),
+        ),
+        uid="ctx-chaos",
+    )
+
+
+@pytest.fixture(scope="module")
+def context() -> TableContext:
+    return _bench_context()
+
+
+@pytest.fixture(scope="module")
+def registry_dir(tmp_path_factory):
+    root = tmp_path_factory.mktemp("chaos-registry")
+    registry = ModelRegistry(root)
+    registry.save(FixedServiceQA(SERVICE_QA), "qa-stub")
+    registry.save(FixedServiceVerifier(SERVICE_VERIFY), "verify-stub")
+    return root
+
+
+def _measure(registry_dir, context, resilient: bool) -> dict:
+    config = PoolConfig(
+        replicas=2,
+        engine=EngineConfig(
+            workers=1, max_batch_size=8, queue_limit=64, cache_size=0,
+        ),
+        request_timeout_s=REQUEST_TIMEOUT_S,
+        hedge=HedgePolicy(floor_s=0.05, ceiling_s=0.3) if resilient
+        else None,
+        breaker_threshold=3 if resilient else 0,
+        # longer than the run: once tripped, the hung slot stays out
+        # (half-open probes against a hang would each cost a hedge)
+        breaker_cooldown_s=60.0,
+    )
+    with chaos.injected(HANG_PLAN):
+        pool = pool_from_registry(str(registry_dir), config=config)
+        pool.start()
+    try:
+        workload = build_workload([context], N_REQUESTS, seed=7)
+        report = run_load(ServeClient(pool), workload, clients=CLIENTS)
+        stats = pool.stats()
+    finally:
+        pool.stop(drain=True)
+    # zero silent losses, whatever the fault did
+    assert report.completed + report.errors + report.rejected == (
+        report.sent
+    ), report
+    assert stats["reconciles"], stats
+    assert stats["in_flight"] == 0, stats
+    return {
+        "mode": "resilient" if resilient else "baseline",
+        "availability": round(report.completed / report.sent, 4),
+        "completed": report.completed,
+        "sent": report.sent,
+        "failures": dict(report.failures),
+        "latency_ms": report.latency["overall"],
+        "hedges": stats["hedges"],
+        "spills": stats["spills"],
+        "breaker_trips": sum(
+            entry["breaker"]["trips"]
+            for entry in stats["replicas"]
+            if entry.get("breaker")
+        ),
+    }
+
+
+def test_availability_under_hung_replica(registry_dir, context):
+    """Acceptance: >= 95% goodput with resilience on; collapse off."""
+    baseline = _measure(registry_dir, context, resilient=False)
+    resilient = _measure(registry_dir, context, resilient=True)
+    for result in (baseline, resilient):
+        print(
+            f"\n{result['mode']}: availability "
+            f"{result['availability']:.1%}, p99 "
+            f"{result['latency_ms']['p99_ms']:.0f} ms, hedges "
+            f"{result['hedges']}, spills {result['spills']}, trips "
+            f"{result['breaker_trips']}"
+        )
+    RESULTS["baseline"] = baseline
+    RESULTS["resilient"] = resilient
+    assert resilient["availability"] >= AVAILABILITY_FLOOR, (
+        f"resilient goodput {resilient['availability']:.1%} under a "
+        f"hung replica is below the {AVAILABILITY_FLOOR:.0%} floor"
+    )
+    # the gap is the result: without the resilience layer, a single
+    # hung replica takes its whole routing share down.
+    assert baseline["availability"] < AVAILABILITY_FLOOR, (
+        "baseline did not collapse — the fault injection is not biting"
+    )
+    assert resilient["availability"] > baseline["availability"]
+    # Latency is recorded for *successes only*, so the baseline's tail
+    # excludes the half of the workload it failed — it cannot be
+    # compared to the resilient tail directly.  The meaningful bound:
+    # even with every rescued (hedged) request included, the resilient
+    # p99 stays well under the request timeout — hung requests complete
+    # in bounded time instead of burning the full timeout and failing.
+    assert resilient["latency_ms"]["p99_ms"] < REQUEST_TIMEOUT_S * 1e3 / 2
+    # the machinery fired: hedges rescued the first hung requests,
+    # then the breaker took the slot out.
+    assert resilient["hedges"]["won"] >= 1
+    assert resilient["breaker_trips"] >= 1
+    assert resilient["failures"].get("replica_failed", 0) == 0
+
+
+def test_write_bench_json():
+    """Write BENCH_chaos.json (runs last in the module)."""
+    assert "resilient" in RESULTS, "availability benchmark did not record"
+    report = {
+        "methodology": {
+            "note": (
+                "Closed-loop workload against a 2-replica pool whose "
+                "slot-0 child deterministically swallows every request "
+                "(kind=hang, repro.serve.chaos).  Identical workload "
+                "and fault for both modes; only the resilience layer "
+                "differs.  Fixed-service stub models isolate the "
+                "serving layer from host compute."
+            ),
+            "fault": "hang, replica 0, every request",
+            "replicas": 2,
+            "requests": N_REQUESTS,
+            "clients": CLIENTS,
+            "request_timeout_s": REQUEST_TIMEOUT_S,
+            "service_ms": {
+                "qa": SERVICE_QA * 1e3,
+                "verify": SERVICE_VERIFY * 1e3,
+            },
+            "resilient_config": {
+                "hedge": {"floor_s": 0.05, "ceiling_s": 0.3,
+                          "quantile": 0.95},
+                "breaker_threshold": 3,
+            },
+            "availability_floor": AVAILABILITY_FLOOR,
+            "host_cpu_count": os.cpu_count(),
+        },
+        "results": dict(RESULTS),
+    }
+    BENCH_PATH.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {BENCH_PATH}")

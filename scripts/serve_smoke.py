@@ -11,7 +11,8 @@ directory, then proves the behaviors the serving stack promises:
    ``accepted == completed + rejected + in_flight``.
 4. With ``--reload``: a new model version registered mid-load and
    ``POST /v1/admin/reload`` flips serving to it with zero failed
-   (non-429) requests and a still-reconciling ``/metrics``.
+   (non-429) requests, a still-reconciling ``/metrics``, and
+   ``GET /healthz`` answering 200 for the whole cycle.
 5. SIGTERM in the middle of a load burst drains in-flight work and
    exits 0, printing final stats that still reconcile.
 
@@ -62,15 +63,43 @@ def _reload_cycle(
     loader = threading.Thread(
         target=lambda: box.update(report=run_load(
             client, build_workload(contexts, 80, seed=21), clients=4)))
+    # /healthz must answer 200 for the whole reload cycle: the
+    # incumbent replica keeps serving while its replacement warms up,
+    # so the server is never unroutable.  The client helper returns
+    # the parsed body even on 503, and only "draining"/"unavailable"
+    # are served as 503 — so asserting the status string is asserting
+    # the status code.
+    health_stop = threading.Event()
+    health_seen: list = []
+
+    def poll_health() -> None:
+        while not health_stop.is_set():
+            try:
+                health_seen.append(client.healthz()["status"])
+            except Exception as error:  # transport failure = downtime
+                health_seen.append(f"error:{error}")
+            time.sleep(0.05)
+
+    poller = threading.Thread(target=poll_health)
+    poller.start()
     loader.start()
     time.sleep(0.2)
-    summary = client.reload(timeout=120.0)
+    try:
+        summary = client.reload(timeout=120.0)
+    finally:
+        loader.join(timeout=120)
+        health_stop.set()
+        poller.join(timeout=10)
     print("reload:", json.dumps(summary))
     assert summary["ok"] is True, summary
-    loader.join(timeout=120)
     report = box["report"]
     print("reload load:", json.dumps(report.to_json()))
     assert report.errors == 0, report  # zero non-429 failures
+    bad = [s for s in health_seen if s not in ("ok", "degraded")]
+    assert health_seen and not bad, (
+        f"/healthz dipped during reload: {bad} of {len(health_seen)} polls"
+    )
+    print(f"healthz stayed 200 across {len(health_seen)} reload-time polls")
 
     metrics = client.metrics()
     assert metrics["reloads"] == 1, metrics
@@ -140,6 +169,14 @@ def main() -> None:
         assert report.errors == 0, report
         assert report.rejected > 0, "overload burst produced no 429s"
         assert report.completed + report.rejected == report.sent, report
+        # the failure taxonomy must agree with the legacy marginals:
+        # every non-success here is a typed 429, nothing else.
+        assert report.failures.get("overloaded", 0) == report.rejected, report
+        others = {
+            kind: count for kind, count in report.failures.items()
+            if kind != "overloaded" and count
+        }
+        assert not others, f"unexpected failure kinds under overload: {others}"
 
         metrics = client.metrics()
         print("metrics:", json.dumps(metrics))

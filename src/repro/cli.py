@@ -406,9 +406,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.serve import (
         EngineConfig,
+        HedgePolicy,
         InferenceEngine,
         ModelRegistry,
         PoolConfig,
+        RegistryWatcher,
         make_server,
         pool_from_registry,
         serve_in_thread,
@@ -438,7 +440,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 args.registry,
                 names=names,
                 config=PoolConfig(
-                    replicas=args.replicas, engine=engine_config
+                    replicas=args.replicas,
+                    engine=engine_config,
+                    hedge=None if args.no_hedge else HedgePolicy(),
+                    breaker_threshold=(
+                        0 if args.no_breaker
+                        else PoolConfig.breaker_threshold
+                    ),
                 ),
             )
         except Exception as error:
@@ -511,37 +519,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.watch_registry > 0:
         # Poll the registry's default pointers and hot-reload when any
         # served name's default version moves — `repro registry save`
-        # followed by nothing else rolls the fleet.
-        def watch() -> None:
-            def default_ids() -> dict:
-                out = {}
-                for name in names:
-                    try:
-                        out[name] = registry.record(name).model_id
-                    except Exception:
-                        pass  # mid-write; settle next tick
-                return out
-
-            last = default_ids()
-            while not stop.wait(args.watch_registry):
-                now_ids = default_ids()
-                if now_ids != last and now_ids:
-                    try:
-                        summary = reloader()
-                        print(
-                            "registry watch reloaded: "
-                            + json.dumps(summary),
-                            flush=True,
-                        )
-                        last = now_ids
-                    except Exception as error:
-                        print(
-                            f"registry watch reload failed: {error}",
-                            flush=True,
-                        )
-
-        threading.Thread(
-            target=watch, name="registry-watch", daemon=True
+        # followed by nothing else rolls the fleet.  The watcher
+        # survives transient IntegrityErrors (a poll racing a
+        # save-model mid-write) by design: see repro.serve.watch.
+        RegistryWatcher(
+            registry, names, reloader, args.watch_registry, stop=stop,
+            emit=lambda line: print(line, flush=True),
         ).start()
 
     # Poll so signals interrupt promptly (Event.wait without a timeout
@@ -778,6 +761,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="poll the registry every SECONDS and hot-reload when a "
              "served model's default version changes (default 0: off; "
              "POST /v1/admin/reload always works)",
+    )
+    serve.add_argument(
+        "--no-hedge", action="store_true",
+        help="disable hedged dispatch in replica mode (a second probe "
+             "to a sibling replica when the first reply is slower than "
+             "the recent p95)",
+    )
+    serve.add_argument(
+        "--no-breaker", action="store_true",
+        help="disable per-replica circuit breakers in replica mode",
     )
     serve.set_defaults(fn=_cmd_serve)
 

@@ -192,5 +192,27 @@ class EngineStoppedError(ServeError):
     """A request was submitted to a stopped or draining engine."""
 
 
+class DeadlineExceededError(ServeError):
+    """A request's end-to-end deadline budget ran out before compute.
+
+    The 504 of the serving stack: raised *up front* — at pool dispatch
+    or engine admission — when the remaining budget is already below
+    the replica's recent p50 compute time, so no work is done only to
+    be thrown away.  ``remaining_s`` is what was left of the budget and
+    ``estimate_s`` the compute estimate that ruled it insufficient
+    (``None`` when the budget was simply gone).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        remaining_s: float = 0.0,
+        estimate_s: float | None = None,
+    ):
+        self.remaining_s = remaining_s
+        self.estimate_s = estimate_s
+        super().__init__(message)
+
+
 class EvaluationError(ReproError):
     """Errors computing evaluation metrics."""

@@ -133,14 +133,24 @@ def injected(plan: FaultPlan) -> Iterator[FaultPlan]:
         clear()
 
 
-def _claim_once(path: str) -> bool:
-    """Atomically claim a one-shot sentinel; True == we fire the fault."""
+def claim_once(path: str) -> bool:
+    """Atomically claim a one-shot sentinel; True == we fire the fault.
+
+    ``O_EXCL`` makes the claim race-free across processes: exactly one
+    claimant — in any worker, replica, or the parent — wins.  Shared
+    with the serving-side fault injector (:mod:`repro.serve.chaos`),
+    which reuses the same once-sentinel discipline.
+    """
     try:
         fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
     except FileExistsError:
         return False
     os.close(fd)
     return True
+
+
+#: backwards-compatible alias (pre-chaos name).
+_claim_once = claim_once
 
 
 # -- corruption faults -------------------------------------------------------

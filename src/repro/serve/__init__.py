@@ -21,8 +21,17 @@ the path from a trained model to answers over the wire:
   for benchmarks and smoke tests.
 * :mod:`repro.serve.stats` — the shared nearest-rank percentile
   definition every latency window reports.
+* :mod:`repro.serve.chaos` — deterministic serving fault injection
+  (slow/hang/crash/corrupt replicas, torn registry reads) carried to
+  replica children through the environment.
+* :mod:`repro.serve.breaker` — per-replica circuit breakers with
+  half-open probe re-admission.
+* :mod:`repro.serve.hedge` — the p95-based hedged-dispatch policy.
+* :mod:`repro.serve.watch` — the never-dying registry watch loop
+  behind ``repro serve --watch-registry``.
 """
 
+from repro.serve.breaker import CircuitBreaker
 from repro.serve.engine import (
     EngineConfig,
     InferenceEngine,
@@ -32,7 +41,9 @@ from repro.serve.engine import (
     Timing,
     response_from_json,
 )
+from repro.serve.hedge import HedgePolicy
 from repro.serve.http import (
+    DEADLINE_HEADER,
     HttpServeClient,
     ParsedRequest,
     ServeClient,
@@ -42,6 +53,7 @@ from repro.serve.http import (
     serve_in_thread,
 )
 from repro.serve.loadgen import (
+    FAILURE_KINDS,
     LoadReport,
     WorkItem,
     build_workload,
@@ -66,10 +78,15 @@ from repro.serve.registry import (
     save_model,
     schema_fingerprint,
 )
-from repro.serve.stats import nearest_rank_percentiles
+from repro.serve.stats import nearest_rank, nearest_rank_percentiles
+from repro.serve.watch import RegistryWatcher
 
 __all__ = [
+    "CircuitBreaker",
+    "DEADLINE_HEADER",
     "EngineConfig",
+    "FAILURE_KINDS",
+    "HedgePolicy",
     "HttpServeClient",
     "InferenceEngine",
     "InferenceRequest",
@@ -81,6 +98,7 @@ __all__ = [
     "ParsedRequest",
     "PendingResponse",
     "PoolConfig",
+    "RegistryWatcher",
     "ReplicaPool",
     "ReplicaSpec",
     "ServeClient",
@@ -94,6 +112,7 @@ __all__ = [
     "load_model",
     "make_server",
     "model_task",
+    "nearest_rank",
     "nearest_rank_percentiles",
     "parse_request_payload",
     "pool_from_registry",

@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import (
+    DeadlineExceededError,
     EngineStoppedError,
     OverloadedError,
     RegistryError,
@@ -49,6 +50,7 @@ from repro.errors import (
 from repro.models.features import tokenize
 from repro.pipelines.samples import ReasoningSample, TaskType
 from repro.sampling.labeler import ClaimLabel
+from repro.serve import chaos
 from repro.serve.registry import (
     TASK_QA,
     TASK_VERIFY,
@@ -56,7 +58,7 @@ from repro.serve.registry import (
     LoadedModel,
     model_task,
 )
-from repro.serve.stats import nearest_rank_percentiles
+from repro.serve.stats import nearest_rank, nearest_rank_percentiles
 from repro.tables.context import TableContext
 from repro.telemetry import Telemetry
 
@@ -383,6 +385,7 @@ class InferenceEngine:
         self.rejected = 0
         self.errors = 0
         self.deadline_expired = 0
+        self.deadline_rejected = 0
         self._queued = 0       # waiting in a queue
         self._computing = 0    # taken by a worker, not yet completed
         self._batches = 0
@@ -397,6 +400,10 @@ class InferenceEngine:
         # per-model-version windows: after a reload, old and new
         # versions report side by side for canary comparison.
         self._latencies_by_model: dict[str, deque[float]] = {}
+        # serving fault injection (None unless a plan was installed in
+        # this process's environment before the engine was built — the
+        # zero-overhead-when-disabled guarantee is this single None).
+        self._chaos = chaos.engine_injector()
         self._sanitize = {
             "requests": 0,
             "tables_changed": 0,
@@ -520,6 +527,33 @@ class InferenceEngine:
                         )
                     )
                     return pending
+            deadline = (
+                request.deadline_s
+                if request.deadline_s is not None
+                else self.config.default_deadline_s
+            )
+            if deadline is not None:
+                # admission gate: if the remaining budget is already
+                # below this engine's recent p50 compute, reject now —
+                # computing an answer nobody will wait for is the worst
+                # way to spend a saturated pool's time.
+                estimate = (
+                    nearest_rank(self._recent_compute, 0.50)
+                    if self._recent_compute
+                    else 0.0
+                )
+                if deadline <= 0 or (estimate > 0 and deadline < estimate):
+                    self.rejected += 1
+                    self.deadline_rejected += 1
+                    self.telemetry.increment("serve", "rejected")
+                    self.telemetry.increment("serve", "deadline_rejected")
+                    raise DeadlineExceededError(
+                        f"deadline budget {max(0.0, deadline):.3f}s below "
+                        f"recent p50 compute {estimate:.3f}s; rejecting "
+                        "before work",
+                        remaining_s=max(0.0, deadline),
+                        estimate_s=estimate if deadline > 0 else None,
+                    )
             if self._queued >= self.config.queue_limit:
                 self.rejected += 1
                 self.telemetry.increment("serve", "rejected")
@@ -774,6 +808,18 @@ class InferenceEngine:
                 live.append(pending)
         if live:
             compute_started = time.monotonic()
+            if self._chaos is not None:
+                # injected extra service time, summed across the batch
+                # and slept once so a slow batch *looks* slow to every
+                # consumer of compute_s (latency windows, hedge delays,
+                # retry-after) exactly like a genuinely slow model.
+                extra = 0.0
+                for _ in live:
+                    spec = self._chaos.on_request()
+                    if spec is not None and spec.kind == "slow":
+                        extra += spec.seconds
+                if extra > 0:
+                    time.sleep(extra)
             try:
                 samples = [self._to_sample(p.request) for p in live]
                 if task == TASK_QA:
@@ -903,6 +949,7 @@ class InferenceEngine:
                 "queue_depth": self._queued,
                 "errors": self.errors,
                 "deadline_expired": self.deadline_expired,
+                "deadline_rejected": self.deadline_rejected,
                 "throughput_rps": round(self.completed / uptime, 2),
                 "batches": {
                     "count": self._batches,

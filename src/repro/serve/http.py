@@ -30,9 +30,19 @@ flag, validation is strict: every defect is a 400 whose error object
 names the offending field (``error.field``).
 
 Status mapping: 400 malformed request, 404 unknown route,
-429 + ``Retry-After`` on admission-queue overload, 503 while draining,
-200 otherwise (a failed request — e.g. a blown deadline — is a 200 with
-``ok: false`` and an ``error`` string: the *transport* worked).
+429 + ``Retry-After`` on admission-queue overload, 503 while draining
+(or, pool backend, when *no* replica is routable), 504 when the
+end-to-end deadline budget was rejected up front (``error.type:
+"deadline"``), 200 otherwise (a request that failed mid-compute — e.g.
+a deadline that expired *after* admission — is a 200 with ``ok: false``
+and an ``error`` string: the *transport* worked).
+
+Deadlines: clients send their end-to-end budget either as the
+``X-Repro-Deadline-Ms`` header (preferred — the clock starts before
+body parsing) or the ``deadline_ms`` body field.  The frontend shrinks
+the budget by its own parse/validate time and passes what remains to
+the backend, whose admission gates reject work that can no longer
+finish in time.
 
 Two clients share one interface for tests and the load generator:
 :class:`ServeClient` calls the engine in-process (no sockets), and
@@ -46,6 +56,7 @@ from __future__ import annotations
 import json
 import math
 import threading
+import time
 import urllib.error
 import urllib.request
 from dataclasses import dataclass
@@ -54,6 +65,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
 from repro.errors import (
+    DeadlineExceededError,
     EngineStoppedError,
     OverloadedError,
     ReproError,
@@ -74,6 +86,13 @@ MAX_BODY_BYTES = 16 << 20
 
 _TASK_ROUTES = {"/v1/qa": TASK_QA, "/v1/verify": TASK_VERIFY}
 _SENTENCE_FIELD = {TASK_QA: "question", TASK_VERIFY: "claim"}
+
+#: request header carrying the end-to-end deadline budget in
+#: milliseconds; equivalent to the ``deadline_ms`` body field (the
+#: header wins when both are present).  The budget starts shrinking the
+#: moment the request line is read: parse/validate time in the frontend
+#: comes out of it before the backend ever sees the request.
+DEADLINE_HEADER = "X-Repro-Deadline-Ms"
 
 
 class _BadRequest(ServeError):
@@ -300,16 +319,33 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
     # -- GET ----------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         if self.path == "/healthz":
-            stats = self.engine.stats()
-            status = 503 if stats["draining"] else 200
-            self._send_json(
-                status,
-                {
-                    "status": "draining" if stats["draining"] else "ok",
-                    "models": stats["models"],
-                    "uptime_s": stats["uptime_s"],
-                },
-            )
+            backend = self.engine
+            stats = backend.stats()
+            payload: dict[str, Any] = {
+                "models": stats["models"],
+                "uptime_s": stats["uptime_s"],
+            }
+            unhealthy = bool(stats["draining"])
+            if unhealthy:
+                payload["status"] = "draining"
+            elif hasattr(backend, "replica_states"):
+                # pool backend: per-replica health; the service is down
+                # only when *no* replica can take traffic — one slot
+                # respawning or breaker-open is degraded, not dead.
+                states = backend.replica_states()
+                payload["replicas"] = states
+                routable = sum(1 for s in states if s["routable"])
+                payload["routable_replicas"] = routable
+                if routable == 0:
+                    unhealthy = True
+                    payload["status"] = "unavailable"
+                else:
+                    payload["status"] = (
+                        "ok" if routable == len(states) else "degraded"
+                    )
+            else:
+                payload["status"] = "ok"
+            self._send_json(503 if unhealthy else 200, payload)
             return
         if self.path == "/metrics":
             self._send_json(200, self.engine.stats())
@@ -325,6 +361,22 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
         if task is None:
             self._send_error_json(404, "not_found", f"no route {self.path!r}")
             return
+        received = time.monotonic()
+        header_deadline_s: float | None = None
+        raw_deadline = self.headers.get(DEADLINE_HEADER)
+        if raw_deadline is not None:
+            try:
+                header_deadline_ms = float(raw_deadline)
+            except ValueError:
+                header_deadline_ms = -1.0
+            if header_deadline_ms <= 0:
+                self._send_error_json(
+                    400, "bad_request",
+                    f"'{DEADLINE_HEADER}' must be a positive number of "
+                    f"milliseconds, got {raw_deadline!r}",
+                )
+                return
+            header_deadline_s = header_deadline_ms / 1e3
         try:
             length = int(self.headers.get("Content-Length", 0))
         except (TypeError, ValueError):
@@ -352,10 +404,21 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
                 extra={"field": error.field} if error.field else None,
             )
             return
+        deadline_s = (
+            header_deadline_s
+            if header_deadline_s is not None
+            else parsed.deadline_s
+        )
+        if deadline_s is not None:
+            # shrink the budget by frontend time already spent; the
+            # backend's admission gates receive what *remains*, and a
+            # budget that died in parsing is their typed rejection to
+            # make (so it is counted, not silently dropped here).
+            deadline_s -= time.monotonic() - received
         try:
             response = self.engine.infer(
                 task, parsed.sentence, parsed.context,
-                deadline_s=parsed.deadline_s, request_id=parsed.request_id,
+                deadline_s=deadline_s, request_id=parsed.request_id,
             )
         except OverloadedError as error:
             self._send_error_json(
@@ -364,6 +427,18 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
                     "Retry-After": str(max(1, math.ceil(error.retry_after)))
                 },
                 extra={"retry_after_ms": round(error.retry_after * 1e3, 1)},
+            )
+            return
+        except DeadlineExceededError as error:
+            self._send_error_json(
+                504, "deadline", str(error),
+                extra={
+                    "remaining_ms": round(error.remaining_s * 1e3, 1),
+                    "estimate_ms": (
+                        round(error.estimate_s * 1e3, 1)
+                        if error.estimate_s is not None else None
+                    ),
+                },
             )
             return
         except EngineStoppedError as error:
@@ -630,13 +705,16 @@ class HttpServeClient(_BaseClient):
         }
         if sanitize:
             body["sanitize"] = True
+        headers = {"Content-Type": "application/json"}
         if deadline_s is not None:
-            body["deadline_ms"] = deadline_s * 1e3
+            # carried in the header so the frontend can start the
+            # budget clock before it has parsed a single body byte.
+            headers[DEADLINE_HEADER] = str(round(deadline_s * 1e3, 3))
         data = json.dumps(body).encode("utf-8")
         request = urllib.request.Request(
             self.base_url + ("/v1/qa" if task == TASK_QA else "/v1/verify"),
             data=data,
-            headers={"Content-Type": "application/json"},
+            headers=headers,
             method="POST",
         )
         try:
@@ -660,6 +738,21 @@ class HttpServeClient(_BaseClient):
                 ) from error
             if error.code == 503:
                 raise EngineStoppedError(f"server draining: {detail}") from error
+            if error.code == 504:
+                remaining = 0.0
+                estimate = None
+                try:
+                    info = json.loads(detail)["error"]
+                    remaining = (info.get("remaining_ms") or 0.0) / 1e3
+                    if info.get("estimate_ms") is not None:
+                        estimate = info["estimate_ms"] / 1e3
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    pass
+                raise DeadlineExceededError(
+                    f"deadline exceeded: {detail}",
+                    remaining_s=remaining,
+                    estimate_s=estimate,
+                ) from error
             raise ServeError(
                 f"HTTP {error.code} from {self.base_url}: {detail}"
             ) from error

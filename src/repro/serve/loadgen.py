@@ -36,11 +36,55 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
-from repro.errors import OverloadedError, ServeError
+from repro.errors import (
+    DeadlineExceededError,
+    OverloadedError,
+    ServeError,
+)
 from repro.rng import rng_from_key
 from repro.serve.registry import TASK_QA, TASK_VERIFY
 from repro.serve.stats import nearest_rank_percentiles
 from repro.tables.context import TableContext
+
+#: the failure taxonomy every load report breaks its non-successes
+#: into.  ``overloaded`` and ``deadline`` are *admission verdicts* (the
+#: server chose not to do the work); ``replica_failed`` is a backend
+#: compute-path casualty; ``connection`` is transport trouble reaching
+#: the server at all; ``other`` is everything else (including model
+#: errors surfaced as ``ok: false``).
+FAILURE_KINDS = (
+    "overloaded", "deadline", "replica_failed", "connection", "other"
+)
+
+
+def classify_exception(error: Exception) -> str:
+    """Map a client-side exception onto the failure taxonomy."""
+    if isinstance(error, OverloadedError):
+        return "overloaded"
+    if isinstance(error, DeadlineExceededError):
+        return "deadline"
+    if isinstance(error, (ConnectionError, TimeoutError, OSError)):
+        return "connection"
+    # urllib wraps socket errors in URLError (an OSError subclass, so
+    # already caught above); anything else is an unclassified failure.
+    return "other"
+
+
+def classify_error_response(error: str | None) -> str:
+    """Map an ``ok: false`` response's error string onto the taxonomy.
+
+    The serving stack prefixes its typed terminal errors — the pool's
+    ``replica_failed: …`` and the engine's ``deadline_exceeded: …`` —
+    so string-prefix matching here is matching a documented contract,
+    not scraping free text.
+    """
+    if not error:
+        return "other"
+    if error.startswith("replica_failed"):
+        return "replica_failed"
+    if error.startswith("deadline_exceeded"):
+        return "deadline"
+    return "other"
 
 
 @dataclass(frozen=True)
@@ -169,6 +213,12 @@ class LoadReport:
     reports every latency is measured from the request's *scheduled*
     arrival, so queueing delay caused by a saturated server is part of
     the number (coordinated-omission-free).
+
+    ``failures`` breaks every non-success into the
+    :data:`FAILURE_KINDS` taxonomy; the legacy ``rejected`` /
+    ``errors`` fields are kept as its marginals (``rejected ==
+    failures["overloaded"]``, ``errors`` = everything else), so
+    pre-taxonomy consumers keep reading the same numbers.
     """
 
     duration_s: float
@@ -181,6 +231,7 @@ class LoadReport:
     latency: dict[str, dict[str, float]] = field(default_factory=dict)
     mode: str = "closed"
     offered_rps: float | None = None
+    failures: dict[str, int] = field(default_factory=dict)
 
     def to_json(self) -> dict[str, Any]:
         out = {
@@ -191,6 +242,10 @@ class LoadReport:
             "completed": self.completed,
             "rejected": self.rejected,
             "errors": self.errors,
+            "failures": {
+                kind: self.failures.get(kind, 0)
+                for kind in FAILURE_KINDS
+            },
             "rps": round(self.rps, 2),
             "latency": self.latency,
         }
@@ -222,7 +277,8 @@ def run_load(
         raise ServeError("clients must be >= 1")
     lock = threading.Lock()
     latencies: dict[str, list[float]] = {TASK_QA: [], TASK_VERIFY: []}
-    counts = {"completed": 0, "rejected": 0, "errors": 0}
+    counts = {"completed": 0}
+    failures = {kind: 0 for kind in FAILURE_KINDS}
 
     def drive(shard: Sequence[WorkItem]) -> None:
         for item in shard:
@@ -233,16 +289,12 @@ def run_load(
             started = time.perf_counter()
             try:
                 response = call(item.sentence, item.context, **kwargs)
-            except OverloadedError:
+            except Exception as error:
+                # every client-side failure — typed rejection or
+                # transport trouble — is classified and counted, never
+                # allowed to crash the client thread.
                 with lock:
-                    counts["rejected"] += 1
-                continue
-            except Exception:
-                # transport-level failures too (connection refused when a
-                # server is shutting down mid-run must count, not crash
-                # the client thread)
-                with lock:
-                    counts["errors"] += 1
+                    failures[classify_exception(error)] += 1
                 continue
             elapsed = time.perf_counter() - started
             with lock:
@@ -250,7 +302,9 @@ def run_load(
                     counts["completed"] += 1
                     latencies[item.task].append(elapsed)
                 else:
-                    counts["errors"] += 1
+                    failures[
+                        classify_error_response(response.error)
+                    ] += 1
 
     threads = [
         threading.Thread(
@@ -271,14 +325,15 @@ def run_load(
         clients=clients,
         sent=len(workload),
         completed=counts["completed"],
-        rejected=counts["rejected"],
-        errors=counts["errors"],
+        rejected=failures["overloaded"],
+        errors=sum(failures.values()) - failures["overloaded"],
         rps=counts["completed"] / duration,
         latency={
             "overall": _percentiles(all_latencies),
             TASK_QA: _percentiles(latencies[TASK_QA]),
             TASK_VERIFY: _percentiles(latencies[TASK_VERIFY]),
         },
+        failures=failures,
     )
 
 
@@ -310,7 +365,8 @@ def run_load_open(
         raise ServeError("clients must be >= 1")
     lock = threading.Lock()
     latencies: dict[str, list[float]] = {TASK_QA: [], TASK_VERIFY: []}
-    counts = {"completed": 0, "rejected": 0, "errors": 0}
+    counts = {"completed": 0}
+    failures = {kind: 0 for kind in FAILURE_KINDS}
     next_index = [0]
     t0 = time.perf_counter() + 0.05  # small lead so slot 0 isn't late
 
@@ -330,13 +386,9 @@ def run_load_open(
             kwargs = {"sanitize": True} if item.sanitize else {}
             try:
                 response = call(item.sentence, item.context, **kwargs)
-            except OverloadedError:
+            except Exception as error:
                 with lock:
-                    counts["rejected"] += 1
-                continue
-            except Exception:
-                with lock:
-                    counts["errors"] += 1
+                    failures[classify_exception(error)] += 1
                 continue
             elapsed = time.perf_counter() - scheduled
             with lock:
@@ -344,7 +396,9 @@ def run_load_open(
                     counts["completed"] += 1
                     latencies[item.task].append(elapsed)
                 else:
-                    counts["errors"] += 1
+                    failures[
+                        classify_error_response(response.error)
+                    ] += 1
 
     threads = [
         threading.Thread(target=drive, name=f"loadgen-open-{i}", daemon=True)
@@ -361,8 +415,8 @@ def run_load_open(
         clients=clients,
         sent=len(workload),
         completed=counts["completed"],
-        rejected=counts["rejected"],
-        errors=counts["errors"],
+        rejected=failures["overloaded"],
+        errors=sum(failures.values()) - failures["overloaded"],
         rps=counts["completed"] / duration,
         latency={
             "overall": _percentiles(all_latencies),
@@ -371,4 +425,5 @@ def run_load_open(
         },
         mode="open",
         offered_rps=rate,
+        failures=failures,
     )

@@ -40,6 +40,33 @@ in-flight requests with error responses, is removed from the routing
 table, and a replacement is spawned in the background
 (``replica_restarts`` counts these).
 
+Resilience layer (all per-request, all accounted in ``/metrics``):
+
+* **Circuit breakers** — one :class:`~repro.serve.breaker.CircuitBreaker`
+  per slot.  Replica-attributable failures (timeout, death, corrupt
+  reply, lost hedge race) trip it open; the slot leaves the routing set
+  and its traffic *spills* to the next live slot in a fixed clockwise
+  walk, so spilled placement is as deterministic as primary placement.
+  Half-open probes re-admit the replica.  :class:`OverloadedError` never
+  trips a breaker: shedding load is a healthy replica doing its job.
+* **Hedged dispatch** — if the routed replica has not replied within the
+  :class:`~repro.serve.hedge.HedgePolicy` delay (p95 of that slot's
+  recent latencies, clamped), the request is re-sent to the next
+  routable slot and the first reply wins; the loser's reply slot is
+  forgotten, so its late answer is dropped on the floor by the reader
+  thread.  Inference is pure, so the duplicate is safe.  ``hedges_fired``
+  and ``hedges_won`` account for every hedge exactly.
+* **Deadline admission** — a request whose remaining end-to-end budget
+  is below the routed slot's recent p50 latency is rejected up front
+  with a typed ``deadline`` verdict instead of computed and discarded;
+  budgets shrink as they cross each layer (HTTP → pool → replica
+  engine).
+* **Fault injection** — replica children inherit any installed
+  :mod:`repro.serve.chaos` plan through the environment and fire
+  ``hang`` / ``crash`` / ``corrupt`` faults at their pipe loop, which is
+  how the chaos suite proves all of the above without patching
+  internals.
+
 Replica processes are started with the ``spawn`` method: the parent
 runs many threads (HTTP handlers, pipe readers), and forking a
 multi-threaded process can deadlock on locks held mid-operation by
@@ -48,19 +75,24 @@ other threads.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import itertools
 import os
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import (
+    DeadlineExceededError,
     EngineStoppedError,
     OverloadedError,
     ServeError,
 )
+from repro.serve import chaos
+from repro.serve.breaker import CircuitBreaker
 from repro.serve.engine import (
     EngineConfig,
     InferenceRequest,
@@ -70,8 +102,9 @@ from repro.serve.engine import (
     normalize_sentence,
     response_from_json,
 )
+from repro.serve.hedge import HedgePolicy
 from repro.serve.registry import TASKS, ModelRegistry
-from repro.serve.stats import nearest_rank_percentiles
+from repro.serve.stats import nearest_rank, nearest_rank_percentiles
 from repro.telemetry import Telemetry
 
 #: latency samples kept per task / per model version at the pool level.
@@ -79,6 +112,11 @@ _LATENCY_WINDOW = 8192
 
 #: per-model-version windows kept for canary comparison.
 _MODEL_WINDOWS = 8
+
+#: recent per-slot latency samples backing the hedge delay and the
+#: pool-side deadline admission gate.  Lives on the handle, so a
+#: respawned or reloaded replica starts with a cold window.
+_SLOT_WINDOW = 512
 
 #: how long the parent waits for a freshly spawned replica's ready
 #: handshake (model loading + imports happen inside this budget).
@@ -124,13 +162,26 @@ class PoolConfig:
     request_timeout_s: float = 30.0
     #: respawn replicas that die unexpectedly.
     restart_dead_replicas: bool = True
+    #: hedged-dispatch policy; ``None`` disables hedging entirely
+    #: (single-leg dispatch, exactly the pre-resilience behavior).
+    hedge: HedgePolicy | None = field(default_factory=HedgePolicy)
+    #: consecutive replica-attributable failures that open a slot's
+    #: circuit breaker; ``0`` disables breakers.
+    breaker_threshold: int = 5
+    #: how long an open breaker keeps its slot out of routing before
+    #: admitting a half-open probe.
+    breaker_cooldown_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.replicas < 1:
             raise ServeError("replicas must be >= 1")
+        if self.breaker_threshold < 0:
+            raise ServeError("breaker_threshold must be >= 0")
 
 
-def _replica_main(spec: ReplicaSpec, config: EngineConfig, conn) -> None:
+def _replica_main(
+    spec: ReplicaSpec, config: EngineConfig, conn, slot: int = 0
+) -> None:
     """Entry point of one replica process (runs under ``spawn``).
 
     Protocol (parent -> replica):
@@ -146,8 +197,17 @@ def _replica_main(spec: ReplicaSpec, config: EngineConfig, conn) -> None:
     single reader thread (this function) submits, and a small responder
     pool relays completed results so a slow request never blocks the
     pipe behind it.
+
+    Chaos: any :mod:`repro.serve.chaos` plan installed in the parent
+    rides into this process through the (spawn-inherited) environment;
+    ``REPRO_SERVE_REPLICA`` is set to ``slot`` *before* the engine is
+    built so both the pipe-level injector here (hang/crash/corrupt) and
+    the engine's own injector (slow) gate on the right replica index.
     """
     from concurrent.futures import ThreadPoolExecutor
+
+    os.environ[chaos.REPLICA_ENV] = str(slot)
+    injector = chaos.replica_injector()
 
     from repro.serve.engine import InferenceEngine
 
@@ -192,6 +252,21 @@ def _replica_main(spec: ReplicaSpec, config: EngineConfig, conn) -> None:
                 _, rid, task, sentence, context, deadline_s, request_id = (
                     message
                 )
+                if injector is not None:
+                    fault = injector.on_request()
+                    if fault is not None:
+                        if fault.kind == "hang":
+                            # swallow the request: no reply, ever.  The
+                            # parent's hedge/timeout machinery owns it.
+                            continue
+                        if fault.kind == "crash":
+                            os._exit(fault.exit_code)
+                        if fault.kind == "corrupt":
+                            # a reply that is not a response dict at
+                            # all; the parent must harden, not crash.
+                            send(("response", rid,
+                                  "\x00corrupt-reply-payload"))
+                            continue
                 request = InferenceRequest(
                     id=request_id, task=task, sentence=sentence,
                     context=context, deadline_s=deadline_s,
@@ -201,6 +276,8 @@ def _replica_main(spec: ReplicaSpec, config: EngineConfig, conn) -> None:
                 except OverloadedError as error:
                     send(("rejected", rid, "overloaded", str(error),
                           error.retry_after))
+                except DeadlineExceededError as error:
+                    send(("rejected", rid, "deadline", str(error), 0.0))
                 except EngineStoppedError as error:
                     send(("rejected", rid, "stopped", str(error), 0.0))
                 except ServeError as error:
@@ -239,19 +316,58 @@ def _replica_main(spec: ReplicaSpec, config: EngineConfig, conn) -> None:
 
 
 class _Waiter:
-    """Parent-side slot for one in-flight cross-process request."""
+    """Parent-side slot for one in-flight cross-process request.
 
-    __slots__ = ("event", "kind", "value")
+    ``group`` is an optional shared event also set on completion, so a
+    dispatcher waiting on *any of several legs* (hedging) can block on
+    one event instead of polling each waiter in turn.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("event", "kind", "value", "group")
+
+    def __init__(self, group: threading.Event | None = None) -> None:
         self.event = threading.Event()
         self.kind: str | None = None
         self.value: Any = None
+        self.group = group
 
     def complete(self, kind: str, value: Any) -> None:
         self.kind = kind
         self.value = value
         self.event.set()
+        if self.group is not None:
+            self.group.set()
+
+
+def _interpret(waiter: _Waiter) -> InferenceResponse:
+    """Resolve a completed waiter into a response or a typed error.
+
+    Hardened against corrupt replies: a payload that does not decode as
+    a response dict (the ``corrupt`` chaos fault, or a genuinely
+    garbled pipe) raises :class:`ServeError` — the caller turns that
+    into a typed ``replica_failed`` outcome and a breaker strike, never
+    an unhandled exception in a dispatcher thread.
+    """
+    if waiter.kind == "response":
+        payload = waiter.value[0]
+        try:
+            if not isinstance(payload, dict):
+                raise TypeError(
+                    f"reply payload is {type(payload).__name__}, not dict"
+                )
+            return response_from_json(payload)
+        except Exception as error:
+            raise ServeError(f"corrupt replica reply: {error}") from error
+    if waiter.kind == "rejected":
+        verdict, message, retry_after = waiter.value
+        if verdict == "overloaded":
+            raise OverloadedError(message, retry_after=retry_after)
+        if verdict == "deadline":
+            raise DeadlineExceededError(message)
+        if verdict == "stopped":
+            raise EngineStoppedError(message)
+        raise ServeError(message)
+    raise ServeError(str(waiter.value[0]))  # "died"
 
 
 class _ReplicaHandle:
@@ -278,6 +394,9 @@ class _ReplicaHandle:
         self._reader: threading.Thread | None = None
         self._final_stats: dict[str, Any] | None = None
         self.started_at = time.monotonic()
+        #: recent request latencies against this replica, seconds.
+        #: Appends are GIL-atomic; readers snapshot via ``list()``.
+        self.latency_window: deque[float] = deque(maxlen=_SLOT_WINDOW)
 
     # -- lifecycle ----------------------------------------------------------
     def start(self, timeout: float = _SPAWN_TIMEOUT) -> "_ReplicaHandle":
@@ -288,7 +407,7 @@ class _ReplicaHandle:
         self._conn = parent_conn
         self._process = context.Process(
             target=_replica_main,
-            args=(self.spec, self.config, child_conn),
+            args=(self.spec, self.config, child_conn, self.slot),
             name=f"serve-replica-{self.slot}-{self.uid}",
             daemon=True,
         )
@@ -345,15 +464,19 @@ class _ReplicaHandle:
             self._conn.send(message)
 
     # -- requests -----------------------------------------------------------
-    def infer_remote(
-        self, request: InferenceRequest, timeout: float
-    ) -> InferenceResponse:
-        """Ship one request over the pipe and wait for its reply.
+    def submit_remote(
+        self,
+        request: InferenceRequest,
+        group: threading.Event | None = None,
+    ) -> tuple[int, _Waiter]:
+        """Ship one request over the pipe without waiting for the reply.
 
-        Raises :class:`OverloadedError` / :class:`EngineStoppedError`
-        mirroring the replica engine's admission verdicts; a dead
-        replica or a parent-side timeout surfaces as :class:`ServeError`
-        so the pool can decide how to account for it.
+        Returns ``(rid, waiter)``; resolve the waiter with
+        :func:`_interpret` once its event fires, or :meth:`forget` it to
+        drop a reply on the floor (hedge losers).  Raises
+        :class:`EngineStoppedError` for a draining replica and
+        :class:`ServeError` for a dead one / closed pipe — in both
+        cases nothing was shipped.
         """
         if self.dead:
             raise ServeError("replica is dead")
@@ -362,7 +485,7 @@ class _ReplicaHandle:
             # (or imminently) holds this slot's replacement.
             raise EngineStoppedError("replica is draining")
         rid = next(self._rid)
-        waiter = _Waiter()
+        waiter = _Waiter(group)
         with self._waiters_lock:
             self._waiters[rid] = waiter
         try:
@@ -374,23 +497,32 @@ class _ReplicaHandle:
             with self._waiters_lock:
                 self._waiters.pop(rid, None)
             raise ServeError(f"replica pipe closed: {error}") from error
+        return rid, waiter
+
+    def forget(self, rid: int) -> None:
+        """Abandon a reply slot: a late reply for ``rid`` is dropped."""
+        with self._waiters_lock:
+            self._waiters.pop(rid, None)
+
+    def infer_remote(
+        self, request: InferenceRequest, timeout: float
+    ) -> InferenceResponse:
+        """Blocking convenience: submit, wait, interpret (single leg).
+
+        Raises :class:`OverloadedError` / :class:`DeadlineExceededError`
+        / :class:`EngineStoppedError` mirroring the replica engine's
+        admission verdicts; a dead replica, corrupt reply, or
+        parent-side timeout surfaces as :class:`ServeError` so the pool
+        can decide how to account for it.
+        """
+        rid, waiter = self.submit_remote(request)
         if not waiter.event.wait(timeout):
-            with self._waiters_lock:
-                self._waiters.pop(rid, None)
+            self.forget(rid)
             raise ServeError(
                 f"timed out after {timeout}s waiting on replica "
                 f"{self.slot} (pid {self.pid})"
             )
-        if waiter.kind == "response":
-            return response_from_json(waiter.value[0])
-        if waiter.kind == "rejected":
-            verdict, message, retry_after = waiter.value
-            if verdict == "overloaded":
-                raise OverloadedError(message, retry_after=retry_after)
-            if verdict == "stopped":
-                raise EngineStoppedError(message)
-            raise ServeError(message)
-        raise ServeError(str(waiter.value[0]))  # "died"
+        return _interpret(waiter)
 
     def stats_remote(self, timeout: float = 5.0) -> dict[str, Any] | None:
         """The replica engine's stats snapshot (None if unreachable)."""
@@ -487,6 +619,18 @@ class ReplicaPool:
         self._stopping = False
         self._started_at = time.monotonic()
         self._ids = itertools.count(1)
+        # one breaker per slot, surviving handle replacement (reset on
+        # respawn/reload so a fresh process starts with a clean slate).
+        self._breakers: list[CircuitBreaker | None] = [
+            CircuitBreaker(
+                threshold=self.config.breaker_threshold,
+                cooldown_s=self.config.breaker_cooldown_s,
+            ) if self.config.breaker_threshold > 0 else None
+            for _ in range(self.config.replicas)
+        ]
+        #: slots currently spawning their reload replacement (the old
+        #: replica still serves; purely informational for /healthz).
+        self._reloading_slots: set[int] = set()
         # pool-level accounting (own lock; replicas keep their own too)
         self._lock = threading.Lock()
         self.accepted = 0
@@ -495,6 +639,10 @@ class ReplicaPool:
         self.errors = 0
         self.reloads = 0
         self.replica_restarts = 0
+        self.deadline_rejected = 0
+        self.hedges_fired = 0
+        self.hedges_won = 0
+        self.spills = 0
         self._latencies: dict[str, Any] = {}
         self._latencies_by_model: dict[str, Any] = {}
         self._sanitize = {
@@ -558,6 +706,43 @@ class ReplicaPool:
             raise ServeError(f"slot {slot} has no live replica")
         return handle
 
+    def _routable_slot(
+        self, primary: int, exclude: frozenset[int] = frozenset()
+    ) -> tuple[int, _ReplicaHandle]:
+        """First routable slot walking clockwise from ``primary``.
+
+        A slot is routable when it has a live, non-draining handle and
+        its breaker admits traffic.  The clockwise walk makes spilled
+        placement deterministic: for a given pool shape and breaker
+        state, a request's spill target is as reproducible as its
+        primary route.  When every live slot's breaker refuses (all
+        open at once), the first live slot is used anyway — the pool
+        fails *open*, because serving through a suspect replica beats
+        a self-inflicted total outage, and one success re-closes its
+        breaker.
+        """
+        with self._route_lock:
+            slots = list(self._slots)
+        fail_open: tuple[int, _ReplicaHandle] | None = None
+        for offset in range(self.config.replicas):
+            slot = (primary + offset) % self.config.replicas
+            if slot in exclude:
+                continue
+            handle = slots[slot]
+            if handle is None or handle.dead or handle.draining:
+                continue
+            breaker = self._breakers[slot]
+            if breaker is None or breaker.allow():
+                return slot, handle
+            if fail_open is None:
+                fail_open = (slot, handle)
+        if fail_open is not None:
+            return fail_open
+        raise ServeError(
+            f"no routable replica for slot {primary} "
+            f"(excluded: {sorted(exclude) or 'none'})"
+        )
+
     # -- serving surface ----------------------------------------------------
     def infer(
         self,
@@ -606,17 +791,50 @@ class ReplicaPool:
         digest = context_digest(context)
         slot = self.route(task, sentence, digest)
         started = time.monotonic()
+        if request.deadline_s is not None:
+            # pool-side deadline admission: if the remaining budget is
+            # below the routed slot's recent p50 latency, reject before
+            # shipping anything over a pipe.
+            try:
+                window = list(self._handle_for(slot).latency_window)
+            except ServeError:
+                window = []
+            estimate = nearest_rank(window, 0.50) if window else 0.0
+            if request.deadline_s <= 0 or (
+                estimate > 0 and request.deadline_s < estimate
+            ):
+                with self._lock:
+                    self.rejected += 1
+                    self.deadline_rejected += 1
+                    self.telemetry.increment("serve", "pool_rejected")
+                    self.telemetry.increment(
+                        "serve", "pool_deadline_rejected"
+                    )
+                raise DeadlineExceededError(
+                    f"deadline budget {max(0.0, request.deadline_s):.3f}s "
+                    f"below slot {slot} recent p50 latency "
+                    f"{estimate:.3f}s; rejecting before dispatch",
+                    remaining_s=max(0.0, request.deadline_s),
+                    estimate_s=estimate if request.deadline_s > 0 else None,
+                )
         try:
-            response = self._dispatch(request, slot, wait)
-        except (OverloadedError, EngineStoppedError):
+            response = self._dispatch(request, slot, wait, started)
+        except (OverloadedError, DeadlineExceededError,
+                EngineStoppedError) as error:
             with self._lock:
                 self.rejected += 1
                 self.telemetry.increment("serve", "pool_rejected")
+                if isinstance(error, DeadlineExceededError):
+                    self.deadline_rejected += 1
+                    self.telemetry.increment(
+                        "serve", "pool_deadline_rejected"
+                    )
             raise
         except ServeError as error:
-            # replica died / timed out: surface as an error *response*
-            # (compute may have happened; this is not an admission
-            # rejection) so load generators count it as a failure.
+            # replica died / timed out / corrupt reply: surface as an
+            # error *response* (compute may have happened; this is not
+            # an admission rejection) so load generators count it as a
+            # failure.
             response = InferenceResponse(
                 id=request.id, task=task, ok=False,
                 error=f"replica_failed: {error}",
@@ -634,20 +852,220 @@ class ReplicaPool:
             self._note_latency(task, response.model, total_s)
         return response
 
+    @staticmethod
+    def _shrunk(
+        request: InferenceRequest, started: float
+    ) -> InferenceRequest:
+        """The request with its deadline budget shrunk by elapsed time.
+
+        Raises :class:`DeadlineExceededError` if nothing remains — the
+        budget is end-to-end, so time burned in the parent (waiting out
+        a hedge delay, rerouting around a drain) comes out of what the
+        replica engine is allowed to spend.
+        """
+        if request.deadline_s is None:
+            return request
+        remaining = request.deadline_s - (time.monotonic() - started)
+        if remaining <= 0:
+            raise DeadlineExceededError(
+                "deadline budget exhausted before dispatch",
+                remaining_s=0.0,
+            )
+        return dataclasses.replace(request, deadline_s=remaining)
+
     def _dispatch(
-        self, request: InferenceRequest, slot: int, wait: float
+        self,
+        request: InferenceRequest,
+        primary: int,
+        wait: float,
+        started: float,
     ) -> InferenceResponse:
-        for attempt in range(_REROUTE_ATTEMPTS):
-            handle = self._handle_for(slot)
-            try:
-                return handle.infer_remote(request, wait)
-            except EngineStoppedError:
-                # the slot's replica began draining under us; the
-                # routing table has (or will have) its replacement.
-                if attempt == _REROUTE_ATTEMPTS - 1:
-                    raise
-                time.sleep(0.05 * (attempt + 1))
-        raise ServeError("unreachable")  # pragma: no cover
+        """Dispatch with reroute, hedging, and breaker accounting.
+
+        One or two *legs* (primary + at most one hedge/failover) race
+        for the first interpretable reply.  Every leg ends in exactly
+        one of: won (response returned), failed (typed exception
+        collected), or forgotten (lost the race; its late reply is
+        dropped by the reader thread).  Breakers hear about
+        replica-attributable failures and about losing a hedge race —
+        that lost race is precisely how a *hung* replica, which never
+        reports anything, accumulates strikes.
+        """
+        group = threading.Event()
+        deadline_at = started + wait
+        hedge = self.config.hedge
+        legs: list[dict[str, Any]] = []
+        failures: list[ServeError] = []
+        failed_slots: set[int] = set()
+        legs_started = 0
+
+        def note_failure(slot: int, error: ServeError) -> None:
+            failures.append(error)
+            failed_slots.add(slot)
+            breaker = self._breakers[slot]
+            if breaker is not None and not isinstance(
+                error,
+                (OverloadedError, EngineStoppedError, DeadlineExceededError),
+            ):
+                breaker.record_failure()
+
+        def start_leg(exclude: frozenset[int], is_primary: bool) -> bool:
+            """Route + submit one leg; False if no leg went in flight."""
+            nonlocal legs_started
+            tried = exclude
+            for attempt in range(_REROUTE_ATTEMPTS):
+                try:
+                    slot, handle = self._routable_slot(primary, tried)
+                except ServeError as error:
+                    failures.append(error)
+                    return False
+                try:
+                    leg_request = self._shrunk(request, started)
+                except DeadlineExceededError as error:
+                    failures.append(error)
+                    return False
+                try:
+                    rid, waiter = handle.submit_remote(leg_request, group)
+                except EngineStoppedError:
+                    # the slot began draining under us (rolling reload);
+                    # its replacement is (or will be) in the routing
+                    # table — brief backoff, then retry the same walk.
+                    if attempt == _REROUTE_ATTEMPTS - 1:
+                        failures.append(
+                            EngineStoppedError("replica is draining")
+                        )
+                        return False
+                    time.sleep(0.05 * (attempt + 1))
+                    continue
+                except ServeError as error:
+                    note_failure(slot, error)
+                    tried = tried | {slot}
+                    continue
+                if is_primary and slot != primary:
+                    with self._lock:
+                        self.spills += 1
+                        self.telemetry.increment("serve", "pool_spills")
+                legs.append({
+                    "slot": slot, "handle": handle, "rid": rid,
+                    "waiter": waiter, "t0": time.monotonic(),
+                    "is_hedge": not is_primary,
+                })
+                legs_started += 1
+                return True
+            failures.append(
+                ServeError("could not place request on any replica")
+            )
+            return False
+
+        if not start_leg(frozenset(), is_primary=True):
+            raise failures[0]
+        hedge_at: float | None = None
+        if hedge is not None and self.config.replicas > 1:
+            hedge_at = legs[0]["t0"] + hedge.delay_s(
+                list(legs[0]["handle"].latency_window)
+            )
+        while True:
+            group.clear()
+            # harvest any completed legs (first interpretable win ends
+            # the race; terminal failures are collected and may trigger
+            # an immediate failover below).
+            for leg in list(legs):
+                if not leg["waiter"].event.is_set():
+                    continue
+                legs.remove(leg)
+                elapsed = time.monotonic() - leg["t0"]
+                try:
+                    response = _interpret(leg["waiter"])
+                except (OverloadedError, DeadlineExceededError,
+                        EngineStoppedError) as error:
+                    failures.append(error)
+                except ServeError as error:
+                    note_failure(leg["slot"], error)
+                else:
+                    breaker = self._breakers[leg["slot"]]
+                    if breaker is not None:
+                        breaker.record_success()
+                    leg["handle"].latency_window.append(elapsed)
+                    if leg["is_hedge"]:
+                        with self._lock:
+                            self.hedges_won += 1
+                            self.telemetry.increment(
+                                "serve", "pool_hedges_won"
+                            )
+                    for loser in legs:
+                        loser["handle"].forget(loser["rid"])
+                        if leg["is_hedge"]:
+                            # the primary lost the race it should have
+                            # won by the hedge delay's margin: that is
+                            # a strike, and the only signal a *hung*
+                            # replica ever produces.
+                            loser_breaker = self._breakers[loser["slot"]]
+                            if loser_breaker is not None:
+                                loser_breaker.record_failure()
+                    return response
+            now = time.monotonic()
+            if not legs:
+                # every started leg failed terminally.  With hedging
+                # enabled and the second leg unused, fail over at once:
+                # inference is pure, so re-dispatch is safe.
+                if (
+                    hedge is not None
+                    and legs_started < 2
+                    and now < deadline_at
+                    and not any(
+                        isinstance(f, DeadlineExceededError)
+                        for f in failures
+                    )
+                ):
+                    if start_leg(frozenset(failed_slots), is_primary=False):
+                        with self._lock:
+                            self.hedges_fired += 1
+                            self.telemetry.increment(
+                                "serve", "pool_hedges_fired"
+                            )
+                        hedge_at = None
+                        continue
+                raise failures[0]
+            if now >= deadline_at:
+                for leg in legs:
+                    leg["handle"].forget(leg["rid"])
+                    note_failure(
+                        leg["slot"],
+                        ServeError(
+                            f"timed out after {wait}s waiting on replica "
+                            f"{leg['slot']}"
+                        ),
+                    )
+                raise failures[-1]
+            if (
+                hedge_at is not None
+                and now >= hedge_at
+                and legs_started < 2
+                and len(legs) == 1
+            ):
+                hedge_at = None
+                # timer hedges duplicate live work, so they draw from
+                # the policy's load budget; a saturated pool where
+                # *every* request crosses the p95 delay must not hedge
+                # its whole workload.  (Failover after a terminal
+                # failure, above, is exempt — it duplicates nothing.)
+                with self._lock:
+                    can_hedge = self.hedges_fired < hedge.budget(
+                        self.accepted
+                    )
+                exclude = frozenset(
+                    failed_slots | {leg["slot"] for leg in legs}
+                )
+                if can_hedge and start_leg(exclude, is_primary=False):
+                    with self._lock:
+                        self.hedges_fired += 1
+                        self.telemetry.increment(
+                            "serve", "pool_hedges_fired"
+                        )
+            horizon = deadline_at
+            if hedge_at is not None and hedge_at < horizon:
+                horizon = hedge_at
+            group.wait(max(0.0, min(horizon - time.monotonic(), 0.25)))
 
     def _note_latency(
         self, task: str, model_id: str, total_s: float
@@ -724,11 +1142,22 @@ class ReplicaPool:
             old_models = self._models_snapshot()
             drained: list[_ReplicaHandle] = []
             for slot in range(self.config.replicas):
-                fresh = _ReplicaHandle(spec, self.config.engine, slot)
-                fresh.start()
-                with self._route_lock:
-                    old = self._slots[slot]
-                    self._slots[slot] = fresh
+                with self._lock:
+                    self._reloading_slots.add(slot)
+                try:
+                    fresh = _ReplicaHandle(spec, self.config.engine, slot)
+                    fresh.start()
+                    with self._route_lock:
+                        old = self._slots[slot]
+                        self._slots[slot] = fresh
+                    breaker = self._breakers[slot]
+                    if breaker is not None:
+                        # the process behind this slot is brand new;
+                        # strikes against its predecessor don't apply.
+                        breaker.reset()
+                finally:
+                    with self._lock:
+                        self._reloading_slots.discard(slot)
                 if old is not None:
                     old.draining = True
                     # drain synchronously: every request already routed
@@ -759,6 +1188,9 @@ class ReplicaPool:
                 self._slots[slot] = fresh
                 with self._lock:
                     self.replica_restarts += 1
+                breaker = self._breakers[slot]
+                if breaker is not None:
+                    breaker.reset()
             else:  # someone else (a reload) already replaced it
                 fresh.stop(drain=False)
 
@@ -779,6 +1211,48 @@ class ReplicaPool:
                 name=f"replica-restart-{slot}", daemon=True,
             ).start()
 
+    # -- health -------------------------------------------------------------
+    def replica_states(self) -> list[dict[str, Any]]:
+        """Per-slot health, the shape ``/healthz`` reports.
+
+        ``state`` is one of ``ready`` / ``breaker_open`` / ``reloading``
+        / ``respawning`` / ``draining``; ``routable`` says whether the
+        dispatcher would currently send this slot traffic (breakers
+        half-open count as routable — probes are traffic).
+        """
+        with self._route_lock:
+            slots = list(self._slots)
+        with self._lock:
+            reloading = set(self._reloading_slots)
+        out: list[dict[str, Any]] = []
+        for slot, handle in enumerate(slots):
+            breaker = self._breakers[slot]
+            breaker_state = breaker.state if breaker is not None else None
+            if handle is None or handle.dead:
+                state, routable = "respawning", False
+            elif handle.draining:
+                state, routable = "draining", False
+            elif breaker_state == CircuitBreaker.OPEN:
+                state, routable = "breaker_open", False
+            elif slot in reloading:
+                # replacement is spawning; the incumbent still serves.
+                state, routable = "reloading", True
+            else:
+                state, routable = "ready", True
+            entry: dict[str, Any] = {
+                "slot": slot,
+                "state": state,
+                "routable": routable,
+            }
+            if breaker_state is not None:
+                entry["breaker"] = breaker_state
+            out.append(entry)
+        return out
+
+    def any_routable(self) -> bool:
+        """True while at least one replica can take traffic."""
+        return any(entry["routable"] for entry in self.replica_states())
+
     # -- stats --------------------------------------------------------------
     def _models_snapshot(self) -> dict[str, str]:
         """task -> model_id as currently routed (newest slot wins)."""
@@ -798,6 +1272,9 @@ class ReplicaPool:
         ``latency_by_model`` the canary view across model versions.
         """
         self.ensure_live()
+        states = {
+            entry["slot"]: entry for entry in self.replica_states()
+        }
         with self._route_lock:
             handles = [
                 (slot, handle)
@@ -818,10 +1295,14 @@ class ReplicaPool:
                 "models": dict(handle.models),
                 "alive": not handle.dead,
                 "draining": handle.draining,
+                "state": states[slot]["state"],
                 "uptime_s": round(
                     time.monotonic() - handle.started_at, 3
                 ),
             }
+            breaker = self._breakers[slot]
+            if breaker is not None:
+                entry["breaker"] = breaker.stats()
             if snapshot is not None:
                 entry["engine"] = snapshot
                 agg["batches"] += snapshot["batches"]["count"]
@@ -880,6 +1361,12 @@ class ReplicaPool:
                 "models": self._models_snapshot(),
                 "reloads": self.reloads,
                 "replica_restarts": self.replica_restarts,
+                "deadline_rejected": self.deadline_rejected,
+                "hedges": {
+                    "fired": self.hedges_fired,
+                    "won": self.hedges_won,
+                },
+                "spills": self.spills,
                 "draining": self._stopping,
                 "workers": self.config.engine.workers,
                 "max_batch_size": self.config.engine.max_batch_size,

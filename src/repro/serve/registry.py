@@ -35,6 +35,7 @@ from typing import Any
 
 from repro.errors import IntegrityError, RegistryError
 from repro.fsio import atomic_write_bytes, atomic_write_text, sha256_text
+from repro.serve import chaos
 from repro.validate.manifest import verify_manifest, write_manifest
 
 #: the two servable tasks; mirrors :class:`repro.pipelines.samples.TaskType`.
@@ -281,6 +282,7 @@ class ModelRegistry:
         """
         version = self._resolve_version(name, version)
         artifact = self._artifact_path(name, version)
+        chaos.maybe_torn_read(f"{name}@{version}")
         manifest = verify_manifest(artifact, required=True)
         if manifest.record_kind != MODEL_RECORD_KIND:
             raise IntegrityError(

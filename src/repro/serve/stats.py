@@ -13,6 +13,23 @@ from typing import Iterable
 QUANTILES = ((0.50, "p50_ms"), (0.95, "p95_ms"), (0.99, "p99_ms"))
 
 
+def nearest_rank(values: Iterable[float], q: float) -> float:
+    """The nearest-rank ``q``-quantile of ``values``, in the input unit.
+
+    Raw-value sibling of :func:`nearest_rank_percentiles` for callers
+    that *act* on a quantile rather than report it — the hedge delay
+    (p95 of a replica's recent latency window) and the deadline
+    admission gate (p50 of recent compute).  Returns 0.0 for an empty
+    window so callers can treat "no history yet" as "no estimate".
+    """
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    n = len(ordered)
+    index = max(0, min(n - 1, math.ceil(q * n) - 1))
+    return ordered[index]
+
+
 def nearest_rank_percentiles(values: Iterable[float]) -> dict[str, float]:
     """Nearest-rank percentiles of ``values`` (seconds), reported in ms.
 

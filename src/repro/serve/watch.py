@@ -1,0 +1,121 @@
+"""Registry watching: poll default pointers, hot-reload on change.
+
+Extracted from the CLI so the loop is testable and its failure policy
+is explicit: **the watch thread never dies**.  ``repro registry
+save-model`` rewrites a version directory and then swings the default
+pointer; a poll that lands between the two sees a torn state and the
+registry raises :class:`~repro.errors.IntegrityError`.  That is a
+*transient* condition — the correct response is to log a structured
+event and retry on the next tick, not to kill the thread (which would
+silently freeze the fleet on whatever model it was serving).
+
+Every observable emits one JSON line through ``emit`` (default:
+``print``) with an ``event`` field:
+
+``registry_watch_error``
+    a poll failed for one name (torn read, missing manifest, …); the
+    watcher keeps the last healthy observation for that name.
+``registry_watch_reload``
+    the default pointer moved and the reloader ran; carries the
+    reloader's summary.
+``registry_watch_reload_failed``
+    the reloader itself raised; the watcher retries next tick with its
+    previous baseline so the change is not lost.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Any, Callable, Sequence
+
+
+class RegistryWatcher:
+    """Poll ``registry`` for default-pointer moves and run ``reloader``.
+
+    ``poll_once`` is the unit of behaviour (and the unit under test);
+    ``run`` wraps it in a stop-able loop and ``start`` daemonizes it.
+    """
+
+    def __init__(
+        self,
+        registry: Any,
+        names: Sequence[str],
+        reloader: Callable[[], dict],
+        interval_s: float,
+        *,
+        stop: threading.Event | None = None,
+        emit: Callable[[str], None] = print,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError(
+                f"watch interval must be > 0, got {interval_s}"
+            )
+        self.registry = registry
+        self.names = list(names)
+        self.reloader = reloader
+        self.interval_s = interval_s
+        self.stop = stop if stop is not None else threading.Event()
+        self._emit = emit
+        # last healthy model_id per name; names whose current poll
+        # failed keep their previous observation so one torn read
+        # cannot masquerade as (or mask) a version change.
+        self._last: dict[str, str] = self._observe()
+        self.polls = 0
+        self.errors = 0
+        self.reloads = 0
+
+    def _event(self, event: str, **fields: Any) -> None:
+        self._emit(json.dumps({"event": event, **fields}, sort_keys=True))
+
+    def _observe(self) -> dict[str, str]:
+        """Current default model_id per name; failures logged, skipped."""
+        out: dict[str, str] = {}
+        for name in self.names:
+            try:
+                out[name] = self.registry.record(name).model_id
+            except Exception as error:
+                self.errors += 1
+                self._event(
+                    "registry_watch_error",
+                    name=name,
+                    error=str(error),
+                    kind=type(error).__name__,
+                )
+        return out
+
+    def poll_once(self) -> dict | None:
+        """One tick: observe, reload if anything moved.
+
+        Returns the reloader's summary when a reload ran, else None.
+        Never raises — every failure path is an event plus retry state.
+        """
+        self.polls += 1
+        observed = self._observe()
+        merged = {**self._last, **observed}
+        if merged == self._last or not observed:
+            return None
+        try:
+            summary = self.reloader()
+        except Exception as error:
+            self._event(
+                "registry_watch_reload_failed",
+                error=str(error),
+                kind=type(error).__name__,
+            )
+            return None
+        self.reloads += 1
+        self._last = merged
+        self._event("registry_watch_reload", summary=summary)
+        return summary
+
+    def run(self) -> None:
+        while not self.stop.wait(self.interval_s):
+            self.poll_once()
+
+    def start(self) -> threading.Thread:
+        thread = threading.Thread(
+            target=self.run, name="registry-watch", daemon=True
+        )
+        thread.start()
+        return thread

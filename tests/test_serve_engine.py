@@ -16,6 +16,8 @@ from repro.telemetry import Telemetry
 
 from .conftest import qa_lookup_samples, verification_samples
 
+pytestmark = pytest.mark.timeout(300)
+
 
 class _ExplodingVerifier:
     """Picklable stand-in whose batch predict always fails."""
@@ -463,3 +465,103 @@ class TestRetryAfter:
         engine = InferenceEngine({TASK_VERIFY: tiny_verifier})
         with engine._cond:
             assert engine._retry_after_locked() == _DEFAULT_RETRY_AFTER
+
+
+class TestDeadlines:
+    def test_non_positive_deadline_is_typed(self, engine, serve_context):
+        from repro.errors import DeadlineExceededError
+
+        with pytest.raises(DeadlineExceededError) as caught:
+            engine.infer(
+                TASK_QA, "what is the points of bo chen ?", serve_context,
+                deadline_s=0.0,
+            )
+        assert caught.value.remaining_s == 0.0
+        stats = engine.stats()
+        assert stats["deadline_rejected"] == 1
+        assert stats["rejected"] == 1
+        assert stats["reconciles"]
+
+    def test_budget_below_p50_compute_is_rejected(
+        self, engine, serve_context
+    ):
+        from repro.errors import DeadlineExceededError
+
+        # warm the compute window so the p50 estimate is non-zero
+        for i in range(3):
+            assert engine.infer(
+                TASK_QA, f"what is warm question {i} ?", serve_context
+            ).ok
+        with pytest.raises(DeadlineExceededError) as caught:
+            engine.infer(
+                TASK_QA, "what is the team of raj patel ?", serve_context,
+                deadline_s=1e-9,
+            )
+        assert caught.value.estimate_s is not None
+        assert caught.value.estimate_s > 1e-9
+
+    def test_generous_deadline_is_admitted(self, engine, serve_context):
+        response = engine.infer(
+            TASK_QA, "what is the points of bo chen ?", serve_context,
+            deadline_s=60.0,
+        )
+        assert response.ok
+        assert engine.stats()["deadline_rejected"] == 0
+
+    def test_cache_hit_ignores_deadline(self, engine, serve_context):
+        from repro.errors import DeadlineExceededError
+
+        sentence = "what is the rebounds of mike jones ?"
+        assert engine.infer(TASK_QA, sentence, serve_context).ok
+        # a cached answer costs nothing; even a dead budget serves it
+        with pytest.raises(DeadlineExceededError):
+            engine.infer(
+                TASK_QA, "what is the team of raj patel ?", serve_context,
+                deadline_s=0.0,
+            )
+        cached = engine.infer(
+            TASK_QA, sentence, serve_context, deadline_s=0.0
+        )
+        assert cached.ok and cached.cached
+
+
+class TestSlowFault:
+    def test_injected_slowdown_stretches_service_time(
+        self, tiny_verifier, serve_context
+    ):
+        import time as _time
+
+        from repro.serve import chaos
+        from repro.serve.chaos import ServeFaultPlan, ServeFaultSpec
+
+        plan = ServeFaultPlan((
+            ServeFaultSpec(kind="slow", seconds=0.25, count=1),
+        ))
+        with chaos.injected(plan):
+            # the injector binds at construction, inside the plan
+            engine = InferenceEngine(
+                {TASK_VERIFY: tiny_verifier},
+                EngineConfig(workers=1, cache_size=0),
+            )
+            engine.start()
+        try:
+            started = _time.monotonic()
+            first = engine.infer(
+                TASK_VERIFY, "the first claim is slow .", serve_context
+            )
+            slow_elapsed = _time.monotonic() - started
+            started = _time.monotonic()
+            second = engine.infer(
+                TASK_VERIFY, "the second claim is fast .", serve_context
+            )
+            fast_elapsed = _time.monotonic() - started
+            assert first.ok and second.ok
+            assert slow_elapsed >= 0.25  # budget of one: only the first
+            assert fast_elapsed < 0.25
+        finally:
+            engine.stop(drain=True)
+
+    def test_no_plan_means_no_injector(self, engine):
+        # zero-overhead-when-disabled: the hot path carries a single
+        # attribute that is None, not a disabled gate object.
+        assert engine._chaos is None

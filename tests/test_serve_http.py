@@ -11,7 +11,7 @@ import urllib.request
 
 import pytest
 
-from repro.errors import OverloadedError
+from repro.errors import DeadlineExceededError, OverloadedError
 from repro.pipelines.samples import ReasoningSample, TaskType
 from repro.runtime import RetryPolicy
 from repro.serve import (
@@ -28,6 +28,8 @@ from repro.serve import (
     run_load,
     serve_in_thread,
 )
+
+pytestmark = pytest.mark.timeout(300)
 
 
 @pytest.fixture
@@ -709,3 +711,116 @@ class TestOpenLoopLoadgen:
             run_load_open(client, workload, rate=0.0)
         with pytest.raises(ServeError):
             run_load_open(client, workload, rate=10.0, clients=0)
+
+
+class TestDeadlinesOverHttp:
+    def test_impossible_deadline_is_504(self, served, serve_context):
+        client = HttpServeClient(f"http://127.0.0.1:{served.port}")
+        # warm the engine so its p50 compute estimate is non-zero —
+        # then a microsecond budget is rejected deterministically
+        # whichever side of zero the header-to-dispatch shrink lands.
+        assert client.qa(
+            "what is the points of bo chen ?", serve_context
+        ).ok
+        with pytest.raises(DeadlineExceededError):
+            client.qa(
+                "what is the team of raj patel ?", serve_context,
+                deadline_s=1e-6,
+            )
+        metrics = client.metrics()
+        assert metrics["deadline_rejected"] >= 1
+        assert metrics["reconciles"]
+
+    def test_deadline_header_wins_over_body(self, served, serve_context):
+        # body says plenty of time, header says none: header rules.
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{served.port}/v1/qa",
+            data=json.dumps({
+                "question": "what is the points of bo chen ?",
+                "context": serve_context.to_json(),
+                "deadline_ms": 60_000,
+            }).encode("utf-8"),
+            headers={
+                "Content-Type": "application/json",
+                "X-Repro-Deadline-Ms": "0.001",
+            },
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            urllib.request.urlopen(request, timeout=30.0)
+        assert caught.value.code == 504
+        body = json.loads(caught.value.read().decode("utf-8"))
+        assert body["error"]["type"] == "deadline"
+        assert "remaining_ms" in body["error"]
+
+    def test_malformed_deadline_header_is_400(self, served, serve_context):
+        for bad in ("nope", "-3", "0"):
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{served.port}/v1/qa",
+                data=json.dumps({
+                    "question": "q ?",
+                    "context": serve_context.to_json(),
+                }).encode("utf-8"),
+                headers={
+                    "Content-Type": "application/json",
+                    "X-Repro-Deadline-Ms": bad,
+                },
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                urllib.request.urlopen(request, timeout=30.0)
+            assert caught.value.code == 400, bad
+
+    def test_loadgen_classifies_deadline_failures(
+        self, served, serve_context
+    ):
+        from repro.serve import run_load
+
+        client = HttpServeClient(f"http://127.0.0.1:{served.port}")
+        assert client.qa(
+            "what is the points of bo chen ?", serve_context
+        ).ok  # warm, so the estimate gate is live
+        workload = build_workload([serve_context], 8, seed=5)
+
+        class TinyDeadlineClient:
+            def qa(self, sentence, context, **kwargs):
+                return client.qa(sentence, context, deadline_s=1e-6)
+
+            def verify(self, sentence, context, **kwargs):
+                return client.verify(sentence, context, deadline_s=1e-6)
+
+        report = run_load(TinyDeadlineClient(), workload, clients=2)
+        assert report.completed == 0
+        assert report.failures["deadline"] == 8
+        assert report.errors == 8  # deadline is a non-429 failure
+        payload = report.to_json()
+        assert payload["failures"]["deadline"] == 8
+        assert payload["failures"]["overloaded"] == 0
+
+
+class TestPoolHealthz:
+    def test_healthz_reports_replica_states(self, tmp_path, serve_context):
+        from repro.serve import PoolConfig, pool_from_registry
+        from repro.serve.stub import FixedServiceQA, FixedServiceVerifier
+
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.save(FixedServiceQA(0.002), "qa-stub")
+        registry.save(FixedServiceVerifier(0.002), "verify-stub")
+        pool = pool_from_registry(
+            str(tmp_path / "registry"),
+            config=PoolConfig(replicas=2, engine=EngineConfig(workers=1)),
+        )
+        pool.start()
+        server = make_server(pool)
+        serve_in_thread(server)
+        try:
+            client = HttpServeClient(f"http://127.0.0.1:{server.port}")
+            health = client.healthz()
+            assert health["status"] == "ok"
+            assert health["routable_replicas"] == 2
+            states = {e["slot"]: e["state"] for e in health["replicas"]}
+            assert states == {0: "ready", 1: "ready"}
+        finally:
+            server.shutdown()
+            server.server_close()
+            pool.stop(drain=True)

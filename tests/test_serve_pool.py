@@ -25,6 +25,8 @@ from repro.serve import (
 )
 from repro.serve.stub import FixedServiceQA, FixedServiceVerifier
 
+pytestmark = pytest.mark.timeout(300)
+
 
 @pytest.fixture
 def stub_registry(tmp_path):
@@ -83,6 +85,22 @@ class TestServing:
         }
         assert stats["latency"][TASK_QA]["count"] == 6
         assert stats["latency_by_model"]["qa-stub@v0001"]["count"] == 6
+        # resilience surface: breaker + hedge + deadline accounting is
+        # always present, even when nothing has gone wrong
+        assert stats["hedges"] == {"fired": 0, "won": 0}
+        assert stats["spills"] == 0
+        assert stats["deadline_rejected"] == 0
+        for entry in stats["replicas"]:
+            assert entry["state"] == "ready"
+            assert entry["breaker"]["state"] == "closed"
+            assert entry["breaker"]["trips"] == 0
+
+    def test_replica_states_all_ready(self, pool):
+        states = pool.replica_states()
+        assert [e["slot"] for e in states] == [0, 1]
+        assert all(e["state"] == "ready" for e in states)
+        assert all(e["routable"] for e in states)
+        assert pool.any_routable()
 
     def test_routing_is_deterministic(self, pool, serve_context):
         from repro.serve.engine import context_digest

@@ -21,6 +21,8 @@ import pytest
 from repro.serve import HttpServeClient, ModelRegistry, TASK_QA
 from repro.serve.stub import FixedServiceQA, FixedServiceVerifier
 
+pytestmark = pytest.mark.timeout(600)
+
 
 @pytest.fixture
 def stub_registry(tmp_path):
