@@ -399,6 +399,101 @@ def _cmd_models(args: argparse.Namespace) -> int:
     return 0
 
 
+def _iter_context_payloads(paths: list[str]):
+    """Yield :class:`TableContext`\\ s from JSONL files of their JSON form."""
+    import json
+
+    from repro.tables.context import TableContext
+
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line_no, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield TableContext.from_json(json.loads(line))
+                except Exception as error:
+                    raise SystemExit(
+                        f"{path}:{line_no}: bad table context: {error}"
+                    ) from error
+
+
+def _cmd_store_add(args: argparse.Namespace) -> int:
+    from repro.store import DEFAULT_SHARD_SIZE, open_or_create, synth_corpus
+
+    store = open_or_create(
+        args.store, shard_size=args.shard_size or DEFAULT_SHARD_SIZE
+    )
+    added = 0
+    if args.synth:
+        doc_ids = store.add(synth_corpus(args.synth, seed=args.seed))
+        added += len(doc_ids)
+    if args.jsonl:
+        doc_ids = store.add(_iter_context_payloads(args.jsonl))
+        added += len(doc_ids)
+    if added == 0:
+        print("nothing to add: pass --synth N and/or JSONL files",
+              file=sys.stderr)
+        return 2
+    print(
+        f"added {added} tables to {args.store} "
+        f"({store.doc_count} total); run `repro store build` to index"
+    )
+    return 0
+
+
+def _cmd_store_build(args: argparse.Namespace) -> int:
+    from repro.store import build_index
+
+    summary = build_index(args.store, workers=args.workers)
+    print(
+        f"indexed {summary['docs']} docs / {summary['terms']} terms "
+        f"from {summary['shards']} shards in {summary['build_s']:.2f}s "
+        f"(parts built {summary['parts_built']}, "
+        f"reused {summary['parts_reused']}, workers {summary['workers']})"
+    )
+    return 0
+
+
+def _cmd_store_query(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.store import Retriever
+
+    retriever = Retriever.open(args.store)
+    hits = retriever.search(args.question, k=args.k)
+    if not hits:
+        print("no hits", file=sys.stderr)
+        return 1
+    for hit in hits:
+        payload = hit.to_json()
+        if args.passages:
+            payload["passage"] = retriever.passage(hit.doc_id, max_rows=2)
+        print(json.dumps(payload, ensure_ascii=False))
+    return 0
+
+
+def _cmd_store_verify(args: argparse.Namespace) -> int:
+    from repro.errors import IntegrityError, StoreError
+    from repro.store import TableStore, load_index
+
+    store = TableStore.open(args.store)
+    report = store.verify()
+    print(
+        f"store ok: {report['docs']} docs in {report['shards']} shards"
+    )
+    try:
+        index = load_index(args.store, store=store)
+    except StoreError as error:
+        print(f"index: {error}", file=sys.stderr)
+        return 1
+    except IntegrityError:
+        raise
+    print(f"index ok: {index.docs} docs / {len(index.postings)} terms")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json
     import signal
@@ -490,8 +585,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     changes[task] = backend.swap_model(task, fresh)
             return {"mode": "engine", "changes": changes}
 
+    retriever = None
+    if args.store:
+        from repro.errors import ReproError
+        from repro.store import Retriever
+
+        try:
+            retriever = Retriever.open(args.store)
+        except ReproError as error:
+            print(str(error), file=sys.stderr)
+            backend.stop(drain=False)
+            return 2
+        print(
+            f"store {args.store}: {retriever.doc_count} tables "
+            "behind /v1/ask"
+        )
+
     server = make_server(
-        backend, host=args.host, port=args.port, reloader=reloader
+        backend, host=args.host, port=args.port, reloader=reloader,
+        retriever=retriever,
     )
     mode = (
         f"replicas={args.replicas}" if args.replicas > 0
@@ -708,6 +820,71 @@ def build_parser() -> argparse.ArgumentParser:
     models_list.add_argument("--registry", required=True, metavar="DIR")
     models_list.set_defaults(fn=_cmd_models)
 
+    store = commands.add_parser(
+        "store",
+        help="manage a table corpus store (shards + inverted index) "
+             "behind POST /v1/ask",
+    )
+    store_commands = store.add_subparsers(dest="store_command", required=True)
+
+    store_add = store_commands.add_parser(
+        "add",
+        help="append tables to a store (created on first use) from "
+             "TableContext JSONL files and/or the synthetic generator",
+    )
+    store_add.add_argument("--store", required=True, metavar="DIR")
+    store_add.add_argument(
+        "jsonl", nargs="*",
+        help="JSONL files of TableContext.to_json payloads, one per line",
+    )
+    store_add.add_argument(
+        "--synth", type=int, default=0, metavar="N",
+        help="also append N deterministic synthetic tables",
+    )
+    store_add.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for --synth (default 0)",
+    )
+    store_add.add_argument(
+        "--shard-size", type=int, default=None, metavar="K",
+        help="tables per shard when creating a new store",
+    )
+    store_add.set_defaults(fn=_cmd_store_add)
+
+    store_build = store_commands.add_parser(
+        "build",
+        help="build (or resume building) the inverted index — "
+             "byte-identical output at any worker count",
+    )
+    store_build.add_argument("--store", required=True, metavar="DIR")
+    store_build.add_argument(
+        "--workers", type=int, default=1,
+        help="parallel per-shard index workers (default 1)",
+    )
+    store_build.set_defaults(fn=_cmd_store_build)
+
+    store_query = store_commands.add_parser(
+        "query", help="rank stored tables against a question (BM25)"
+    )
+    store_query.add_argument("--store", required=True, metavar="DIR")
+    store_query.add_argument("question")
+    store_query.add_argument(
+        "-k", type=int, default=5, help="hits to print (default 5)"
+    )
+    store_query.add_argument(
+        "--passages", action="store_true",
+        help="include a prose snippet of each hit table",
+    )
+    store_query.set_defaults(fn=_cmd_store_query)
+
+    store_verify = store_commands.add_parser(
+        "verify",
+        help="audit every shard against its integrity manifests and "
+             "check the index is current",
+    )
+    store_verify.add_argument("--store", required=True, metavar="DIR")
+    store_verify.set_defaults(fn=_cmd_store_verify)
+
     serve = commands.add_parser(
         "serve",
         help="serve registered models over HTTP (micro-batched, "
@@ -771,6 +948,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--no-breaker", action="store_true",
         help="disable per-replica circuit breakers in replica mode",
+    )
+    serve.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="table corpus store directory; enables POST /v1/ask "
+             "(retrieve top-k tables, answer with the QA model)",
     )
     serve.set_defaults(fn=_cmd_serve)
 

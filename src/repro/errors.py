@@ -134,6 +134,18 @@ class IntegrityError(DatasetError):
         super().__init__(message)
 
 
+class StoreError(ReproError):
+    """Errors in the table corpus store (:mod:`repro.store`).
+
+    Covers *logical* misuse — unknown doc ids, opening a directory that
+    is not a store, querying before an index exists, a stale index whose
+    shard fingerprints no longer match the store manifest.  *Physical*
+    damage (flipped bytes, truncated shards, dropped manifests) raises
+    :class:`IntegrityError`, exactly as it does for corpora and model
+    artifacts.
+    """
+
+
 class ExecutorError(ReproError):
     """The parallel execution runtime broke an internal invariant."""
 

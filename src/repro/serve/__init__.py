@@ -14,6 +14,7 @@ the path from a trained model to answers over the wire:
   nothing) behind deterministic routing, with zero-downtime rolling
   reload from the registry.
 * :mod:`repro.serve.http` — ``POST /v1/qa``, ``POST /v1/verify``,
+  ``POST /v1/ask`` (retrieval-backed QA over a :mod:`repro.store`),
   ``GET /healthz``, ``GET /metrics``, ``POST /v1/admin/reload``;
   in-process and HTTP clients; serves an engine or a pool.
 * :mod:`repro.serve.loadgen` — deterministic closed-loop *and*
@@ -44,10 +45,15 @@ from repro.serve.engine import (
 from repro.serve.hedge import HedgePolicy
 from repro.serve.http import (
     DEADLINE_HEADER,
+    DEFAULT_ASK_TOP_K,
+    RETRIEVAL_MISS_PREFIX,
+    AskResponse,
+    AskStats,
     HttpServeClient,
     ParsedRequest,
     ServeClient,
     ServeHTTPServer,
+    execute_ask,
     make_server,
     parse_request_payload,
     serve_in_thread,
@@ -67,6 +73,7 @@ from repro.serve.pool import (
     pool_from_registry,
 )
 from repro.serve.registry import (
+    TASK_ASK,
     TASK_QA,
     TASK_VERIFY,
     TASKS,
@@ -82,8 +89,11 @@ from repro.serve.stats import nearest_rank, nearest_rank_percentiles
 from repro.serve.watch import RegistryWatcher
 
 __all__ = [
+    "AskResponse",
+    "AskStats",
     "CircuitBreaker",
     "DEADLINE_HEADER",
+    "DEFAULT_ASK_TOP_K",
     "EngineConfig",
     "FAILURE_KINDS",
     "HedgePolicy",
@@ -98,17 +108,20 @@ __all__ = [
     "ParsedRequest",
     "PendingResponse",
     "PoolConfig",
+    "RETRIEVAL_MISS_PREFIX",
     "RegistryWatcher",
     "ReplicaPool",
     "ReplicaSpec",
     "ServeClient",
     "ServeHTTPServer",
     "TASKS",
+    "TASK_ASK",
     "TASK_QA",
     "TASK_VERIFY",
     "Timing",
     "WorkItem",
     "build_workload",
+    "execute_ask",
     "load_model",
     "make_server",
     "model_task",

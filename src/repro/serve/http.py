@@ -6,6 +6,15 @@ Endpoints (all JSON):
   ``{"ok": true, "answer": […], "model": "name@v0001", "latency": {…}}``
 * ``POST /v1/verify``  — ``{"claim": str, "context": {…}}`` →
   ``{"ok": true, "label": "supported" | "refuted" | "unknown", …}``
+* ``POST /v1/ask``     — ``{"question": str}`` (question only, **no**
+  ``context``) → the server retrieves the top-k tables from its
+  attached store (``repro serve --store``), answers over the best one
+  with the QA model, and echoes retrieval provenance:
+  ``{"ok": true, "answer": […], "retrieval": {"hits": […], "chosen":
+  …, "retrieve_ms": …}}``.  Zero hits is a 200 with ``ok: false`` and
+  an error prefixed ``retrieval_miss:`` (the transport and the server
+  both worked; the corpus had nothing to say).  Served 501 when the
+  server was started without a store.
 * ``GET /healthz``     — liveness + which models are loaded.
 * ``GET /metrics``     — the engine's stats snapshot (throughput,
   p50/p95/p99 latency, batch sizes, cache hit rate, queue depth,
@@ -78,14 +87,26 @@ from repro.serve.engine import (
     InferenceResponse,
     response_from_json,
 )
-from repro.serve.registry import TASK_QA, TASK_VERIFY
+from repro.serve.registry import TASK_ASK, TASK_QA, TASK_VERIFY
+from repro.serve.stats import nearest_rank_percentiles
 from repro.tables.context import TableContext
 
 #: request bodies beyond this are refused (protects the JSON parser).
 MAX_BODY_BYTES = 16 << 20
 
-_TASK_ROUTES = {"/v1/qa": TASK_QA, "/v1/verify": TASK_VERIFY}
-_SENTENCE_FIELD = {TASK_QA: "question", TASK_VERIFY: "claim"}
+_TASK_ROUTES = {
+    "/v1/qa": TASK_QA,
+    "/v1/verify": TASK_VERIFY,
+    "/v1/ask": TASK_ASK,
+}
+_SENTENCE_FIELD = {
+    TASK_QA: "question",
+    TASK_VERIFY: "claim",
+    TASK_ASK: "question",
+}
+
+#: ``top_k`` bounds for /v1/ask (a request cannot demand the corpus).
+MAX_TOP_K = 100
 
 #: request header carrying the end-to-end deadline budget in
 #: milliseconds; equivalent to the ``deadline_ms`` body field (the
@@ -193,16 +214,27 @@ class ParsedRequest:
     """A validated (and optionally sanitized) inference request."""
 
     sentence: str
-    context: TableContext
+    #: ``None`` for ``/v1/ask`` — the server retrieves the context.
+    context: TableContext | None
     deadline_s: float | None
     request_id: str | None
     #: ``SanitizeReport.to_json()`` when the payload asked for
     #: ``"sanitize": true``; ``None`` otherwise.
     sanitize_report: dict[str, Any] | None = None
+    #: whether the payload asked for sanitization — for ``/v1/ask`` the
+    #: sanitizer runs on the *retrieved* table, so the flag must travel
+    #: even though no report exists at parse time.
+    sanitize: bool = False
+    #: ``/v1/ask`` retrieval depth; ``None`` means the server default.
+    top_k: int | None = None
 
 
 def parse_request_payload(task: str, payload: Any) -> ParsedRequest:
     """Validate a POST body into a :class:`ParsedRequest`.
+
+    The one validation path for all three POST endpoints, so strict
+    field-naming 400s and ``"sanitize": true`` behave identically on
+    ``/v1/qa``, ``/v1/verify``, and ``/v1/ask``.
 
     With ``"sanitize": true`` in the payload the table JSON is first
     repaired at the payload level (ragged rows padded, duplicate/empty
@@ -211,6 +243,11 @@ def parse_request_payload(task: str, payload: Any) -> ParsedRequest:
     :func:`repro.sanitize.sanitize_context`; the merged report rides
     along.  Without it, validation is strict and every defect is a 400
     naming the offending field.
+
+    ``/v1/ask`` differences: ``context`` is *forbidden* (the server
+    retrieves it; sending one is a 400 naming the field), ``top_k``
+    bounds retrieval depth, and sanitization applies to the retrieved
+    table downstream (``sanitize_report`` stays ``None`` here).
     """
     if not isinstance(payload, dict):
         raise _BadRequest("request body must be a JSON object")
@@ -223,32 +260,61 @@ def parse_request_payload(task: str, payload: Any) -> ParsedRequest:
     sanitize = payload.get("sanitize", False)
     if not isinstance(sanitize, bool):
         raise _BadRequest("'sanitize' must be a boolean", field="sanitize")
-    context_payload = payload.get("context")
-    if not isinstance(context_payload, dict):
-        raise _BadRequest(
-            "missing 'context' field (a TableContext.to_json payload)",
-            field="context",
-        )
-    payload_fixes: dict[str, int] = {}
-    if sanitize:
-        table_payload, payload_fixes = sanitize_table_payload(
-            context_payload.get("table")
-        )
-        context_payload = {**context_payload, "table": table_payload}
-    _validate_context_payload(context_payload)
-    try:
-        context = TableContext.from_json(context_payload)
-    except (ReproError, KeyError, TypeError, ValueError) as error:
-        # validation above should have caught everything; this is the
-        # belt-and-braces guard keeping parser changes from becoming 500s
-        raise _BadRequest(
-            f"malformed context: {error}", field="context"
-        ) from error
-    sanitize_report: dict[str, Any] | None = None
-    if sanitize:
-        context, report = sanitize_context(context)
-        report.merge_structure(payload_fixes)
-        sanitize_report = report.to_json()
+    top_k: int | None = None
+    if task == TASK_ASK:
+        if "context" in payload:
+            raise _BadRequest(
+                "'/v1/ask' retrieves its own table; remove the "
+                "'context' field (use /v1/qa to answer over a "
+                "supplied table)",
+                field="context",
+            )
+        raw_top_k = payload.get("top_k")
+        if raw_top_k is not None:
+            if (
+                not isinstance(raw_top_k, int)
+                or isinstance(raw_top_k, bool)
+                or not 1 <= raw_top_k <= MAX_TOP_K
+            ):
+                raise _BadRequest(
+                    f"'top_k' must be an integer in [1, {MAX_TOP_K}]",
+                    field="top_k",
+                )
+            top_k = raw_top_k
+        context: TableContext | None = None
+        sanitize_report: dict[str, Any] | None = None
+    else:
+        if "top_k" in payload:
+            raise _BadRequest(
+                "'top_k' only applies to /v1/ask", field="top_k"
+            )
+        context_payload = payload.get("context")
+        if not isinstance(context_payload, dict):
+            raise _BadRequest(
+                "missing 'context' field (a TableContext.to_json payload)",
+                field="context",
+            )
+        payload_fixes: dict[str, int] = {}
+        if sanitize:
+            table_payload, payload_fixes = sanitize_table_payload(
+                context_payload.get("table")
+            )
+            context_payload = {**context_payload, "table": table_payload}
+        _validate_context_payload(context_payload)
+        try:
+            context = TableContext.from_json(context_payload)
+        except (ReproError, KeyError, TypeError, ValueError) as error:
+            # validation above should have caught everything; this is the
+            # belt-and-braces guard keeping parser changes from becoming
+            # 500s
+            raise _BadRequest(
+                f"malformed context: {error}", field="context"
+            ) from error
+        sanitize_report = None
+        if sanitize:
+            context, report = sanitize_context(context)
+            report.merge_structure(payload_fixes)
+            sanitize_report = report.to_json()
     deadline_ms = payload.get("deadline_ms")
     deadline_s: float | None = None
     if deadline_ms is not None:
@@ -267,7 +333,156 @@ def parse_request_payload(task: str, payload: Any) -> ParsedRequest:
         deadline_s=deadline_s,
         request_id=request_id,
         sanitize_report=sanitize_report,
+        sanitize=sanitize,
+        top_k=top_k,
     )
+
+
+# -- /v1/ask: retrieval-backed QA --------------------------------------------
+
+#: retrieval depth when the request does not pass ``top_k``.
+DEFAULT_ASK_TOP_K = 5
+
+#: the typed error-string prefix for an empty retrieval (the loadgen's
+#: ``retrieval_miss`` failure bucket matches on it — a documented
+#: contract like ``replica_failed:`` and ``deadline_exceeded:``).
+RETRIEVAL_MISS_PREFIX = "retrieval_miss"
+
+
+class AskStats:
+    """Frontend-side accounting for ``/v1/ask`` (shown in /metrics).
+
+    The engine owns inference accounting; retrieval happens before the
+    engine ever sees the request, so its counters live here: requests,
+    answered, misses, and retrieve-latency percentiles.
+    """
+
+    _WINDOW = 2048
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._answered = 0
+        self._misses = 0
+        self._retrieve_s: list[float] = []
+
+    def note(self, *, hit: bool, retrieve_s: float) -> None:
+        with self._lock:
+            self._requests += 1
+            if hit:
+                self._answered += 1
+            else:
+                self._misses += 1
+            self._retrieve_s.append(retrieve_s)
+            if len(self._retrieve_s) > self._WINDOW:
+                del self._retrieve_s[: -self._WINDOW]
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "requests": self._requests,
+                "answered": self._answered,
+                "retrieval_miss": self._misses,
+                "retrieve_ms": nearest_rank_percentiles(
+                    list(self._retrieve_s)
+                ),
+            }
+
+
+def execute_ask(
+    backend: Any,
+    retriever: Any,
+    question: str,
+    *,
+    k: int = DEFAULT_ASK_TOP_K,
+    sanitize: bool = False,
+    deadline_s: float | None = None,
+    request_id: str | None = None,
+    ask_stats: AskStats | None = None,
+) -> dict[str, Any]:
+    """Retrieve → (sanitize) → QA; returns the response payload dict.
+
+    The shared ask pipeline behind both the HTTP handler and the
+    in-process :class:`ServeClient`: search the store, answer over the
+    best hit with the ``TASK_QA`` model, and echo provenance under
+    ``"retrieval"``.  Retrieval time comes out of the deadline budget
+    before the engine's admission gates see what remains.  The engine's
+    typed admission errors (overload, deadline, stopped) propagate to
+    the caller's usual mapping.
+    """
+    started = time.monotonic()
+    hits = retriever.search(question, k=k)
+    retrieve_s = time.monotonic() - started
+    if ask_stats is not None:
+        ask_stats.note(hit=bool(hits), retrieve_s=retrieve_s)
+    retrieval: dict[str, Any] = {
+        "k": k,
+        "retrieve_ms": round(retrieve_s * 1e3, 3),
+        "hits": [hit.to_json() for hit in hits],
+    }
+    if not hits:
+        return {
+            "ok": False,
+            "task": TASK_ASK,
+            "error": (
+                f"{RETRIEVAL_MISS_PREFIX}: no stored table matched "
+                "the question"
+            ),
+            "retrieval": retrieval,
+        }
+    best = hits[0]
+    retrieval["chosen"] = best.doc_id
+    retrieval["passage"] = retriever.passage(best.doc_id, max_rows=2)
+    context = retriever.fetch(best.doc_id)
+    report: dict[str, Any] | None = None
+    if sanitize:
+        context, report_obj = sanitize_context(context)
+        report = report_obj.to_json()
+    if deadline_s is not None:
+        deadline_s -= time.monotonic() - started
+    response = backend.infer(
+        TASK_QA, question, context,
+        deadline_s=deadline_s, request_id=request_id,
+    )
+    if report is not None:
+        backend.note_sanitize(report)
+    payload = response.to_json()
+    payload["task"] = TASK_ASK
+    payload["retrieval"] = retrieval
+    if report is not None:
+        payload["sanitize"] = report
+    return payload
+
+
+@dataclass(frozen=True)
+class AskResponse:
+    """The typed client-side view of a ``/v1/ask`` response."""
+
+    ok: bool
+    answer: tuple[str, ...]
+    error: str | None
+    model: str
+    cached: bool
+    retrieval: dict[str, Any]
+    sanitize: dict[str, Any] | None = None
+    latency: dict[str, Any] | None = None
+
+    @staticmethod
+    def from_payload(payload: dict[str, Any]) -> "AskResponse":
+        return AskResponse(
+            ok=bool(payload.get("ok")),
+            answer=tuple(payload.get("answer") or ()),
+            error=(
+                payload["error"]
+                if isinstance(payload.get("error"), str)
+                else None
+            ),
+            model=payload.get("model", ""),
+            cached=bool(payload.get("cached")),
+            retrieval=payload.get("retrieval") or {},
+            sanitize=payload.get("sanitize"),
+            latency=payload.get("latency"),
+        )
 
 
 class ServeRequestHandler(BaseHTTPRequestHandler):
@@ -345,10 +560,17 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
                     )
             else:
                 payload["status"] = "ok"
+            retriever = getattr(self.server, "retriever", None)
+            if retriever is not None:
+                payload["store"] = {"docs": retriever.doc_count}
             self._send_json(503 if unhealthy else 200, payload)
             return
         if self.path == "/metrics":
-            self._send_json(200, self.engine.stats())
+            stats = self.engine.stats()
+            ask_stats = getattr(self.server, "ask_stats", None)
+            if ask_stats is not None:
+                stats["ask"] = ask_stats.snapshot()
+            self._send_json(200, stats)
             return
         self._send_error_json(404, "not_found", f"no route {self.path!r}")
 
@@ -416,6 +638,25 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
             # make (so it is counted, not silently dropped here).
             deadline_s -= time.monotonic() - received
         try:
+            if task == TASK_ASK:
+                retriever = getattr(self.server, "retriever", None)
+                if retriever is None:
+                    self._send_error_json(
+                        501, "not_implemented",
+                        "this server has no table store (start with "
+                        "--store to enable /v1/ask)",
+                    )
+                    return
+                ask_payload = execute_ask(
+                    self.engine, retriever, parsed.sentence,
+                    k=parsed.top_k or DEFAULT_ASK_TOP_K,
+                    sanitize=parsed.sanitize,
+                    deadline_s=deadline_s,
+                    request_id=parsed.request_id,
+                    ask_stats=getattr(self.server, "ask_stats", None),
+                )
+                self._send_json(200, ask_payload)
+                return
             response = self.engine.infer(
                 task, parsed.sentence, parsed.context,
                 deadline_s=deadline_s, request_id=parsed.request_id,
@@ -510,6 +751,7 @@ class ServeHTTPServer(ThreadingHTTPServer):
         address: tuple[str, int],
         engine: Any,
         reloader: Any = None,
+        retriever: Any = None,
     ):
         super().__init__(address, ServeRequestHandler)
         self.engine = engine
@@ -517,6 +759,10 @@ class ServeHTTPServer(ThreadingHTTPServer):
         #: zero-arg callable performing a model reload and returning a
         #: JSON-compatible summary; ``None`` disables /v1/admin/reload.
         self.reloader = reloader
+        #: :class:`repro.store.Retriever` backing ``/v1/ask``; ``None``
+        #: turns the route into a 501.
+        self.retriever = retriever
+        self.ask_stats = AskStats() if retriever is not None else None
 
     @property
     def port(self) -> int:
@@ -528,15 +774,19 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 0,
     reloader: Any = None,
+    retriever: Any = None,
 ) -> ServeHTTPServer:
     """Bind a :class:`ServeHTTPServer` (``port=0`` picks a free port).
 
     ``engine`` is anything with the engine's serving surface —
     ``infer`` / ``stats`` / ``note_sanitize`` — i.e. an
     :class:`~repro.serve.engine.InferenceEngine` or a
-    :class:`~repro.serve.pool.ReplicaPool`.
+    :class:`~repro.serve.pool.ReplicaPool`.  ``retriever`` (a
+    :class:`repro.store.Retriever`) enables ``POST /v1/ask``.
     """
-    return ServeHTTPServer((host, port), engine, reloader=reloader)
+    return ServeHTTPServer(
+        (host, port), engine, reloader=reloader, retriever=retriever
+    )
 
 
 def serve_in_thread(server: ServeHTTPServer) -> threading.Thread:
@@ -619,15 +869,32 @@ class _BaseClient:
             )
         )
 
+    def ask(
+        self,
+        question: str,
+        *,
+        k: int = DEFAULT_ASK_TOP_K,
+        deadline_s: float | None = None,
+        sanitize: bool = False,
+    ) -> AskResponse:
+        """``/v1/ask``: retrieve the table, then answer the question."""
+        return self._with_retry(
+            lambda _attempt: self._ask(question, k, deadline_s, sanitize)
+        )
+
 
 class ServeClient(_BaseClient):
     """In-process client: the engine without sockets (tests, loadgen)."""
 
     def __init__(
-        self, engine: InferenceEngine, retry: RetryPolicy | None = None
+        self,
+        engine: InferenceEngine,
+        retry: RetryPolicy | None = None,
+        retriever: Any = None,
     ):
         super().__init__(retry)
         self.engine = engine
+        self.retriever = retriever
 
     def _request(
         self,
@@ -649,6 +916,24 @@ class ServeClient(_BaseClient):
             self.engine.note_sanitize(report.to_json())
             response = _dc_replace(response, sanitize=report.to_json())
         return response
+
+    def _ask(
+        self,
+        question: str,
+        k: int,
+        deadline_s: float | None,
+        sanitize: bool,
+    ) -> AskResponse:
+        if self.retriever is None:
+            raise ServeError(
+                "this client has no table store (construct with "
+                "retriever=Retriever.open(...))"
+            )
+        payload = execute_ask(
+            self.engine, self.retriever, question,
+            k=k, sanitize=sanitize, deadline_s=deadline_s,
+        )
+        return AskResponse.from_payload(payload)
 
     def metrics(self) -> dict[str, Any]:
         return self.engine.stats()
@@ -705,6 +990,30 @@ class HttpServeClient(_BaseClient):
         }
         if sanitize:
             body["sanitize"] = True
+        path = "/v1/qa" if task == TASK_QA else "/v1/verify"
+        return response_from_json(self._post_json(path, body, deadline_s))
+
+    def _ask(
+        self,
+        question: str,
+        k: int,
+        deadline_s: float | None,
+        sanitize: bool,
+    ) -> AskResponse:
+        body: dict[str, Any] = {"question": question, "top_k": k}
+        if sanitize:
+            body["sanitize"] = True
+        return AskResponse.from_payload(
+            self._post_json("/v1/ask", body, deadline_s)
+        )
+
+    def _post_json(
+        self,
+        path: str,
+        body: dict[str, Any],
+        deadline_s: float | None,
+    ) -> dict[str, Any]:
+        """POST with the shared typed-error mapping (429/503/504 → raises)."""
         headers = {"Content-Type": "application/json"}
         if deadline_s is not None:
             # carried in the header so the frontend can start the
@@ -712,7 +1021,7 @@ class HttpServeClient(_BaseClient):
             headers[DEADLINE_HEADER] = str(round(deadline_s * 1e3, 3))
         data = json.dumps(body).encode("utf-8")
         request = urllib.request.Request(
-            self.base_url + ("/v1/qa" if task == TASK_QA else "/v1/verify"),
+            self.base_url + path,
             data=data,
             headers=headers,
             method="POST",
@@ -756,7 +1065,7 @@ class HttpServeClient(_BaseClient):
             raise ServeError(
                 f"HTTP {error.code} from {self.base_url}: {detail}"
             ) from error
-        return response_from_json(payload)
+        return payload
 
     def reload(self, timeout: float | None = None) -> dict[str, Any]:
         """``POST /v1/admin/reload``; returns the reload summary."""

@@ -42,18 +42,21 @@ from repro.errors import (
     ServeError,
 )
 from repro.rng import rng_from_key
-from repro.serve.registry import TASK_QA, TASK_VERIFY
+from repro.serve.registry import TASK_ASK, TASK_QA, TASK_VERIFY
 from repro.serve.stats import nearest_rank_percentiles
 from repro.tables.context import TableContext
 
 #: the failure taxonomy every load report breaks its non-successes
 #: into.  ``overloaded`` and ``deadline`` are *admission verdicts* (the
 #: server chose not to do the work); ``replica_failed`` is a backend
-#: compute-path casualty; ``connection`` is transport trouble reaching
-#: the server at all; ``other`` is everything else (including model
-#: errors surfaced as ``ok: false``).
+#: compute-path casualty; ``retrieval_miss`` is a ``/v1/ask`` request
+#: whose question matched no stored table (served correctly, answered
+#: nothing); ``connection`` is transport trouble reaching the server at
+#: all; ``other`` is everything else (including model errors surfaced
+#: as ``ok: false``).
 FAILURE_KINDS = (
-    "overloaded", "deadline", "replica_failed", "connection", "other"
+    "overloaded", "deadline", "replica_failed", "retrieval_miss",
+    "connection", "other",
 )
 
 
@@ -74,9 +77,10 @@ def classify_error_response(error: str | None) -> str:
     """Map an ``ok: false`` response's error string onto the taxonomy.
 
     The serving stack prefixes its typed terminal errors — the pool's
-    ``replica_failed: …`` and the engine's ``deadline_exceeded: …`` —
-    so string-prefix matching here is matching a documented contract,
-    not scraping free text.
+    ``replica_failed: …``, the engine's ``deadline_exceeded: …``, and
+    the store frontend's ``retrieval_miss: …`` — so string-prefix
+    matching here is matching a documented contract, not scraping free
+    text.
     """
     if not error:
         return "other"
@@ -84,6 +88,8 @@ def classify_error_response(error: str | None) -> str:
         return "replica_failed"
     if error.startswith("deadline_exceeded"):
         return "deadline"
+    if error.startswith("retrieval_miss"):
+        return "retrieval_miss"
     return "other"
 
 
@@ -93,12 +99,13 @@ class WorkItem:
 
     ``sanitize`` asks the serving side to run the messy-table sanitizer
     on this request (the loadgen sets it for items whose context was
-    deliberately corrupted).
+    deliberately corrupted).  ``context`` is ``None`` for ``TASK_ASK``
+    items — the server retrieves the table from its store.
     """
 
     task: str
     sentence: str
-    context: TableContext
+    context: TableContext | None
     sanitize: bool = False
 
 
@@ -144,6 +151,7 @@ def build_workload(
     messy_fraction: float = 0.0,
     messy_profile: str = "heavy",
     sanitize_messy: bool = False,
+    ask_fraction: float = 0.0,
 ) -> list[WorkItem]:
     """``n_requests`` scripted requests over ``contexts``, seed-stable.
 
@@ -157,6 +165,13 @@ def build_workload(
     ``messy_fraction=0`` run with the same seed.  ``sanitize_messy``
     marks the messy items ``sanitize=True`` so :func:`run_load` asks
     the serving side to repair them.
+
+    ``ask_fraction`` > 0 converts that (deterministic) share of the
+    *QA* items into ``TASK_ASK`` items: same question, ``context``
+    dropped — the server must retrieve the table from its store.  The
+    decision draws its own named stream, so the remaining items stay
+    byte-identical to an ``ask_fraction=0`` run; pass
+    ``tasks=(TASK_QA,)`` for exact control of the mix.
     """
     if not contexts:
         raise ServeError("cannot build a workload over zero contexts")
@@ -165,6 +180,8 @@ def build_workload(
             raise ServeError(f"unknown workload task {task!r}")
     if not 0.0 <= messy_fraction <= 1.0:
         raise ServeError("messy_fraction must be within [0, 1]")
+    if not 0.0 <= ask_fraction <= 1.0:
+        raise ServeError("ask_fraction must be within [0, 1]")
     if messy_fraction > 0:
         from repro.messy import profile_operators
 
@@ -198,6 +215,17 @@ def build_workload(
                         messy_profile,
                     ),
                     sanitize=sanitize_messy,
+                )
+        if ask_fraction > 0 and item.task == TASK_QA:
+            ask_rng = rng_from_key(
+                str(seed), "serve-loadgen-ask", str(index - 1)
+            )
+            if ask_rng.random() < ask_fraction:
+                item = WorkItem(
+                    task=TASK_ASK,
+                    sentence=item.sentence,
+                    context=None,
+                    sanitize=item.sanitize,
                 )
         out.append(item)
     return out
@@ -258,6 +286,20 @@ def _percentiles(samples: list[float]) -> dict[str, float]:
     return nearest_rank_percentiles(samples)
 
 
+def _issue(client: Any, item: WorkItem) -> Any:
+    """Dispatch one item to the right client method.
+
+    ``sanitize`` is passed only when asked: the documented client
+    protocol requires just ``qa``/``verify(sentence, context)`` and
+    ``ask(question)``.
+    """
+    kwargs: dict[str, Any] = {"sanitize": True} if item.sanitize else {}
+    if item.task == TASK_ASK:
+        return client.ask(item.sentence, **kwargs)
+    call = client.qa if item.task == TASK_QA else client.verify
+    return call(item.sentence, item.context, **kwargs)
+
+
 def run_load(
     client: Any,
     workload: Sequence[WorkItem],
@@ -276,19 +318,17 @@ def run_load(
     if clients < 1:
         raise ServeError("clients must be >= 1")
     lock = threading.Lock()
-    latencies: dict[str, list[float]] = {TASK_QA: [], TASK_VERIFY: []}
+    latencies: dict[str, list[float]] = {
+        TASK_QA: [], TASK_VERIFY: [], TASK_ASK: []
+    }
     counts = {"completed": 0}
     failures = {kind: 0 for kind in FAILURE_KINDS}
 
     def drive(shard: Sequence[WorkItem]) -> None:
         for item in shard:
-            call = client.qa if item.task == TASK_QA else client.verify
-            # pass sanitize only when asked: the documented client
-            # protocol requires just qa/verify(sentence, context).
-            kwargs = {"sanitize": True} if item.sanitize else {}
             started = time.perf_counter()
             try:
-                response = call(item.sentence, item.context, **kwargs)
+                response = _issue(client, item)
             except Exception as error:
                 # every client-side failure — typed rejection or
                 # transport trouble — is classified and counted, never
@@ -319,7 +359,9 @@ def run_load(
     for thread in threads:
         thread.join()
     duration = max(1e-9, time.perf_counter() - started)
-    all_latencies = latencies[TASK_QA] + latencies[TASK_VERIFY]
+    all_latencies = (
+        latencies[TASK_QA] + latencies[TASK_VERIFY] + latencies[TASK_ASK]
+    )
     return LoadReport(
         duration_s=duration,
         clients=clients,
@@ -332,6 +374,7 @@ def run_load(
             "overall": _percentiles(all_latencies),
             TASK_QA: _percentiles(latencies[TASK_QA]),
             TASK_VERIFY: _percentiles(latencies[TASK_VERIFY]),
+            TASK_ASK: _percentiles(latencies[TASK_ASK]),
         },
         failures=failures,
     )
@@ -364,7 +407,9 @@ def run_load_open(
     if clients < 1:
         raise ServeError("clients must be >= 1")
     lock = threading.Lock()
-    latencies: dict[str, list[float]] = {TASK_QA: [], TASK_VERIFY: []}
+    latencies: dict[str, list[float]] = {
+        TASK_QA: [], TASK_VERIFY: [], TASK_ASK: []
+    }
     counts = {"completed": 0}
     failures = {kind: 0 for kind in FAILURE_KINDS}
     next_index = [0]
@@ -382,10 +427,8 @@ def run_load_open(
             delay = scheduled - time.perf_counter()
             if delay > 0:
                 time.sleep(delay)
-            call = client.qa if item.task == TASK_QA else client.verify
-            kwargs = {"sanitize": True} if item.sanitize else {}
             try:
-                response = call(item.sentence, item.context, **kwargs)
+                response = _issue(client, item)
             except Exception as error:
                 with lock:
                     failures[classify_exception(error)] += 1
@@ -409,7 +452,9 @@ def run_load_open(
     for thread in threads:
         thread.join()
     duration = max(1e-9, time.perf_counter() - t0)
-    all_latencies = latencies[TASK_QA] + latencies[TASK_VERIFY]
+    all_latencies = (
+        latencies[TASK_QA] + latencies[TASK_VERIFY] + latencies[TASK_ASK]
+    )
     return LoadReport(
         duration_s=duration,
         clients=clients,
@@ -422,6 +467,7 @@ def run_load_open(
             "overall": _percentiles(all_latencies),
             TASK_QA: _percentiles(latencies[TASK_QA]),
             TASK_VERIFY: _percentiles(latencies[TASK_VERIFY]),
+            TASK_ASK: _percentiles(latencies[TASK_ASK]),
         },
         mode="open",
         offered_rps=rate,

@@ -43,6 +43,12 @@ TASK_QA = "qa"
 TASK_VERIFY = "verify"
 TASKS = (TASK_QA, TASK_VERIFY)
 
+#: the frontend-only routing task behind ``POST /v1/ask``: retrieval
+#: happens in the HTTP layer (:mod:`repro.store`), then the request is
+#: answered by the ``TASK_QA`` model — deliberately *not* in ``TASKS``
+#: because no model artifact serves "ask" directly.
+TASK_ASK = "ask"
+
 #: artifact file name inside a version directory.
 ARTIFACT_NAME = "model.pkl"
 

@@ -1,0 +1,73 @@
+"""The table corpus store: persistence, indexing, ranked retrieval.
+
+The corpus layer under ``POST /v1/ask`` — the paper's pipeline assumes
+the relevant table arrives with every request; production serving must
+first *find* it among millions.  This package is that substrate:
+
+* :mod:`repro.store.store` — :class:`TableStore`: append-only JSONL
+  shards + an atomic, self-digesting store manifest, each shard under a
+  SHA-256 integrity sidecar (the model registry's tamper-refusal
+  contract applied to corpora).  Reads verify; damage raises a typed
+  :class:`~repro.errors.IntegrityError`.
+* :mod:`repro.store.index` — the inverted index over case-folded cell
+  canonical keys, column names, and captions, built as a
+  checkpoint/resume-capable parallel job (per-shard atomic part files,
+  ordered merge): byte-identical output at any worker count, safe
+  under ``kill -9``.
+* :mod:`repro.store.retrieval` — :class:`Retriever`: BM25 ranking over
+  the index, feeding the top table to the existing QA model.
+* :mod:`repro.store.synth` — deterministic synthetic corpora with
+  known gold tables, for the recall benchmarks and smoke tests.
+
+CLI: ``repro store build|add|query|verify`` and ``repro serve --store``.
+"""
+
+from repro.store.index import (
+    StoreIndex,
+    build_index,
+    build_part,
+    document_terms,
+    load_index,
+    query_terms,
+)
+from repro.store.retrieval import (
+    DEFAULT_TOP_K,
+    RetrievalHit,
+    Retriever,
+)
+from repro.store.store import (
+    DEFAULT_SHARD_SIZE,
+    ShardRecord,
+    TableStore,
+    doc_id_for,
+    open_or_create,
+    ordinal_for,
+)
+from repro.store.synth import (
+    GoldQuestion,
+    gold_questions,
+    synth_corpus,
+    synth_table_context,
+)
+
+__all__ = [
+    "DEFAULT_SHARD_SIZE",
+    "DEFAULT_TOP_K",
+    "GoldQuestion",
+    "RetrievalHit",
+    "Retriever",
+    "ShardRecord",
+    "StoreIndex",
+    "TableStore",
+    "build_index",
+    "build_part",
+    "doc_id_for",
+    "document_terms",
+    "gold_questions",
+    "load_index",
+    "open_or_create",
+    "ordinal_for",
+    "query_terms",
+    "synth_corpus",
+    "synth_table_context",
+]

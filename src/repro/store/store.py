@@ -1,0 +1,472 @@
+"""The persistent sharded table store.
+
+A store directory holds the corpus a ``/v1/ask`` deployment retrieves
+from: every :class:`~repro.tables.context.TableContext` ever added, in
+append-only JSONL shards, under exactly the tamper-refusal contract the
+model registry established for artifacts —
+
+* ``shards/shard-NNNNNN.jsonl`` — one document per line
+  (``{"doc": ordinal, "context": TableContext.to_json()}``), plus a
+  sidecar ``.manifest.json`` recording the shard's exact SHA-256 and
+  byte count (:func:`repro.validate.manifest.write_manifest`).
+* ``manifest.json`` — the store manifest: shard list with per-shard
+  record counts and digests, total document count, shard size, and a
+  self-digest (``manifest_sha256``) so a bit-flip inside the manifest is
+  as detectable as one in a shard.  Written atomically
+  (:mod:`repro.fsio`), always *after* the shards it describes.
+
+Reads verify before trusting: a flipped byte, a truncated shard, a
+dropped sidecar, or a store manifest that fails its self-digest all
+surface as a typed :class:`~repro.errors.IntegrityError` — never as a
+wrong answer three stages later.  Logical misuse (unknown doc id, not a
+store directory) raises :class:`~repro.errors.StoreError`.
+
+Crash recovery follows the redo-log discipline of
+:mod:`repro.runtime.checkpoint`: appends go *data first, manifest
+second*, so a crash mid-add can leave only a torn tail **beyond** what
+the manifest records.  The next append truncates the tail shard back to
+its manifested byte count and continues; readers never see the torn
+region because every read is length-checked against the manifest.
+Document ids are dense ordinals (``t00000042``), so the mapping from id
+to ``(shard, line)`` is arithmetic, not an index lookup.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.errors import FileFormatError, IntegrityError, StoreError
+from repro.fsio import atomic_write_text, sha256_file, sha256_text
+from repro.tables.context import TableContext
+from repro.validate.manifest import verify_manifest, write_manifest
+
+#: bump when the store layout changes incompatibly.
+STORE_SCHEMA_VERSION = 1
+
+#: the ``kind`` discriminator in the store manifest.
+STORE_KIND = "uctr-table-store"
+
+#: ``record_kind`` written into every shard's sidecar manifest.
+SHARD_RECORD_KIND = "table-shard"
+
+#: default documents per shard.
+DEFAULT_SHARD_SIZE = 512
+
+#: parsed shards kept hot for repeated :meth:`TableStore.get` calls.
+_SHARD_CACHE_SLOTS = 8
+
+STORE_MANIFEST_NAME = "manifest.json"
+SHARD_DIR = "shards"
+
+
+def doc_id_for(ordinal: int) -> str:
+    """The document id of the ``ordinal``-th table ever added."""
+    return f"t{ordinal:08d}"
+
+
+def ordinal_for(doc_id: str) -> int:
+    """Inverse of :func:`doc_id_for`; raises :class:`StoreError`."""
+    if (
+        not isinstance(doc_id, str)
+        or len(doc_id) < 2
+        or doc_id[0] != "t"
+        or not doc_id[1:].isdigit()
+    ):
+        raise StoreError(f"malformed doc id {doc_id!r} (expected tNNNNNNNN)")
+    return int(doc_id[1:])
+
+
+@dataclass(frozen=True)
+class ShardRecord:
+    """One shard as the store manifest describes it."""
+
+    name: str
+    records: int
+    data_sha256: str
+    data_bytes: int
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "records": self.records,
+            "data_sha256": self.data_sha256,
+            "data_bytes": self.data_bytes,
+        }
+
+
+def _self_digest(payload: dict[str, Any]) -> str:
+    body = {k: v for k, v in payload.items() if k != "manifest_sha256"}
+    return sha256_text(
+        json.dumps(body, sort_keys=True, separators=(",", ":"))
+    )
+
+
+def _dump_line(payload: dict[str, Any]) -> str:
+    """The canonical one-line form every shard record is written in.
+
+    Sorted keys and fixed separators make shard bytes a pure function
+    of *content and append order* — which is what lets an index rebuilt
+    from shards be byte-identical to one built incrementally.
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=False
+    ) + "\n"
+
+
+class TableStore:
+    """A verified, append-only corpus of tables on disk.
+
+    Use :meth:`create` for a new directory and :meth:`open` for an
+    existing one; both return a ready instance.  ``add`` appends,
+    ``get`` retrieves by doc id, ``verify`` audits every byte.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        shard_size: int,
+        shards: list[ShardRecord],
+    ):
+        self.root = Path(root)
+        self.shard_size = shard_size
+        self._shards = shards
+        #: shard name -> parsed records, verified-at-load (bounded LRU).
+        self._cache: dict[str, list[dict[str, Any]]] = {}
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def create(
+        cls, root: str | Path, *, shard_size: int = DEFAULT_SHARD_SIZE
+    ) -> "TableStore":
+        """Initialize an empty store directory (idempotent-unfriendly:
+        refuses a directory that already holds a store)."""
+        root = Path(root)
+        if (root / STORE_MANIFEST_NAME).exists():
+            raise StoreError(
+                f"{root} already holds a table store (open it instead)"
+            )
+        if shard_size < 1:
+            raise StoreError("shard_size must be >= 1")
+        (root / SHARD_DIR).mkdir(parents=True, exist_ok=True)
+        store = cls(root, shard_size=shard_size, shards=[])
+        store._write_store_manifest()
+        return store
+
+    @classmethod
+    def open(cls, root: str | Path) -> "TableStore":
+        """Open an existing store, verifying the manifest's self-digest."""
+        root = Path(root)
+        manifest_file = root / STORE_MANIFEST_NAME
+        if not manifest_file.exists():
+            raise StoreError(
+                f"{root} is not a table store (no {STORE_MANIFEST_NAME}; "
+                "create one with `repro store build`)"
+            )
+        try:
+            payload = json.loads(manifest_file.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise IntegrityError(
+                f"unreadable store manifest ({error})",
+                path=str(manifest_file),
+            ) from error
+        if not isinstance(payload, dict) or payload.get("kind") != STORE_KIND:
+            raise StoreError(
+                f"{manifest_file} is not a {STORE_KIND} manifest"
+            )
+        if payload.get("manifest_sha256") != _self_digest(payload):
+            raise IntegrityError(
+                "store manifest failed its self-digest (the manifest "
+                "itself is corrupt)",
+                path=str(manifest_file),
+            )
+        if payload.get("schema_version") != STORE_SCHEMA_VERSION:
+            raise StoreError(
+                "unsupported store schema_version "
+                f"{payload.get('schema_version')!r}"
+            )
+        try:
+            shards = [
+                ShardRecord(
+                    name=str(entry["name"]),
+                    records=int(entry["records"]),
+                    data_sha256=str(entry["data_sha256"]),
+                    data_bytes=int(entry["data_bytes"]),
+                )
+                for entry in payload["shards"]
+            ]
+            shard_size = int(payload["shard_size"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise IntegrityError(
+                f"malformed store manifest field ({error!r})",
+                path=str(manifest_file),
+            ) from error
+        return cls(root, shard_size=shard_size, shards=shards)
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def doc_count(self) -> int:
+        return sum(shard.records for shard in self._shards)
+
+    def __len__(self) -> int:
+        return self.doc_count
+
+    def shards(self) -> list[ShardRecord]:
+        """The manifest's shard list (copy; newest last)."""
+        return list(self._shards)
+
+    def shard_path(self, name: str) -> Path:
+        return self.root / SHARD_DIR / name
+
+    def shard_start(self, name: str) -> int:
+        """Global ordinal of the first document in the named shard."""
+        start = 0
+        for shard in self._shards:
+            if shard.name == name:
+                return start
+            start += shard.records
+        raise StoreError(f"unknown shard {name!r} in {self.root}")
+
+    # -- writes -------------------------------------------------------------
+    def add(self, contexts: Iterable[TableContext]) -> list[str]:
+        """Append contexts; returns their doc ids in order.
+
+        Appends are fsynced before any manifest mentions them (data
+        first, manifest second); a crash at any point leaves either the
+        old manifest state (torn tail truncated on the next add) or the
+        new one, never a readable half-write.
+        """
+        contexts = list(contexts)
+        if not contexts:
+            return []
+        self._recover_tail()
+        ordinal = self.doc_count
+        doc_ids: list[str] = []
+        touched: dict[str, int] = {}  # shard name -> records after append
+        shards = list(self._shards)
+        position = 0
+        while position < len(contexts):
+            if shards and shards[-1].records < self.shard_size:
+                tail = shards[-1]
+            else:
+                tail = ShardRecord(
+                    name=f"shard-{len(shards):06d}.jsonl",
+                    records=0,
+                    data_sha256="",
+                    data_bytes=0,
+                )
+                shards.append(tail)
+            room = self.shard_size - tail.records
+            batch = contexts[position:position + room]
+            path = self.shard_path(tail.name)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with path.open("a", encoding="utf-8") as handle:
+                for context in batch:
+                    handle.write(_dump_line({
+                        "doc": ordinal,
+                        "context": context.to_json(),
+                    }))
+                    doc_ids.append(doc_id_for(ordinal))
+                    ordinal += 1
+                handle.flush()
+                os.fsync(handle.fileno())
+            new_count = tail.records + len(batch)
+            shards[-1] = ShardRecord(
+                name=tail.name, records=new_count,
+                data_sha256="", data_bytes=0,
+            )
+            touched[tail.name] = new_count
+            position += len(batch)
+        # re-hash every touched shard and land its sidecar, then the
+        # store manifest last — the commit point of the whole append.
+        for index, shard in enumerate(shards):
+            if shard.name not in touched:
+                continue
+            path = self.shard_path(shard.name)
+            write_manifest(
+                path,
+                record_kind=SHARD_RECORD_KIND,
+                records=touched[shard.name],
+                generator={"store": STORE_KIND, "shard": shard.name},
+            )
+            digest, size = sha256_file(path)
+            shards[index] = ShardRecord(
+                name=shard.name, records=touched[shard.name],
+                data_sha256=digest, data_bytes=size,
+            )
+        self._shards = shards
+        self._cache.clear()
+        self._write_store_manifest()
+        return doc_ids
+
+    def _recover_tail(self) -> None:
+        """Truncate a torn append beyond the manifested tail-shard size.
+
+        Bytes *past* ``data_bytes`` are an append that never committed
+        (the redo-log case) and are safely discarded; a shard *shorter*
+        than its manifest is real damage and refuses as corruption.
+        """
+        if not self._shards:
+            return
+        tail = self._shards[-1]
+        path = self.shard_path(tail.name)
+        if not path.is_file():
+            raise IntegrityError(
+                "manifest lists a shard that is missing on disk",
+                path=str(path),
+            )
+        size = path.stat().st_size
+        if size < tail.data_bytes:
+            raise IntegrityError(
+                f"tail shard truncated: manifest says {tail.data_bytes} "
+                f"bytes, file has {size}",
+                path=str(path),
+            )
+        if size > tail.data_bytes:
+            with path.open("rb+") as handle:
+                handle.truncate(tail.data_bytes)
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    def _write_store_manifest(self) -> None:
+        payload: dict[str, Any] = {
+            "schema_version": STORE_SCHEMA_VERSION,
+            "kind": STORE_KIND,
+            "shard_size": self.shard_size,
+            "docs": self.doc_count,
+            "shards": [shard.to_json() for shard in self._shards],
+        }
+        payload["manifest_sha256"] = _self_digest(payload)
+        atomic_write_text(
+            self.root / STORE_MANIFEST_NAME,
+            json.dumps(payload, sort_keys=True, separators=(",", ":"))
+            + "\n",
+        )
+
+    # -- reads --------------------------------------------------------------
+    def _shard_for(self, ordinal: int) -> tuple[ShardRecord, int]:
+        """``(shard, offset within shard)`` for a global ordinal."""
+        start = 0
+        for shard in self._shards:
+            if ordinal < start + shard.records:
+                return shard, ordinal - start
+            start += shard.records
+        raise StoreError(
+            f"doc {doc_id_for(ordinal)} not in store "
+            f"(holds {self.doc_count} documents)"
+        )
+
+    def read_shard(self, name: str) -> list[dict[str, Any]]:
+        """Verified parse of one whole shard (list of record payloads).
+
+        Verification is two-layer: the sidecar manifest must match the
+        bytes (flip/truncate detection) *and* agree with the store
+        manifest's own record of the shard (so a swapped shard+sidecar
+        pair from another store is refused too).
+        """
+        cached = self._cache.get(name)
+        if cached is not None:
+            return cached
+        record = next(
+            (shard for shard in self._shards if shard.name == name), None
+        )
+        if record is None:
+            raise StoreError(f"unknown shard {name!r} in {self.root}")
+        path = self.shard_path(name)
+        manifest = verify_manifest(path, required=True)
+        if (
+            manifest.data_sha256 != record.data_sha256
+            or manifest.records != record.records
+        ):
+            raise IntegrityError(
+                "shard sidecar disagrees with the store manifest "
+                f"(sidecar: {manifest.records} records "
+                f"sha {manifest.data_sha256[:12]}…; store: "
+                f"{record.records} records sha "
+                f"{record.data_sha256[:12]}…)",
+                path=str(path),
+            )
+        rows: list[dict[str, Any]] = []
+        with path.open("r", encoding="utf-8") as handle:
+            for number, line in enumerate(handle, start=1):
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError as error:
+                    raise FileFormatError(
+                        f"invalid JSON in shard: {error}",
+                        path=str(path), line_number=number,
+                    ) from error
+                rows.append(payload)
+        if len(rows) != record.records:
+            raise IntegrityError(
+                f"shard holds {len(rows)} records, manifest says "
+                f"{record.records}",
+                path=str(path),
+            )
+        while len(self._cache) >= _SHARD_CACHE_SLOTS:
+            self._cache.pop(next(iter(self._cache)))
+        self._cache[name] = rows
+        return rows
+
+    def get(self, doc_id: str) -> TableContext:
+        """The stored context for a doc id (verified read)."""
+        shard, offset = self._shard_for(ordinal_for(doc_id))
+        payload = self.read_shard(shard.name)[offset]
+        return TableContext.from_json(payload["context"])
+
+    def iter_docs(self) -> Iterator[tuple[str, TableContext]]:
+        """All ``(doc_id, context)`` pairs in insertion order."""
+        for shard in self._shards:
+            for payload in self.read_shard(shard.name):
+                yield (
+                    doc_id_for(int(payload["doc"])),
+                    TableContext.from_json(payload["context"]),
+                )
+
+    def verify(self) -> dict[str, Any]:
+        """Audit every shard against both manifest layers.
+
+        Returns a summary dict; raises :class:`IntegrityError` on the
+        first mismatch (tamper, truncation, dropped sidecar).
+        """
+        self._cache.clear()
+        docs = 0
+        for shard in self._shards:
+            rows = self.read_shard(shard.name)
+            expected = range(docs, docs + shard.records)
+            actual = [int(payload["doc"]) for payload in rows]
+            if actual != list(expected):
+                raise IntegrityError(
+                    f"shard ordinals {actual[:3]}… do not match their "
+                    f"manifest position (expected to start at {docs})",
+                    path=str(self.shard_path(shard.name)),
+                )
+            docs += shard.records
+        self._cache.clear()
+        return {
+            "ok": True,
+            "docs": docs,
+            "shards": len(self._shards),
+            "bytes": sum(shard.data_bytes for shard in self._shards),
+        }
+
+
+def open_or_create(
+    root: str | Path, *, shard_size: int = DEFAULT_SHARD_SIZE
+) -> TableStore:
+    """Open ``root`` as a store, creating it when empty/absent."""
+    root = Path(root)
+    if (root / STORE_MANIFEST_NAME).exists():
+        return TableStore.open(root)
+    return TableStore.create(root, shard_size=shard_size)
+
+
+def add_contexts(
+    store: TableStore, contexts: Sequence[TableContext]
+) -> list[str]:
+    """Convenience wrapper mirroring :meth:`TableStore.add`."""
+    return store.add(contexts)

@@ -1,0 +1,160 @@
+"""Deterministic synthetic corpora with known gold tables.
+
+The retrieval benchmark needs a corpus where every question has exactly
+one *intended* table, so recall@k is measurable without human labels.
+:func:`synth_corpus` builds tables whose discriminating vocabulary is
+synthetic-but-word-like: entity and company names are composed from a
+fixed syllable inventory (``"rovintas"``, ``"melkado"``…), giving a
+name space large enough that a (company, entity) pair is essentially
+unique across tens of thousands of tables, while the *rest* of the
+vocabulary — column names, cities, sectors — is deliberately shared
+across the whole corpus, so ranking has realistic noise to beat rather
+than a trivially disjoint vocabulary.
+
+Everything draws from named RNG streams (:func:`repro.rng.rng_from_key`)
+keyed by ``(seed, index)``: table ``i`` of seed ``s`` is identical on
+every machine, worker count, and Python version — the property the
+byte-identical-index tests build on.
+
+:func:`gold_questions` asks about one cell of one table, phrased the
+way the loadgen phrases QA questions, and anchored with the table's
+company name so the question names its table without quoting an id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.rng import rng_from_key
+from repro.tables.context import Paragraph, TableContext
+from repro.tables.table import Table
+
+_SYLLABLES = (
+    "ka", "ro", "vin", "tas", "mel", "dor", "fen", "lu", "zar", "bex",
+    "qui", "nor", "sal", "tep", "gri", "mo", "hav", "yel", "dra", "pon",
+    "cu", "rix", "ald", "ster", "uma", "jeth", "ov", "wen", "kip", "zol",
+    "arn", "bla", "cev", "dug", "eri", "fos", "gan", "hul", "ivo", "jas",
+)
+
+_SECTORS = (
+    "quarterly", "annual", "regional", "interim", "operations",
+    "logistics", "production", "sales",
+)
+
+_METRICS = (
+    "revenue", "units", "profit", "headcount", "rating", "backlog",
+    "uptime", "margin",
+)
+
+_CITIES = (
+    "lisbon", "oslo", "nairobi", "quito", "osaka", "perth", "austin",
+    "leipzig", "tunis", "bogota", "hanoi", "turku", "adelaide",
+    "calgary", "porto", "riga", "malmo", "davao", "cusco", "tartu",
+)
+
+
+def _word(rng, syllables: int = 3) -> str:
+    return "".join(
+        _SYLLABLES[rng.randrange(len(_SYLLABLES))]
+        for _ in range(syllables)
+    )
+
+
+def synth_table_context(seed: int, index: int) -> TableContext:
+    """Table ``index`` of the seed's corpus (pure function of both)."""
+    rng = rng_from_key(str(seed), "store-synth", str(index))
+    company = _word(rng)
+    sector = _SECTORS[rng.randrange(len(_SECTORS))]
+    metrics = sorted(rng.sample(_METRICS, 2))
+    header = ["name", *metrics, "city"]
+    n_rows = 4 + rng.randrange(4)
+    rows: list[list[str]] = []
+    for _ in range(n_rows):
+        entity = _word(rng)
+        values = [str(100 + rng.randrange(9900)) for _ in metrics]
+        city = _CITIES[rng.randrange(len(_CITIES))]
+        rows.append([entity, *values, city])
+    table = Table.from_rows(
+        header,
+        rows,
+        title=f"{company} {sector} report",
+        caption=f"performance figures reported by {company}",
+        row_name_column="name",
+    )
+    paragraph = Paragraph(
+        text=(
+            f"{company} filed its {sector} report covering "
+            f"{n_rows} teams."
+        ),
+        source="synth",
+    )
+    return TableContext(
+        table=table,
+        paragraphs=(paragraph,),
+        uid=f"synth-{seed}-{index:06d}",
+        meta={"generator": "store-synth", "seed": seed, "index": index},
+    )
+
+
+def synth_corpus(
+    n_tables: int, *, seed: int = 0
+) -> Iterator[TableContext]:
+    """``n_tables`` deterministic contexts (lazily, for big corpora)."""
+    for index in range(n_tables):
+        yield synth_table_context(seed, index)
+
+
+@dataclass(frozen=True)
+class GoldQuestion:
+    """A question with its known intended table and answer cell."""
+
+    question: str
+    uid: str
+    answer: str
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "question": self.question,
+            "uid": self.uid,
+            "answer": self.answer,
+        }
+
+
+def gold_questions(
+    n_questions: int,
+    *,
+    corpus_size: int,
+    seed: int = 0,
+) -> list[GoldQuestion]:
+    """Questions whose gold table is known by construction.
+
+    Question ``j`` targets a deterministic table of the same seed's
+    corpus, asks for one metric cell of one row, and anchors the
+    company name from the table's title — the signal that makes the
+    gold table retrievable among ``corpus_size`` neighbors sharing the
+    column/city vocabulary.
+    """
+    out: list[GoldQuestion] = []
+    for j in range(n_questions):
+        rng = rng_from_key(str(seed), "store-gold", str(j))
+        index = rng.randrange(corpus_size)
+        context = synth_table_context(seed, index)
+        table = context.table
+        row = rng.randrange(table.n_rows)
+        metrics = [
+            name for name in table.column_names
+            if name not in ("name", "city")
+        ]
+        column = metrics[rng.randrange(len(metrics))]
+        name = table.row_name(row)
+        company = table.title.split()[0]
+        out.append(GoldQuestion(
+            question=(
+                f"what is the {column} for {name} "
+                f"in the {company} report ?"
+            ),
+            uid=context.uid,
+            answer=table.cell(row, column).raw,
+        ))
+    return out

@@ -9,7 +9,7 @@ from __future__ import annotations
 import json
 from typing import Any
 
-from repro.errors import SchemaError
+from repro.errors import SchemaError, TableError
 from repro.tables.schema import Column, Schema
 from repro.tables.table import Row, Table
 from repro.tables.values import Value, ValueType, parse_value
@@ -65,11 +65,25 @@ def loads(text: str) -> Table:
     return table_from_json(json.loads(text))
 
 
-def linearize_table(table: Table, max_rows: int | None = None) -> str:
+def linearize_table(
+    table: Table, max_rows: int | None = None, *, style: str = "flat"
+) -> str:
     """Flatten a table to a single token-friendly string.
 
-    Format: ``title : T header : h1 | h2 row 1 : c11 | c12 row 2 : ...``
+    ``style="flat"`` (the default, byte-for-byte unchanged — pinned by
+    a regression test) is the TAPEX scheme the featurizers consume:
+    ``title : T header : h1 | h2 row 1 : c11 | c12 row 2 : ...``
+
+    ``style="passage"`` renders the table as prose for retrieval — the
+    caption plus one sentence per row with column names inlined
+    (``T . C . col1 is v1 ; col2 is v2 . ...``), the table→passage
+    shape of open-table-discovery retrievers.  Shared by the store
+    indexer's provenance snippets and any future dense retriever.
     """
+    if style == "passage":
+        return _linearize_passage(table, max_rows)
+    if style != "flat":
+        raise TableError(f"unknown linearization style {style!r}")
     parts: list[str] = []
     if table.title:
         parts.append(f"title : {table.title}")
@@ -79,6 +93,21 @@ def linearize_table(table: Table, max_rows: int | None = None) -> str:
         cells = " | ".join(cell.raw for cell in row)
         parts.append(f"row {number} : {cells}")
     return " ".join(parts)
+
+
+def _linearize_passage(table: Table, max_rows: int | None) -> str:
+    """The ``style="passage"`` rendering of :func:`linearize_table`."""
+    sentences: list[str] = []
+    if table.title:
+        sentences.append(f"{table.title} .")
+    if table.caption:
+        sentences.append(f"{table.caption} .")
+    count = table.n_rows if max_rows is None else min(max_rows, table.n_rows)
+    for index in range(count):
+        row_text = linearize_row(table, index)
+        if row_text:
+            sentences.append(f"{row_text} .")
+    return " ".join(sentences)
 
 
 def linearize_row(table: Table, row_index: int) -> str:

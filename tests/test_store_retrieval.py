@@ -1,0 +1,133 @@
+"""Retrieval-quality tests and the passage linearizer's regression pins."""
+
+import pytest
+
+from repro.errors import StoreError, TableError
+from repro.store import (
+    Retriever,
+    TableStore,
+    build_index,
+    gold_questions,
+    synth_corpus,
+)
+from repro.store.index import document_terms, number_term, query_terms
+from repro.tables.serialize import linearize_table
+from repro.tables.table import Table
+
+pytestmark = pytest.mark.timeout(300)
+
+
+@pytest.fixture(scope="module")
+def small_corpus(tmp_path_factory):
+    root = tmp_path_factory.mktemp("retrieval") / "store"
+    store = TableStore.create(root, shard_size=64)
+    store.add(synth_corpus(200, seed=11))
+    build_index(root, workers=2)
+    return root
+
+
+class TestRetrieval:
+    def test_recall_on_gold_questions(self, small_corpus):
+        retriever = Retriever.open(small_corpus)
+        gold = gold_questions(60, corpus_size=200, seed=11)
+        at1 = at5 = 0
+        for question in gold:
+            hits = retriever.search(question.question, k=5)
+            uids = [hit.uid for hit in hits]
+            at1 += uids[:1] == [question.uid]
+            at5 += question.uid in uids
+        # a tiny corpus with shared noise vocabulary; the company-name
+        # anchor should nail nearly every question
+        assert at5 / len(gold) >= 0.9
+        assert at1 / len(gold) >= 0.8
+
+    def test_ranked_and_deterministic(self, small_corpus):
+        retriever = Retriever.open(small_corpus)
+        question = gold_questions(
+            1, corpus_size=200, seed=11
+        )[0].question
+        hits = retriever.search(question, k=20)
+        scores = [hit.score for hit in hits]
+        assert scores == sorted(scores, reverse=True)
+        # equal scores break ties by ordinal — rerun is identical
+        again = retriever.search(question, k=20)
+        assert [h.to_json() for h in hits] == [
+            h.to_json() for h in again
+        ]
+
+    def test_k_validation_and_fetch(self, small_corpus):
+        retriever = Retriever.open(small_corpus)
+        with pytest.raises(StoreError):
+            retriever.search("anything", k=0)
+        hit = retriever.search(
+            gold_questions(1, corpus_size=200, seed=11)[0].question
+        )[0]
+        context = retriever.fetch(hit.doc_id)
+        assert context.uid == hit.uid
+        passage = retriever.passage(hit.doc_id, max_rows=2)
+        assert context.table.title in passage
+
+    def test_no_overlap_is_empty(self, small_corpus):
+        retriever = Retriever.open(small_corpus)
+        assert retriever.search("zzzz qqqq wwww") == []
+
+    def test_query_terms_fold_and_number(self):
+        terms = query_terms("What is the REVENUE of 1,250.0 units ?")
+        assert "revenue" in terms
+        assert number_term(1250.0) in terms
+        # deduped, original order kept
+        assert len(terms) == len(set(terms))
+
+    def test_document_terms_weight_fields(self, small_corpus):
+        store = TableStore.open(small_corpus)
+        context = store.get("t00000000")
+        weights = document_terms(context)
+        title_word = context.table.title.split()[0].lower()
+        header = context.table.column_names[1]
+        # caption/title outrank headers outrank cell values
+        assert weights[title_word] > weights[header] >= 1.0
+
+
+class TestPassageLinearizer:
+    @pytest.fixture()
+    def table(self):
+        return Table.from_rows(
+            ["player", "points", "team"],
+            [["bo chen", "28", "hawks"], ["ana cruz", "31", "owls"]],
+            title="season scoring",
+            caption="points per game leaders",
+            row_name_column="player",
+        )
+
+    def test_flat_default_is_pinned(self, table):
+        # the default style is the featurizers' wire format: pinned
+        # byte-for-byte so retrieval work can never drift it.
+        assert linearize_table(table) == (
+            "title : season scoring "
+            "header : player | points | team "
+            "row 1 : bo chen | 28 | hawks "
+            "row 2 : ana cruz | 31 | owls"
+        )
+        assert linearize_table(table, max_rows=1) == (
+            "title : season scoring "
+            "header : player | points | team "
+            "row 1 : bo chen | 28 | hawks"
+        )
+        assert linearize_table(table, style="flat") == linearize_table(
+            table
+        )
+
+    def test_passage_style(self, table):
+        assert linearize_table(table, style="passage") == (
+            "season scoring . points per game leaders . "
+            "player is bo chen ; points is 28 ; team is hawks . "
+            "player is ana cruz ; points is 31 ; team is owls ."
+        )
+        assert linearize_table(table, max_rows=1, style="passage") == (
+            "season scoring . points per game leaders . "
+            "player is bo chen ; points is 28 ; team is hawks ."
+        )
+
+    def test_unknown_style_refused(self, table):
+        with pytest.raises(TableError):
+            linearize_table(table, style="prose")
